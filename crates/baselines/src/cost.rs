@@ -1,0 +1,163 @@
+//! The shared logical cost model.
+//!
+//! The benchmark harnesses compare techniques by *machine-independent work
+//! units* (elements touched, comparisons charged) in addition to wall-clock
+//! time, following the spirit of the TPCTC 2010 adaptive-indexing benchmark:
+//! what matters is how much work each query performs on top of producing its
+//! answer, and how that overhead decays over the query sequence.
+
+/// Work-unit counters shared by the baseline indexes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BaselineStats {
+    /// Number of queries answered.
+    pub queries: u64,
+    /// Elements read by full scans.
+    pub elements_scanned: u64,
+    /// Comparison work charged for sorting (n log n accounting).
+    pub sort_comparisons: u64,
+    /// Binary-search probes into sorted structures.
+    pub index_probes: u64,
+    /// Elements copied while building index structures.
+    pub elements_copied: u64,
+}
+
+impl BaselineStats {
+    /// A zeroed statistics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a query.
+    pub fn record_query(&mut self) {
+        self.queries += 1;
+    }
+
+    /// Record scanning `n` elements.
+    pub fn record_scan(&mut self, n: usize) {
+        self.elements_scanned += n as u64;
+    }
+
+    /// Record sorting `n` elements.
+    pub fn record_sort(&mut self, n: usize) {
+        let log = (n.max(2) as f64).log2().ceil() as u64;
+        self.sort_comparisons += n as u64 * log;
+    }
+
+    /// Record a binary-search probe over `n` elements.
+    pub fn record_probe(&mut self, n: usize) {
+        self.index_probes += (n.max(2) as f64).log2().ceil() as u64;
+    }
+
+    /// Record copying `n` elements.
+    pub fn record_copy(&mut self, n: usize) {
+        self.elements_copied += n as u64;
+    }
+
+    /// Total machine-independent effort, comparable with the adaptive
+    /// techniques' `total_effort`.
+    pub fn total_effort(&self) -> u64 {
+        self.elements_scanned + self.sort_comparisons + self.index_probes + self.elements_copied
+    }
+}
+
+/// The cost model used by the offline and online advisors to estimate the
+/// benefit of building an index before actually building it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Cost of reading one element during a scan (work units).
+    pub scan_cost_per_element: f64,
+    /// Cost of one comparison during index construction.
+    pub sort_cost_per_comparison: f64,
+    /// Cost of one element of output (result materialization).
+    pub output_cost_per_element: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            scan_cost_per_element: 1.0,
+            sort_cost_per_comparison: 1.0,
+            output_cost_per_element: 1.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Estimated cost of answering one range query of selectivity
+    /// `selectivity` with a full scan over `n` elements.
+    pub fn scan_query_cost(&self, n: usize, selectivity: f64) -> f64 {
+        self.scan_cost_per_element * n as f64
+            + self.output_cost_per_element * selectivity * n as f64
+    }
+
+    /// Estimated cost of answering the same query with a sorted index: two
+    /// binary-search probes plus a sequential read of the qualifying range
+    /// plus result materialization.
+    pub fn index_query_cost(&self, n: usize, selectivity: f64) -> f64 {
+        let probe = (n.max(2) as f64).log2();
+        probe
+            + self.scan_cost_per_element * selectivity * n as f64
+            + self.output_cost_per_element * selectivity * n as f64
+    }
+
+    /// Estimated cost of building a sorted index over `n` elements.
+    pub fn index_build_cost(&self, n: usize) -> f64 {
+        let log = (n.max(2) as f64).log2();
+        self.sort_cost_per_comparison * n as f64 * log
+    }
+
+    /// Estimated benefit (may be negative) of having an index for one query.
+    pub fn per_query_benefit(&self, n: usize, selectivity: f64) -> f64 {
+        self.scan_query_cost(n, selectivity) - self.index_query_cost(n, selectivity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = BaselineStats::new();
+        s.record_query();
+        s.record_scan(100);
+        s.record_sort(8);
+        s.record_probe(1024);
+        s.record_copy(50);
+        assert_eq!(s.queries, 1);
+        assert_eq!(s.elements_scanned, 100);
+        assert_eq!(s.sort_comparisons, 24);
+        assert_eq!(s.index_probes, 10);
+        assert_eq!(s.elements_copied, 50);
+        assert_eq!(s.total_effort(), 100 + 24 + 10 + 50);
+    }
+
+    #[test]
+    fn cost_model_prefers_index_for_selective_queries() {
+        let m = CostModel::default();
+        let n = 1_000_000;
+        assert!(m.per_query_benefit(n, 0.01) > 0.0);
+        // build cost is amortized over many queries
+        let build = m.index_build_cost(n);
+        let benefit = m.per_query_benefit(n, 0.01);
+        let queries_to_amortize = build / benefit;
+        assert!(queries_to_amortize > 1.0 && queries_to_amortize < 100.0);
+    }
+
+    #[test]
+    fn cost_model_scan_beats_index_for_full_range() {
+        let m = CostModel::default();
+        // selecting everything: the index saves nothing on output and only the
+        // scan term differs marginally
+        let benefit = m.per_query_benefit(1000, 1.0);
+        assert!(benefit < m.scan_query_cost(1000, 1.0) * 0.51);
+    }
+
+    #[test]
+    fn cost_model_tiny_inputs() {
+        let m = CostModel::default();
+        assert!(m.index_build_cost(0) >= 0.0);
+        assert!(m.index_query_cost(1, 0.0) > 0.0);
+        assert_eq!(m.scan_query_cost(0, 0.5), 0.0);
+    }
+}

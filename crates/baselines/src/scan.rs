@@ -1,0 +1,120 @@
+//! The no-index baseline: answer every query with a full scan.
+
+use crate::cost::BaselineStats;
+use aidx_columnstore::column::Column;
+use aidx_columnstore::ops::select::Predicate;
+use aidx_columnstore::position::PositionList;
+use aidx_columnstore::types::{Key, RowId};
+
+/// A "index" that never builds anything: each range query scans the column.
+///
+/// This is one endpoint of the tutorial's spectrum: the first query is as
+/// cheap as possible (no initialization at all) and the thousandth query is
+/// exactly as expensive as the first (no convergence at all).
+#[derive(Debug, Clone)]
+pub struct FullScanIndex {
+    keys: Vec<Key>,
+    stats: BaselineStats,
+}
+
+impl FullScanIndex {
+    /// Wrap a dense key slice.
+    pub fn from_keys(keys: &[Key]) -> Self {
+        FullScanIndex {
+            keys: keys.to_vec(),
+            stats: BaselineStats::new(),
+        }
+    }
+
+    /// Wrap an `Int64` column.
+    pub fn from_column(column: &Column) -> Self {
+        match column.as_i64() {
+            Some(c) => Self::from_keys(c.as_slice()),
+            None => Self::from_keys(&[]),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when no rows exist.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Accumulated work counters.
+    pub fn stats(&self) -> &BaselineStats {
+        &self.stats
+    }
+
+    /// Answer `[low, high)` by scanning everything.
+    pub fn query_range(&mut self, low: Key, high: Key) -> PositionList {
+        self.query(&Predicate::range(low, high))
+    }
+
+    /// Answer an arbitrary predicate by scanning everything.
+    pub fn query(&mut self, predicate: &Predicate) -> PositionList {
+        self.stats.record_query();
+        self.stats.record_scan(self.keys.len());
+        let mut out: Vec<RowId> = Vec::new();
+        for (i, &v) in self.keys.iter().enumerate() {
+            if predicate.matches(v) {
+                out.push(i as RowId);
+            }
+        }
+        PositionList::from_sorted_vec(out)
+    }
+
+    /// Count the qualifying tuples of `[low, high)`.
+    pub fn count_range(&mut self, low: Key, high: Key) -> usize {
+        self.query_range(low, high).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_answers_and_charges_full_cost_every_time() {
+        let data: Vec<Key> = (0..1000).rev().collect();
+        let mut idx = FullScanIndex::from_keys(&data);
+        assert_eq!(idx.len(), 1000);
+        let p = idx.query_range(100, 200);
+        assert_eq!(p.len(), 100);
+        assert_eq!(idx.stats().elements_scanned, 1000);
+        let _ = idx.query_range(100, 200);
+        assert_eq!(idx.stats().elements_scanned, 2000, "no learning effect");
+        assert_eq!(idx.stats().queries, 2);
+    }
+
+    #[test]
+    fn scan_predicates_and_empty_input() {
+        let mut idx = FullScanIndex::from_keys(&[]);
+        assert!(idx.is_empty());
+        assert!(idx.query_range(0, 10).is_empty());
+        let mut idx = FullScanIndex::from_keys(&[5, 1, 9]);
+        assert_eq!(idx.query(&Predicate::equals(9)).len(), 1);
+        assert_eq!(idx.count_range(0, 10), 3);
+        assert_eq!(idx.count_range(10, 0), 0);
+    }
+
+    #[test]
+    fn from_column_dispatch() {
+        let c = Column::from_i64(vec![3, 1, 2]);
+        let mut idx = FullScanIndex::from_column(&c);
+        assert_eq!(idx.count_range(2, 4), 2);
+        let f = Column::from_f64(vec![1.0]);
+        assert!(FullScanIndex::from_column(&f).is_empty());
+    }
+
+    #[test]
+    fn positions_are_base_positions() {
+        let data = vec![40, 10, 30, 20];
+        let mut idx = FullScanIndex::from_keys(&data);
+        let p = idx.query_range(15, 35);
+        assert_eq!(p.as_slice(), &[2, 3]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks for the cracker-index implementations (the
+//! BTreeMap-backed catalog vs. the hand-rolled AVL tree) — the data-structure
+//! ablation called out in DESIGN.md — plus cracker-column initialization.
+
+use aidx_cracking::cracker_column::CrackerColumn;
+use aidx_cracking::index::{AvlCutIndex, BTreeCutIndex, CutIndex};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_cut_index_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cut_index_insert_10k");
+    let keys: Vec<i64> = (0..10_000).map(|i| (i * 48271) % 1_000_000).collect();
+    group.bench_function("btree", |b| {
+        b.iter(|| {
+            let mut index = BTreeCutIndex::new();
+            for (i, &k) in keys.iter().enumerate() {
+                index.insert(k, i);
+            }
+            black_box(index.len())
+        })
+    });
+    group.bench_function("avl", |b| {
+        b.iter(|| {
+            let mut index = AvlCutIndex::new();
+            for (i, &k) in keys.iter().enumerate() {
+                index.insert(k, i);
+            }
+            black_box(index.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_cut_index_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cut_index_floor_lookup");
+    for &cuts in &[100usize, 10_000] {
+        let keys: Vec<i64> = (0..cuts as i64).map(|i| i * 97).collect();
+        let mut btree = BTreeCutIndex::new();
+        let mut avl = AvlCutIndex::new();
+        for (i, &k) in keys.iter().enumerate() {
+            btree.insert(k, i);
+            avl.insert(k, i);
+        }
+        let probes: Vec<i64> = (0..1000).map(|i| (i * 7919) % (cuts as i64 * 97)).collect();
+        group.bench_with_input(BenchmarkId::new("btree", cuts), &cuts, |b, _| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &p in &probes {
+                    if btree.floor(p).is_some() {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("avl", cuts), &cuts, |b, _| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &p in &probes {
+                    if avl.floor(p).is_some() {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cracker_column_copy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cracker_column_initial_copy");
+    for &n in &[1usize << 17, 1 << 20] {
+        let keys: Vec<i64> = (0..n as i64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(CrackerColumn::from_keys(&keys).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = structures;
+    config = Criterion::default().sample_size(15);
+    targets = bench_cut_index_insert, bench_cut_index_lookup, bench_cracker_column_copy
+}
+criterion_main!(structures);

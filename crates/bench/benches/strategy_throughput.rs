@@ -1,0 +1,87 @@
+//! Criterion benchmarks for end-to-end query sequences through the unified
+//! strategy interface: how long does it take each technique to answer a fixed
+//! 200-query random workload over a 1M-row column (including any
+//! initialization it chooses to do)?
+
+use aidx_core::strategy::{HybridKind, StrategyKind};
+use aidx_workloads::data::{generate_keys, DataDistribution};
+use aidx_workloads::query::{QueryWorkload, WorkloadKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_query_sequence(c: &mut Criterion) {
+    let rows = 1 << 20;
+    let keys = generate_keys(rows, DataDistribution::UniformPermutation, 7);
+    let workload =
+        QueryWorkload::generate(WorkloadKind::UniformRandom, 200, 0, rows as i64, 0.01, 9);
+
+    let strategies = [
+        StrategyKind::FullScan,
+        StrategyKind::FullSort,
+        StrategyKind::Cracking,
+        StrategyKind::StochasticCracking,
+        StrategyKind::AdaptiveMerging { run_size: 1 << 16 },
+        StrategyKind::Hybrid {
+            algorithm: HybridKind::CrackSort,
+        },
+    ];
+
+    let mut group = c.benchmark_group("query_sequence_200q_1M_rows");
+    group.sample_size(10);
+    for strategy in strategies {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    let mut index = strategy.build(&keys);
+                    let mut checksum = 0u64;
+                    for q in workload.iter() {
+                        checksum += index.query_range(q.low, q.high).count() as u64;
+                    }
+                    black_box(checksum)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_converged_lookup(c: &mut Criterion) {
+    let rows = 1 << 20;
+    let keys = generate_keys(rows, DataDistribution::UniformPermutation, 7);
+    let warmup =
+        QueryWorkload::generate(WorkloadKind::UniformRandom, 2_000, 0, rows as i64, 0.01, 9);
+
+    let mut group = c.benchmark_group("converged_point_range_lookup");
+    group.sample_size(20);
+    for strategy in [
+        StrategyKind::FullSort,
+        StrategyKind::Cracking,
+        StrategyKind::AdaptiveMerging { run_size: 1 << 16 },
+    ] {
+        let mut index = strategy.build(&keys);
+        for q in warmup.iter() {
+            let _ = index.query_range(q.low, q.high);
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, _| {
+                let mut i = 0i64;
+                b.iter(|| {
+                    i = (i + 7919) % (rows as i64 - 1000);
+                    black_box(index.query_range(i, i + 1000).count())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = throughput;
+    config = Criterion::default();
+    targets = bench_query_sequence, bench_converged_lookup
+}
+criterion_main!(throughput);

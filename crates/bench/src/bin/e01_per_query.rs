@@ -1,0 +1,54 @@
+//! E1 — Per-query response time over a query sequence (CIDR 2007, Figure
+//! "cracking kicks in immediately"): database cracking vs. full scan vs.
+//! offline full index, uniform random range queries.
+
+use aidx_bench::{assert_checksums_match, print_curve, run_strategy, HarnessConfig};
+use aidx_core::strategy::StrategyKind;
+use aidx_workloads::data::{generate_keys, DataDistribution};
+use aidx_workloads::query::{QueryWorkload, WorkloadKind};
+
+fn main() {
+    let config = HarnessConfig::default();
+    println!(
+        "# E1 per-query response time — {} rows, {} uniform random queries, {:.1}% selectivity",
+        config.rows,
+        config.queries,
+        config.selectivity * 100.0
+    );
+    let keys = generate_keys(config.rows, DataDistribution::UniformPermutation, config.seed);
+    let workload = QueryWorkload::generate(
+        WorkloadKind::UniformRandom,
+        config.queries,
+        0,
+        config.rows as i64,
+        config.selectivity,
+        config.seed + 1,
+    );
+
+    let strategies = [
+        StrategyKind::FullScan,
+        StrategyKind::FullSort,
+        StrategyKind::Cracking,
+    ];
+    let runs: Vec<_> = strategies
+        .iter()
+        .map(|&s| run_strategy(s, &keys, &workload))
+        .collect();
+    assert_checksums_match(&runs);
+
+    let time_series: Vec<_> = runs.iter().map(|r| &r.time_ns).collect();
+    print_curve("E1 wall-clock", &time_series, "nanoseconds");
+    let effort_series: Vec<_> = runs.iter().map(|r| &r.effort).collect();
+    print_curve("E1 logical effort", &effort_series, "work units");
+
+    println!("\n## first-query overhead relative to a scan");
+    let scan_first = runs[0].time_ns.first_query_cost().unwrap_or(1.0);
+    for run in &runs {
+        println!(
+            "{:<12} first query {:>12.2} ms  ({:.2}x the scan)",
+            run.label,
+            run.time_ns.first_query_cost().unwrap_or(0.0) / 1e6,
+            run.time_ns.first_query_cost().unwrap_or(0.0) / scan_first
+        );
+    }
+}

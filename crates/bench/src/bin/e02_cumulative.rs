@@ -1,0 +1,55 @@
+//! E2 — Cumulative response time and crossover points for the same workload
+//! as E1: when does each technique's *total* investment pay off against
+//! "never index" and against "index everything up front"?
+
+use aidx_bench::{assert_checksums_match, print_cumulative, run_strategy, HarnessConfig};
+use aidx_core::strategy::{HybridKind, StrategyKind};
+use aidx_workloads::data::{generate_keys, DataDistribution};
+use aidx_workloads::query::{QueryWorkload, WorkloadKind};
+
+fn main() {
+    let config = HarnessConfig::default();
+    println!(
+        "# E2 cumulative cost — {} rows, {} uniform random queries, {:.1}% selectivity",
+        config.rows,
+        config.queries,
+        config.selectivity * 100.0
+    );
+    let keys = generate_keys(config.rows, DataDistribution::UniformPermutation, config.seed);
+    let workload = QueryWorkload::generate(
+        WorkloadKind::UniformRandom,
+        config.queries,
+        0,
+        config.rows as i64,
+        config.selectivity,
+        config.seed + 1,
+    );
+
+    let strategies = [
+        StrategyKind::FullScan,
+        StrategyKind::FullSort,
+        StrategyKind::Cracking,
+        StrategyKind::AdaptiveMerging { run_size: 1 << 16 },
+        StrategyKind::Hybrid {
+            algorithm: HybridKind::CrackSort,
+        },
+    ];
+    let runs: Vec<_> = strategies
+        .iter()
+        .map(|&s| run_strategy(s, &keys, &workload))
+        .collect();
+    assert_checksums_match(&runs);
+
+    let time_series: Vec<_> = runs.iter().map(|r| &r.time_ns).collect();
+    print_cumulative("E2 wall-clock", &time_series, "nanoseconds");
+    let effort_series: Vec<_> = runs.iter().map(|r| &r.effort).collect();
+    print_cumulative("E2 logical effort", &effort_series, "work units");
+
+    println!("\n## auxiliary memory at the end of the run");
+    for run in &runs {
+        println!(
+            "{:<22} {:>14} bytes   converged: {}",
+            run.label, run.auxiliary_bytes, run.converged
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! A minimal catalog: named tables living in one in-memory database.
+
+use crate::error::{ColumnStoreError, Result};
+use crate::table::Table;
+use std::collections::BTreeMap;
+
+/// A catalog of named tables.
+///
+/// The catalog is deliberately simple: the adaptive indexing experiments work
+/// against one or a few tables, but the kernel layer (`aidx-core`) needs a
+/// stable place to resolve table names and enumerate columns when deciding
+/// which adaptive indexes to maintain.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    /// Create an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a table under `name`. Fails if the name is taken.
+    pub fn create_table(&mut self, name: impl Into<String>, table: Table) -> Result<()> {
+        let name = name.into();
+        if self.tables.contains_key(&name) {
+            return Err(ColumnStoreError::AlreadyExists {
+                kind: "table",
+                name,
+            });
+        }
+        self.tables.insert(name, table);
+        Ok(())
+    }
+
+    /// Drop a table; returns it if it existed.
+    pub fn drop_table(&mut self, name: &str) -> Option<Table> {
+        self.tables.remove(name)
+    }
+
+    /// Borrow a table.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables.get(name).ok_or_else(|| ColumnStoreError::NotFound {
+            kind: "table",
+            name: name.to_owned(),
+        })
+    }
+
+    /// Mutably borrow a table.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| ColumnStoreError::NotFound {
+                kind: "table",
+                name: name.to_owned(),
+            })
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn small_table() -> Table {
+        Table::from_columns(vec![("a", Column::from_i64(vec![1, 2, 3]))]).unwrap()
+    }
+
+    #[test]
+    fn create_lookup_drop() {
+        let mut c = Catalog::new();
+        assert!(c.is_empty());
+        c.create_table("t", small_table()).unwrap();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.table("t").unwrap().row_count(), 3);
+        assert!(c.table("missing").is_err());
+        assert_eq!(c.table_names(), vec!["t"]);
+        assert!(c.drop_table("t").is_some());
+        assert!(c.drop_table("t").is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut c = Catalog::new();
+        c.create_table("t", small_table()).unwrap();
+        let err = c.create_table("t", small_table()).unwrap_err();
+        assert!(matches!(err, ColumnStoreError::AlreadyExists { .. }));
+    }
+
+    #[test]
+    fn table_mut_allows_appends() {
+        let mut c = Catalog::new();
+        c.create_table("t", small_table()).unwrap();
+        {
+            let t = c.table_mut("t").unwrap();
+            t.append_row(&[crate::types::Value::Int64(4)]).unwrap();
+        }
+        assert_eq!(c.table("t").unwrap().row_count(), 4);
+        assert!(c.table_mut("missing").is_err());
+    }
+}

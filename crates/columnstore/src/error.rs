@@ -1,0 +1,152 @@
+//! Error type for the column-store substrate.
+
+use crate::types::DataType;
+use std::fmt;
+
+/// Result alias used throughout the substrate.
+pub type Result<T> = std::result::Result<T, ColumnStoreError>;
+
+/// Errors produced by the column-store substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnStoreError {
+    /// A column or table name was not found in the schema / catalog.
+    NotFound {
+        /// What kind of object was looked up ("column", "table", ...).
+        kind: &'static str,
+        /// The name that was not found.
+        name: String,
+    },
+    /// A value of the wrong type was supplied for a column.
+    TypeMismatch {
+        /// Column name.
+        column: String,
+        /// Type the column expects.
+        expected: DataType,
+        /// Type that was supplied (None means NULL).
+        found: Option<DataType>,
+    },
+    /// A row append supplied the wrong number of values.
+    ArityMismatch {
+        /// Number of columns in the schema.
+        expected: usize,
+        /// Number of values supplied.
+        found: usize,
+    },
+    /// An object with this name already exists.
+    AlreadyExists {
+        /// What kind of object ("table", "column").
+        kind: &'static str,
+        /// Its name.
+        name: String,
+    },
+    /// A position was out of bounds for a column.
+    PositionOutOfBounds {
+        /// Offending position.
+        position: u64,
+        /// Column length.
+        len: usize,
+    },
+    /// Columns of a table must all have the same length.
+    LengthMismatch {
+        /// Expected length (length of the first column).
+        expected: usize,
+        /// Observed length.
+        found: usize,
+    },
+}
+
+impl fmt::Display for ColumnStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnStoreError::NotFound { kind, name } => {
+                write!(f, "{kind} not found: {name}")
+            }
+            ColumnStoreError::TypeMismatch {
+                column,
+                expected,
+                found,
+            } => match found {
+                Some(found) => write!(
+                    f,
+                    "type mismatch for column {column}: expected {expected}, found {found}"
+                ),
+                None => write!(
+                    f,
+                    "type mismatch for column {column}: expected {expected}, found NULL"
+                ),
+            },
+            ColumnStoreError::ArityMismatch { expected, found } => {
+                write!(f, "row arity mismatch: expected {expected} values, found {found}")
+            }
+            ColumnStoreError::AlreadyExists { kind, name } => {
+                write!(f, "{kind} already exists: {name}")
+            }
+            ColumnStoreError::PositionOutOfBounds { position, len } => {
+                write!(f, "position {position} out of bounds for column of length {len}")
+            }
+            ColumnStoreError::LengthMismatch { expected, found } => {
+                write!(f, "column length mismatch: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ColumnStoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_not_found() {
+        let e = ColumnStoreError::NotFound {
+            kind: "column",
+            name: "a".into(),
+        };
+        assert_eq!(e.to_string(), "column not found: a");
+    }
+
+    #[test]
+    fn display_type_mismatch() {
+        let e = ColumnStoreError::TypeMismatch {
+            column: "a".into(),
+            expected: DataType::Int64,
+            found: Some(DataType::Utf8),
+        };
+        assert!(e.to_string().contains("expected int64"));
+        let e = ColumnStoreError::TypeMismatch {
+            column: "a".into(),
+            expected: DataType::Int64,
+            found: None,
+        };
+        assert!(e.to_string().contains("found NULL"));
+    }
+
+    #[test]
+    fn display_other_variants() {
+        assert!(ColumnStoreError::ArityMismatch {
+            expected: 2,
+            found: 3
+        }
+        .to_string()
+        .contains("arity"));
+        assert!(ColumnStoreError::AlreadyExists {
+            kind: "table",
+            name: "t".into()
+        }
+        .to_string()
+        .contains("already exists"));
+        assert!(ColumnStoreError::PositionOutOfBounds {
+            position: 9,
+            len: 3
+        }
+        .to_string()
+        .contains("out of bounds"));
+        assert!(ColumnStoreError::LengthMismatch {
+            expected: 1,
+            found: 2
+        }
+        .to_string()
+        .contains("length mismatch"));
+    }
+}

@@ -1,0 +1,68 @@
+//! # aidx-columnstore
+//!
+//! An in-memory column-store substrate in the spirit of MonetDB's storage and
+//! execution model, providing exactly the properties that the adaptive
+//! indexing literature (database cracking and friends) relies on:
+//!
+//! * **Dense, fixed-width arrays** as the physical representation of a column
+//!   ([`column::FixedColumn`], [`column::Column`]). A row is identified by its
+//!   position (a *row id* / *oid*), and positions are stable within a column
+//!   version.
+//! * **Bulk, column-at-a-time operators** ([`ops`]): selections produce
+//!   position lists, projections fetch attribute values for position lists
+//!   (*late tuple reconstruction*), aggregations consume either whole columns
+//!   or position lists.
+//! * **Late materialization**: intermediate results are [`position::PositionList`]s
+//!   rather than rows, so that reconstruction only touches the columns a query
+//!   actually needs.
+//!
+//! The crate deliberately contains *no* indexing: it is the substrate on which
+//! `aidx-cracking`, `aidx-merging`, `aidx-hybrids` and `aidx-baselines` build.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use aidx_columnstore::prelude::*;
+//!
+//! let mut table = Table::new(Schema::new(vec![
+//!     Field::new("a", DataType::Int64),
+//!     Field::new("b", DataType::Int64),
+//! ]));
+//! table.append_row(&[Value::Int64(10), Value::Int64(100)]).unwrap();
+//! table.append_row(&[Value::Int64(20), Value::Int64(200)]).unwrap();
+//! table.append_row(&[Value::Int64(30), Value::Int64(300)]).unwrap();
+//!
+//! // select a from table where 15 <= a < 25 (bulk scan producing positions)
+//! let positions = aidx_columnstore::ops::select::scan_select_range(
+//!     table.column("a").unwrap(), &Predicate::range(15, 25));
+//! // late materialization: fetch b for qualifying positions
+//! let b = aidx_columnstore::ops::project::fetch_i64(table.column("b").unwrap(), &positions);
+//! assert_eq!(b, vec![200]);
+//! ```
+
+pub mod catalog;
+pub mod column;
+pub mod error;
+pub mod ops;
+pub mod position;
+pub mod stats;
+pub mod table;
+pub mod types;
+
+/// Convenient re-exports of the most frequently used items.
+pub mod prelude {
+    pub use crate::catalog::Catalog;
+    pub use crate::column::{Column, FixedColumn};
+    pub use crate::error::{ColumnStoreError, Result};
+    pub use crate::ops::select::Predicate;
+    pub use crate::position::PositionList;
+    pub use crate::table::{Field, Schema, Table};
+    pub use crate::types::{DataType, Key, RowId, Value};
+}
+
+pub use catalog::Catalog;
+pub use column::{Column, FixedColumn};
+pub use error::{ColumnStoreError, Result};
+pub use position::PositionList;
+pub use table::{Field, Schema, Table};
+pub use types::{DataType, Key, RowId, Value};

@@ -1,0 +1,135 @@
+//! Aggregation operators over whole columns or position lists.
+
+use crate::column::Column;
+use crate::position::PositionList;
+use crate::types::Key;
+
+/// The result of a numeric aggregation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aggregate {
+    /// Number of aggregated rows.
+    pub count: usize,
+    /// Sum of the aggregated values.
+    pub sum: i128,
+    /// Minimum value (None when `count == 0`).
+    pub min: Option<Key>,
+    /// Maximum value (None when `count == 0`).
+    pub max: Option<Key>,
+}
+
+impl Aggregate {
+    /// An aggregate over zero rows.
+    pub fn empty() -> Self {
+        Aggregate {
+            count: 0,
+            sum: 0,
+            min: None,
+            max: None,
+        }
+    }
+
+    /// Mean of the aggregated values, if any.
+    pub fn avg(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Fold one value into the aggregate.
+    #[inline]
+    pub fn accumulate(&mut self, v: Key) {
+        self.count += 1;
+        self.sum += v as i128;
+        self.min = Some(self.min.map_or(v, |m| m.min(v)));
+        self.max = Some(self.max.map_or(v, |m| m.max(v)));
+    }
+}
+
+/// Aggregate every value in a dense key slice.
+pub fn aggregate_keys(keys: &[Key]) -> Aggregate {
+    let mut agg = Aggregate::empty();
+    for &v in keys {
+        agg.accumulate(v);
+    }
+    agg
+}
+
+/// Aggregate the values of a key column at the given positions.
+pub fn aggregate_at(column: &Column, positions: &PositionList) -> Aggregate {
+    let mut agg = Aggregate::empty();
+    if let Some(c) = column.as_i64() {
+        let data = c.as_slice();
+        for p in positions.iter() {
+            agg.accumulate(data[p as usize]);
+        }
+    }
+    agg
+}
+
+/// Sum of key values at the given positions (common fast path in the
+/// experiment harnesses: queries are `SELECT SUM(b) WHERE a BETWEEN ...`).
+pub fn sum_at(column: &Column, positions: &PositionList) -> i128 {
+    match column.as_i64() {
+        Some(c) => {
+            let data = c.as_slice();
+            positions.iter().map(|p| data[p as usize] as i128).sum()
+        }
+        None => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_empty() {
+        let a = aggregate_keys(&[]);
+        assert_eq!(a.count, 0);
+        assert_eq!(a.sum, 0);
+        assert_eq!(a.min, None);
+        assert_eq!(a.max, None);
+        assert_eq!(a.avg(), None);
+    }
+
+    #[test]
+    fn aggregate_values() {
+        let a = aggregate_keys(&[5, -3, 10, 2]);
+        assert_eq!(a.count, 4);
+        assert_eq!(a.sum, 14);
+        assert_eq!(a.min, Some(-3));
+        assert_eq!(a.max, Some(10));
+        assert!((a.avg().unwrap() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_at_positions() {
+        let c = Column::from_i64(vec![10, 20, 30, 40]);
+        let p = PositionList::from_vec(vec![1, 3]);
+        let a = aggregate_at(&c, &p);
+        assert_eq!(a.count, 2);
+        assert_eq!(a.sum, 60);
+        assert_eq!(a.min, Some(20));
+        assert_eq!(a.max, Some(40));
+        assert_eq!(sum_at(&c, &p), 60);
+    }
+
+    #[test]
+    fn aggregate_at_wrong_type() {
+        let c = Column::from_f64(vec![1.0]);
+        let p = PositionList::from_vec(vec![0]);
+        assert_eq!(aggregate_at(&c, &p).count, 0);
+        assert_eq!(sum_at(&c, &p), 0);
+    }
+
+    #[test]
+    fn accumulate_handles_extremes() {
+        let mut a = Aggregate::empty();
+        a.accumulate(Key::MAX);
+        a.accumulate(Key::MAX);
+        assert_eq!(a.sum, Key::MAX as i128 * 2);
+        assert_eq!(a.min, Some(Key::MAX));
+    }
+}

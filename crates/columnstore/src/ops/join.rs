@@ -1,0 +1,113 @@
+//! A simple hash join on key columns.
+//!
+//! The adaptive indexing tutorial discusses joins as one of the operators a
+//! fully adaptive kernel must eventually cover; here the join is a standard
+//! bulk hash join producing *pairs of positions*, so that downstream
+//! reconstruction stays late-materialized.
+
+use crate::column::Column;
+use crate::types::{Key, RowId};
+use std::collections::HashMap;
+
+/// The position pairs produced by a join: `(left_position, right_position)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JoinResult {
+    pairs: Vec<(RowId, RowId)>,
+}
+
+impl JoinResult {
+    /// The matched position pairs, in build-then-probe order.
+    pub fn pairs(&self) -> &[(RowId, RowId)] {
+        &self.pairs
+    }
+
+    /// Number of matches.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when no rows matched.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Positions of the left input, in match order (may contain duplicates).
+    pub fn left_positions(&self) -> Vec<RowId> {
+        self.pairs.iter().map(|&(l, _)| l).collect()
+    }
+
+    /// Positions of the right input, in match order (may contain duplicates).
+    pub fn right_positions(&self) -> Vec<RowId> {
+        self.pairs.iter().map(|&(_, r)| r).collect()
+    }
+}
+
+/// Hash join two dense key slices on equality.
+///
+/// The smaller side should be passed as `build` for best performance; the
+/// function does not swap sides itself so that callers keep control over
+/// which side's positions end up on the left of each pair.
+pub fn hash_join_keys(build: &[Key], probe: &[Key]) -> JoinResult {
+    let mut table: HashMap<Key, Vec<RowId>> = HashMap::with_capacity(build.len());
+    for (i, &k) in build.iter().enumerate() {
+        table.entry(k).or_default().push(i as RowId);
+    }
+    let mut pairs = Vec::new();
+    for (j, &k) in probe.iter().enumerate() {
+        if let Some(builds) = table.get(&k) {
+            for &i in builds {
+                pairs.push((i, j as RowId));
+            }
+        }
+    }
+    JoinResult { pairs }
+}
+
+/// Hash join two key columns on equality. Non-integer columns produce an
+/// empty result.
+pub fn hash_join(left: &Column, right: &Column) -> JoinResult {
+    match (left.as_i64(), right.as_i64()) {
+        (Some(l), Some(r)) => hash_join_keys(l.as_slice(), r.as_slice()),
+        _ => JoinResult::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_basic() {
+        let left = vec![1, 2, 3, 2];
+        let right = vec![2, 4, 1];
+        let r = hash_join_keys(&left, &right);
+        // probe order: 2 matches positions 1 and 3; 4 matches none; 1 matches 0
+        assert_eq!(r.pairs(), &[(1, 0), (3, 0), (0, 2)]);
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+        assert_eq!(r.left_positions(), vec![1, 3, 0]);
+        assert_eq!(r.right_positions(), vec![0, 0, 2]);
+    }
+
+    #[test]
+    fn join_no_matches() {
+        let r = hash_join_keys(&[1, 2], &[3, 4]);
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn join_columns_dispatch() {
+        let l = Column::from_i64(vec![1, 2]);
+        let r = Column::from_i64(vec![2, 2]);
+        assert_eq!(hash_join(&l, &r).len(), 2);
+        let f = Column::from_f64(vec![1.0]);
+        assert!(hash_join(&l, &f).is_empty());
+    }
+
+    #[test]
+    fn join_empty_inputs() {
+        assert!(hash_join_keys(&[], &[1, 2]).is_empty());
+        assert!(hash_join_keys(&[1, 2], &[]).is_empty());
+    }
+}

@@ -1,0 +1,195 @@
+//! Full-scan selection over a column.
+//!
+//! `scan_select_*` are the baseline (non-adaptive) selection operators: they
+//! read the whole dense array and emit qualifying positions. The cracking
+//! select operator in `aidx-cracking` answers the same predicate shapes but
+//! additionally reorganizes its copy of the column.
+
+use crate::column::{Column, FixedColumn};
+use crate::position::PositionList;
+use crate::types::{Key, RowId};
+
+/// Block size used for the vectorized scan loop. One block of positions is
+/// collected at a time before being appended to the output, mirroring
+/// vector-at-a-time execution.
+pub const SCAN_BLOCK_SIZE: usize = 1024;
+
+/// A selection predicate over a key column.
+///
+/// Ranges are half-open `[low, high)`, the convention used throughout the
+/// cracking literature (a query asks for `low <= v < high`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Predicate {
+    /// `low <= v < high`
+    Range {
+        /// Inclusive lower bound.
+        low: Key,
+        /// Exclusive upper bound.
+        high: Key,
+    },
+    /// `v < high`
+    LessThan {
+        /// Exclusive upper bound.
+        high: Key,
+    },
+    /// `v >= low`
+    GreaterEqual {
+        /// Inclusive lower bound.
+        low: Key,
+    },
+    /// `v == value`
+    Equals {
+        /// The probed value.
+        value: Key,
+    },
+}
+
+impl Predicate {
+    /// Convenience constructor for a half-open range `[low, high)`.
+    pub fn range(low: Key, high: Key) -> Self {
+        Predicate::Range { low, high }
+    }
+
+    /// Convenience constructor for an equality predicate.
+    pub fn equals(value: Key) -> Self {
+        Predicate::Equals { value }
+    }
+
+    /// Evaluate the predicate for one value.
+    #[inline]
+    pub fn matches(&self, v: Key) -> bool {
+        match *self {
+            Predicate::Range { low, high } => v >= low && v < high,
+            Predicate::LessThan { high } => v < high,
+            Predicate::GreaterEqual { low } => v >= low,
+            Predicate::Equals { value } => v == value,
+        }
+    }
+
+    /// The predicate expressed as a closed-open `[low, high)` interval over
+    /// the full key domain. Equality becomes `[v, v+1)`.
+    pub fn as_bounds(&self) -> (Key, Key) {
+        match *self {
+            Predicate::Range { low, high } => (low, high),
+            Predicate::LessThan { high } => (Key::MIN, high),
+            Predicate::GreaterEqual { low } => (low, Key::MAX),
+            Predicate::Equals { value } => (value, value.saturating_add(1)),
+        }
+    }
+}
+
+/// Scan a dense key slice and return the positions of qualifying values.
+pub fn scan_select_keys(keys: &[Key], predicate: &Predicate) -> PositionList {
+    let mut out: Vec<RowId> = Vec::new();
+    let mut block: Vec<RowId> = Vec::with_capacity(SCAN_BLOCK_SIZE);
+    for (chunk_index, chunk) in keys.chunks(SCAN_BLOCK_SIZE).enumerate() {
+        let base = (chunk_index * SCAN_BLOCK_SIZE) as RowId;
+        block.clear();
+        for (i, &v) in chunk.iter().enumerate() {
+            if predicate.matches(v) {
+                block.push(base + i as RowId);
+            }
+        }
+        out.extend_from_slice(&block);
+    }
+    PositionList::from_sorted_vec(out)
+}
+
+/// Scan an `Int64` [`FixedColumn`] with a range predicate.
+pub fn scan_select_fixed(column: &FixedColumn<Key>, predicate: &Predicate) -> PositionList {
+    scan_select_keys(column.as_slice(), predicate)
+}
+
+/// Scan a typed [`Column`] with a range predicate.
+///
+/// Non-integer columns return an empty position list: the adaptive indexing
+/// workloads only place range predicates on key columns, and the kernel layer
+/// validates column types before planning.
+pub fn scan_select_range(column: &Column, predicate: &Predicate) -> PositionList {
+    match column.as_i64() {
+        Some(keys) => scan_select_keys(keys.as_slice(), predicate),
+        None => PositionList::new(),
+    }
+}
+
+/// Count qualifying values without materializing positions (used by
+/// aggregate-only queries and by cost accounting).
+pub fn scan_count(keys: &[Key], predicate: &Predicate) -> usize {
+    keys.iter().filter(|&&v| predicate.matches(v)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicate_matches() {
+        let p = Predicate::range(10, 20);
+        assert!(p.matches(10));
+        assert!(p.matches(19));
+        assert!(!p.matches(20));
+        assert!(!p.matches(9));
+        assert!(Predicate::LessThan { high: 5 }.matches(4));
+        assert!(!Predicate::LessThan { high: 5 }.matches(5));
+        assert!(Predicate::GreaterEqual { low: 5 }.matches(5));
+        assert!(!Predicate::GreaterEqual { low: 5 }.matches(4));
+        assert!(Predicate::equals(7).matches(7));
+        assert!(!Predicate::equals(7).matches(8));
+    }
+
+    #[test]
+    fn predicate_bounds() {
+        assert_eq!(Predicate::range(1, 5).as_bounds(), (1, 5));
+        assert_eq!(Predicate::LessThan { high: 5 }.as_bounds(), (Key::MIN, 5));
+        assert_eq!(
+            Predicate::GreaterEqual { low: 5 }.as_bounds(),
+            (5, Key::MAX)
+        );
+        assert_eq!(Predicate::equals(7).as_bounds(), (7, 8));
+        assert_eq!(
+            Predicate::equals(Key::MAX).as_bounds(),
+            (Key::MAX, Key::MAX)
+        );
+    }
+
+    #[test]
+    fn scan_select_small() {
+        let keys = vec![5, 1, 9, 3, 7, 2, 8];
+        let p = scan_select_keys(&keys, &Predicate::range(3, 8));
+        assert_eq!(p.as_slice(), &[0, 3, 4]);
+    }
+
+    #[test]
+    fn scan_select_crosses_block_boundary() {
+        let n = SCAN_BLOCK_SIZE * 3 + 17;
+        let keys: Vec<Key> = (0..n as Key).collect();
+        let p = scan_select_keys(&keys, &Predicate::range(100, (n as Key) - 100));
+        assert_eq!(p.len(), n - 200);
+        assert_eq!(p.as_slice()[0], 100);
+        assert_eq!(*p.as_slice().last().unwrap(), (n - 101) as RowId);
+    }
+
+    #[test]
+    fn scan_select_column_dispatch() {
+        let c = Column::from_i64(vec![4, 8, 15, 16, 23, 42]);
+        let p = scan_select_range(&c, &Predicate::range(8, 23));
+        assert_eq!(p.as_slice(), &[1, 2, 3]);
+        let f = Column::from_f64(vec![1.0, 2.0]);
+        assert!(scan_select_range(&f, &Predicate::range(0, 10)).is_empty());
+    }
+
+    #[test]
+    fn scan_count_matches_select_len() {
+        let keys: Vec<Key> = (0..5000).map(|i| (i * 7919) % 1000).collect();
+        let pred = Predicate::range(100, 300);
+        assert_eq!(scan_count(&keys, &pred), scan_select_keys(&keys, &pred).len());
+    }
+
+    #[test]
+    fn scan_select_fixed_matches_slice_variant() {
+        let col: FixedColumn<Key> = vec![3, 1, 4, 1, 5].into();
+        let a = scan_select_fixed(&col, &Predicate::range(1, 4));
+        let b = scan_select_keys(col.as_slice(), &Predicate::range(1, 4));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,217 @@
+//! Lightweight column statistics.
+//!
+//! Used by the offline/online index advisors in `aidx-baselines` (the
+//! "what-if" analysis needs cardinalities and value ranges) and by the
+//! auto-tuning kernel in `aidx-core` to estimate scan vs. index costs.
+
+use crate::column::Column;
+use crate::types::Key;
+
+/// Summary statistics for an integer (key) column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Number of rows.
+    pub row_count: usize,
+    /// Minimum value (None for an empty column).
+    pub min: Option<Key>,
+    /// Maximum value (None for an empty column).
+    pub max: Option<Key>,
+    /// Number of distinct values (exact; the synthetic columns are small
+    /// enough that an exact count is affordable).
+    pub distinct_count: usize,
+    /// Equi-width histogram over `[min, max]`.
+    pub histogram: Histogram,
+}
+
+impl ColumnStats {
+    /// Compute statistics for a dense key slice.
+    pub fn from_keys(keys: &[Key], histogram_buckets: usize) -> Self {
+        if keys.is_empty() {
+            return ColumnStats {
+                row_count: 0,
+                min: None,
+                max: None,
+                distinct_count: 0,
+                histogram: Histogram::empty(),
+            };
+        }
+        let min = keys.iter().copied().min().expect("non-empty");
+        let max = keys.iter().copied().max().expect("non-empty");
+        let mut sorted: Vec<Key> = keys.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let distinct_count = sorted.len();
+        let histogram = Histogram::build(keys, min, max, histogram_buckets);
+        ColumnStats {
+            row_count: keys.len(),
+            min: Some(min),
+            max: Some(max),
+            distinct_count,
+            histogram,
+        }
+    }
+
+    /// Compute statistics for an `Int64` column. Returns `None` for other
+    /// column types (the advisors only reason about key columns).
+    pub fn from_column(column: &Column, histogram_buckets: usize) -> Option<Self> {
+        column
+            .as_i64()
+            .map(|c| Self::from_keys(c.as_slice(), histogram_buckets))
+    }
+
+    /// Estimated selectivity of the half-open range `[low, high)` using the
+    /// histogram, clamped to `[0, 1]`.
+    pub fn estimate_range_selectivity(&self, low: Key, high: Key) -> f64 {
+        if self.row_count == 0 || high <= low {
+            return 0.0;
+        }
+        let est = self.histogram.estimate_range_count(low, high);
+        (est / self.row_count as f64).clamp(0.0, 1.0)
+    }
+}
+
+/// An equi-width histogram over a key range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    min: Key,
+    max: Key,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// A histogram with no data.
+    pub fn empty() -> Self {
+        Histogram {
+            min: 0,
+            max: 0,
+            counts: Vec::new(),
+        }
+    }
+
+    /// Build an equi-width histogram with `buckets` buckets.
+    pub fn build(keys: &[Key], min: Key, max: Key, buckets: usize) -> Self {
+        let buckets = buckets.max(1);
+        let mut counts = vec![0u64; buckets];
+        let width = Self::bucket_width(min, max, buckets);
+        for &k in keys {
+            let idx = Self::bucket_index(k, min, width, buckets);
+            counts[idx] += 1;
+        }
+        Histogram { min, max, counts }
+    }
+
+    fn bucket_width(min: Key, max: Key, buckets: usize) -> f64 {
+        let span = (max - min) as f64 + 1.0;
+        span / buckets as f64
+    }
+
+    fn bucket_index(key: Key, min: Key, width: f64, buckets: usize) -> usize {
+        let offset = (key - min) as f64;
+        ((offset / width) as usize).min(buckets - 1)
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of values summarized.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Estimate how many values fall in `[low, high)` assuming a uniform
+    /// distribution within each bucket.
+    pub fn estimate_range_count(&self, low: Key, high: Key) -> f64 {
+        if self.counts.is_empty() || high <= low || high <= self.min || low > self.max {
+            return 0.0;
+        }
+        let buckets = self.counts.len();
+        let width = Self::bucket_width(self.min, self.max, buckets);
+        let mut estimate = 0.0;
+        for (i, &count) in self.counts.iter().enumerate() {
+            let bucket_low = self.min as f64 + i as f64 * width;
+            let bucket_high = bucket_low + width;
+            let overlap_low = bucket_low.max(low as f64);
+            let overlap_high = bucket_high.min(high as f64);
+            if overlap_high > overlap_low {
+                let fraction = (overlap_high - overlap_low) / width;
+                estimate += count as f64 * fraction;
+            }
+        }
+        estimate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_on_empty_column() {
+        let s = ColumnStats::from_keys(&[], 8);
+        assert_eq!(s.row_count, 0);
+        assert_eq!(s.min, None);
+        assert_eq!(s.max, None);
+        assert_eq!(s.distinct_count, 0);
+        assert_eq!(s.estimate_range_selectivity(0, 10), 0.0);
+    }
+
+    #[test]
+    fn stats_basic_fields() {
+        let keys: Vec<Key> = (0..100).collect();
+        let s = ColumnStats::from_keys(&keys, 10);
+        assert_eq!(s.row_count, 100);
+        assert_eq!(s.min, Some(0));
+        assert_eq!(s.max, Some(99));
+        assert_eq!(s.distinct_count, 100);
+        assert_eq!(s.histogram.total(), 100);
+        assert_eq!(s.histogram.buckets(), 10);
+    }
+
+    #[test]
+    fn stats_distinct_counts_duplicates() {
+        let keys = vec![1, 1, 1, 2, 2, 3];
+        let s = ColumnStats::from_keys(&keys, 4);
+        assert_eq!(s.distinct_count, 3);
+    }
+
+    #[test]
+    fn uniform_selectivity_estimate_close() {
+        let keys: Vec<Key> = (0..10_000).collect();
+        let s = ColumnStats::from_keys(&keys, 100);
+        let est = s.estimate_range_selectivity(1000, 2000);
+        assert!((est - 0.1).abs() < 0.02, "estimate {est} not close to 0.1");
+        assert_eq!(s.estimate_range_selectivity(20_000, 30_000), 0.0);
+        assert_eq!(s.estimate_range_selectivity(500, 500), 0.0);
+    }
+
+    #[test]
+    fn histogram_range_edges() {
+        let keys: Vec<Key> = (0..100).collect();
+        let h = Histogram::build(&keys, 0, 99, 10);
+        assert_eq!(h.estimate_range_count(-50, -10), 0.0);
+        assert_eq!(h.estimate_range_count(200, 300), 0.0);
+        let all = h.estimate_range_count(0, 100);
+        assert!((all - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn from_column_only_for_int64() {
+        let c = Column::from_i64(vec![5, 10, 15]);
+        let s = ColumnStats::from_column(&c, 4).unwrap();
+        assert_eq!(s.row_count, 3);
+        let f = Column::from_f64(vec![1.0]);
+        assert!(ColumnStats::from_column(&f, 4).is_none());
+    }
+
+    #[test]
+    fn histogram_single_bucket_and_empty() {
+        let h = Histogram::build(&[1, 2, 3], 1, 3, 1);
+        assert_eq!(h.buckets(), 1);
+        assert_eq!(h.total(), 3);
+        let e = Histogram::empty();
+        assert_eq!(e.buckets(), 0);
+        assert_eq!(e.estimate_range_count(0, 10), 0.0);
+    }
+}

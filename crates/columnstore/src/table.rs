@@ -1,0 +1,328 @@
+//! Tables and schemas.
+//!
+//! A table is a set of equally long columns. Tuples are *decomposed*: there is
+//! no row storage, and tuple reconstruction happens late, by fetching values
+//! per column for a position list.
+
+use crate::column::Column;
+use crate::error::{ColumnStoreError, Result};
+use crate::position::PositionList;
+use crate::types::{DataType, RowId, Value};
+
+/// A named, typed column slot in a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    name: String,
+    data_type: DataType,
+}
+
+impl Field {
+    /// Create a field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+        }
+    }
+
+    /// Field name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Field data type.
+    pub fn data_type(&self) -> DataType {
+        self.data_type
+    }
+}
+
+/// An ordered list of fields.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Create a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// The fields in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Index of the field with the given name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Field with the given name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+}
+
+/// A decomposed (column-at-a-time) table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Column>,
+    row_count: usize,
+}
+
+impl Table {
+    /// Create an empty table for the schema.
+    pub fn new(schema: Schema) -> Self {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Column::empty(f.data_type()))
+            .collect();
+        Table {
+            schema,
+            columns,
+            row_count: 0,
+        }
+    }
+
+    /// Build a table directly from named columns (all must be equally long).
+    pub fn from_columns(named: Vec<(&str, Column)>) -> Result<Self> {
+        let mut fields = Vec::with_capacity(named.len());
+        let mut columns = Vec::with_capacity(named.len());
+        let mut row_count = None;
+        for (name, column) in named {
+            match row_count {
+                None => row_count = Some(column.len()),
+                Some(expected) if expected != column.len() => {
+                    return Err(ColumnStoreError::LengthMismatch {
+                        expected,
+                        found: column.len(),
+                    });
+                }
+                _ => {}
+            }
+            fields.push(Field::new(name, column.data_type()));
+            columns.push(column);
+        }
+        Ok(Table {
+            schema: Schema::new(fields),
+            columns,
+            row_count: row_count.unwrap_or(0),
+        })
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    /// True when the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.row_count == 0
+    }
+
+    /// Borrow a column by name.
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        let idx = self
+            .schema
+            .index_of(name)
+            .ok_or_else(|| ColumnStoreError::NotFound {
+                kind: "column",
+                name: name.to_owned(),
+            })?;
+        Ok(&self.columns[idx])
+    }
+
+    /// Borrow a column by position in the schema.
+    pub fn column_at(&self, index: usize) -> Option<&Column> {
+        self.columns.get(index)
+    }
+
+    /// Append a row of dynamically typed values (one per column, in schema
+    /// order). Returns the new row id.
+    pub fn append_row(&mut self, values: &[Value]) -> Result<RowId> {
+        if values.len() != self.schema.arity() {
+            return Err(ColumnStoreError::ArityMismatch {
+                expected: self.schema.arity(),
+                found: values.len(),
+            });
+        }
+        for (i, value) in values.iter().enumerate() {
+            let name = self.schema.fields()[i].name().to_owned();
+            self.columns[i].push_value(&name, value)?;
+        }
+        let id = self.row_count as RowId;
+        self.row_count += 1;
+        Ok(id)
+    }
+
+    /// Append many rows.
+    pub fn append_rows(&mut self, rows: &[Vec<Value>]) -> Result<()> {
+        for row in rows {
+            self.append_row(row)?;
+        }
+        Ok(())
+    }
+
+    /// Reconstruct full tuples (all columns) for the given positions.
+    /// This is the *late materialization* step.
+    pub fn reconstruct(&self, positions: &PositionList) -> Result<Vec<Vec<Value>>> {
+        let mut rows = Vec::with_capacity(positions.len());
+        for p in positions.iter() {
+            let mut row = Vec::with_capacity(self.schema.arity());
+            for column in &self.columns {
+                row.push(column.value_at(p as usize)?);
+            }
+            rows.push(row);
+        }
+        Ok(rows)
+    }
+
+    /// Reconstruct tuples restricted to the named columns, in the given order.
+    pub fn reconstruct_projection(
+        &self,
+        positions: &PositionList,
+        column_names: &[&str],
+    ) -> Result<Vec<Vec<Value>>> {
+        let mut projected_columns = Vec::with_capacity(column_names.len());
+        for name in column_names {
+            projected_columns.push(self.column(name)?);
+        }
+        let mut rows = Vec::with_capacity(positions.len());
+        for p in positions.iter() {
+            let mut row = Vec::with_capacity(column_names.len());
+            for column in &projected_columns {
+                row.push(column.value_at(p as usize)?);
+            }
+            rows.push(row);
+        }
+        Ok(rows)
+    }
+
+    /// Approximate in-memory footprint of all columns in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.columns.iter().map(Column::byte_size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_column_table() -> Table {
+        let mut t = Table::new(Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("name", DataType::Utf8),
+        ]));
+        t.append_row(&[Value::Int64(1), Value::Utf8("one".into())])
+            .unwrap();
+        t.append_row(&[Value::Int64(2), Value::Utf8("two".into())])
+            .unwrap();
+        t.append_row(&[Value::Int64(3), Value::Utf8("three".into())])
+            .unwrap();
+        t
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Float64),
+        ]);
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("z"), None);
+        assert_eq!(s.field("a").unwrap().data_type(), DataType::Int64);
+        assert_eq!(s.fields()[1].name(), "b");
+    }
+
+    #[test]
+    fn append_and_read_rows() {
+        let t = two_column_table();
+        assert_eq!(t.row_count(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.column("a").unwrap().len(), 3);
+        assert_eq!(
+            t.column("name").unwrap().value_at(1).unwrap(),
+            Value::Utf8("two".into())
+        );
+        assert!(t.column("missing").is_err());
+        assert!(t.column_at(0).is_some());
+        assert!(t.column_at(9).is_none());
+        assert!(t.byte_size() > 0);
+    }
+
+    #[test]
+    fn append_arity_and_type_errors() {
+        let mut t = two_column_table();
+        let err = t.append_row(&[Value::Int64(4)]).unwrap_err();
+        assert!(matches!(err, ColumnStoreError::ArityMismatch { .. }));
+        let err = t
+            .append_row(&[Value::Utf8("x".into()), Value::Utf8("y".into())])
+            .unwrap_err();
+        assert!(matches!(err, ColumnStoreError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn append_rows_bulk() {
+        let mut t = two_column_table();
+        t.append_rows(&[
+            vec![Value::Int64(4), Value::Utf8("four".into())],
+            vec![Value::Int64(5), Value::Utf8("five".into())],
+        ])
+        .unwrap();
+        assert_eq!(t.row_count(), 5);
+    }
+
+    #[test]
+    fn reconstruct_full_and_projection() {
+        let t = two_column_table();
+        let positions = PositionList::from_vec(vec![0, 2]);
+        let rows = t.reconstruct(&positions).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], vec![Value::Int64(3), Value::Utf8("three".into())]);
+        let proj = t
+            .reconstruct_projection(&positions, &["name"])
+            .unwrap();
+        assert_eq!(proj, vec![
+            vec![Value::Utf8("one".into())],
+            vec![Value::Utf8("three".into())]
+        ]);
+        assert!(t
+            .reconstruct_projection(&positions, &["nope"])
+            .is_err());
+    }
+
+    #[test]
+    fn from_columns_checks_lengths() {
+        let ok = Table::from_columns(vec![
+            ("a", Column::from_i64(vec![1, 2, 3])),
+            ("b", Column::from_f64(vec![0.1, 0.2, 0.3])),
+        ])
+        .unwrap();
+        assert_eq!(ok.row_count(), 3);
+        assert_eq!(ok.schema().arity(), 2);
+
+        let err = Table::from_columns(vec![
+            ("a", Column::from_i64(vec![1, 2, 3])),
+            ("b", Column::from_i64(vec![1])),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, ColumnStoreError::LengthMismatch { .. }));
+
+        let empty = Table::from_columns(vec![]).unwrap();
+        assert!(empty.is_empty());
+    }
+}

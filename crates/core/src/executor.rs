@@ -1,0 +1,431 @@
+//! A small adaptive query executor over the column-store catalog.
+//!
+//! Queries have the shape the adaptive-indexing experiments use throughout:
+//! one range (or point) predicate on a key column, followed by projections
+//! and/or an aggregate over other columns of the same table. The selection is
+//! routed through the [`IndexManager`], so executing queries *is* what builds
+//! and refines the adaptive indexes; projections use late materialization on
+//! the qualifying positions.
+
+use crate::manager::{ColumnId, IndexManager};
+use crate::strategy::StrategyKind;
+use aidx_columnstore::catalog::Catalog;
+use aidx_columnstore::error::{ColumnStoreError, Result};
+use aidx_columnstore::ops::{aggregate, project};
+use aidx_columnstore::position::PositionList;
+use aidx_columnstore::types::{Key, Value};
+
+/// Optional aggregate over the first projected column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregation {
+    /// Number of qualifying rows.
+    Count,
+    /// Sum of the aggregated column.
+    Sum,
+    /// Minimum of the aggregated column.
+    Min,
+    /// Maximum of the aggregated column.
+    Max,
+    /// Average of the aggregated column.
+    Avg,
+}
+
+/// A single-table selection query with optional projection and aggregation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectQuery {
+    /// Table to query.
+    pub table: String,
+    /// Column the range predicate applies to.
+    pub filter_column: String,
+    /// Inclusive lower bound.
+    pub low: Key,
+    /// Exclusive upper bound.
+    pub high: Key,
+    /// Columns to project (empty = return positions only).
+    pub projections: Vec<String>,
+    /// Optional aggregate over `aggregate_column`.
+    pub aggregation: Option<Aggregation>,
+    /// Column the aggregate applies to (defaults to the filter column).
+    pub aggregate_column: Option<String>,
+}
+
+impl SelectQuery {
+    /// `SELECT ... FROM table WHERE low <= filter_column < high`.
+    pub fn range(
+        table: impl Into<String>,
+        filter_column: impl Into<String>,
+        low: Key,
+        high: Key,
+    ) -> Self {
+        SelectQuery {
+            table: table.into(),
+            filter_column: filter_column.into(),
+            low,
+            high,
+            projections: Vec::new(),
+            aggregation: None,
+            aggregate_column: None,
+        }
+    }
+
+    /// Add projected columns.
+    pub fn project(mut self, columns: &[&str]) -> Self {
+        self.projections = columns.iter().map(|c| (*c).to_owned()).collect();
+        self
+    }
+
+    /// Add an aggregate over `column`.
+    pub fn aggregate(mut self, aggregation: Aggregation, column: impl Into<String>) -> Self {
+        self.aggregation = Some(aggregation);
+        self.aggregate_column = Some(column.into());
+        self
+    }
+}
+
+/// The result of executing a [`SelectQuery`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Positions of the qualifying rows in the base table.
+    pub positions: PositionList,
+    /// Projected rows (one inner vector per qualifying row, in projection
+    /// order); empty when the query projected nothing.
+    pub rows: Vec<Vec<Value>>,
+    /// Aggregate value, when an aggregation was requested.
+    pub aggregate: Option<Value>,
+}
+
+impl QueryResult {
+    /// Number of qualifying rows.
+    pub fn row_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True when no row qualifies.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+}
+
+/// A query executor that builds adaptive indexes as a side effect of the
+/// selections it runs.
+#[derive(Debug)]
+pub struct AdaptiveExecutor {
+    catalog: Catalog,
+    manager: IndexManager,
+}
+
+impl AdaptiveExecutor {
+    /// Create an executor over `catalog` whose selections use
+    /// `default_strategy` for every filter column.
+    pub fn new(catalog: Catalog, default_strategy: StrategyKind) -> Self {
+        AdaptiveExecutor {
+            catalog,
+            manager: IndexManager::new(default_strategy),
+        }
+    }
+
+    /// The catalog the executor reads from.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The index manager (for inspection: which columns ended up indexed,
+    /// how much auxiliary memory they use, ...).
+    pub fn index_manager(&self) -> &IndexManager {
+        &self.manager
+    }
+
+    /// Execute a query.
+    pub fn execute(&mut self, query: &SelectQuery) -> Result<QueryResult> {
+        let table = self.catalog.table(&query.table)?;
+        let filter_column = table.column(&query.filter_column)?;
+        let keys = filter_column
+            .as_i64()
+            .ok_or_else(|| ColumnStoreError::TypeMismatch {
+                column: query.filter_column.clone(),
+                expected: aidx_columnstore::types::DataType::Int64,
+                found: Some(filter_column.data_type()),
+            })?;
+
+        let column_id = ColumnId::new(&query.table, &query.filter_column);
+        let output =
+            self.manager
+                .query_range(&column_id, keys.as_slice(), query.low, query.high);
+        let positions = output.positions;
+
+        let mut rows = Vec::new();
+        if !query.projections.is_empty() {
+            let names: Vec<&str> = query.projections.iter().map(String::as_str).collect();
+            rows = table.reconstruct_projection(&positions, &names)?;
+        }
+
+        let aggregate_value = match query.aggregation {
+            None => None,
+            Some(aggregation) => {
+                let column_name = query
+                    .aggregate_column
+                    .clone()
+                    .unwrap_or_else(|| query.filter_column.clone());
+                let column = table.column(&column_name)?;
+                let agg = aggregate::aggregate_at(column, &positions);
+                Some(match aggregation {
+                    Aggregation::Count => Value::Int64(positions.len() as i64),
+                    Aggregation::Sum => Value::Int64(agg.sum as i64),
+                    Aggregation::Min => agg.min.map_or(Value::Null, Value::Int64),
+                    Aggregation::Max => agg.max.map_or(Value::Null, Value::Int64),
+                    Aggregation::Avg => agg.avg().map_or(Value::Null, Value::Float64),
+                })
+            }
+        };
+
+        Ok(QueryResult {
+            positions,
+            rows,
+            aggregate: aggregate_value,
+        })
+    }
+
+    /// Execute a query and return only the projected key values of one
+    /// column (a convenience for harnesses: `SELECT b WHERE a in range`).
+    pub fn select_project_keys(
+        &mut self,
+        table: &str,
+        filter_column: &str,
+        low: Key,
+        high: Key,
+        projection: &str,
+    ) -> Result<Vec<Key>> {
+        let table_ref = self.catalog.table(table)?;
+        let filter = table_ref.column(filter_column)?;
+        let keys = filter.as_i64().ok_or_else(|| ColumnStoreError::TypeMismatch {
+            column: filter_column.to_owned(),
+            expected: aidx_columnstore::types::DataType::Int64,
+            found: Some(filter.data_type()),
+        })?;
+        let column_id = ColumnId::new(table, filter_column);
+        let output = self.manager.query_range(&column_id, keys.as_slice(), low, high);
+        let projected = table_ref.column(projection)?;
+        Ok(project::fetch_i64(projected, &output.positions))
+    }
+
+    /// Append a row to a table, updating any update-capable index on its
+    /// columns (non-updatable indexes are dropped so they rebuild lazily,
+    /// which keeps answers correct at the cost of losing learned structure —
+    /// exactly the trade-off the updates paper motivates).
+    pub fn insert_row(&mut self, table_name: &str, values: &[Value]) -> Result<()> {
+        // Validate and apply to the base table first.
+        {
+            let table = self.catalog.table_mut(table_name)?;
+            table.append_row(values)?;
+        }
+        let table = self.catalog.table(table_name)?;
+        for (i, field) in table.schema().fields().iter().enumerate() {
+            let column_id = ColumnId::new(table_name, field.name());
+            if !self.manager.has_index(&column_id) {
+                continue;
+            }
+            let accepted = values[i]
+                .as_i64()
+                .map(|key| self.manager.insert(&column_id, key))
+                .unwrap_or(false);
+            if !accepted {
+                self.manager.drop_index(&column_id);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aidx_columnstore::column::Column;
+    use aidx_columnstore::table::Table;
+
+    fn orders_catalog(n: Key) -> Catalog {
+        let keys: Vec<Key> = (0..n).map(|i| (i * 7919) % n).collect();
+        let values: Vec<Key> = keys.iter().map(|&k| k * 2).collect();
+        let labels: Vec<String> = keys.iter().map(|&k| format!("row-{k}")).collect();
+        let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+        let mut catalog = Catalog::new();
+        catalog
+            .create_table(
+                "orders",
+                Table::from_columns(vec![
+                    ("o_key", Column::from_i64(keys)),
+                    ("o_value", Column::from_i64(values)),
+                    ("o_label", Column::from_strs(&label_refs)),
+                ])
+                .unwrap(),
+            )
+            .unwrap();
+        catalog
+    }
+
+    #[test]
+    fn selection_with_projection() {
+        let mut executor = AdaptiveExecutor::new(orders_catalog(1000), StrategyKind::Cracking);
+        let query = SelectQuery::range("orders", "o_key", 100, 110).project(&["o_value", "o_label"]);
+        let result = executor.execute(&query).unwrap();
+        assert_eq!(result.row_count(), 10);
+        assert_eq!(result.rows.len(), 10);
+        for row in &result.rows {
+            let value = row[0].as_i64().unwrap();
+            assert!((200..220).contains(&value));
+            assert!(row[1].as_str().unwrap().starts_with("row-"));
+        }
+        // the selection column is now indexed, the others are not
+        assert_eq!(executor.index_manager().indexed_column_count(), 1);
+    }
+
+    #[test]
+    fn aggregation_queries() {
+        let mut executor = AdaptiveExecutor::new(orders_catalog(1000), StrategyKind::Cracking);
+        let count = executor
+            .execute(&SelectQuery::range("orders", "o_key", 0, 100).aggregate(Aggregation::Count, "o_key"))
+            .unwrap();
+        assert_eq!(count.aggregate, Some(Value::Int64(100)));
+
+        let sum = executor
+            .execute(&SelectQuery::range("orders", "o_key", 0, 10).aggregate(Aggregation::Sum, "o_value"))
+            .unwrap();
+        assert_eq!(sum.aggregate, Some(Value::Int64((0..10).map(|k| k * 2).sum())));
+
+        let min = executor
+            .execute(&SelectQuery::range("orders", "o_key", 5, 10).aggregate(Aggregation::Min, "o_key"))
+            .unwrap();
+        assert_eq!(min.aggregate, Some(Value::Int64(5)));
+
+        let max = executor
+            .execute(&SelectQuery::range("orders", "o_key", 5, 10).aggregate(Aggregation::Max, "o_key"))
+            .unwrap();
+        assert_eq!(max.aggregate, Some(Value::Int64(9)));
+
+        let avg = executor
+            .execute(&SelectQuery::range("orders", "o_key", 0, 4).aggregate(Aggregation::Avg, "o_key"))
+            .unwrap();
+        assert_eq!(avg.aggregate, Some(Value::Float64(1.5)));
+
+        let empty = executor
+            .execute(&SelectQuery::range("orders", "o_key", 5000, 6000).aggregate(Aggregation::Min, "o_key"))
+            .unwrap();
+        assert_eq!(empty.aggregate, Some(Value::Null));
+    }
+
+    #[test]
+    fn repeated_queries_reuse_the_adaptive_index() {
+        let mut executor = AdaptiveExecutor::new(orders_catalog(10_000), StrategyKind::Cracking);
+        let query = SelectQuery::range("orders", "o_key", 1000, 2000);
+        let first = executor.execute(&query).unwrap();
+        let effort_after_first = executor.index_manager().total_effort();
+        let second = executor.execute(&query).unwrap();
+        let effort_after_second = executor.index_manager().total_effort();
+        assert_eq!(first.row_count(), second.row_count());
+        let delta = effort_after_second - effort_after_first;
+        assert!(
+            delta < 10_000 / 2,
+            "second identical query should not re-scan the column (delta {delta})"
+        );
+    }
+
+    #[test]
+    fn errors_for_unknown_tables_and_columns() {
+        let mut executor = AdaptiveExecutor::new(orders_catalog(10), StrategyKind::Cracking);
+        assert!(executor
+            .execute(&SelectQuery::range("nope", "o_key", 0, 5))
+            .is_err());
+        assert!(executor
+            .execute(&SelectQuery::range("orders", "nope", 0, 5))
+            .is_err());
+        assert!(executor
+            .execute(&SelectQuery::range("orders", "o_label", 0, 5))
+            .is_err(), "range predicates on string columns are rejected");
+        assert!(executor
+            .execute(&SelectQuery::range("orders", "o_key", 0, 5).project(&["nope"]))
+            .is_err());
+    }
+
+    #[test]
+    fn select_project_keys_helper() {
+        let mut executor = AdaptiveExecutor::new(orders_catalog(500), StrategyKind::Cracking);
+        let values = executor
+            .select_project_keys("orders", "o_key", 10, 20, "o_value")
+            .unwrap();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (10..20).map(|k| k * 2).collect::<Vec<Key>>());
+    }
+
+    #[test]
+    fn different_strategies_give_identical_answers() {
+        for strategy in [
+            StrategyKind::FullScan,
+            StrategyKind::FullSort,
+            StrategyKind::Cracking,
+            StrategyKind::AdaptiveMerging { run_size: 128 },
+            StrategyKind::Hybrid {
+                algorithm: crate::strategy::HybridKind::CrackSort,
+            },
+        ] {
+            let mut executor = AdaptiveExecutor::new(orders_catalog(2000), strategy);
+            let result = executor
+                .execute(&SelectQuery::range("orders", "o_key", 250, 750))
+                .unwrap();
+            assert_eq!(result.row_count(), 500, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn insert_row_keeps_updatable_index_consistent() {
+        let mut executor =
+            AdaptiveExecutor::new(orders_catalog(1000), StrategyKind::UpdatableCracking);
+        // index the key column first
+        let before = executor
+            .execute(&SelectQuery::range("orders", "o_key", 0, 1000))
+            .unwrap()
+            .row_count();
+        assert_eq!(before, 1000);
+        executor
+            .insert_row(
+                "orders",
+                &[
+                    Value::Int64(500),
+                    Value::Int64(1000),
+                    Value::Utf8("row-new".into()),
+                ],
+            )
+            .unwrap();
+        let after = executor
+            .execute(&SelectQuery::range("orders", "o_key", 0, 1000))
+            .unwrap()
+            .row_count();
+        assert_eq!(after, 1001);
+        assert!(executor.index_manager().has_index(&ColumnId::new("orders", "o_key")));
+    }
+
+    #[test]
+    fn insert_row_drops_non_updatable_indexes() {
+        let mut executor = AdaptiveExecutor::new(orders_catalog(1000), StrategyKind::Cracking);
+        let _ = executor
+            .execute(&SelectQuery::range("orders", "o_key", 0, 100))
+            .unwrap();
+        assert!(executor.index_manager().has_index(&ColumnId::new("orders", "o_key")));
+        executor
+            .insert_row(
+                "orders",
+                &[
+                    Value::Int64(50),
+                    Value::Int64(100),
+                    Value::Utf8("row-x".into()),
+                ],
+            )
+            .unwrap();
+        // the plain cracking index cannot absorb the insert, so it was dropped
+        assert!(!executor.index_manager().has_index(&ColumnId::new("orders", "o_key")));
+        // and the next query rebuilds it lazily with the new row included
+        let result = executor
+            .execute(&SelectQuery::range("orders", "o_key", 0, 1000))
+            .unwrap();
+        assert_eq!(result.row_count(), 1001);
+    }
+}

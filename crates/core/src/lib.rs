@@ -1,0 +1,71 @@
+//! # aidx-core
+//!
+//! The adaptive indexing kernel: the layer that turns the individual
+//! techniques (database cracking, adaptive merging, hybrids, and the
+//! non-adaptive baselines) into something a database engine can actually use,
+//! which is what the EDBT 2012 tutorial's "auto-tuning kernels" section is
+//! about. It provides:
+//!
+//! * [`strategy`] — the [`strategy::AdaptiveIndex`] trait: one uniform
+//!   interface (`query_range`, effort accounting, memory accounting,
+//!   convergence introspection) over every indexing strategy in the
+//!   workspace, plus a factory keyed by [`strategy::StrategyKind`].
+//! * [`manager`] — the per-column index manager: it owns one adaptive index
+//!   per (table, column) pair, creates them lazily on first access, and
+//!   aggregates statistics, exactly like the cracker-map registry inside
+//!   MonetDB's adaptive kernel.
+//! * [`tuner`] — the auto-tuning policy layer: decides *which* strategy a
+//!   column should use from observed workload characteristics (the tutorial's
+//!   "towards autonomous kernels" discussion).
+//! * [`executor`] — a small adaptive query executor over the column-store
+//!   [`aidx_columnstore::Catalog`]: range selections go through the adaptive
+//!   index of the filter column; projections and aggregations use late
+//!   materialization on the qualifying positions.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use aidx_core::prelude::*;
+//!
+//! // a table with a key column and a payload column
+//! let keys: Vec<i64> = (0..10_000).rev().collect();
+//! let payload: Vec<i64> = (0..10_000).collect();
+//! let mut catalog = Catalog::new();
+//! catalog
+//!     .create_table(
+//!         "orders",
+//!         Table::from_columns(vec![
+//!             ("o_key", Column::from_i64(keys)),
+//!             ("o_value", Column::from_i64(payload)),
+//!         ])
+//!         .unwrap(),
+//!     )
+//!     .unwrap();
+//!
+//! // an executor whose selections crack the touched columns as a side effect
+//! let mut executor = AdaptiveExecutor::new(catalog, StrategyKind::Cracking);
+//! let query = SelectQuery::range("orders", "o_key", 100, 200).project(&["o_value"]);
+//! let result = executor.execute(&query).unwrap();
+//! assert_eq!(result.row_count(), 100);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod manager;
+pub mod strategy;
+pub mod tuner;
+
+/// Convenient re-exports for typical kernel usage.
+pub mod prelude {
+    pub use crate::executor::{AdaptiveExecutor, Aggregation, QueryResult, SelectQuery};
+    pub use crate::manager::IndexManager;
+    pub use crate::strategy::{AdaptiveIndex, QueryOutput, StrategyKind};
+    pub use crate::tuner::{AutoTuner, TuningPolicy};
+    pub use aidx_columnstore::prelude::*;
+}
+
+pub use executor::{AdaptiveExecutor, Aggregation, QueryResult, SelectQuery};
+pub use manager::IndexManager;
+pub use strategy::{AdaptiveIndex, QueryOutput, StrategyKind};
+pub use tuner::{AutoTuner, TuningPolicy};

@@ -1,0 +1,344 @@
+//! The per-column adaptive index manager.
+//!
+//! A real kernel maintains one adaptive index (cracker column + cracker
+//! index, runs + partition index, ...) per attribute that selections touch.
+//! [`IndexManager`] is that registry: indexes are created lazily on first
+//! access (so unqueried columns cost nothing — one of adaptive indexing's
+//! headline claims), looked up on every subsequent access, and dropped when
+//! the tuner or the user decides so. The manager is thread-safe: MonetDB's
+//! adaptive kernel serializes cracking per column, and we mirror that with a
+//! per-manager mutex around the registry plus exclusive access per index
+//! while a query reorganizes it.
+
+use crate::strategy::{AdaptiveIndex, QueryOutput, StrategyKind};
+use aidx_columnstore::types::Key;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifies an indexed column.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnId {
+    /// Table name.
+    pub table: String,
+    /// Column name.
+    pub column: String,
+}
+
+impl ColumnId {
+    /// Convenience constructor.
+    pub fn new(table: impl Into<String>, column: impl Into<String>) -> Self {
+        ColumnId {
+            table: table.into(),
+            column: column.into(),
+        }
+    }
+}
+
+/// Aggregated per-column bookkeeping the manager exposes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexInfo {
+    /// Which column this is about.
+    pub column: ColumnId,
+    /// Strategy label.
+    pub strategy: &'static str,
+    /// Number of indexed tuples.
+    pub tuples: usize,
+    /// Number of queries routed through the index.
+    pub queries: u64,
+    /// Cumulative effort spent by the index.
+    pub effort: u64,
+    /// Auxiliary memory in bytes.
+    pub auxiliary_bytes: usize,
+    /// Whether the strategy reports convergence.
+    pub converged: bool,
+}
+
+struct ManagedIndex {
+    index: Box<dyn AdaptiveIndex + Send>,
+    queries: u64,
+}
+
+/// A registry of adaptive indexes, one per (table, column).
+pub struct IndexManager {
+    default_strategy: StrategyKind,
+    indexes: Mutex<HashMap<ColumnId, Arc<Mutex<ManagedIndex>>>>,
+}
+
+impl std::fmt::Debug for IndexManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IndexManager")
+            .field("default_strategy", &self.default_strategy)
+            .field("indexed_columns", &self.indexes.lock().len())
+            .finish()
+    }
+}
+
+impl IndexManager {
+    /// Create a manager that builds indexes of `default_strategy` lazily.
+    pub fn new(default_strategy: StrategyKind) -> Self {
+        IndexManager {
+            default_strategy,
+            indexes: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The strategy used for columns without an explicit override.
+    pub fn default_strategy(&self) -> StrategyKind {
+        self.default_strategy
+    }
+
+    /// Number of columns currently indexed.
+    pub fn indexed_column_count(&self) -> usize {
+        self.indexes.lock().len()
+    }
+
+    /// Whether a column currently has an index.
+    pub fn has_index(&self, column: &ColumnId) -> bool {
+        self.indexes.lock().contains_key(column)
+    }
+
+    /// Route a range query `[low, high)` for `column`, creating the index
+    /// from `keys` (with the default strategy) if this is the first query
+    /// that touches the column.
+    pub fn query_range(
+        &self,
+        column: &ColumnId,
+        keys: &[Key],
+        low: Key,
+        high: Key,
+    ) -> QueryOutput {
+        self.query_range_with(column, keys, low, high, self.default_strategy)
+    }
+
+    /// Route a range query, creating the index with an explicit strategy if
+    /// the column is not indexed yet.
+    pub fn query_range_with(
+        &self,
+        column: &ColumnId,
+        keys: &[Key],
+        low: Key,
+        high: Key,
+        strategy: StrategyKind,
+    ) -> QueryOutput {
+        let entry = {
+            let mut registry = self.indexes.lock();
+            registry
+                .entry(column.clone())
+                .or_insert_with(|| {
+                    Arc::new(Mutex::new(ManagedIndex {
+                        index: strategy.build(keys),
+                        queries: 0,
+                    }))
+                })
+                .clone()
+        };
+        let mut managed = entry.lock();
+        managed.queries += 1;
+        managed.index.query_range(low, high)
+    }
+
+    /// Stage an insertion into a column's index, if that index supports
+    /// updates. Returns `false` when the column is not indexed or the
+    /// strategy cannot absorb inserts (callers then rebuild or re-route).
+    pub fn insert(&self, column: &ColumnId, key: Key) -> bool {
+        let entry = {
+            let registry = self.indexes.lock();
+            registry.get(column).cloned()
+        };
+        match entry {
+            Some(entry) => entry.lock().index.insert(key),
+            None => false,
+        }
+    }
+
+    /// Replace a column's index with a freshly built one of the given
+    /// strategy (the auto-tuner calls this when it changes its mind).
+    pub fn rebuild(&self, column: &ColumnId, keys: &[Key], strategy: StrategyKind) {
+        let mut registry = self.indexes.lock();
+        registry.insert(
+            column.clone(),
+            Arc::new(Mutex::new(ManagedIndex {
+                index: strategy.build(keys),
+                queries: 0,
+            })),
+        );
+    }
+
+    /// Drop a column's index; returns `true` if one existed.
+    pub fn drop_index(&self, column: &ColumnId) -> bool {
+        self.indexes.lock().remove(column).is_some()
+    }
+
+    /// Bookkeeping for every indexed column, sorted by table/column name.
+    pub fn describe(&self) -> Vec<IndexInfo> {
+        let registry = self.indexes.lock();
+        let mut infos: Vec<IndexInfo> = registry
+            .iter()
+            .map(|(column, entry)| {
+                let managed = entry.lock();
+                IndexInfo {
+                    column: column.clone(),
+                    strategy: managed.index.name(),
+                    tuples: managed.index.len(),
+                    queries: managed.queries,
+                    effort: managed.index.effort(),
+                    auxiliary_bytes: managed.index.auxiliary_bytes(),
+                    converged: managed.index.is_converged(),
+                }
+            })
+            .collect();
+        infos.sort_by(|a, b| {
+            (&a.column.table, &a.column.column).cmp(&(&b.column.table, &b.column.column))
+        });
+        infos
+    }
+
+    /// Total auxiliary memory across all indexes, in bytes.
+    pub fn total_auxiliary_bytes(&self) -> usize {
+        self.describe().iter().map(|i| i.auxiliary_bytes).sum()
+    }
+
+    /// Total effort across all indexes.
+    pub fn total_effort(&self) -> u64 {
+        self.describe().iter().map(|i| i.effort).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn keys(n: usize) -> Vec<Key> {
+        (0..n as Key).map(|i| (i * 613) % n as Key).collect()
+    }
+
+    #[test]
+    fn indexes_are_created_lazily_per_column() {
+        let manager = IndexManager::new(StrategyKind::Cracking);
+        assert_eq!(manager.indexed_column_count(), 0);
+        let data = keys(1000);
+        let a = ColumnId::new("t", "a");
+        let b = ColumnId::new("t", "b");
+        let out = manager.query_range(&a, &data, 100, 200);
+        assert_eq!(out.count(), 100);
+        assert_eq!(manager.indexed_column_count(), 1);
+        assert!(manager.has_index(&a));
+        assert!(!manager.has_index(&b), "unqueried columns stay unindexed");
+        let _ = manager.query_range(&b, &data, 0, 10);
+        assert_eq!(manager.indexed_column_count(), 2);
+    }
+
+    #[test]
+    fn repeated_queries_reuse_the_same_index() {
+        let manager = IndexManager::new(StrategyKind::Cracking);
+        let data = keys(5000);
+        let column = ColumnId::new("t", "a");
+        for _ in 0..10 {
+            let _ = manager.query_range(&column, &data, 1000, 2000);
+        }
+        let info = manager.describe();
+        assert_eq!(info.len(), 1);
+        assert_eq!(info[0].queries, 10);
+        assert_eq!(info[0].strategy, "cracking");
+        assert_eq!(info[0].tuples, 5000);
+        assert!(info[0].effort > 0);
+        assert!(manager.total_effort() > 0);
+        assert!(manager.total_auxiliary_bytes() > 0);
+    }
+
+    #[test]
+    fn per_query_strategy_override_and_rebuild() {
+        let manager = IndexManager::new(StrategyKind::Cracking);
+        let data = keys(2000);
+        let column = ColumnId::new("t", "a");
+        let out = manager.query_range_with(
+            &column,
+            &data,
+            0,
+            100,
+            StrategyKind::AdaptiveMerging { run_size: 256 },
+        );
+        assert_eq!(out.count(), 100);
+        assert_eq!(manager.describe()[0].strategy, "adaptive-merging");
+        // rebuild switches strategies
+        manager.rebuild(&column, &data, StrategyKind::FullSort);
+        assert_eq!(manager.describe()[0].strategy, "full-sort");
+        let out = manager.query_range(&column, &data, 0, 100);
+        assert_eq!(out.count(), 100);
+    }
+
+    #[test]
+    fn drop_index_removes_state() {
+        let manager = IndexManager::new(StrategyKind::Cracking);
+        let data = keys(100);
+        let column = ColumnId::new("t", "a");
+        let _ = manager.query_range(&column, &data, 0, 10);
+        assert!(manager.drop_index(&column));
+        assert!(!manager.drop_index(&column));
+        assert_eq!(manager.indexed_column_count(), 0);
+    }
+
+    #[test]
+    fn insert_routes_to_updatable_indexes_only() {
+        let manager = IndexManager::new(StrategyKind::UpdatableCracking);
+        let data = keys(100);
+        let column = ColumnId::new("t", "a");
+        assert!(!manager.insert(&column, 5), "no index yet");
+        let _ = manager.query_range(&column, &data, 0, 10);
+        assert!(manager.insert(&column, 5));
+        let plain = IndexManager::new(StrategyKind::Cracking);
+        let _ = plain.query_range(&column, &data, 0, 10);
+        assert!(!plain.insert(&column, 5));
+    }
+
+    #[test]
+    fn concurrent_queries_on_different_columns() {
+        let manager = Arc::new(IndexManager::new(StrategyKind::Cracking));
+        let data = Arc::new(keys(20_000));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let manager = Arc::clone(&manager);
+            let data = Arc::clone(&data);
+            handles.push(thread::spawn(move || {
+                let column = ColumnId::new("t", format!("c{t}"));
+                let mut total = 0usize;
+                for q in 0..50 {
+                    let low = ((q * 389) % 18_000) as Key;
+                    total += manager.query_range(&column, &data, low, low + 500).count();
+                }
+                total
+            }));
+        }
+        for handle in handles {
+            assert!(handle.join().unwrap() > 0);
+        }
+        assert_eq!(manager.indexed_column_count(), 4);
+    }
+
+    #[test]
+    fn concurrent_queries_on_the_same_column() {
+        let manager = Arc::new(IndexManager::new(StrategyKind::Cracking));
+        let data = Arc::new(keys(20_000));
+        let expected: usize = data.iter().filter(|&&k| (500..1500).contains(&k)).count();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let manager = Arc::clone(&manager);
+            let data = Arc::clone(&data);
+            handles.push(thread::spawn(move || {
+                let column = ColumnId::new("t", "shared");
+                (0..25)
+                    .map(|_| manager.query_range(&column, &data, 500, 1500).count())
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for handle in handles {
+            for count in handle.join().unwrap() {
+                assert_eq!(count, expected);
+            }
+        }
+        assert_eq!(manager.indexed_column_count(), 1);
+        assert_eq!(manager.describe()[0].queries, 100);
+    }
+}

@@ -1,0 +1,367 @@
+//! The physical reorganization kernels: crack-in-two and crack-in-three.
+//!
+//! Both operate in place on a *pair* of parallel arrays — the key values and
+//! the row ids that travel with them — restricted to a half-open slice
+//! `[begin, end)` of the cracker column. They are the only routines in the
+//! whole workspace that move data around during query processing, so they are
+//! written as tight, branch-light partition loops.
+
+use aidx_columnstore::types::{Key, RowId};
+
+/// Result of a [`crack_in_two`] call: the first position of the right
+/// partition (every value in `[begin, split)` is `< pivot` when
+/// `PivotSide::Left`, or `<= pivot` when `PivotSide::Right`).
+pub type SplitPosition = usize;
+
+/// Controls on which side of the split values equal to the pivot land.
+///
+/// Cracking a range query `[low, high)` needs both flavours: the lower bound
+/// splits `< low | >= low`, the upper bound splits `< high | >= high`, i.e.
+/// both use [`PivotSide::Left`]; inclusive upper bounds (`<= high`) use
+/// [`PivotSide::Right`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PivotSide {
+    /// Partition as `< pivot | >= pivot` (pivot-equal values go right).
+    Left,
+    /// Partition as `<= pivot | > pivot` (pivot-equal values go left).
+    Right,
+}
+
+/// Statistics reported by a single crack call, consumed by [`crate::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrackTouch {
+    /// Number of elements compared (the size of the cracked piece).
+    pub compared: usize,
+    /// Number of element swaps performed.
+    pub swapped: usize,
+}
+
+#[inline]
+fn swap_pair(values: &mut [Key], rowids: &mut [RowId], a: usize, b: usize) {
+    values.swap(a, b);
+    rowids.swap(a, b);
+}
+
+/// Partition `values[begin..end]` (and the parallel `rowids`) in place around
+/// `pivot`, returning the split position.
+///
+/// After the call, with `PivotSide::Left`:
+/// `values[begin..split] < pivot <= values[split..end]`.
+///
+/// This is the classic two-sided (Hoare-style) partition used by database
+/// cracking: it touches each element at most once and performs no allocation.
+pub fn crack_in_two(
+    values: &mut [Key],
+    rowids: &mut [RowId],
+    begin: usize,
+    end: usize,
+    pivot: Key,
+    side: PivotSide,
+) -> SplitPosition {
+    crack_in_two_counted(values, rowids, begin, end, pivot, side).0
+}
+
+/// [`crack_in_two`] that also reports how much data it touched.
+pub fn crack_in_two_counted(
+    values: &mut [Key],
+    rowids: &mut [RowId],
+    begin: usize,
+    end: usize,
+    pivot: Key,
+    side: PivotSide,
+) -> (SplitPosition, CrackTouch) {
+    debug_assert!(begin <= end && end <= values.len());
+    debug_assert_eq!(values.len(), rowids.len());
+
+    let goes_left = |v: Key| match side {
+        PivotSide::Left => v < pivot,
+        PivotSide::Right => v <= pivot,
+    };
+
+    let mut touch = CrackTouch {
+        compared: end - begin,
+        swapped: 0,
+    };
+
+    if begin >= end {
+        return (begin, touch);
+    }
+
+    let mut lo = begin;
+    let mut hi = end - 1;
+    loop {
+        // advance lo over elements already on the correct (left) side
+        while lo <= hi && goes_left(values[lo]) {
+            lo += 1;
+        }
+        // retreat hi over elements already on the correct (right) side
+        while lo < hi && !goes_left(values[hi]) {
+            hi -= 1;
+        }
+        if lo >= hi {
+            break;
+        }
+        swap_pair(values, rowids, lo, hi);
+        touch.swapped += 1;
+        lo += 1;
+        if hi == 0 {
+            break;
+        }
+        hi -= 1;
+    }
+    (lo, touch)
+}
+
+/// Result of a [`crack_in_three`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreeWaySplit {
+    /// First position of the middle partition (`>= low`).
+    pub low_split: usize,
+    /// First position of the right partition (`>= high`).
+    pub high_split: usize,
+    /// Touch statistics.
+    pub touch: CrackTouch,
+}
+
+/// Partition `values[begin..end]` in place into three regions:
+/// `< low | low <= v < high | >= high`, returning both split positions.
+///
+/// Used when both bounds of a range query fall into the same piece — the
+/// common case for the very first query on a column. Implemented as a
+/// single-pass three-way (Dutch national flag) partition over the pairs.
+pub fn crack_in_three(
+    values: &mut [Key],
+    rowids: &mut [RowId],
+    begin: usize,
+    end: usize,
+    low: Key,
+    high: Key,
+) -> ThreeWaySplit {
+    debug_assert!(begin <= end && end <= values.len());
+    debug_assert!(low <= high);
+    debug_assert_eq!(values.len(), rowids.len());
+
+    let mut touch = CrackTouch {
+        compared: end - begin,
+        swapped: 0,
+    };
+
+    // Dutch national flag over [begin, end):
+    //   [begin, lt)  : < low
+    //   [lt, i)      : in [low, high)
+    //   [i, gt]      : unclassified
+    //   (gt, end)    : >= high
+    let mut lt = begin;
+    let mut i = begin;
+    if begin >= end {
+        return ThreeWaySplit {
+            low_split: begin,
+            high_split: begin,
+            touch,
+        };
+    }
+    let mut gt = end - 1;
+
+    while i <= gt {
+        let v = values[i];
+        if v < low {
+            swap_pair(values, rowids, lt, i);
+            if lt != i {
+                touch.swapped += 1;
+            }
+            lt += 1;
+            i += 1;
+        } else if v >= high {
+            swap_pair(values, rowids, i, gt);
+            if i != gt {
+                touch.swapped += 1;
+            }
+            if gt == 0 {
+                break;
+            }
+            gt -= 1;
+        } else {
+            i += 1;
+        }
+    }
+
+    ThreeWaySplit {
+        low_split: lt,
+        high_split: gt + 1,
+        touch,
+    }
+}
+
+/// Verify (in debug builds and tests) that a slice is correctly partitioned
+/// around a pivot. Returns `true` when the partition invariant holds.
+pub fn is_partitioned(values: &[Key], split: usize, pivot: Key, side: PivotSide) -> bool {
+    let left_ok = values[..split].iter().all(|&v| match side {
+        PivotSide::Left => v < pivot,
+        PivotSide::Right => v <= pivot,
+    });
+    let right_ok = values[split..].iter().all(|&v| match side {
+        PivotSide::Left => v >= pivot,
+        PivotSide::Right => v > pivot,
+    });
+    left_ok && right_ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make(values: &[Key]) -> (Vec<Key>, Vec<RowId>) {
+        let v = values.to_vec();
+        let r: Vec<RowId> = (0..values.len() as RowId).collect();
+        (v, r)
+    }
+
+    fn rowids_follow_values(orig: &[Key], values: &[Key], rowids: &[RowId]) -> bool {
+        values
+            .iter()
+            .zip(rowids.iter())
+            .all(|(&v, &r)| orig[r as usize] == v)
+    }
+
+    #[test]
+    fn crack_in_two_basic_left() {
+        let orig = vec![13, 16, 4, 9, 2, 12, 7, 1, 19, 3];
+        let (mut v, mut r) = make(&orig);
+        let n = v.len();
+        let split = crack_in_two(&mut v, &mut r, 0, n, 10, PivotSide::Left);
+        assert!(is_partitioned(&v, split, 10, PivotSide::Left));
+        assert_eq!(split, 6); // six values < 10
+        assert!(rowids_follow_values(&orig, &v, &r));
+    }
+
+    #[test]
+    fn crack_in_two_basic_right() {
+        let orig = vec![5, 10, 10, 3, 20];
+        let (mut v, mut r) = make(&orig);
+        let n = v.len();
+        let split = crack_in_two(&mut v, &mut r, 0, n, 10, PivotSide::Right);
+        assert!(is_partitioned(&v, split, 10, PivotSide::Right));
+        assert_eq!(split, 4); // 5, 10, 10, 3 go left
+        assert!(rowids_follow_values(&orig, &v, &r));
+    }
+
+    #[test]
+    fn crack_in_two_empty_and_single() {
+        let (mut v, mut r) = make(&[]);
+        assert_eq!(crack_in_two(&mut v, &mut r, 0, 0, 5, PivotSide::Left), 0);
+
+        let (mut v, mut r) = make(&[7]);
+        assert_eq!(crack_in_two(&mut v, &mut r, 0, 1, 5, PivotSide::Left), 0);
+        let (mut v, mut r) = make(&[3]);
+        assert_eq!(crack_in_two(&mut v, &mut r, 0, 1, 5, PivotSide::Left), 1);
+    }
+
+    #[test]
+    fn crack_in_two_all_left_or_all_right() {
+        let (mut v, mut r) = make(&[1, 2, 3]);
+        assert_eq!(crack_in_two(&mut v, &mut r, 0, 3, 10, PivotSide::Left), 3);
+        let (mut v, mut r) = make(&[11, 12, 13]);
+        assert_eq!(crack_in_two(&mut v, &mut r, 0, 3, 10, PivotSide::Left), 0);
+    }
+
+    #[test]
+    fn crack_in_two_subrange_only() {
+        let orig = vec![100, 9, 1, 8, 2, 7, 100];
+        let (mut v, mut r) = make(&orig);
+        let split = crack_in_two(&mut v, &mut r, 1, 6, 5, PivotSide::Left);
+        // untouched sentinels
+        assert_eq!(v[0], 100);
+        assert_eq!(v[6], 100);
+        assert!(v[1..split].iter().all(|&x| x < 5));
+        assert!(v[split..6].iter().all(|&x| x >= 5));
+        assert!(rowids_follow_values(&orig, &v, &r));
+    }
+
+    #[test]
+    fn crack_in_two_duplicates_at_pivot() {
+        let orig = vec![5, 5, 5, 5];
+        let (mut v, mut r) = make(&orig);
+        assert_eq!(crack_in_two(&mut v, &mut r, 0, 4, 5, PivotSide::Left), 0);
+        let (mut v, mut r) = make(&orig);
+        assert_eq!(crack_in_two(&mut v, &mut r, 0, 4, 5, PivotSide::Right), 4);
+    }
+
+    #[test]
+    fn crack_in_two_counts_touches() {
+        let orig = vec![9, 1, 8, 2, 7, 3];
+        let (mut v, mut r) = make(&orig);
+        let (_, touch) = crack_in_two_counted(&mut v, &mut r, 0, 6, 5, PivotSide::Left);
+        assert_eq!(touch.compared, 6);
+        assert!(touch.swapped >= 2);
+    }
+
+    #[test]
+    fn crack_in_three_basic() {
+        let orig = vec![13, 16, 4, 9, 2, 12, 7, 1, 19, 3];
+        let (mut v, mut r) = make(&orig);
+        let n = v.len();
+        let s = crack_in_three(&mut v, &mut r, 0, n, 5, 15);
+        assert!(v[..s.low_split].iter().all(|&x| x < 5));
+        assert!(v[s.low_split..s.high_split].iter().all(|&x| (5..15).contains(&x)));
+        assert!(v[s.high_split..].iter().all(|&x| x >= 15));
+        assert_eq!(s.high_split - s.low_split, 4); // 13, 9, 12, 7
+        assert!(rowids_follow_values(&orig, &v, &r));
+    }
+
+    #[test]
+    fn crack_in_three_empty_middle() {
+        let orig = vec![1, 2, 20, 30];
+        let (mut v, mut r) = make(&orig);
+        let s = crack_in_three(&mut v, &mut r, 0, 4, 5, 10);
+        assert_eq!(s.low_split, 2);
+        assert_eq!(s.high_split, 2);
+    }
+
+    #[test]
+    fn crack_in_three_whole_range() {
+        let orig = vec![7, 3, 9];
+        let (mut v, mut r) = make(&orig);
+        let s = crack_in_three(&mut v, &mut r, 0, 3, 0, 100);
+        assert_eq!(s.low_split, 0);
+        assert_eq!(s.high_split, 3);
+    }
+
+    #[test]
+    fn crack_in_three_empty_slice() {
+        let (mut v, mut r) = make(&[]);
+        let s = crack_in_three(&mut v, &mut r, 0, 0, 1, 2);
+        assert_eq!(s.low_split, 0);
+        assert_eq!(s.high_split, 0);
+    }
+
+    #[test]
+    fn crack_in_three_equal_bounds() {
+        let orig = vec![3, 1, 4, 1, 5];
+        let (mut v, mut r) = make(&orig);
+        let s = crack_in_three(&mut v, &mut r, 0, 5, 3, 3);
+        assert_eq!(s.low_split, s.high_split);
+        assert!(v[..s.low_split].iter().all(|&x| x < 3));
+        assert!(v[s.high_split..].iter().all(|&x| x >= 3));
+    }
+
+    #[test]
+    fn crack_in_three_subrange() {
+        let orig = vec![50, 9, 1, 8, 2, 7, 50];
+        let (mut v, mut r) = make(&orig);
+        let s = crack_in_three(&mut v, &mut r, 1, 6, 3, 8);
+        assert_eq!(v[0], 50);
+        assert_eq!(v[6], 50);
+        assert!(v[1..s.low_split].iter().all(|&x| x < 3));
+        assert!(v[s.low_split..s.high_split].iter().all(|&x| (3..8).contains(&x)));
+        assert!(v[s.high_split..6].iter().all(|&x| x >= 8));
+        assert!(rowids_follow_values(&orig, &v, &r));
+    }
+
+    #[test]
+    fn is_partitioned_detects_violations() {
+        assert!(is_partitioned(&[1, 2, 9, 8], 2, 5, PivotSide::Left));
+        assert!(!is_partitioned(&[1, 9, 2, 8], 2, 5, PivotSide::Left));
+        assert!(is_partitioned(&[5, 1, 9], 2, 5, PivotSide::Right));
+        assert!(!is_partitioned(&[6, 1, 9], 2, 5, PivotSide::Right));
+    }
+}

@@ -1,0 +1,644 @@
+//! Selection cracking: the core adaptive index of database cracking.
+//!
+//! [`CrackedIndex`] answers range selections over one attribute. Each query
+//! physically reorganizes (cracks) exactly the pieces its bounds fall into,
+//! records the new piece boundaries in the cracker index, and returns the
+//! qualifying tuples — which, thanks to the cracking, are now stored
+//! contiguously. Queries over already-learned bounds degrade gracefully into
+//! pure index lookups with zero reorganization (the "overhead disappears when
+//! a range has been fully optimized" property the tutorial highlights).
+
+use crate::crack::{crack_in_three, crack_in_two_counted, PivotSide};
+use crate::cracker_column::CrackerColumn;
+use crate::index::{BTreeCutIndex, CutIndex};
+use crate::stats::CrackStats;
+use aidx_columnstore::column::Column;
+use aidx_columnstore::ops::select::Predicate;
+use aidx_columnstore::position::PositionList;
+use aidx_columnstore::types::{Key, RowId};
+
+/// Description of one piece of the cracker column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Piece {
+    /// First position of the piece (inclusive).
+    pub begin: usize,
+    /// One past the last position of the piece (exclusive).
+    pub end: usize,
+    /// Lower bound on the values stored in the piece (inclusive), if known.
+    pub low: Option<Key>,
+    /// Upper bound on the values stored in the piece (exclusive), if known.
+    pub high: Option<Key>,
+}
+
+impl Piece {
+    /// Number of values in the piece.
+    pub fn len(&self) -> usize {
+        self.end - self.begin
+    }
+
+    /// True when the piece holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.begin == self.end
+    }
+}
+
+/// The contiguous region of the cracker column answering a range query.
+#[derive(Debug)]
+pub struct RangeResult<'a> {
+    values: &'a [Key],
+    rowids: &'a [RowId],
+    begin: usize,
+    end: usize,
+}
+
+impl<'a> RangeResult<'a> {
+    /// Qualifying key values (unordered within the range).
+    pub fn keys(&self) -> &'a [Key] {
+        &self.values[self.begin..self.end]
+    }
+
+    /// Row ids (positions in the base column) of the qualifying tuples,
+    /// parallel to [`Self::keys`].
+    pub fn rowids(&self) -> &'a [RowId] {
+        &self.rowids[self.begin..self.end]
+    }
+
+    /// Qualifying row ids as a sorted [`PositionList`] for late
+    /// materialization against other columns of the same table.
+    pub fn positions(&self) -> PositionList {
+        PositionList::from_vec(self.rowids().to_vec())
+    }
+
+    /// Number of qualifying tuples.
+    pub fn len(&self) -> usize {
+        self.end - self.begin
+    }
+
+    /// True when no tuple qualifies.
+    pub fn is_empty(&self) -> bool {
+        self.begin == self.end
+    }
+
+    /// The half-open range of cracker-column positions holding the answer.
+    pub fn piece_bounds(&self) -> (usize, usize) {
+        (self.begin, self.end)
+    }
+}
+
+/// A selection-cracking adaptive index over one key column.
+///
+/// The generic parameter selects the cracker-index implementation
+/// ([`BTreeCutIndex`] by default, [`crate::index::AvlCutIndex`] for the
+/// MonetDB-style AVL tree).
+#[derive(Debug, Clone, Default)]
+pub struct CrackedIndex<I: CutIndex = BTreeCutIndex> {
+    column: CrackerColumn,
+    cuts: I,
+    stats: CrackStats,
+    min_value: Key,
+    max_value: Key,
+}
+
+/// A [`CrackedIndex`] using the AVL-tree cracker index.
+pub type AvlCrackedIndex = CrackedIndex<crate::index::AvlCutIndex>;
+
+impl<I: CutIndex> CrackedIndex<I> {
+    /// Build the index by copying a dense key slice (this is the
+    /// initialization cost the first query pays in a real kernel; harnesses
+    /// account for it explicitly).
+    pub fn from_keys(keys: &[Key]) -> Self {
+        let column = CrackerColumn::from_keys(keys);
+        let mut stats = CrackStats::new();
+        stats.record_copy(keys.len());
+        let (min_value, max_value) = min_max(keys);
+        CrackedIndex {
+            column,
+            cuts: I::default(),
+            stats,
+            min_value,
+            max_value,
+        }
+    }
+
+    /// Build the index from an `Int64` base column.
+    pub fn from_column(column: &Column) -> Self {
+        match column.as_i64() {
+            Some(c) => Self::from_keys(c.as_slice()),
+            None => Self::from_keys(&[]),
+        }
+    }
+
+    /// Build from an existing cracker column (used by updates and hybrids).
+    pub fn from_cracker_column(column: CrackerColumn) -> Self {
+        let (min_value, max_value) = min_max(column.values());
+        let mut stats = CrackStats::new();
+        stats.record_copy(column.len());
+        CrackedIndex {
+            column,
+            cuts: I::default(),
+            stats,
+            min_value,
+            max_value,
+        }
+    }
+
+    /// Number of indexed tuples.
+    pub fn len(&self) -> usize {
+        self.column.len()
+    }
+
+    /// True when the index holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.column.is_empty()
+    }
+
+    /// The underlying cracker column.
+    pub fn column(&self) -> &CrackerColumn {
+        &self.column
+    }
+
+    /// Mutable access to the cracker column *and* cut index together — used
+    /// by the update strategies in [`crate::updates`], which must keep the
+    /// two consistent.
+    pub(crate) fn parts_mut(&mut self) -> (&mut CrackerColumn, &mut I, &mut CrackStats) {
+        (&mut self.column, &mut self.cuts, &mut self.stats)
+    }
+
+    /// Recompute the cached min/max after an update changed the value domain.
+    pub(crate) fn refresh_min_max(&mut self) {
+        let (min_value, max_value) = min_max(self.column.values());
+        self.min_value = min_value;
+        self.max_value = max_value;
+    }
+
+    /// Smallest indexed key (undefined for an empty index).
+    pub fn min_value(&self) -> Key {
+        self.min_value
+    }
+
+    /// Largest indexed key (undefined for an empty index).
+    pub fn max_value(&self) -> Key {
+        self.max_value
+    }
+
+    /// Accumulated instrumentation.
+    pub fn stats(&self) -> &CrackStats {
+        &self.stats
+    }
+
+    /// Number of pieces the cracker column is currently split into.
+    pub fn piece_count(&self) -> usize {
+        self.cuts.piece_count(self.column.len())
+    }
+
+    /// Number of recorded cuts.
+    pub fn cut_count(&self) -> usize {
+        self.cuts.len()
+    }
+
+    /// Size of the largest piece (0 for an empty index). Convergence metrics
+    /// use this: a random query stops paying reorganization overhead once all
+    /// pieces it can hit are small.
+    pub fn largest_piece(&self) -> usize {
+        self.pieces().iter().map(Piece::len).max().unwrap_or(0)
+    }
+
+    /// The index is considered converged when no piece is larger than
+    /// `threshold` values.
+    pub fn is_converged(&self, threshold: usize) -> bool {
+        self.largest_piece() <= threshold
+    }
+
+    /// Describe all pieces in physical order.
+    pub fn pieces(&self) -> Vec<Piece> {
+        let len = self.column.len();
+        if len == 0 {
+            return Vec::new();
+        }
+        let cuts = self.cuts.cuts();
+        let mut pieces = Vec::with_capacity(cuts.len() + 1);
+        let mut begin = 0usize;
+        let mut low: Option<Key> = None;
+        for &(key, position) in &cuts {
+            pieces.push(Piece {
+                begin,
+                end: position,
+                low,
+                high: Some(key),
+            });
+            begin = position;
+            low = Some(key);
+        }
+        pieces.push(Piece {
+            begin,
+            end: len,
+            low,
+            high: None,
+        });
+        pieces
+    }
+
+    /// Ensure a cut exists exactly at `key`, cracking the containing piece if
+    /// necessary, and return its position. Exposed within the crate so that
+    /// stochastic cracking and the hybrids can introduce auxiliary cuts.
+    pub(crate) fn ensure_cut(&mut self, key: Key) -> usize {
+        let len = self.column.len();
+        if len == 0 {
+            return 0;
+        }
+        // Domain short-circuits avoid full-piece passes for out-of-range keys.
+        if key <= self.min_value {
+            return 0;
+        }
+        if key > self.max_value {
+            return len;
+        }
+        if let Some(position) = self.cuts.exact(key) {
+            return position;
+        }
+        let begin = self.cuts.floor(key).map_or(0, |(_, p)| p);
+        let end = self.cuts.ceiling(key).map_or(len, |(_, p)| p);
+        let (values, rowids) = self.column.pair_slices_mut();
+        let (split, touch) = crack_in_two_counted(values, rowids, begin, end, key, PivotSide::Left);
+        self.stats.record_crack_in_two(touch);
+        self.cuts.insert(key, split);
+        split
+    }
+
+    /// Answer the half-open range query `[low, high)` adaptively: crack the
+    /// touched pieces, record the new cuts, and return the (now contiguous)
+    /// qualifying tuples.
+    pub fn query_range(&mut self, low: Key, high: Key) -> RangeResult<'_> {
+        self.stats.record_query();
+        let len = self.column.len();
+        if len == 0 || low >= high {
+            return self.result(0, 0);
+        }
+
+        // Fast path: both bounds land in the same piece and neither is known
+        // yet — a single three-way crack handles the whole query (this is the
+        // common case for the first queries on a column).
+        let low_known = low <= self.min_value || low > self.max_value || self.cuts.exact(low).is_some();
+        let high_known =
+            high <= self.min_value || high > self.max_value || self.cuts.exact(high).is_some();
+        if !low_known && !high_known {
+            let low_piece = self.piece_bounds_for(low);
+            let high_piece = self.piece_bounds_for(high);
+            if low_piece == high_piece {
+                let (begin, end) = low_piece;
+                let (values, rowids) = self.column.pair_slices_mut();
+                let split = crack_in_three(values, rowids, begin, end, low, high);
+                self.stats.record_crack_in_three(split.touch);
+                self.cuts.insert(low, split.low_split);
+                self.cuts.insert(high, split.high_split);
+                self.stats.record_scan(split.high_split - split.low_split);
+                return self.result(split.low_split, split.high_split);
+            }
+        }
+
+        let begin = self.ensure_cut(low);
+        let end = self.ensure_cut(high);
+        let end = end.max(begin);
+        self.stats.record_scan(end - begin);
+        self.result(begin, end)
+    }
+
+    /// Answer an arbitrary predicate by translating it to bounds.
+    pub fn query(&mut self, predicate: &Predicate) -> RangeResult<'_> {
+        let (low, high) = predicate.as_bounds();
+        self.query_range(low, high)
+    }
+
+    /// Count the qualifying tuples of `[low, high)` (still cracks: counting
+    /// is also a query and therefore also advice).
+    pub fn count_range(&mut self, low: Key, high: Key) -> usize {
+        self.query_range(low, high).len()
+    }
+
+    /// The qualifying base-column positions for `[low, high)`.
+    pub fn positions_range(&mut self, low: Key, high: Key) -> PositionList {
+        self.query_range(low, high).positions()
+    }
+
+    /// The piece `[begin, end)` that `key` currently falls into.
+    fn piece_bounds_for(&self, key: Key) -> (usize, usize) {
+        let len = self.column.len();
+        let begin = self.cuts.floor(key).map_or(0, |(_, p)| p);
+        let end = self.cuts.ceiling(key).map_or(len, |(_, p)| p);
+        (begin, end)
+    }
+
+    fn result(&self, begin: usize, end: usize) -> RangeResult<'_> {
+        RangeResult {
+            values: self.column.values(),
+            rowids: self.column.rowids(),
+            begin,
+            end,
+        }
+    }
+
+    /// The cut position for `key`, if one exists.
+    pub fn cut_at(&self, key: Key) -> Option<usize> {
+        self.cuts.exact(key)
+    }
+
+    /// Verify every structural invariant:
+    ///
+    /// * the pair arrays are parallel,
+    /// * cut positions are non-decreasing in key order and within bounds,
+    /// * every value inside a piece respects the piece's key bounds.
+    ///
+    /// Intended for tests and property-based checks — O(n).
+    pub fn verify_integrity(&self) -> bool {
+        if !self.column.check_invariants() {
+            return false;
+        }
+        if !self.cuts.check_consistency(self.column.len()) {
+            return false;
+        }
+        for piece in self.pieces() {
+            let values = self.column.values_in(piece.begin, piece.end);
+            if let Some(low) = piece.low {
+                if values.iter().any(|&v| v < low) {
+                    return false;
+                }
+            }
+            if let Some(high) = piece.high {
+                if values.iter().any(|&v| v >= high) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+fn min_max(keys: &[Key]) -> (Key, Key) {
+    let mut min = Key::MAX;
+    let mut max = Key::MIN;
+    for &k in keys {
+        min = min.min(k);
+        max = max.max(k);
+    }
+    if keys.is_empty() {
+        (0, 0)
+    } else {
+        (min, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_answer(data: &[Key], low: Key, high: Key) -> Vec<Key> {
+        let mut v: Vec<Key> = data.iter().copied().filter(|&x| x >= low && x < high).collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn sorted_keys(result: &RangeResult<'_>) -> Vec<Key> {
+        let mut v = result.keys().to_vec();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn empty_index_returns_empty_results() {
+        let mut idx: CrackedIndex = CrackedIndex::from_keys(&[]);
+        assert!(idx.is_empty());
+        let r = idx.query_range(0, 10);
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert_eq!(idx.piece_count(), 0);
+        assert!(idx.verify_integrity());
+    }
+
+    #[test]
+    fn first_query_cracks_in_three() {
+        let data = vec![13, 16, 4, 9, 2, 12, 7, 1, 19, 3];
+        let mut idx: CrackedIndex = CrackedIndex::from_keys(&data);
+        let r = idx.query_range(5, 15);
+        assert_eq!(sorted_keys(&r), reference_answer(&data, 5, 15));
+        assert_eq!(idx.stats().crack_in_three_calls, 1);
+        assert_eq!(idx.stats().crack_in_two_calls, 0);
+        assert_eq!(idx.cut_count(), 2);
+        assert_eq!(idx.piece_count(), 3);
+        assert!(idx.verify_integrity());
+    }
+
+    #[test]
+    fn second_query_reuses_and_refines() {
+        let data: Vec<Key> = (0..100).rev().collect();
+        let mut idx: CrackedIndex = CrackedIndex::from_keys(&data);
+        let _ = idx.query_range(20, 60);
+        let r = idx.query_range(30, 50);
+        assert_eq!(sorted_keys(&r), reference_answer(&data, 30, 50));
+        assert!(idx.piece_count() >= 4);
+        assert!(idx.verify_integrity());
+    }
+
+    #[test]
+    fn repeated_query_stops_cracking() {
+        let data: Vec<Key> = (0..1000).map(|i| (i * 7919) % 1000).collect();
+        let mut idx: CrackedIndex = CrackedIndex::from_keys(&data);
+        let _ = idx.query_range(100, 200);
+        let cracks_after_first =
+            idx.stats().crack_in_two_calls + idx.stats().crack_in_three_calls;
+        let got = sorted_keys(&idx.query_range(100, 200));
+        let cracks_after_second =
+            idx.stats().crack_in_two_calls + idx.stats().crack_in_three_calls;
+        assert_eq!(cracks_after_first, cracks_after_second, "no new cracks");
+        assert_eq!(got, reference_answer(&data, 100, 200));
+    }
+
+    #[test]
+    fn rowids_point_back_into_base_data() {
+        let data = vec![50, 10, 40, 20, 30];
+        let mut idx: CrackedIndex = CrackedIndex::from_keys(&data);
+        let r = idx.query_range(15, 45);
+        for (&v, &rid) in r.keys().iter().zip(r.rowids()) {
+            assert_eq!(data[rid as usize], v);
+        }
+        let positions = r.positions();
+        assert_eq!(positions.len(), 3);
+    }
+
+    #[test]
+    fn out_of_domain_queries() {
+        let data = vec![10, 20, 30];
+        let mut idx: CrackedIndex = CrackedIndex::from_keys(&data);
+        assert_eq!(idx.query_range(-100, -50).len(), 0);
+        assert_eq!(idx.query_range(100, 200).len(), 0);
+        assert_eq!(idx.query_range(-100, 200).len(), 3);
+        assert_eq!(idx.query_range(5, 5).len(), 0);
+        assert_eq!(idx.query_range(30, 10).len(), 0);
+        assert!(idx.verify_integrity());
+    }
+
+    #[test]
+    fn query_covering_everything_does_not_crack() {
+        let data = vec![10, 20, 30];
+        let mut idx: CrackedIndex = CrackedIndex::from_keys(&data);
+        let r = idx.query_range(0, 100);
+        assert_eq!(r.len(), 3);
+        assert_eq!(idx.stats().crack_in_two_calls, 0);
+        assert_eq!(idx.stats().crack_in_three_calls, 0);
+    }
+
+    #[test]
+    fn predicate_queries() {
+        let data = vec![5, 1, 9, 3, 7];
+        let mut idx: CrackedIndex = CrackedIndex::from_keys(&data);
+        assert_eq!(sorted_keys(&idx.query(&Predicate::equals(7))), vec![7]);
+        assert_eq!(
+            sorted_keys(&idx.query(&Predicate::LessThan { high: 5 })),
+            vec![1, 3]
+        );
+        assert_eq!(
+            sorted_keys(&idx.query(&Predicate::GreaterEqual { low: 5 })),
+            vec![5, 7, 9]
+        );
+        assert_eq!(
+            sorted_keys(&idx.query(&Predicate::range(3, 8))),
+            vec![3, 5, 7]
+        );
+        assert!(idx.verify_integrity());
+    }
+
+    #[test]
+    fn count_and_positions_helpers() {
+        let data: Vec<Key> = (0..50).collect();
+        let mut idx: CrackedIndex = CrackedIndex::from_keys(&data);
+        assert_eq!(idx.count_range(10, 20), 10);
+        let p = idx.positions_range(10, 20);
+        assert_eq!(p.len(), 10);
+        assert!(p.contains(15));
+    }
+
+    #[test]
+    fn duplicates_handled_correctly() {
+        let data = vec![5, 5, 5, 1, 9, 5, 9, 1];
+        let mut idx: CrackedIndex = CrackedIndex::from_keys(&data);
+        assert_eq!(idx.count_range(5, 6), 4);
+        assert_eq!(idx.count_range(1, 5), 2);
+        assert_eq!(idx.count_range(9, 10), 2);
+        assert!(idx.verify_integrity());
+    }
+
+    #[test]
+    fn many_random_queries_match_reference_and_keep_invariants() {
+        // deterministic LCG workload
+        let mut state: u64 = 0x9E3779B97F4A7C15;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as Key
+        };
+        let data: Vec<Key> = (0..5000).map(|_| next() % 10_000).collect();
+        let mut idx: CrackedIndex = CrackedIndex::from_keys(&data);
+        for _ in 0..200 {
+            let a = next() % 10_000;
+            let b = next() % 10_000;
+            let (low, high) = if a <= b { (a, b) } else { (b, a) };
+            let got = sorted_keys(&idx.query_range(low, high));
+            assert_eq!(got, reference_answer(&data, low, high));
+        }
+        assert!(idx.verify_integrity());
+        assert!(idx.piece_count() > 10);
+        assert!(idx.largest_piece() < 5000);
+    }
+
+    #[test]
+    fn convergence_with_many_queries() {
+        let data: Vec<Key> = (0..4096).map(|i| (i * 48271) % 4096).collect();
+        let mut idx: CrackedIndex = CrackedIndex::from_keys(&data);
+        let mut state: u64 = 12345;
+        for _ in 0..3000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let low = ((state >> 33) % 4000) as Key;
+            let _ = idx.query_range(low, low + 64);
+        }
+        // after thousands of random queries the largest piece should be small
+        assert!(
+            idx.largest_piece() <= 256,
+            "largest piece {} did not shrink",
+            idx.largest_piece()
+        );
+        assert!(idx.is_converged(256));
+        assert!(!idx.is_converged(1));
+        assert!(idx.verify_integrity());
+    }
+
+    #[test]
+    fn avl_backed_index_agrees_with_btree_backed() {
+        let data: Vec<Key> = (0..2000).map(|i| (i * 31337) % 5000).collect();
+        let mut a: CrackedIndex = CrackedIndex::from_keys(&data);
+        let mut b: AvlCrackedIndex = CrackedIndex::from_keys(&data);
+        let queries = [(10, 500), (400, 900), (0, 5000), (2500, 2600), (4990, 5050)];
+        for &(low, high) in &queries {
+            let ra = sorted_keys(&a.query_range(low, high));
+            let rb = sorted_keys(&b.query_range(low, high));
+            assert_eq!(ra, rb);
+        }
+        assert_eq!(a.piece_count(), b.piece_count());
+        assert!(a.verify_integrity());
+        assert!(b.verify_integrity());
+    }
+
+    #[test]
+    fn pieces_describe_partition() {
+        let data: Vec<Key> = (0..100).rev().collect();
+        let mut idx: CrackedIndex = CrackedIndex::from_keys(&data);
+        let _ = idx.query_range(25, 75);
+        let pieces = idx.pieces();
+        assert_eq!(pieces.len(), idx.piece_count());
+        assert_eq!(pieces.first().unwrap().begin, 0);
+        assert_eq!(pieces.last().unwrap().end, 100);
+        // pieces tile the column contiguously
+        for w in pieces.windows(2) {
+            assert_eq!(w[0].end, w[1].begin);
+        }
+        let total: usize = pieces.iter().map(Piece::len).sum();
+        assert_eq!(total, 100);
+        assert!(pieces.iter().any(|p| !p.is_empty()));
+    }
+
+    #[test]
+    fn from_column_and_from_cracker_column() {
+        let col = Column::from_i64(vec![3, 1, 2]);
+        let mut idx: CrackedIndex = CrackedIndex::from_column(&col);
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.min_value(), 1);
+        assert_eq!(idx.max_value(), 3);
+        assert_eq!(idx.count_range(2, 4), 2);
+
+        let cc = CrackerColumn::from_keys(&[9, 4, 6]);
+        let mut idx2: CrackedIndex = CrackedIndex::from_cracker_column(cc);
+        assert_eq!(idx2.count_range(5, 10), 2);
+
+        let f = Column::from_f64(vec![1.0]);
+        let idx3: CrackedIndex = CrackedIndex::from_column(&f);
+        assert!(idx3.is_empty());
+    }
+
+    #[test]
+    fn stats_track_scans_and_copies() {
+        let data: Vec<Key> = (0..100).collect();
+        let mut idx: CrackedIndex = CrackedIndex::from_keys(&data);
+        assert_eq!(idx.stats().elements_copied, 100);
+        let _ = idx.query_range(10, 20);
+        assert_eq!(idx.stats().queries, 1);
+        assert!(idx.stats().elements_scanned >= 10);
+        assert!(idx.stats().total_effort() > 0);
+    }
+
+    #[test]
+    fn cut_at_reports_learned_bounds() {
+        let data: Vec<Key> = (0..100).rev().collect();
+        let mut idx: CrackedIndex = CrackedIndex::from_keys(&data);
+        assert_eq!(idx.cut_at(30), None);
+        let _ = idx.query_range(30, 60);
+        assert_eq!(idx.cut_at(30), Some(30));
+        assert_eq!(idx.cut_at(60), Some(60));
+    }
+}

@@ -1,0 +1,519 @@
+//! Sideways cracking: self-organizing tuple reconstruction (SIGMOD 2009).
+//!
+//! Selection cracking reorganizes one column; answering `SELECT B WHERE
+//! low <= A < high` then needs a late-materialization fetch of `B` at the
+//! qualifying row ids, which after a few thousand cracks degenerates into
+//! random access over the whole of `B`. Sideways cracking instead maintains
+//! **cracker maps** `M(A,B)`: pairs of the selection attribute `A` (the
+//! *head*) and one projection attribute `B` (the *tail*), physically
+//! reorganized *together* on `A`. The tuples that qualify for a selection on
+//! `A` are therefore contiguous in `M(A,B)`, and the projected `B` values
+//! come out of a sequential read — no random access, no join back to the base
+//! table.
+//!
+//! With several maps `M(A,B1)…M(A,Bk)` sharing the same head, the maps must
+//! be cracked *identically* so that the qualifying tuples occupy the same
+//! positions in each map. [`MapSet`] guarantees this through **adaptive
+//! alignment**: it keeps a log of every crack performed on the head attribute
+//! and lazily replays the missing suffix of that log on a map right before
+//! the map is used.
+
+use crate::crack::PivotSide;
+use crate::index::{BTreeCutIndex, CutIndex};
+use crate::stats::CrackStats;
+use aidx_columnstore::table::Table;
+use aidx_columnstore::types::{Key, RowId};
+use std::collections::HashMap;
+
+/// One cracker map `M(head, tail)`.
+#[derive(Debug, Clone)]
+pub struct CrackerMap {
+    head: Vec<Key>,
+    tail: Vec<Key>,
+    rowids: Vec<RowId>,
+    cuts: BTreeCutIndex,
+    /// How many entries of the owning [`MapSet`]'s crack history this map has
+    /// already applied.
+    applied_history: usize,
+}
+
+impl CrackerMap {
+    fn new(head: Vec<Key>, tail: Vec<Key>) -> Self {
+        assert_eq!(head.len(), tail.len(), "head and tail must be parallel");
+        let rowids = (0..head.len() as RowId).collect();
+        CrackerMap {
+            head,
+            tail,
+            rowids,
+            cuts: BTreeCutIndex::new(),
+            applied_history: 0,
+        }
+    }
+
+    /// Number of tuples in the map.
+    pub fn len(&self) -> usize {
+        self.head.len()
+    }
+
+    /// True when the map holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.head.is_empty()
+    }
+
+    /// Number of pieces the map's head is currently split into.
+    pub fn piece_count(&self) -> usize {
+        self.cuts.piece_count(self.head.len())
+    }
+
+    /// Crack the map so that a cut exists at `pivot`, returning its position.
+    fn ensure_cut(&mut self, pivot: Key, stats: &mut CrackStats) -> usize {
+        if let Some(p) = self.cuts.exact(pivot) {
+            return p;
+        }
+        let len = self.head.len();
+        let begin = self.cuts.floor(pivot).map_or(0, |(_, p)| p);
+        let end = self.cuts.ceiling(pivot).map_or(len, |(_, p)| p);
+        let split = crack_map_in_two(
+            &mut self.head,
+            &mut self.tail,
+            &mut self.rowids,
+            begin,
+            end,
+            pivot,
+            PivotSide::Left,
+        );
+        stats.record_crack_in_two(crate::crack::CrackTouch {
+            compared: end - begin,
+            swapped: 0,
+        });
+        self.cuts.insert(pivot, split);
+        split
+    }
+
+    /// Verify that every piece respects its key bounds and that the three
+    /// arrays are still parallel.
+    pub fn verify_integrity(&self) -> bool {
+        if self.head.len() != self.tail.len() || self.head.len() != self.rowids.len() {
+            return false;
+        }
+        let cuts = self.cuts.cuts();
+        if !self.cuts.check_consistency(self.head.len()) {
+            return false;
+        }
+        let mut begin = 0usize;
+        let mut low: Option<Key> = None;
+        for &(key, position) in &cuts {
+            if self.head[begin..position]
+                .iter()
+                .any(|&v| low.is_some_and(|l| v < l) || v >= key)
+            {
+                return false;
+            }
+            begin = position;
+            low = Some(key);
+        }
+        !self.head[begin..]
+            .iter()
+            .any(|&v| low.is_some_and(|l| v < l))
+    }
+}
+
+/// Crack three parallel arrays (head, tail, row ids) around a pivot on the
+/// head values. Returns the split position.
+fn crack_map_in_two(
+    head: &mut [Key],
+    tail: &mut [Key],
+    rowids: &mut [RowId],
+    begin: usize,
+    end: usize,
+    pivot: Key,
+    side: PivotSide,
+) -> usize {
+    let goes_left = |v: Key| match side {
+        PivotSide::Left => v < pivot,
+        PivotSide::Right => v <= pivot,
+    };
+    if begin >= end {
+        return begin;
+    }
+    let mut lo = begin;
+    let mut hi = end - 1;
+    loop {
+        while lo <= hi && goes_left(head[lo]) {
+            lo += 1;
+        }
+        while lo < hi && !goes_left(head[hi]) {
+            hi -= 1;
+        }
+        if lo >= hi {
+            break;
+        }
+        head.swap(lo, hi);
+        tail.swap(lo, hi);
+        rowids.swap(lo, hi);
+        lo += 1;
+        if hi == 0 {
+            break;
+        }
+        hi -= 1;
+    }
+    lo
+}
+
+/// The projected answer of a sideways-cracking query.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SidewaysAnswer {
+    /// The qualifying head (selection attribute) values.
+    pub head: Vec<Key>,
+    /// The projected tail values, one vector per requested tail column, in
+    /// request order; every vector is parallel to `head`.
+    pub tails: Vec<Vec<Key>>,
+    /// Base-table row ids parallel to `head`.
+    pub rowids: Vec<RowId>,
+}
+
+impl SidewaysAnswer {
+    /// Number of qualifying tuples.
+    pub fn len(&self) -> usize {
+        self.head.len()
+    }
+
+    /// True when no tuple qualifies.
+    pub fn is_empty(&self) -> bool {
+        self.head.is_empty()
+    }
+}
+
+/// A set of cracker maps sharing one head (selection) attribute.
+#[derive(Debug, Clone)]
+pub struct MapSet {
+    head_column: Vec<Key>,
+    tail_columns: HashMap<String, Vec<Key>>,
+    maps: HashMap<String, CrackerMap>,
+    /// Every pivot ever cracked on the head attribute, in order. Maps replay
+    /// the suffix they have not applied yet (adaptive alignment).
+    crack_history: Vec<Key>,
+    stats: CrackStats,
+}
+
+impl MapSet {
+    /// Create a map set from a head column and named tail columns. All
+    /// columns must be equally long.
+    pub fn new(head: &[Key], tails: Vec<(&str, Vec<Key>)>) -> Self {
+        for (name, tail) in &tails {
+            assert_eq!(
+                tail.len(),
+                head.len(),
+                "tail column {name} must match head length"
+            );
+        }
+        MapSet {
+            head_column: head.to_vec(),
+            tail_columns: tails
+                .into_iter()
+                .map(|(name, tail)| (name.to_owned(), tail))
+                .collect(),
+            maps: HashMap::new(),
+            crack_history: Vec::new(),
+            stats: CrackStats::new(),
+        }
+    }
+
+    /// Build a map set for the `Int64` columns of a [`Table`]: `head_name`
+    /// becomes the head, every other `Int64` column a potential tail.
+    pub fn from_table(table: &Table, head_name: &str) -> Option<Self> {
+        let head = table.column(head_name).ok()?.as_i64()?.as_slice().to_vec();
+        let mut tails = Vec::new();
+        for field in table.schema().fields() {
+            if field.name() == head_name {
+                continue;
+            }
+            if let Ok(column) = table.column(field.name()) {
+                if let Some(c) = column.as_i64() {
+                    tails.push((field.name(), c.as_slice().to_vec()));
+                }
+            }
+        }
+        let tails_ref: Vec<(&str, Vec<Key>)> =
+            tails.iter().map(|(n, v)| (*n, v.clone())).collect();
+        Some(MapSet::new(&head, tails_ref))
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.head_column.len()
+    }
+
+    /// True when the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.head_column.is_empty()
+    }
+
+    /// Names of the available tail columns.
+    pub fn tail_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tail_columns.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Number of cracker maps materialized so far (maps are created lazily,
+    /// on the first query that projects their tail — "partial sideways
+    /// cracking": unqueried tails cost nothing).
+    pub fn materialized_maps(&self) -> usize {
+        self.maps.len()
+    }
+
+    /// Length of the shared crack history.
+    pub fn crack_history_len(&self) -> usize {
+        self.crack_history.len()
+    }
+
+    /// Accumulated instrumentation.
+    pub fn stats(&self) -> &CrackStats {
+        &self.stats
+    }
+
+    /// Answer `SELECT tails... WHERE low <= head < high` adaptively.
+    ///
+    /// Every requested tail's cracker map is materialized (if needed),
+    /// aligned with the shared crack history, cracked at the query bounds and
+    /// read sequentially. The answer vectors of all tails are positionally
+    /// aligned with each other, which is exactly the property the alignment
+    /// machinery exists to provide.
+    pub fn select_project(&mut self, low: Key, high: Key, tails: &[&str]) -> SidewaysAnswer {
+        self.stats.record_query();
+        let mut answer = SidewaysAnswer::default();
+        if low >= high || self.head_column.is_empty() || tails.is_empty() {
+            // keep the answer shape consistent: one (empty) projection per
+            // requested tail
+            answer.tails = tails.iter().map(|_| Vec::new()).collect();
+            return answer;
+        }
+
+        // Register the query bounds in the shared history once.
+        for bound in [low, high] {
+            if !self.crack_history.contains(&bound) {
+                self.crack_history.push(bound);
+            }
+        }
+
+        let mut first_bounds: Option<(usize, usize)> = None;
+        for (i, tail_name) in tails.iter().enumerate() {
+            if !self.tail_columns.contains_key(*tail_name) {
+                // unknown tail: produce an empty projection for it
+                answer.tails.push(Vec::new());
+                continue;
+            }
+            self.materialize_map(tail_name);
+            let history = self.crack_history.clone();
+            let stats = &mut self.stats;
+            let map = self.maps.get_mut(*tail_name).expect("just materialized");
+            // adaptive alignment: replay the missing history suffix
+            while map.applied_history < history.len() {
+                let pivot = history[map.applied_history];
+                map.ensure_cut(pivot, stats);
+                map.applied_history += 1;
+            }
+            // Both bounds are in the history and have just been replayed, so
+            // exact cuts exist for them (out-of-domain bounds crack to the
+            // column edges).
+            let begin = map.cuts.exact(low).unwrap_or(0);
+            let end = map.cuts.exact(high).unwrap_or(map.len()).max(begin);
+            stats.record_scan(end - begin);
+
+            if i == 0 || first_bounds.is_none() {
+                first_bounds = Some((begin, end));
+                answer.head = map.head[begin..end].to_vec();
+                answer.rowids = map.rowids[begin..end].to_vec();
+            }
+            answer.tails.push(map.tail[begin..end].to_vec());
+        }
+        answer
+    }
+
+    /// Convenience: project a single tail.
+    pub fn select_project_one(&mut self, low: Key, high: Key, tail: &str) -> SidewaysAnswer {
+        self.select_project(low, high, &[tail])
+    }
+
+    fn materialize_map(&mut self, tail_name: &str) {
+        if self.maps.contains_key(tail_name) {
+            return;
+        }
+        let tail = self
+            .tail_columns
+            .get(tail_name)
+            .expect("caller checked the tail exists")
+            .clone();
+        self.stats.record_copy(self.head_column.len() * 2);
+        self.maps
+            .insert(tail_name.to_owned(), CrackerMap::new(self.head_column.clone(), tail));
+    }
+
+    /// Verify the integrity of every materialized map and their mutual
+    /// alignment (same piece boundaries for fully aligned maps).
+    pub fn verify_integrity(&self) -> bool {
+        if !self.maps.values().all(CrackerMap::verify_integrity) {
+            return false;
+        }
+        // maps that have applied the same amount of history must have the
+        // same cut structure
+        let fully_aligned: Vec<&CrackerMap> = self
+            .maps
+            .values()
+            .filter(|m| m.applied_history == self.crack_history.len())
+            .collect();
+        if let Some(first) = fully_aligned.first() {
+            let reference = first.cuts.cuts();
+            fully_aligned.iter().all(|m| m.cuts.cuts() == reference)
+        } else {
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A little three-column relation: a (head), b = 10*a, c = 1000 - a.
+    fn relation(n: Key) -> (Vec<Key>, Vec<Key>, Vec<Key>) {
+        let a: Vec<Key> = (0..n).map(|i| (i * 48271) % n).collect();
+        let b: Vec<Key> = a.iter().map(|&v| v * 10).collect();
+        let c: Vec<Key> = a.iter().map(|&v| 1000 - v).collect();
+        (a, b, c)
+    }
+
+    fn reference_project(
+        a: &[Key],
+        tail: &[Key],
+        low: Key,
+        high: Key,
+    ) -> Vec<(Key, Key)> {
+        let mut v: Vec<(Key, Key)> = a
+            .iter()
+            .zip(tail.iter())
+            .filter(|&(&av, _)| av >= low && av < high)
+            .map(|(&av, &tv)| (av, tv))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn single_tail_projection_matches_reference() {
+        let (a, b, _) = relation(2000);
+        let mut maps = MapSet::new(&a, vec![("b", b.clone())]);
+        for q in 0..40 {
+            let low = (q * 83) % 1800;
+            let high = low + 120;
+            let answer = maps.select_project_one(low, high, "b");
+            let mut got: Vec<(Key, Key)> = answer
+                .head
+                .iter()
+                .copied()
+                .zip(answer.tails[0].iter().copied())
+                .collect();
+            got.sort_unstable();
+            assert_eq!(got, reference_project(&a, &b, low, high));
+        }
+        assert!(maps.verify_integrity());
+        assert_eq!(maps.materialized_maps(), 1);
+    }
+
+    #[test]
+    fn tails_stay_aligned_across_maps() {
+        let (a, b, c) = relation(3000);
+        let mut maps = MapSet::new(&a, vec![("b", b.clone()), ("c", c.clone())]);
+        // interleave queries that touch different subsets of tails so the
+        // alignment machinery has real work to do
+        let _ = maps.select_project_one(100, 400, "b");
+        let _ = maps.select_project_one(900, 1500, "c");
+        let _ = maps.select_project_one(200, 700, "b");
+        let answer = maps.select_project(300, 600, &["b", "c"]);
+        assert_eq!(answer.tails.len(), 2);
+        assert_eq!(answer.head.len(), answer.tails[0].len());
+        assert_eq!(answer.head.len(), answer.tails[1].len());
+        // per-tuple relationships must hold across the projected vectors
+        for i in 0..answer.len() {
+            let av = answer.head[i];
+            assert_eq!(answer.tails[0][i], av * 10, "b must align with a");
+            assert_eq!(answer.tails[1][i], 1000 - av, "c must align with a");
+            assert_eq!(a[answer.rowids[i] as usize], av);
+        }
+        assert!(maps.verify_integrity());
+    }
+
+    #[test]
+    fn maps_are_materialized_lazily() {
+        let (a, b, c) = relation(500);
+        let mut maps = MapSet::new(&a, vec![("b", b), ("c", c)]);
+        assert_eq!(maps.materialized_maps(), 0);
+        let _ = maps.select_project_one(10, 50, "b");
+        assert_eq!(maps.materialized_maps(), 1, "only the queried tail is materialized");
+        let _ = maps.select_project_one(10, 50, "c");
+        assert_eq!(maps.materialized_maps(), 2);
+        assert_eq!(maps.tail_names(), vec!["b", "c"]);
+        assert!(maps.crack_history_len() >= 2);
+    }
+
+    #[test]
+    fn unknown_tail_and_degenerate_queries() {
+        let (a, b, _) = relation(100);
+        let mut maps = MapSet::new(&a, vec![("b", b)]);
+        let answer = maps.select_project(10, 50, &["nope"]);
+        assert!(answer.is_empty());
+        assert_eq!(answer.tails.len(), 1);
+        assert!(answer.tails[0].is_empty());
+        assert!(maps.select_project(50, 10, &["b"]).is_empty());
+        assert!(maps.select_project(10, 50, &[]).is_empty());
+        let empty = MapSet::new(&[], vec![("b", vec![])]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.len(), 0);
+    }
+
+    #[test]
+    fn out_of_domain_bounds_are_clamped() {
+        let (a, b, _) = relation(200);
+        let mut maps = MapSet::new(&a, vec![("b", b.clone())]);
+        let answer = maps.select_project_one(-500, 5000, "b");
+        assert_eq!(answer.len(), 200, "whole relation qualifies");
+        let answer = maps.select_project_one(-500, -100, "b");
+        assert!(answer.is_empty());
+    }
+
+    #[test]
+    fn from_table_builds_maps_over_int_columns() {
+        use aidx_columnstore::prelude::*;
+        let table = Table::from_columns(vec![
+            ("a", Column::from_i64(vec![3, 1, 2])),
+            ("b", Column::from_i64(vec![30, 10, 20])),
+            ("name", Column::from_strs(&["x", "y", "z"])),
+        ])
+        .unwrap();
+        let mut maps = MapSet::from_table(&table, "a").unwrap();
+        assert_eq!(maps.tail_names(), vec!["b"]);
+        let answer = maps.select_project_one(1, 3, "b");
+        let mut pairs: Vec<(Key, Key)> = answer
+            .head
+            .iter()
+            .copied()
+            .zip(answer.tails[0].iter().copied())
+            .collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(1, 10), (2, 20)]);
+        assert!(MapSet::from_table(&table, "name").is_none());
+    }
+
+    #[test]
+    fn repeated_queries_stop_cracking_maps() {
+        let (a, b, _) = relation(1000);
+        let mut maps = MapSet::new(&a, vec![("b", b)]);
+        let _ = maps.select_project_one(100, 300, "b");
+        let history = maps.crack_history_len();
+        let cracks = maps.stats().crack_in_two_calls;
+        let _ = maps.select_project_one(100, 300, "b");
+        assert_eq!(maps.crack_history_len(), history);
+        assert_eq!(maps.stats().crack_in_two_calls, cracks);
+    }
+}

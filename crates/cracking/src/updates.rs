@@ -1,0 +1,623 @@
+//! Updating a cracked database (Idreos, Kersten, Manegold — SIGMOD 2007).
+//!
+//! Updates follow the same adaptive philosophy as the index itself: they are
+//! *not* applied eagerly. Insertions and deletions are staged in pending
+//! columns and merged into the cracker column lazily, during query
+//! processing, and only as much as the chosen merge policy demands:
+//!
+//! * [`MergePolicy::MergeCompletely`] — the first query after updates merges
+//!   every pending tuple (the simplest, most disruptive strategy),
+//! * [`MergePolicy::MergeGradually`] — each query merges at most a fixed
+//!   number of pending tuples that fall inside its range,
+//! * [`MergePolicy::MergeRipple`] — each query merges exactly the pending
+//!   tuples that fall inside its range, using the *ripple* mechanism: the
+//!   insertion shifts one element per downstream piece instead of shifting
+//!   the whole column tail.
+//!
+//! Whatever is not merged yet is still reflected in query answers: results
+//! combine the cracker column with the relevant pending tuples, so answers
+//! are always up to date ("updates are applied on demand").
+
+use crate::index::{BTreeCutIndex, CutIndex};
+use crate::selection::CrackedIndex;
+use crate::stats::CrackStats;
+use aidx_columnstore::types::{Key, RowId};
+
+/// How aggressively pending updates are merged during query processing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergePolicy {
+    /// Merge all pending updates on the next query, regardless of its range.
+    MergeCompletely,
+    /// Merge at most this many pending updates per query, restricted to the
+    /// query's range.
+    MergeGradually {
+        /// Maximum number of pending tuples merged per query.
+        batch: usize,
+    },
+    /// Merge exactly the pending updates falling inside the query's range.
+    MergeRipple,
+}
+
+/// A query answer that owns its data (the updatable index may consult both
+/// the cracker column and the pending areas, so it cannot hand out one
+/// contiguous borrowed slice).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateQueryAnswer {
+    /// Qualifying key values.
+    pub keys: Vec<Key>,
+    /// Row ids parallel to `keys`.
+    pub rowids: Vec<RowId>,
+}
+
+impl UpdateQueryAnswer {
+    /// Number of qualifying tuples.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when no tuple qualifies.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+/// A selection-cracking index that supports adaptive insertions and deletions.
+#[derive(Debug, Clone)]
+pub struct UpdatableCrackedIndex {
+    index: CrackedIndex<BTreeCutIndex>,
+    policy: MergePolicy,
+    pending_inserts: Vec<(Key, RowId)>,
+    pending_deletes: Vec<(Key, RowId)>,
+    next_rowid: RowId,
+    merged_inserts: u64,
+    merged_deletes: u64,
+}
+
+impl UpdatableCrackedIndex {
+    /// Build from a dense key slice; row ids `0..n` refer to those keys.
+    pub fn from_keys(keys: &[Key], policy: MergePolicy) -> Self {
+        UpdatableCrackedIndex {
+            index: CrackedIndex::from_keys(keys),
+            policy,
+            pending_inserts: Vec::new(),
+            pending_deletes: Vec::new(),
+            next_rowid: keys.len() as RowId,
+            merged_inserts: 0,
+            merged_deletes: 0,
+        }
+    }
+
+    /// Total number of live tuples (indexed + pending inserts − pending deletes).
+    pub fn len(&self) -> usize {
+        self.index.len() + self.pending_inserts.len() - self.pending_deletes.len()
+    }
+
+    /// True when no live tuple exists.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of tuples waiting in the pending-insertions area.
+    pub fn pending_insert_count(&self) -> usize {
+        self.pending_inserts.len()
+    }
+
+    /// Number of tuples waiting in the pending-deletions area.
+    pub fn pending_delete_count(&self) -> usize {
+        self.pending_deletes.len()
+    }
+
+    /// How many pending insertions have been merged into the cracker column.
+    pub fn merged_insert_count(&self) -> u64 {
+        self.merged_inserts
+    }
+
+    /// How many pending deletions have been applied to the cracker column.
+    pub fn merged_delete_count(&self) -> u64 {
+        self.merged_deletes
+    }
+
+    /// The active merge policy.
+    pub fn policy(&self) -> MergePolicy {
+        self.policy
+    }
+
+    /// Change the merge policy (e.g. to study the trade-off in a benchmark).
+    pub fn set_policy(&mut self, policy: MergePolicy) {
+        self.policy = policy;
+    }
+
+    /// Accumulated instrumentation of the underlying cracked index.
+    pub fn stats(&self) -> &CrackStats {
+        self.index.stats()
+    }
+
+    /// Number of pieces in the cracker column.
+    pub fn piece_count(&self) -> usize {
+        self.index.piece_count()
+    }
+
+    /// Stage an insertion; returns the row id assigned to the new tuple.
+    pub fn insert(&mut self, key: Key) -> RowId {
+        let rowid = self.next_rowid;
+        self.next_rowid += 1;
+        self.pending_inserts.push((key, rowid));
+        rowid
+    }
+
+    /// Stage a deletion of the tuple `(key, rowid)`. If the tuple is still in
+    /// the pending-insertions area it is simply dropped from there. Returns
+    /// `true` when the tuple was known (either pending or indexed).
+    pub fn delete(&mut self, key: Key, rowid: RowId) -> bool {
+        if let Some(idx) = self
+            .pending_inserts
+            .iter()
+            .position(|&(k, r)| k == key && r == rowid)
+        {
+            self.pending_inserts.swap_remove(idx);
+            return true;
+        }
+        let exists_in_index = self
+            .index
+            .column()
+            .rowids()
+            .iter()
+            .zip(self.index.column().values())
+            .any(|(&r, &k)| r == rowid && k == key);
+        if exists_in_index
+            && !self
+                .pending_deletes
+                .iter()
+                .any(|&(k, r)| k == key && r == rowid)
+        {
+            self.pending_deletes.push((key, rowid));
+            return true;
+        }
+        false
+    }
+
+    /// Answer the half-open range query `[low, high)`, merging pending
+    /// updates according to the configured policy first.
+    pub fn query_range(&mut self, low: Key, high: Key) -> UpdateQueryAnswer {
+        self.merge_for_query(low, high);
+
+        let result = self.index.query_range(low, high);
+        let mut keys = result.keys().to_vec();
+        let mut rowids = result.rowids().to_vec();
+
+        // Remaining pending deletions mask indexed tuples; remaining pending
+        // insertions contribute extra tuples.
+        if !self.pending_deletes.is_empty() {
+            let deleted: Vec<(Key, RowId)> = self
+                .pending_deletes
+                .iter()
+                .copied()
+                .filter(|&(k, _)| k >= low && k < high)
+                .collect();
+            if !deleted.is_empty() {
+                let mut keep = Vec::with_capacity(keys.len());
+                let mut keep_rowids = Vec::with_capacity(rowids.len());
+                for (&k, &r) in keys.iter().zip(rowids.iter()) {
+                    if !deleted.iter().any(|&(dk, dr)| dk == k && dr == r) {
+                        keep.push(k);
+                        keep_rowids.push(r);
+                    }
+                }
+                keys = keep;
+                rowids = keep_rowids;
+            }
+        }
+        for &(k, r) in &self.pending_inserts {
+            if k >= low && k < high {
+                keys.push(k);
+                rowids.push(r);
+            }
+        }
+
+        UpdateQueryAnswer { keys, rowids }
+    }
+
+    /// Count the qualifying tuples of `[low, high)`.
+    pub fn count_range(&mut self, low: Key, high: Key) -> usize {
+        self.query_range(low, high).len()
+    }
+
+    fn merge_for_query(&mut self, low: Key, high: Key) {
+        match self.policy {
+            MergePolicy::MergeCompletely => {
+                let inserts: Vec<(Key, RowId)> = std::mem::take(&mut self.pending_inserts);
+                for (k, r) in inserts {
+                    self.ripple_insert(k, r);
+                }
+                let deletes: Vec<(Key, RowId)> = std::mem::take(&mut self.pending_deletes);
+                for (k, r) in deletes {
+                    self.ripple_delete(k, r);
+                }
+            }
+            MergePolicy::MergeGradually { batch } => {
+                let mut budget = batch;
+                budget -= self.merge_pending_inserts_in_range(low, high, budget);
+                self.merge_pending_deletes_in_range(low, high, budget);
+            }
+            MergePolicy::MergeRipple => {
+                self.merge_pending_inserts_in_range(low, high, usize::MAX);
+                self.merge_pending_deletes_in_range(low, high, usize::MAX);
+            }
+        }
+        if self.merged_inserts + self.merged_deletes > 0 {
+            self.index.refresh_min_max();
+        }
+    }
+
+    fn merge_pending_inserts_in_range(&mut self, low: Key, high: Key, budget: usize) -> usize {
+        let mut merged = 0;
+        let mut i = 0;
+        while i < self.pending_inserts.len() && merged < budget {
+            let (k, _) = self.pending_inserts[i];
+            if k >= low && k < high {
+                let (k, r) = self.pending_inserts.swap_remove(i);
+                self.ripple_insert(k, r);
+                merged += 1;
+            } else {
+                i += 1;
+            }
+        }
+        merged
+    }
+
+    fn merge_pending_deletes_in_range(&mut self, low: Key, high: Key, budget: usize) -> usize {
+        let mut merged = 0;
+        let mut i = 0;
+        while i < self.pending_deletes.len() && merged < budget {
+            let (k, _) = self.pending_deletes[i];
+            if k >= low && k < high {
+                let (k, r) = self.pending_deletes.swap_remove(i);
+                self.ripple_delete(k, r);
+                merged += 1;
+            } else {
+                i += 1;
+            }
+        }
+        merged
+    }
+
+    /// Insert `(key, rowid)` into the cracker column using the ripple
+    /// technique: append one slot, then shift *one element per downstream
+    /// piece* into it, finally writing the new pair into the hole that opens
+    /// at the end of the target piece.
+    fn ripple_insert(&mut self, key: Key, rowid: RowId) {
+        let (column, cuts, stats) = self.index.parts_mut();
+
+        // Cut keys strictly greater than `key`, in descending key order: these
+        // are the piece boundaries that must shift right by one.
+        let mut downstream: Vec<(Key, usize)> = cuts
+            .cuts()
+            .into_iter()
+            .filter(|&(k, _)| k > key)
+            .collect();
+        downstream.sort_unstable_by_key(|&(k, _)| std::cmp::Reverse(k));
+
+        // Open a hole at the very end of the column.
+        column.push(0, 0);
+        let mut hole = column.len() - 1;
+
+        for (cut_key, cut_pos) in downstream {
+            // Move the first element of the piece starting at `cut_pos` into
+            // the hole (which sits just past that piece's current last slot).
+            if cut_pos < hole {
+                let (v, r) = (column.value(cut_pos), column.rowid(cut_pos));
+                column.set(hole, v, r);
+                hole = cut_pos;
+            }
+            cuts.insert(cut_key, cut_pos + 1);
+        }
+
+        column.set(hole, key, rowid);
+        stats.record_merge(1);
+        self.merged_inserts += 1;
+    }
+
+    /// Delete `(key, rowid)` from the cracker column using the reverse
+    /// ripple: the hole left by the deleted pair swallows one element per
+    /// downstream piece, and the column shrinks by one at the end.
+    fn ripple_delete(&mut self, key: Key, rowid: RowId) {
+        let (column, cuts, stats) = self.index.parts_mut();
+        let len = column.len();
+        if len == 0 {
+            return;
+        }
+
+        // Locate the piece holding `key` and scan it for the row id.
+        let begin = cuts.floor(key).map_or(0, |(_, p)| p);
+        let end = cuts.successor(key).map_or(len, |(_, p)| p);
+        let Some(offset) = (begin..end).find(|&p| column.rowid(p) == rowid && column.value(p) == key)
+        else {
+            return;
+        };
+
+        // Cut keys strictly greater than `key`, ascending: each downstream
+        // piece donates its first element to the hole and shifts left by one.
+        let downstream: Vec<(Key, usize)> = cuts
+            .cuts()
+            .into_iter()
+            .filter(|&(k, _)| k > key)
+            .collect();
+
+        let mut hole = offset;
+        // Within the target piece, fill the hole with the piece's last pair.
+        let target_piece_end = downstream.first().map_or(len, |&(_, p)| p);
+        if hole != target_piece_end - 1 {
+            let (v, r) = (
+                column.value(target_piece_end - 1),
+                column.rowid(target_piece_end - 1),
+            );
+            column.set(hole, v, r);
+        }
+        hole = target_piece_end - 1;
+
+        for (i, &(cut_key, cut_pos)) in downstream.iter().enumerate() {
+            // The piece [cut_pos, next_pos) donates its last element into the
+            // hole at cut_pos - 1 ... wait: the hole currently sits at the
+            // last slot of the *previous* piece; after shifting the boundary
+            // left by one, that slot becomes the first slot of this piece, so
+            // we fill it with this piece's last element.
+            let next_pos = downstream.get(i + 1).map_or(len, |&(_, p)| p);
+            if next_pos - 1 != hole {
+                let (v, r) = (column.value(next_pos - 1), column.rowid(next_pos - 1));
+                column.set(hole, v, r);
+            }
+            hole = next_pos - 1;
+            cuts.insert(cut_key, cut_pos - 1);
+        }
+
+        debug_assert_eq!(hole, len - 1);
+        column.truncate(len - 1);
+        stats.record_merge(1);
+        self.merged_deletes += 1;
+    }
+
+    /// Verify structural invariants of the underlying index plus the pending
+    /// areas (no tuple may be both pending-inserted and pending-deleted).
+    pub fn verify_integrity(&self) -> bool {
+        if !self.index.verify_integrity() {
+            return false;
+        }
+        !self.pending_inserts.iter().any(|pi| {
+            self.pending_deletes
+                .iter()
+                .any(|pd| pi.0 == pd.0 && pi.1 == pd.1)
+        })
+    }
+
+    /// The underlying cracked index (for inspection in tests / harnesses).
+    pub fn index(&self) -> &CrackedIndex<BTreeCutIndex> {
+        &self.index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted(mut v: Vec<Key>) -> Vec<Key> {
+        v.sort_unstable();
+        v
+    }
+
+    /// Reference model: a plain vector of (key, rowid) pairs.
+    #[derive(Default)]
+    struct Model {
+        live: Vec<(Key, RowId)>,
+    }
+
+    impl Model {
+        fn from_keys(keys: &[Key]) -> Self {
+            Model {
+                live: keys
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .map(|(i, k)| (k, i as RowId))
+                    .collect(),
+            }
+        }
+        fn insert(&mut self, key: Key, rowid: RowId) {
+            self.live.push((key, rowid));
+        }
+        fn delete(&mut self, key: Key, rowid: RowId) {
+            self.live.retain(|&(k, r)| !(k == key && r == rowid));
+        }
+        fn range(&self, low: Key, high: Key) -> Vec<Key> {
+            sorted(
+                self.live
+                    .iter()
+                    .filter(|&&(k, _)| k >= low && k < high)
+                    .map(|&(k, _)| k)
+                    .collect(),
+            )
+        }
+    }
+
+    fn policies() -> Vec<MergePolicy> {
+        vec![
+            MergePolicy::MergeCompletely,
+            MergePolicy::MergeGradually { batch: 2 },
+            MergePolicy::MergeRipple,
+        ]
+    }
+
+    #[test]
+    fn insert_then_query_sees_new_tuples() {
+        for policy in policies() {
+            let data = vec![10, 50, 90];
+            let mut idx = UpdatableCrackedIndex::from_keys(&data, policy);
+            idx.insert(42);
+            idx.insert(60);
+            assert_eq!(idx.pending_insert_count(), 2);
+            let answer = idx.query_range(40, 70);
+            assert_eq!(sorted(answer.keys.clone()), vec![42, 50, 60], "{policy:?}");
+            assert!(idx.verify_integrity(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn delete_then_query_hides_tuples() {
+        for policy in policies() {
+            let data = vec![10, 20, 30, 40];
+            let mut idx = UpdatableCrackedIndex::from_keys(&data, policy);
+            assert!(idx.delete(20, 1));
+            assert!(idx.delete(40, 3));
+            let answer = idx.query_range(0, 100);
+            assert_eq!(sorted(answer.keys.clone()), vec![10, 30], "{policy:?}");
+            assert!(idx.verify_integrity(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn delete_of_pending_insert_cancels_it() {
+        let mut idx = UpdatableCrackedIndex::from_keys(&[1, 2], MergePolicy::MergeRipple);
+        let rid = idx.insert(99);
+        assert!(idx.delete(99, rid));
+        assert_eq!(idx.pending_insert_count(), 0);
+        assert_eq!(idx.pending_delete_count(), 0);
+        assert_eq!(idx.count_range(0, 1000), 2);
+    }
+
+    #[test]
+    fn delete_of_unknown_tuple_returns_false() {
+        let mut idx = UpdatableCrackedIndex::from_keys(&[1, 2], MergePolicy::MergeRipple);
+        assert!(!idx.delete(99, 57));
+        assert!(!idx.delete(1, 1)); // rowid 1 holds key 2, not key 1
+        assert!(idx.delete(2, 1));
+        // double delete is rejected
+        assert!(!idx.delete(2, 1));
+    }
+
+    #[test]
+    fn merge_completely_drains_pending_on_first_query() {
+        let data: Vec<Key> = (0..100).collect();
+        let mut idx = UpdatableCrackedIndex::from_keys(&data, MergePolicy::MergeCompletely);
+        for i in 0..10 {
+            idx.insert(1000 + i);
+        }
+        idx.delete(5, 5);
+        let _ = idx.query_range(0, 10);
+        assert_eq!(idx.pending_insert_count(), 0);
+        assert_eq!(idx.pending_delete_count(), 0);
+        assert_eq!(idx.merged_insert_count(), 10);
+        assert_eq!(idx.merged_delete_count(), 1);
+        assert_eq!(idx.index().len(), 109);
+        assert!(idx.verify_integrity());
+    }
+
+    #[test]
+    fn merge_ripple_only_merges_in_range_tuples() {
+        let data: Vec<Key> = (0..100).collect();
+        let mut idx = UpdatableCrackedIndex::from_keys(&data, MergePolicy::MergeRipple);
+        // establish some pieces first
+        let _ = idx.query_range(20, 40);
+        let _ = idx.query_range(60, 80);
+        idx.insert(25); // inside a future query range
+        idx.insert(70); // outside it
+        let answer = idx.query_range(20, 40);
+        assert!(answer.keys.contains(&25));
+        assert_eq!(idx.pending_insert_count(), 1, "70 stays pending");
+        assert_eq!(idx.merged_insert_count(), 1);
+        assert!(idx.verify_integrity());
+        // the merged tuple is physically in the cracker column now
+        assert!(idx.index().column().values().contains(&25));
+    }
+
+    #[test]
+    fn merge_gradually_respects_batch_limit() {
+        let data: Vec<Key> = (0..50).collect();
+        let mut idx =
+            UpdatableCrackedIndex::from_keys(&data, MergePolicy::MergeGradually { batch: 2 });
+        for _ in 0..6 {
+            idx.insert(25);
+        }
+        let a1 = idx.query_range(20, 30);
+        assert_eq!(a1.keys.iter().filter(|&&k| k == 25).count(), 6 + 1);
+        assert_eq!(idx.merged_insert_count(), 2);
+        assert_eq!(idx.pending_insert_count(), 4);
+        let _ = idx.query_range(20, 30);
+        assert_eq!(idx.merged_insert_count(), 4);
+        assert!(idx.verify_integrity());
+        assert_eq!(idx.policy(), MergePolicy::MergeGradually { batch: 2 });
+    }
+
+    #[test]
+    fn ripple_insert_preserves_piece_invariants() {
+        let data: Vec<Key> = (0..200).rev().collect();
+        let mut idx = UpdatableCrackedIndex::from_keys(&data, MergePolicy::MergeRipple);
+        // crack into several pieces
+        let _ = idx.query_range(50, 100);
+        let _ = idx.query_range(120, 160);
+        let pieces_before = idx.piece_count();
+        // insert values hitting different pieces
+        for &v in &[10, 55, 110, 130, 190] {
+            idx.insert(v);
+        }
+        let answer = idx.query_range(0, 300);
+        assert_eq!(answer.len(), 205);
+        assert_eq!(idx.piece_count(), pieces_before);
+        assert!(idx.verify_integrity());
+        assert_eq!(idx.len(), 205);
+    }
+
+    #[test]
+    fn interleaved_updates_and_queries_match_model() {
+        for policy in policies() {
+            let initial: Vec<Key> = (0..500).map(|i| (i * 71) % 500).collect();
+            let mut idx = UpdatableCrackedIndex::from_keys(&initial, policy);
+            let mut model = Model::from_keys(&initial);
+
+            let mut state: u64 = 0xDEADBEEF;
+            let mut next = move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as i64
+            };
+
+            for step in 0..300 {
+                match step % 5 {
+                    0 => {
+                        let k = next() % 600;
+                        let rid = idx.insert(k);
+                        model.insert(k, rid);
+                    }
+                    1 => {
+                        // delete a random live tuple from the model
+                        if !model.live.is_empty() {
+                            let pick = (next() as usize) % model.live.len();
+                            let (k, r) = model.live[pick];
+                            assert!(idx.delete(k, r), "{policy:?}: delete of live tuple failed");
+                            model.delete(k, r);
+                        }
+                    }
+                    _ => {
+                        let a = next() % 600;
+                        let b = next() % 600;
+                        let (low, high) = if a <= b { (a, b) } else { (b, a) };
+                        let got = sorted(idx.query_range(low, high).keys);
+                        assert_eq!(got, model.range(low, high), "{policy:?}");
+                    }
+                }
+            }
+            assert!(idx.verify_integrity(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn len_and_empty_reflect_pending_state() {
+        let mut idx = UpdatableCrackedIndex::from_keys(&[], MergePolicy::MergeRipple);
+        assert!(idx.is_empty());
+        idx.insert(5);
+        assert_eq!(idx.len(), 1);
+        assert!(!idx.is_empty());
+        let mut idx = UpdatableCrackedIndex::from_keys(&[1, 2, 3], MergePolicy::MergeCompletely);
+        idx.delete(2, 1);
+        assert_eq!(idx.len(), 2);
+        idx.set_policy(MergePolicy::MergeRipple);
+        assert_eq!(idx.policy(), MergePolicy::MergeRipple);
+    }
+}

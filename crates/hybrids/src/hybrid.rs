@@ -1,0 +1,449 @@
+//! The hybrid adaptive index: initial partitions + final partition.
+
+use crate::final_partition::{FinalOrganization, FinalPartition};
+use crate::source::{SourceOrganization, SourcePartition};
+use aidx_cracking::stats::CrackStats;
+use aidx_columnstore::column::Column;
+use aidx_columnstore::position::PositionList;
+use aidx_columnstore::types::{Key, RowId};
+
+/// Default number of tuples per initial partition.
+pub const DEFAULT_PARTITION_SIZE: usize = 1 << 16;
+
+/// Default number of radix bits for the radix organizations.
+pub const DEFAULT_RADIX_BITS: u32 = 6;
+
+/// The named hybrid algorithms of the PVLDB 2011 paper, spelled as
+/// (initial-partition organization, final-partition organization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HybridAlgorithm {
+    /// Hybrid Crack-Crack: lazy on both sides; closest to plain cracking.
+    CrackCrack,
+    /// Hybrid Crack-Sort: lazy initial partitions, sorted final partition.
+    CrackSort,
+    /// Hybrid Crack-Radix: lazy initial partitions, radix-clustered final.
+    CrackRadix,
+    /// Hybrid Sort-Sort: adaptive merging expressed in this framework.
+    SortSort,
+    /// Hybrid Sort-Radix.
+    SortRadix,
+    /// Hybrid Sort-Crack.
+    SortCrack,
+    /// Hybrid Radix-Radix.
+    RadixRadix,
+    /// Hybrid Radix-Sort.
+    RadixSort,
+    /// Hybrid Radix-Crack.
+    RadixCrack,
+}
+
+impl HybridAlgorithm {
+    /// All nine combinations, in a stable order (useful for benchmarks).
+    pub fn all() -> [HybridAlgorithm; 9] {
+        [
+            HybridAlgorithm::CrackCrack,
+            HybridAlgorithm::CrackSort,
+            HybridAlgorithm::CrackRadix,
+            HybridAlgorithm::SortCrack,
+            HybridAlgorithm::SortSort,
+            HybridAlgorithm::SortRadix,
+            HybridAlgorithm::RadixCrack,
+            HybridAlgorithm::RadixSort,
+            HybridAlgorithm::RadixRadix,
+        ]
+    }
+
+    /// The six variants the paper evaluates most prominently.
+    pub fn canonical() -> [HybridAlgorithm; 6] {
+        [
+            HybridAlgorithm::CrackCrack,
+            HybridAlgorithm::CrackSort,
+            HybridAlgorithm::CrackRadix,
+            HybridAlgorithm::RadixRadix,
+            HybridAlgorithm::SortSort,
+            HybridAlgorithm::SortRadix,
+        ]
+    }
+
+    /// The initial-partition organization.
+    pub fn source_organization(&self) -> SourceOrganization {
+        match self {
+            HybridAlgorithm::CrackCrack
+            | HybridAlgorithm::CrackSort
+            | HybridAlgorithm::CrackRadix => SourceOrganization::Crack,
+            HybridAlgorithm::SortCrack
+            | HybridAlgorithm::SortSort
+            | HybridAlgorithm::SortRadix => SourceOrganization::Sort,
+            HybridAlgorithm::RadixCrack
+            | HybridAlgorithm::RadixSort
+            | HybridAlgorithm::RadixRadix => SourceOrganization::Radix,
+        }
+    }
+
+    /// The final-partition organization.
+    pub fn final_organization(&self) -> FinalOrganization {
+        match self {
+            HybridAlgorithm::CrackCrack
+            | HybridAlgorithm::SortCrack
+            | HybridAlgorithm::RadixCrack => FinalOrganization::Crack,
+            HybridAlgorithm::CrackSort
+            | HybridAlgorithm::SortSort
+            | HybridAlgorithm::RadixSort => FinalOrganization::Sort,
+            HybridAlgorithm::CrackRadix
+            | HybridAlgorithm::SortRadix
+            | HybridAlgorithm::RadixRadix => FinalOrganization::Radix,
+        }
+    }
+
+    /// The conventional short name (HCC, HCS, ...).
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            HybridAlgorithm::CrackCrack => "HCC",
+            HybridAlgorithm::CrackSort => "HCS",
+            HybridAlgorithm::CrackRadix => "HCR",
+            HybridAlgorithm::SortCrack => "HSC",
+            HybridAlgorithm::SortSort => "HSS",
+            HybridAlgorithm::SortRadix => "HSR",
+            HybridAlgorithm::RadixCrack => "HRC",
+            HybridAlgorithm::RadixSort => "HRS",
+            HybridAlgorithm::RadixRadix => "HRR",
+        }
+    }
+}
+
+/// An owned query answer (tuples may come from several structures, so no
+/// single borrowed slice exists).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HybridQueryAnswer {
+    /// Qualifying keys. Sorted for sort-final algorithms, unordered otherwise.
+    pub keys: Vec<Key>,
+    /// Row ids parallel to `keys`.
+    pub rowids: Vec<RowId>,
+}
+
+impl HybridQueryAnswer {
+    /// Number of qualifying tuples.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when no tuple qualifies.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Row ids as a sorted position list for late materialization.
+    pub fn positions(&self) -> PositionList {
+        PositionList::from_vec(self.rowids.clone())
+    }
+}
+
+/// A hybrid adaptive index over one key column.
+#[derive(Debug, Clone)]
+pub struct HybridIndex {
+    algorithm: HybridAlgorithm,
+    sources: Vec<SourcePartition>,
+    final_partition: FinalPartition,
+    total_len: usize,
+    stats: CrackStats,
+}
+
+impl HybridIndex {
+    /// Build the index: split `keys` into partitions of `partition_size` and
+    /// organize them according to the algorithm's initial-partition letter.
+    /// The cost of that organization (nothing for C, a sort per partition for
+    /// S, a clustering pass for R) is charged to the statistics immediately —
+    /// it is the initialization cost the first query pays.
+    pub fn from_keys(
+        keys: &[Key],
+        algorithm: HybridAlgorithm,
+        partition_size: usize,
+        radix_bits: u32,
+    ) -> Self {
+        let partition_size = partition_size.max(1);
+        let mut stats = CrackStats::new();
+        stats.record_copy(keys.len());
+        let domain_low = keys.iter().copied().min().unwrap_or(0);
+        let domain_high = keys.iter().copied().max().unwrap_or(0);
+        let mut sources = Vec::with_capacity(keys.len().div_ceil(partition_size));
+        for (chunk_index, chunk) in keys.chunks(partition_size).enumerate() {
+            let base = chunk_index * partition_size;
+            let pairs: Vec<(Key, RowId)> = chunk
+                .iter()
+                .copied()
+                .enumerate()
+                .map(|(i, k)| (k, (base + i) as RowId))
+                .collect();
+            sources.push(SourcePartition::new(
+                algorithm.source_organization(),
+                pairs,
+                radix_bits,
+                &mut stats,
+            ));
+        }
+        HybridIndex {
+            algorithm,
+            sources,
+            final_partition: FinalPartition::new(
+                algorithm.final_organization(),
+                (domain_low, domain_high),
+                radix_bits,
+            ),
+            total_len: keys.len(),
+            stats,
+        }
+    }
+
+    /// Build from an `Int64` base column with default sizing.
+    pub fn from_column(column: &Column, algorithm: HybridAlgorithm) -> Self {
+        match column.as_i64() {
+            Some(c) => Self::from_keys(
+                c.as_slice(),
+                algorithm,
+                DEFAULT_PARTITION_SIZE,
+                DEFAULT_RADIX_BITS,
+            ),
+            None => Self::from_keys(&[], algorithm, DEFAULT_PARTITION_SIZE, DEFAULT_RADIX_BITS),
+        }
+    }
+
+    /// The configured algorithm.
+    pub fn algorithm(&self) -> HybridAlgorithm {
+        self.algorithm
+    }
+
+    /// Number of indexed tuples.
+    pub fn len(&self) -> usize {
+        self.total_len
+    }
+
+    /// True when the index holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.total_len == 0
+    }
+
+    /// Number of initial partitions that still hold tuples.
+    pub fn active_source_count(&self) -> usize {
+        self.sources.iter().filter(|p| !p.is_empty()).count()
+    }
+
+    /// Number of tuples that have reached the final partition.
+    pub fn finalized_len(&self) -> usize {
+        self.final_partition.len()
+    }
+
+    /// True once every tuple lives in the final partition.
+    pub fn is_converged(&self) -> bool {
+        self.finalized_len() == self.total_len
+    }
+
+    /// Accumulated instrumentation.
+    pub fn stats(&self) -> &CrackStats {
+        &self.stats
+    }
+
+    /// Answer the half-open range query `[low, high)`: extract the range from
+    /// every initial partition that may hold it, move the extracted tuples
+    /// into the final partition, and answer from the final partition.
+    pub fn query_range(&mut self, low: Key, high: Key) -> HybridQueryAnswer {
+        self.stats.record_query();
+        if low >= high || self.total_len == 0 {
+            return HybridQueryAnswer::default();
+        }
+
+        let mut extracted: Vec<(Key, RowId)> = Vec::new();
+        for source in &mut self.sources {
+            if source.is_empty() || !source.overlaps(low, high) {
+                continue;
+            }
+            extracted.extend(source.extract_range(low, high, &mut self.stats));
+        }
+        if !extracted.is_empty() {
+            self.final_partition
+                .insert_range(low, high, extracted, &mut self.stats);
+        }
+
+        let pairs = self.final_partition.query_range(low, high, &mut self.stats);
+        let mut answer = HybridQueryAnswer {
+            keys: Vec::with_capacity(pairs.len()),
+            rowids: Vec::with_capacity(pairs.len()),
+        };
+        for (k, r) in pairs {
+            answer.keys.push(k);
+            answer.rowids.push(r);
+        }
+        answer
+    }
+
+    /// Count the qualifying tuples of `[low, high)`.
+    pub fn count_range(&mut self, low: Key, high: Key) -> usize {
+        self.query_range(low, high).len()
+    }
+
+    /// Structural invariants: sources and final are internally consistent and
+    /// no tuple has been lost or duplicated.
+    pub fn verify_integrity(&self) -> bool {
+        let source_len: usize = self.sources.iter().map(SourcePartition::len).sum();
+        source_len + self.final_partition.len() == self.total_len
+            && self.sources.iter().all(SourcePartition::check_invariants)
+            && self.final_partition.check_invariants()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_data(n: usize) -> Vec<Key> {
+        (0..n as Key).map(|i| (i * 40503) % n as Key).collect()
+    }
+
+    fn reference(data: &[Key], low: Key, high: Key) -> Vec<Key> {
+        let mut v: Vec<Key> = data.iter().copied().filter(|&x| x >= low && x < high).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn algorithm_metadata() {
+        assert_eq!(HybridAlgorithm::all().len(), 9);
+        assert_eq!(HybridAlgorithm::canonical().len(), 6);
+        assert_eq!(HybridAlgorithm::CrackSort.short_name(), "HCS");
+        assert_eq!(
+            HybridAlgorithm::SortSort.source_organization(),
+            SourceOrganization::Sort
+        );
+        assert_eq!(
+            HybridAlgorithm::RadixCrack.final_organization(),
+            FinalOrganization::Crack
+        );
+        // short names are unique
+        let names: std::collections::HashSet<_> =
+            HybridAlgorithm::all().iter().map(|a| a.short_name()).collect();
+        assert_eq!(names.len(), 9);
+    }
+
+    #[test]
+    fn all_algorithms_answer_correctly() {
+        let data = test_data(4000);
+        for algorithm in HybridAlgorithm::all() {
+            let mut idx = HybridIndex::from_keys(&data, algorithm, 512, 4);
+            assert_eq!(idx.len(), 4000);
+            for q in 0..60 {
+                let low = (q * 157) % 3500;
+                let high = low + 250;
+                let mut got = idx.query_range(low, high).keys;
+                got.sort_unstable();
+                assert_eq!(got, reference(&data, low, high), "{algorithm:?} q{q}");
+                assert!(idx.verify_integrity(), "{algorithm:?} q{q}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_queries_hit_only_the_final_partition() {
+        let data = test_data(2000);
+        for algorithm in HybridAlgorithm::canonical() {
+            let mut idx = HybridIndex::from_keys(&data, algorithm, 256, 4);
+            let first = idx.query_range(300, 700).len();
+            let merged_after_first = idx.stats().elements_merged;
+            let second = idx.query_range(300, 700).len();
+            assert_eq!(first, second, "{algorithm:?}");
+            assert_eq!(
+                idx.stats().elements_merged,
+                merged_after_first,
+                "{algorithm:?}: nothing new to merge"
+            );
+        }
+    }
+
+    #[test]
+    fn covering_workload_converges() {
+        let data = test_data(2048);
+        for algorithm in HybridAlgorithm::canonical() {
+            let mut idx = HybridIndex::from_keys(&data, algorithm, 256, 4);
+            let mut low = 0;
+            while low < 2048 {
+                let _ = idx.query_range(low, low + 128);
+                low += 128;
+            }
+            assert!(idx.is_converged(), "{algorithm:?}");
+            assert_eq!(idx.finalized_len(), 2048, "{algorithm:?}");
+            assert_eq!(idx.active_source_count(), 0, "{algorithm:?}");
+            assert!(idx.verify_integrity(), "{algorithm:?}");
+        }
+    }
+
+    #[test]
+    fn initialization_cost_ordering_crack_vs_sort() {
+        let data = test_data(50_000);
+        let hcc = HybridIndex::from_keys(&data, HybridAlgorithm::CrackCrack, 4096, 4);
+        let hss = HybridIndex::from_keys(&data, HybridAlgorithm::SortSort, 4096, 4);
+        assert!(
+            hcc.stats().total_effort() < hss.stats().total_effort(),
+            "crack-initialized hybrids must be cheaper to set up ({} vs {})",
+            hcc.stats().total_effort(),
+            hss.stats().total_effort()
+        );
+    }
+
+    #[test]
+    fn sorted_final_converges_to_cheaper_lookups_than_crack_final() {
+        let data = test_data(50_000);
+        let mut hcc = HybridIndex::from_keys(&data, HybridAlgorithm::CrackCrack, 4096, 4);
+        let mut hcs = HybridIndex::from_keys(&data, HybridAlgorithm::CrackSort, 4096, 4);
+        // warm both with the same broad query, then measure a narrow repeat
+        let _ = hcc.query_range(0, 40_000);
+        let _ = hcs.query_range(0, 40_000);
+        let hcc_before = hcc.stats().elements_scanned;
+        let hcs_before = hcs.stats().elements_scanned;
+        let _ = hcc.query_range(10_000, 10_100);
+        let _ = hcs.query_range(10_000, 10_100);
+        let hcc_scanned = hcc.stats().elements_scanned - hcc_before;
+        let hcs_scanned = hcs.stats().elements_scanned - hcs_before;
+        assert!(
+            hcs_scanned < hcc_scanned,
+            "HCS repeat lookups ({hcs_scanned}) should scan less than HCC ({hcc_scanned})"
+        );
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        for algorithm in [HybridAlgorithm::CrackSort, HybridAlgorithm::RadixRadix] {
+            let mut idx = HybridIndex::from_keys(&[], algorithm, 64, 4);
+            assert!(idx.is_empty());
+            assert!(idx.query_range(0, 10).is_empty());
+            assert!(idx.is_converged());
+
+            let mut idx = HybridIndex::from_keys(&[5, 1, 9], algorithm, 2, 4);
+            assert_eq!(idx.count_range(9, 5), 0);
+            assert_eq!(idx.count_range(0, 100), 3);
+            let positions = idx.query_range(0, 100).positions();
+            assert_eq!(positions.len(), 3);
+        }
+    }
+
+    #[test]
+    fn rowids_point_back_into_base_data() {
+        let data = test_data(1000);
+        for algorithm in HybridAlgorithm::canonical() {
+            let mut idx = HybridIndex::from_keys(&data, algorithm, 128, 4);
+            let answer = idx.query_range(200, 400);
+            for (&k, &r) in answer.keys.iter().zip(answer.rowids.iter()) {
+                assert_eq!(data[r as usize], k, "{algorithm:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_column_dispatch() {
+        let column = Column::from_i64(test_data(500));
+        let mut idx = HybridIndex::from_column(&column, HybridAlgorithm::CrackSort);
+        assert_eq!(idx.len(), 500);
+        assert_eq!(idx.algorithm(), HybridAlgorithm::CrackSort);
+        assert!(idx.count_range(0, 500) == 500);
+        let f = Column::from_f64(vec![1.0]);
+        let idx2 = HybridIndex::from_column(&f, HybridAlgorithm::CrackSort);
+        assert!(idx2.is_empty());
+    }
+}

@@ -1,0 +1,468 @@
+//! Initial (source) partitions of the hybrid algorithms.
+//!
+//! Every hybrid splits the column into partitions of a configurable size on
+//! first touch. A query then *extracts* its key range out of every partition
+//! that may contain qualifying tuples; how cheap that extraction is — and how
+//! much the first touch costs — depends on the partition organization.
+
+use aidx_cracking::crack::{crack_in_two_counted, PivotSide};
+use aidx_cracking::index::{BTreeCutIndex, CutIndex};
+use aidx_cracking::stats::CrackStats;
+use aidx_merging::run::SortedRun;
+use aidx_columnstore::types::{Key, RowId};
+
+/// How initial partitions are organized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SourceOrganization {
+    /// Leave partitions unsorted; crack them at query bounds on demand.
+    Crack,
+    /// Sort each partition up front (adaptive-merging-style run generation).
+    Sort,
+    /// Radix-cluster each partition into value-range buckets up front.
+    Radix,
+}
+
+/// A source partition in one of the three organizations.
+#[derive(Debug, Clone)]
+pub enum SourcePartition {
+    /// Unsorted pairs with an incremental cracker index.
+    Cracked(CrackedSource),
+    /// A fully sorted run.
+    Sorted(SortedRun),
+    /// Value-range buckets.
+    Radix(RadixSource),
+}
+
+impl SourcePartition {
+    /// Build a partition over the given pairs.
+    pub fn new(
+        organization: SourceOrganization,
+        pairs: Vec<(Key, RowId)>,
+        radix_bits: u32,
+        stats: &mut CrackStats,
+    ) -> Self {
+        match organization {
+            SourceOrganization::Crack => SourcePartition::Cracked(CrackedSource::new(pairs)),
+            SourceOrganization::Sort => {
+                stats.record_sort(pairs.len());
+                SourcePartition::Sorted(SortedRun::from_pairs(pairs))
+            }
+            SourceOrganization::Radix => {
+                stats.record_scan(pairs.len());
+                SourcePartition::Radix(RadixSource::new(pairs, radix_bits))
+            }
+        }
+    }
+
+    /// Number of tuples still in the partition.
+    pub fn len(&self) -> usize {
+        match self {
+            SourcePartition::Cracked(p) => p.len(),
+            SourcePartition::Sorted(p) => p.len(),
+            SourcePartition::Radix(p) => p.len(),
+        }
+    }
+
+    /// True when the partition has been fully drained into the final
+    /// partition.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the partition may contain keys in `[low, high)`.
+    pub fn overlaps(&self, low: Key, high: Key) -> bool {
+        match self {
+            SourcePartition::Cracked(p) => p.overlaps(low, high),
+            SourcePartition::Sorted(p) => p.overlaps(low, high),
+            SourcePartition::Radix(p) => p.overlaps(low, high),
+        }
+    }
+
+    /// Remove and return every pair with key in `[low, high)`.
+    pub fn extract_range(
+        &mut self,
+        low: Key,
+        high: Key,
+        stats: &mut CrackStats,
+    ) -> Vec<(Key, RowId)> {
+        match self {
+            SourcePartition::Cracked(p) => p.extract_range(low, high, stats),
+            SourcePartition::Sorted(p) => {
+                let out = p.extract_range(low, high);
+                stats.record_merge(out.len());
+                out
+            }
+            SourcePartition::Radix(p) => p.extract_range(low, high, stats),
+        }
+    }
+
+    /// Structural invariants (used by tests).
+    pub fn check_invariants(&self) -> bool {
+        match self {
+            SourcePartition::Cracked(p) => p.check_invariants(),
+            SourcePartition::Sorted(p) => p.check_invariants(),
+            SourcePartition::Radix(p) => p.check_invariants(),
+        }
+    }
+}
+
+/// An unsorted partition cracked incrementally at query bounds.
+#[derive(Debug, Clone)]
+pub struct CrackedSource {
+    values: Vec<Key>,
+    rowids: Vec<RowId>,
+    cuts: BTreeCutIndex,
+    min: Key,
+    max: Key,
+}
+
+impl CrackedSource {
+    fn new(pairs: Vec<(Key, RowId)>) -> Self {
+        let values: Vec<Key> = pairs.iter().map(|&(k, _)| k).collect();
+        let rowids: Vec<RowId> = pairs.iter().map(|&(_, r)| r).collect();
+        let min = values.iter().copied().min().unwrap_or(0);
+        let max = values.iter().copied().max().unwrap_or(0);
+        CrackedSource {
+            values,
+            rowids,
+            cuts: BTreeCutIndex::new(),
+            min,
+            max,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    fn overlaps(&self, low: Key, high: Key) -> bool {
+        !self.values.is_empty() && self.min < high && self.max >= low
+    }
+
+    fn ensure_cut(&mut self, key: Key, stats: &mut CrackStats) -> usize {
+        let len = self.values.len();
+        if len == 0 || key <= self.min {
+            return 0;
+        }
+        if key > self.max {
+            return len;
+        }
+        if let Some(p) = self.cuts.exact(key) {
+            return p;
+        }
+        let begin = self.cuts.floor(key).map_or(0, |(_, p)| p);
+        let end = self.cuts.ceiling(key).map_or(len, |(_, p)| p);
+        let (split, touch) =
+            crack_in_two_counted(&mut self.values, &mut self.rowids, begin, end, key, PivotSide::Left);
+        stats.record_crack_in_two(touch);
+        self.cuts.insert(key, split);
+        split
+    }
+
+    fn extract_range(&mut self, low: Key, high: Key, stats: &mut CrackStats) -> Vec<(Key, RowId)> {
+        if self.values.is_empty() || !self.overlaps(low, high) {
+            return Vec::new();
+        }
+        let begin = self.ensure_cut(low, stats);
+        let end = self.ensure_cut(high, stats).max(begin);
+        if begin == end {
+            return Vec::new();
+        }
+        let removed = end - begin;
+        let out: Vec<(Key, RowId)> = self.values[begin..end]
+            .iter()
+            .copied()
+            .zip(self.rowids[begin..end].iter().copied())
+            .collect();
+        self.values.drain(begin..end);
+        self.rowids.drain(begin..end);
+        stats.record_merge(removed);
+
+        // Repair the cut catalog: cuts whose key lies inside the extracted
+        // value range now describe an empty region; drop them. Cuts above the
+        // range shift left by the number of removed pairs.
+        let inside: Vec<Key> = self
+            .cuts
+            .cuts()
+            .into_iter()
+            .filter(|&(k, _)| k > low && k < high)
+            .map(|(k, _)| k)
+            .collect();
+        for k in inside {
+            self.cuts.remove(k);
+        }
+        self.cuts.shift_positions(end, -(removed as isize));
+
+        if self.values.is_empty() {
+            self.cuts.clear();
+        } else {
+            self.min = self.values.iter().copied().min().unwrap_or(0);
+            self.max = self.values.iter().copied().max().unwrap_or(0);
+        }
+        out
+    }
+
+    fn check_invariants(&self) -> bool {
+        if self.values.len() != self.rowids.len() {
+            return false;
+        }
+        if !self.cuts.check_consistency(self.values.len()) {
+            return false;
+        }
+        // every piece respects its bounds
+        let mut begin = 0usize;
+        let mut low: Option<Key> = None;
+        for (key, position) in self.cuts.cuts() {
+            let slice = &self.values[begin..position];
+            if slice.iter().any(|&v| v >= key || low.is_some_and(|l| v < l)) {
+                return false;
+            }
+            begin = position;
+            low = Some(key);
+        }
+        !self.values[begin..]
+            .iter()
+            .any(|&v| low.is_some_and(|l| v < l))
+    }
+}
+
+/// A partition clustered into equal-width value-range buckets ("radix"
+/// clustering on the most significant bits of the normalized key).
+#[derive(Debug, Clone)]
+pub struct RadixSource {
+    buckets: Vec<Vec<(Key, RowId)>>,
+    /// Inclusive lower bound of the partition's key domain.
+    domain_low: Key,
+    /// Width of each bucket in key units (>= 1).
+    bucket_width: Key,
+    len: usize,
+}
+
+impl RadixSource {
+    fn new(pairs: Vec<(Key, RowId)>, radix_bits: u32) -> Self {
+        let bucket_count = 1usize << radix_bits.min(16);
+        let domain_low = pairs.iter().map(|&(k, _)| k).min().unwrap_or(0);
+        let domain_high = pairs.iter().map(|&(k, _)| k).max().unwrap_or(0);
+        let span = (domain_high - domain_low).max(0) as u128 + 1;
+        let bucket_width = span.div_ceil(bucket_count as u128).max(1) as Key;
+        let mut buckets = vec![Vec::new(); bucket_count];
+        let len = pairs.len();
+        for (k, r) in pairs {
+            let idx = (((k - domain_low) / bucket_width) as usize).min(bucket_count - 1);
+            buckets[idx].push((k, r));
+        }
+        RadixSource {
+            buckets,
+            domain_low,
+            bucket_width,
+            len,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn bucket_range(&self, index: usize) -> (Key, Key) {
+        let low = self.domain_low + self.bucket_width * index as Key;
+        (low, low + self.bucket_width)
+    }
+
+    fn overlaps(&self, low: Key, high: Key) -> bool {
+        if self.len == 0 {
+            return false;
+        }
+        let domain_high = self.domain_low + self.bucket_width * self.buckets.len() as Key;
+        self.domain_low < high && domain_high > low
+    }
+
+    fn extract_range(&mut self, low: Key, high: Key, stats: &mut CrackStats) -> Vec<(Key, RowId)> {
+        let mut out = Vec::new();
+        if !self.overlaps(low, high) {
+            return out;
+        }
+        for index in 0..self.buckets.len() {
+            let (bucket_low, bucket_high) = self.bucket_range(index);
+            if bucket_low >= high || bucket_high <= low {
+                continue;
+            }
+            let bucket = &mut self.buckets[index];
+            if bucket.is_empty() {
+                continue;
+            }
+            stats.record_scan(bucket.len());
+            if bucket_low >= low && bucket_high <= high {
+                // fully covered bucket: take it wholesale
+                out.append(bucket);
+            } else {
+                let mut kept = Vec::with_capacity(bucket.len());
+                for &(k, r) in bucket.iter() {
+                    if k >= low && k < high {
+                        out.push((k, r));
+                    } else {
+                        kept.push((k, r));
+                    }
+                }
+                *bucket = kept;
+            }
+        }
+        self.len -= out.len();
+        stats.record_merge(out.len());
+        out
+    }
+
+    fn check_invariants(&self) -> bool {
+        let counted: usize = self.buckets.iter().map(Vec::len).sum();
+        if counted != self.len {
+            return false;
+        }
+        self.buckets.iter().enumerate().all(|(i, bucket)| {
+            let (low, high) = self.bucket_range(i);
+            let last = i == self.buckets.len() - 1;
+            bucket
+                .iter()
+                .all(|&(k, _)| k >= low && (k < high || last))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(values: &[Key]) -> Vec<(Key, RowId)> {
+        values
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, k)| (k, i as RowId))
+            .collect()
+    }
+
+    fn sorted_keys(pairs: &[(Key, RowId)]) -> Vec<Key> {
+        let mut v: Vec<Key> = pairs.iter().map(|&(k, _)| k).collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn all_organizations() -> Vec<SourceOrganization> {
+        vec![
+            SourceOrganization::Crack,
+            SourceOrganization::Sort,
+            SourceOrganization::Radix,
+        ]
+    }
+
+    #[test]
+    fn extract_matches_reference_for_all_organizations() {
+        let data: Vec<Key> = (0..500).map(|i| (i * 193) % 500).collect();
+        for org in all_organizations() {
+            let mut stats = CrackStats::new();
+            let mut partition = SourcePartition::new(org, pairs(&data), 4, &mut stats);
+            assert_eq!(partition.len(), 500);
+            let extracted = partition.extract_range(100, 200, &mut stats);
+            let expected: Vec<Key> = {
+                let mut v: Vec<Key> = data
+                    .iter()
+                    .copied()
+                    .filter(|&k| (100..200).contains(&k))
+                    .collect();
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(sorted_keys(&extracted), expected, "{org:?}");
+            assert_eq!(partition.len(), 500 - expected.len(), "{org:?}");
+            assert!(partition.check_invariants(), "{org:?}");
+            // extracting the same range again yields nothing
+            assert!(partition.extract_range(100, 200, &mut stats).is_empty());
+        }
+    }
+
+    #[test]
+    fn repeated_extraction_drains_partitions() {
+        let data: Vec<Key> = (0..256).rev().collect();
+        for org in all_organizations() {
+            let mut stats = CrackStats::new();
+            let mut partition = SourcePartition::new(org, pairs(&data), 3, &mut stats);
+            let mut total = 0;
+            let mut low = 0;
+            while low < 256 {
+                total += partition.extract_range(low, low + 32, &mut stats).len();
+                assert!(partition.check_invariants(), "{org:?}");
+                low += 32;
+            }
+            assert_eq!(total, 256, "{org:?}");
+            assert!(partition.is_empty(), "{org:?}");
+            assert!(!partition.overlaps(0, 1000), "{org:?}");
+        }
+    }
+
+    #[test]
+    fn rowids_travel_with_values() {
+        let data = vec![40, 10, 30, 20];
+        for org in all_organizations() {
+            let mut stats = CrackStats::new();
+            let mut partition = SourcePartition::new(org, pairs(&data), 2, &mut stats);
+            let extracted = partition.extract_range(15, 35, &mut stats);
+            for &(k, r) in &extracted {
+                assert_eq!(data[r as usize], k, "{org:?}");
+            }
+            assert_eq!(extracted.len(), 2, "{org:?}");
+        }
+    }
+
+    #[test]
+    fn sort_organization_charges_initialization() {
+        let data: Vec<Key> = (0..1000).rev().collect();
+        let mut crack_stats = CrackStats::new();
+        let _ = SourcePartition::new(SourceOrganization::Crack, pairs(&data), 4, &mut crack_stats);
+        let mut sort_stats = CrackStats::new();
+        let _ = SourcePartition::new(SourceOrganization::Sort, pairs(&data), 4, &mut sort_stats);
+        assert_eq!(crack_stats.total_effort(), 0, "crack defers all work");
+        assert!(sort_stats.total_effort() > 0, "sort pays up front");
+        assert_eq!(sort_stats.pieces_sorted, 1);
+    }
+
+    #[test]
+    fn cracked_source_keeps_cut_catalog_consistent_across_extractions() {
+        let data: Vec<Key> = (0..1000).map(|i| (i * 7919) % 1000).collect();
+        let mut stats = CrackStats::new();
+        let mut partition =
+            SourcePartition::new(SourceOrganization::Crack, pairs(&data), 4, &mut stats);
+        // overlapping and nested ranges exercise the cut-repair logic
+        for &(low, high) in &[(200, 400), (100, 300), (350, 900), (0, 50), (40, 120)] {
+            let _ = partition.extract_range(low, high, &mut stats);
+            assert!(partition.check_invariants(), "after [{low},{high})");
+        }
+        let remaining = partition.len();
+        let rest = partition.extract_range(Key::MIN, Key::MAX, &mut stats);
+        assert_eq!(rest.len(), remaining);
+        assert!(partition.is_empty());
+    }
+
+    #[test]
+    fn radix_source_bucket_boundaries() {
+        let data: Vec<Key> = (0..128).collect();
+        let mut stats = CrackStats::new();
+        let mut partition =
+            SourcePartition::new(SourceOrganization::Radix, pairs(&data), 3, &mut stats);
+        // 8 buckets of width 16: extracting exactly one bucket touches only it
+        let scanned_before = stats.elements_scanned;
+        let extracted = partition.extract_range(16, 32, &mut stats);
+        assert_eq!(extracted.len(), 16);
+        assert_eq!(stats.elements_scanned - scanned_before, 16);
+        assert!(partition.check_invariants());
+    }
+
+    #[test]
+    fn empty_partition_edge_cases() {
+        for org in all_organizations() {
+            let mut stats = CrackStats::new();
+            let mut partition = SourcePartition::new(org, Vec::new(), 4, &mut stats);
+            assert!(partition.is_empty());
+            assert!(!partition.overlaps(0, 100));
+            assert!(partition.extract_range(0, 100, &mut stats).is_empty());
+            assert!(partition.check_invariants());
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! The final index: the sorted structure that accumulates every merged range.
+//!
+//! Conceptually this is the "final partition" of a partitioned B-tree: once a
+//! key range has been merged out of the runs it lives here and is queried at
+//! index cost. The implementation keeps one *sorted segment per merged value
+//! interval* in a `BTreeMap` keyed by the interval's lower bound; overlapping
+//! intervals are coalesced on insert. This gives:
+//!
+//! * insertion cost proportional to the new batch plus whatever existing
+//!   segments it overlaps (not to the total merged data),
+//! * lookup cost of a couple of binary searches per overlapping segment plus
+//!   the output size,
+//! * results that come out in globally sorted key order, because segments are
+//!   disjoint and internally sorted.
+
+use aidx_columnstore::types::{Key, RowId};
+use std::collections::BTreeMap;
+
+/// One merged value interval and its sorted pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Segment {
+    /// Exclusive upper bound of the covered value interval.
+    high: Key,
+    keys: Vec<Key>,
+    rowids: Vec<RowId>,
+}
+
+/// A collection of disjoint, internally sorted value-range segments.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SortedRangeIndex {
+    /// Segments keyed by the inclusive lower bound of their covered interval.
+    segments: BTreeMap<Key, Segment>,
+    len: usize,
+}
+
+impl SortedRangeIndex {
+    /// Create an empty final index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pairs stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing has been merged yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of disjoint segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Insert a batch of pairs whose keys all lie in the covered interval
+    /// `[low, high)`. The batch need not be sorted; it must not contain keys
+    /// that are already stored (the adaptive-merging protocol guarantees this:
+    /// a covered interval is drained from every run the first time it is
+    /// queried).
+    pub fn insert_range(&mut self, low: Key, high: Key, mut pairs: Vec<(Key, RowId)>) {
+        if high <= low {
+            return;
+        }
+        pairs.sort_unstable();
+        self.len += pairs.len();
+
+        // Collect existing segments overlapping (or touching) [low, high).
+        let overlapping: Vec<Key> = self
+            .segments
+            .range(..=high)
+            .filter(|(&seg_low, segment)| seg_low <= high && segment.high >= low)
+            .map(|(&seg_low, _)| seg_low)
+            .collect();
+
+        let mut new_low = low;
+        let mut new_high = high;
+        let mut merged_keys: Vec<Key> = pairs.iter().map(|&(k, _)| k).collect();
+        let mut merged_rowids: Vec<RowId> = pairs.iter().map(|&(_, r)| r).collect();
+        for seg_low in overlapping {
+            let segment = self.segments.remove(&seg_low).expect("listed above");
+            new_low = new_low.min(seg_low);
+            new_high = new_high.max(segment.high);
+            let (keys, rowids) = merge_sorted(
+                &merged_keys,
+                &merged_rowids,
+                &segment.keys,
+                &segment.rowids,
+            );
+            merged_keys = keys;
+            merged_rowids = rowids;
+        }
+        self.segments.insert(
+            new_low,
+            Segment {
+                high: new_high,
+                keys: merged_keys,
+                rowids: merged_rowids,
+            },
+        );
+    }
+
+    /// Whether the interval `[low, high)` is fully covered by merged
+    /// segments (i.e. a query over it needs no run access at all).
+    pub fn covers(&self, low: Key, high: Key) -> bool {
+        if high <= low {
+            return true;
+        }
+        let mut cursor = low;
+        for (&seg_low, segment) in self.segments.range(..high) {
+            if segment.high < cursor || seg_low > cursor {
+                continue;
+            }
+            cursor = cursor.max(segment.high);
+            if cursor >= high {
+                return true;
+            }
+        }
+        cursor >= high
+    }
+
+    /// Collect every stored pair with key in `[low, high)`, in sorted key
+    /// order.
+    pub fn query_range(&self, low: Key, high: Key) -> (Vec<Key>, Vec<RowId>) {
+        let mut keys = Vec::new();
+        let mut rowids = Vec::new();
+        if high <= low {
+            return (keys, rowids);
+        }
+        for (_, segment) in self.segments.range(..high) {
+            if segment.keys.is_empty() {
+                continue;
+            }
+            let begin = segment.keys.partition_point(|&k| k < low);
+            let end = segment.keys.partition_point(|&k| k < high);
+            if begin < end {
+                keys.extend_from_slice(&segment.keys[begin..end]);
+                rowids.extend_from_slice(&segment.rowids[begin..end]);
+            }
+        }
+        (keys, rowids)
+    }
+
+    /// Count the stored pairs with key in `[low, high)` without copying them.
+    pub fn count_range(&self, low: Key, high: Key) -> usize {
+        if high <= low {
+            return 0;
+        }
+        let mut count = 0;
+        for (_, segment) in self.segments.range(..high) {
+            let begin = segment.keys.partition_point(|&k| k < low);
+            let end = segment.keys.partition_point(|&k| k < high);
+            count += end - begin;
+        }
+        count
+    }
+
+    /// Structural invariants: segments are disjoint, ordered, internally
+    /// sorted, and the pair count adds up.
+    pub fn check_invariants(&self) -> bool {
+        let mut counted = 0usize;
+        let mut previous_high = Key::MIN;
+        for (&seg_low, segment) in &self.segments {
+            if seg_low >= segment.high && !segment.keys.is_empty() {
+                return false;
+            }
+            if seg_low < previous_high {
+                return false;
+            }
+            if segment.keys.len() != segment.rowids.len() {
+                return false;
+            }
+            if !segment.keys.windows(2).all(|w| w[0] <= w[1]) {
+                return false;
+            }
+            if segment
+                .keys
+                .iter()
+                .any(|&k| k < seg_low || k >= segment.high)
+            {
+                return false;
+            }
+            counted += segment.keys.len();
+            previous_high = segment.high;
+        }
+        counted == self.len
+    }
+}
+
+fn merge_sorted(
+    a_keys: &[Key],
+    a_rowids: &[RowId],
+    b_keys: &[Key],
+    b_rowids: &[RowId],
+) -> (Vec<Key>, Vec<RowId>) {
+    let mut keys = Vec::with_capacity(a_keys.len() + b_keys.len());
+    let mut rowids = Vec::with_capacity(a_rowids.len() + b_rowids.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a_keys.len() && j < b_keys.len() {
+        if a_keys[i] <= b_keys[j] {
+            keys.push(a_keys[i]);
+            rowids.push(a_rowids[i]);
+            i += 1;
+        } else {
+            keys.push(b_keys[j]);
+            rowids.push(b_rowids[j]);
+            j += 1;
+        }
+    }
+    keys.extend_from_slice(&a_keys[i..]);
+    rowids.extend_from_slice(&a_rowids[i..]);
+    keys.extend_from_slice(&b_keys[j..]);
+    rowids.extend_from_slice(&b_rowids[j..]);
+    (keys, rowids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(range: std::ops::Range<Key>) -> Vec<(Key, RowId)> {
+        range.map(|k| (k, k as RowId)).collect()
+    }
+
+    #[test]
+    fn insert_and_query_single_segment() {
+        let mut index = SortedRangeIndex::new();
+        assert!(index.is_empty());
+        index.insert_range(10, 20, pairs(10..20));
+        assert_eq!(index.len(), 10);
+        assert_eq!(index.segment_count(), 1);
+        let (keys, rowids) = index.query_range(12, 15);
+        assert_eq!(keys, vec![12, 13, 14]);
+        assert_eq!(rowids, vec![12, 13, 14]);
+        assert_eq!(index.count_range(12, 15), 3);
+        assert!(index.check_invariants());
+    }
+
+    #[test]
+    fn disjoint_inserts_stay_separate_overlapping_coalesce() {
+        let mut index = SortedRangeIndex::new();
+        index.insert_range(0, 10, pairs(0..10));
+        index.insert_range(20, 30, pairs(20..30));
+        assert_eq!(index.segment_count(), 2);
+        index.insert_range(5, 25, pairs(10..20));
+        assert_eq!(index.segment_count(), 1, "overlapping ranges coalesce");
+        assert_eq!(index.len(), 30);
+        let (keys, _) = index.query_range(0, 30);
+        assert_eq!(keys, (0..30).collect::<Vec<Key>>());
+        assert!(index.check_invariants());
+    }
+
+    #[test]
+    fn covers_tracks_the_merged_intervals() {
+        let mut index = SortedRangeIndex::new();
+        assert!(index.covers(5, 5), "empty interval is trivially covered");
+        assert!(!index.covers(0, 1));
+        index.insert_range(10, 20, pairs(10..20));
+        index.insert_range(20, 30, pairs(20..30));
+        assert!(index.covers(12, 28));
+        assert!(index.covers(10, 30));
+        assert!(!index.covers(5, 15));
+        assert!(!index.covers(25, 35));
+    }
+
+    #[test]
+    fn unsorted_batches_are_sorted_on_insert() {
+        let mut index = SortedRangeIndex::new();
+        index.insert_range(0, 100, vec![(50, 0), (10, 1), (90, 2)]);
+        let (keys, _) = index.query_range(0, 100);
+        assert_eq!(keys, vec![10, 50, 90]);
+    }
+
+    #[test]
+    fn query_outside_and_degenerate() {
+        let mut index = SortedRangeIndex::new();
+        index.insert_range(10, 20, pairs(10..20));
+        assert!(index.query_range(30, 40).0.is_empty());
+        assert!(index.query_range(20, 10).0.is_empty());
+        assert_eq!(index.count_range(20, 10), 0);
+        index.insert_range(5, 5, pairs(0..0));
+        assert_eq!(index.len(), 10, "empty interval insert is a no-op");
+    }
+
+    #[test]
+    fn many_random_interval_inserts_keep_invariants() {
+        let mut index = SortedRangeIndex::new();
+        let mut inserted = 0usize;
+        let mut state = 99u64;
+        let mut covered: Vec<(Key, Key)> = Vec::new();
+        for _ in 0..200 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let low = ((state >> 33) % 10_000) as Key;
+            let high = low + 1 + ((state >> 20) % 500) as Key;
+            // only insert keys not covered before (mirrors the merging protocol)
+            let batch: Vec<(Key, RowId)> = (low..high)
+                .filter(|&k| !covered.iter().any(|&(l, h)| k >= l && k < h))
+                .map(|k| (k, k as RowId))
+                .collect();
+            inserted += batch.len();
+            index.insert_range(low, high, batch);
+            covered.push((low, high));
+            assert!(index.check_invariants());
+        }
+        assert_eq!(index.len(), inserted);
+        // everything inserted comes back exactly once
+        let (keys, _) = index.query_range(Key::MIN, Key::MAX);
+        assert_eq!(keys.len(), inserted);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+}

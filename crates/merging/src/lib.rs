@@ -1,0 +1,45 @@
+//! # aidx-merging
+//!
+//! Adaptive merging (Graefe & Kuno — SMDB 2010, EDBT 2010): the second family
+//! of adaptive indexing techniques the EDBT 2012 tutorial covers, designed as
+//! a more *active* counterpart to database cracking.
+//!
+//! Where cracking does the minimum possible work per query (two partition
+//! passes over at most two pieces), adaptive merging invests more per query
+//! to converge much faster:
+//!
+//! 1. The **first query** splits the column into equally sized *runs* and
+//!    sorts each run (like run generation in external merge sort / a
+//!    partitioned B-tree). This makes the first query noticeably more
+//!    expensive than a plain scan — the price of fast convergence.
+//! 2. Every subsequent query **merges** exactly the key range it asks for:
+//!    the qualifying tuples are located in each run by binary search, removed
+//!    from the runs, and merged into the *final index* (a sorted structure).
+//! 3. Ranges that have been queried before are answered straight from the
+//!    final index at B-tree-lookup cost; once the runs are empty the index is
+//!    fully optimized and no further reorganization happens.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use aidx_merging::AdaptiveMergeIndex;
+//!
+//! let data = vec![13, 16, 4, 9, 2, 12, 7, 1, 19, 3];
+//! let mut index = AdaptiveMergeIndex::from_keys(&data, 4);
+//! let result = index.query_range(5, 15);
+//! assert_eq!(result.keys(), &[7, 9, 12, 13]); // sorted: they come from the final index
+//! assert!(index.merged_len() >= 4);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod final_index;
+pub mod run;
+pub mod stats;
+
+mod index;
+
+pub use final_index::SortedRangeIndex;
+pub use index::{AdaptiveMergeIndex, MergeRangeResult};
+pub use run::SortedRun;
+pub use stats::MergeStats;

@@ -1,0 +1,97 @@
+//! Instrumentation for adaptive merging.
+
+/// Counters accumulated by an [`crate::AdaptiveMergeIndex`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Number of queries answered.
+    pub queries: u64,
+    /// Elements sorted during run generation (first query).
+    pub elements_sorted: u64,
+    /// Comparison work charged for run generation (n log n accounting).
+    pub sort_comparisons: u64,
+    /// Elements moved from runs into the final index.
+    pub elements_merged: u64,
+    /// Elements read from the final index to answer queries.
+    pub elements_scanned: u64,
+    /// Binary-search probes into runs (fence-key hits).
+    pub run_probes: u64,
+    /// Runs skipped thanks to fence keys.
+    pub runs_skipped: u64,
+}
+
+impl MergeStats {
+    /// A zeroed statistics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a query.
+    pub fn record_query(&mut self) {
+        self.queries += 1;
+    }
+
+    /// Record sorting `n` elements during run generation.
+    pub fn record_sort(&mut self, n: usize) {
+        self.elements_sorted += n as u64;
+        let log = (n.max(2) as f64).log2().ceil() as u64;
+        self.sort_comparisons += n as u64 * log;
+    }
+
+    /// Record merging `n` elements out of runs into the final index.
+    pub fn record_merge(&mut self, n: usize) {
+        self.elements_merged += n as u64;
+    }
+
+    /// Record scanning `n` elements of the final index for an answer.
+    pub fn record_scan(&mut self, n: usize) {
+        self.elements_scanned += n as u64;
+    }
+
+    /// Record probing a run (binary search) or skipping it via fence keys.
+    pub fn record_probe(&mut self, skipped: bool) {
+        if skipped {
+            self.runs_skipped += 1;
+        } else {
+            self.run_probes += 1;
+        }
+    }
+
+    /// Machine-independent total effort, comparable with
+    /// `aidx_cracking::CrackStats::total_effort`.
+    pub fn total_effort(&self) -> u64 {
+        self.sort_comparisons + self.elements_merged + self.elements_scanned + self.run_probes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = MergeStats::new();
+        s.record_query();
+        s.record_sort(1024);
+        s.record_merge(10);
+        s.record_scan(20);
+        s.record_probe(false);
+        s.record_probe(true);
+        assert_eq!(s.queries, 1);
+        assert_eq!(s.elements_sorted, 1024);
+        assert_eq!(s.sort_comparisons, 10_240);
+        assert_eq!(s.elements_merged, 10);
+        assert_eq!(s.elements_scanned, 20);
+        assert_eq!(s.run_probes, 1);
+        assert_eq!(s.runs_skipped, 1);
+        assert_eq!(s.total_effort(), 10_240 + 10 + 20 + 1);
+    }
+
+    #[test]
+    fn sort_of_tiny_inputs() {
+        let mut s = MergeStats::new();
+        s.record_sort(0);
+        s.record_sort(1);
+        assert_eq!(s.elements_sorted, 1);
+        assert_eq!(s.sort_comparisons, 1);
+    }
+}

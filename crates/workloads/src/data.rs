@@ -1,0 +1,200 @@
+//! Synthetic base-column generators.
+//!
+//! All generators are deterministic given a seed, so experiments are exactly
+//! reproducible.
+
+use aidx_columnstore::column::Column;
+use aidx_columnstore::table::Table;
+use aidx_columnstore::types::Key;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The shape of the generated key column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DataDistribution {
+    /// A random permutation of `0..n` (every key unique, uniform order) —
+    /// the standard column of the cracking experiments.
+    UniformPermutation,
+    /// Uniformly random values in `[0, domain)` (duplicates possible).
+    UniformRandom {
+        /// Exclusive upper bound of the value domain.
+        domain: Key,
+    },
+    /// Already sorted ascending values `0..n` — the best case for any index,
+    /// the degenerate case for cracking's convergence metric.
+    SortedAscending,
+    /// Sorted descending values.
+    SortedDescending,
+    /// Low-cardinality data: values in `[0, cardinality)` repeated round-robin
+    /// then shuffled.
+    LowCardinality {
+        /// Number of distinct values.
+        cardinality: Key,
+    },
+    /// Values clustered around `clusters` centers (models skewed domains).
+    Clustered {
+        /// Number of cluster centers.
+        clusters: usize,
+        /// Half-width of each cluster.
+        spread: Key,
+    },
+}
+
+/// Generate `n` keys with the given distribution and seed.
+pub fn generate_keys(n: usize, distribution: DataDistribution, seed: u64) -> Vec<Key> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match distribution {
+        DataDistribution::UniformPermutation => {
+            let mut keys: Vec<Key> = (0..n as Key).collect();
+            keys.shuffle(&mut rng);
+            keys
+        }
+        DataDistribution::UniformRandom { domain } => {
+            let domain = domain.max(1);
+            (0..n).map(|_| rng.gen_range(0..domain)).collect()
+        }
+        DataDistribution::SortedAscending => (0..n as Key).collect(),
+        DataDistribution::SortedDescending => (0..n as Key).rev().collect(),
+        DataDistribution::LowCardinality { cardinality } => {
+            let cardinality = cardinality.max(1);
+            let mut keys: Vec<Key> = (0..n).map(|i| (i as Key) % cardinality).collect();
+            keys.shuffle(&mut rng);
+            keys
+        }
+        DataDistribution::Clustered { clusters, spread } => {
+            let clusters = clusters.max(1);
+            let spread = spread.max(1);
+            let domain = (n as Key).max(1);
+            let centers: Vec<Key> = (0..clusters)
+                .map(|_| rng.gen_range(0..domain))
+                .collect();
+            (0..n)
+                .map(|_| {
+                    let center = centers[rng.gen_range(0..clusters)];
+                    let offset = rng.gen_range(-spread..=spread);
+                    (center + offset).clamp(0, domain - 1)
+                })
+                .collect()
+        }
+    }
+}
+
+/// Generate an `Int64` column with the given distribution.
+pub fn generate_column(n: usize, distribution: DataDistribution, seed: u64) -> Column {
+    Column::from_i64(generate_keys(n, distribution, seed))
+}
+
+/// Generate a multi-column table in the style of the sideways-cracking
+/// experiments: a selection attribute `a` plus `tail_count` projection
+/// attributes `b0..b{tail_count-1}` that are deterministic functions of `a`
+/// (so tests can verify tuple reconstruction end to end).
+pub fn generate_multi_column_table(n: usize, tail_count: usize, seed: u64) -> Table {
+    let a = generate_keys(n, DataDistribution::UniformPermutation, seed);
+    let mut columns = vec![("a".to_owned(), Column::from_i64(a.clone()))];
+    for t in 0..tail_count {
+        let factor = (t as Key + 2) * 10;
+        let tail: Vec<Key> = a.iter().map(|&v| v * factor + t as Key).collect();
+        columns.push((format!("b{t}"), Column::from_i64(tail)));
+    }
+    let named: Vec<(&str, Column)> = columns
+        .iter()
+        .map(|(name, column)| (name.as_str(), column.clone()))
+        .collect();
+    Table::from_columns(named).expect("columns are equally long by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_contains_every_key_once() {
+        let keys = generate_keys(1000, DataDistribution::UniformPermutation, 1);
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..1000).collect::<Vec<Key>>());
+        // and it is actually shuffled
+        assert_ne!(keys, sorted);
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        for dist in [
+            DataDistribution::UniformPermutation,
+            DataDistribution::UniformRandom { domain: 500 },
+            DataDistribution::LowCardinality { cardinality: 10 },
+            DataDistribution::Clustered {
+                clusters: 5,
+                spread: 20,
+            },
+        ] {
+            let a = generate_keys(500, dist, 42);
+            let b = generate_keys(500, dist, 42);
+            let c = generate_keys(500, dist, 43);
+            assert_eq!(a, b, "{dist:?}");
+            assert_ne!(a, c, "{dist:?}: different seeds should differ");
+        }
+    }
+
+    #[test]
+    fn sorted_distributions() {
+        let asc = generate_keys(100, DataDistribution::SortedAscending, 0);
+        assert!(asc.windows(2).all(|w| w[0] < w[1]));
+        let desc = generate_keys(100, DataDistribution::SortedDescending, 0);
+        assert!(desc.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn uniform_random_respects_domain() {
+        let keys = generate_keys(2000, DataDistribution::UniformRandom { domain: 100 }, 7);
+        assert!(keys.iter().all(|&k| (0..100).contains(&k)));
+        let zero_domain = generate_keys(10, DataDistribution::UniformRandom { domain: 0 }, 7);
+        assert!(zero_domain.iter().all(|&k| k == 0));
+    }
+
+    #[test]
+    fn low_cardinality_has_exactly_that_many_distinct_values() {
+        let keys = generate_keys(1000, DataDistribution::LowCardinality { cardinality: 16 }, 3);
+        let mut distinct = keys.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 16);
+    }
+
+    #[test]
+    fn clustered_stays_in_bounds() {
+        let keys = generate_keys(
+            5000,
+            DataDistribution::Clustered {
+                clusters: 3,
+                spread: 50,
+            },
+            11,
+        );
+        assert!(keys.iter().all(|&k| (0..5000).contains(&k)));
+    }
+
+    #[test]
+    fn empty_columns() {
+        for dist in [
+            DataDistribution::UniformPermutation,
+            DataDistribution::SortedAscending,
+        ] {
+            assert!(generate_keys(0, dist, 1).is_empty());
+        }
+        assert_eq!(generate_column(0, DataDistribution::SortedAscending, 1).len(), 0);
+    }
+
+    #[test]
+    fn multi_column_table_shape_and_relationships() {
+        let table = generate_multi_column_table(200, 3, 5);
+        assert_eq!(table.row_count(), 200);
+        assert_eq!(table.schema().arity(), 4);
+        let a = table.column("a").unwrap().as_i64().unwrap();
+        let b1 = table.column("b1").unwrap().as_i64().unwrap();
+        for i in 0..200 {
+            assert_eq!(b1.value(i), a.value(i) * 30 + 1);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # aidx-workloads
+//!
+//! Data generators, query-sequence generators and the benchmark metrics used
+//! to evaluate adaptive indexing, following the methodology of
+//! "Benchmarking adaptive indexing" (Graefe, Idreos, Kuno, Manegold —
+//! TPCTC 2010), which the EDBT 2012 tutorial presents as the yardstick for
+//! comparing techniques:
+//!
+//! * the **initialization cost** the first query pays compared to a plain
+//!   scan, and
+//! * the **number of queries** that must be processed before a random query
+//!   benefits from the index structure without paying any further overhead
+//!   (convergence).
+//!
+//! The crate provides:
+//!
+//! * [`data`] — synthetic base columns (uniform, sequential, duplicated,
+//!   clustered) with deterministic seeds;
+//! * [`query`] — query-sequence generators (uniform random, skewed/Zipf,
+//!   sequential, periodically shifting focus, point queries);
+//! * [`metrics`] — per-query cost series, the two benchmark metrics, and the
+//!   cumulative-cost / crossover analysis used by the harness binaries.
+
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod metrics;
+pub mod query;
+
+pub use data::DataDistribution;
+pub use metrics::{CostSeries, WorkloadReport};
+pub use query::{QueryWorkload, RangeQuery, WorkloadKind};

@@ -1,0 +1,335 @@
+//! Benchmark metrics for adaptive indexing (TPCTC 2010).
+//!
+//! A technique is characterized by its *per-query cost series*: how much work
+//! (or time) each query of a sequence costs. From that series the benchmark
+//! derives:
+//!
+//! 1. **First-query overhead** — the cost of the first query relative to a
+//!    plain scan of the same data (cracking: slightly above 1; adaptive
+//!    merging: a few times higher; full offline sort: highest).
+//! 2. **Queries to convergence** — how many queries run before a query is
+//!    answered within a small factor of the full-index cost and stays there.
+//!
+//! The same series also yields cumulative-cost curves and crossover points
+//! between techniques, which the harness binaries print for each experiment.
+
+use serde::{Deserialize, Serialize};
+
+/// A per-query cost series for one technique on one workload.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostSeries {
+    /// Technique label (e.g. "cracking", "adaptive-merging", "full-sort").
+    pub label: String,
+    /// Cost of each query, in whatever unit the caller measured (work units
+    /// or nanoseconds); the metrics only assume the unit is consistent.
+    pub per_query: Vec<f64>,
+}
+
+impl CostSeries {
+    /// Create an empty series with a label.
+    pub fn new(label: impl Into<String>) -> Self {
+        CostSeries {
+            label: label.into(),
+            per_query: Vec::new(),
+        }
+    }
+
+    /// Create a series from recorded costs.
+    pub fn from_costs(label: impl Into<String>, per_query: Vec<f64>) -> Self {
+        CostSeries {
+            label: label.into(),
+            per_query,
+        }
+    }
+
+    /// Record the cost of the next query.
+    pub fn push(&mut self, cost: f64) {
+        self.per_query.push(cost);
+    }
+
+    /// Number of queries recorded.
+    pub fn len(&self) -> usize {
+        self.per_query.len()
+    }
+
+    /// True when no queries have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.per_query.is_empty()
+    }
+
+    /// Cost of the first query, if any.
+    pub fn first_query_cost(&self) -> Option<f64> {
+        self.per_query.first().copied()
+    }
+
+    /// Total cost of the whole sequence.
+    pub fn total_cost(&self) -> f64 {
+        self.per_query.iter().sum()
+    }
+
+    /// Mean per-query cost.
+    pub fn mean_cost(&self) -> f64 {
+        if self.per_query.is_empty() {
+            0.0
+        } else {
+            self.total_cost() / self.per_query.len() as f64
+        }
+    }
+
+    /// Mean cost of the last `n` queries (the "converged plateau" level).
+    pub fn tail_mean(&self, n: usize) -> f64 {
+        if self.per_query.is_empty() {
+            return 0.0;
+        }
+        let n = n.min(self.per_query.len()).max(1);
+        let tail = &self.per_query[self.per_query.len() - n..];
+        tail.iter().sum::<f64>() / n as f64
+    }
+
+    /// Running cumulative cost after each query.
+    pub fn cumulative(&self) -> Vec<f64> {
+        let mut total = 0.0;
+        self.per_query
+            .iter()
+            .map(|&c| {
+                total += c;
+                total
+            })
+            .collect()
+    }
+
+    /// **Benchmark metric 1**: cost of the first query divided by
+    /// `scan_cost` (the cost of answering it with a plain scan).
+    pub fn first_query_overhead(&self, scan_cost: f64) -> Option<f64> {
+        if scan_cost <= 0.0 {
+            return None;
+        }
+        self.first_query_cost().map(|c| c / scan_cost)
+    }
+
+    /// **Benchmark metric 2**: the first query index (0-based) from which
+    /// `consecutive` queries in a row cost at most `target_cost * (1 +
+    /// tolerance)`. Returns `None` when the series never converges.
+    pub fn queries_to_convergence(
+        &self,
+        target_cost: f64,
+        tolerance: f64,
+        consecutive: usize,
+    ) -> Option<usize> {
+        let threshold = target_cost * (1.0 + tolerance);
+        let consecutive = consecutive.max(1);
+        let mut streak = 0usize;
+        for (i, &cost) in self.per_query.iter().enumerate() {
+            if cost <= threshold {
+                streak += 1;
+                if streak >= consecutive {
+                    return Some(i + 1 - consecutive);
+                }
+            } else {
+                streak = 0;
+            }
+        }
+        None
+    }
+
+    /// The query index (0-based) after which this series' cumulative cost
+    /// drops below `other`'s and stays below until the end. Returns `None`
+    /// when it never overtakes `other`.
+    pub fn cumulative_crossover(&self, other: &CostSeries) -> Option<usize> {
+        let a = self.cumulative();
+        let b = other.cumulative();
+        let n = a.len().min(b.len());
+        let mut crossover = None;
+        for i in 0..n {
+            if a[i] < b[i] {
+                if crossover.is_none() {
+                    crossover = Some(i);
+                }
+            } else {
+                crossover = None;
+            }
+        }
+        crossover
+    }
+}
+
+/// A bundle of cost series plus the scan/index reference costs, as produced
+/// by one experiment run. The harness binaries serialize this to JSON and
+/// print the derived benchmark table.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WorkloadReport {
+    /// Experiment identifier (e.g. "E1").
+    pub experiment: String,
+    /// Human-readable workload description.
+    pub workload: String,
+    /// Cost of a plain scan answering one query (reference for metric 1).
+    pub scan_cost: f64,
+    /// Converged per-query cost of a full index (reference for metric 2).
+    pub full_index_cost: f64,
+    /// One cost series per technique.
+    pub series: Vec<CostSeries>,
+}
+
+impl WorkloadReport {
+    /// Create an empty report.
+    pub fn new(experiment: impl Into<String>, workload: impl Into<String>) -> Self {
+        WorkloadReport {
+            experiment: experiment.into(),
+            workload: workload.into(),
+            scan_cost: 0.0,
+            full_index_cost: 0.0,
+            series: Vec::new(),
+        }
+    }
+
+    /// Add a technique's series.
+    pub fn add_series(&mut self, series: CostSeries) {
+        self.series.push(series);
+    }
+
+    /// Find a series by label.
+    pub fn series_by_label(&self, label: &str) -> Option<&CostSeries> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// Render the benchmark table (one row per technique) as plain text.
+    pub fn render_table(&self, tolerance: f64, consecutive: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# {} — {}\n", self.experiment, self.workload
+        ));
+        out.push_str(&format!(
+            "{:<22} {:>14} {:>16} {:>18} {:>16}\n",
+            "technique", "first-query", "overhead-vs-scan", "queries-to-conv", "total-cost"
+        ));
+        for series in &self.series {
+            let first = series.first_query_cost().unwrap_or(0.0);
+            let overhead = series
+                .first_query_overhead(self.scan_cost)
+                .map_or("n/a".to_owned(), |o| format!("{o:.2}x"));
+            let convergence = series
+                .queries_to_convergence(self.full_index_cost, tolerance, consecutive)
+                .map_or("never".to_owned(), |q| q.to_string());
+            out.push_str(&format!(
+                "{:<22} {:>14.0} {:>16} {:>18} {:>16.0}\n",
+                series.label,
+                first,
+                overhead,
+                convergence,
+                series.total_cost()
+            ));
+        }
+        out
+    }
+}
+
+/// Measure the wall-clock time of a closure in nanoseconds alongside its
+/// result (helper for the harness binaries).
+pub fn time_ns<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let result = f();
+    (result, start.elapsed().as_nanos() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decaying_series(label: &str, n: usize, start: f64, floor: f64) -> CostSeries {
+        let mut series = CostSeries::new(label);
+        for i in 0..n {
+            let cost = floor + (start - floor) / (i as f64 + 1.0);
+            series.push(cost);
+        }
+        series
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let s = CostSeries::from_costs("x", vec![10.0, 5.0, 1.0]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.first_query_cost(), Some(10.0));
+        assert_eq!(s.total_cost(), 16.0);
+        assert!((s.mean_cost() - 16.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.cumulative(), vec![10.0, 15.0, 16.0]);
+        assert_eq!(s.tail_mean(2), 3.0);
+        let empty = CostSeries::new("e");
+        assert_eq!(empty.first_query_cost(), None);
+        assert_eq!(empty.mean_cost(), 0.0);
+        assert_eq!(empty.tail_mean(5), 0.0);
+    }
+
+    #[test]
+    fn first_query_overhead_metric() {
+        let s = CostSeries::from_costs("cracking", vec![130.0, 50.0]);
+        assert!((s.first_query_overhead(100.0).unwrap() - 1.3).abs() < 1e-12);
+        assert_eq!(s.first_query_overhead(0.0), None);
+    }
+
+    #[test]
+    fn convergence_metric_finds_stable_plateau() {
+        let s = CostSeries::from_costs(
+            "x",
+            vec![100.0, 80.0, 3.0, 60.0, 2.0, 2.0, 2.0, 2.0, 2.0],
+        );
+        // target 2.0, 10% tolerance, need 3 consecutive: the single dip at
+        // index 2 does not count; the real plateau starts at index 4
+        assert_eq!(s.queries_to_convergence(2.0, 0.1, 3), Some(4));
+        assert_eq!(s.queries_to_convergence(2.0, 0.1, 6), None);
+        assert_eq!(s.queries_to_convergence(1.0, 0.0, 1), None);
+        // trivially converged series
+        let flat = CostSeries::from_costs("flat", vec![1.0; 5]);
+        assert_eq!(flat.queries_to_convergence(1.0, 0.0, 3), Some(0));
+    }
+
+    #[test]
+    fn convergence_on_decaying_series() {
+        let s = decaying_series("cracking", 1000, 500.0, 5.0);
+        let q = s.queries_to_convergence(5.0, 0.5, 10).expect("converges");
+        assert!(q > 10 && q < 1000, "q = {q}");
+    }
+
+    #[test]
+    fn cumulative_crossover() {
+        // adaptive: expensive start, cheap tail; scan: flat
+        let adaptive = CostSeries::from_costs("a", vec![150.0, 20.0, 5.0, 5.0, 5.0, 5.0]);
+        let scan = CostSeries::from_costs("s", vec![100.0; 6]);
+        let crossover = adaptive.cumulative_crossover(&scan).expect("overtakes");
+        assert_eq!(crossover, 1);
+        assert_eq!(scan.cumulative_crossover(&adaptive), None);
+    }
+
+    #[test]
+    fn report_table_renders_all_series() {
+        let mut report = WorkloadReport::new("E1", "uniform random, 10% selectivity");
+        report.scan_cost = 100.0;
+        report.full_index_cost = 2.0;
+        report.add_series(CostSeries::from_costs("scan", vec![100.0; 10]));
+        report.add_series(decaying_series("cracking", 10, 120.0, 2.0));
+        let table = report.render_table(0.5, 2);
+        assert!(table.contains("E1"));
+        assert!(table.contains("scan"));
+        assert!(table.contains("cracking"));
+        assert!(table.contains("never") || table.contains("overhead"));
+        assert!(report.series_by_label("cracking").is_some());
+        assert!(report.series_by_label("nope").is_none());
+    }
+
+    #[test]
+    fn time_ns_measures_something() {
+        let (value, ns) = time_ns(|| (0..1000).sum::<u64>());
+        assert_eq!(value, 499_500);
+        assert!(ns >= 0.0);
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let mut report = WorkloadReport::new("E7", "benchmark table");
+        report.add_series(CostSeries::from_costs("x", vec![1.0, 2.0]));
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"experiment\":\"E7\""));
+        let back: WorkloadReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.series.len(), 1);
+    }
+}

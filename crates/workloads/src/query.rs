@@ -1,0 +1,359 @@
+//! Query-sequence generators.
+//!
+//! The adaptive-indexing benchmark varies *where* queries land in the key
+//! domain and *how that changes over time*; the per-query cost curves of the
+//! different techniques react very differently to these patterns, which is
+//! exactly what experiments E1, E5, E6 and E8 measure.
+
+use aidx_columnstore::types::Key;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One range query `[low, high)` over the key domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RangeQuery {
+    /// Inclusive lower bound.
+    pub low: Key,
+    /// Exclusive upper bound.
+    pub high: Key,
+}
+
+impl RangeQuery {
+    /// Construct a query, swapping the bounds if necessary.
+    pub fn new(low: Key, high: Key) -> Self {
+        if low <= high {
+            RangeQuery { low, high }
+        } else {
+            RangeQuery {
+                low: high,
+                high: low,
+            }
+        }
+    }
+
+    /// Width of the queried range.
+    pub fn width(&self) -> Key {
+        self.high - self.low
+    }
+}
+
+/// The access pattern of a query sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadKind {
+    /// Range position chosen uniformly at random — the canonical benchmark
+    /// workload.
+    UniformRandom,
+    /// Range positions drawn from a Zipf distribution over `hot_regions`
+    /// equally sized regions: a few regions absorb most queries.
+    Skewed {
+        /// Number of regions the domain is divided into.
+        hot_regions: usize,
+        /// Zipf exponent (1.0 = classic Zipf; larger = more skew).
+        exponent: f64,
+    },
+    /// Non-overlapping ranges sweeping the domain left to right — the
+    /// worst case for plain cracking's convergence.
+    Sequential,
+    /// The hot zone (a window of `focus_fraction` of the domain) jumps to a
+    /// new random location every `period` queries — the "dynamic workload"
+    /// the tutorial motivates adaptive indexing with.
+    ShiftingFocus {
+        /// Queries between focus changes.
+        period: usize,
+        /// Fraction of the domain covered by the focus window (0, 1].
+        focus_fraction: f64,
+    },
+    /// Point (equality) queries: `[v, v+1)` at uniformly random `v`.
+    Point,
+}
+
+/// A reproducible query workload over a key domain `[domain_low, domain_high)`.
+#[derive(Debug, Clone)]
+pub struct QueryWorkload {
+    /// The generated query sequence.
+    queries: Vec<RangeQuery>,
+    kind_label: &'static str,
+}
+
+impl QueryWorkload {
+    /// Generate `count` queries of the given kind over `[domain_low,
+    /// domain_high)`. `selectivity` is the fraction of the domain each range
+    /// covers (ignored for [`WorkloadKind::Point`]).
+    pub fn generate(
+        kind: WorkloadKind,
+        count: usize,
+        domain_low: Key,
+        domain_high: Key,
+        selectivity: f64,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let domain_high = domain_high.max(domain_low + 1);
+        let span = (domain_high - domain_low) as f64;
+        let width = ((span * selectivity.clamp(0.0, 1.0)).round() as Key).max(1);
+        let queries = match kind {
+            WorkloadKind::UniformRandom => (0..count)
+                .map(|_| {
+                    let low = sample_low(&mut rng, domain_low, domain_high, width);
+                    RangeQuery::new(low, low + width)
+                })
+                .collect(),
+            WorkloadKind::Skewed {
+                hot_regions,
+                exponent,
+            } => {
+                let regions = hot_regions.max(1);
+                let weights = zipf_weights(regions, exponent);
+                let region_span = ((domain_high - domain_low) / regions as Key).max(1);
+                (0..count)
+                    .map(|_| {
+                        let region = sample_weighted(&mut rng, &weights);
+                        let region_low = domain_low + region as Key * region_span;
+                        let region_high = (region_low + region_span).min(domain_high);
+                        let low = sample_low(&mut rng, region_low, region_high, width);
+                        RangeQuery::new(low, low + width)
+                    })
+                    .collect()
+            }
+            WorkloadKind::Sequential => {
+                let mut queries = Vec::with_capacity(count);
+                let mut low = domain_low;
+                for _ in 0..count {
+                    queries.push(RangeQuery::new(low, low + width));
+                    low += width;
+                    if low >= domain_high {
+                        low = domain_low;
+                    }
+                }
+                queries
+            }
+            WorkloadKind::ShiftingFocus {
+                period,
+                focus_fraction,
+            } => {
+                let period = period.max(1);
+                let focus_span = ((span * focus_fraction.clamp(0.01, 1.0)) as Key).max(width);
+                let mut queries = Vec::with_capacity(count);
+                let mut focus_low = domain_low;
+                for i in 0..count {
+                    if i % period == 0 {
+                        focus_low = sample_low(&mut rng, domain_low, domain_high, focus_span);
+                    }
+                    let focus_high = (focus_low + focus_span).min(domain_high);
+                    let low = sample_low(&mut rng, focus_low, focus_high, width);
+                    queries.push(RangeQuery::new(low, low + width));
+                }
+                queries
+            }
+            WorkloadKind::Point => (0..count)
+                .map(|_| {
+                    let v = rng.gen_range(domain_low..domain_high);
+                    RangeQuery::new(v, v + 1)
+                })
+                .collect(),
+        };
+        QueryWorkload {
+            queries,
+            kind_label: kind_label(kind),
+        }
+    }
+
+    /// The generated queries.
+    pub fn queries(&self) -> &[RangeQuery] {
+        &self.queries
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// A short label describing the workload kind (for harness output).
+    pub fn label(&self) -> &'static str {
+        self.kind_label
+    }
+
+    /// Iterate over the queries.
+    pub fn iter(&self) -> impl Iterator<Item = &RangeQuery> {
+        self.queries.iter()
+    }
+}
+
+fn kind_label(kind: WorkloadKind) -> &'static str {
+    match kind {
+        WorkloadKind::UniformRandom => "uniform-random",
+        WorkloadKind::Skewed { .. } => "skewed-zipf",
+        WorkloadKind::Sequential => "sequential",
+        WorkloadKind::ShiftingFocus { .. } => "shifting-focus",
+        WorkloadKind::Point => "point",
+    }
+}
+
+fn sample_low(rng: &mut StdRng, domain_low: Key, domain_high: Key, width: Key) -> Key {
+    let max_low = (domain_high - width).max(domain_low);
+    if max_low <= domain_low {
+        domain_low
+    } else {
+        rng.gen_range(domain_low..=max_low)
+    }
+}
+
+/// Normalized Zipf weights for `n` ranks with the given exponent.
+fn zipf_weights(n: usize, exponent: f64) -> Vec<f64> {
+    let raw: Vec<f64> = (1..=n).map(|rank| 1.0 / (rank as f64).powf(exponent)).collect();
+    let total: f64 = raw.iter().sum();
+    raw.into_iter().map(|w| w / total).collect()
+}
+
+fn sample_weighted(rng: &mut StdRng, weights: &[f64]) -> usize {
+    let draw: f64 = rng.gen_range(0.0..1.0);
+    let mut cumulative = 0.0;
+    for (i, &w) in weights.iter().enumerate() {
+        cumulative += w;
+        if draw < cumulative {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_query_normalizes_bounds() {
+        let q = RangeQuery::new(10, 5);
+        assert_eq!(q.low, 5);
+        assert_eq!(q.high, 10);
+        assert_eq!(q.width(), 5);
+    }
+
+    #[test]
+    fn uniform_workload_shape() {
+        let w = QueryWorkload::generate(WorkloadKind::UniformRandom, 500, 0, 100_000, 0.01, 1);
+        assert_eq!(w.len(), 500);
+        assert!(!w.is_empty());
+        assert_eq!(w.label(), "uniform-random");
+        for q in w.iter() {
+            assert!(q.low >= 0 && q.high <= 100_000 + 1000);
+            assert_eq!(q.width(), 1000);
+        }
+    }
+
+    #[test]
+    fn workloads_are_deterministic_per_seed() {
+        for kind in [
+            WorkloadKind::UniformRandom,
+            WorkloadKind::Skewed {
+                hot_regions: 10,
+                exponent: 1.2,
+            },
+            WorkloadKind::ShiftingFocus {
+                period: 25,
+                focus_fraction: 0.1,
+            },
+            WorkloadKind::Point,
+        ] {
+            let a = QueryWorkload::generate(kind, 200, 0, 10_000, 0.02, 9);
+            let b = QueryWorkload::generate(kind, 200, 0, 10_000, 0.02, 9);
+            let c = QueryWorkload::generate(kind, 200, 0, 10_000, 0.02, 10);
+            assert_eq!(a.queries(), b.queries(), "{kind:?}");
+            assert_ne!(a.queries(), c.queries(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn sequential_workload_sweeps_left_to_right() {
+        let w = QueryWorkload::generate(WorkloadKind::Sequential, 10, 0, 1000, 0.05, 1);
+        let queries = w.queries();
+        assert_eq!(queries[0].low, 0);
+        for pair in queries.windows(2) {
+            if pair[1].low != 0 {
+                assert_eq!(pair[0].high, pair[1].low, "non-overlapping ascending ranges");
+            }
+        }
+        assert_eq!(w.label(), "sequential");
+    }
+
+    #[test]
+    fn skewed_workload_concentrates_queries() {
+        let w = QueryWorkload::generate(
+            WorkloadKind::Skewed {
+                hot_regions: 10,
+                exponent: 1.5,
+            },
+            2000,
+            0,
+            100_000,
+            0.001,
+            3,
+        );
+        // count queries landing in the first region (the hottest)
+        let hot = w
+            .iter()
+            .filter(|q| q.low < 10_000)
+            .count();
+        assert!(
+            hot > 2000 / 10 * 2,
+            "hot region should receive well over its fair share, got {hot}"
+        );
+    }
+
+    #[test]
+    fn shifting_focus_changes_regions() {
+        let w = QueryWorkload::generate(
+            WorkloadKind::ShiftingFocus {
+                period: 50,
+                focus_fraction: 0.05,
+            },
+            200,
+            0,
+            1_000_000,
+            0.001,
+            5,
+        );
+        // queries within one period stay inside a 5% window; across periods
+        // the window moves
+        let first_period: Vec<&RangeQuery> = w.queries()[..50].iter().collect();
+        let lows: Vec<Key> = first_period.iter().map(|q| q.low).collect();
+        let span = lows.iter().max().unwrap() - lows.iter().min().unwrap();
+        assert!(span <= 50_000 + 1000, "span {span} exceeds the focus window");
+        let second_period_low = w.queries()[50].low;
+        let first_period_min = *lows.iter().min().unwrap();
+        // extremely unlikely to land in exactly the same window
+        assert!(
+            (second_period_low - first_period_min).abs() > 1000
+                || w.queries()[50..100].iter().map(|q| q.low).min().unwrap() != first_period_min
+        );
+    }
+
+    #[test]
+    fn point_workload_has_unit_width() {
+        let w = QueryWorkload::generate(WorkloadKind::Point, 100, 0, 1000, 0.5, 2);
+        assert!(w.iter().all(|q| q.width() == 1));
+        assert_eq!(w.label(), "point");
+    }
+
+    #[test]
+    fn zipf_weights_sum_to_one_and_decay() {
+        let w = zipf_weights(5, 1.0);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(w.windows(2).all(|p| p[0] > p[1]));
+    }
+
+    #[test]
+    fn degenerate_domains() {
+        let w = QueryWorkload::generate(WorkloadKind::UniformRandom, 10, 5, 5, 0.1, 1);
+        assert_eq!(w.len(), 10);
+        assert!(w.iter().all(|q| q.low >= 5 && q.width() >= 1));
+        let w = QueryWorkload::generate(WorkloadKind::UniformRandom, 0, 0, 100, 0.1, 1);
+        assert!(w.is_empty());
+    }
+}

@@ -1,0 +1,91 @@
+//! A dynamic, shifting workload answered through the adaptive kernel.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example dynamic_workload
+//! ```
+//!
+//! The workload focus jumps to a new 5% window of the key domain every 100
+//! queries — the scenario the tutorial uses to motivate adaptive indexing:
+//! by the time an offline or online tuner has reacted, the pattern has
+//! already moved on. We compare plain cracking, stochastic cracking, adaptive
+//! merging, a hybrid, and the two non-adaptive baselines, all through the
+//! unified `StrategyKind` interface of the kernel crate.
+
+use adaptive_indexing::core::strategy::StrategyKind;
+use adaptive_indexing::workloads::data::{generate_keys, DataDistribution};
+use adaptive_indexing::workloads::metrics::CostSeries;
+use adaptive_indexing::workloads::query::{QueryWorkload, WorkloadKind};
+use std::time::Instant;
+
+fn main() {
+    let n = 2_000_000;
+    let query_count = 600;
+    let keys = generate_keys(n, DataDistribution::UniformPermutation, 3);
+    let workload = QueryWorkload::generate(
+        WorkloadKind::ShiftingFocus {
+            period: 100,
+            focus_fraction: 0.05,
+        },
+        query_count,
+        0,
+        n as i64,
+        0.002,
+        17,
+    );
+    println!(
+        "{} rows, {} queries, shifting focus every 100 queries\n",
+        n, query_count
+    );
+
+    let strategies = [
+        StrategyKind::FullScan,
+        StrategyKind::FullSort,
+        StrategyKind::Cracking,
+        StrategyKind::StochasticCracking,
+        StrategyKind::AdaptiveMerging { run_size: 1 << 16 },
+        StrategyKind::Hybrid {
+            algorithm: adaptive_indexing::core::strategy::HybridKind::CrackSort,
+        },
+    ];
+
+    println!(
+        "{:<22} {:>12} {:>12} {:>14} {:>12}",
+        "strategy", "first query", "median", "95th pct", "total"
+    );
+    for strategy in strategies {
+        let build_start = Instant::now();
+        let mut index = strategy.build(&keys);
+        let build_time = build_start.elapsed();
+
+        let mut series = CostSeries::new(strategy.label());
+        let mut checksum = 0u64;
+        for q in workload.iter() {
+            let start = Instant::now();
+            checksum += index.query_range(q.low, q.high).count() as u64;
+            series.push(start.elapsed().as_nanos() as f64);
+        }
+        let mut sorted = series.per_query.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        let p95 = sorted[(sorted.len() as f64 * 0.95) as usize];
+        println!(
+            "{:<22} {:>12} {:>12} {:>14} {:>12}",
+            strategy.label(),
+            format!("{:.2?}", std::time::Duration::from_nanos(
+                (series.first_query_cost().unwrap_or(0.0) + build_time.as_nanos() as f64) as u64
+            )),
+            format!("{:.2?}", std::time::Duration::from_nanos(median as u64)),
+            format!("{:.2?}", std::time::Duration::from_nanos(p95 as u64)),
+            format!("{:.2?}", std::time::Duration::from_nanos(series.total_cost() as u64)),
+        );
+        // keep the optimizer honest
+        std::hint::black_box(checksum);
+    }
+
+    println!(
+        "\nthe adaptive strategies keep their median per-query latency low even \
+         though the hot range keeps moving; the full sort pays its entire cost \
+         before the first query, and the scan never improves."
+    );
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate re-exporting the adaptive indexing workspace.
+//!
+//! See the individual crates for the actual implementation:
+//! `aidx-columnstore`, `aidx-cracking`, `aidx-merging`, `aidx-hybrids`,
+//! `aidx-baselines`, `aidx-workloads`, `aidx-core`.
+
+pub use aidx_baselines as baselines;
+pub use aidx_columnstore as columnstore;
+pub use aidx_core as core;
+pub use aidx_cracking as cracking;
+pub use aidx_hybrids as hybrids;
+pub use aidx_merging as merging;
+pub use aidx_workloads as workloads;

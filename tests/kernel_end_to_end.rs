@@ -1,0 +1,190 @@
+//! End-to-end tests through the adaptive kernel: catalog, executor, index
+//! manager and auto-tuner working together the way the tutorial's
+//! "auto-tuning kernels" section describes.
+
+use adaptive_indexing::columnstore::prelude::*;
+use adaptive_indexing::core::prelude::*;
+use adaptive_indexing::core::tuner::WorkloadProfile;
+use adaptive_indexing::workloads::data::{generate_keys, DataDistribution};
+
+fn build_catalog(rows: usize) -> Catalog {
+    let keys = generate_keys(rows, DataDistribution::UniformPermutation, 11);
+    let amounts: Vec<i64> = keys.iter().map(|&k| k % 1000).collect();
+    let region: Vec<i64> = keys.iter().map(|&k| k % 7).collect();
+    let mut catalog = Catalog::new();
+    catalog
+        .create_table(
+            "sales",
+            Table::from_columns(vec![
+                ("s_key", Column::from_i64(keys)),
+                ("s_amount", Column::from_i64(amounts)),
+                ("s_region", Column::from_i64(region)),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+    let lookup_keys: Vec<i64> = (0..100).collect();
+    let names: Vec<String> = (0..100).map(|i| format!("region-{i}")).collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    catalog
+        .create_table(
+            "regions",
+            Table::from_columns(vec![
+                ("r_key", Column::from_i64(lookup_keys)),
+                ("r_name", Column::from_strs(&name_refs)),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+    catalog
+}
+
+#[test]
+fn executor_answers_projection_and_aggregate_queries_correctly() {
+    let rows = 50_000;
+    let mut executor = AdaptiveExecutor::new(build_catalog(rows), StrategyKind::Cracking);
+
+    // count over a range
+    let result = executor
+        .execute(
+            &SelectQuery::range("sales", "s_key", 1000, 2000)
+                .aggregate(Aggregation::Count, "s_key"),
+        )
+        .unwrap();
+    assert_eq!(result.aggregate, Some(Value::Int64(1000)));
+
+    // projection returns the right values (s_amount = s_key % 1000)
+    let result = executor
+        .execute(&SelectQuery::range("sales", "s_key", 5000, 5010).project(&["s_amount"]))
+        .unwrap();
+    assert_eq!(result.row_count(), 10);
+    for row in &result.rows {
+        let amount = row[0].as_i64().unwrap();
+        assert!((0..1000).contains(&amount));
+    }
+
+    // only the filter column was indexed
+    assert_eq!(executor.index_manager().indexed_column_count(), 1);
+    let info = executor.index_manager().describe();
+    assert_eq!(info[0].column.column, "s_key");
+    assert_eq!(info[0].strategy, "cracking");
+    assert!(info[0].auxiliary_bytes > 0);
+}
+
+#[test]
+fn executor_handles_many_queries_on_multiple_columns_and_tables() {
+    let rows = 30_000;
+    let mut executor = AdaptiveExecutor::new(build_catalog(rows), StrategyKind::Cracking);
+    let mut total = 0usize;
+    for q in 0..200 {
+        let low = (q * 149) % 25_000;
+        let result = executor
+            .execute(&SelectQuery::range("sales", "s_key", low, low + 500))
+            .unwrap();
+        total += result.row_count();
+        if q % 10 == 0 {
+            let by_region = executor
+                .execute(&SelectQuery::range("sales", "s_region", 2, 4))
+                .unwrap();
+            assert!(by_region.row_count() > 0);
+        }
+        if q % 25 == 0 {
+            let lookup = executor
+                .execute(&SelectQuery::range("regions", "r_key", 10, 20).project(&["r_name"]))
+                .unwrap();
+            assert_eq!(lookup.row_count(), 10);
+        }
+    }
+    assert_eq!(total, 200 * 500);
+    assert_eq!(executor.index_manager().indexed_column_count(), 3);
+    // the hot column did far more work than the occasionally queried ones
+    let info = executor.index_manager().describe();
+    let s_key = info.iter().find(|i| i.column.column == "s_key").unwrap();
+    let s_region = info.iter().find(|i| i.column.column == "s_region").unwrap();
+    assert!(s_key.queries > s_region.queries);
+}
+
+#[test]
+fn tuner_decisions_drive_the_manager() {
+    let rows = 200_000;
+    let keys = generate_keys(rows, DataDistribution::UniformPermutation, 21);
+    let manager = IndexManager::new(StrategyKind::Cracking);
+    let tuner = AutoTuner::new(TuningPolicy::CostBased);
+
+    // a predictable, long workload on column "stable"
+    let stable_profile = WorkloadProfile {
+        row_count: rows,
+        expected_queries: 100_000,
+        average_selectivity: 0.001,
+        update_fraction: 0.0,
+        predictability: 1.0,
+        storage_budget_bytes: usize::MAX,
+    };
+    let decision = tuner.decide(&stable_profile);
+    assert_eq!(decision.strategy, StrategyKind::FullSort);
+    let column = adaptive_indexing::core::manager::ColumnId::new("t", "stable");
+    let out = manager.query_range_with(&column, &keys, 100, 1000, decision.strategy);
+    assert_eq!(out.count(), 900);
+    assert_eq!(manager.describe()[0].strategy, "full-sort");
+
+    // an unpredictable workload on column "adhoc"
+    let adhoc_profile = WorkloadProfile::unpredictable(rows, 500);
+    let decision = tuner.decide(&adhoc_profile);
+    assert_eq!(decision.strategy, StrategyKind::Cracking);
+    let column = adaptive_indexing::core::manager::ColumnId::new("t", "adhoc");
+    let out = manager.query_range_with(&column, &keys, 100, 1000, decision.strategy);
+    assert_eq!(out.count(), 900);
+
+    assert_eq!(manager.indexed_column_count(), 2);
+    assert!(manager.total_auxiliary_bytes() > 0);
+}
+
+#[test]
+fn inserts_flow_through_the_executor_with_every_strategy() {
+    for strategy in [
+        StrategyKind::Cracking,
+        StrategyKind::UpdatableCracking,
+        StrategyKind::FullSort,
+    ] {
+        let mut executor = AdaptiveExecutor::new(build_catalog(5000), strategy);
+        let before = executor
+            .execute(&SelectQuery::range("sales", "s_key", 0, 5000))
+            .unwrap()
+            .row_count();
+        assert_eq!(before, 5000, "{strategy:?}");
+        for i in 0..50 {
+            executor
+                .insert_row(
+                    "sales",
+                    &[
+                        Value::Int64(2500 + i),
+                        Value::Int64(i),
+                        Value::Int64(i % 7),
+                    ],
+                )
+                .unwrap();
+        }
+        let after = executor
+            .execute(&SelectQuery::range("sales", "s_key", 0, 5000))
+            .unwrap()
+            .row_count();
+        assert_eq!(after, 5050, "{strategy:?}");
+    }
+}
+
+#[test]
+fn unqueried_columns_never_get_indexes() {
+    let mut executor = AdaptiveExecutor::new(build_catalog(10_000), StrategyKind::Cracking);
+    for q in 0..50 {
+        let low = (q * 157) % 8000;
+        let _ = executor
+            .execute(&SelectQuery::range("sales", "s_key", low, low + 100))
+            .unwrap();
+    }
+    let info = executor.index_manager().describe();
+    assert_eq!(info.len(), 1);
+    assert_eq!(info[0].column.column, "s_key");
+    assert!(!executor
+        .index_manager()
+        .has_index(&adaptive_indexing::core::manager::ColumnId::new("sales", "s_amount")));
+}
