@@ -228,7 +228,10 @@ mod tests {
         // budget fits only one 100k-row index (12 bytes per entry)
         let recommended = advisor.recommended_columns(&workload, 100_000 * 12);
         assert_eq!(recommended.len(), 1);
-        assert_eq!(recommended[0], "hot", "higher-benefit column wins the budget");
+        assert_eq!(
+            recommended[0], "hot",
+            "higher-benefit column wins the budget"
+        );
         let unlimited = advisor.recommended_columns(&workload, usize::MAX);
         assert_eq!(unlimited.len(), 2);
     }

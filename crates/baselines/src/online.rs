@@ -173,7 +173,10 @@ mod tests {
                 break;
             }
         }
-        assert!(tuner.index_built(), "selective queries must trigger the index");
+        assert!(
+            tuner.index_built(),
+            "selective queries must trigger the index"
+        );
         let built_at = built_at.unwrap();
         assert!(built_at > 1, "not on the very first query");
         assert!(built_at < 100, "but within a reasonable horizon");
@@ -187,10 +190,7 @@ mod tests {
             let low = (q * 173) % 18_000;
             let high = low + 500;
             let got = tuner.query_range(low, high);
-            let expected = keys
-                .iter()
-                .filter(|&&k| k >= low && k < high)
-                .count();
+            let expected = keys.iter().filter(|&&k| k >= low && k < high).count();
             assert_eq!(got.len(), expected, "query {q}");
         }
         assert!(tuner.index_built());
@@ -241,7 +241,8 @@ mod tests {
             let _ = tuner.query_range(low, low + 100);
         }
         assert_eq!(
-            tuner.stats().elements_scanned, scanned_before,
+            tuner.stats().elements_scanned,
+            scanned_before,
             "after the build no more full scans happen"
         );
         assert!(tuner.total_effort() > 0);

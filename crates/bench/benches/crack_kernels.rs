@@ -68,14 +68,7 @@ fn bench_scan_vs_sorted_extract(c: &mut Criterion) {
     let high = low + (n / 100) as i64;
 
     group.bench_function("full_scan_count", |b| {
-        b.iter(|| {
-            black_box(
-                values
-                    .iter()
-                    .filter(|&&v| v >= low && v < high)
-                    .count(),
-            )
-        })
+        b.iter(|| black_box(values.iter().filter(|&&v| v >= low && v < high).count()))
     });
 
     let run = SortedRun::from_pairs(

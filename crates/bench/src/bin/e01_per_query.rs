@@ -15,7 +15,11 @@ fn main() {
         config.queries,
         config.selectivity * 100.0
     );
-    let keys = generate_keys(config.rows, DataDistribution::UniformPermutation, config.seed);
+    let keys = generate_keys(
+        config.rows,
+        DataDistribution::UniformPermutation,
+        config.seed,
+    );
     let workload = QueryWorkload::generate(
         WorkloadKind::UniformRandom,
         config.queries,

@@ -37,7 +37,10 @@ fn main() {
     for &batch in &update_batches {
         for (label, policy) in [
             ("merge-completely", MergePolicy::MergeCompletely),
-            ("merge-gradually(128)", MergePolicy::MergeGradually { batch: 128 }),
+            (
+                "merge-gradually(128)",
+                MergePolicy::MergeGradually { batch: 128 },
+            ),
             ("merge-ripple", MergePolicy::MergeRipple),
         ] {
             let mut index = UpdatableCrackedIndex::from_keys(&keys, policy);

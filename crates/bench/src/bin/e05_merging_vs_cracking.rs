@@ -15,7 +15,11 @@ fn main() {
         config.queries,
         config.selectivity * 100.0
     );
-    let keys = generate_keys(config.rows, DataDistribution::UniformPermutation, config.seed);
+    let keys = generate_keys(
+        config.rows,
+        DataDistribution::UniformPermutation,
+        config.seed,
+    );
     let workload = QueryWorkload::generate(
         WorkloadKind::UniformRandom,
         config.queries,
@@ -55,7 +59,9 @@ fn main() {
     // convergence metric: queries until a query is answered within 2x of the
     // converged full-index per-query cost
     let target = runs[0].time_ns.tail_mean(50);
-    println!("\n## benchmark metrics (target per-query cost = converged full-sort = {target:.0} ns)");
+    println!(
+        "\n## benchmark metrics (target per-query cost = converged full-sort = {target:.0} ns)"
+    );
     println!(
         "{:<22} {:>18} {:>22} {:>20}",
         "technique", "first query (ms)", "overhead vs cracking q1", "queries to converge"

@@ -17,7 +17,11 @@ fn main() {
         config.queries,
         config.selectivity * 100.0
     );
-    let keys = generate_keys(config.rows, DataDistribution::UniformPermutation, config.seed);
+    let keys = generate_keys(
+        config.rows,
+        DataDistribution::UniformPermutation,
+        config.seed,
+    );
     let workload = QueryWorkload::generate(
         WorkloadKind::UniformRandom,
         config.queries,
@@ -29,12 +33,24 @@ fn main() {
 
     let strategies = [
         StrategyKind::Cracking,
-        StrategyKind::Hybrid { algorithm: HybridKind::CrackCrack },
-        StrategyKind::Hybrid { algorithm: HybridKind::CrackSort },
-        StrategyKind::Hybrid { algorithm: HybridKind::CrackRadix },
-        StrategyKind::Hybrid { algorithm: HybridKind::RadixRadix },
-        StrategyKind::Hybrid { algorithm: HybridKind::SortSort },
-        StrategyKind::Hybrid { algorithm: HybridKind::SortRadix },
+        StrategyKind::Hybrid {
+            algorithm: HybridKind::CrackCrack,
+        },
+        StrategyKind::Hybrid {
+            algorithm: HybridKind::CrackSort,
+        },
+        StrategyKind::Hybrid {
+            algorithm: HybridKind::CrackRadix,
+        },
+        StrategyKind::Hybrid {
+            algorithm: HybridKind::RadixRadix,
+        },
+        StrategyKind::Hybrid {
+            algorithm: HybridKind::SortSort,
+        },
+        StrategyKind::Hybrid {
+            algorithm: HybridKind::SortRadix,
+        },
         StrategyKind::AdaptiveMerging { run_size: 1 << 16 },
         StrategyKind::FullSort,
     ];
@@ -45,10 +61,7 @@ fn main() {
     assert_checksums_match(&runs);
 
     let scan_equivalent = config.rows as f64; // one pass over the column, in work units
-    let full_index_cost = runs
-        .last()
-        .map(|r| r.effort.tail_mean(100))
-        .unwrap_or(1.0);
+    let full_index_cost = runs.last().map(|r| r.effort.tail_mean(100)).unwrap_or(1.0);
     println!(
         "\n{:<22} {:>16} {:>20} {:>20} {:>18} {:>14}",
         "technique",

@@ -17,7 +17,11 @@ fn main() {
         config.queries,
         config.selectivity * 100.0
     );
-    let keys = generate_keys(config.rows, DataDistribution::UniformPermutation, config.seed);
+    let keys = generate_keys(
+        config.rows,
+        DataDistribution::UniformPermutation,
+        config.seed,
+    );
 
     let workloads = [
         ("uniform", WorkloadKind::UniformRandom),

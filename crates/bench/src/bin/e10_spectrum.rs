@@ -3,7 +3,9 @@
 //! indexing, as the workload becomes less predictable (the offline advisor's
 //! sample workload matches the real workload less and less).
 
-use aidx_baselines::{FullScanIndex, FullSortIndex, OfflineAdvisor, OnlineIndexTuner, SoftIndexTuner, WorkloadSample};
+use aidx_baselines::{
+    FullScanIndex, FullSortIndex, OfflineAdvisor, OnlineIndexTuner, SoftIndexTuner, WorkloadSample,
+};
 use aidx_bench::HarnessConfig;
 use aidx_core::strategy::StrategyKind;
 use aidx_workloads::data::{generate_keys, DataDistribution};
@@ -24,7 +26,13 @@ fn main() {
 
     let columns = ["a", "b", "c"];
     let keys: Vec<Vec<i64>> = (0..columns.len())
-        .map(|i| generate_keys(rows, DataDistribution::UniformPermutation, config.seed + i as u64))
+        .map(|i| {
+            generate_keys(
+                rows,
+                DataDistribution::UniformPermutation,
+                config.seed + i as u64,
+            )
+        })
         .collect();
     let workload = QueryWorkload::generate(
         WorkloadKind::UniformRandom,

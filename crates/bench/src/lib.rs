@@ -181,7 +181,11 @@ pub fn print_cumulative(title: &str, runs: &[&CostSeries], unit: &str) {
     let baseline = runs.first();
     for run in runs {
         let cumulative = run.cumulative();
-        let after_10 = cumulative.get(9).or(cumulative.last()).copied().unwrap_or(0.0);
+        let after_10 = cumulative
+            .get(9)
+            .or(cumulative.last())
+            .copied()
+            .unwrap_or(0.0);
         let total = cumulative.last().copied().unwrap_or(0.0);
         let crossover = match baseline {
             Some(base) if !std::ptr::eq(*base, *run) => run
@@ -189,7 +193,10 @@ pub fn print_cumulative(title: &str, runs: &[&CostSeries], unit: &str) {
                 .map_or("never".to_owned(), |q| format!("query {}", q + 1)),
             _ => "-".to_owned(),
         };
-        println!("{:<22} {:>18.0} {:>18.0} {:>26}", run.label, after_10, total, crossover);
+        println!(
+            "{:<22} {:>18.0} {:>18.0} {:>26}",
+            run.label, after_10, total, crossover
+        );
     }
 }
 
@@ -226,8 +233,7 @@ mod tests {
     #[test]
     fn run_strategy_produces_consistent_measurements() {
         let keys = generate_keys(5000, DataDistribution::UniformPermutation, 1);
-        let workload =
-            QueryWorkload::generate(WorkloadKind::UniformRandom, 50, 0, 5000, 0.01, 2);
+        let workload = QueryWorkload::generate(WorkloadKind::UniformRandom, 50, 0, 5000, 0.01, 2);
         let scan = run_strategy(StrategyKind::FullScan, &keys, &workload);
         let crack = run_strategy(StrategyKind::Cracking, &keys, &workload);
         assert_eq!(scan.checksum, crack.checksum);

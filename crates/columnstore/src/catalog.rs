@@ -41,10 +41,12 @@ impl Catalog {
 
     /// Borrow a table.
     pub fn table(&self, name: &str) -> Result<&Table> {
-        self.tables.get(name).ok_or_else(|| ColumnStoreError::NotFound {
-            kind: "table",
-            name: name.to_owned(),
-        })
+        self.tables
+            .get(name)
+            .ok_or_else(|| ColumnStoreError::NotFound {
+                kind: "table",
+                name: name.to_owned(),
+            })
     }
 
     /// Mutably borrow a table.

@@ -76,16 +76,25 @@ impl fmt::Display for ColumnStoreError {
                 ),
             },
             ColumnStoreError::ArityMismatch { expected, found } => {
-                write!(f, "row arity mismatch: expected {expected} values, found {found}")
+                write!(
+                    f,
+                    "row arity mismatch: expected {expected} values, found {found}"
+                )
             }
             ColumnStoreError::AlreadyExists { kind, name } => {
                 write!(f, "{kind} already exists: {name}")
             }
             ColumnStoreError::PositionOutOfBounds { position, len } => {
-                write!(f, "position {position} out of bounds for column of length {len}")
+                write!(
+                    f,
+                    "position {position} out of bounds for column of length {len}"
+                )
             }
             ColumnStoreError::LengthMismatch { expected, found } => {
-                write!(f, "column length mismatch: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "column length mismatch: expected {expected}, found {found}"
+                )
             }
         }
     }

@@ -182,7 +182,10 @@ mod tests {
     fn scan_count_matches_select_len() {
         let keys: Vec<Key> = (0..5000).map(|i| (i * 7919) % 1000).collect();
         let pred = Predicate::range(100, 300);
-        assert_eq!(scan_count(&keys, &pred), scan_select_keys(&keys, &pred).len());
+        assert_eq!(
+            scan_count(&keys, &pred),
+            scan_select_keys(&keys, &pred).len()
+        );
     }
 
     #[test]

@@ -293,16 +293,15 @@ mod tests {
         let rows = t.reconstruct(&positions).unwrap();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[1], vec![Value::Int64(3), Value::Utf8("three".into())]);
-        let proj = t
-            .reconstruct_projection(&positions, &["name"])
-            .unwrap();
-        assert_eq!(proj, vec![
-            vec![Value::Utf8("one".into())],
-            vec![Value::Utf8("three".into())]
-        ]);
-        assert!(t
-            .reconstruct_projection(&positions, &["nope"])
-            .is_err());
+        let proj = t.reconstruct_projection(&positions, &["name"]).unwrap();
+        assert_eq!(
+            proj,
+            vec![
+                vec![Value::Utf8("one".into())],
+                vec![Value::Utf8("three".into())]
+            ]
+        );
+        assert!(t.reconstruct_projection(&positions, &["nope"]).is_err());
     }
 
     #[test]

@@ -148,9 +148,9 @@ impl AdaptiveExecutor {
             })?;
 
         let column_id = ColumnId::new(&query.table, &query.filter_column);
-        let output =
-            self.manager
-                .query_range(&column_id, keys.as_slice(), query.low, query.high);
+        let output = self
+            .manager
+            .query_range(&column_id, keys.as_slice(), query.low, query.high);
         let positions = output.positions;
 
         let mut rows = Vec::new();
@@ -197,13 +197,17 @@ impl AdaptiveExecutor {
     ) -> Result<Vec<Key>> {
         let table_ref = self.catalog.table(table)?;
         let filter = table_ref.column(filter_column)?;
-        let keys = filter.as_i64().ok_or_else(|| ColumnStoreError::TypeMismatch {
-            column: filter_column.to_owned(),
-            expected: aidx_columnstore::types::DataType::Int64,
-            found: Some(filter.data_type()),
-        })?;
+        let keys = filter
+            .as_i64()
+            .ok_or_else(|| ColumnStoreError::TypeMismatch {
+                column: filter_column.to_owned(),
+                expected: aidx_columnstore::types::DataType::Int64,
+                found: Some(filter.data_type()),
+            })?;
         let column_id = ColumnId::new(table, filter_column);
-        let output = self.manager.query_range(&column_id, keys.as_slice(), low, high);
+        let output = self
+            .manager
+            .query_range(&column_id, keys.as_slice(), low, high);
         let projected = table_ref.column(projection)?;
         Ok(project::fetch_i64(projected, &output.positions))
     }
@@ -265,7 +269,8 @@ mod tests {
     #[test]
     fn selection_with_projection() {
         let mut executor = AdaptiveExecutor::new(orders_catalog(1000), StrategyKind::Cracking);
-        let query = SelectQuery::range("orders", "o_key", 100, 110).project(&["o_value", "o_label"]);
+        let query =
+            SelectQuery::range("orders", "o_key", 100, 110).project(&["o_value", "o_label"]);
         let result = executor.execute(&query).unwrap();
         assert_eq!(result.row_count(), 10);
         assert_eq!(result.rows.len(), 10);
@@ -282,32 +287,50 @@ mod tests {
     fn aggregation_queries() {
         let mut executor = AdaptiveExecutor::new(orders_catalog(1000), StrategyKind::Cracking);
         let count = executor
-            .execute(&SelectQuery::range("orders", "o_key", 0, 100).aggregate(Aggregation::Count, "o_key"))
+            .execute(
+                &SelectQuery::range("orders", "o_key", 0, 100)
+                    .aggregate(Aggregation::Count, "o_key"),
+            )
             .unwrap();
         assert_eq!(count.aggregate, Some(Value::Int64(100)));
 
         let sum = executor
-            .execute(&SelectQuery::range("orders", "o_key", 0, 10).aggregate(Aggregation::Sum, "o_value"))
+            .execute(
+                &SelectQuery::range("orders", "o_key", 0, 10)
+                    .aggregate(Aggregation::Sum, "o_value"),
+            )
             .unwrap();
-        assert_eq!(sum.aggregate, Some(Value::Int64((0..10).map(|k| k * 2).sum())));
+        assert_eq!(
+            sum.aggregate,
+            Some(Value::Int64((0..10).map(|k| k * 2).sum()))
+        );
 
         let min = executor
-            .execute(&SelectQuery::range("orders", "o_key", 5, 10).aggregate(Aggregation::Min, "o_key"))
+            .execute(
+                &SelectQuery::range("orders", "o_key", 5, 10).aggregate(Aggregation::Min, "o_key"),
+            )
             .unwrap();
         assert_eq!(min.aggregate, Some(Value::Int64(5)));
 
         let max = executor
-            .execute(&SelectQuery::range("orders", "o_key", 5, 10).aggregate(Aggregation::Max, "o_key"))
+            .execute(
+                &SelectQuery::range("orders", "o_key", 5, 10).aggregate(Aggregation::Max, "o_key"),
+            )
             .unwrap();
         assert_eq!(max.aggregate, Some(Value::Int64(9)));
 
         let avg = executor
-            .execute(&SelectQuery::range("orders", "o_key", 0, 4).aggregate(Aggregation::Avg, "o_key"))
+            .execute(
+                &SelectQuery::range("orders", "o_key", 0, 4).aggregate(Aggregation::Avg, "o_key"),
+            )
             .unwrap();
         assert_eq!(avg.aggregate, Some(Value::Float64(1.5)));
 
         let empty = executor
-            .execute(&SelectQuery::range("orders", "o_key", 5000, 6000).aggregate(Aggregation::Min, "o_key"))
+            .execute(
+                &SelectQuery::range("orders", "o_key", 5000, 6000)
+                    .aggregate(Aggregation::Min, "o_key"),
+            )
             .unwrap();
         assert_eq!(empty.aggregate, Some(Value::Null));
     }
@@ -337,9 +360,12 @@ mod tests {
         assert!(executor
             .execute(&SelectQuery::range("orders", "nope", 0, 5))
             .is_err());
-        assert!(executor
-            .execute(&SelectQuery::range("orders", "o_label", 0, 5))
-            .is_err(), "range predicates on string columns are rejected");
+        assert!(
+            executor
+                .execute(&SelectQuery::range("orders", "o_label", 0, 5))
+                .is_err(),
+            "range predicates on string columns are rejected"
+        );
         assert!(executor
             .execute(&SelectQuery::range("orders", "o_key", 0, 5).project(&["nope"]))
             .is_err());
@@ -400,7 +426,9 @@ mod tests {
             .unwrap()
             .row_count();
         assert_eq!(after, 1001);
-        assert!(executor.index_manager().has_index(&ColumnId::new("orders", "o_key")));
+        assert!(executor
+            .index_manager()
+            .has_index(&ColumnId::new("orders", "o_key")));
     }
 
     #[test]
@@ -409,7 +437,9 @@ mod tests {
         let _ = executor
             .execute(&SelectQuery::range("orders", "o_key", 0, 100))
             .unwrap();
-        assert!(executor.index_manager().has_index(&ColumnId::new("orders", "o_key")));
+        assert!(executor
+            .index_manager()
+            .has_index(&ColumnId::new("orders", "o_key")));
         executor
             .insert_row(
                 "orders",
@@ -421,7 +451,9 @@ mod tests {
             )
             .unwrap();
         // the plain cracking index cannot absorb the insert, so it was dropped
-        assert!(!executor.index_manager().has_index(&ColumnId::new("orders", "o_key")));
+        assert!(!executor
+            .index_manager()
+            .has_index(&ColumnId::new("orders", "o_key")));
         // and the next query rebuilds it lazily with the new row included
         let result = executor
             .execute(&SelectQuery::range("orders", "o_key", 0, 1000))

@@ -101,13 +101,7 @@ impl IndexManager {
     /// Route a range query `[low, high)` for `column`, creating the index
     /// from `keys` (with the default strategy) if this is the first query
     /// that touches the column.
-    pub fn query_range(
-        &self,
-        column: &ColumnId,
-        keys: &[Key],
-        low: Key,
-        high: Key,
-    ) -> QueryOutput {
+    pub fn query_range(&self, column: &ColumnId, keys: &[Key], low: Key, high: Key) -> QueryOutput {
         self.query_range_with(column, keys, low, high, self.default_strategy)
     }
 

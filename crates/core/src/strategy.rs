@@ -667,7 +667,10 @@ mod tests {
             let low = (q * 37) % 8000;
             let _ = online.query_range(low, low + 64);
         }
-        assert!(online.is_converged(), "online tuner should have built its index");
+        assert!(
+            online.is_converged(),
+            "online tuner should have built its index"
+        );
     }
 
     #[test]

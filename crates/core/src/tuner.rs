@@ -124,8 +124,7 @@ impl AutoTuner {
         // 1. Too few queries to ever pay for anything: scan.
         let scan_total = self.cost_model.scan_query_cost(n, selectivity) * queries;
         let build_cost = self.cost_model.index_build_cost(n);
-        let index_total =
-            build_cost + self.cost_model.index_query_cost(n, selectivity) * queries;
+        let index_total = build_cost + self.cost_model.index_query_cost(n, selectivity) * queries;
         if scan_total <= index_total && queries < 8.0 {
             return TuningDecision {
                 strategy: StrategyKind::FullScan,
@@ -184,7 +183,9 @@ impl AutoTuner {
         // 6. Default adaptive choice.
         TuningDecision {
             strategy: StrategyKind::Cracking,
-            reason: "dynamic or unknown workload; crack incrementally and pay only for queried ranges".to_owned(),
+            reason:
+                "dynamic or unknown workload; crack incrementally and pay only for queried ranges"
+                    .to_owned(),
         }
     }
 }
@@ -208,15 +209,21 @@ mod tests {
     fn fixed_policies_ignore_the_profile() {
         let profile = base_profile();
         assert_eq!(
-            AutoTuner::new(TuningPolicy::AlwaysCrack).decide(&profile).strategy,
+            AutoTuner::new(TuningPolicy::AlwaysCrack)
+                .decide(&profile)
+                .strategy,
             StrategyKind::Cracking
         );
         assert_eq!(
-            AutoTuner::new(TuningPolicy::AlwaysFullSort).decide(&profile).strategy,
+            AutoTuner::new(TuningPolicy::AlwaysFullSort)
+                .decide(&profile)
+                .strategy,
             StrategyKind::FullSort
         );
         assert_eq!(
-            AutoTuner::new(TuningPolicy::NeverIndex).decide(&profile).strategy,
+            AutoTuner::new(TuningPolicy::NeverIndex)
+                .decide(&profile)
+                .strategy,
             StrategyKind::FullScan
         );
     }

@@ -302,7 +302,9 @@ mod tests {
         let n = v.len();
         let s = crack_in_three(&mut v, &mut r, 0, n, 5, 15);
         assert!(v[..s.low_split].iter().all(|&x| x < 5));
-        assert!(v[s.low_split..s.high_split].iter().all(|&x| (5..15).contains(&x)));
+        assert!(v[s.low_split..s.high_split]
+            .iter()
+            .all(|&x| (5..15).contains(&x)));
         assert!(v[s.high_split..].iter().all(|&x| x >= 15));
         assert_eq!(s.high_split - s.low_split, 4); // 13, 9, 12, 7
         assert!(rowids_follow_values(&orig, &v, &r));
@@ -352,7 +354,9 @@ mod tests {
         assert_eq!(v[0], 50);
         assert_eq!(v[6], 50);
         assert!(v[1..s.low_split].iter().all(|&x| x < 3));
-        assert!(v[s.low_split..s.high_split].iter().all(|&x| (3..8).contains(&x)));
+        assert!(v[s.low_split..s.high_split]
+            .iter()
+            .all(|&x| (3..8).contains(&x)));
         assert!(v[s.high_split..6].iter().all(|&x| x >= 8));
         assert!(rowids_follow_values(&orig, &v, &r));
     }

@@ -267,14 +267,8 @@ mod tests {
         let mut c = CrackerColumn::from_keys(&[9, 1, 8, 2]);
         {
             let (values, rowids) = c.pair_slices_mut();
-            let split = crate::crack::crack_in_two(
-                values,
-                rowids,
-                0,
-                4,
-                5,
-                crate::crack::PivotSide::Left,
-            );
+            let split =
+                crate::crack::crack_in_two(values, rowids, 0, 4, 5, crate::crack::PivotSide::Left);
             assert_eq!(split, 2);
         }
         assert!(c.values()[..2].iter().all(|&v| v < 5));

@@ -90,7 +90,10 @@ impl AvlCutIndex {
     }
 
     fn rotate_left(&mut self, x: NodeId) -> NodeId {
-        let y = self.node(x).right.expect("rotate_left requires right child");
+        let y = self
+            .node(x)
+            .right
+            .expect("rotate_left requires right child");
         let t2 = self.node(y).left;
         self.node_mut(y).left = Some(x);
         self.node_mut(x).right = t2;
@@ -113,7 +116,10 @@ impl AvlCutIndex {
         }
         if balance < -1 {
             // right heavy
-            let right = self.node(id).right.expect("right heavy implies right child");
+            let right = self
+                .node(id)
+                .right
+                .expect("right heavy implies right child");
             if self.balance_factor(right) > 0 {
                 let new_right = self.rotate_right(right);
                 self.node_mut(id).right = Some(new_right);
@@ -158,7 +164,12 @@ impl AvlCutIndex {
         }
     }
 
-    fn remove_at(&mut self, root: Option<NodeId>, key: Key, removed: &mut Option<usize>) -> Option<NodeId> {
+    fn remove_at(
+        &mut self,
+        root: Option<NodeId>,
+        key: Key,
+        removed: &mut Option<usize>,
+    ) -> Option<NodeId> {
         let id = root?;
         match key.cmp(&self.node(id).key) {
             std::cmp::Ordering::Less => {

@@ -165,7 +165,9 @@ mod trait_tests {
         // not need the rand crate in this crate's unit tests
         let mut state: u64 = 0x2545F4914F6CDD1D;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         let mut a = BTreeCutIndex::default();

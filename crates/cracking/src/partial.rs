@@ -14,8 +14,8 @@
 //!   used fragments are evicted (their data can always be rebuilt from the
 //!   base column).
 
-use crate::selection::CrackedIndex;
 use crate::cracker_column::CrackerColumn;
+use crate::selection::CrackedIndex;
 use aidx_columnstore::types::{Key, RowId};
 use std::collections::BTreeMap;
 
@@ -229,7 +229,11 @@ mod tests {
     use super::*;
 
     fn reference(data: &[Key], low: Key, high: Key) -> Vec<Key> {
-        let mut v: Vec<Key> = data.iter().copied().filter(|&x| x >= low && x < high).collect();
+        let mut v: Vec<Key> = data
+            .iter()
+            .copied()
+            .filter(|&x| x >= low && x < high)
+            .collect();
         v.sort_unstable();
         v
     }

@@ -278,7 +278,8 @@ impl<I: CutIndex> CrackedIndex<I> {
         // Fast path: both bounds land in the same piece and neither is known
         // yet — a single three-way crack handles the whole query (this is the
         // common case for the first queries on a column).
-        let low_known = low <= self.min_value || low > self.max_value || self.cuts.exact(low).is_some();
+        let low_known =
+            low <= self.min_value || low > self.max_value || self.cuts.exact(low).is_some();
         let high_known =
             high <= self.min_value || high > self.max_value || self.cuts.exact(high).is_some();
         if !low_known && !high_known {
@@ -392,7 +393,11 @@ mod tests {
     use super::*;
 
     fn reference_answer(data: &[Key], low: Key, high: Key) -> Vec<Key> {
-        let mut v: Vec<Key> = data.iter().copied().filter(|&x| x >= low && x < high).collect();
+        let mut v: Vec<Key> = data
+            .iter()
+            .copied()
+            .filter(|&x| x >= low && x < high)
+            .collect();
         v.sort_unstable();
         v
     }
@@ -443,11 +448,9 @@ mod tests {
         let data: Vec<Key> = (0..1000).map(|i| (i * 7919) % 1000).collect();
         let mut idx: CrackedIndex = CrackedIndex::from_keys(&data);
         let _ = idx.query_range(100, 200);
-        let cracks_after_first =
-            idx.stats().crack_in_two_calls + idx.stats().crack_in_three_calls;
+        let cracks_after_first = idx.stats().crack_in_two_calls + idx.stats().crack_in_three_calls;
         let got = sorted_keys(&idx.query_range(100, 200));
-        let cracks_after_second =
-            idx.stats().crack_in_two_calls + idx.stats().crack_in_three_calls;
+        let cracks_after_second = idx.stats().crack_in_two_calls + idx.stats().crack_in_three_calls;
         assert_eq!(cracks_after_first, cracks_after_second, "no new cracks");
         assert_eq!(got, reference_answer(&data, 100, 200));
     }

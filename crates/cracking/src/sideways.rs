@@ -234,8 +234,7 @@ impl MapSet {
                 }
             }
         }
-        let tails_ref: Vec<(&str, Vec<Key>)> =
-            tails.iter().map(|(n, v)| (*n, v.clone())).collect();
+        let tails_ref: Vec<(&str, Vec<Key>)> = tails.iter().map(|(n, v)| (*n, v.clone())).collect();
         Some(MapSet::new(&head, tails_ref))
     }
 
@@ -346,8 +345,10 @@ impl MapSet {
             .expect("caller checked the tail exists")
             .clone();
         self.stats.record_copy(self.head_column.len() * 2);
-        self.maps
-            .insert(tail_name.to_owned(), CrackerMap::new(self.head_column.clone(), tail));
+        self.maps.insert(
+            tail_name.to_owned(),
+            CrackerMap::new(self.head_column.clone(), tail),
+        );
     }
 
     /// Verify the integrity of every materialized map and their mutual
@@ -384,12 +385,7 @@ mod tests {
         (a, b, c)
     }
 
-    fn reference_project(
-        a: &[Key],
-        tail: &[Key],
-        low: Key,
-        high: Key,
-    ) -> Vec<(Key, Key)> {
+    fn reference_project(a: &[Key], tail: &[Key], low: Key, high: Key) -> Vec<(Key, Key)> {
         let mut v: Vec<(Key, Key)> = a
             .iter()
             .zip(tail.iter())
@@ -450,7 +446,11 @@ mod tests {
         let mut maps = MapSet::new(&a, vec![("b", b), ("c", c)]);
         assert_eq!(maps.materialized_maps(), 0);
         let _ = maps.select_project_one(10, 50, "b");
-        assert_eq!(maps.materialized_maps(), 1, "only the queried tail is materialized");
+        assert_eq!(
+            maps.materialized_maps(),
+            1,
+            "only the queried tail is materialized"
+        );
         let _ = maps.select_project_one(10, 50, "c");
         assert_eq!(maps.materialized_maps(), 2);
         assert_eq!(maps.tail_names(), vec!["b", "c"]);

@@ -51,7 +51,12 @@ impl StochasticCrackedIndex {
     /// `piece_threshold` controls how large a piece must be before auxiliary
     /// cracks are applied; the canonical choice is a small multiple of the L1
     /// cache size, here expressed in number of values.
-    pub fn from_keys(keys: &[Key], variant: StochasticVariant, piece_threshold: usize, seed: u64) -> Self {
+    pub fn from_keys(
+        keys: &[Key],
+        variant: StochasticVariant,
+        piece_threshold: usize,
+        seed: u64,
+    ) -> Self {
         StochasticCrackedIndex {
             inner: CrackedIndex::from_keys(keys),
             variant,
@@ -100,14 +105,18 @@ impl StochasticCrackedIndex {
     /// the piece has an open bound.
     fn piece_midpoint(&self, piece: &Piece) -> Key {
         let low = piece.low.unwrap_or_else(|| self.inner.min_value());
-        let high = piece.high.unwrap_or_else(|| self.inner.max_value().saturating_add(1));
+        let high = piece
+            .high
+            .unwrap_or_else(|| self.inner.max_value().saturating_add(1));
         low + (high - low) / 2
     }
 
     /// Uniformly random pivot within a piece's key range.
     fn piece_random_pivot(&mut self, piece: &Piece) -> Key {
         let low = piece.low.unwrap_or_else(|| self.inner.min_value());
-        let high = piece.high.unwrap_or_else(|| self.inner.max_value().saturating_add(1));
+        let high = piece
+            .high
+            .unwrap_or_else(|| self.inner.max_value().saturating_add(1));
         if high <= low + 1 {
             low
         } else {
@@ -187,7 +196,11 @@ mod tests {
     }
 
     fn reference(data: &[Key], low: Key, high: Key) -> Vec<Key> {
-        let mut v: Vec<Key> = data.iter().copied().filter(|&x| x >= low && x < high).collect();
+        let mut v: Vec<Key> = data
+            .iter()
+            .copied()
+            .filter(|&x| x >= low && x < high)
+            .collect();
         v.sort_unstable();
         v
     }
@@ -220,12 +233,8 @@ mod tests {
         let data: Vec<Key> = (0..n).map(|i| (i * 75) % n).collect();
 
         let mut plain: CrackedIndex = CrackedIndex::from_keys(&data);
-        let mut stochastic = StochasticCrackedIndex::from_keys(
-            &data,
-            StochasticVariant::DataDrivenCenter,
-            128,
-            42,
-        );
+        let mut stochastic =
+            StochasticCrackedIndex::from_keys(&data, StochasticVariant::DataDrivenCenter, 128, 42);
 
         let step: Key = 200;
         let mut low = 0;
@@ -269,12 +278,8 @@ mod tests {
 
     #[test]
     fn empty_and_degenerate_queries() {
-        let mut idx = StochasticCrackedIndex::from_keys(
-            &[],
-            StochasticVariant::DataDrivenRandom,
-            16,
-            1,
-        );
+        let mut idx =
+            StochasticCrackedIndex::from_keys(&[], StochasticVariant::DataDrivenRandom, 16, 1);
         assert!(idx.is_empty());
         assert_eq!(idx.count_range(0, 10), 0);
 

@@ -290,11 +290,8 @@ impl UpdatableCrackedIndex {
 
         // Cut keys strictly greater than `key`, in descending key order: these
         // are the piece boundaries that must shift right by one.
-        let mut downstream: Vec<(Key, usize)> = cuts
-            .cuts()
-            .into_iter()
-            .filter(|&(k, _)| k > key)
-            .collect();
+        let mut downstream: Vec<(Key, usize)> =
+            cuts.cuts().into_iter().filter(|&(k, _)| k > key).collect();
         downstream.sort_unstable_by_key(|&(k, _)| std::cmp::Reverse(k));
 
         // Open a hole at the very end of the column.
@@ -330,18 +327,16 @@ impl UpdatableCrackedIndex {
         // Locate the piece holding `key` and scan it for the row id.
         let begin = cuts.floor(key).map_or(0, |(_, p)| p);
         let end = cuts.successor(key).map_or(len, |(_, p)| p);
-        let Some(offset) = (begin..end).find(|&p| column.rowid(p) == rowid && column.value(p) == key)
+        let Some(offset) =
+            (begin..end).find(|&p| column.rowid(p) == rowid && column.value(p) == key)
         else {
             return;
         };
 
         // Cut keys strictly greater than `key`, ascending: each downstream
         // piece donates its first element to the hole and shifts left by one.
-        let downstream: Vec<(Key, usize)> = cuts
-            .cuts()
-            .into_iter()
-            .filter(|&(k, _)| k > key)
-            .collect();
+        let downstream: Vec<(Key, usize)> =
+            cuts.cuts().into_iter().filter(|&(k, _)| k > key).collect();
 
         let mut hole = offset;
         // Within the target piece, fill the hole with the piece's last pair.

@@ -5,8 +5,8 @@
 //! over already-seen ranges are — the convergence side of the
 //! initialization-vs-convergence trade-off.
 
-use aidx_cracking::stats::CrackStats;
 use aidx_columnstore::types::{Key, RowId};
+use aidx_cracking::stats::CrackStats;
 use aidx_merging::final_index::SortedRangeIndex;
 
 /// How the final partition is organized.
@@ -243,7 +243,12 @@ impl RadixFinal {
                 continue;
             }
             stats.record_scan(bucket.len());
-            out.extend(bucket.iter().copied().filter(|&(k, _)| k >= low && k < high));
+            out.extend(
+                bucket
+                    .iter()
+                    .copied()
+                    .filter(|&(k, _)| k >= low && k < high),
+            );
         }
         out
     }
@@ -345,8 +350,10 @@ mod tests {
         let _ = sort.query_range(5000, 5010, &mut sort_stats);
         let crack_scanned = crack_stats.elements_scanned - crack_scan_before;
         let sort_scanned = sort_stats.elements_scanned - sort_scan_before;
-        assert!(sort_scanned < crack_scanned,
-            "sorted final ({sort_scanned}) must beat unsorted piece scan ({crack_scanned})");
+        assert!(
+            sort_scanned < crack_scanned,
+            "sorted final ({sort_scanned}) must beat unsorted piece scan ({crack_scanned})"
+        );
     }
 
     #[test]

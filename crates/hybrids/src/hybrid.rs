@@ -2,10 +2,10 @@
 
 use crate::final_partition::{FinalOrganization, FinalPartition};
 use crate::source::{SourceOrganization, SourcePartition};
-use aidx_cracking::stats::CrackStats;
 use aidx_columnstore::column::Column;
 use aidx_columnstore::position::PositionList;
 use aidx_columnstore::types::{Key, RowId};
+use aidx_cracking::stats::CrackStats;
 
 /// Default number of tuples per initial partition.
 pub const DEFAULT_PARTITION_SIZE: usize = 1 << 16;
@@ -71,9 +71,9 @@ impl HybridAlgorithm {
             HybridAlgorithm::CrackCrack
             | HybridAlgorithm::CrackSort
             | HybridAlgorithm::CrackRadix => SourceOrganization::Crack,
-            HybridAlgorithm::SortCrack
-            | HybridAlgorithm::SortSort
-            | HybridAlgorithm::SortRadix => SourceOrganization::Sort,
+            HybridAlgorithm::SortCrack | HybridAlgorithm::SortSort | HybridAlgorithm::SortRadix => {
+                SourceOrganization::Sort
+            }
             HybridAlgorithm::RadixCrack
             | HybridAlgorithm::RadixSort
             | HybridAlgorithm::RadixRadix => SourceOrganization::Radix,
@@ -86,9 +86,9 @@ impl HybridAlgorithm {
             HybridAlgorithm::CrackCrack
             | HybridAlgorithm::SortCrack
             | HybridAlgorithm::RadixCrack => FinalOrganization::Crack,
-            HybridAlgorithm::CrackSort
-            | HybridAlgorithm::SortSort
-            | HybridAlgorithm::RadixSort => FinalOrganization::Sort,
+            HybridAlgorithm::CrackSort | HybridAlgorithm::SortSort | HybridAlgorithm::RadixSort => {
+                FinalOrganization::Sort
+            }
             HybridAlgorithm::CrackRadix
             | HybridAlgorithm::SortRadix
             | HybridAlgorithm::RadixRadix => FinalOrganization::Radix,
@@ -299,7 +299,11 @@ mod tests {
     }
 
     fn reference(data: &[Key], low: Key, high: Key) -> Vec<Key> {
-        let mut v: Vec<Key> = data.iter().copied().filter(|&x| x >= low && x < high).collect();
+        let mut v: Vec<Key> = data
+            .iter()
+            .copied()
+            .filter(|&x| x >= low && x < high)
+            .collect();
         v.sort_unstable();
         v
     }
@@ -318,8 +322,10 @@ mod tests {
             FinalOrganization::Crack
         );
         // short names are unique
-        let names: std::collections::HashSet<_> =
-            HybridAlgorithm::all().iter().map(|a| a.short_name()).collect();
+        let names: std::collections::HashSet<_> = HybridAlgorithm::all()
+            .iter()
+            .map(|a| a.short_name())
+            .collect();
         assert_eq!(names.len(), 9);
     }
 

@@ -5,11 +5,11 @@
 //! that may contain qualifying tuples; how cheap that extraction is — and how
 //! much the first touch costs — depends on the partition organization.
 
+use aidx_columnstore::types::{Key, RowId};
 use aidx_cracking::crack::{crack_in_two_counted, PivotSide};
 use aidx_cracking::index::{BTreeCutIndex, CutIndex};
 use aidx_cracking::stats::CrackStats;
 use aidx_merging::run::SortedRun;
-use aidx_columnstore::types::{Key, RowId};
 
 /// How initial partitions are organized.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -152,8 +152,14 @@ impl CrackedSource {
         }
         let begin = self.cuts.floor(key).map_or(0, |(_, p)| p);
         let end = self.cuts.ceiling(key).map_or(len, |(_, p)| p);
-        let (split, touch) =
-            crack_in_two_counted(&mut self.values, &mut self.rowids, begin, end, key, PivotSide::Left);
+        let (split, touch) = crack_in_two_counted(
+            &mut self.values,
+            &mut self.rowids,
+            begin,
+            end,
+            key,
+            PivotSide::Left,
+        );
         stats.record_crack_in_two(touch);
         self.cuts.insert(key, split);
         split
@@ -214,7 +220,10 @@ impl CrackedSource {
         let mut low: Option<Key> = None;
         for (key, position) in self.cuts.cuts() {
             let slice = &self.values[begin..position];
-            if slice.iter().any(|&v| v >= key || low.is_some_and(|l| v < l)) {
+            if slice
+                .iter()
+                .any(|&v| v >= key || low.is_some_and(|l| v < l))
+            {
                 return false;
             }
             begin = position;
@@ -319,9 +328,7 @@ impl RadixSource {
         self.buckets.iter().enumerate().all(|(i, bucket)| {
             let (low, high) = self.bucket_range(i);
             let last = i == self.buckets.len() - 1;
-            bucket
-                .iter()
-                .all(|&(k, _)| k >= low && (k < high || last))
+            bucket.iter().all(|&(k, _)| k >= low && (k < high || last))
         })
     }
 }

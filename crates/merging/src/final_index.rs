@@ -82,12 +82,8 @@ impl SortedRangeIndex {
             let segment = self.segments.remove(&seg_low).expect("listed above");
             new_low = new_low.min(seg_low);
             new_high = new_high.max(segment.high);
-            let (keys, rowids) = merge_sorted(
-                &merged_keys,
-                &merged_rowids,
-                &segment.keys,
-                &segment.rowids,
-            );
+            let (keys, rowids) =
+                merge_sorted(&merged_keys, &merged_rowids, &segment.keys, &segment.rowids);
             merged_keys = keys;
             merged_rowids = rowids;
         }

@@ -206,7 +206,11 @@ mod tests {
     use super::*;
 
     fn reference(data: &[Key], low: Key, high: Key) -> Vec<Key> {
-        let mut v: Vec<Key> = data.iter().copied().filter(|&x| x >= low && x < high).collect();
+        let mut v: Vec<Key> = data
+            .iter()
+            .copied()
+            .filter(|&x| x >= low && x < high)
+            .collect();
         v.sort_unstable();
         v
     }
@@ -267,7 +271,8 @@ mod tests {
         assert_eq!(got, reference(&data, 100, 500));
         assert_eq!(idx.stats().elements_merged, merged_after_first);
         assert_eq!(
-            idx.stats().run_probes, probes_after_first,
+            idx.stats().run_probes,
+            probes_after_first,
             "a covered range needs no run probes at all"
         );
         // and a strict sub-range is covered too

@@ -272,7 +272,10 @@ mod tests {
         assert_eq!(r.count_range(3, 8), 3);
         assert_eq!(r.count_range(10, 20), 0);
         let peeked = r.peek_range(3, 8);
-        assert_eq!(peeked.iter().map(|&(k, _)| k).collect::<Vec<_>>(), vec![3, 5, 7]);
+        assert_eq!(
+            peeked.iter().map(|&(k, _)| k).collect::<Vec<_>>(),
+            vec![3, 5, 7]
+        );
         assert_eq!(r.len(), 5, "peek does not remove");
     }
 

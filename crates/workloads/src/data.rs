@@ -66,9 +66,7 @@ pub fn generate_keys(n: usize, distribution: DataDistribution, seed: u64) -> Vec
             let clusters = clusters.max(1);
             let spread = spread.max(1);
             let domain = (n as Key).max(1);
-            let centers: Vec<Key> = (0..clusters)
-                .map(|_| rng.gen_range(0..domain))
-                .collect();
+            let centers: Vec<Key> = (0..clusters).map(|_| rng.gen_range(0..domain)).collect();
             (0..n)
                 .map(|_| {
                     let center = centers[rng.gen_range(0..clusters)];
@@ -155,7 +153,11 @@ mod tests {
 
     #[test]
     fn low_cardinality_has_exactly_that_many_distinct_values() {
-        let keys = generate_keys(1000, DataDistribution::LowCardinality { cardinality: 16 }, 3);
+        let keys = generate_keys(
+            1000,
+            DataDistribution::LowCardinality { cardinality: 16 },
+            3,
+        );
         let mut distinct = keys.clone();
         distinct.sort_unstable();
         distinct.dedup();
@@ -183,7 +185,10 @@ mod tests {
         ] {
             assert!(generate_keys(0, dist, 1).is_empty());
         }
-        assert_eq!(generate_column(0, DataDistribution::SortedAscending, 1).len(), 0);
+        assert_eq!(
+            generate_column(0, DataDistribution::SortedAscending, 1).len(),
+            0
+        );
     }
 
     #[test]

@@ -195,9 +195,7 @@ impl WorkloadReport {
     /// Render the benchmark table (one row per technique) as plain text.
     pub fn render_table(&self, tolerance: f64, consecutive: usize) -> String {
         let mut out = String::new();
-        out.push_str(&format!(
-            "# {} — {}\n", self.experiment, self.workload
-        ));
+        out.push_str(&format!("# {} — {}\n", self.experiment, self.workload));
         out.push_str(&format!(
             "{:<22} {:>14} {:>16} {:>18} {:>16}\n",
             "technique", "first-query", "overhead-vs-scan", "queries-to-conv", "total-cost"
@@ -269,10 +267,7 @@ mod tests {
 
     #[test]
     fn convergence_metric_finds_stable_plateau() {
-        let s = CostSeries::from_costs(
-            "x",
-            vec![100.0, 80.0, 3.0, 60.0, 2.0, 2.0, 2.0, 2.0, 2.0],
-        );
+        let s = CostSeries::from_costs("x", vec![100.0, 80.0, 3.0, 60.0, 2.0, 2.0, 2.0, 2.0, 2.0]);
         // target 2.0, 10% tolerance, need 3 consecutive: the single dip at
         // index 2 does not count; the real plateau starts at index 4
         assert_eq!(s.queries_to_convergence(2.0, 0.1, 3), Some(4));

@@ -206,7 +206,9 @@ fn sample_low(rng: &mut StdRng, domain_low: Key, domain_high: Key, width: Key) -
 
 /// Normalized Zipf weights for `n` ranks with the given exponent.
 fn zipf_weights(n: usize, exponent: f64) -> Vec<f64> {
-    let raw: Vec<f64> = (1..=n).map(|rank| 1.0 / (rank as f64).powf(exponent)).collect();
+    let raw: Vec<f64> = (1..=n)
+        .map(|rank| 1.0 / (rank as f64).powf(exponent))
+        .collect();
     let total: f64 = raw.iter().sum();
     raw.into_iter().map(|w| w / total).collect()
 }
@@ -276,7 +278,10 @@ mod tests {
         assert_eq!(queries[0].low, 0);
         for pair in queries.windows(2) {
             if pair[1].low != 0 {
-                assert_eq!(pair[0].high, pair[1].low, "non-overlapping ascending ranges");
+                assert_eq!(
+                    pair[0].high, pair[1].low,
+                    "non-overlapping ascending ranges"
+                );
             }
         }
         assert_eq!(w.label(), "sequential");
@@ -296,10 +301,7 @@ mod tests {
             3,
         );
         // count queries landing in the first region (the hottest)
-        let hot = w
-            .iter()
-            .filter(|q| q.low < 10_000)
-            .count();
+        let hot = w.iter().filter(|q| q.low < 10_000).count();
         assert!(
             hot > 2000 / 10 * 2,
             "hot region should receive well over its fair share, got {hot}"
@@ -324,7 +326,10 @@ mod tests {
         let first_period: Vec<&RangeQuery> = w.queries()[..50].iter().collect();
         let lows: Vec<Key> = first_period.iter().map(|q| q.low).collect();
         let span = lows.iter().max().unwrap() - lows.iter().min().unwrap();
-        assert!(span <= 50_000 + 1000, "span {span} exceeds the focus window");
+        assert!(
+            span <= 50_000 + 1000,
+            "span {span} exceeds the focus window"
+        );
         let second_period_low = w.queries()[50].low;
         let first_period_min = *lows.iter().min().unwrap();
         // extremely unlikely to land in exactly the same window

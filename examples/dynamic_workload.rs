@@ -72,12 +72,19 @@ fn main() {
         println!(
             "{:<22} {:>12} {:>12} {:>14} {:>12}",
             strategy.label(),
-            format!("{:.2?}", std::time::Duration::from_nanos(
-                (series.first_query_cost().unwrap_or(0.0) + build_time.as_nanos() as f64) as u64
-            )),
+            format!(
+                "{:.2?}",
+                std::time::Duration::from_nanos(
+                    (series.first_query_cost().unwrap_or(0.0) + build_time.as_nanos() as f64)
+                        as u64
+                )
+            ),
             format!("{:.2?}", std::time::Duration::from_nanos(median as u64)),
             format!("{:.2?}", std::time::Duration::from_nanos(p95 as u64)),
-            format!("{:.2?}", std::time::Duration::from_nanos(series.total_cost() as u64)),
+            format!(
+                "{:.2?}",
+                std::time::Duration::from_nanos(series.total_cost() as u64)
+            ),
         );
         // keep the optimizer honest
         std::hint::black_box(checksum);

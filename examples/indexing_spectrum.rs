@@ -28,10 +28,11 @@ fn main() {
     let keys: Vec<Vec<i64>> = (0..columns.len())
         .map(|i| generate_keys(n, DataDistribution::UniformPermutation, 40 + i as u64))
         .collect();
-    let workload =
-        QueryWorkload::generate(WorkloadKind::UniformRandom, 400, 0, n as i64, 0.01, 77);
+    let workload = QueryWorkload::generate(WorkloadKind::UniformRandom, 400, 0, n as i64, 0.01, 77);
 
-    println!("3 columns of {n} rows; the workload sends 400 range queries, all against column 'a'\n");
+    println!(
+        "3 columns of {n} rows; the workload sends 400 range queries, all against column 'a'\n"
+    );
 
     // (a) no indexing at all
     let mut scan = FullScanIndex::from_keys(&keys[0]);

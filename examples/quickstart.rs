@@ -23,14 +23,8 @@ fn main() {
     let queries = 200;
     println!("generating {n} rows and {queries} range queries (1% selectivity)...\n");
     let keys = generate_keys(n, DataDistribution::UniformPermutation, 7);
-    let workload = QueryWorkload::generate(
-        WorkloadKind::UniformRandom,
-        queries,
-        0,
-        n as i64,
-        0.01,
-        11,
-    );
+    let workload =
+        QueryWorkload::generate(WorkloadKind::UniformRandom, queries, 0, n as i64, 0.01, 11);
 
     // --- full scan ------------------------------------------------------
     let mut scan = FullScanIndex::from_keys(&keys);
@@ -79,7 +73,10 @@ fn main() {
     assert_eq!(checksum_scan, checksum_full);
     assert_eq!(checksum_scan, checksum_crack);
 
-    println!("{:<22} {:>16} {:>16} {:>16}", "", "first query", "all 200 queries", "prep before q1");
+    println!(
+        "{:<22} {:>16} {:>16} {:>16}",
+        "", "first query", "all 200 queries", "prep before q1"
+    );
     println!(
         "{:<22} {:>16} {:>16} {:>16}",
         "full scan",

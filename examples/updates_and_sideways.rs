@@ -19,7 +19,9 @@ use adaptive_indexing::columnstore::position::PositionList;
 use adaptive_indexing::cracking::selection::CrackedIndex;
 use adaptive_indexing::cracking::sideways::MapSet;
 use adaptive_indexing::cracking::updates::{MergePolicy, UpdatableCrackedIndex};
-use adaptive_indexing::workloads::data::{generate_keys, generate_multi_column_table, DataDistribution};
+use adaptive_indexing::workloads::data::{
+    generate_keys, generate_multi_column_table, DataDistribution,
+};
 use adaptive_indexing::workloads::query::{QueryWorkload, WorkloadKind};
 use std::time::Instant;
 
@@ -34,14 +36,19 @@ fn updates_part() {
     let keys = generate_keys(n, DataDistribution::UniformPermutation, 5);
     let workload = QueryWorkload::generate(WorkloadKind::UniformRandom, 500, 0, n as i64, 0.01, 23);
 
-    println!("== part 1: adaptive updates ({n} rows, 500 queries, 10 inserts every 10 queries) ==\n");
+    println!(
+        "== part 1: adaptive updates ({n} rows, 500 queries, 10 inserts every 10 queries) ==\n"
+    );
     println!(
         "{:<20} {:>12} {:>16} {:>18} {:>14}",
         "merge policy", "total time", "pending at end", "merged during run", "pieces"
     );
     for (label, policy) in [
         ("merge-completely", MergePolicy::MergeCompletely),
-        ("merge-gradually(32)", MergePolicy::MergeGradually { batch: 32 }),
+        (
+            "merge-gradually(32)",
+            MergePolicy::MergeGradually { batch: 32 },
+        ),
         ("merge-ripple", MergePolicy::MergeRipple),
     ] {
         let mut index = UpdatableCrackedIndex::from_keys(&keys, policy);
@@ -76,8 +83,15 @@ fn updates_part() {
 fn sideways_part() {
     let n = 1_000_000;
     let table = generate_multi_column_table(n, 4, 9);
-    let a = table.column("a").unwrap().as_i64().unwrap().as_slice().to_vec();
-    let workload = QueryWorkload::generate(WorkloadKind::UniformRandom, 300, 0, n as i64, 0.005, 31);
+    let a = table
+        .column("a")
+        .unwrap()
+        .as_i64()
+        .unwrap()
+        .as_slice()
+        .to_vec();
+    let workload =
+        QueryWorkload::generate(WorkloadKind::UniformRandom, 300, 0, n as i64, 0.005, 31);
 
     println!("== part 2: sideways cracking ({n} rows, project two tail columns) ==\n");
 
@@ -101,13 +115,22 @@ fn sideways_part() {
     let mut checksum_sideways = 0i64;
     for q in workload.iter() {
         let answer = maps.select_project(q.low, q.high, &["b0", "b1"]);
-        checksum_sideways += answer.tails[0].iter().sum::<i64>() + answer.tails[1].iter().sum::<i64>();
+        checksum_sideways +=
+            answer.tails[0].iter().sum::<i64>() + answer.tails[1].iter().sum::<i64>();
     }
     let sideways_time = start.elapsed();
 
     assert_eq!(checksum_naive, checksum_sideways);
-    println!("{:<42} {:>12}", "crack + late materialization (random access)", format!("{naive_time:.2?}"));
-    println!("{:<42} {:>12}", "sideways cracking (aligned cracker maps)", format!("{sideways_time:.2?}"));
+    println!(
+        "{:<42} {:>12}",
+        "crack + late materialization (random access)",
+        format!("{naive_time:.2?}")
+    );
+    println!(
+        "{:<42} {:>12}",
+        "sideways cracking (aligned cracker maps)",
+        format!("{sideways_time:.2?}")
+    );
     println!(
         "\nmaterialized maps: {} of {} tails; crack history length: {}",
         maps.materialized_maps(),

@@ -156,11 +156,7 @@ fn inserts_flow_through_the_executor_with_every_strategy() {
             executor
                 .insert_row(
                     "sales",
-                    &[
-                        Value::Int64(2500 + i),
-                        Value::Int64(i),
-                        Value::Int64(i % 7),
-                    ],
+                    &[Value::Int64(2500 + i), Value::Int64(i), Value::Int64(i % 7)],
                 )
                 .unwrap();
         }
@@ -186,5 +182,7 @@ fn unqueried_columns_never_get_indexes() {
     assert_eq!(info[0].column.column, "s_key");
     assert!(!executor
         .index_manager()
-        .has_index(&adaptive_indexing::core::manager::ColumnId::new("sales", "s_amount")));
+        .has_index(&adaptive_indexing::core::manager::ColumnId::new(
+            "sales", "s_amount"
+        )));
 }

@@ -6,16 +6,20 @@
 //! tuples) hold after every single query. proptest generates the data and the
 //! query sequences; the reference model is a sorted vector.
 
+use adaptive_indexing::columnstore::position::PositionList;
 use adaptive_indexing::cracking::selection::CrackedIndex;
 use adaptive_indexing::cracking::sideways::MapSet;
 use adaptive_indexing::cracking::updates::{MergePolicy, UpdatableCrackedIndex};
 use adaptive_indexing::hybrids::{HybridAlgorithm, HybridIndex};
 use adaptive_indexing::merging::AdaptiveMergeIndex;
-use adaptive_indexing::columnstore::position::PositionList;
 use proptest::prelude::*;
 
 fn reference(data: &[i64], low: i64, high: i64) -> Vec<i64> {
-    let mut v: Vec<i64> = data.iter().copied().filter(|&x| x >= low && x < high).collect();
+    let mut v: Vec<i64> = data
+        .iter()
+        .copied()
+        .filter(|&x| x >= low && x < high)
+        .collect();
     v.sort_unstable();
     v
 }

@@ -16,8 +16,7 @@ fn reference_count(keys: &[i64], low: i64, high: i64) -> usize {
 fn all_strategies_agree_with_a_sorted_reference_on_random_workloads() {
     let n = 20_000;
     let keys = generate_keys(n, DataDistribution::UniformPermutation, 2024);
-    let workload =
-        QueryWorkload::generate(WorkloadKind::UniformRandom, 120, 0, n as i64, 0.02, 99);
+    let workload = QueryWorkload::generate(WorkloadKind::UniformRandom, 120, 0, n as i64, 0.02, 99);
     let mut reference = FullSortIndex::from_keys(&keys);
 
     for kind in StrategyKind::all_defaults() {
@@ -73,8 +72,7 @@ fn all_strategies_agree_on_skewed_and_sequential_workloads() {
 fn cracking_converges_and_scan_does_not() {
     let n = 50_000;
     let keys = generate_keys(n, DataDistribution::UniformPermutation, 1);
-    let workload =
-        QueryWorkload::generate(WorkloadKind::UniformRandom, 400, 0, n as i64, 0.01, 3);
+    let workload = QueryWorkload::generate(WorkloadKind::UniformRandom, 400, 0, n as i64, 0.01, 3);
 
     let mut cracking = StrategyKind::Cracking.build(&keys);
     let mut scan = StrategyKind::FullScan.build(&keys);
@@ -107,8 +105,7 @@ fn cracking_converges_and_scan_does_not() {
 fn adaptive_merging_invests_more_up_front_but_converges_sooner() {
     let n = 50_000;
     let keys = generate_keys(n, DataDistribution::UniformPermutation, 6);
-    let workload =
-        QueryWorkload::generate(WorkloadKind::UniformRandom, 300, 0, n as i64, 0.01, 8);
+    let workload = QueryWorkload::generate(WorkloadKind::UniformRandom, 300, 0, n as i64, 0.01, 8);
 
     let mut cracking = StrategyKind::Cracking.build(&keys);
     let mut merging = StrategyKind::AdaptiveMerging { run_size: 4096 }.build(&keys);
@@ -149,8 +146,7 @@ fn adaptive_merging_invests_more_up_front_but_converges_sooner() {
 fn workload_report_reproduces_the_benchmark_table_shape() {
     let n = 30_000;
     let keys = generate_keys(n, DataDistribution::UniformPermutation, 12);
-    let workload =
-        QueryWorkload::generate(WorkloadKind::UniformRandom, 200, 0, n as i64, 0.01, 13);
+    let workload = QueryWorkload::generate(WorkloadKind::UniformRandom, 200, 0, n as i64, 0.01, 13);
 
     let mut report = adaptive_indexing::workloads::metrics::WorkloadReport::new(
         "integration",

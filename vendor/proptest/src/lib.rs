@@ -1,0 +1,225 @@
+//! Vendored, API-compatible subset of `proptest`.
+//!
+//! Supports the surface this workspace's property tests use: range
+//! strategies, tuple strategies, `prop::collection::vec`, the `proptest!`
+//! macro with `ProptestConfig::with_cases`, and the `prop_assert*` macros.
+//!
+//! Differences from the real crate: inputs are drawn from a deterministic
+//! seeded PRNG (every run explores the same cases — good for CI) and there
+//! is no shrinking; a failing case panics with the values printed by the
+//! assertion itself.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run each property against `cases` random inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies while generating a case.
+pub type TestRng = StdRng;
+
+/// A recipe for producing random values of an associated type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(*self.start()..=*self.end())
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident : $idx:tt),+)),* $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_tuple!(
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+);
+
+/// A strategy producing a fixed value every time.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Mirror of the `proptest::prop` path exposed through the prelude.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use rand::Rng;
+        use std::ops::Range;
+
+        /// Strategy for `Vec<T>` with a length drawn from `size`.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// Produce vectors whose elements come from `element` and whose
+        /// length is drawn uniformly from `size`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = if self.size.start >= self.size.end {
+                    self.size.start
+                } else {
+                    rng.gen_range(self.size.start..self.size.end)
+                };
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a property test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy, TestRng};
+}
+
+/// Build the per-test deterministic RNG. Public for the macro's use.
+pub fn rng_for_cases(test_name: &str) -> TestRng {
+    // Stable per-test seed so distinct properties explore distinct inputs.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(seed)
+}
+
+/// Assert a boolean condition inside a property (stub: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a property (stub: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality inside a property (stub: plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Define property tests: each `fn` body runs for `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@expand ($cfg); $($rest)*);
+    };
+    (
+        $(#[test] fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block)*
+    ) => {
+        $crate::proptest!(@expand ($crate::ProptestConfig::default()); $(#[test] fn $name($($pat in $strategy),+) $body)*);
+    };
+    (
+        @expand ($cfg:expr);
+        $(#[test] fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::rng_for_cases(concat!(module_path!(), "::", stringify!($name)));
+                for _case in 0..config.cases {
+                    $(let $pat = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vecs_respect_bounds(
+            x in -5i64..5,
+            v in prop::collection::vec(0u32..10, 0..20),
+            (a, b) in (0usize..4, 0i64..=0),
+        ) {
+            prop_assert!((-5..5).contains(&x));
+            prop_assert!(v.len() < 20);
+            prop_assert!(v.iter().all(|&e| e < 10));
+            prop_assert!(a < 4);
+            prop_assert_eq!(b, 0);
+        }
+    }
+}

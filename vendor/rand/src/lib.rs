@@ -1,0 +1,265 @@
+//! Vendored, API-compatible subset of the `rand` crate (v0.8 surface).
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! ships this minimal deterministic implementation of exactly the surface the
+//! workspace uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] over integer/float ranges, and
+//! [`seq::SliceRandom::shuffle`].
+//!
+//! The generator is xoshiro256++ seeded via SplitMix64 — statistically strong
+//! enough for workload generation and fully deterministic for a given seed,
+//! which is all the test suite and experiment harnesses require.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// A random number generator that can be explicitly seeded.
+pub trait SeedableRng: Sized {
+    /// Create a new PRNG from a `u64` seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing extension methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Generate a random value in the given range (`low..high` or
+    /// `low..=high`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Generate a random `bool` with the given probability of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Sample uniformly from `[low, high)`. Requires `low < high`.
+    fn sample_half_open<G: RngCore + ?Sized>(rng: &mut G, low: Self, high: Self) -> Self;
+    /// Sample uniformly from `[low, high]`. Requires `low <= high`.
+    fn sample_inclusive<G: RngCore + ?Sized>(rng: &mut G, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<G: RngCore + ?Sized>(rng: &mut G, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range called with empty range");
+                let span = (high as $wide).wrapping_sub(low as $wide) as u64;
+                low.wrapping_add((rng.next_u64() % span) as $t)
+            }
+            fn sample_inclusive<G: RngCore + ?Sized>(rng: &mut G, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range called with empty inclusive range");
+                let span = (high as $wide).wrapping_sub(low as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                low.wrapping_add((rng.next_u64() % (span + 1)) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+);
+
+impl SampleUniform for f64 {
+    fn sample_half_open<G: RngCore + ?Sized>(rng: &mut G, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range called with empty range");
+        // 53 uniformly random mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        low + unit * (high - low)
+    }
+    fn sample_inclusive<G: RngCore + ?Sized>(rng: &mut G, low: Self, high: Self) -> Self {
+        assert!(low <= high, "gen_range called with empty inclusive range");
+        // 53 random mantissa bits scaled into [0, 1] (both ends reachable).
+        let unit = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+        low + unit * (high - low)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open<G: RngCore + ?Sized>(rng: &mut G, low: Self, high: Self) -> Self {
+        f64::sample_half_open(rng, low as f64, high as f64) as f32
+    }
+    fn sample_inclusive<G: RngCore + ?Sized>(rng: &mut G, low: Self, high: Self) -> Self {
+        f64::sample_inclusive(rng, low as f64, high as f64) as f32
+    }
+}
+
+/// Range types accepted by [`Rng::gen_range`].
+pub trait SampleRange<T: SampleUniform> {
+    /// Draw one sample from the range.
+    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Pseudo-random number generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator, the stand-in for `rand`'s
+    /// `StdRng`. Same seed, same stream — on every platform.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn splitmix_next(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = Self::splitmix_next(&mut state);
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Extension trait for slices, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffle the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Pick one element uniformly at random, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+/// Convenience re-exports mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: i64 = rng.gen_range(-50..50);
+            assert!((-50..50).contains(&v));
+            let u: usize = rng.gen_range(0..17);
+            assert!(u < 17);
+            let f: f64 = rng.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&f));
+            let i: i64 = rng.gen_range(-3..=3);
+            assert!((-3..=3).contains(&i));
+            let g: f64 = rng.gen_range(-2.0..=-1.0);
+            assert!((-2.0..=-1.0).contains(&g));
+        }
+        // Degenerate inclusive ranges are valid and must not panic,
+        // including at negative bounds where naive bit-increment tricks
+        // move the wrong way.
+        assert_eq!(rng.gen_range(-1.0..=-1.0), -1.0);
+        assert_eq!(rng.gen_range(5..=5), 5);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice fully sorted");
+    }
+}

@@ -1,0 +1,250 @@
+//! Vendored, API-compatible subset of `serde`.
+//!
+//! The build container cannot reach crates.io, so this crate supplies the
+//! tiny slice of serde the workspace actually uses: `#[derive(Serialize,
+//! Deserialize)]` on plain structs and enums, serialized through the
+//! sibling `serde_json` stub.
+//!
+//! Instead of serde's visitor architecture, values round-trip through a
+//! self-describing [`JsonValue`] tree. Enum encoding matches serde's default
+//! externally-tagged representation, so swapping the real serde back in
+//! produces the same JSON for every type in this workspace.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A self-describing value tree, the data model both traits target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Integer number (no decimal point).
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Arr(Vec<JsonValue>),
+    /// JSON object as an ordered field list.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Look up a field of an object by name.
+    pub fn get_field(&self, name: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Error raised by deserialization (and, rarely, serialization).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Construct an error from any message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be converted into the [`JsonValue`] data model.
+pub trait Serialize {
+    /// Convert `self` into a value tree.
+    fn to_value(&self) -> JsonValue;
+}
+
+/// Types that can be reconstructed from the [`JsonValue`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a value tree.
+    fn from_value(v: &JsonValue) -> Result<Self, Error>;
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> JsonValue {
+                JsonValue::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &JsonValue) -> Result<Self, Error> {
+                match v {
+                    JsonValue::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| Error::msg(format!("integer {} out of range", i))),
+                    other => Err(Error::msg(format!(
+                        "expected integer, found {:?}", other
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, u8, u16, u32, usize, isize);
+
+impl Serialize for u64 {
+    fn to_value(&self) -> JsonValue {
+        JsonValue::Int(*self as i64)
+    }
+}
+
+impl Deserialize for u64 {
+    fn from_value(v: &JsonValue) -> Result<Self, Error> {
+        match v {
+            JsonValue::Int(i) if *i >= 0 => Ok(*i as u64),
+            other => Err(Error::msg(format!("expected u64, found {:?}", other))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> JsonValue {
+        JsonValue::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &JsonValue) -> Result<Self, Error> {
+        match v {
+            JsonValue::Float(f) => Ok(*f),
+            JsonValue::Int(i) => Ok(*i as f64),
+            other => Err(Error::msg(format!("expected number, found {:?}", other))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> JsonValue {
+        JsonValue::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &JsonValue) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> JsonValue {
+        JsonValue::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &JsonValue) -> Result<Self, Error> {
+        match v {
+            JsonValue::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, found {:?}", other))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> JsonValue {
+        JsonValue::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &JsonValue) -> Result<Self, Error> {
+        match v {
+            JsonValue::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, found {:?}", other))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> JsonValue {
+        JsonValue::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> JsonValue {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> JsonValue {
+        JsonValue::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &JsonValue) -> Result<Self, Error> {
+        match v {
+            JsonValue::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!("expected array, found {:?}", other))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> JsonValue {
+        match self {
+            Some(x) => x.to_value(),
+            None => JsonValue::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &JsonValue) -> Result<Self, Error> {
+        match v {
+            JsonValue::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+)),* $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> JsonValue {
+                JsonValue::Arr(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &JsonValue) -> Result<Self, Error> {
+                match v {
+                    JsonValue::Arr(items) => {
+                        let mut it = items.iter();
+                        Ok(($(
+                            $name::from_value(it.next().ok_or_else(|| {
+                                Error::msg("tuple too short")
+                            })?)?,
+                        )+))
+                    }
+                    other => Err(Error::msg(format!(
+                        "expected array for tuple, found {:?}", other
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);

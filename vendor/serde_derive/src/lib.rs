@@ -1,0 +1,459 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the vendored serde
+//! stub. No `syn`/`quote` (the container is offline), so the item is parsed
+//! directly from the `proc_macro` token stream.
+//!
+//! Supported shapes — exactly what this workspace defines:
+//! * structs with named fields,
+//! * enums whose variants are unit, newtype/tuple, or struct-like,
+//! * no generic parameters.
+//!
+//! Generated encodings match serde's defaults (struct → object, enum →
+//! externally tagged), so the JSON is byte-compatible with the real serde
+//! for every type in the workspace.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed enum variant.
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({:?});", msg).parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Skip any attributes (`# [ ... ]`) and a visibility modifier at `i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then a bracketed group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {:?}", other)),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {:?}", other)),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive does not support generic type `{}`",
+                name
+            ));
+        }
+    }
+
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(_) => i += 1, // e.g. a where-clause token
+            None => {
+                return Err(format!(
+                    "vendored serde_derive requires a braced body on `{}`",
+                    name
+                ))
+            }
+        }
+    };
+    let body: Vec<TokenTree> = body.stream().into_iter().collect();
+
+    match kind.as_str() {
+        "struct" => Ok(Item::Struct {
+            name,
+            fields: parse_named_fields(&body)?,
+        }),
+        "enum" => Ok(Item::Enum {
+            name,
+            variants: parse_variants(&body)?,
+        }),
+        other => Err(format!("cannot derive serde traits for `{}` items", other)),
+    }
+}
+
+/// Parse `name: Type, ...` out of a braced field list, returning the names.
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found {:?}", other)),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{}`, found {:?}",
+                    field, other
+                ))
+            }
+        }
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or off the end)
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found {:?}", other)),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(tuple_arity(&g.stream().into_iter().collect::<Vec<_>>()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                )?)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional discriminant, then the separating comma.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+/// Count top-level (angle-depth-0) comma-separated entries of a tuple body.
+fn tuple_arity(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut depth = 0i32;
+    let mut trailing_comma = false;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                arity += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        arity -= 1;
+    }
+    arity
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({:?}), \
+                         ::serde::Serialize::to_value(&self.{}))",
+                        f, f
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::JsonValue {{\n\
+                         ::serde::JsonValue::Obj(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}",
+                name = name,
+                entries = entries.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants.iter().map(|v| serialize_arm(name, v)).collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::JsonValue {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}",
+                name = name,
+                arms = arms.join("\n")
+            )
+        }
+    }
+}
+
+fn serialize_arm(enum_name: &str, v: &Variant) -> String {
+    let tag = format!("::std::string::String::from({:?})", v.name);
+    match &v.shape {
+        VariantShape::Unit => format!(
+            "{}::{} => ::serde::JsonValue::Str({}),",
+            enum_name, v.name, tag
+        ),
+        VariantShape::Tuple(1) => format!(
+            "{}::{}(f0) => ::serde::JsonValue::Obj(::std::vec![({}, \
+             ::serde::Serialize::to_value(f0))]),",
+            enum_name, v.name, tag
+        ),
+        VariantShape::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("f{}", i)).collect();
+            let vals: Vec<String> = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({})", b))
+                .collect();
+            format!(
+                "{}::{}({}) => ::serde::JsonValue::Obj(::std::vec![({}, \
+                 ::serde::JsonValue::Arr(::std::vec![{}]))]),",
+                enum_name,
+                v.name,
+                binds.join(", "),
+                tag,
+                vals.join(", ")
+            )
+        }
+        VariantShape::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({:?}), \
+                         ::serde::Serialize::to_value({}))",
+                        f, f
+                    )
+                })
+                .collect();
+            format!(
+                "{}::{} {{ {} }} => ::serde::JsonValue::Obj(::std::vec![({}, \
+                 ::serde::JsonValue::Obj(::std::vec![{}]))]),",
+                enum_name,
+                v.name,
+                fields.join(", "),
+                tag,
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{}: {}", f, field_from(name, f, "v")))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::JsonValue) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}",
+                name = name,
+                inits = inits.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    format!(
+                        "{:?} => ::std::result::Result::Ok({}::{}),",
+                        v.name, name, v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.shape, VariantShape::Unit))
+                .map(|v| deserialize_tagged_arm(name, v))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::JsonValue) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::JsonValue::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => ::std::result::Result::Err(::serde::Error::msg(\
+                                     ::std::format!(\"unknown {name} variant `{{}}`\", other))),\n\
+                             }},\n\
+                             ::serde::JsonValue::Obj(fields) if fields.len() == 1 => {{\n\
+                                 let (tag, inner) = &fields[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged_arms}\n\
+                                     other => ::std::result::Result::Err(::serde::Error::msg(\
+                                         ::std::format!(\"unknown {name} variant `{{}}`\", other))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => ::std::result::Result::Err(::serde::Error::msg(\
+                                 ::std::format!(\"invalid {name} encoding: {{:?}}\", other))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                name = name,
+                unit_arms = unit_arms.join("\n"),
+                tagged_arms = tagged_arms.join("\n"),
+            )
+        }
+    }
+}
+
+fn field_from(owner: &str, field: &str, source: &str) -> String {
+    format!(
+        "::serde::Deserialize::from_value({source}.get_field({field:?}).ok_or_else(|| \
+         ::serde::Error::msg(::std::format!(\"missing field `{field}` in {owner}\")))?)?",
+        source = source,
+        field = field,
+        owner = owner
+    )
+}
+
+fn deserialize_tagged_arm(enum_name: &str, v: &Variant) -> String {
+    match &v.shape {
+        VariantShape::Unit => unreachable!("unit variants handled separately"),
+        VariantShape::Tuple(1) => format!(
+            "{:?} => ::std::result::Result::Ok({}::{}(\
+             ::serde::Deserialize::from_value(inner)?)),",
+            v.name, enum_name, v.name
+        ),
+        VariantShape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(items.get({i}).ok_or_else(|| \
+                         ::serde::Error::msg(\"tuple variant too short\"))?)?",
+                        i = i
+                    )
+                })
+                .collect();
+            format!(
+                "{tag:?} => match inner {{\n\
+                     ::serde::JsonValue::Arr(items) => \
+                         ::std::result::Result::Ok({e}::{v}({elems})),\n\
+                     other => ::std::result::Result::Err(::serde::Error::msg(\
+                         ::std::format!(\"expected array for {e}::{v}, found {{:?}}\", other))),\n\
+                 }},",
+                tag = v.name,
+                e = enum_name,
+                v = v.name,
+                elems = elems.join(", ")
+            )
+        }
+        VariantShape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{}: {}", f, field_from(enum_name, f, "inner")))
+                .collect();
+            format!(
+                "{:?} => ::std::result::Result::Ok({}::{} {{ {} }}),",
+                v.name,
+                enum_name,
+                v.name,
+                inits.join(", ")
+            )
+        }
+    }
+}
