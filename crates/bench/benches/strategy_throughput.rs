@@ -1,9 +1,14 @@
 //! Criterion benchmarks for end-to-end query sequences through the unified
 //! strategy interface: how long does it take each technique to answer a fixed
 //! 200-query random workload over a 1M-row column (including any
-//! initialization it chooses to do)?
+//! initialization it chooses to do)? Plus the same sequence through the
+//! `Database`/`Session` facade, to keep the facade's overhead per query
+//! (catalog snapshot, planner, result assembly) visible and bounded.
 
+use aidx_columnstore::column::Column;
+use aidx_columnstore::table::Table;
 use aidx_core::strategy::{HybridKind, StrategyKind};
+use aidx_core::Database;
 use aidx_workloads::data::{generate_keys, DataDistribution};
 use aidx_workloads::query::{QueryWorkload, WorkloadKind};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -38,6 +43,45 @@ fn bench_query_sequence(c: &mut Criterion) {
                     let mut checksum = 0u64;
                     for q in workload.iter() {
                         checksum += index.query_range(q.low, q.high).count() as u64;
+                    }
+                    black_box(checksum)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_facade_query_sequence(c: &mut Criterion) {
+    let rows = 1 << 20;
+    let keys = generate_keys(rows, DataDistribution::UniformPermutation, 7);
+    let workload =
+        QueryWorkload::generate(WorkloadKind::UniformRandom, 200, 0, rows as i64, 0.01, 9);
+
+    let mut group = c.benchmark_group("facade_query_sequence_200q_1M_rows");
+    group.sample_size(10);
+    for strategy in [StrategyKind::FullScan, StrategyKind::Cracking] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    let db = Database::builder().default_strategy(strategy).build();
+                    db.create_table(
+                        "data",
+                        Table::from_columns(vec![("k", Column::from_i64(keys.clone()))])
+                            .expect("columns are equally long"),
+                    )
+                    .expect("fresh database");
+                    let session = db.session();
+                    let mut checksum = 0u64;
+                    for q in workload.iter() {
+                        let result = session
+                            .query("data")
+                            .range("k", q.low, q.high)
+                            .execute()
+                            .expect("range query on int64 column");
+                        checksum += result.row_count() as u64;
                     }
                     black_box(checksum)
                 })
@@ -82,6 +126,6 @@ fn bench_converged_lookup(c: &mut Criterion) {
 criterion_group! {
     name = throughput;
     config = Criterion::default();
-    targets = bench_query_sequence, bench_converged_lookup
+    targets = bench_query_sequence, bench_facade_query_sequence, bench_converged_lookup
 }
 criterion_main!(throughput);

@@ -1,8 +1,13 @@
 //! E1 — Per-query response time over a query sequence (CIDR 2007, Figure
 //! "cracking kicks in immediately"): database cracking vs. full scan vs.
 //! offline full index, uniform random range queries.
+//!
+//! Queries run end-to-end through the `Database`/`Session` facade, so the
+//! measured path is the one a client sees: planner, adaptive index routing,
+//! result assembly — and the first query pays the build cost inherently,
+//! because the facade creates indexes lazily.
 
-use aidx_bench::{assert_checksums_match, print_curve, run_strategy, HarnessConfig};
+use aidx_bench::{assert_checksums_match, print_curve, run_strategy_facade, HarnessConfig};
 use aidx_core::strategy::StrategyKind;
 use aidx_workloads::data::{generate_keys, DataDistribution};
 use aidx_workloads::query::{QueryWorkload, WorkloadKind};
@@ -36,7 +41,7 @@ fn main() {
     ];
     let runs: Vec<_> = strategies
         .iter()
-        .map(|&s| run_strategy(s, &keys, &workload))
+        .map(|&s| run_strategy_facade(s, &keys, &workload))
         .collect();
     assert_checksums_match(&runs);
 

@@ -4,7 +4,7 @@
 //! space. Also serves as the crack-in-two vs. crack-in-three /
 //! organization-choice ablation called out in DESIGN.md.
 
-use aidx_bench::{assert_checksums_match, run_strategy, HarnessConfig, StrategyRun};
+use aidx_bench::{assert_checksums_match, run_strategy_facade, HarnessConfig, StrategyRun};
 use aidx_core::strategy::{HybridKind, StrategyKind};
 use aidx_workloads::data::{generate_keys, DataDistribution};
 use aidx_workloads::query::{QueryWorkload, WorkloadKind};
@@ -54,9 +54,10 @@ fn main() {
         StrategyKind::AdaptiveMerging { run_size: 1 << 16 },
         StrategyKind::FullSort,
     ];
+    // every strategy runs end-to-end through the Database/Session facade
     let runs: Vec<StrategyRun> = strategies
         .iter()
-        .map(|&s| run_strategy(s, &keys, &workload))
+        .map(|&s| run_strategy_facade(s, &keys, &workload))
         .collect();
     assert_checksums_match(&runs);
 

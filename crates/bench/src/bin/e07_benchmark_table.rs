@@ -3,7 +3,7 @@
 //! relative to a plain scan, (2) number of queries before a random query is
 //! answered at (near) full-index cost — plus total cost and memory overhead.
 
-use aidx_bench::{assert_checksums_match, run_strategy, HarnessConfig};
+use aidx_bench::{assert_checksums_match, run_strategy_facade, HarnessConfig};
 use aidx_core::strategy::StrategyKind;
 use aidx_workloads::data::{generate_keys, DataDistribution};
 use aidx_workloads::metrics::WorkloadReport;
@@ -45,9 +45,10 @@ fn main() {
     report.full_index_cost =
         (config.rows as f64 * config.selectivity) * 2.0 + 2.0 * (config.rows as f64).log2();
 
+    // every strategy runs end-to-end through the Database/Session facade
     let mut runs = Vec::new();
     for kind in StrategyKind::all_defaults() {
-        let run = run_strategy(kind, &keys, &workload);
+        let run = run_strategy_facade(kind, &keys, &workload);
         report.add_series(run.effort.clone());
         runs.push(run);
     }

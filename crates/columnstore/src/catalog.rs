@@ -3,6 +3,7 @@
 use crate::error::{ColumnStoreError, Result};
 use crate::table::Table;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A catalog of named tables.
 ///
@@ -10,9 +11,31 @@ use std::collections::BTreeMap;
 /// against one or a few tables, but the kernel layer (`aidx-core`) needs a
 /// stable place to resolve table names and enumerate columns when deciding
 /// which adaptive indexes to maintain.
+///
+/// Tables are stored behind [`Arc`] so that a reader can take a cheap
+/// point-in-time snapshot ([`Catalog::table_arc`]) and keep streaming rows
+/// out of it while writers move the catalog forward: [`Catalog::table_mut`]
+/// is copy-on-write (it clones the table only when a snapshot is still
+/// alive), which is exactly the isolation level a streaming result iterator
+/// needs.
+///
+/// Every table registration is stamped with a catalog-unique *epoch*
+/// ([`Catalog::table_epoch`]). Appending rows keeps the epoch (contents are
+/// an append-only extension of the same table), while dropping and
+/// re-creating a table under the same name yields a fresh epoch — so a
+/// layer that caches derived state (like the kernel's adaptive indexes) can
+/// tell "the same table, newer rows" apart from "a different table that
+/// happens to share the name and size".
 #[derive(Debug, Default, Clone)]
 pub struct Catalog {
-    tables: BTreeMap<String, Table>,
+    tables: BTreeMap<String, TableEntry>,
+    next_epoch: u64,
+}
+
+#[derive(Debug, Clone)]
+struct TableEntry {
+    table: Arc<Table>,
+    epoch: u64,
 }
 
 impl Catalog {
@@ -30,17 +53,23 @@ impl Catalog {
                 name,
             });
         }
-        self.tables.insert(name, table);
+        self.next_epoch += 1;
+        self.tables.insert(
+            name,
+            TableEntry {
+                table: Arc::new(table),
+                epoch: self.next_epoch,
+            },
+        );
         Ok(())
     }
 
     /// Drop a table; returns it if it existed.
-    pub fn drop_table(&mut self, name: &str) -> Option<Table> {
-        self.tables.remove(name)
+    pub fn drop_table(&mut self, name: &str) -> Option<Arc<Table>> {
+        self.tables.remove(name).map(|entry| entry.table)
     }
 
-    /// Borrow a table.
-    pub fn table(&self, name: &str) -> Result<&Table> {
+    fn entry(&self, name: &str) -> Result<&TableEntry> {
         self.tables
             .get(name)
             .ok_or_else(|| ColumnStoreError::NotFound {
@@ -49,10 +78,35 @@ impl Catalog {
             })
     }
 
-    /// Mutably borrow a table.
+    /// Borrow a table.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        Ok(self.entry(name)?.table.as_ref())
+    }
+
+    /// A point-in-time snapshot of a table, cheap to clone and safe to keep
+    /// reading after the catalog has moved on.
+    pub fn table_arc(&self, name: &str) -> Result<Arc<Table>> {
+        Ok(Arc::clone(&self.entry(name)?.table))
+    }
+
+    /// A snapshot plus the epoch of the table's current incarnation.
+    pub fn table_snapshot(&self, name: &str) -> Result<(Arc<Table>, u64)> {
+        let entry = self.entry(name)?;
+        Ok((Arc::clone(&entry.table), entry.epoch))
+    }
+
+    /// The epoch of the table's current incarnation (assigned at
+    /// registration; stable across appends, fresh after drop + re-create).
+    pub fn table_epoch(&self, name: &str) -> Result<u64> {
+        Ok(self.entry(name)?.epoch)
+    }
+
+    /// Mutably borrow a table (copy-on-write: clones the table if a snapshot
+    /// taken via [`Catalog::table_arc`] is still alive).
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
         self.tables
             .get_mut(name)
+            .map(|entry| Arc::make_mut(&mut entry.table))
             .ok_or_else(|| ColumnStoreError::NotFound {
                 kind: "table",
                 name: name.to_owned(),
@@ -116,5 +170,42 @@ mod tests {
         }
         assert_eq!(c.table("t").unwrap().row_count(), 4);
         assert!(c.table_mut("missing").is_err());
+    }
+
+    #[test]
+    fn epochs_distinguish_table_incarnations() {
+        let mut c = Catalog::new();
+        c.create_table("t", small_table()).unwrap();
+        let first = c.table_epoch("t").unwrap();
+        let (snapshot, epoch) = c.table_snapshot("t").unwrap();
+        assert_eq!(epoch, first);
+        assert_eq!(snapshot.row_count(), 3);
+        // appends keep the epoch: same table, newer rows
+        c.table_mut("t")
+            .unwrap()
+            .append_row(&[crate::types::Value::Int64(4)])
+            .unwrap();
+        assert_eq!(c.table_epoch("t").unwrap(), first);
+        // drop + re-create under the same name is a new incarnation
+        c.drop_table("t");
+        c.create_table("t", small_table()).unwrap();
+        assert_ne!(c.table_epoch("t").unwrap(), first);
+        assert!(c.table_epoch("missing").is_err());
+        assert!(c.table_snapshot("missing").is_err());
+    }
+
+    #[test]
+    fn snapshots_survive_concurrent_appends() {
+        let mut c = Catalog::new();
+        c.create_table("t", small_table()).unwrap();
+        let snapshot = c.table_arc("t").unwrap();
+        assert!(c.table_arc("missing").is_err());
+        // the write goes to a private copy because the snapshot is alive
+        c.table_mut("t")
+            .unwrap()
+            .append_row(&[crate::types::Value::Int64(4)])
+            .unwrap();
+        assert_eq!(snapshot.row_count(), 3, "snapshot is frozen in time");
+        assert_eq!(c.table("t").unwrap().row_count(), 4);
     }
 }

@@ -15,6 +15,11 @@
 //! * **Late materialization**: intermediate results are [`position::PositionList`]s
 //!   rather than rows, so that reconstruction only touches the columns a query
 //!   actually needs.
+//! * **Snapshot-friendly catalog**: [`catalog::Catalog`] stores tables behind
+//!   `Arc`, so a reader can take a cheap point-in-time snapshot
+//!   ([`catalog::Catalog::table_arc`]) and keep streaming rows out of it while
+//!   writers append copy-on-write — the isolation the kernel's streaming
+//!   result iterators are built on.
 //!
 //! The crate deliberately contains *no* indexing: it is the substrate on which
 //! `aidx-cracking`, `aidx-merging`, `aidx-hybrids` and `aidx-baselines` build.

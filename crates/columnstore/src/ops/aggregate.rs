@@ -117,6 +117,22 @@ mod tests {
     }
 
     #[test]
+    fn aggregate_at_empty_qualifying_set_is_none_not_garbage() {
+        // the empty-set audit: MIN/MAX/AVG over zero qualifying rows must be
+        // None (COUNT is 0 and SUM is the empty sum), never a sentinel like
+        // 0/i64::MIN/i64::MAX that a caller could mistake for data
+        let c = Column::from_i64(vec![10, 20, 30]);
+        let empty = PositionList::new();
+        let a = aggregate_at(&c, &empty);
+        assert_eq!(a.count, 0);
+        assert_eq!(a.sum, 0);
+        assert_eq!(a.min, None);
+        assert_eq!(a.max, None);
+        assert_eq!(a.avg(), None);
+        assert_eq!(sum_at(&c, &empty), 0);
+    }
+
+    #[test]
     fn aggregate_at_wrong_type() {
         let c = Column::from_f64(vec![1.0]);
         let p = PositionList::from_vec(vec![0]);

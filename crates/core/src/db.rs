@@ -1,0 +1,326 @@
+//! The top-level [`Database`] facade: the kernel's single public entry
+//! point.
+//!
+//! A `Database` owns the catalog and the per-column adaptive index registry
+//! behind one `Arc`, and hands out cheaply-cloneable [`Session`] handles
+//! that are safe to use from many threads at once. The concurrency design
+//! follows the adaptive-indexing concurrency papers: the catalog is guarded
+//! by a read/write lock that queries hold only long enough to take a
+//! point-in-time table snapshot, while index reorganization — the part of a
+//! read query that *writes* — is serialized per column inside the
+//! [`IndexManager`], never globally.
+
+use crate::error::AidxResult;
+use crate::manager::{IndexInfo, IndexManager};
+use crate::session::Session;
+use crate::strategy::StrategyKind;
+use aidx_columnstore::catalog::Catalog;
+use aidx_columnstore::table::Table;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+pub(crate) struct DbInner {
+    pub(crate) catalog: RwLock<Catalog>,
+    pub(crate) manager: IndexManager,
+}
+
+/// Configures and builds a [`Database`].
+///
+/// ```
+/// use aidx_core::prelude::*;
+///
+/// let db = Database::builder()
+///     .default_strategy(StrategyKind::Cracking)
+///     .build();
+/// assert_eq!(db.default_strategy(), StrategyKind::Cracking);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DatabaseBuilder {
+    default_strategy: StrategyKind,
+    catalog: Catalog,
+}
+
+impl Default for DatabaseBuilder {
+    fn default() -> Self {
+        DatabaseBuilder {
+            default_strategy: StrategyKind::Cracking,
+            catalog: Catalog::new(),
+        }
+    }
+}
+
+impl DatabaseBuilder {
+    /// The indexing strategy used for every column that queries touch
+    /// (defaults to [`StrategyKind::Cracking`]).
+    pub fn default_strategy(mut self, strategy: StrategyKind) -> Self {
+        self.default_strategy = strategy;
+        self
+    }
+
+    /// Start from an existing catalog instead of an empty one.
+    pub fn catalog(mut self, catalog: Catalog) -> Self {
+        self.catalog = catalog;
+        self
+    }
+
+    /// Build the database.
+    pub fn build(self) -> Database {
+        Database {
+            inner: Arc::new(DbInner {
+                catalog: RwLock::new(self.catalog),
+                manager: IndexManager::new(self.default_strategy),
+            }),
+        }
+    }
+}
+
+/// An in-memory adaptive-indexing database.
+///
+/// The `Database` is the only object an application needs: register tables,
+/// open [`Session`]s, fire queries — the adaptive indexes build and refine
+/// themselves as a side effect of query execution. Cloning a `Database` (or
+/// opening a `Session`) is a reference-count bump; all clones share the same
+/// catalog and index registry.
+///
+/// ```
+/// use aidx_core::prelude::*;
+///
+/// let db = Database::builder().default_strategy(StrategyKind::Cracking).build();
+/// db.create_table(
+///     "orders",
+///     Table::from_columns(vec![
+///         ("o_key", Column::from_i64((0..1000).rev().collect())),
+///         ("o_value", Column::from_i64((0..1000).collect())),
+///     ])?,
+/// )?;
+///
+/// let session = db.session();
+/// let result = session
+///     .query("orders")
+///     .range("o_key", 100, 200)
+///     .project(["o_value"])
+///     .execute()?;
+/// assert_eq!(result.row_count(), 100);
+/// for row in result.rows() {
+///     assert!(row[0].as_i64().is_some());
+/// }
+/// // the queried column is now (partially) indexed; nothing else is
+/// assert_eq!(db.indexed_column_count(), 1);
+/// # Ok::<(), aidx_core::AidxError>(())
+/// ```
+#[derive(Clone)]
+pub struct Database {
+    inner: Arc<DbInner>,
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("tables", &self.inner.catalog.read().len())
+            .field("manager", &self.inner.manager)
+            .finish()
+    }
+}
+
+impl Database {
+    /// Start configuring a database.
+    pub fn builder() -> DatabaseBuilder {
+        DatabaseBuilder::default()
+    }
+
+    /// A database with the given default strategy and an empty catalog.
+    pub fn new(default_strategy: StrategyKind) -> Self {
+        Database::builder()
+            .default_strategy(default_strategy)
+            .build()
+    }
+
+    /// Register a table under `name`. Fails if the name is taken.
+    pub fn create_table(&self, name: impl Into<String>, table: Table) -> AidxResult<()> {
+        let name = name.into();
+        self.inner
+            .catalog
+            .write()
+            .create_table(name.as_str(), table)?;
+        // an in-flight query of a previously dropped table with this name
+        // may have re-registered a stale index after `drop_table` cleaned
+        // up; clear again so the new incarnation starts fresh (the epoch
+        // guard in the manager catches any later stragglers)
+        self.inner.manager.drop_table_indexes(&name);
+        Ok(())
+    }
+
+    /// Drop a table and every adaptive index on its columns; returns `true`
+    /// if the table existed.
+    pub fn drop_table(&self, name: &str) -> bool {
+        let dropped = self.inner.catalog.write().drop_table(name).is_some();
+        if dropped {
+            self.inner.manager.drop_table_indexes(name);
+        }
+        dropped
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.inner
+            .catalog
+            .read()
+            .table_names()
+            .into_iter()
+            .map(str::to_owned)
+            .collect()
+    }
+
+    /// Number of rows in `table`.
+    pub fn row_count(&self, table: &str) -> AidxResult<usize> {
+        Ok(self.inner.catalog.read().table(table)?.row_count())
+    }
+
+    /// Open a session: a cheap, thread-safe handle for running queries and
+    /// inserts against this database.
+    pub fn session(&self) -> Session {
+        Session::new(Arc::clone(&self.inner))
+    }
+
+    /// The strategy used for columns without an explicit override.
+    pub fn default_strategy(&self) -> StrategyKind {
+        self.inner.manager.default_strategy()
+    }
+
+    /// Bookkeeping for every adaptive index (which columns ended up indexed,
+    /// effort spent, auxiliary memory, convergence), sorted by column.
+    pub fn index_stats(&self) -> Vec<IndexInfo> {
+        self.inner.manager.describe()
+    }
+
+    /// Number of columns currently indexed.
+    pub fn indexed_column_count(&self) -> usize {
+        self.inner.manager.indexed_column_count()
+    }
+
+    /// Cumulative machine-independent work performed by all indexes.
+    pub fn total_effort(&self) -> u64 {
+        self.inner.manager.total_effort()
+    }
+
+    /// Total auxiliary memory across all indexes, in bytes.
+    pub fn total_auxiliary_bytes(&self) -> usize {
+        self.inner.manager.total_auxiliary_bytes()
+    }
+
+    /// Direct access to the index manager (advanced: per-query strategy
+    /// overrides, tuner-driven rebuilds).
+    pub fn index_manager(&self) -> &IndexManager {
+        &self.inner.manager
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aidx_columnstore::column::Column;
+
+    fn orders_table(n: i64) -> Table {
+        let keys: Vec<i64> = (0..n).map(|i| (i * 7919) % n).collect();
+        let values: Vec<i64> = keys.iter().map(|&k| k * 2).collect();
+        Table::from_columns(vec![
+            ("o_key", Column::from_i64(keys)),
+            ("o_value", Column::from_i64(values)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let db = Database::builder().build();
+        assert_eq!(db.default_strategy(), StrategyKind::Cracking);
+        let db = Database::new(StrategyKind::FullSort);
+        assert_eq!(db.default_strategy(), StrategyKind::FullSort);
+        assert!(db.table_names().is_empty());
+    }
+
+    #[test]
+    fn create_query_drop_lifecycle() {
+        let db = Database::new(StrategyKind::Cracking);
+        db.create_table("orders", orders_table(1000)).unwrap();
+        assert!(db.create_table("orders", orders_table(10)).is_err());
+        assert_eq!(db.table_names(), vec!["orders".to_owned()]);
+        assert_eq!(db.row_count("orders").unwrap(), 1000);
+        assert!(db.row_count("nope").is_err());
+
+        let result = db
+            .session()
+            .query("orders")
+            .range("o_key", 0, 100)
+            .execute();
+        assert_eq!(result.unwrap().row_count(), 100);
+        assert_eq!(db.indexed_column_count(), 1);
+        assert!(db.total_effort() > 0);
+        assert!(db.total_auxiliary_bytes() > 0);
+        assert_eq!(db.index_stats().len(), 1);
+
+        assert!(db.drop_table("orders"));
+        assert!(!db.drop_table("orders"));
+        assert_eq!(db.indexed_column_count(), 0, "indexes die with the table");
+    }
+
+    #[test]
+    fn recreated_table_never_serves_stale_index_data() {
+        let db = Database::new(StrategyKind::Cracking);
+        db.create_table("t", orders_table(1000)).unwrap();
+        let session = db.session();
+        // build an index on the first incarnation
+        assert_eq!(
+            session
+                .query("t")
+                .range("o_key", 0, 1000)
+                .execute()
+                .unwrap()
+                .row_count(),
+            1000
+        );
+        assert!(db.drop_table("t"));
+        // same name, same row count, completely different contents
+        let shifted: Vec<i64> = (0..1000).map(|i| i + 10_000).collect();
+        let values: Vec<i64> = shifted.clone();
+        db.create_table(
+            "t",
+            Table::from_columns(vec![
+                ("o_key", Column::from_i64(shifted)),
+                ("o_value", Column::from_i64(values)),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        // old key range must be empty now; new key range must hit
+        let old = session
+            .query("t")
+            .range("o_key", 0, 1000)
+            .execute()
+            .unwrap();
+        assert!(old.is_empty(), "stale index data must not leak");
+        let new = session
+            .query("t")
+            .range("o_key", 10_000, 11_000)
+            .execute()
+            .unwrap();
+        assert_eq!(new.row_count(), 1000);
+    }
+
+    #[test]
+    fn builder_accepts_a_prebuilt_catalog() {
+        let mut catalog = Catalog::new();
+        catalog.create_table("t", orders_table(50)).unwrap();
+        let db = Database::builder().catalog(catalog).build();
+        assert_eq!(db.row_count("t").unwrap(), 50);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let db = Database::new(StrategyKind::Cracking);
+        let clone = db.clone();
+        db.create_table("t", orders_table(10)).unwrap();
+        assert_eq!(clone.row_count("t").unwrap(), 10);
+        assert!(format!("{db:?}").contains("Database"));
+    }
+}

@@ -1,0 +1,145 @@
+//! The workspace-wide error type returned by every fallible entry point of
+//! the kernel facade.
+//!
+//! The substrate ([`aidx_columnstore`]) keeps its own [`ColumnStoreError`];
+//! everything above it — planner, session, database — reports [`AidxError`],
+//! which wraps the substrate errors via [`From`] so that `?` composes across
+//! the layers. The seed kernel surfaced most of these conditions as
+//! `unwrap()`/`panic!`; they are all typed now.
+
+use aidx_columnstore::error::ColumnStoreError;
+use aidx_columnstore::types::Key;
+use std::fmt;
+
+/// Result alias used by the kernel facade.
+pub type AidxResult<T> = std::result::Result<T, AidxError>;
+
+/// Errors produced by the adaptive-indexing kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AidxError {
+    /// An error bubbled up from the column-store substrate (unknown table or
+    /// column, type mismatch, arity mismatch, ...).
+    Store(ColumnStoreError),
+    /// A range predicate with `low > high` (half-open ranges require
+    /// `low <= high`; an empty range `low == high` is fine and yields no
+    /// rows).
+    InvalidRange {
+        /// Column the predicate applies to.
+        column: String,
+        /// Offending lower bound.
+        low: Key,
+        /// Offending upper bound.
+        high: Key,
+    },
+    /// The planner could not build an executable plan for a query (for
+    /// example: no predicate references an `int64` column that could drive
+    /// the adaptive index).
+    Planner {
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// An indexing-strategy level failure (a strategy that cannot serve the
+    /// requested operation).
+    Strategy {
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// A `SUM` aggregate overflowed the 64-bit result type.
+    AggregateOverflow {
+        /// Column being aggregated.
+        column: String,
+    },
+}
+
+impl AidxError {
+    /// Shorthand for a [`AidxError::Planner`] error.
+    pub fn planner(reason: impl Into<String>) -> Self {
+        AidxError::Planner {
+            reason: reason.into(),
+        }
+    }
+
+    /// Shorthand for a [`AidxError::Strategy`] error.
+    pub fn strategy(reason: impl Into<String>) -> Self {
+        AidxError::Strategy {
+            reason: reason.into(),
+        }
+    }
+
+    /// The wrapped substrate error, when there is one.
+    pub fn as_store(&self) -> Option<&ColumnStoreError> {
+        match self {
+            AidxError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ColumnStoreError> for AidxError {
+    fn from(e: ColumnStoreError) -> Self {
+        AidxError::Store(e)
+    }
+}
+
+impl fmt::Display for AidxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AidxError::Store(e) => write!(f, "storage error: {e}"),
+            AidxError::InvalidRange { column, low, high } => write!(
+                f,
+                "invalid range on column {column}: low {low} > high {high}"
+            ),
+            AidxError::Planner { reason } => write!(f, "planner error: {reason}"),
+            AidxError::Strategy { reason } => write!(f, "strategy error: {reason}"),
+            AidxError::AggregateOverflow { column } => {
+                write!(f, "SUM over column {column} overflowed i64")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AidxError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AidxError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_store_error_and_source() {
+        let store = ColumnStoreError::NotFound {
+            kind: "table",
+            name: "t".into(),
+        };
+        let err: AidxError = store.clone().into();
+        assert_eq!(err.as_store(), Some(&store));
+        assert!(err.to_string().contains("table not found"));
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(AidxError::planner("x").as_store().is_none());
+    }
+
+    #[test]
+    fn display_variants() {
+        assert!(AidxError::InvalidRange {
+            column: "a".into(),
+            low: 9,
+            high: 3
+        }
+        .to_string()
+        .contains("low 9 > high 3"));
+        assert!(AidxError::planner("no driver")
+            .to_string()
+            .contains("no driver"));
+        assert!(AidxError::strategy("nope").to_string().contains("nope"));
+        assert!(AidxError::AggregateOverflow { column: "v".into() }
+            .to_string()
+            .contains("overflowed"));
+        assert!(std::error::Error::source(&AidxError::planner("x")).is_none());
+    }
+}

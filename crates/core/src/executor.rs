@@ -1,463 +1,486 @@
-//! A small adaptive query executor over the column-store catalog.
+//! The adaptive query execution engine behind [`crate::Session`].
 //!
-//! Queries have the shape the adaptive-indexing experiments use throughout:
-//! one range (or point) predicate on a key column, followed by projections
-//! and/or an aggregate over other columns of the same table. The selection is
-//! routed through the [`IndexManager`], so executing queries *is* what builds
-//! and refines the adaptive indexes; projections use late materialization on
-//! the qualifying positions.
+//! Executing a [`Query`] is a three-step pipeline, and the first step is
+//! where adaptive indexing lives:
+//!
+//! 1. **Plan** — of the query's conjunctive predicates, pick the *driver*:
+//!    the predicate with the smallest estimated key-width (point < small
+//!    range < wide range), breaking ties in favor of columns that already
+//!    have an adaptive index and then query order. The paper's core claim is
+//!    that queries *are* the index-building mechanism, so exactly one
+//!    predicate per query is routed through the [`IndexManager`] and cracks
+//!    (or merges, or sorts) its column a little further.
+//! 2. **Drive** — answer the driver predicate through the adaptive index of
+//!    its column, creating the index lazily on first touch.
+//! 3. **Filter** — apply every remaining predicate as a residual,
+//!    late-materialized filter over the qualifying positions, and compute
+//!    the optional aggregate.
+//!
+//! The engine operates on a point-in-time snapshot (`Arc<Table>`) taken by
+//! the session, so concurrent writers never invalidate a running query.
 
+use crate::error::{AidxError, AidxResult};
 use crate::manager::{ColumnId, IndexManager};
+use crate::query::{Aggregation, Predicate, Query};
+use crate::result::QueryResult;
 use crate::strategy::StrategyKind;
-use aidx_columnstore::catalog::Catalog;
-use aidx_columnstore::error::{ColumnStoreError, Result};
-use aidx_columnstore::ops::{aggregate, project};
+use aidx_columnstore::error::ColumnStoreError;
+use aidx_columnstore::ops::aggregate;
 use aidx_columnstore::position::PositionList;
-use aidx_columnstore::types::{Key, Value};
+use aidx_columnstore::table::Table;
+use aidx_columnstore::types::{DataType, Key, RowId, Value};
+use std::sync::Arc;
 
-/// Optional aggregate over the first projected column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Aggregation {
-    /// Number of qualifying rows.
-    Count,
-    /// Sum of the aggregated column.
-    Sum,
-    /// Minimum of the aggregated column.
-    Min,
-    /// Maximum of the aggregated column.
-    Max,
-    /// Average of the aggregated column.
-    Avg,
+/// How the planner decided to execute a query — the facade's lightweight
+/// `EXPLAIN`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryPlan {
+    /// Column whose adaptive index drives the selection (`None` when the
+    /// query has no predicates, or the driver bypasses the index for an
+    /// edge case the index cannot express).
+    pub driver_column: Option<String>,
+    /// Columns filtered as residual, late-materialized predicates, in
+    /// application order.
+    pub residual_columns: Vec<String>,
 }
 
-/// A single-table selection query with optional projection and aggregation.
-#[derive(Debug, Clone, PartialEq)]
-pub struct SelectQuery {
-    /// Table to query.
-    pub table: String,
-    /// Column the range predicate applies to.
-    pub filter_column: String,
-    /// Inclusive lower bound.
-    pub low: Key,
-    /// Exclusive upper bound.
-    pub high: Key,
-    /// Columns to project (empty = return positions only).
-    pub projections: Vec<String>,
-    /// Optional aggregate over `aggregate_column`.
-    pub aggregation: Option<Aggregation>,
-    /// Column the aggregate applies to (defaults to the filter column).
-    pub aggregate_column: Option<String>,
+/// Validated view of one predicate: its position in the query and the dense
+/// key slice of its column.
+struct BoundPredicate<'a> {
+    predicate: &'a Predicate,
+    keys: &'a [Key],
+    width: u128,
+    indexed: bool,
 }
 
-impl SelectQuery {
-    /// `SELECT ... FROM table WHERE low <= filter_column < high`.
-    pub fn range(
-        table: impl Into<String>,
-        filter_column: impl Into<String>,
-        low: Key,
-        high: Key,
-    ) -> Self {
-        SelectQuery {
-            table: table.into(),
-            filter_column: filter_column.into(),
-            low,
-            high,
-            projections: Vec::new(),
-            aggregation: None,
-            aggregate_column: None,
+/// Resolve, validate and order the predicates of `query` against `table`.
+///
+/// Every predicate column must exist and be `int64` (predicates compare
+/// [`Key`]s); ranges must satisfy `low <= high`.
+fn bind_predicates<'a>(
+    table: &'a Table,
+    manager: &IndexManager,
+    query: &'a Query,
+) -> AidxResult<Vec<BoundPredicate<'a>>> {
+    let mut bound = Vec::with_capacity(query.predicates().len());
+    for predicate in query.predicates() {
+        if let Predicate::Range { column, low, high } = predicate {
+            if low > high {
+                return Err(AidxError::InvalidRange {
+                    column: column.to_string(),
+                    low: *low,
+                    high: *high,
+                });
+            }
         }
-    }
-
-    /// Add projected columns.
-    pub fn project(mut self, columns: &[&str]) -> Self {
-        self.projections = columns.iter().map(|c| (*c).to_owned()).collect();
-        self
-    }
-
-    /// Add an aggregate over `column`.
-    pub fn aggregate(mut self, aggregation: Aggregation, column: impl Into<String>) -> Self {
-        self.aggregation = Some(aggregation);
-        self.aggregate_column = Some(column.into());
-        self
-    }
-}
-
-/// The result of executing a [`SelectQuery`].
-#[derive(Debug, Clone, PartialEq)]
-pub struct QueryResult {
-    /// Positions of the qualifying rows in the base table.
-    pub positions: PositionList,
-    /// Projected rows (one inner vector per qualifying row, in projection
-    /// order); empty when the query projected nothing.
-    pub rows: Vec<Vec<Value>>,
-    /// Aggregate value, when an aggregation was requested.
-    pub aggregate: Option<Value>,
-}
-
-impl QueryResult {
-    /// Number of qualifying rows.
-    pub fn row_count(&self) -> usize {
-        self.positions.len()
-    }
-
-    /// True when no row qualifies.
-    pub fn is_empty(&self) -> bool {
-        self.positions.is_empty()
-    }
-}
-
-/// A query executor that builds adaptive indexes as a side effect of the
-/// selections it runs.
-#[derive(Debug)]
-pub struct AdaptiveExecutor {
-    catalog: Catalog,
-    manager: IndexManager,
-}
-
-impl AdaptiveExecutor {
-    /// Create an executor over `catalog` whose selections use
-    /// `default_strategy` for every filter column.
-    pub fn new(catalog: Catalog, default_strategy: StrategyKind) -> Self {
-        AdaptiveExecutor {
-            catalog,
-            manager: IndexManager::new(default_strategy),
-        }
-    }
-
-    /// The catalog the executor reads from.
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
-    }
-
-    /// The index manager (for inspection: which columns ended up indexed,
-    /// how much auxiliary memory they use, ...).
-    pub fn index_manager(&self) -> &IndexManager {
-        &self.manager
-    }
-
-    /// Execute a query.
-    pub fn execute(&mut self, query: &SelectQuery) -> Result<QueryResult> {
-        let table = self.catalog.table(&query.table)?;
-        let filter_column = table.column(&query.filter_column)?;
-        let keys = filter_column
+        let column = table.column(predicate.column())?;
+        let keys = column
             .as_i64()
             .ok_or_else(|| ColumnStoreError::TypeMismatch {
-                column: query.filter_column.clone(),
-                expected: aidx_columnstore::types::DataType::Int64,
-                found: Some(filter_column.data_type()),
-            })?;
+                column: predicate.column().to_owned(),
+                expected: DataType::Int64,
+                found: Some(column.data_type()),
+            })?
+            .as_slice();
+        let indexed = manager.has_index(&ColumnId::new(query.table_arc(), predicate.column_arc()));
+        bound.push(BoundPredicate {
+            predicate,
+            keys,
+            width: predicate.estimated_width(),
+            indexed,
+        });
+    }
+    Ok(bound)
+}
 
-        let column_id = ColumnId::new(&query.table, &query.filter_column);
-        let output = self
-            .manager
-            .query_range(&column_id, keys.as_slice(), query.low, query.high);
-        let positions = output.positions;
+/// Index of the driver predicate within `bound`: smallest estimated width
+/// wins; ties prefer already-indexed columns, then query order.
+fn choose_driver(bound: &[BoundPredicate<'_>]) -> Option<usize> {
+    (0..bound.len()).min_by_key(|&i| (bound[i].width, !bound[i].indexed, i))
+}
 
-        let mut rows = Vec::new();
-        if !query.projections.is_empty() {
-            let names: Vec<&str> = query.projections.iter().map(String::as_str).collect();
-            rows = table.reconstruct_projection(&positions, &names)?;
-        }
-
-        let aggregate_value = match query.aggregation {
-            None => None,
-            Some(aggregation) => {
-                let column_name = query
-                    .aggregate_column
-                    .clone()
-                    .unwrap_or_else(|| query.filter_column.clone());
-                let column = table.column(&column_name)?;
-                let agg = aggregate::aggregate_at(column, &positions);
-                Some(match aggregation {
-                    Aggregation::Count => Value::Int64(positions.len() as i64),
-                    Aggregation::Sum => Value::Int64(agg.sum as i64),
-                    Aggregation::Min => agg.min.map_or(Value::Null, Value::Int64),
-                    Aggregation::Max => agg.max.map_or(Value::Null, Value::Int64),
-                    Aggregation::Avg => agg.avg().map_or(Value::Null, Value::Float64),
-                })
+/// Answer the driver predicate through the adaptive index of its column.
+fn drive(
+    manager: &IndexManager,
+    column_id: ColumnId,
+    keys: &[Key],
+    epoch: u64,
+    predicate: &Predicate,
+    strategy: StrategyKind,
+) -> PositionList {
+    match predicate {
+        Predicate::Range { low, high, .. } => {
+            if low >= high {
+                PositionList::new()
+            } else {
+                manager
+                    .query_range_snapshot(&column_id, keys, epoch, *low, *high, strategy)
+                    .positions
             }
-        };
+        }
+        Predicate::Point { key, .. } => match key.checked_add(1) {
+            Some(next) => {
+                manager
+                    .query_range_snapshot(&column_id, keys, epoch, *key, next, strategy)
+                    .positions
+            }
+            // `key == Key::MAX` cannot be phrased as a half-open range;
+            // answer it with a direct scan of the snapshot instead.
+            None => scan_matching(keys, predicate),
+        },
+        Predicate::InSet { keys: set, .. } => {
+            let mut positions = PositionList::new();
+            for &key in set.iter() {
+                let hits = match key.checked_add(1) {
+                    Some(next) => {
+                        manager
+                            .query_range_snapshot(&column_id, keys, epoch, key, next, strategy)
+                            .positions
+                    }
+                    None => scan_matching(keys, &Predicate::point("", Key::MAX)),
+                };
+                positions = positions.union(&hits);
+            }
+            positions
+        }
+    }
+}
 
-        Ok(QueryResult {
-            positions,
-            rows,
-            aggregate: aggregate_value,
+/// Positions of every value in `keys` satisfying `predicate` (scan
+/// fallback; emits positions in order).
+fn scan_matching(keys: &[Key], predicate: &Predicate) -> PositionList {
+    crate::manager::scan_positions(keys, |v| predicate.matches(v))
+}
+
+/// Retain only the positions whose value in `keys` satisfies `predicate`
+/// (the residual, late-materialized filter step).
+fn filter_residual(positions: PositionList, keys: &[Key], predicate: &Predicate) -> PositionList {
+    let mut retained = positions.into_vec();
+    retained.retain(|&p| predicate.matches(keys[p as usize]));
+    PositionList::from_sorted_vec(retained)
+}
+
+/// Compute the requested aggregate over the qualifying positions.
+///
+/// `COUNT` of an empty set is `Some(Int64(0))`; `SUM`, `MIN`, `MAX` and
+/// `AVG` of an empty set are `None` (never a sentinel or a garbage value).
+/// A `SUM` that does not fit `i64` is a typed [`AidxError::AggregateOverflow`].
+fn compute_aggregate(
+    table: &Table,
+    positions: &PositionList,
+    aggregation: Aggregation,
+    column_name: &str,
+) -> AidxResult<Option<Value>> {
+    let column = table.column(column_name)?;
+    if aggregation == Aggregation::Count {
+        return Ok(Some(Value::Int64(positions.len() as i64)));
+    }
+    if column.as_i64().is_none() {
+        return Err(ColumnStoreError::TypeMismatch {
+            column: column_name.to_owned(),
+            expected: DataType::Int64,
+            found: Some(column.data_type()),
+        }
+        .into());
+    }
+    let agg = aggregate::aggregate_at(column, positions);
+    if agg.count == 0 {
+        return Ok(None);
+    }
+    Ok(match aggregation {
+        Aggregation::Count => unreachable!("handled above"),
+        Aggregation::Sum => Some(Value::Int64(i64::try_from(agg.sum).map_err(|_| {
+            AidxError::AggregateOverflow {
+                column: column_name.to_owned(),
+            }
+        })?)),
+        Aggregation::Min => agg.min.map(Value::Int64),
+        Aggregation::Max => agg.max.map(Value::Int64),
+        Aggregation::Avg => agg.avg().map(Value::Float64),
+    })
+}
+
+/// Resolve the projected column names to schema indexes.
+fn resolve_projections(table: &Table, query: &Query) -> AidxResult<Vec<usize>> {
+    query
+        .projections()
+        .iter()
+        .map(|name| {
+            table.schema().index_of(name).ok_or_else(|| {
+                ColumnStoreError::NotFound {
+                    kind: "column",
+                    name: name.to_string(),
+                }
+                .into()
+            })
         })
+        .collect()
+}
+
+/// Plan `query` against a snapshot without executing it.
+pub(crate) fn plan_on_snapshot(
+    snapshot: &Table,
+    manager: &IndexManager,
+    query: &Query,
+) -> AidxResult<QueryPlan> {
+    resolve_projections(snapshot, query)?;
+    let bound = bind_predicates(snapshot, manager, query)?;
+    let driver = choose_driver(&bound);
+    Ok(QueryPlan {
+        driver_column: driver.map(|i| bound[i].predicate.column().to_owned()),
+        residual_columns: bound
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| Some(*i) != driver)
+            .map(|(_, b)| b.predicate.column().to_owned())
+            .collect(),
+    })
+}
+
+/// Execute `query` against a table snapshot, routing the driver predicate
+/// through `manager` (indexes are created lazily with `strategy`).
+pub(crate) fn execute_on_snapshot(
+    snapshot: Arc<Table>,
+    epoch: u64,
+    manager: &IndexManager,
+    query: &Query,
+    strategy: StrategyKind,
+) -> AidxResult<QueryResult> {
+    let projected = resolve_projections(&snapshot, query)?;
+    if let Some((_, column)) = query.aggregation() {
+        // resolve early so the error surfaces before any index work
+        snapshot.column(column)?;
+    }
+    let bound = bind_predicates(&snapshot, manager, query)?;
+    let driver = choose_driver(&bound);
+
+    let mut positions = match driver {
+        None => PositionList::from_range(0, snapshot.row_count() as RowId),
+        Some(i) => {
+            let column_id = ColumnId::new(query.table_arc(), bound[i].predicate.column_arc());
+            drive(
+                manager,
+                column_id,
+                bound[i].keys,
+                epoch,
+                bound[i].predicate,
+                strategy,
+            )
+        }
+    };
+
+    for (i, residual) in bound.iter().enumerate() {
+        if Some(i) == driver || positions.is_empty() {
+            continue;
+        }
+        positions = filter_residual(positions, residual.keys, residual.predicate);
     }
 
-    /// Execute a query and return only the projected key values of one
-    /// column (a convenience for harnesses: `SELECT b WHERE a in range`).
-    pub fn select_project_keys(
-        &mut self,
-        table: &str,
-        filter_column: &str,
-        low: Key,
-        high: Key,
-        projection: &str,
-    ) -> Result<Vec<Key>> {
-        let table_ref = self.catalog.table(table)?;
-        let filter = table_ref.column(filter_column)?;
-        let keys = filter
-            .as_i64()
-            .ok_or_else(|| ColumnStoreError::TypeMismatch {
-                column: filter_column.to_owned(),
-                expected: aidx_columnstore::types::DataType::Int64,
-                found: Some(filter.data_type()),
-            })?;
-        let column_id = ColumnId::new(table, filter_column);
-        let output = self
-            .manager
-            .query_range(&column_id, keys.as_slice(), low, high);
-        let projected = table_ref.column(projection)?;
-        Ok(project::fetch_i64(projected, &output.positions))
-    }
+    let aggregate_value = match query.aggregation() {
+        None => None,
+        Some((aggregation, column)) => {
+            compute_aggregate(&snapshot, &positions, aggregation, column)?
+        }
+    };
 
-    /// Append a row to a table, updating any update-capable index on its
-    /// columns (non-updatable indexes are dropped so they rebuild lazily,
-    /// which keeps answers correct at the cost of losing learned structure —
-    /// exactly the trade-off the updates paper motivates).
-    pub fn insert_row(&mut self, table_name: &str, values: &[Value]) -> Result<()> {
-        // Validate and apply to the base table first.
-        {
-            let table = self.catalog.table_mut(table_name)?;
-            table.append_row(values)?;
-        }
-        let table = self.catalog.table(table_name)?;
-        for (i, field) in table.schema().fields().iter().enumerate() {
-            let column_id = ColumnId::new(table_name, field.name());
-            if !self.manager.has_index(&column_id) {
-                continue;
-            }
-            let accepted = values[i]
-                .as_i64()
-                .map(|key| self.manager.insert(&column_id, key))
-                .unwrap_or(false);
-            if !accepted {
-                self.manager.drop_index(&column_id);
-            }
-        }
-        Ok(())
-    }
+    Ok(QueryResult::new(
+        snapshot,
+        positions,
+        projected,
+        aggregate_value,
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use aidx_columnstore::column::Column;
-    use aidx_columnstore::table::Table;
 
-    fn orders_catalog(n: Key) -> Catalog {
-        let keys: Vec<Key> = (0..n).map(|i| (i * 7919) % n).collect();
-        let values: Vec<Key> = keys.iter().map(|&k| k * 2).collect();
-        let labels: Vec<String> = keys.iter().map(|&k| format!("row-{k}")).collect();
+    fn snapshot() -> Arc<Table> {
+        // k: 0..100 permuted, r: k % 5, label: strings
+        let keys: Vec<Key> = (0..100).map(|i| (i * 37) % 100).collect();
+        let r: Vec<Key> = keys.iter().map(|&k| k % 5).collect();
+        let labels: Vec<String> = keys.iter().map(|k| format!("row-{k}")).collect();
         let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
-        let mut catalog = Catalog::new();
-        catalog
-            .create_table(
-                "orders",
-                Table::from_columns(vec![
-                    ("o_key", Column::from_i64(keys)),
-                    ("o_value", Column::from_i64(values)),
-                    ("o_label", Column::from_strs(&label_refs)),
-                ])
-                .unwrap(),
-            )
-            .unwrap();
-        catalog
+        Arc::new(
+            Table::from_columns(vec![
+                ("k", Column::from_i64(keys)),
+                ("r", Column::from_i64(r)),
+                ("label", Column::from_strs(&label_refs)),
+            ])
+            .unwrap(),
+        )
+    }
+
+    fn run(query: &Query) -> AidxResult<QueryResult> {
+        let manager = IndexManager::new(StrategyKind::Cracking);
+        execute_on_snapshot(snapshot(), 1, &manager, query, StrategyKind::Cracking)
     }
 
     #[test]
-    fn selection_with_projection() {
-        let mut executor = AdaptiveExecutor::new(orders_catalog(1000), StrategyKind::Cracking);
-        let query =
-            SelectQuery::range("orders", "o_key", 100, 110).project(&["o_value", "o_label"]);
-        let result = executor.execute(&query).unwrap();
-        assert_eq!(result.row_count(), 10);
-        assert_eq!(result.rows.len(), 10);
-        for row in &result.rows {
-            let value = row[0].as_i64().unwrap();
-            assert!((200..220).contains(&value));
-            assert!(row[1].as_str().unwrap().starts_with("row-"));
-        }
-        // the selection column is now indexed, the others are not
-        assert_eq!(executor.index_manager().indexed_column_count(), 1);
+    fn planner_picks_the_most_selective_predicate() {
+        let manager = IndexManager::new(StrategyKind::Cracking);
+        let query = Query::table("t").range("k", 0, 50).point("r", 3);
+        let plan = plan_on_snapshot(&snapshot(), &manager, &query).unwrap();
+        assert_eq!(plan.driver_column.as_deref(), Some("r"));
+        assert_eq!(plan.residual_columns, vec!["k".to_owned()]);
     }
 
     #[test]
-    fn aggregation_queries() {
-        let mut executor = AdaptiveExecutor::new(orders_catalog(1000), StrategyKind::Cracking);
-        let count = executor
-            .execute(
-                &SelectQuery::range("orders", "o_key", 0, 100)
-                    .aggregate(Aggregation::Count, "o_key"),
-            )
-            .unwrap();
-        assert_eq!(count.aggregate, Some(Value::Int64(100)));
-
-        let sum = executor
-            .execute(
-                &SelectQuery::range("orders", "o_key", 0, 10)
-                    .aggregate(Aggregation::Sum, "o_value"),
-            )
-            .unwrap();
-        assert_eq!(
-            sum.aggregate,
-            Some(Value::Int64((0..10).map(|k| k * 2).sum()))
-        );
-
-        let min = executor
-            .execute(
-                &SelectQuery::range("orders", "o_key", 5, 10).aggregate(Aggregation::Min, "o_key"),
-            )
-            .unwrap();
-        assert_eq!(min.aggregate, Some(Value::Int64(5)));
-
-        let max = executor
-            .execute(
-                &SelectQuery::range("orders", "o_key", 5, 10).aggregate(Aggregation::Max, "o_key"),
-            )
-            .unwrap();
-        assert_eq!(max.aggregate, Some(Value::Int64(9)));
-
-        let avg = executor
-            .execute(
-                &SelectQuery::range("orders", "o_key", 0, 4).aggregate(Aggregation::Avg, "o_key"),
-            )
-            .unwrap();
-        assert_eq!(avg.aggregate, Some(Value::Float64(1.5)));
-
-        let empty = executor
-            .execute(
-                &SelectQuery::range("orders", "o_key", 5000, 6000)
-                    .aggregate(Aggregation::Min, "o_key"),
-            )
-            .unwrap();
-        assert_eq!(empty.aggregate, Some(Value::Null));
+    fn planner_prefers_indexed_columns_on_ties() {
+        let manager = IndexManager::new(StrategyKind::Cracking);
+        let table = snapshot();
+        // same width on both columns, but "r" is already indexed
+        let keys = table.column("r").unwrap().as_i64().unwrap().as_slice();
+        let _ = manager.query_range(&ColumnId::new("t", "r"), keys, 0, 2);
+        let query = Query::table("t").range("k", 0, 10).range("r", 0, 10);
+        let plan = plan_on_snapshot(&table, &manager, &query).unwrap();
+        assert_eq!(plan.driver_column.as_deref(), Some("r"));
     }
 
     #[test]
-    fn repeated_queries_reuse_the_adaptive_index() {
-        let mut executor = AdaptiveExecutor::new(orders_catalog(10_000), StrategyKind::Cracking);
-        let query = SelectQuery::range("orders", "o_key", 1000, 2000);
-        let first = executor.execute(&query).unwrap();
-        let effort_after_first = executor.index_manager().total_effort();
-        let second = executor.execute(&query).unwrap();
-        let effort_after_second = executor.index_manager().total_effort();
-        assert_eq!(first.row_count(), second.row_count());
-        let delta = effort_after_second - effort_after_first;
-        assert!(
-            delta < 10_000 / 2,
-            "second identical query should not re-scan the column (delta {delta})"
-        );
+    fn conjunction_matches_scan_reference() {
+        let query = Query::table("t").range("k", 10, 60).in_set("r", [1, 3]);
+        let result = run(&query).unwrap();
+        let table = snapshot();
+        let k = table.column("k").unwrap().as_i64().unwrap().as_slice();
+        let r = table.column("r").unwrap().as_i64().unwrap().as_slice();
+        let expected: Vec<RowId> = (0..k.len())
+            .filter(|&i| (10..60).contains(&k[i]) && [1, 3].contains(&r[i]))
+            .map(|i| i as RowId)
+            .collect();
+        assert_eq!(result.positions().as_slice(), expected.as_slice());
     }
 
     #[test]
-    fn errors_for_unknown_tables_and_columns() {
-        let mut executor = AdaptiveExecutor::new(orders_catalog(10), StrategyKind::Cracking);
-        assert!(executor
-            .execute(&SelectQuery::range("nope", "o_key", 0, 5))
-            .is_err());
-        assert!(executor
-            .execute(&SelectQuery::range("orders", "nope", 0, 5))
-            .is_err());
-        assert!(
-            executor
-                .execute(&SelectQuery::range("orders", "o_label", 0, 5))
-                .is_err(),
-            "range predicates on string columns are rejected"
-        );
-        assert!(executor
-            .execute(&SelectQuery::range("orders", "o_key", 0, 5).project(&["nope"]))
-            .is_err());
+    fn no_predicates_selects_every_row() {
+        let result = run(&Query::table("t")).unwrap();
+        assert_eq!(result.row_count(), 100);
     }
 
     #[test]
-    fn select_project_keys_helper() {
-        let mut executor = AdaptiveExecutor::new(orders_catalog(500), StrategyKind::Cracking);
-        let values = executor
-            .select_project_keys("orders", "o_key", 10, 20, "o_value")
-            .unwrap();
-        let mut sorted = values.clone();
-        sorted.sort_unstable();
-        assert_eq!(sorted, (10..20).map(|k| k * 2).collect::<Vec<Key>>());
+    fn empty_range_is_empty_not_an_error() {
+        let result = run(&Query::table("t").range("k", 50, 50)).unwrap();
+        assert!(result.is_empty());
     }
 
     #[test]
-    fn different_strategies_give_identical_answers() {
-        for strategy in [
-            StrategyKind::FullScan,
-            StrategyKind::FullSort,
-            StrategyKind::Cracking,
-            StrategyKind::AdaptiveMerging { run_size: 128 },
-            StrategyKind::Hybrid {
-                algorithm: crate::strategy::HybridKind::CrackSort,
-            },
+    fn inverted_range_is_a_typed_error() {
+        let err = run(&Query::table("t").range("k", 60, 50)).unwrap_err();
+        assert!(matches!(err, AidxError::InvalidRange { .. }));
+    }
+
+    #[test]
+    fn predicates_on_non_int_columns_are_typed_errors() {
+        let err = run(&Query::table("t").range("label", 0, 5)).unwrap_err();
+        assert!(matches!(
+            err,
+            AidxError::Store(ColumnStoreError::TypeMismatch { .. })
+        ));
+        let err = run(&Query::table("t").range("nope", 0, 5)).unwrap_err();
+        assert!(matches!(
+            err,
+            AidxError::Store(ColumnStoreError::NotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn point_at_key_max_falls_back_to_a_scan() {
+        let keys: Vec<Key> = vec![Key::MAX, 5, Key::MAX];
+        let table = Arc::new(Table::from_columns(vec![("k", Column::from_i64(keys))]).unwrap());
+        let manager = IndexManager::new(StrategyKind::Cracking);
+        let query = Query::table("t").point("k", Key::MAX);
+        let result =
+            execute_on_snapshot(table, 1, &manager, &query, StrategyKind::Cracking).unwrap();
+        assert_eq!(result.positions().as_slice(), &[0, 2]);
+    }
+
+    #[test]
+    fn every_driver_shape_registers_the_snapshot_epoch() {
+        // regression: the point/in-set driver arms must route through the
+        // epoch-aware manager entry point, not the epoch-0 standalone one —
+        // otherwise an insert (or a same-size re-created table) under the
+        // real epoch would not line up with the registered index
+        for query in [
+            Query::table("t").point("k", 7),
+            Query::table("t").in_set("k", [7, 9]),
+            Query::table("t").range("k", 7, 10),
         ] {
-            let mut executor = AdaptiveExecutor::new(orders_catalog(2000), strategy);
-            let result = executor
-                .execute(&SelectQuery::range("orders", "o_key", 250, 750))
-                .unwrap();
-            assert_eq!(result.row_count(), 500, "{strategy:?}");
+            let keys: Vec<Key> = (0..100).collect();
+            let table = Arc::new(Table::from_columns(vec![("k", Column::from_i64(keys))]).unwrap());
+            let manager = IndexManager::new(StrategyKind::UpdatableCracking);
+            let result =
+                execute_on_snapshot(table, 5, &manager, &query, StrategyKind::UpdatableCracking)
+                    .unwrap();
+            assert!(!result.is_empty());
+            // absorbing the next row only succeeds if the index was
+            // registered under the snapshot's epoch
+            assert!(
+                manager.insert_at(&ColumnId::new("t", "k"), 100, 100, 5),
+                "index not registered under epoch 5 for {query:?}"
+            );
         }
     }
 
     #[test]
-    fn insert_row_keeps_updatable_index_consistent() {
-        let mut executor =
-            AdaptiveExecutor::new(orders_catalog(1000), StrategyKind::UpdatableCracking);
-        // index the key column first
-        let before = executor
-            .execute(&SelectQuery::range("orders", "o_key", 0, 1000))
-            .unwrap()
-            .row_count();
-        assert_eq!(before, 1000);
-        executor
-            .insert_row(
-                "orders",
-                &[
-                    Value::Int64(500),
-                    Value::Int64(1000),
-                    Value::Utf8("row-new".into()),
-                ],
-            )
-            .unwrap();
-        let after = executor
-            .execute(&SelectQuery::range("orders", "o_key", 0, 1000))
-            .unwrap()
-            .row_count();
-        assert_eq!(after, 1001);
-        assert!(executor
-            .index_manager()
-            .has_index(&ColumnId::new("orders", "o_key")));
+    fn empty_aggregates_are_none_not_garbage() {
+        for (aggregation, expected) in [
+            (Aggregation::Count, Some(Value::Int64(0))),
+            (Aggregation::Sum, None),
+            (Aggregation::Min, None),
+            (Aggregation::Max, None),
+            (Aggregation::Avg, None),
+        ] {
+            let query = Query::table("t")
+                .range("k", 1000, 2000)
+                .aggregate(aggregation, "k");
+            let result = run(&query).unwrap();
+            assert_eq!(result.aggregate().cloned(), expected, "{aggregation:?}");
+        }
     }
 
     #[test]
-    fn insert_row_drops_non_updatable_indexes() {
-        let mut executor = AdaptiveExecutor::new(orders_catalog(1000), StrategyKind::Cracking);
-        let _ = executor
-            .execute(&SelectQuery::range("orders", "o_key", 0, 100))
-            .unwrap();
-        assert!(executor
-            .index_manager()
-            .has_index(&ColumnId::new("orders", "o_key")));
-        executor
-            .insert_row(
-                "orders",
-                &[
-                    Value::Int64(50),
-                    Value::Int64(100),
-                    Value::Utf8("row-x".into()),
-                ],
-            )
-            .unwrap();
-        // the plain cracking index cannot absorb the insert, so it was dropped
-        assert!(!executor
-            .index_manager()
-            .has_index(&ColumnId::new("orders", "o_key")));
-        // and the next query rebuilds it lazily with the new row included
-        let result = executor
-            .execute(&SelectQuery::range("orders", "o_key", 0, 1000))
-            .unwrap();
-        assert_eq!(result.row_count(), 1001);
+    fn sum_overflow_is_a_typed_error() {
+        let table = Arc::new(
+            Table::from_columns(vec![(
+                "k",
+                Column::from_i64(vec![Key::MAX - 1, Key::MAX - 2]),
+            )])
+            .unwrap(),
+        );
+        let manager = IndexManager::new(StrategyKind::Cracking);
+        let query = Query::table("t")
+            .range("k", 0, Key::MAX)
+            .aggregate(Aggregation::Sum, "k");
+        let err =
+            execute_on_snapshot(table, 1, &manager, &query, StrategyKind::Cracking).unwrap_err();
+        assert!(matches!(err, AidxError::AggregateOverflow { .. }));
+    }
+
+    #[test]
+    fn aggregates_over_qualifying_rows() {
+        let query = Query::table("t")
+            .range("k", 0, 10)
+            .aggregate(Aggregation::Sum, "k");
+        assert_eq!(
+            run(&query).unwrap().aggregate(),
+            Some(&Value::Int64((0..10).sum()))
+        );
+        let query = Query::table("t")
+            .range("k", 5, 10)
+            .aggregate(Aggregation::Avg, "k");
+        assert_eq!(run(&query).unwrap().aggregate(), Some(&Value::Float64(7.0)));
+        let query = Query::table("t")
+            .range("k", 5, 10)
+            .aggregate(Aggregation::Count, "label");
+        assert_eq!(
+            run(&query).unwrap().aggregate(),
+            Some(&Value::Int64(5)),
+            "COUNT works on non-int columns"
+        );
+        let query = Query::table("t")
+            .range("k", 5, 10)
+            .aggregate(Aggregation::Sum, "label");
+        assert!(run(&query).is_err(), "SUM needs an int64 column");
     }
 }

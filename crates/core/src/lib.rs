@@ -4,7 +4,13 @@
 //! techniques (database cracking, adaptive merging, hybrids, and the
 //! non-adaptive baselines) into something a database engine can actually use,
 //! which is what the EDBT 2012 tutorial's "auto-tuning kernels" section is
-//! about. It provides:
+//! about.
+//!
+//! The public API is the [`Database`]/[`Session`] facade: build a database,
+//! register tables, open cheap thread-safe sessions, and fire composable
+//! conjunctive queries — the adaptive indexes build and refine themselves as
+//! a side effect of query execution, which is the paper's headline idea.
+//! Underneath sit:
 //!
 //! * [`strategy`] — the [`strategy::AdaptiveIndex`] trait: one uniform
 //!   interface (`query_range`, effort accounting, memory accounting,
@@ -12,15 +18,14 @@
 //!   workspace, plus a factory keyed by [`strategy::StrategyKind`].
 //! * [`manager`] — the per-column index manager: it owns one adaptive index
 //!   per (table, column) pair, creates them lazily on first access, and
-//!   aggregates statistics, exactly like the cracker-map registry inside
-//!   MonetDB's adaptive kernel.
+//!   serializes reorganization per column, exactly like the cracker-map
+//!   registry inside MonetDB's adaptive kernel.
+//! * [`executor`] — the planner and evaluation engine behind [`Session`]:
+//!   routes the most selective predicate of each query through the adaptive
+//!   index and applies the rest as residual late-materialized filters.
 //! * [`tuner`] — the auto-tuning policy layer: decides *which* strategy a
-//!   column should use from observed workload characteristics (the tutorial's
-//!   "towards autonomous kernels" discussion).
-//! * [`executor`] — a small adaptive query executor over the column-store
-//!   [`aidx_columnstore::Catalog`]: range selections go through the adaptive
-//!   index of the filter column; projections and aggregations use late
-//!   materialization on the qualifying positions.
+//!   column should use from observed workload characteristics (the
+//!   tutorial's "towards autonomous kernels" discussion).
 //!
 //! ## Quick example
 //!
@@ -30,42 +35,63 @@
 //! // a table with a key column and a payload column
 //! let keys: Vec<i64> = (0..10_000).rev().collect();
 //! let payload: Vec<i64> = (0..10_000).collect();
-//! let mut catalog = Catalog::new();
-//! catalog
-//!     .create_table(
-//!         "orders",
-//!         Table::from_columns(vec![
-//!             ("o_key", Column::from_i64(keys)),
-//!             ("o_value", Column::from_i64(payload)),
-//!         ])
-//!         .unwrap(),
-//!     )
-//!     .unwrap();
 //!
-//! // an executor whose selections crack the touched columns as a side effect
-//! let mut executor = AdaptiveExecutor::new(catalog, StrategyKind::Cracking);
-//! let query = SelectQuery::range("orders", "o_key", 100, 200).project(&["o_value"]);
-//! let result = executor.execute(&query).unwrap();
+//! let db = Database::builder()
+//!     .default_strategy(StrategyKind::Cracking)
+//!     .build();
+//! db.create_table(
+//!     "orders",
+//!     Table::from_columns(vec![
+//!         ("o_key", Column::from_i64(keys)),
+//!         ("o_value", Column::from_i64(payload)),
+//!     ])?,
+//! )?;
+//!
+//! // sessions are cheap clones, safe to hand to many threads; selections
+//! // crack the touched columns as a side effect
+//! let session = db.session();
+//! let result = session
+//!     .query("orders")
+//!     .range("o_key", 100, 200)
+//!     .project(["o_value"])
+//!     .execute()?;
 //! assert_eq!(result.row_count(), 100);
+//! assert_eq!(result.rows().count(), 100);
+//! # Ok::<(), aidx_core::AidxError>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub mod db;
+pub mod error;
 pub mod executor;
 pub mod manager;
+pub mod query;
+pub mod result;
+pub mod session;
 pub mod strategy;
 pub mod tuner;
 
 /// Convenient re-exports for typical kernel usage.
 pub mod prelude {
-    pub use crate::executor::{AdaptiveExecutor, Aggregation, QueryResult, SelectQuery};
-    pub use crate::manager::IndexManager;
+    pub use crate::db::{Database, DatabaseBuilder};
+    pub use crate::error::{AidxError, AidxResult};
+    pub use crate::executor::QueryPlan;
+    pub use crate::manager::{ColumnId, IndexManager};
+    pub use crate::query::{Aggregation, Predicate, Query};
+    pub use crate::result::{QueryResult, RowIter};
+    pub use crate::session::{QueryBuilder, Session};
     pub use crate::strategy::{AdaptiveIndex, QueryOutput, StrategyKind};
     pub use crate::tuner::{AutoTuner, TuningPolicy};
     pub use aidx_columnstore::prelude::*;
 }
 
-pub use executor::{AdaptiveExecutor, Aggregation, QueryResult, SelectQuery};
-pub use manager::IndexManager;
+pub use db::{Database, DatabaseBuilder};
+pub use error::{AidxError, AidxResult};
+pub use executor::QueryPlan;
+pub use manager::{ColumnId, IndexManager};
+pub use query::{Aggregation, Predicate, Query};
+pub use result::{QueryResult, RowIter};
+pub use session::{QueryBuilder, Session};
 pub use strategy::{AdaptiveIndex, QueryOutput, StrategyKind};
 pub use tuner::{AutoTuner, TuningPolicy};

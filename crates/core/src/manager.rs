@@ -17,22 +17,56 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Identifies an indexed column.
+///
+/// Both names are interned as [`Arc<str>`]: a `ColumnId` is cloned on every
+/// query routed through the [`IndexManager`], so cloning must be a
+/// reference-count bump rather than two heap copies.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ColumnId {
-    /// Table name.
-    pub table: String,
-    /// Column name.
-    pub column: String,
+    table: Arc<str>,
+    column: Arc<str>,
 }
 
 impl ColumnId {
     /// Convenience constructor.
-    pub fn new(table: impl Into<String>, column: impl Into<String>) -> Self {
+    pub fn new(table: impl Into<Arc<str>>, column: impl Into<Arc<str>>) -> Self {
         ColumnId {
             table: table.into(),
             column: column.into(),
         }
     }
+
+    /// Table name.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    /// Column name.
+    pub fn column(&self) -> &str {
+        &self.column
+    }
+}
+
+impl std::fmt::Display for ColumnId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.table, self.column)
+    }
+}
+
+/// Positions in `keys` (in order) whose value satisfies `matches` — the
+/// index-free scan shared by the manager's lagging-snapshot fallback and the
+/// executor's edge-case fallbacks.
+pub(crate) fn scan_positions(
+    keys: &[Key],
+    matches: impl Fn(Key) -> bool,
+) -> aidx_columnstore::position::PositionList {
+    let mut positions = aidx_columnstore::position::PositionList::new();
+    for (i, &v) in keys.iter().enumerate() {
+        if matches(v) {
+            positions.push(i as aidx_columnstore::types::RowId);
+        }
+    }
+    positions
 }
 
 /// Aggregated per-column bookkeeping the manager exposes.
@@ -44,7 +78,8 @@ pub struct IndexInfo {
     pub strategy: &'static str,
     /// Number of indexed tuples.
     pub tuples: usize,
-    /// Number of queries routed through the index.
+    /// Queries answered by the current index build (resets when the index
+    /// is rebuilt from a newer snapshot or another table incarnation).
     pub queries: u64,
     /// Cumulative effort spent by the index.
     pub effort: u64,
@@ -56,6 +91,10 @@ pub struct IndexInfo {
 
 struct ManagedIndex {
     index: Box<dyn AdaptiveIndex + Send>,
+    kind: StrategyKind,
+    /// Epoch of the table incarnation the index was built from (0 for
+    /// standalone, catalog-free use).
+    epoch: u64,
     queries: u64,
 }
 
@@ -106,7 +145,8 @@ impl IndexManager {
     }
 
     /// Route a range query, creating the index with an explicit strategy if
-    /// the column is not indexed yet.
+    /// the column is not indexed yet (standalone, catalog-free entry point:
+    /// epoch 0).
     pub fn query_range_with(
         &self,
         column: &ColumnId,
@@ -115,33 +155,100 @@ impl IndexManager {
         high: Key,
         strategy: StrategyKind,
     ) -> QueryOutput {
+        self.query_range_snapshot(column, keys, 0, low, high, strategy)
+    }
+
+    /// Route a range query for a caller holding a point-in-time snapshot of
+    /// the base column: `keys` is the snapshot's dense key array and `epoch`
+    /// identifies the table incarnation it was taken from.
+    ///
+    /// Base columns are append-only within an epoch, so the tuple count is a
+    /// version number: an index holding `m` tuples (same epoch) indexes
+    /// exactly the first `m` rows. Three cases follow:
+    ///
+    /// * index and snapshot agree (same epoch, same count) — answer through
+    ///   the index, reorganizing it adaptively;
+    /// * the snapshot is *older* than the index (same epoch, fewer rows) —
+    ///   answer with a scan of the snapshot and leave the index alone, so a
+    ///   lagging reader never destroys structure learned from newer data;
+    /// * the index is stale (older epoch, or fewer rows than the snapshot) —
+    ///   rebuild it from the snapshot, then answer through it.
+    pub fn query_range_snapshot(
+        &self,
+        column: &ColumnId,
+        keys: &[Key],
+        epoch: u64,
+        low: Key,
+        high: Key,
+        strategy: StrategyKind,
+    ) -> QueryOutput {
+        // First touch registers a cheap empty placeholder so the O(n)-or-
+        // worse index construction never runs under the global registry
+        // lock; the version guard below then builds the real index under
+        // this column's own lock (the placeholder's zero length can never
+        // be "newer" than a snapshot, so the lagging branch ignores it).
         let entry = {
             let mut registry = self.indexes.lock();
             registry
                 .entry(column.clone())
                 .or_insert_with(|| {
                     Arc::new(Mutex::new(ManagedIndex {
-                        index: strategy.build(keys),
+                        index: strategy.build(&[]),
+                        kind: strategy,
+                        epoch,
                         queries: 0,
                     }))
                 })
                 .clone()
         };
         let mut managed = entry.lock();
+        if managed.epoch > epoch || (managed.epoch == epoch && keys.len() < managed.index.len()) {
+            // lagging reader — an older epoch (epochs are monotonic) or an
+            // older prefix of the same epoch: serve its snapshot with a scan
+            // and never downgrade the shared index
+            return QueryOutput {
+                positions: scan_positions(keys, |v| v >= low && v < high),
+            };
+        }
+        if managed.epoch != epoch || managed.index.len() != keys.len() {
+            let kind = managed.kind;
+            managed.index = kind.build(keys);
+            managed.epoch = epoch;
+            managed.queries = 0;
+        }
         managed.queries += 1;
         managed.index.query_range(low, high)
     }
 
-    /// Stage an insertion into a column's index, if that index supports
-    /// updates. Returns `false` when the column is not indexed or the
-    /// strategy cannot absorb inserts (callers then rebuild or re-route).
-    pub fn insert(&self, column: &ColumnId, key: Key) -> bool {
+    /// Stage the insertion of row `rowid` (holding `key`) into a column's
+    /// index, for a table incarnation identified by `epoch`.
+    ///
+    /// Returns `true` when the index now covers the row: either it absorbed
+    /// the insert (update-capable strategy, and the index was exactly at the
+    /// preceding version), or a concurrent rebuild already included it.
+    /// Returns `false` when the column is not indexed, the index belongs to
+    /// a different epoch, the strategy cannot absorb inserts, or rows are
+    /// missing in between — callers should then drop the index so it
+    /// rebuilds lazily from a complete snapshot.
+    pub fn insert_at(&self, column: &ColumnId, key: Key, rowid: u64, epoch: u64) -> bool {
         let entry = {
             let registry = self.indexes.lock();
             registry.get(column).cloned()
         };
         match entry {
-            Some(entry) => entry.lock().index.insert(key),
+            Some(entry) => {
+                let mut managed = entry.lock();
+                if managed.epoch != epoch {
+                    return false;
+                }
+                match (managed.index.len() as u64).cmp(&rowid) {
+                    // a rebuild from a newer snapshot already covers the row
+                    std::cmp::Ordering::Greater => true,
+                    std::cmp::Ordering::Equal => managed.index.insert(key),
+                    // rows missing between the index and this insert
+                    std::cmp::Ordering::Less => false,
+                }
+            }
             None => false,
         }
     }
@@ -154,6 +261,8 @@ impl IndexManager {
             column.clone(),
             Arc::new(Mutex::new(ManagedIndex {
                 index: strategy.build(keys),
+                kind: strategy,
+                epoch: 0,
                 queries: 0,
             })),
         );
@@ -162,6 +271,31 @@ impl IndexManager {
     /// Drop a column's index; returns `true` if one existed.
     pub fn drop_index(&self, column: &ColumnId) -> bool {
         self.indexes.lock().remove(column).is_some()
+    }
+
+    /// Drop a column's index only if it belongs to `epoch` or an older
+    /// incarnation. Writers use this when index maintenance fails: an index
+    /// registered for a *newer* incarnation of the table (the name was
+    /// dropped and re-created while the writer was in flight) is left
+    /// untouched, because it correctly covers data this writer never saw.
+    pub fn drop_index_if_stale(&self, column: &ColumnId, epoch: u64) -> bool {
+        let mut registry = self.indexes.lock();
+        if let Some(entry) = registry.get(column) {
+            if entry.lock().epoch <= epoch {
+                registry.remove(column);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Drop every index belonging to `table` (used when the table itself is
+    /// dropped); returns how many were removed.
+    pub fn drop_table_indexes(&self, table: &str) -> usize {
+        let mut registry = self.indexes.lock();
+        let before = registry.len();
+        registry.retain(|column, _| column.table() != table);
+        before - registry.len()
     }
 
     /// Bookkeeping for every indexed column, sorted by table/column name.
@@ -183,7 +317,7 @@ impl IndexManager {
             })
             .collect();
         infos.sort_by(|a, b| {
-            (&a.column.table, &a.column.column).cmp(&(&b.column.table, &b.column.column))
+            (a.column.table(), a.column.column()).cmp(&(b.column.table(), b.column.column()))
         });
         infos
     }
@@ -275,16 +409,130 @@ mod tests {
     }
 
     #[test]
+    fn column_ids_share_interned_names() {
+        let a = ColumnId::new("orders", "o_key");
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a.table(), "orders");
+        assert_eq!(a.column(), "o_key");
+        assert_eq!(a.to_string(), "orders.o_key");
+        // cloning bumps the refcount instead of copying the strings
+        let a_table: Arc<str> = a.table.clone();
+        assert!(Arc::ptr_eq(&a_table, &b.table));
+    }
+
+    #[test]
+    fn drop_table_indexes_removes_only_that_table() {
+        let manager = IndexManager::new(StrategyKind::Cracking);
+        let data = keys(100);
+        let _ = manager.query_range(&ColumnId::new("t", "a"), &data, 0, 10);
+        let _ = manager.query_range(&ColumnId::new("t", "b"), &data, 0, 10);
+        let _ = manager.query_range(&ColumnId::new("u", "a"), &data, 0, 10);
+        assert_eq!(manager.drop_table_indexes("t"), 2);
+        assert_eq!(manager.indexed_column_count(), 1);
+        assert!(manager.has_index(&ColumnId::new("u", "a")));
+        assert_eq!(manager.drop_table_indexes("t"), 0);
+    }
+
+    #[test]
+    fn stale_index_is_rebuilt_when_the_snapshot_grows() {
+        let manager = IndexManager::new(StrategyKind::Cracking);
+        let mut data = keys(1000);
+        let column = ColumnId::new("t", "a");
+        let out = manager.query_range(&column, &data, 0, 10);
+        assert_eq!(out.count(), 10);
+        // the base column grows; the plain cracking index cannot absorb it
+        data.push(5);
+        let out = manager.query_range(&column, &data, 0, 10);
+        assert_eq!(out.count(), 11, "rebuilt from the newer snapshot");
+        let info = manager.describe();
+        assert_eq!(info[0].tuples, 1001);
+        assert_eq!(info[0].strategy, "cracking", "rebuild keeps the kind");
+    }
+
+    #[test]
     fn insert_routes_to_updatable_indexes_only() {
         let manager = IndexManager::new(StrategyKind::UpdatableCracking);
         let data = keys(100);
         let column = ColumnId::new("t", "a");
-        assert!(!manager.insert(&column, 5), "no index yet");
+        assert!(!manager.insert_at(&column, 5, 100, 0), "no index yet");
         let _ = manager.query_range(&column, &data, 0, 10);
-        assert!(manager.insert(&column, 5));
+        assert!(manager.insert_at(&column, 5, 100, 0));
         let plain = IndexManager::new(StrategyKind::Cracking);
         let _ = plain.query_range(&column, &data, 0, 10);
-        assert!(!plain.insert(&column, 5));
+        assert!(!plain.insert_at(&column, 5, 100, 0));
+    }
+
+    #[test]
+    fn insert_at_guards_rowid_continuity_and_epoch() {
+        let manager = IndexManager::new(StrategyKind::UpdatableCracking);
+        let data = keys(100);
+        let column = ColumnId::new("t", "a");
+        let _ =
+            manager.query_range_snapshot(&column, &data, 7, 0, 10, StrategyKind::UpdatableCracking);
+        // wrong epoch: the index belongs to another table incarnation
+        assert!(!manager.insert_at(&column, 5, 100, 8));
+        // gap: rows 100..102 were never indexed
+        assert!(!manager.insert_at(&column, 5, 102, 7));
+        // exact continuation: absorbed
+        assert!(manager.insert_at(&column, 5, 100, 7));
+        assert_eq!(manager.describe()[0].tuples, 101);
+        // already covered by the index (e.g. a rebuild raced ahead): no-op ok
+        assert!(manager.insert_at(&column, 5, 50, 7));
+        assert_eq!(manager.describe()[0].tuples, 101);
+    }
+
+    #[test]
+    fn lagging_snapshots_are_served_by_scan_without_downgrading_the_index() {
+        let manager = IndexManager::new(StrategyKind::Cracking);
+        let mut data = keys(1000);
+        let column = ColumnId::new("t", "a");
+        let old_snapshot = data.clone();
+        data.push(5);
+        // a fresh reader builds the index from the newer 1001-row snapshot
+        let out = manager.query_range_snapshot(&column, &data, 3, 0, 10, StrategyKind::Cracking);
+        assert_eq!(out.count(), 11);
+        assert_eq!(manager.describe()[0].tuples, 1001);
+        // a lagging reader with the older snapshot gets a scan answer over
+        // its own data, and the shared index keeps its newer contents
+        let out =
+            manager.query_range_snapshot(&column, &old_snapshot, 3, 0, 10, StrategyKind::Cracking);
+        assert_eq!(out.count(), 10, "answered from the 1000-row snapshot");
+        assert_eq!(manager.describe()[0].tuples, 1001, "index not downgraded");
+        // a newer epoch forces a rebuild even at matching length
+        let out =
+            manager.query_range_snapshot(&column, &old_snapshot, 4, 0, 10, StrategyKind::Cracking);
+        assert_eq!(out.count(), 10);
+        assert_eq!(manager.describe()[0].tuples, 1000);
+        assert_eq!(
+            manager.describe()[0].queries,
+            1,
+            "counter resets on rebuild"
+        );
+        // a straggler from an older incarnation is served by scan; it must
+        // never rebuild the index backwards to its stale epoch
+        let out = manager.query_range_snapshot(&column, &data, 3, 0, 10, StrategyKind::Cracking);
+        assert_eq!(out.count(), 11, "answered from the epoch-3 snapshot");
+        assert_eq!(
+            manager.describe()[0].tuples,
+            1000,
+            "epoch-4 index not replaced by epoch-3 data"
+        );
+    }
+
+    #[test]
+    fn drop_index_if_stale_spares_newer_incarnations() {
+        let manager = IndexManager::new(StrategyKind::Cracking);
+        let data = keys(100);
+        let column = ColumnId::new("t", "a");
+        let _ = manager.query_range_snapshot(&column, &data, 5, 0, 10, StrategyKind::Cracking);
+        // a lagging writer (epoch 4) must not drop the epoch-5 index
+        assert!(!manager.drop_index_if_stale(&column, 4));
+        assert!(manager.has_index(&column));
+        // the owning (or a newer) epoch may drop it
+        assert!(manager.drop_index_if_stale(&column, 5));
+        assert!(!manager.has_index(&column));
+        assert!(!manager.drop_index_if_stale(&column, 5), "already gone");
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! Query results: a compact summary plus a streaming row iterator.
+//!
+//! The seed executor materialized every projected row into a
+//! `Vec<Vec<Value>>` before returning. [`QueryResult`] instead carries the
+//! qualifying [`PositionList`] and a point-in-time snapshot of the table
+//! (`Arc<Table>`); projected rows are reconstructed lazily, one at a time,
+//! by [`RowIter`] — late materialization all the way to the client, and the
+//! snapshot stays valid even while other sessions keep appending to the
+//! table.
+
+use aidx_columnstore::position::PositionList;
+use aidx_columnstore::table::Table;
+use aidx_columnstore::types::{RowId, Value};
+use std::sync::Arc;
+
+/// The result of executing a [`crate::Query`] through a [`crate::Session`].
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    table: Arc<Table>,
+    positions: PositionList,
+    /// Schema indexes of the projected columns, in projection order.
+    projected: Vec<usize>,
+    aggregate: Option<Value>,
+}
+
+impl QueryResult {
+    /// Assemble a result. Positions must refer to rows of `table`; the
+    /// constructor is crate-private so only the executor (which guarantees
+    /// that invariant) can build one.
+    pub(crate) fn new(
+        table: Arc<Table>,
+        positions: PositionList,
+        projected: Vec<usize>,
+        aggregate: Option<Value>,
+    ) -> Self {
+        debug_assert!(positions
+            .as_slice()
+            .last()
+            .is_none_or(|&p| (p as usize) < table.row_count()));
+        QueryResult {
+            table,
+            positions,
+            projected,
+            aggregate,
+        }
+    }
+
+    /// Number of qualifying rows.
+    pub fn row_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True when no row qualifies.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Positions of the qualifying rows in the base table.
+    pub fn positions(&self) -> &PositionList {
+        &self.positions
+    }
+
+    /// The aggregate value, when the query requested one. `None` either
+    /// means "no aggregate requested" or "aggregate over an empty set"
+    /// (`COUNT` of an empty set is `Some(Int64(0))`, never `None`).
+    pub fn aggregate(&self) -> Option<&Value> {
+        self.aggregate.as_ref()
+    }
+
+    /// Stream the projected rows. Each item is one row, with values in
+    /// projection order. Returns an empty iterator when the query projected
+    /// no columns.
+    pub fn rows(&self) -> RowIter<'_> {
+        RowIter {
+            table: &self.table,
+            positions: self.positions.as_slice(),
+            projected: &self.projected,
+            cursor: 0,
+        }
+    }
+
+    /// Materialize every projected row (convenience over [`Self::rows`]).
+    pub fn collect_rows(&self) -> Vec<Vec<Value>> {
+        self.rows().collect()
+    }
+
+    /// The table snapshot this result reads from.
+    pub fn snapshot(&self) -> &Arc<Table> {
+        &self.table
+    }
+}
+
+/// A streaming iterator over the projected rows of a [`QueryResult`].
+///
+/// Rows are reconstructed on demand from the result's table snapshot; no
+/// intermediate row buffer is built. The iterator is cheap to create and can
+/// be re-created from the result any number of times.
+#[derive(Debug, Clone)]
+pub struct RowIter<'a> {
+    table: &'a Table,
+    positions: &'a [RowId],
+    projected: &'a [usize],
+    cursor: usize,
+}
+
+impl Iterator for RowIter<'_> {
+    type Item = Vec<Value>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.projected.is_empty() {
+            return None;
+        }
+        let position = *self.positions.get(self.cursor)?;
+        self.cursor += 1;
+        let mut row = Vec::with_capacity(self.projected.len());
+        for &column_index in self.projected {
+            // Both indexes were validated when the result was assembled:
+            // `projected` against the schema, `positions` against the
+            // snapshot's row count.
+            let value = self
+                .table
+                .column_at(column_index)
+                .and_then(|c| c.value_at(position as usize).ok())
+                .expect("QueryResult invariant: projection and positions validated");
+            row.push(value);
+        }
+        Some(row)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.projected.is_empty() {
+            return (0, Some(0));
+        }
+        let remaining = self.positions.len().saturating_sub(self.cursor);
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for RowIter<'_> {}
+
+impl<'a> IntoIterator for &'a QueryResult {
+    type Item = Vec<Value>;
+    type IntoIter = RowIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aidx_columnstore::column::Column;
+
+    fn snapshot() -> Arc<Table> {
+        Arc::new(
+            Table::from_columns(vec![
+                ("k", Column::from_i64(vec![10, 20, 30, 40])),
+                ("label", Column::from_strs(&["a", "b", "c", "d"])),
+            ])
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn rows_stream_lazily_in_projection_order() {
+        let result = QueryResult::new(
+            snapshot(),
+            PositionList::from_vec(vec![1, 3]),
+            vec![1, 0], // label, k
+            None,
+        );
+        assert_eq!(result.row_count(), 2);
+        let mut iter = result.rows();
+        assert_eq!(iter.len(), 2);
+        assert_eq!(
+            iter.next(),
+            Some(vec![Value::Utf8("b".into()), Value::Int64(20)])
+        );
+        assert_eq!(iter.len(), 1);
+        assert_eq!(
+            iter.next(),
+            Some(vec![Value::Utf8("d".into()), Value::Int64(40)])
+        );
+        assert_eq!(iter.next(), None);
+        // re-creating the iterator replays the rows
+        assert_eq!(result.collect_rows().len(), 2);
+        assert_eq!((&result).into_iter().count(), 2);
+    }
+
+    #[test]
+    fn empty_projection_streams_nothing() {
+        let result = QueryResult::new(
+            snapshot(),
+            PositionList::from_vec(vec![0, 1, 2]),
+            Vec::new(),
+            None,
+        );
+        assert_eq!(result.row_count(), 3);
+        assert!(!result.is_empty());
+        assert_eq!(result.rows().count(), 0);
+        assert_eq!(result.rows().size_hint(), (0, Some(0)));
+    }
+
+    #[test]
+    fn aggregate_accessor() {
+        let result = QueryResult::new(
+            snapshot(),
+            PositionList::new(),
+            Vec::new(),
+            Some(Value::Int64(0)),
+        );
+        assert!(result.is_empty());
+        assert_eq!(result.aggregate(), Some(&Value::Int64(0)));
+        assert_eq!(result.snapshot().row_count(), 4);
+    }
+}

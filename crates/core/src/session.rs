@@ -1,0 +1,452 @@
+//! Sessions: cheap, thread-safe handles for running queries and inserts.
+//!
+//! A [`Session`] is the per-client face of a [`crate::Database`]. Cloning
+//! one (or opening more from the database) is a reference-count bump, and
+//! every clone can be used from its own thread: queries take a point-in-time
+//! snapshot of their table under a read lock, then do all real work —
+//! including the adaptive reorganization of the touched column, which the
+//! [`crate::IndexManager`] serializes per column — without holding any
+//! database-wide lock.
+
+use crate::db::DbInner;
+use crate::error::AidxResult;
+use crate::executor;
+use crate::executor::QueryPlan;
+use crate::manager::ColumnId;
+use crate::query::{Aggregation, Predicate, Query};
+use crate::result::QueryResult;
+use crate::strategy::StrategyKind;
+use aidx_columnstore::types::{Key, RowId, Value};
+use std::sync::Arc;
+
+/// A handle for executing queries and inserts against a
+/// [`crate::Database`].
+///
+/// ```
+/// use aidx_core::prelude::*;
+///
+/// let db = Database::new(StrategyKind::Cracking);
+/// db.create_table(
+///     "events",
+///     Table::from_columns(vec![
+///         ("ts", Column::from_i64((0..500).collect())),
+///         ("kind", Column::from_i64((0..500).map(|i| i % 4).collect())),
+///     ])?,
+/// )?;
+///
+/// let session = db.session();
+/// // conjunctive query: the planner drives through one column's adaptive
+/// // index and applies the rest as residual filters
+/// let result = session
+///     .query("events")
+///     .range("ts", 100, 300)
+///     .in_set("kind", [1, 3])
+///     .aggregate(Aggregation::Count, "ts")
+///     .execute()?;
+/// assert_eq!(result.aggregate(), Some(&Value::Int64(100)));
+///
+/// // sessions also append rows; update-capable indexes absorb them
+/// session.insert_row("events", &[Value::Int64(500), Value::Int64(1)])?;
+/// assert_eq!(db.row_count("events")?, 501);
+/// # Ok::<(), aidx_core::AidxError>(())
+/// ```
+#[derive(Clone)]
+pub struct Session {
+    inner: Arc<DbInner>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("tables", &self.inner.catalog.read().len())
+            .finish()
+    }
+}
+
+impl Session {
+    pub(crate) fn new(inner: Arc<DbInner>) -> Self {
+        Session { inner }
+    }
+
+    /// Start building a query against `table`; finish with
+    /// [`QueryBuilder::execute`].
+    pub fn query(&self, table: impl Into<Arc<str>>) -> QueryBuilder<'_> {
+        QueryBuilder {
+            session: self,
+            query: Query::table(table),
+        }
+    }
+
+    /// Execute a prepared [`Query`] with the database's default strategy.
+    pub fn execute(&self, query: &Query) -> AidxResult<QueryResult> {
+        self.execute_with(query, self.inner.manager.default_strategy())
+    }
+
+    /// Execute a prepared [`Query`], creating any missing index with an
+    /// explicit strategy (for tuner-driven setups).
+    pub fn execute_with(&self, query: &Query, strategy: StrategyKind) -> AidxResult<QueryResult> {
+        let snapshot = self.inner.catalog.read().table_snapshot(query.table_name());
+        let result = match snapshot {
+            Ok((snapshot, epoch)) => {
+                executor::execute_on_snapshot(snapshot, epoch, &self.inner.manager, query, strategy)
+            }
+            Err(e) => Err(e.into()),
+        };
+        // if the table is gone by now (dropped before the query, or while it
+        // ran), an in-flight query may have re-registered an index after
+        // `drop_table`'s cleanup; sweep again so indexes for nonexistent
+        // tables cannot pile up (the last straggler to finish converges)
+        if self
+            .inner
+            .catalog
+            .read()
+            .table_epoch(query.table_name())
+            .is_err()
+        {
+            self.inner.manager.drop_table_indexes(query.table_name());
+        }
+        result
+    }
+
+    /// Show how the planner would execute `query` (driver vs. residual
+    /// columns) without running it.
+    pub fn explain(&self, query: &Query) -> AidxResult<QueryPlan> {
+        let snapshot = self.inner.catalog.read().table_arc(query.table_name())?;
+        executor::plan_on_snapshot(&snapshot, &self.inner.manager, query)
+    }
+
+    /// Append a row to `table` (one value per column, in schema order) and
+    /// keep the adaptive indexes consistent: update-capable indexes absorb
+    /// the insert; others are dropped so they rebuild lazily on the next
+    /// query — correct answers at the cost of losing learned structure,
+    /// exactly the trade-off the updates paper motivates.
+    ///
+    /// The catalog write lock is held only for the append itself; index
+    /// maintenance runs afterwards under the per-column index locks, so one
+    /// slow reorganization never stalls sessions on other tables. The
+    /// manager's rowid/epoch continuity guard keeps racing inserts safe: an
+    /// index that cannot prove it covers every row up to this one is dropped
+    /// instead of updated.
+    pub fn insert_row(&self, table_name: &str, values: &[Value]) -> AidxResult<RowId> {
+        let (row_id, epoch, column_names) = {
+            let mut catalog = self.inner.catalog.write();
+            let epoch = catalog.table_epoch(table_name)?;
+            let table = catalog.table_mut(table_name)?;
+            let row_id = table.append_row(values)?;
+            let column_names: Vec<Arc<str>> = table
+                .schema()
+                .fields()
+                .iter()
+                .map(|f| Arc::from(f.name()))
+                .collect();
+            (row_id, epoch, column_names)
+        };
+        for (i, name) in column_names.into_iter().enumerate() {
+            let column_id = ColumnId::new(table_name, name);
+            if !self.inner.manager.has_index(&column_id) {
+                continue;
+            }
+            let covered = values[i]
+                .as_i64()
+                .map(|key| {
+                    self.inner
+                        .manager
+                        .insert_at(&column_id, key, row_id as u64, epoch)
+                })
+                .unwrap_or(false);
+            if !covered {
+                // only drop an index of this (or an older) incarnation; one
+                // registered for a newer re-created table stays untouched
+                self.inner.manager.drop_index_if_stale(&column_id, epoch);
+            }
+        }
+        Ok(row_id)
+    }
+
+    /// Number of rows in `table`.
+    pub fn row_count(&self, table: &str) -> AidxResult<usize> {
+        Ok(self.inner.catalog.read().table(table)?.row_count())
+    }
+}
+
+/// A [`Query`] under construction, bound to the [`Session`] that will run
+/// it. Mirrors the fluent [`Query`] API and adds [`QueryBuilder::execute`].
+#[derive(Debug, Clone)]
+pub struct QueryBuilder<'s> {
+    session: &'s Session,
+    query: Query,
+}
+
+impl QueryBuilder<'_> {
+    /// Add an arbitrary predicate to the conjunction.
+    pub fn filter(mut self, predicate: Predicate) -> Self {
+        self.query = self.query.filter(predicate);
+        self
+    }
+
+    /// Add a half-open range predicate `low <= column < high`.
+    pub fn range(mut self, column: impl Into<Arc<str>>, low: Key, high: Key) -> Self {
+        self.query = self.query.range(column, low, high);
+        self
+    }
+
+    /// Add an equality predicate `column == key`.
+    pub fn point(mut self, column: impl Into<Arc<str>>, key: Key) -> Self {
+        self.query = self.query.point(column, key);
+        self
+    }
+
+    /// Add a membership predicate `column IN keys`.
+    pub fn in_set(
+        mut self,
+        column: impl Into<Arc<str>>,
+        keys: impl IntoIterator<Item = Key>,
+    ) -> Self {
+        self.query = self.query.in_set(column, keys);
+        self
+    }
+
+    /// Project the named columns, in order.
+    pub fn project<I, S>(mut self, columns: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        self.query = self.query.project(columns);
+        self
+    }
+
+    /// Aggregate `column` over the qualifying rows.
+    pub fn aggregate(mut self, aggregation: Aggregation, column: impl Into<Arc<str>>) -> Self {
+        self.query = self.query.aggregate(aggregation, column);
+        self
+    }
+
+    /// The query built so far (for reuse across sessions).
+    pub fn build(self) -> Query {
+        self.query
+    }
+
+    /// Execute against the bound session.
+    pub fn execute(self) -> AidxResult<QueryResult> {
+        self.session.execute(&self.query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::Database;
+    use aidx_columnstore::column::Column;
+    use aidx_columnstore::table::Table;
+
+    fn sales_db(n: i64, strategy: StrategyKind) -> Database {
+        let keys: Vec<i64> = (0..n).map(|i| (i * 7919) % n).collect();
+        let amounts: Vec<i64> = keys.iter().map(|&k| k % 1000).collect();
+        let regions: Vec<i64> = keys.iter().map(|&k| k % 7).collect();
+        let labels: Vec<String> = keys.iter().map(|&k| format!("row-{k}")).collect();
+        let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+        let db = Database::new(strategy);
+        db.create_table(
+            "sales",
+            Table::from_columns(vec![
+                ("s_key", Column::from_i64(keys)),
+                ("s_amount", Column::from_i64(amounts)),
+                ("s_region", Column::from_i64(regions)),
+                ("s_label", Column::from_strs(&label_refs)),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn selection_with_projection_streams_rows() {
+        let db = sales_db(1000, StrategyKind::Cracking);
+        let session = db.session();
+        let result = session
+            .query("sales")
+            .range("s_key", 100, 110)
+            .project(["s_amount", "s_label"])
+            .execute()
+            .unwrap();
+        assert_eq!(result.row_count(), 10);
+        let mut streamed = 0;
+        for row in result.rows() {
+            assert!(row[0].as_i64().is_some());
+            assert!(row[1].as_str().unwrap().starts_with("row-"));
+            streamed += 1;
+        }
+        assert_eq!(streamed, 10);
+        assert_eq!(db.indexed_column_count(), 1);
+    }
+
+    #[test]
+    fn conjunctive_query_agrees_with_reference() {
+        let db = sales_db(2000, StrategyKind::Cracking);
+        let result = db
+            .session()
+            .query("sales")
+            .range("s_key", 100, 1500)
+            .range("s_amount", 0, 500)
+            .point("s_region", 3)
+            .execute()
+            .unwrap();
+        for row in db
+            .session()
+            .query("sales")
+            .range("s_key", 100, 1500)
+            .range("s_amount", 0, 500)
+            .point("s_region", 3)
+            .project(["s_key", "s_amount", "s_region"])
+            .execute()
+            .unwrap()
+            .rows()
+        {
+            assert!((100..1500).contains(&row[0].as_i64().unwrap()));
+            assert!((0..500).contains(&row[1].as_i64().unwrap()));
+            assert_eq!(row[2], Value::Int64(3));
+        }
+        assert!(result.row_count() > 0);
+    }
+
+    #[test]
+    fn prepared_queries_run_on_any_session() {
+        let db = sales_db(500, StrategyKind::Cracking);
+        let query = Query::table("sales").range("s_key", 10, 20);
+        let a = db.session().execute(&query).unwrap();
+        let b = db.session().execute(&query).unwrap();
+        assert_eq!(a.positions(), b.positions());
+        assert_eq!(a.row_count(), 10);
+    }
+
+    #[test]
+    fn execute_with_overrides_the_strategy() {
+        let db = sales_db(500, StrategyKind::Cracking);
+        let query = Query::table("sales").range("s_key", 0, 100);
+        let result = db
+            .session()
+            .execute_with(&query, StrategyKind::FullSort)
+            .unwrap();
+        assert_eq!(result.row_count(), 100);
+        assert_eq!(db.index_stats()[0].strategy, "full-sort");
+    }
+
+    #[test]
+    fn explain_reports_driver_and_residuals() {
+        let db = sales_db(500, StrategyKind::Cracking);
+        let session = db.session();
+        let query = Query::table("sales")
+            .range("s_key", 0, 400)
+            .point("s_region", 2);
+        let plan = session.explain(&query).unwrap();
+        assert_eq!(plan.driver_column.as_deref(), Some("s_region"));
+        assert_eq!(plan.residual_columns, vec!["s_key".to_owned()]);
+        assert_eq!(db.indexed_column_count(), 0, "explain builds nothing");
+    }
+
+    #[test]
+    fn inserts_update_or_drop_indexes_per_strategy() {
+        for strategy in [
+            StrategyKind::Cracking,
+            StrategyKind::UpdatableCracking,
+            StrategyKind::FullSort,
+        ] {
+            let db = sales_db(1000, strategy);
+            let session = db.session();
+            let before = session
+                .query("sales")
+                .range("s_key", 0, 1000)
+                .execute()
+                .unwrap()
+                .row_count();
+            assert_eq!(before, 1000, "{strategy:?}");
+            let row_id = session
+                .insert_row(
+                    "sales",
+                    &[
+                        Value::Int64(500),
+                        Value::Int64(1),
+                        Value::Int64(2),
+                        Value::Utf8("row-new".into()),
+                    ],
+                )
+                .unwrap();
+            assert_eq!(row_id, 1000);
+            let after = session
+                .query("sales")
+                .range("s_key", 0, 1000)
+                .execute()
+                .unwrap()
+                .row_count();
+            assert_eq!(after, 1001, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn insert_errors_are_typed() {
+        let db = sales_db(100, StrategyKind::Cracking);
+        let session = db.session();
+        assert!(session.insert_row("nope", &[]).is_err());
+        assert!(
+            session.insert_row("sales", &[Value::Int64(1)]).is_err(),
+            "arity mismatch"
+        );
+        assert_eq!(session.row_count("sales").unwrap(), 100);
+        assert!(format!("{session:?}").contains("Session"));
+    }
+
+    #[test]
+    fn queries_on_dropped_tables_sweep_straggler_indexes() {
+        let db = sales_db(100, StrategyKind::Cracking);
+        let session = db.session();
+        assert!(db.drop_table("sales"));
+        // simulate an in-flight query that re-registered an index after the
+        // drop's cleanup already ran
+        let column = ColumnId::new("sales", "s_key");
+        let _ = db.index_manager().query_range_snapshot(
+            &column,
+            &[1, 2, 3],
+            1,
+            0,
+            10,
+            StrategyKind::Cracking,
+        );
+        assert_eq!(db.indexed_column_count(), 1);
+        // the next query on the dropped table errors AND sweeps the leftover
+        assert!(session
+            .query("sales")
+            .range("s_key", 0, 10)
+            .execute()
+            .is_err());
+        assert_eq!(db.indexed_column_count(), 0, "no index for a dead table");
+    }
+
+    #[test]
+    fn snapshots_isolate_streaming_readers_from_writers() {
+        let db = sales_db(100, StrategyKind::Cracking);
+        let session = db.session();
+        let result = session
+            .query("sales")
+            .range("s_key", 0, 100)
+            .project(["s_key"])
+            .execute()
+            .unwrap();
+        // a concurrent writer appends while the reader is still streaming
+        session
+            .insert_row(
+                "sales",
+                &[
+                    Value::Int64(50),
+                    Value::Int64(1),
+                    Value::Int64(2),
+                    Value::Utf8("x".into()),
+                ],
+            )
+            .unwrap();
+        // the streamed result still sees exactly its snapshot
+        assert_eq!(result.rows().count(), 100);
+        assert_eq!(session.row_count("sales").unwrap(), 101);
+    }
+}

@@ -7,6 +7,33 @@
 //! then adapt incrementally; storage-constrained deployments should restrict
 //! themselves to partial structures. [`AutoTuner`] is a small, explainable
 //! version of that decision logic.
+//!
+//! Tuner decisions plug into the facade through
+//! [`crate::Session::execute_with`], which creates any missing index with
+//! the decided strategy instead of the database default:
+//!
+//! ```
+//! use aidx_core::prelude::*;
+//! use aidx_core::tuner::WorkloadProfile;
+//!
+//! let db = Database::new(StrategyKind::Cracking);
+//! db.create_table(
+//!     "t",
+//!     Table::from_columns(vec![("k", Column::from_i64((0..2000).rev().collect()))])?,
+//! )?;
+//!
+//! let tuner = AutoTuner::new(TuningPolicy::CostBased);
+//! let mut profile = WorkloadProfile::unpredictable(2000, 100_000);
+//! profile.predictability = 1.0; // this workload is fully known in advance
+//! let decision = tuner.decide(&profile);
+//! assert_eq!(decision.strategy, StrategyKind::FullSort);
+//!
+//! let query = Query::table("t").range("k", 100, 200);
+//! let result = db.session().execute_with(&query, decision.strategy)?;
+//! assert_eq!(result.row_count(), 100);
+//! assert_eq!(db.index_stats()[0].strategy, "full-sort");
+//! # Ok::<(), aidx_core::AidxError>(())
+//! ```
 
 use crate::strategy::StrategyKind;
 use aidx_baselines::cost::CostModel;

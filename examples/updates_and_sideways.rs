@@ -5,24 +5,27 @@
 //! cargo run --release --example updates_and_sideways
 //! ```
 //!
-//! Part 1 interleaves insertions and deletions with range queries and shows
-//! how the three merge policies of "Updating a Cracked Database" trade
-//! per-query latency against how quickly the pending areas drain.
+//! Part 1 interleaves insertions with range queries through the
+//! `Database`/`Session` facade — update-capable indexes absorb the inserts,
+//! others are dropped and lazily rebuilt — and then drills into the three
+//! merge policies of "Updating a Cracked Database" on the raw index, the
+//! knob below the facade's `StrategyKind::UpdatableCracking`.
 //!
 //! Part 2 runs the sideways-cracking scenario: `SELECT B, C WHERE low <= A <
-//! high` answered from cracker maps that keep the projection attributes
-//! aligned with the selection attribute, compared against the naive plan
-//! (crack A, then fetch B and C through late materialization).
+//! high`. The naive plan (crack A, then fetch B and C through late
+//! materialization) is exactly what the facade's projection path does, so it
+//! is expressed as a session query with a streaming result; the sideways
+//! cracker maps that keep the projection attributes aligned with the
+//! selection attribute are compared against it.
 
-use adaptive_indexing::columnstore::ops::project;
-use adaptive_indexing::columnstore::position::PositionList;
-use adaptive_indexing::cracking::selection::CrackedIndex;
+use adaptive_indexing::columnstore::{Column, Table, Value};
 use adaptive_indexing::cracking::sideways::MapSet;
 use adaptive_indexing::cracking::updates::{MergePolicy, UpdatableCrackedIndex};
 use adaptive_indexing::workloads::data::{
     generate_keys, generate_multi_column_table, DataDistribution,
 };
 use adaptive_indexing::workloads::query::{QueryWorkload, WorkloadKind};
+use adaptive_indexing::{Database, StrategyKind};
 use std::time::Instant;
 
 fn main() {
@@ -39,8 +42,56 @@ fn updates_part() {
     println!(
         "== part 1: adaptive updates ({n} rows, 500 queries, 10 inserts every 10 queries) ==\n"
     );
+
+    // -- through the facade: queries and inserts on the same session -------
+    for (label, strategy) in [
+        ("updatable cracking", StrategyKind::UpdatableCracking),
+        ("plain cracking", StrategyKind::Cracking),
+    ] {
+        let db = Database::builder().default_strategy(strategy).build();
+        db.create_table(
+            "stream",
+            Table::from_columns(vec![("k", Column::from_i64(keys.clone()))])
+                .expect("columns are equally long"),
+        )
+        .expect("fresh database");
+        let session = db.session();
+        let mut next_value = n as i64;
+        let start = Instant::now();
+        let mut checksum = 0u64;
+        for (i, q) in workload.iter().enumerate() {
+            if i % 10 == 0 {
+                for _ in 0..10 {
+                    session
+                        .insert_row("stream", &[Value::Int64(next_value % n as i64)])
+                        .expect("insert into the key column");
+                    next_value += 7;
+                }
+            }
+            let result = session
+                .query("stream")
+                .range("k", q.low, q.high)
+                .execute()
+                .expect("range query on an int64 column");
+            checksum += result.row_count() as u64;
+        }
+        std::hint::black_box(checksum);
+        // an update-capable index absorbs inserts and survives the whole
+        // run; a plain cracking index is dropped on every insert batch, so
+        // its queries-since-last-(re)build counter stays small
+        let since_rebuild = db.index_stats().first().map_or(0, |info| info.queries);
+        println!(
+            "facade / {:<20} total {:>10}  rows at end {:>9}  queries since last index rebuild {}",
+            label,
+            format!("{:.2?}", start.elapsed()),
+            session.row_count("stream").expect("table exists"),
+            since_rebuild
+        );
+    }
+
+    // -- below the facade: the merge-policy knob ---------------------------
     println!(
-        "{:<20} {:>12} {:>16} {:>18} {:>14}",
+        "\n{:<20} {:>12} {:>16} {:>18} {:>14}",
         "merge policy", "total time", "pending at end", "merged during run", "pieces"
     );
     for (label, policy) in [
@@ -83,29 +134,32 @@ fn updates_part() {
 fn sideways_part() {
     let n = 1_000_000;
     let table = generate_multi_column_table(n, 4, 9);
-    let a = table
-        .column("a")
-        .unwrap()
-        .as_i64()
-        .unwrap()
-        .as_slice()
-        .to_vec();
     let workload =
         QueryWorkload::generate(WorkloadKind::UniformRandom, 300, 0, n as i64, 0.005, 31);
 
     println!("== part 2: sideways cracking ({n} rows, project two tail columns) ==\n");
 
-    // naive plan: crack the selection column, then late-materialize the tails
-    let b0 = table.column("b0").unwrap();
-    let b1 = table.column("b1").unwrap();
-    let mut plain: CrackedIndex = CrackedIndex::from_keys(&a);
+    // naive plan through the facade: crack the selection column, then
+    // late-materialize the tails through the streaming result iterator
+    let db = Database::builder()
+        .default_strategy(StrategyKind::Cracking)
+        .build();
+    db.create_table("wide", table.clone())
+        .expect("fresh database");
+    let session = db.session();
     let start = Instant::now();
     let mut checksum_naive = 0i64;
     for q in workload.iter() {
-        let positions: PositionList = plain.query_range(q.low, q.high).positions();
-        let tail0 = project::fetch_i64(b0, &positions);
-        let tail1 = project::fetch_i64(b1, &positions);
-        checksum_naive += tail0.iter().sum::<i64>() + tail1.iter().sum::<i64>();
+        let result = session
+            .query("wide")
+            .range("a", q.low, q.high)
+            .project(["b0", "b1"])
+            .execute()
+            .expect("projection query");
+        for row in result.rows() {
+            checksum_naive +=
+                row[0].as_i64().expect("b0 is int64") + row[1].as_i64().expect("b1 is int64");
+        }
     }
     let naive_time = start.elapsed();
 
@@ -122,12 +176,12 @@ fn sideways_part() {
 
     assert_eq!(checksum_naive, checksum_sideways);
     println!(
-        "{:<42} {:>12}",
-        "crack + late materialization (random access)",
+        "{:<46} {:>12}",
+        "facade: crack + late materialization (streamed)",
         format!("{naive_time:.2?}")
     );
     println!(
-        "{:<42} {:>12}",
+        "{:<46} {:>12}",
         "sideways cracking (aligned cracker maps)",
         format!("{sideways_time:.2?}")
     );

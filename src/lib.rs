@@ -1,6 +1,24 @@
 //! Umbrella crate re-exporting the adaptive indexing workspace.
 //!
-//! See the individual crates for the actual implementation:
+//! The recommended entry point is the [`Database`]/[`Session`] facade:
+//!
+//! ```
+//! use adaptive_indexing::{Database, StrategyKind};
+//! use adaptive_indexing::columnstore::{Column, Table};
+//!
+//! let db = Database::builder()
+//!     .default_strategy(StrategyKind::Cracking)
+//!     .build();
+//! db.create_table(
+//!     "t",
+//!     Table::from_columns(vec![("k", Column::from_i64((0..1000).rev().collect()))])?,
+//! )?;
+//! let hits = db.session().query("t").range("k", 250, 500).execute()?;
+//! assert_eq!(hits.row_count(), 250);
+//! # Ok::<(), adaptive_indexing::AidxError>(())
+//! ```
+//!
+//! See the individual crates for the implementation layers:
 //! `aidx-columnstore`, `aidx-cracking`, `aidx-merging`, `aidx-hybrids`,
 //! `aidx-baselines`, `aidx-workloads`, `aidx-core`.
 
@@ -11,3 +29,8 @@ pub use aidx_cracking as cracking;
 pub use aidx_hybrids as hybrids;
 pub use aidx_merging as merging;
 pub use aidx_workloads as workloads;
+
+pub use aidx_core::{
+    Aggregation, AidxError, AidxResult, Database, DatabaseBuilder, Predicate, Query, QueryBuilder,
+    QueryPlan, QueryResult, RowIter, Session, StrategyKind,
+};

@@ -1,0 +1,178 @@
+//! Concurrency agreement test for the `Database`/`Session` facade.
+//!
+//! N threads share one `Database` and fire seeded pseudo-random conjunctive
+//! queries through their own cloned `Session`s, racing each other on the
+//! same columns — which means they race on the *reorganization* of the
+//! adaptive indexes, the scenario the concurrency-control papers for
+//! adaptive indexing are about. Every result must agree exactly (same
+//! position set) with a single-threaded scan reference over the raw data.
+
+use adaptive_indexing::core::prelude::*;
+use adaptive_indexing::workloads::data::{generate_keys, DataDistribution};
+use adaptive_indexing::Database;
+use std::sync::Arc;
+use std::thread;
+
+const ROWS: usize = 40_000;
+const THREADS: usize = 8;
+const QUERIES_PER_THREAD: usize = 60;
+
+struct RawColumns {
+    k: Vec<i64>,
+    v: Vec<i64>,
+    r: Vec<i64>,
+}
+
+fn build(strategy: StrategyKind) -> (Database, Arc<RawColumns>) {
+    let k = generate_keys(ROWS, DataDistribution::UniformPermutation, 1234);
+    let v: Vec<i64> = k.iter().map(|&key| key % 1000).collect();
+    let r: Vec<i64> = k.iter().map(|&key| key % 16).collect();
+    let db = Database::builder().default_strategy(strategy).build();
+    db.create_table(
+        "events",
+        Table::from_columns(vec![
+            ("k", Column::from_i64(k.clone())),
+            ("v", Column::from_i64(v.clone())),
+            ("r", Column::from_i64(r.clone())),
+        ])
+        .unwrap(),
+    )
+    .unwrap();
+    (db, Arc::new(RawColumns { k, v, r }))
+}
+
+/// Deterministic per-thread query sequence: a mix of single-range, range +
+/// point, and range + in-set conjunctions.
+fn query_for(thread: usize, step: usize) -> Query {
+    // simple splitmix-style mixing, fully deterministic
+    let mut x = (thread as u64)
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(step as u64)
+        .wrapping_mul(0xBF58476D1CE4E5B9);
+    x ^= x >> 31;
+    let low = (x % (ROWS as u64 - 2000)) as i64;
+    let width = 200 + (x >> 16) % 1800;
+    let high = low + width as i64;
+    match step % 3 {
+        0 => Query::table("events").range("k", low, high),
+        1 => Query::table("events")
+            .range("k", low, high)
+            .point("r", (x % 16) as i64),
+        _ => Query::table("events")
+            .range("k", low, high)
+            .in_set("v", [(x % 1000) as i64, ((x >> 8) % 1000) as i64, 500]),
+    }
+}
+
+/// Single-threaded scan reference for the same query shapes.
+fn reference(raw: &RawColumns, thread: usize, step: usize) -> Vec<u32> {
+    let query = query_for(thread, step);
+    (0..raw.k.len())
+        .filter(|&i| {
+            query.predicates().iter().all(|p| {
+                let value = match p.column() {
+                    "k" => raw.k[i],
+                    "v" => raw.v[i],
+                    "r" => raw.r[i],
+                    other => unreachable!("unexpected column {other}"),
+                };
+                p.matches(value)
+            })
+        })
+        .map(|i| i as u32)
+        .collect()
+}
+
+fn run_agreement(strategy: StrategyKind) {
+    let (db, raw) = build(strategy);
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let session = db.session();
+        let raw = Arc::clone(&raw);
+        handles.push(thread::spawn(move || {
+            for step in 0..QUERIES_PER_THREAD {
+                let query = query_for(t, step);
+                let result = session.execute(&query).expect("query must succeed");
+                let expected = reference(&raw, t, step);
+                assert_eq!(
+                    result.positions().as_slice(),
+                    expected.as_slice(),
+                    "thread {t} step {step} disagrees with the scan reference"
+                );
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().expect("worker thread panicked");
+    }
+    // every thread hammered the same few columns; the registry must hold at
+    // most one index per column
+    assert!(db.indexed_column_count() <= 3, "{strategy:?}");
+}
+
+#[test]
+fn concurrent_sessions_agree_with_scan_reference_under_cracking() {
+    run_agreement(StrategyKind::Cracking);
+}
+
+#[test]
+fn concurrent_sessions_agree_with_scan_reference_under_adaptive_merging() {
+    run_agreement(StrategyKind::AdaptiveMerging { run_size: 1 << 12 });
+}
+
+#[test]
+fn concurrent_sessions_agree_with_scan_reference_under_full_sort() {
+    run_agreement(StrategyKind::FullSort);
+}
+
+#[test]
+fn concurrent_readers_and_writer_stay_consistent() {
+    let (db, _raw) = build(StrategyKind::UpdatableCracking);
+    let writer = db.session();
+    let mut handles = Vec::new();
+    // readers: count rows in a fixed range; the count must never decrease
+    // across a reader's own sequence of snapshots
+    for _ in 0..4 {
+        let session = db.session();
+        handles.push(thread::spawn(move || {
+            let mut last = 0usize;
+            for _ in 0..50 {
+                let result = session
+                    .query("events")
+                    .range("k", 0, ROWS as i64 * 2)
+                    .execute()
+                    .expect("read must succeed");
+                assert!(
+                    result.row_count() >= last,
+                    "snapshots must move forward in time"
+                );
+                last = result.row_count();
+            }
+            last
+        }));
+    }
+    // writer: append rows with in-range keys while the readers stream
+    for i in 0..200 {
+        writer
+            .insert_row(
+                "events",
+                &[
+                    Value::Int64(ROWS as i64 + i),
+                    Value::Int64(i % 1000),
+                    Value::Int64(i % 16),
+                ],
+            )
+            .expect("insert must succeed");
+    }
+    for handle in handles {
+        assert!(handle.join().expect("reader panicked") >= ROWS);
+    }
+    let final_count = db
+        .session()
+        .query("events")
+        .range("k", 0, ROWS as i64 * 2)
+        .execute()
+        .unwrap()
+        .row_count();
+    assert_eq!(final_count, ROWS + 200);
+}

@@ -1,107 +1,158 @@
-//! End-to-end tests through the adaptive kernel: catalog, executor, index
-//! manager and auto-tuner working together the way the tutorial's
-//! "auto-tuning kernels" section describes.
+//! End-to-end tests through the adaptive kernel facade: database, sessions,
+//! query planner, index manager and auto-tuner working together the way the
+//! tutorial's "auto-tuning kernels" section describes.
 
-use adaptive_indexing::columnstore::prelude::*;
+use adaptive_indexing::core::manager::ColumnId;
 use adaptive_indexing::core::prelude::*;
 use adaptive_indexing::core::tuner::WorkloadProfile;
 use adaptive_indexing::workloads::data::{generate_keys, DataDistribution};
+use adaptive_indexing::Database;
 
-fn build_catalog(rows: usize) -> Catalog {
+fn build_database(rows: usize, strategy: StrategyKind) -> Database {
     let keys = generate_keys(rows, DataDistribution::UniformPermutation, 11);
     let amounts: Vec<i64> = keys.iter().map(|&k| k % 1000).collect();
     let region: Vec<i64> = keys.iter().map(|&k| k % 7).collect();
-    let mut catalog = Catalog::new();
-    catalog
-        .create_table(
-            "sales",
-            Table::from_columns(vec![
-                ("s_key", Column::from_i64(keys)),
-                ("s_amount", Column::from_i64(amounts)),
-                ("s_region", Column::from_i64(region)),
-            ])
-            .unwrap(),
-        )
-        .unwrap();
+    let db = Database::builder().default_strategy(strategy).build();
+    db.create_table(
+        "sales",
+        Table::from_columns(vec![
+            ("s_key", Column::from_i64(keys)),
+            ("s_amount", Column::from_i64(amounts)),
+            ("s_region", Column::from_i64(region)),
+        ])
+        .unwrap(),
+    )
+    .unwrap();
     let lookup_keys: Vec<i64> = (0..100).collect();
     let names: Vec<String> = (0..100).map(|i| format!("region-{i}")).collect();
     let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
-    catalog
-        .create_table(
-            "regions",
-            Table::from_columns(vec![
-                ("r_key", Column::from_i64(lookup_keys)),
-                ("r_name", Column::from_strs(&name_refs)),
-            ])
-            .unwrap(),
-        )
-        .unwrap();
-    catalog
+    db.create_table(
+        "regions",
+        Table::from_columns(vec![
+            ("r_key", Column::from_i64(lookup_keys)),
+            ("r_name", Column::from_strs(&name_refs)),
+        ])
+        .unwrap(),
+    )
+    .unwrap();
+    db
 }
 
 #[test]
-fn executor_answers_projection_and_aggregate_queries_correctly() {
+fn sessions_answer_projection_and_aggregate_queries_correctly() {
     let rows = 50_000;
-    let mut executor = AdaptiveExecutor::new(build_catalog(rows), StrategyKind::Cracking);
+    let db = build_database(rows, StrategyKind::Cracking);
+    let session = db.session();
 
     // count over a range
-    let result = executor
-        .execute(
-            &SelectQuery::range("sales", "s_key", 1000, 2000)
-                .aggregate(Aggregation::Count, "s_key"),
-        )
+    let result = session
+        .query("sales")
+        .range("s_key", 1000, 2000)
+        .aggregate(Aggregation::Count, "s_key")
+        .execute()
         .unwrap();
-    assert_eq!(result.aggregate, Some(Value::Int64(1000)));
+    assert_eq!(result.aggregate(), Some(&Value::Int64(1000)));
 
-    // projection returns the right values (s_amount = s_key % 1000)
-    let result = executor
-        .execute(&SelectQuery::range("sales", "s_key", 5000, 5010).project(&["s_amount"]))
+    // streamed projection returns the right values (s_amount = s_key % 1000)
+    let result = session
+        .query("sales")
+        .range("s_key", 5000, 5010)
+        .project(["s_amount"])
+        .execute()
         .unwrap();
     assert_eq!(result.row_count(), 10);
-    for row in &result.rows {
+    let mut streamed = 0;
+    for row in result.rows() {
         let amount = row[0].as_i64().unwrap();
         assert!((0..1000).contains(&amount));
+        streamed += 1;
     }
+    assert_eq!(streamed, 10);
 
     // only the filter column was indexed
-    assert_eq!(executor.index_manager().indexed_column_count(), 1);
-    let info = executor.index_manager().describe();
-    assert_eq!(info[0].column.column, "s_key");
+    assert_eq!(db.indexed_column_count(), 1);
+    let info = db.index_stats();
+    assert_eq!(info[0].column.column(), "s_key");
     assert_eq!(info[0].strategy, "cracking");
     assert!(info[0].auxiliary_bytes > 0);
 }
 
 #[test]
-fn executor_handles_many_queries_on_multiple_columns_and_tables() {
+fn sessions_handle_many_queries_on_multiple_columns_and_tables() {
     let rows = 30_000;
-    let mut executor = AdaptiveExecutor::new(build_catalog(rows), StrategyKind::Cracking);
+    let db = build_database(rows, StrategyKind::Cracking);
+    let session = db.session();
     let mut total = 0usize;
     for q in 0..200 {
         let low = (q * 149) % 25_000;
-        let result = executor
-            .execute(&SelectQuery::range("sales", "s_key", low, low + 500))
+        let result = session
+            .query("sales")
+            .range("s_key", low, low + 500)
+            .execute()
             .unwrap();
         total += result.row_count();
         if q % 10 == 0 {
-            let by_region = executor
-                .execute(&SelectQuery::range("sales", "s_region", 2, 4))
+            let by_region = session
+                .query("sales")
+                .range("s_region", 2, 4)
+                .execute()
                 .unwrap();
             assert!(by_region.row_count() > 0);
         }
         if q % 25 == 0 {
-            let lookup = executor
-                .execute(&SelectQuery::range("regions", "r_key", 10, 20).project(&["r_name"]))
+            let lookup = session
+                .query("regions")
+                .range("r_key", 10, 20)
+                .project(["r_name"])
+                .execute()
                 .unwrap();
             assert_eq!(lookup.row_count(), 10);
         }
     }
     assert_eq!(total, 200 * 500);
-    assert_eq!(executor.index_manager().indexed_column_count(), 3);
+    assert_eq!(db.indexed_column_count(), 3);
     // the hot column did far more work than the occasionally queried ones
-    let info = executor.index_manager().describe();
-    let s_key = info.iter().find(|i| i.column.column == "s_key").unwrap();
-    let s_region = info.iter().find(|i| i.column.column == "s_region").unwrap();
+    let info = db.index_stats();
+    let s_key = info.iter().find(|i| i.column.column() == "s_key").unwrap();
+    let s_region = info
+        .iter()
+        .find(|i| i.column.column() == "s_region")
+        .unwrap();
     assert!(s_key.queries > s_region.queries);
+}
+
+#[test]
+fn conjunctive_queries_route_through_one_index_and_match_a_scan() {
+    let rows = 20_000;
+    let db = build_database(rows, StrategyKind::Cracking);
+    let session = db.session();
+
+    let query = Query::table("sales")
+        .range("s_key", 2000, 12_000)
+        .range("s_amount", 100, 600)
+        .in_set("s_region", [1, 4, 6]);
+
+    // the planner drives through the most selective predicate: the 3-key
+    // in-set beats the 500-wide and 10_000-wide ranges
+    let plan = session.explain(&query).unwrap();
+    assert_eq!(plan.driver_column.as_deref(), Some("s_region"));
+    assert_eq!(plan.residual_columns.len(), 2);
+
+    let result = session.execute(&query).unwrap();
+
+    // scan reference over the raw generated data
+    let keys = generate_keys(rows, DataDistribution::UniformPermutation, 11);
+    let expected: Vec<u32> = (0..rows)
+        .filter(|&i| {
+            let k = keys[i];
+            (2000..12_000).contains(&k)
+                && (100..600).contains(&(k % 1000))
+                && [1, 4, 6].contains(&(k % 7))
+        })
+        .map(|i| i as u32)
+        .collect();
+    assert_eq!(result.positions().as_slice(), expected.as_slice());
+    assert!(!result.is_empty());
 }
 
 #[test]
@@ -122,7 +173,7 @@ fn tuner_decisions_drive_the_manager() {
     };
     let decision = tuner.decide(&stable_profile);
     assert_eq!(decision.strategy, StrategyKind::FullSort);
-    let column = adaptive_indexing::core::manager::ColumnId::new("t", "stable");
+    let column = ColumnId::new("t", "stable");
     let out = manager.query_range_with(&column, &keys, 100, 1000, decision.strategy);
     assert_eq!(out.count(), 900);
     assert_eq!(manager.describe()[0].strategy, "full-sort");
@@ -131,7 +182,7 @@ fn tuner_decisions_drive_the_manager() {
     let adhoc_profile = WorkloadProfile::unpredictable(rows, 500);
     let decision = tuner.decide(&adhoc_profile);
     assert_eq!(decision.strategy, StrategyKind::Cracking);
-    let column = adaptive_indexing::core::manager::ColumnId::new("t", "adhoc");
+    let column = ColumnId::new("t", "adhoc");
     let out = manager.query_range_with(&column, &keys, 100, 1000, decision.strategy);
     assert_eq!(out.count(), 900);
 
@@ -140,28 +191,33 @@ fn tuner_decisions_drive_the_manager() {
 }
 
 #[test]
-fn inserts_flow_through_the_executor_with_every_strategy() {
+fn inserts_flow_through_sessions_with_every_strategy() {
     for strategy in [
         StrategyKind::Cracking,
         StrategyKind::UpdatableCracking,
         StrategyKind::FullSort,
     ] {
-        let mut executor = AdaptiveExecutor::new(build_catalog(5000), strategy);
-        let before = executor
-            .execute(&SelectQuery::range("sales", "s_key", 0, 5000))
+        let db = build_database(5000, strategy);
+        let session = db.session();
+        let before = session
+            .query("sales")
+            .range("s_key", 0, 5000)
+            .execute()
             .unwrap()
             .row_count();
         assert_eq!(before, 5000, "{strategy:?}");
         for i in 0..50 {
-            executor
+            session
                 .insert_row(
                     "sales",
                     &[Value::Int64(2500 + i), Value::Int64(i), Value::Int64(i % 7)],
                 )
                 .unwrap();
         }
-        let after = executor
-            .execute(&SelectQuery::range("sales", "s_key", 0, 5000))
+        let after = session
+            .query("sales")
+            .range("s_key", 0, 5000)
+            .execute()
             .unwrap()
             .row_count();
         assert_eq!(after, 5050, "{strategy:?}");
@@ -170,19 +226,58 @@ fn inserts_flow_through_the_executor_with_every_strategy() {
 
 #[test]
 fn unqueried_columns_never_get_indexes() {
-    let mut executor = AdaptiveExecutor::new(build_catalog(10_000), StrategyKind::Cracking);
+    let db = build_database(10_000, StrategyKind::Cracking);
+    let session = db.session();
     for q in 0..50 {
         let low = (q * 157) % 8000;
-        let _ = executor
-            .execute(&SelectQuery::range("sales", "s_key", low, low + 100))
+        let _ = session
+            .query("sales")
+            .range("s_key", low, low + 100)
+            .execute()
             .unwrap();
     }
-    let info = executor.index_manager().describe();
+    let info = db.index_stats();
     assert_eq!(info.len(), 1);
-    assert_eq!(info[0].column.column, "s_key");
-    assert!(!executor
+    assert_eq!(info[0].column.column(), "s_key");
+    assert!(!db
         .index_manager()
-        .has_index(&adaptive_indexing::core::manager::ColumnId::new(
-            "sales", "s_amount"
-        )));
+        .has_index(&ColumnId::new("sales", "s_amount")));
+}
+
+#[test]
+fn typed_errors_replace_panics_at_the_api_boundary() {
+    let db = build_database(100, StrategyKind::Cracking);
+    let session = db.session();
+    // unknown table / column
+    assert!(session
+        .query("nope")
+        .range("s_key", 0, 5)
+        .execute()
+        .is_err());
+    assert!(session
+        .query("sales")
+        .range("nope", 0, 5)
+        .execute()
+        .is_err());
+    // range predicate on a string column
+    let err = session
+        .query("regions")
+        .range("r_name", 0, 5)
+        .execute()
+        .unwrap_err();
+    assert!(matches!(err, AidxError::Store(_)));
+    // unknown projection
+    assert!(session
+        .query("sales")
+        .range("s_key", 0, 5)
+        .project(["nope"])
+        .execute()
+        .is_err());
+    // inverted range
+    let err = session
+        .query("sales")
+        .range("s_key", 10, 0)
+        .execute()
+        .unwrap_err();
+    assert!(matches!(err, AidxError::InvalidRange { .. }));
 }
