@@ -29,7 +29,7 @@ impl FullScanIndex {
     /// Wrap an `Int64` column.
     pub fn from_column(column: &Column) -> Self {
         match column.as_i64() {
-            Some(c) => Self::from_keys(c.as_slice()),
+            Some(c) => Self::from_keys(&c.to_contiguous()),
             None => Self::from_keys(&[]),
         }
     }

@@ -41,7 +41,7 @@ impl FullSortIndex {
     /// Build from an `Int64` column.
     pub fn from_column(column: &Column) -> Self {
         match column.as_i64() {
-            Some(c) => Self::from_keys(c.as_slice()),
+            Some(c) => Self::from_keys(&c.to_contiguous()),
             None => Self::from_keys(&[]),
         }
     }

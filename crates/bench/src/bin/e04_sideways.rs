@@ -25,13 +25,7 @@ fn main() {
         tail_count
     );
     let table = generate_multi_column_table(rows, tail_count, config.seed);
-    let head: Vec<i64> = table
-        .column("a")
-        .unwrap()
-        .as_i64()
-        .unwrap()
-        .as_slice()
-        .to_vec();
+    let head: Vec<i64> = table.column("a").unwrap().as_i64().unwrap().to_vec();
     let workload = QueryWorkload::generate(
         WorkloadKind::UniformRandom,
         queries,

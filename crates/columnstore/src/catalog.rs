@@ -2,8 +2,33 @@
 
 use crate::error::{ColumnStoreError, Result};
 use crate::table::Table;
+use crate::types::{RowId, Value};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// The version of one table incarnation: a structural *epoch* plus an
+/// append-only *sub-version*.
+///
+/// * `epoch` changes when the table is dropped and re-created under the same
+///   name, **or** when a caller takes structural mutable access via
+///   [`Catalog::table_mut`]. Derived state (adaptive indexes) keyed on an
+///   older epoch is stale and must be rebuilt.
+/// * `append_seq` counts pure tail-appends within the epoch. Appends extend
+///   the same table with new rows at new positions, so derived state remains
+///   a valid *prefix* — an index can absorb the new rows or rebuild
+///   incrementally, but it must never be treated as belonging to a different
+///   table.
+///
+/// Before this split, every mutation looked the same to the index layer and
+/// a pure append was indistinguishable from a potential drop/re-create.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TableVersion {
+    /// Structural incarnation number (fresh after drop + re-create and after
+    /// structural mutable access).
+    pub epoch: u64,
+    /// Number of append operations applied within this epoch.
+    pub append_seq: u64,
+}
 
 /// A catalog of named tables.
 ///
@@ -14,18 +39,18 @@ use std::sync::Arc;
 ///
 /// Tables are stored behind [`Arc`] so that a reader can take a cheap
 /// point-in-time snapshot ([`Catalog::table_arc`]) and keep streaming rows
-/// out of it while writers move the catalog forward: [`Catalog::table_mut`]
-/// is copy-on-write (it clones the table only when a snapshot is still
-/// alive), which is exactly the isolation level a streaming result iterator
-/// needs.
+/// out of it while writers move the catalog forward. Writes are
+/// copy-on-write, and because tables are backed by chunked segments, the
+/// copy made while a snapshot is alive shares every sealed chunk and clones
+/// only each column's mutable tail — `O(chunk)`, not `O(table)`.
 ///
-/// Every table registration is stamped with a catalog-unique *epoch*
-/// ([`Catalog::table_epoch`]). Appending rows keeps the epoch (contents are
-/// an append-only extension of the same table), while dropping and
-/// re-creating a table under the same name yields a fresh epoch — so a
-/// layer that caches derived state (like the kernel's adaptive indexes) can
-/// tell "the same table, newer rows" apart from "a different table that
-/// happens to share the name and size".
+/// Mutation comes in two flavors with different version semantics (see
+/// [`TableVersion`]):
+///
+/// * [`Catalog::append_row`] / [`Catalog::append_rows`] — append-only growth;
+///   keeps the epoch, bumps `append_seq`.
+/// * [`Catalog::table_mut`] — arbitrary structural access; stamps a fresh
+///   epoch because the catalog cannot prove the caller only appended.
 #[derive(Debug, Default, Clone)]
 pub struct Catalog {
     tables: BTreeMap<String, TableEntry>,
@@ -35,7 +60,7 @@ pub struct Catalog {
 #[derive(Debug, Clone)]
 struct TableEntry {
     table: Arc<Table>,
-    epoch: u64,
+    version: TableVersion,
 }
 
 impl Catalog {
@@ -58,7 +83,10 @@ impl Catalog {
             name,
             TableEntry {
                 table: Arc::new(table),
-                epoch: self.next_epoch,
+                version: TableVersion {
+                    epoch: self.next_epoch,
+                    append_seq: 0,
+                },
             },
         );
         Ok(())
@@ -72,6 +100,15 @@ impl Catalog {
     fn entry(&self, name: &str) -> Result<&TableEntry> {
         self.tables
             .get(name)
+            .ok_or_else(|| ColumnStoreError::NotFound {
+                kind: "table",
+                name: name.to_owned(),
+            })
+    }
+
+    fn entry_mut(&mut self, name: &str) -> Result<&mut TableEntry> {
+        self.tables
+            .get_mut(name)
             .ok_or_else(|| ColumnStoreError::NotFound {
                 kind: "table",
                 name: name.to_owned(),
@@ -92,25 +129,80 @@ impl Catalog {
     /// A snapshot plus the epoch of the table's current incarnation.
     pub fn table_snapshot(&self, name: &str) -> Result<(Arc<Table>, u64)> {
         let entry = self.entry(name)?;
-        Ok((Arc::clone(&entry.table), entry.epoch))
+        Ok((Arc::clone(&entry.table), entry.version.epoch))
     }
 
-    /// The epoch of the table's current incarnation (assigned at
-    /// registration; stable across appends, fresh after drop + re-create).
+    /// A snapshot plus the full [`TableVersion`] it was taken at.
+    pub fn table_snapshot_versioned(&self, name: &str) -> Result<(Arc<Table>, TableVersion)> {
+        let entry = self.entry(name)?;
+        Ok((Arc::clone(&entry.table), entry.version))
+    }
+
+    /// The epoch of the table's current incarnation (stable across appends,
+    /// fresh after drop + re-create or structural mutable access).
     pub fn table_epoch(&self, name: &str) -> Result<u64> {
-        Ok(self.entry(name)?.epoch)
+        Ok(self.entry(name)?.version.epoch)
     }
 
-    /// Mutably borrow a table (copy-on-write: clones the table if a snapshot
-    /// taken via [`Catalog::table_arc`] is still alive).
+    /// The table's current [`TableVersion`] (epoch + append sub-version).
+    pub fn table_version(&self, name: &str) -> Result<TableVersion> {
+        Ok(self.entry(name)?.version)
+    }
+
+    /// Append one row to `name` (copy-on-write: when a snapshot is alive the
+    /// write goes to a private copy that shares every sealed chunk and
+    /// clones only the segment tails). Keeps the epoch and bumps the
+    /// append sub-version; returns the new row id.
+    pub fn append_row(&mut self, name: &str, values: &[Value]) -> Result<RowId> {
+        let entry = self.entry_mut(name)?;
+        let row_id = Arc::make_mut(&mut entry.table).append_row(values)?;
+        entry.version.append_seq += 1;
+        Ok(row_id)
+    }
+
+    /// Append many rows to `name` atomically (one append sub-version bump
+    /// for the whole batch): every row is validated against the schema
+    /// before any row is applied, so a bad row in the middle leaves the
+    /// table and its version completely untouched.
+    pub fn append_rows(&mut self, name: &str, rows: &[Vec<Value>]) -> Result<()> {
+        let entry = self.entry_mut(name)?;
+        for row in rows {
+            entry.table.validate_row(row)?;
+        }
+        let table = Arc::make_mut(&mut entry.table);
+        for row in rows {
+            table
+                .append_row(row)
+                .expect("row validated against this schema above");
+        }
+        entry.version.append_seq += 1;
+        Ok(())
+    }
+
+    /// Mutably borrow a table for *structural* changes (copy-on-write:
+    /// clones shared state if a snapshot taken via [`Catalog::table_arc`] is
+    /// still alive).
+    ///
+    /// The catalog cannot see what the caller does with the borrow, so it
+    /// conservatively stamps a **fresh epoch**: layers caching derived state
+    /// treat the table exactly like a drop + re-create. Pure appends should
+    /// use [`Catalog::append_row`], which keeps the epoch and bumps only the
+    /// append sub-version.
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
-        self.tables
-            .get_mut(name)
-            .map(|entry| Arc::make_mut(&mut entry.table))
-            .ok_or_else(|| ColumnStoreError::NotFound {
+        if !self.tables.contains_key(name) {
+            return Err(ColumnStoreError::NotFound {
                 kind: "table",
                 name: name.to_owned(),
-            })
+            });
+        }
+        self.next_epoch += 1;
+        let epoch = self.next_epoch;
+        let entry = self.tables.get_mut(name).expect("checked above");
+        entry.version = TableVersion {
+            epoch,
+            append_seq: 0,
+        };
+        Ok(Arc::make_mut(&mut entry.table))
     }
 
     /// Names of all tables, sorted.
@@ -133,6 +225,7 @@ impl Catalog {
 mod tests {
     use super::*;
     use crate::column::Column;
+    use crate::types::Value;
 
     fn small_table() -> Table {
         Table::from_columns(vec![("a", Column::from_i64(vec![1, 2, 3]))]).unwrap()
@@ -161,14 +254,62 @@ mod tests {
     }
 
     #[test]
-    fn table_mut_allows_appends() {
+    fn append_row_grows_without_structural_epoch_change() {
         let mut c = Catalog::new();
         c.create_table("t", small_table()).unwrap();
+        let before = c.table_version("t").unwrap();
+        c.append_row("t", &[Value::Int64(4)]).unwrap();
+        assert_eq!(c.table("t").unwrap().row_count(), 4);
+        let after = c.table_version("t").unwrap();
+        assert_eq!(after.epoch, before.epoch, "appends keep the epoch");
+        assert_eq!(after.append_seq, before.append_seq + 1);
+        assert!(c.append_row("missing", &[Value::Int64(1)]).is_err());
+        // a failed append does not bump the sub-version
+        assert!(c.append_row("t", &[Value::Utf8("x".into())]).is_err());
+        assert_eq!(c.table_version("t").unwrap().append_seq, after.append_seq);
+    }
+
+    #[test]
+    fn append_rows_bumps_sub_version_once_per_batch() {
+        let mut c = Catalog::new();
+        c.create_table("t", small_table()).unwrap();
+        c.append_rows("t", &[vec![Value::Int64(4)], vec![Value::Int64(5)]])
+            .unwrap();
+        assert_eq!(c.table("t").unwrap().row_count(), 5);
+        assert_eq!(c.table_version("t").unwrap().append_seq, 1);
+        assert!(c.append_rows("missing", &[]).is_err());
+    }
+
+    #[test]
+    fn failed_batch_append_applies_nothing() {
+        let mut c = Catalog::new();
+        c.create_table("t", small_table()).unwrap();
+        let before = c.table_version("t").unwrap();
+        // valid row followed by a type-mismatched one: the whole batch must
+        // be rejected without the first row leaking in
+        let err = c
+            .append_rows("t", &[vec![Value::Int64(4)], vec![Value::Utf8("x".into())]])
+            .unwrap_err();
+        assert!(matches!(err, ColumnStoreError::TypeMismatch { .. }));
+        assert_eq!(c.table("t").unwrap().row_count(), 3, "nothing applied");
+        assert_eq!(c.table_version("t").unwrap(), before, "version untouched");
+    }
+
+    #[test]
+    fn table_mut_is_a_structural_change() {
+        let mut c = Catalog::new();
+        c.create_table("t", small_table()).unwrap();
+        c.append_row("t", &[Value::Int64(4)]).unwrap();
+        let before = c.table_version("t").unwrap();
+        assert_eq!(before.append_seq, 1);
         {
             let t = c.table_mut("t").unwrap();
-            t.append_row(&[crate::types::Value::Int64(4)]).unwrap();
+            t.append_row(&[Value::Int64(5)]).unwrap();
         }
-        assert_eq!(c.table("t").unwrap().row_count(), 4);
+        let after = c.table_version("t").unwrap();
+        assert!(after.epoch > before.epoch, "structural access = new epoch");
+        assert_eq!(after.append_seq, 0, "sub-version restarts with the epoch");
+        assert_eq!(c.table("t").unwrap().row_count(), 5);
         assert!(c.table_mut("missing").is_err());
     }
 
@@ -181,17 +322,20 @@ mod tests {
         assert_eq!(epoch, first);
         assert_eq!(snapshot.row_count(), 3);
         // appends keep the epoch: same table, newer rows
-        c.table_mut("t")
-            .unwrap()
-            .append_row(&[crate::types::Value::Int64(4)])
-            .unwrap();
+        c.append_row("t", &[Value::Int64(4)]).unwrap();
         assert_eq!(c.table_epoch("t").unwrap(), first);
+        let (snapshot, version) = c.table_snapshot_versioned("t").unwrap();
+        assert_eq!(snapshot.row_count(), 4);
+        assert_eq!(version.epoch, first);
+        assert_eq!(version.append_seq, 1);
         // drop + re-create under the same name is a new incarnation
         c.drop_table("t");
         c.create_table("t", small_table()).unwrap();
         assert_ne!(c.table_epoch("t").unwrap(), first);
         assert!(c.table_epoch("missing").is_err());
+        assert!(c.table_version("missing").is_err());
         assert!(c.table_snapshot("missing").is_err());
+        assert!(c.table_snapshot_versioned("missing").is_err());
     }
 
     #[test]
@@ -201,11 +345,35 @@ mod tests {
         let snapshot = c.table_arc("t").unwrap();
         assert!(c.table_arc("missing").is_err());
         // the write goes to a private copy because the snapshot is alive
-        c.table_mut("t")
-            .unwrap()
-            .append_row(&[crate::types::Value::Int64(4)])
-            .unwrap();
+        c.append_row("t", &[Value::Int64(4)]).unwrap();
         assert_eq!(snapshot.row_count(), 3, "snapshot is frozen in time");
         assert_eq!(c.table("t").unwrap().row_count(), 4);
+    }
+
+    #[test]
+    fn cow_appends_share_sealed_chunks_across_snapshots() {
+        let mut c = Catalog::new();
+        let table = Table::from_columns(vec![(
+            "a",
+            Column::from_i64((0..10).collect()).with_segment_capacity(4),
+        )])
+        .unwrap();
+        c.create_table("t", table).unwrap();
+        let before = c.table_arc("t").unwrap();
+        c.append_row("t", &[Value::Int64(10)]).unwrap();
+        let after = c.table_arc("t").unwrap();
+        assert!(!Arc::ptr_eq(&before, &after), "COW made a private copy");
+        let seg_before = before.column("a").unwrap().as_i64().unwrap();
+        let seg_after = after.column("a").unwrap().as_i64().unwrap();
+        assert_eq!(seg_before.sealed_chunk_count(), 2);
+        for (a, b) in seg_before
+            .sealed_chunks()
+            .iter()
+            .zip(seg_after.sealed_chunks())
+        {
+            assert!(Arc::ptr_eq(a, b), "sealed chunks are pointer-shared");
+        }
+        assert_eq!(seg_before.tail(), &[8, 9]);
+        assert_eq!(seg_after.tail(), &[8, 9, 10]);
     }
 }

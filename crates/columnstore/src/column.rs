@@ -1,22 +1,29 @@
-//! Dense fixed-width column storage.
+//! Typed column storage over chunked segments.
 //!
-//! A [`FixedColumn<T>`] is the physical representation the cracking papers
-//! assume: a contiguous, fixed-width, position-addressable array. [`Column`]
-//! wraps the supported types behind one enum so that tables can hold
-//! heterogeneous columns; strings are dictionary-encoded so that their dense
-//! array is also fixed width (a `u32` code per row).
+//! A [`Column`] wraps the supported types behind one enum so that tables can
+//! hold heterogeneous columns; strings are dictionary-encoded so that their
+//! dense representation is also fixed width (a `u32` code per row). Since the
+//! segment-storage rework, every column is physically a [`Segment`]: a run of
+//! immutable, `Arc`-shared sealed chunks plus one mutable tail chunk, each
+//! sealed chunk carrying zone-map statistics.
+//!
+//! [`FixedColumn<T>`] — the original flat representation the cracking papers
+//! assume — survives as a standalone dense-array helper: the adaptive index
+//! structures (cracker columns, sorted runs) still build and reorganize flat
+//! *copies* of the data, exactly as MonetDB does, so the base storage can be
+//! chunked without the index kernels noticing.
 
 use crate::error::{ColumnStoreError, Result};
 use crate::position::PositionList;
+use crate::segment::Segment;
 use crate::types::{DataType, RowId, Value};
 use std::collections::HashMap;
 
 /// A dense, fixed-width, append-only array of `T`.
 ///
-/// Row `i` of the owning table lives at index `i`. Cracking and the other
-/// adaptive indexes never reorganize the base column in place; they build and
-/// reorganize *copies* (cracker columns / runs), exactly as MonetDB does, so
-/// the base column stays position-stable.
+/// No longer the backing store of [`Column`] (segments are), but still the
+/// representation the adaptive indexes copy base data into before
+/// reorganizing it, and a convenient flat buffer for tests and kernels.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FixedColumn<T> {
     data: Vec<T>,
@@ -170,30 +177,38 @@ impl Dictionary {
     }
 }
 
-/// A typed column: the substrate's unit of storage.
+/// A typed column: the substrate's unit of storage, physically a chunked
+/// [`Segment`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum Column {
-    /// Dense `i64` array.
-    Int64(FixedColumn<i64>),
-    /// Dense `f64` array.
-    Float64(FixedColumn<f64>),
-    /// Dictionary-encoded strings: dense `u32` codes plus the dictionary.
+    /// Chunked `i64` segment.
+    Int64(Segment<i64>),
+    /// Chunked `f64` segment.
+    Float64(Segment<f64>),
+    /// Dictionary-encoded strings: chunked `u32` codes plus the dictionary.
     Utf8 {
         /// Per-row dictionary codes.
-        codes: FixedColumn<u32>,
+        codes: Segment<u32>,
         /// The dictionary shared by the column.
         dictionary: Dictionary,
     },
 }
 
 impl Column {
-    /// Create an empty column of the given type.
+    /// Create an empty column of the given type with the default segment
+    /// capacity.
     pub fn empty(data_type: DataType) -> Self {
+        Column::empty_with_capacity(data_type, crate::segment::DEFAULT_SEGMENT_CAPACITY)
+    }
+
+    /// Create an empty column of the given type, sealing chunks of
+    /// `capacity` rows.
+    pub fn empty_with_capacity(data_type: DataType, capacity: usize) -> Self {
         match data_type {
-            DataType::Int64 => Column::Int64(FixedColumn::new()),
-            DataType::Float64 => Column::Float64(FixedColumn::new()),
+            DataType::Int64 => Column::Int64(Segment::with_chunk_capacity(capacity)),
+            DataType::Float64 => Column::Float64(Segment::with_chunk_capacity(capacity)),
             DataType::Utf8 => Column::Utf8 {
-                codes: FixedColumn::new(),
+                codes: Segment::with_chunk_capacity(capacity),
                 dictionary: Dictionary::new(),
             },
         }
@@ -201,18 +216,18 @@ impl Column {
 
     /// Build an `Int64` column from a vector.
     pub fn from_i64(values: Vec<i64>) -> Self {
-        Column::Int64(FixedColumn::from_vec(values))
+        Column::Int64(Segment::from_vec(values))
     }
 
     /// Build a `Float64` column from a vector.
     pub fn from_f64(values: Vec<f64>) -> Self {
-        Column::Float64(FixedColumn::from_vec(values))
+        Column::Float64(Segment::from_vec(values))
     }
 
     /// Build a `Utf8` column from string slices.
     pub fn from_strs(values: &[&str]) -> Self {
         let mut dictionary = Dictionary::new();
-        let mut codes = FixedColumn::with_capacity(values.len());
+        let mut codes = Segment::new();
         for v in values {
             let code = dictionary.intern(v);
             codes.push(code);
@@ -241,6 +256,28 @@ impl Column {
     /// True when the column holds no rows.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Rows per sealed chunk of the backing segment.
+    pub fn segment_capacity(&self) -> usize {
+        match self {
+            Column::Int64(c) => c.chunk_capacity(),
+            Column::Float64(c) => c.chunk_capacity(),
+            Column::Utf8 { codes, .. } => codes.chunk_capacity(),
+        }
+    }
+
+    /// The same rows re-chunked to `capacity` rows per chunk (a cheap clone
+    /// sharing every sealed chunk when the capacity already matches).
+    pub fn with_segment_capacity(&self, capacity: usize) -> Column {
+        match self {
+            Column::Int64(c) => Column::Int64(c.rechunked(capacity)),
+            Column::Float64(c) => Column::Float64(c.rechunked(capacity)),
+            Column::Utf8 { codes, dictionary } => Column::Utf8 {
+                codes: codes.rechunked(capacity),
+                dictionary: dictionary.clone(),
+            },
+        }
     }
 
     /// Approximate in-memory footprint of the dense data in bytes
@@ -291,24 +328,24 @@ impl Column {
         })
     }
 
-    /// Borrow the dense `i64` array, if this is an `Int64` column.
-    pub fn as_i64(&self) -> Option<&FixedColumn<i64>> {
+    /// Borrow the `i64` segment, if this is an `Int64` column.
+    pub fn as_i64(&self) -> Option<&Segment<i64>> {
         match self {
             Column::Int64(c) => Some(c),
             _ => None,
         }
     }
 
-    /// Borrow the dense `f64` array, if this is a `Float64` column.
-    pub fn as_f64(&self) -> Option<&FixedColumn<f64>> {
+    /// Borrow the `f64` segment, if this is a `Float64` column.
+    pub fn as_f64(&self) -> Option<&Segment<f64>> {
         match self {
             Column::Float64(c) => Some(c),
             _ => None,
         }
     }
 
-    /// Borrow the dictionary codes, if this is a `Utf8` column.
-    pub fn as_utf8(&self) -> Option<(&FixedColumn<u32>, &Dictionary)> {
+    /// Borrow the dictionary-code segment, if this is a `Utf8` column.
+    pub fn as_utf8(&self) -> Option<(&Segment<u32>, &Dictionary)> {
         match self {
             Column::Utf8 { codes, dictionary } => Some((codes, dictionary)),
             _ => None,
@@ -317,11 +354,39 @@ impl Column {
 
     /// Materialize the values at the given positions as dynamic values.
     pub fn gather(&self, positions: &PositionList) -> Result<Vec<Value>> {
-        let mut out = Vec::with_capacity(positions.len());
-        for &p in positions.as_slice() {
-            out.push(self.value_at(p as usize)?);
+        let len = self.len();
+        if let Some(&last) = positions.as_slice().last() {
+            if last as usize >= len {
+                return Err(ColumnStoreError::PositionOutOfBounds {
+                    position: last as u64,
+                    len,
+                });
+            }
         }
-        Ok(out)
+        Ok(match self {
+            Column::Int64(c) => c
+                .gather_positions(positions.as_slice())
+                .into_iter()
+                .map(Value::Int64)
+                .collect(),
+            Column::Float64(c) => c
+                .gather_positions(positions.as_slice())
+                .into_iter()
+                .map(Value::Float64)
+                .collect(),
+            Column::Utf8 { codes, dictionary } => codes
+                .gather_positions(positions.as_slice())
+                .into_iter()
+                .map(|code| {
+                    Value::Utf8(
+                        dictionary
+                            .decode(code)
+                            .expect("dictionary code out of range")
+                            .to_owned(),
+                    )
+                })
+                .collect(),
+        })
     }
 }
 
@@ -401,6 +466,8 @@ mod tests {
         let c = Column::from_i64(vec![1, 2]);
         let err = c.value_at(5).unwrap_err();
         assert!(matches!(err, ColumnStoreError::PositionOutOfBounds { .. }));
+        let err = c.gather(&PositionList::from_vec(vec![0, 9])).unwrap_err();
+        assert!(matches!(err, ColumnStoreError::PositionOutOfBounds { .. }));
     }
 
     #[test]
@@ -412,6 +479,11 @@ mod tests {
         let (codes, dict) = c.as_utf8().unwrap();
         assert_eq!(codes.value(0), codes.value(2));
         assert_eq!(dict.len(), 2);
+        let gathered = c.gather(&PositionList::from_vec(vec![0, 2])).unwrap();
+        assert_eq!(
+            gathered,
+            vec![Value::Utf8("x".into()), Value::Utf8("x".into())]
+        );
     }
 
     #[test]
@@ -423,5 +495,22 @@ mod tests {
         assert_eq!(vals, vec![Value::Float64(0.5), Value::Float64(2.5)]);
         assert!(c.as_f64().is_some());
         assert!(c.as_utf8().is_none());
+    }
+
+    #[test]
+    fn columns_are_chunked_segments() {
+        let mut c = Column::empty_with_capacity(DataType::Int64, 4);
+        assert_eq!(c.segment_capacity(), 4);
+        for i in 0..10 {
+            c.push_value("a", &Value::Int64(i)).unwrap();
+        }
+        let seg = c.as_i64().unwrap();
+        assert_eq!(seg.sealed_chunk_count(), 2);
+        assert_eq!(seg.tail().len(), 2);
+        // re-chunking never changes logical contents
+        let wide = c.with_segment_capacity(64);
+        assert_eq!(wide.len(), 10);
+        assert_eq!(wide.as_i64().unwrap().sealed_chunk_count(), 0);
+        assert_eq!(wide.value_at(7).unwrap(), Value::Int64(7));
     }
 }

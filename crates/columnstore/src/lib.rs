@@ -4,10 +4,15 @@
 //! execution model, providing exactly the properties that the adaptive
 //! indexing literature (database cracking and friends) relies on:
 //!
-//! * **Dense, fixed-width arrays** as the physical representation of a column
-//!   ([`column::FixedColumn`], [`column::Column`]). A row is identified by its
-//!   position (a *row id* / *oid*), and positions are stable within a column
-//!   version.
+//! * **Chunked append-only segments** as the physical representation of a
+//!   column ([`segment::Segment`], [`column::Column`]): a run of immutable,
+//!   `Arc`-shared sealed chunks (each carrying [`segment::ZoneMap`]
+//!   min/max/count statistics) plus one mutable tail chunk. A row is
+//!   identified by its stable global position (a *row id* / *oid*);
+//!   `(chunk, offset)` is derived arithmetically because sealed chunks are
+//!   always exactly full. Copy-on-write appends share every sealed chunk and
+//!   clone only the tail, so writes under live snapshots cost `O(chunk)`,
+//!   not `O(table)`.
 //! * **Bulk, column-at-a-time operators** ([`ops`]): selections produce
 //!   position lists, projections fetch attribute values for position lists
 //!   (*late tuple reconstruction*), aggregations consume either whole columns
@@ -50,24 +55,28 @@ pub mod column;
 pub mod error;
 pub mod ops;
 pub mod position;
+pub mod segment;
 pub mod stats;
 pub mod table;
 pub mod types;
 
 /// Convenient re-exports of the most frequently used items.
 pub mod prelude {
-    pub use crate::catalog::Catalog;
+    pub use crate::catalog::{Catalog, TableVersion};
     pub use crate::column::{Column, FixedColumn};
     pub use crate::error::{ColumnStoreError, Result};
-    pub use crate::ops::select::Predicate;
+    pub use crate::ops::select::{Predicate, PruneStats};
     pub use crate::position::PositionList;
+    pub use crate::segment::{Segment, ZoneMap, DEFAULT_SEGMENT_CAPACITY};
     pub use crate::table::{Field, Schema, Table};
     pub use crate::types::{DataType, Key, RowId, Value};
 }
 
-pub use catalog::Catalog;
+pub use catalog::{Catalog, TableVersion};
 pub use column::{Column, FixedColumn};
 pub use error::{ColumnStoreError, Result};
+pub use ops::select::PruneStats;
 pub use position::PositionList;
+pub use segment::{Segment, ZoneMap, DEFAULT_SEGMENT_CAPACITY};
 pub use table::{Field, Schema, Table};
 pub use types::{DataType, Key, RowId, Value};

@@ -56,13 +56,13 @@ pub fn aggregate_keys(keys: &[Key]) -> Aggregate {
     agg
 }
 
-/// Aggregate the values of a key column at the given positions.
+/// Aggregate the values of a key column at the given positions
+/// (chunk-at-a-time gather over the backing segment).
 pub fn aggregate_at(column: &Column, positions: &PositionList) -> Aggregate {
     let mut agg = Aggregate::empty();
     if let Some(c) = column.as_i64() {
-        let data = c.as_slice();
-        for p in positions.iter() {
-            agg.accumulate(data[p as usize]);
+        for v in c.gather_positions(positions.as_slice()) {
+            agg.accumulate(v);
         }
     }
     agg
@@ -72,10 +72,11 @@ pub fn aggregate_at(column: &Column, positions: &PositionList) -> Aggregate {
 /// experiment harnesses: queries are `SELECT SUM(b) WHERE a BETWEEN ...`).
 pub fn sum_at(column: &Column, positions: &PositionList) -> i128 {
     match column.as_i64() {
-        Some(c) => {
-            let data = c.as_slice();
-            positions.iter().map(|p| data[p as usize] as i128).sum()
-        }
+        Some(c) => c
+            .gather_positions(positions.as_slice())
+            .into_iter()
+            .map(|v| v as i128)
+            .sum(),
         None => 0,
     }
 }

@@ -67,7 +67,7 @@ pub fn hash_join_keys(build: &[Key], probe: &[Key]) -> JoinResult {
 /// empty result.
 pub fn hash_join(left: &Column, right: &Column) -> JoinResult {
     match (left.as_i64(), right.as_i64()) {
-        (Some(l), Some(r)) => hash_join_keys(l.as_slice(), r.as_slice()),
+        (Some(l), Some(r)) => hash_join_keys(&l.to_contiguous(), &r.to_contiguous()),
         _ => JoinResult::default(),
     }
 }

@@ -9,16 +9,14 @@ use crate::error::Result;
 use crate::position::PositionList;
 use crate::types::{Key, Value};
 
-/// Fetch `i64` values at `positions` from a key column.
+/// Fetch `i64` values at `positions` from a key column (chunk-at-a-time:
+/// the backing chunk is resolved once per run of positions, not per row).
 ///
 /// Non-integer columns yield an empty vector (the caller is expected to have
 /// validated the column type; the kernel layer does).
 pub fn fetch_i64(column: &Column, positions: &PositionList) -> Vec<Key> {
     match column.as_i64() {
-        Some(c) => {
-            let data = c.as_slice();
-            positions.iter().map(|p| data[p as usize]).collect()
-        }
+        Some(c) => c.gather_positions(positions.as_slice()),
         None => Vec::new(),
     }
 }
@@ -26,10 +24,7 @@ pub fn fetch_i64(column: &Column, positions: &PositionList) -> Vec<Key> {
 /// Fetch `f64` values at `positions`.
 pub fn fetch_f64(column: &Column, positions: &PositionList) -> Vec<f64> {
     match column.as_f64() {
-        Some(c) => {
-            let data = c.as_slice();
-            positions.iter().map(|p| data[p as usize]).collect()
-        }
+        Some(c) => c.gather_positions(positions.as_slice()),
         None => Vec::new(),
     }
 }

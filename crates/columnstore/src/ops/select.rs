@@ -7,6 +7,7 @@
 
 use crate::column::{Column, FixedColumn};
 use crate::position::PositionList;
+use crate::segment::{Segment, ZoneMap};
 use crate::types::{Key, RowId};
 
 /// Block size used for the vectorized scan loop. One block of positions is
@@ -76,6 +77,42 @@ impl Predicate {
             Predicate::Equals { value } => (value, value.saturating_add(1)),
         }
     }
+
+    /// Whether a chunk with the given zone map *may* contain a qualifying
+    /// value. `false` is a proof of absence (the chunk can be pruned);
+    /// `true` only means the chunk must be scanned.
+    #[inline]
+    pub fn zone_may_match(&self, zone: &ZoneMap<Key>) -> bool {
+        match *self {
+            Predicate::Range { low, high } => zone.may_contain_range(low, high),
+            Predicate::LessThan { high } => zone.min().is_some_and(|min| min < high),
+            Predicate::GreaterEqual { low } => zone.max().is_some_and(|max| max >= low),
+            Predicate::Equals { value } => zone.may_contain(value),
+        }
+    }
+}
+
+/// How much a chunk-at-a-time scan actually touched: chunks whose zone map
+/// proved them irrelevant are *pruned* without reading a single value.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Chunks whose values were scanned.
+    pub chunks_scanned: usize,
+    /// Chunks skipped entirely thanks to their zone map.
+    pub chunks_pruned: usize,
+}
+
+impl PruneStats {
+    /// Fold another scan's statistics into this one.
+    pub fn merge(&mut self, other: PruneStats) {
+        self.chunks_scanned += other.chunks_scanned;
+        self.chunks_pruned += other.chunks_pruned;
+    }
+
+    /// Total chunks considered (scanned + pruned).
+    pub fn chunks_total(&self) -> usize {
+        self.chunks_scanned + self.chunks_pruned
+    }
 }
 
 /// Scan a dense key slice and return the positions of qualifying values.
@@ -100,14 +137,61 @@ pub fn scan_select_fixed(column: &FixedColumn<Key>, predicate: &Predicate) -> Po
     scan_select_keys(column.as_slice(), predicate)
 }
 
-/// Scan a typed [`Column`] with a range predicate.
+/// The shared chunk-at-a-time scan kernel: chunks failing `zone_may_match`
+/// are skipped without touching their values; positions of values passing
+/// `matches` are emitted in order.
+///
+/// The two predicate vocabularies of the workspace (this module's
+/// [`Predicate`] and the kernel facade's conjunctive predicates) both scan
+/// through this one loop, so pruning accounting and position emission can
+/// never diverge between them.
+pub fn scan_segment_where(
+    segment: &Segment<Key>,
+    zone_may_match: impl Fn(&crate::segment::ZoneMap<Key>) -> bool,
+    matches: impl Fn(Key) -> bool,
+) -> (PositionList, PruneStats) {
+    let mut out: Vec<RowId> = Vec::new();
+    let mut stats = PruneStats::default();
+    for chunk in segment.chunks() {
+        if !zone_may_match(&chunk.zone) {
+            stats.chunks_pruned += 1;
+            continue;
+        }
+        stats.chunks_scanned += 1;
+        for (i, &v) in chunk.values.iter().enumerate() {
+            if matches(v) {
+                out.push(chunk.base + i as RowId);
+            }
+        }
+    }
+    (PositionList::from_sorted_vec(out), stats)
+}
+
+/// Scan a chunked key [`Segment`] with a range predicate, chunk-at-a-time:
+/// chunks whose zone map cannot satisfy the predicate are skipped without
+/// touching their values. Returns the qualifying positions plus pruning
+/// statistics.
+pub fn scan_select_segment(
+    segment: &Segment<Key>,
+    predicate: &Predicate,
+) -> (PositionList, PruneStats) {
+    scan_segment_where(
+        segment,
+        |zone| predicate.zone_may_match(zone),
+        |v| predicate.matches(v),
+    )
+}
+
+/// Scan a typed [`Column`] with a range predicate (chunk-at-a-time with
+/// zone-map pruning; see [`scan_select_segment`] for the variant that also
+/// reports pruning statistics).
 ///
 /// Non-integer columns return an empty position list: the adaptive indexing
 /// workloads only place range predicates on key columns, and the kernel layer
 /// validates column types before planning.
 pub fn scan_select_range(column: &Column, predicate: &Predicate) -> PositionList {
     match column.as_i64() {
-        Some(keys) => scan_select_keys(keys.as_slice(), predicate),
+        Some(keys) => scan_select_segment(keys, predicate).0,
         None => PositionList::new(),
     }
 }
@@ -186,6 +270,67 @@ mod tests {
             scan_count(&keys, &pred),
             scan_select_keys(&keys, &pred).len()
         );
+    }
+
+    #[test]
+    fn segment_scan_prunes_non_overlapping_chunks() {
+        // sorted data in chunks of 100: each chunk covers a disjoint range
+        let seg = Segment::from_vec_with_capacity((0..1000).collect(), 100);
+        let pred = Predicate::range(250, 340);
+        let (positions, stats) = scan_select_segment(&seg, &pred);
+        assert_eq!(positions.len(), 90);
+        assert_eq!(positions.as_slice()[0], 250);
+        assert_eq!(
+            stats.chunks_scanned, 2,
+            "only chunks [200,300) and [300,400)"
+        );
+        assert_eq!(stats.chunks_pruned, 8);
+        assert_eq!(stats.chunks_total(), 10);
+        // agreement with the flat scan
+        let flat = scan_select_keys(&seg.to_vec(), &pred);
+        assert_eq!(positions, flat);
+    }
+
+    #[test]
+    fn segment_scan_out_of_domain_prunes_everything() {
+        let seg = Segment::from_vec_with_capacity((0..100).collect(), 16);
+        let (positions, stats) = scan_select_segment(&seg, &Predicate::range(500, 600));
+        assert!(positions.is_empty());
+        assert_eq!(stats.chunks_scanned, 0);
+        assert_eq!(stats.chunks_pruned, 7, "6 sealed + tail");
+    }
+
+    #[test]
+    fn zone_may_match_all_predicate_shapes() {
+        let zone = ZoneMap::from_values(&[10, 20]);
+        assert!(Predicate::range(5, 11).zone_may_match(&zone));
+        assert!(!Predicate::range(21, 30).zone_may_match(&zone));
+        assert!(Predicate::LessThan { high: 11 }.zone_may_match(&zone));
+        assert!(!Predicate::LessThan { high: 10 }.zone_may_match(&zone));
+        assert!(Predicate::GreaterEqual { low: 20 }.zone_may_match(&zone));
+        assert!(!Predicate::GreaterEqual { low: 21 }.zone_may_match(&zone));
+        assert!(Predicate::equals(15).zone_may_match(&zone));
+        assert!(!Predicate::equals(9).zone_may_match(&zone));
+        // Equals at Key::MAX must not be mis-pruned by the half-open encoding
+        let extreme = ZoneMap::from_values(&[Key::MAX]);
+        assert!(Predicate::equals(Key::MAX).zone_may_match(&extreme));
+        let empty: ZoneMap<Key> = ZoneMap::empty();
+        assert!(!Predicate::range(Key::MIN, Key::MAX).zone_may_match(&empty));
+    }
+
+    #[test]
+    fn prune_stats_merge() {
+        let mut a = PruneStats {
+            chunks_scanned: 1,
+            chunks_pruned: 2,
+        };
+        a.merge(PruneStats {
+            chunks_scanned: 3,
+            chunks_pruned: 4,
+        });
+        assert_eq!(a.chunks_scanned, 4);
+        assert_eq!(a.chunks_pruned, 6);
+        assert_eq!(PruneStats::default().chunks_total(), 0);
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Sealed chunks: the immutable, shareable unit of segment storage.
+
+use super::zone::ZoneMap;
+use crate::types::RowId;
+
+/// An immutable, full chunk of a segmented column.
+///
+/// Once sealed, a chunk is never mutated again; segments share sealed chunks
+/// across snapshots behind `Arc`, so a copy-on-write append clones only the
+/// mutable tail, never the sealed prefix. The zone map is computed exactly
+/// once, at seal time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SealedChunk<T> {
+    values: Vec<T>,
+    zone: ZoneMap<T>,
+}
+
+impl<T: Copy + PartialOrd> SealedChunk<T> {
+    /// Seal a full chunk, computing its zone map.
+    pub fn seal(values: Vec<T>) -> Self {
+        let zone = ZoneMap::from_values(&values);
+        SealedChunk { values, zone }
+    }
+
+    /// Seal a chunk whose zone map was maintained incrementally while the
+    /// chunk was still the mutable tail.
+    ///
+    /// Debug builds verify the maintained row count against the values. The
+    /// min/max are deliberately *not* re-checked with `==` here: for float
+    /// chunks containing NaN, `Some(NaN) != Some(NaN)` under `PartialEq`,
+    /// and a NaN-poisoned float zone map is documented, harmless behavior
+    /// (pruning only ever consults integer key zones).
+    pub(crate) fn seal_with_zone(values: Vec<T>, zone: ZoneMap<T>) -> Self
+    where
+        T: PartialEq + std::fmt::Debug,
+    {
+        debug_assert_eq!(zone.row_count(), values.len());
+        SealedChunk { values, zone }
+    }
+
+    /// The chunk's dense values.
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Number of rows in the chunk.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the chunk holds no rows (never the case for chunks sealed
+    /// by a segment, which seals only full chunks).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The chunk's zone-map statistics.
+    #[inline]
+    pub fn zone(&self) -> &ZoneMap<T> {
+        &self.zone
+    }
+}
+
+/// A borrowed view of one chunk of a segment — sealed or tail — used by
+/// chunk-at-a-time operators.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkView<'a, T> {
+    /// Global position of the chunk's first row.
+    pub base: RowId,
+    /// The chunk's dense values.
+    pub values: &'a [T],
+    /// Zone-map statistics for exactly these values (for the tail, the
+    /// incrementally maintained statistics of the rows appended so far).
+    pub zone: ZoneMap<T>,
+    /// Whether this view is of an immutable sealed chunk (`false` for the
+    /// mutable tail).
+    pub sealed: bool,
+}
+
+impl<T> ChunkView<'_, T> {
+    /// Global position one past the chunk's last row.
+    #[inline]
+    pub fn end(&self) -> RowId {
+        self.base + self.values.len() as RowId
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seal_computes_zone() {
+        let chunk = SealedChunk::seal(vec![4i64, 1, 7]);
+        assert_eq!(chunk.len(), 3);
+        assert!(!chunk.is_empty());
+        assert_eq!(chunk.values(), &[4, 1, 7]);
+        assert_eq!(chunk.zone().min(), Some(1));
+        assert_eq!(chunk.zone().max(), Some(7));
+        assert_eq!(chunk.zone().row_count(), 3);
+    }
+
+    #[test]
+    fn chunk_view_end() {
+        let values = [1i64, 2, 3];
+        let view = ChunkView {
+            base: 10,
+            values: &values,
+            zone: ZoneMap::from_values(&values),
+            sealed: true,
+        };
+        assert_eq!(view.end(), 13);
+    }
+}

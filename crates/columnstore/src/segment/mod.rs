@@ -1,0 +1,476 @@
+//! Chunked append-only segment storage.
+//!
+//! A [`Segment<T>`] stores a column as a sequence of immutable *sealed
+//! chunks* plus one mutable *tail chunk*:
+//!
+//! * Sealed chunks hold exactly [`Segment::chunk_capacity`] rows, live behind
+//!   [`std::sync::Arc`], and carry a [`ZoneMap`] (min/max/count, null-free
+//!   flag) computed at seal time. They are never mutated again.
+//! * The tail accumulates appends. When it reaches the chunk capacity it is
+//!   sealed and a fresh tail begins. The tail's zone map is maintained
+//!   incrementally so chunk-at-a-time scans can prune it like any other
+//!   chunk.
+//!
+//! Cloning a segment — which is what the catalog's copy-on-write does when a
+//! writer appends while a snapshot is alive — bumps the reference count of
+//! every sealed chunk and deep-copies only the tail, so the cost of an append
+//! under a live snapshot is `O(chunk)` instead of `O(table)`. Sealed chunks
+//! are therefore pointer-shared across snapshots ([`Segment::sealed_chunks`]
+//! exposes them so tests can assert `Arc::ptr_eq`).
+//!
+//! Row identity is unchanged from the flat representation: a [`RowId`] is the
+//! stable global position of the row, and `(chunk, offset)` is derived as
+//! `(rowid / capacity, rowid % capacity)` because sealed chunks are always
+//! exactly full. Adaptive indexes built on top of a segment keep emitting
+//! global positions, so nothing above the storage layer has to re-learn row
+//! identity.
+
+mod chunk;
+mod zone;
+
+pub use chunk::{ChunkView, SealedChunk};
+pub use zone::ZoneMap;
+
+use crate::types::RowId;
+use std::borrow::Cow;
+use std::sync::Arc;
+
+/// Default number of rows per chunk.
+///
+/// 4096 eight-byte keys is 32 KiB per chunk: large enough that per-chunk
+/// bookkeeping vanishes in scan cost, small enough that the copy-on-write
+/// tail clone stays far below a whole-table copy.
+pub const DEFAULT_SEGMENT_CAPACITY: usize = 4096;
+
+/// A chunked, append-only column: `Arc`-shared sealed chunks plus one
+/// mutable tail chunk.
+#[derive(Debug, Clone)]
+pub struct Segment<T> {
+    capacity: usize,
+    sealed: Vec<Arc<SealedChunk<T>>>,
+    tail: Vec<T>,
+    tail_zone: ZoneMap<T>,
+}
+
+impl<T: Copy + PartialOrd + std::fmt::Debug> Default for Segment<T> {
+    fn default() -> Self {
+        Segment::new()
+    }
+}
+
+impl<T: Copy + PartialOrd + std::fmt::Debug> Segment<T> {
+    /// An empty segment with the default chunk capacity.
+    pub fn new() -> Self {
+        Segment::with_chunk_capacity(DEFAULT_SEGMENT_CAPACITY)
+    }
+
+    /// An empty segment sealing chunks of `capacity` rows.
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero (the facade validates user-supplied
+    /// capacities before they reach this layer).
+    pub fn with_chunk_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "segment chunk capacity must be at least 1");
+        Segment {
+            capacity,
+            sealed: Vec::new(),
+            tail: Vec::new(),
+            tail_zone: ZoneMap::empty(),
+        }
+    }
+
+    /// Build a segment from a vector with the default chunk capacity.
+    pub fn from_vec(values: Vec<T>) -> Self {
+        Segment::from_vec_with_capacity(values, DEFAULT_SEGMENT_CAPACITY)
+    }
+
+    /// Build a segment from a vector, sealing chunks of `capacity` rows.
+    pub fn from_vec_with_capacity(values: Vec<T>, capacity: usize) -> Self {
+        let mut segment = Segment::with_chunk_capacity(capacity);
+        segment.extend_from_slice(&values);
+        segment
+    }
+
+    /// Rows per sealed chunk.
+    pub fn chunk_capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total number of rows (sealed + tail).
+    pub fn len(&self) -> usize {
+        self.sealed.len() * self.capacity + self.tail.len()
+    }
+
+    /// True when the segment holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.sealed.is_empty() && self.tail.is_empty()
+    }
+
+    /// Number of sealed (immutable, `Arc`-shared) chunks.
+    pub fn sealed_chunk_count(&self) -> usize {
+        self.sealed.len()
+    }
+
+    /// The sealed chunks, for sharing checks (`Arc::ptr_eq`) and
+    /// chunk-granular consumers.
+    pub fn sealed_chunks(&self) -> &[Arc<SealedChunk<T>>] {
+        &self.sealed
+    }
+
+    /// The mutable tail's rows appended since the last seal.
+    pub fn tail(&self) -> &[T] {
+        &self.tail
+    }
+
+    /// Append one value, returning its stable global position.
+    pub fn push(&mut self, value: T) -> RowId {
+        let id = self.len() as RowId;
+        self.tail.push(value);
+        self.tail_zone.accumulate(value);
+        if self.tail.len() == self.capacity {
+            self.seal_tail();
+        }
+        id
+    }
+
+    /// Append many values.
+    pub fn extend_from_slice(&mut self, values: &[T]) {
+        for &v in values {
+            self.push(v);
+        }
+    }
+
+    fn seal_tail(&mut self) {
+        debug_assert_eq!(self.tail.len(), self.capacity);
+        let values = std::mem::take(&mut self.tail);
+        let zone = std::mem::take(&mut self.tail_zone);
+        self.sealed
+            .push(Arc::new(SealedChunk::seal_with_zone(values, zone)));
+    }
+
+    /// Value at `position`, if in bounds.
+    pub fn get(&self, position: usize) -> Option<T> {
+        let chunk = position / self.capacity;
+        if chunk < self.sealed.len() {
+            self.sealed[chunk]
+                .values()
+                .get(position % self.capacity)
+                .copied()
+        } else {
+            self.tail
+                .get(position - self.sealed.len() * self.capacity)
+                .copied()
+        }
+    }
+
+    /// Value at `position`; panics when out of bounds (hot-path accessor).
+    #[inline]
+    pub fn value(&self, position: usize) -> T {
+        let chunk = position / self.capacity;
+        if chunk < self.sealed.len() {
+            self.sealed[chunk].values()[position % self.capacity]
+        } else {
+            self.tail[position - self.sealed.len() * self.capacity]
+        }
+    }
+
+    /// Iterate over every chunk in position order: the sealed chunks first,
+    /// then (when non-empty) the tail. Each view carries the chunk's global
+    /// base position and zone map, so operators can prune and scan
+    /// chunk-at-a-time.
+    pub fn chunks(&self) -> impl Iterator<Item = ChunkView<'_, T>> + '_ {
+        let capacity = self.capacity;
+        let sealed_rows = self.sealed.len() * capacity;
+        let tail_view = if self.tail.is_empty() {
+            None
+        } else {
+            Some(ChunkView {
+                base: sealed_rows as RowId,
+                values: self.tail.as_slice(),
+                zone: self.tail_zone,
+                sealed: false,
+            })
+        };
+        self.sealed
+            .iter()
+            .enumerate()
+            .map(move |(i, chunk)| ChunkView {
+                base: (i * capacity) as RowId,
+                values: chunk.values(),
+                zone: *chunk.zone(),
+                sealed: true,
+            })
+            .chain(tail_view)
+    }
+
+    /// Iterate over all values in position order.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        self.chunks().flat_map(|c| c.values.iter().copied())
+    }
+
+    /// Materialize the segment into one contiguous vector.
+    pub fn to_vec(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len());
+        for chunk in self.chunks() {
+            out.extend_from_slice(chunk.values);
+        }
+        out
+    }
+
+    /// A contiguous view of the values: borrowed when the segment happens to
+    /// live in a single chunk (small tables, fresh tails), owned otherwise.
+    /// Index builders use this so single-chunk segments pay no copy.
+    pub fn to_contiguous(&self) -> Cow<'_, [T]> {
+        if self.sealed.is_empty() {
+            Cow::Borrowed(self.tail.as_slice())
+        } else if self.sealed.len() == 1 && self.tail.is_empty() {
+            Cow::Borrowed(self.sealed[0].values())
+        } else {
+            Cow::Owned(self.to_vec())
+        }
+    }
+
+    /// Gather the values at ascending `positions` (chunk-at-a-time: the
+    /// current chunk is resolved once per run of positions, not per row).
+    pub fn gather_positions(&self, positions: &[RowId]) -> Vec<T> {
+        let mut out = Vec::with_capacity(positions.len());
+        let mut current: Option<ChunkView<'_, T>> = None;
+        for &p in positions {
+            let needs_chunk = match &current {
+                Some(c) => p < c.base || p >= c.end(),
+                None => true,
+            };
+            if needs_chunk {
+                current = Some(self.chunk_containing(p));
+            }
+            let c = current.as_ref().expect("chunk resolved above");
+            out.push(c.values[(p - c.base) as usize]);
+        }
+        out
+    }
+
+    /// The chunk view containing global position `p` (panics out of bounds).
+    fn chunk_containing(&self, p: RowId) -> ChunkView<'_, T> {
+        let chunk = p as usize / self.capacity;
+        if chunk < self.sealed.len() {
+            ChunkView {
+                base: (chunk * self.capacity) as RowId,
+                values: self.sealed[chunk].values(),
+                zone: *self.sealed[chunk].zone(),
+                sealed: true,
+            }
+        } else {
+            ChunkView {
+                base: (self.sealed.len() * self.capacity) as RowId,
+                values: self.tail.as_slice(),
+                zone: self.tail_zone,
+                sealed: false,
+            }
+        }
+    }
+
+    /// Minimum value across all chunks, from zone maps alone.
+    pub fn min(&self) -> Option<T> {
+        self.chunks()
+            .filter_map(|c| c.zone.min())
+            .fold(None, |acc, v| match acc {
+                Some(m) if m < v => Some(m),
+                _ => Some(v),
+            })
+    }
+
+    /// Maximum value across all chunks, from zone maps alone.
+    pub fn max(&self) -> Option<T> {
+        self.chunks()
+            .filter_map(|c| c.zone.max())
+            .fold(None, |acc, v| match acc {
+                Some(m) if m > v => Some(m),
+                _ => Some(v),
+            })
+    }
+
+    /// The same rows re-chunked to `capacity` rows per chunk. Returns a
+    /// clone (sharing every sealed chunk) when the capacity already matches.
+    pub fn rechunked(&self, capacity: usize) -> Segment<T> {
+        if capacity == self.capacity {
+            return self.clone();
+        }
+        Segment::from_vec_with_capacity(self.to_vec(), capacity)
+    }
+}
+
+/// Segments compare by logical contents (length and values in position
+/// order), independent of chunk layout, so re-chunking never changes
+/// equality.
+impl<T: Copy + PartialOrd + std::fmt::Debug> PartialEq for Segment<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl<T: Copy + PartialOrd + std::fmt::Debug> From<Vec<T>> for Segment<T> {
+    fn from(values: Vec<T>) -> Self {
+        Segment::from_vec(values)
+    }
+}
+
+impl<T: Copy + PartialOrd + std::fmt::Debug> FromIterator<T> for Segment<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Segment::from_vec(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn segment(n: usize, capacity: usize) -> Segment<i64> {
+        Segment::from_vec_with_capacity((0..n as i64).collect(), capacity)
+    }
+
+    #[test]
+    fn push_seals_full_chunks() {
+        let mut s: Segment<i64> = Segment::with_chunk_capacity(4);
+        for i in 0..10 {
+            assert_eq!(s.push(i), i as RowId);
+        }
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.sealed_chunk_count(), 2);
+        assert_eq!(s.tail(), &[8, 9]);
+        assert_eq!(s.chunk_capacity(), 4);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn every_sealed_chunk_is_exactly_full() {
+        let s = segment(103, 8);
+        for chunk in s.sealed_chunks() {
+            assert_eq!(chunk.len(), 8);
+        }
+        assert_eq!(s.tail().len(), 103 % 8);
+    }
+
+    #[test]
+    fn random_access_crosses_chunks() {
+        let s = segment(100, 7);
+        for i in 0..100 {
+            assert_eq!(s.value(i), i as i64);
+            assert_eq!(s.get(i), Some(i as i64));
+        }
+        assert_eq!(s.get(100), None);
+    }
+
+    #[test]
+    fn chunks_cover_all_rows_with_correct_bases_and_zones() {
+        let s = segment(20, 6);
+        let views: Vec<_> = s.chunks().collect();
+        assert_eq!(views.len(), 4, "3 sealed + tail");
+        let mut expected_base = 0;
+        for view in &views {
+            assert_eq!(view.base, expected_base);
+            assert_eq!(view.zone.row_count(), view.values.len());
+            assert_eq!(view.zone.min(), view.values.iter().copied().min());
+            assert_eq!(view.zone.max(), view.values.iter().copied().max());
+            expected_base = view.end();
+        }
+        assert_eq!(expected_base, 20);
+        assert!(views[0].sealed && !views[3].sealed);
+    }
+
+    #[test]
+    fn iter_and_to_vec_are_position_ordered() {
+        let s = segment(23, 5);
+        let expected: Vec<i64> = (0..23).collect();
+        assert_eq!(s.to_vec(), expected);
+        assert_eq!(s.iter().collect::<Vec<_>>(), expected);
+    }
+
+    #[test]
+    fn to_contiguous_borrows_single_chunk_segments() {
+        let tail_only = segment(3, 8);
+        assert!(matches!(tail_only.to_contiguous(), Cow::Borrowed(_)));
+        let one_sealed = segment(8, 8);
+        assert!(matches!(one_sealed.to_contiguous(), Cow::Borrowed(_)));
+        let multi = segment(20, 8);
+        assert!(matches!(multi.to_contiguous(), Cow::Owned(_)));
+        assert_eq!(multi.to_contiguous().as_ref(), multi.to_vec().as_slice());
+    }
+
+    #[test]
+    fn clone_shares_sealed_chunks_and_copies_the_tail() {
+        let mut s = segment(20, 6);
+        let snapshot = s.clone();
+        // sealed chunks are pointer-shared
+        for (a, b) in s.sealed_chunks().iter().zip(snapshot.sealed_chunks()) {
+            assert!(Arc::ptr_eq(a, b));
+        }
+        // appending to the original never shows up in the clone
+        s.push(999);
+        assert_eq!(s.len(), 21);
+        assert_eq!(snapshot.len(), 20);
+        assert_eq!(snapshot.max(), Some(19));
+    }
+
+    #[test]
+    fn gather_positions_matches_random_access() {
+        let s = segment(50, 7);
+        let positions: Vec<RowId> = vec![0, 6, 7, 13, 14, 48, 49];
+        let gathered = s.gather_positions(&positions);
+        let expected: Vec<i64> = positions.iter().map(|&p| s.value(p as usize)).collect();
+        assert_eq!(gathered, expected);
+        assert!(s.gather_positions(&[]).is_empty());
+    }
+
+    #[test]
+    fn min_max_from_zones() {
+        let s = Segment::from_vec_with_capacity(vec![5i64, -3, 12, 7, 0], 2);
+        assert_eq!(s.min(), Some(-3));
+        assert_eq!(s.max(), Some(12));
+        let empty: Segment<i64> = Segment::new();
+        assert_eq!(empty.min(), None);
+        assert_eq!(empty.max(), None);
+    }
+
+    #[test]
+    fn rechunk_preserves_contents_and_equality() {
+        let s = segment(37, 5);
+        let r = s.rechunked(11);
+        assert_eq!(r.chunk_capacity(), 11);
+        assert_eq!(r.to_vec(), s.to_vec());
+        assert_eq!(r, s, "equality is layout-independent");
+        // same-capacity rechunk shares chunks instead of copying
+        let same = s.rechunked(5);
+        for (a, b) in s.sealed_chunks().iter().zip(same.sealed_chunks()) {
+            assert!(Arc::ptr_eq(a, b));
+        }
+    }
+
+    #[test]
+    fn conversions() {
+        let s: Segment<i64> = vec![1, 2, 3].into();
+        assert_eq!(s.len(), 3);
+        let c: Segment<i64> = (0..5).collect();
+        assert_eq!(c.to_vec(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(Segment::<i64>::default().len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = Segment::<i64>::with_chunk_capacity(0);
+    }
+
+    #[test]
+    fn nan_values_seal_without_panicking() {
+        // regression: sealing a float chunk containing NaN used to trip the
+        // debug zone-map recheck because Some(NaN) != Some(NaN)
+        let mut s: Segment<f64> = Segment::with_chunk_capacity(4);
+        for v in [1.0, 2.0, 3.0, f64::NAN, 5.0] {
+            s.push(v);
+        }
+        assert_eq!(s.sealed_chunk_count(), 1);
+        assert_eq!(s.len(), 5);
+        assert!(s.value(3).is_nan());
+        assert_eq!(s.value(4), 5.0);
+    }
+}

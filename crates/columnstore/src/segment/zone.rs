@@ -1,0 +1,163 @@
+//! Per-chunk zone-map statistics.
+//!
+//! A [`ZoneMap`] summarizes one chunk of a segmented column: row count,
+//! minimum, maximum and a null-free flag. Scans consult the zone map before
+//! touching a chunk's values, so chunks that cannot contain a qualifying
+//! value are skipped entirely — the classic small-materialized-aggregates
+//! optimization, here applied to the append-only segment store.
+
+/// Summary statistics for one chunk of a segmented column.
+///
+/// `min`/`max` are `None` for an empty chunk. The dense arrays of this
+/// substrate are non-nullable (NULL exists only at the [`crate::types::Value`]
+/// boundary), so [`ZoneMap::null_free`] is always `true` today; the flag is
+/// carried explicitly so that a future nullable encoding can flow through the
+/// same pruning logic without an API change.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZoneMap<T> {
+    row_count: usize,
+    min: Option<T>,
+    max: Option<T>,
+    null_free: bool,
+}
+
+impl<T: Copy + PartialOrd> Default for ZoneMap<T> {
+    fn default() -> Self {
+        ZoneMap::empty()
+    }
+}
+
+impl<T: Copy + PartialOrd> ZoneMap<T> {
+    /// A zone map over zero rows.
+    pub fn empty() -> Self {
+        ZoneMap {
+            row_count: 0,
+            min: None,
+            max: None,
+            null_free: true,
+        }
+    }
+
+    /// Compute the zone map of a dense value slice.
+    pub fn from_values(values: &[T]) -> Self {
+        let mut zone = ZoneMap::empty();
+        for &v in values {
+            zone.accumulate(v);
+        }
+        zone
+    }
+
+    /// Fold one appended value into the statistics.
+    #[inline]
+    pub fn accumulate(&mut self, value: T) {
+        self.row_count += 1;
+        self.min = Some(match self.min {
+            Some(m) if m < value => m,
+            _ => value,
+        });
+        self.max = Some(match self.max {
+            Some(m) if m > value => m,
+            _ => value,
+        });
+    }
+
+    /// Number of rows summarized.
+    pub fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    /// Minimum value in the chunk (`None` when empty).
+    pub fn min(&self) -> Option<T> {
+        self.min
+    }
+
+    /// Maximum value in the chunk (`None` when empty).
+    pub fn max(&self) -> Option<T> {
+        self.max
+    }
+
+    /// Whether the chunk is known to contain no NULLs (always `true` for the
+    /// current non-nullable dense arrays).
+    pub fn null_free(&self) -> bool {
+        self.null_free
+    }
+
+    /// Whether the chunk *may* contain a value in the half-open range
+    /// `[low, high)`. `false` is a proof of absence; `true` only means the
+    /// chunk must be scanned.
+    #[inline]
+    pub fn may_contain_range(&self, low: T, high: T) -> bool {
+        match (self.min, self.max) {
+            (Some(min), Some(max)) => max >= low && min < high,
+            _ => false,
+        }
+    }
+
+    /// Whether the chunk *may* contain `value` (min/max containment).
+    #[inline]
+    pub fn may_contain(&self, value: T) -> bool {
+        match (self.min, self.max) {
+            (Some(min), Some(max)) => min <= value && value <= max,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_zone_matches_nothing() {
+        let z: ZoneMap<i64> = ZoneMap::empty();
+        assert_eq!(z.row_count(), 0);
+        assert_eq!(z.min(), None);
+        assert_eq!(z.max(), None);
+        assert!(z.null_free());
+        assert!(!z.may_contain_range(i64::MIN, i64::MAX));
+        assert!(!z.may_contain(0));
+    }
+
+    #[test]
+    fn from_values_tracks_min_max_count() {
+        let z = ZoneMap::from_values(&[5i64, -2, 9, 0]);
+        assert_eq!(z.row_count(), 4);
+        assert_eq!(z.min(), Some(-2));
+        assert_eq!(z.max(), Some(9));
+    }
+
+    #[test]
+    fn half_open_range_overlap() {
+        let z = ZoneMap::from_values(&[10i64, 20]);
+        assert!(z.may_contain_range(0, 11), "overlaps at 10");
+        assert!(z.may_contain_range(20, 21), "overlaps at 20");
+        assert!(!z.may_contain_range(0, 10), "high bound is exclusive");
+        assert!(!z.may_contain_range(21, 100), "entirely above");
+        assert!(z.may_contain_range(12, 15), "inside the gap still maybe");
+    }
+
+    #[test]
+    fn point_containment() {
+        let z = ZoneMap::from_values(&[10i64, 20]);
+        assert!(z.may_contain(10) && z.may_contain(20) && z.may_contain(15));
+        assert!(!z.may_contain(9) && !z.may_contain(21));
+    }
+
+    #[test]
+    fn accumulate_matches_bulk_construction() {
+        let values = [3i64, 1, 4, 1, 5, 9, 2, 6];
+        let mut incremental = ZoneMap::empty();
+        for &v in &values {
+            incremental.accumulate(v);
+        }
+        assert_eq!(incremental, ZoneMap::from_values(&values));
+    }
+
+    #[test]
+    fn float_zones_work_through_partial_ord() {
+        let z = ZoneMap::from_values(&[1.5f64, -0.5, 2.5]);
+        assert_eq!(z.min(), Some(-0.5));
+        assert_eq!(z.max(), Some(2.5));
+        assert!(z.may_contain_range(2.0, 3.0));
+    }
+}

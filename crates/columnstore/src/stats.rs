@@ -56,7 +56,7 @@ impl ColumnStats {
     pub fn from_column(column: &Column, histogram_buckets: usize) -> Option<Self> {
         column
             .as_i64()
-            .map(|c| Self::from_keys(c.as_slice(), histogram_buckets))
+            .map(|c| Self::from_keys(&c.to_contiguous(), histogram_buckets))
     }
 
     /// Estimated selectivity of the half-open range `[low, high)` using the

@@ -7,6 +7,7 @@
 use crate::column::Column;
 use crate::error::{ColumnStoreError, Result};
 use crate::position::PositionList;
+use crate::segment::DEFAULT_SEGMENT_CAPACITY;
 use crate::types::{DataType, RowId, Value};
 
 /// A named, typed column slot in a schema.
@@ -78,12 +79,19 @@ pub struct Table {
 }
 
 impl Table {
-    /// Create an empty table for the schema.
+    /// Create an empty table for the schema with the default segment
+    /// capacity.
     pub fn new(schema: Schema) -> Self {
+        Table::new_with_segment_capacity(schema, DEFAULT_SEGMENT_CAPACITY)
+    }
+
+    /// Create an empty table whose columns seal chunks of `segment_capacity`
+    /// rows.
+    pub fn new_with_segment_capacity(schema: Schema, segment_capacity: usize) -> Self {
         let columns = schema
             .fields()
             .iter()
-            .map(|f| Column::empty(f.data_type()))
+            .map(|f| Column::empty_with_capacity(f.data_type(), segment_capacity))
             .collect();
         Table {
             schema,
@@ -150,15 +158,36 @@ impl Table {
         self.columns.get(index)
     }
 
-    /// Append a row of dynamically typed values (one per column, in schema
-    /// order). Returns the new row id.
-    pub fn append_row(&mut self, values: &[Value]) -> Result<RowId> {
+    /// Check that `values` forms a valid row for this schema (arity and
+    /// per-column types) without mutating anything. Batch appenders call
+    /// this for every row *before* applying any of them, so a bad row in
+    /// the middle of a batch cannot leave a half-applied batch behind.
+    pub fn validate_row(&self, values: &[Value]) -> Result<()> {
         if values.len() != self.schema.arity() {
             return Err(ColumnStoreError::ArityMismatch {
                 expected: self.schema.arity(),
                 found: values.len(),
             });
         }
+        for (field, value) in self.schema.fields().iter().zip(values) {
+            if value.data_type() != Some(field.data_type()) {
+                return Err(ColumnStoreError::TypeMismatch {
+                    column: field.name().to_owned(),
+                    expected: field.data_type(),
+                    found: value.data_type(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Append a row of dynamically typed values (one per column, in schema
+    /// order). Returns the new row id.
+    ///
+    /// Arity and every value's type are validated *before* the first column
+    /// is touched, so a rejected row never leaves columns at ragged lengths.
+    pub fn append_row(&mut self, values: &[Value]) -> Result<RowId> {
+        self.validate_row(values)?;
         for (i, value) in values.iter().enumerate() {
             let name = self.schema.fields()[i].name().to_owned();
             self.columns[i].push_value(&name, value)?;
@@ -214,6 +243,29 @@ impl Table {
     /// Approximate in-memory footprint of all columns in bytes.
     pub fn byte_size(&self) -> usize {
         self.columns.iter().map(Column::byte_size).sum()
+    }
+
+    /// Rows per sealed chunk of the backing segments (the default capacity
+    /// for a table with no columns).
+    pub fn segment_capacity(&self) -> usize {
+        self.columns
+            .first()
+            .map_or(DEFAULT_SEGMENT_CAPACITY, Column::segment_capacity)
+    }
+
+    /// The same rows re-chunked so every column seals chunks of `capacity`
+    /// rows. A no-op clone (sharing all sealed chunks) when the capacity
+    /// already matches.
+    pub fn with_segment_capacity(&self, capacity: usize) -> Table {
+        Table {
+            schema: self.schema.clone(),
+            columns: self
+                .columns
+                .iter()
+                .map(|c| c.with_segment_capacity(capacity))
+                .collect(),
+            row_count: self.row_count,
+        }
     }
 }
 
@@ -302,6 +354,50 @@ mod tests {
             ]
         );
         assert!(t.reconstruct_projection(&positions, &["nope"]).is_err());
+    }
+
+    #[test]
+    fn rejected_append_leaves_no_partial_row() {
+        let mut t = two_column_table();
+        // int value is valid for column 0, string column gets an int: the
+        // row must be rejected before column 0 grows
+        let err = t
+            .append_row(&[Value::Int64(4), Value::Int64(5)])
+            .unwrap_err();
+        assert!(matches!(err, ColumnStoreError::TypeMismatch { .. }));
+        assert_eq!(t.row_count(), 3);
+        assert_eq!(t.column("a").unwrap().len(), 3, "no ragged columns");
+        assert_eq!(t.column("name").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn segment_capacity_is_plumbed_through() {
+        let schema = Schema::new(vec![Field::new("a", DataType::Int64)]);
+        let mut t = Table::new_with_segment_capacity(schema, 4);
+        assert_eq!(t.segment_capacity(), 4);
+        for i in 0..10 {
+            t.append_row(&[Value::Int64(i)]).unwrap();
+        }
+        assert_eq!(
+            t.column("a")
+                .unwrap()
+                .as_i64()
+                .unwrap()
+                .sealed_chunk_count(),
+            2
+        );
+        let rechunked = t.with_segment_capacity(16);
+        assert_eq!(rechunked.segment_capacity(), 16);
+        assert_eq!(rechunked.row_count(), 10);
+        assert_eq!(
+            rechunked.column("a").unwrap().value_at(9).unwrap(),
+            Value::Int64(9)
+        );
+        // a column-less table reports the default
+        assert_eq!(
+            Table::new(Schema::default()).segment_capacity(),
+            DEFAULT_SEGMENT_CAPACITY
+        );
     }
 
     #[test]

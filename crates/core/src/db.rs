@@ -10,34 +10,49 @@
 //! read query that *writes* — is serialized per column inside the
 //! [`IndexManager`], never globally.
 
-use crate::error::AidxResult;
+use crate::error::{AidxError, AidxResult};
 use crate::manager::{IndexInfo, IndexManager};
 use crate::session::Session;
-use crate::strategy::StrategyKind;
+use crate::strategy::{StrategyKind, StrategyTuning};
 use aidx_columnstore::catalog::Catalog;
+use aidx_columnstore::segment::DEFAULT_SEGMENT_CAPACITY;
 use aidx_columnstore::table::Table;
+use aidx_columnstore::types::RowId;
+use aidx_cracking::updates::MergePolicy;
 use parking_lot::RwLock;
 use std::sync::Arc;
 
 pub(crate) struct DbInner {
     pub(crate) catalog: RwLock<Catalog>,
     pub(crate) manager: IndexManager,
+    pub(crate) segment_capacity: usize,
 }
 
 /// Configures and builds a [`Database`].
+///
+/// Besides the indexing strategy, the builder exposes the storage and
+/// index-construction knobs: the segment capacity (rows per sealed chunk of
+/// every table registered with the database), the updatable-cracking merge
+/// policy, and the hybrid partition sizing. Invalid settings surface as
+/// [`AidxError::Config`] from [`DatabaseBuilder::try_build`].
 ///
 /// ```
 /// use aidx_core::prelude::*;
 ///
 /// let db = Database::builder()
 ///     .default_strategy(StrategyKind::Cracking)
-///     .build();
+///     .segment_capacity(8192)
+///     .try_build()?;
 /// assert_eq!(db.default_strategy(), StrategyKind::Cracking);
+/// assert_eq!(db.segment_capacity(), 8192);
+/// # Ok::<(), aidx_core::AidxError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct DatabaseBuilder {
     default_strategy: StrategyKind,
     catalog: Catalog,
+    segment_capacity: usize,
+    tuning: StrategyTuning,
 }
 
 impl Default for DatabaseBuilder {
@@ -45,6 +60,8 @@ impl Default for DatabaseBuilder {
         DatabaseBuilder {
             default_strategy: StrategyKind::Cracking,
             catalog: Catalog::new(),
+            segment_capacity: DEFAULT_SEGMENT_CAPACITY,
+            tuning: StrategyTuning::default(),
         }
     }
 }
@@ -57,20 +74,119 @@ impl DatabaseBuilder {
         self
     }
 
-    /// Start from an existing catalog instead of an empty one.
+    /// Start from an existing catalog instead of an empty one. Its tables
+    /// are re-chunked to the configured segment capacity at build time.
     pub fn catalog(mut self, catalog: Catalog) -> Self {
         self.catalog = catalog;
         self
     }
 
-    /// Build the database.
-    pub fn build(self) -> Database {
-        Database {
-            inner: Arc::new(DbInner {
-                catalog: RwLock::new(self.catalog),
-                manager: IndexManager::new(self.default_strategy),
-            }),
+    /// Rows per sealed chunk for every table registered with this database
+    /// (defaults to [`DEFAULT_SEGMENT_CAPACITY`]). Smaller chunks mean
+    /// cheaper copy-on-write appends and finer zone-map pruning; larger
+    /// chunks mean less per-chunk bookkeeping on scans.
+    pub fn segment_capacity(mut self, rows_per_chunk: usize) -> Self {
+        self.segment_capacity = rows_per_chunk;
+        self
+    }
+
+    /// How updatable-cracking indexes merge pending inserts during queries
+    /// (defaults to [`MergePolicy::MergeRipple`]).
+    pub fn merge_policy(mut self, policy: MergePolicy) -> Self {
+        self.tuning.merge_policy = policy;
+        self
+    }
+
+    /// Tuples per initial partition for the hybrid crack/sort/radix
+    /// algorithms (defaults to 16384).
+    pub fn hybrid_partition_size(mut self, tuples: usize) -> Self {
+        self.tuning.hybrid_partition_size = tuples;
+        self
+    }
+
+    /// Radix bits for the radix-based hybrid variants (defaults to 6; must
+    /// stay in `1..=16`).
+    pub fn hybrid_radix_bits(mut self, bits: u32) -> Self {
+        self.tuning.hybrid_radix_bits = bits;
+        self
+    }
+
+    fn validate(&self) -> AidxResult<()> {
+        if self.segment_capacity == 0 {
+            return Err(AidxError::config(
+                "segment_capacity",
+                "must be at least 1 row per chunk",
+            ));
         }
+        if self.segment_capacity > RowId::MAX as usize {
+            return Err(AidxError::config(
+                "segment_capacity",
+                format!("must not exceed the row-id domain ({})", RowId::MAX),
+            ));
+        }
+        if self.tuning.hybrid_partition_size == 0 {
+            return Err(AidxError::config(
+                "hybrid_partition_size",
+                "must be at least 1 tuple",
+            ));
+        }
+        if !(1..=16).contains(&self.tuning.hybrid_radix_bits) {
+            return Err(AidxError::config(
+                "hybrid_radix_bits",
+                "must be between 1 and 16",
+            ));
+        }
+        if let MergePolicy::MergeGradually { batch: 0 } = self.tuning.merge_policy {
+            return Err(AidxError::config(
+                "merge_policy",
+                "MergeGradually batch must be at least 1",
+            ));
+        }
+        if let StrategyKind::AdaptiveMerging { run_size: 0 } = self.default_strategy {
+            return Err(AidxError::config(
+                "default_strategy",
+                "AdaptiveMerging run_size must be at least 1",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Build the database, validating the configuration.
+    pub fn try_build(self) -> AidxResult<Database> {
+        self.validate()?;
+        let mut catalog = self.catalog;
+        let names: Vec<String> = catalog
+            .table_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        for name in names {
+            let rechunked = catalog
+                .table(&name)?
+                .with_segment_capacity(self.segment_capacity);
+            catalog.drop_table(&name);
+            catalog
+                .create_table(name, rechunked)
+                .expect("name was just freed");
+        }
+        Ok(Database {
+            inner: Arc::new(DbInner {
+                catalog: RwLock::new(catalog),
+                manager: IndexManager::with_tuning(self.default_strategy, self.tuning),
+                segment_capacity: self.segment_capacity,
+            }),
+        })
+    }
+
+    /// Build the database.
+    ///
+    /// # Panics
+    /// Panics when the configuration is invalid (use
+    /// [`DatabaseBuilder::try_build`] to handle [`AidxError::Config`]
+    /// gracefully).
+    pub fn build(self) -> Database {
+        self.try_build()
+            .expect("invalid DatabaseBuilder configuration")
     }
 }
 
@@ -135,9 +251,14 @@ impl Database {
             .build()
     }
 
-    /// Register a table under `name`. Fails if the name is taken.
+    /// Register a table under `name`, re-chunking its columns to the
+    /// database's configured segment capacity. Fails if the name is taken.
     pub fn create_table(&self, name: impl Into<String>, table: Table) -> AidxResult<()> {
         let name = name.into();
+        // unconditional: per-column capacities may disagree with each other,
+        // and with_segment_capacity is a cheap chunk-sharing clone for every
+        // column already at the target capacity
+        let table = table.with_segment_capacity(self.inner.segment_capacity);
         self.inner
             .catalog
             .write()
@@ -176,6 +297,15 @@ impl Database {
         Ok(self.inner.catalog.read().table(table)?.row_count())
     }
 
+    /// A point-in-time snapshot of `table`: an `O(1)` reference-count bump
+    /// that stays readable (and frozen) while writers keep appending.
+    /// Because tables are chunked segments, a writer that appends while the
+    /// snapshot is alive copies only each column's mutable tail; all sealed
+    /// chunks stay shared with this snapshot.
+    pub fn table_snapshot(&self, table: &str) -> AidxResult<Arc<Table>> {
+        Ok(self.inner.catalog.read().table_arc(table)?)
+    }
+
     /// Open a session: a cheap, thread-safe handle for running queries and
     /// inserts against this database.
     pub fn session(&self) -> Session {
@@ -185,6 +315,17 @@ impl Database {
     /// The strategy used for columns without an explicit override.
     pub fn default_strategy(&self) -> StrategyKind {
         self.inner.manager.default_strategy()
+    }
+
+    /// Rows per sealed chunk for tables registered with this database.
+    pub fn segment_capacity(&self) -> usize {
+        self.inner.segment_capacity
+    }
+
+    /// The index-construction tuning (merge policy, hybrid sizing) applied
+    /// to lazily built indexes.
+    pub fn strategy_tuning(&self) -> &StrategyTuning {
+        self.inner.manager.tuning()
     }
 
     /// Bookkeeping for every adaptive index (which columns ended up indexed,
@@ -305,6 +446,78 @@ mod tests {
             .execute()
             .unwrap();
         assert_eq!(new.row_count(), 1000);
+    }
+
+    #[test]
+    fn builder_validates_configuration() {
+        let err = Database::builder().segment_capacity(0).try_build();
+        assert!(matches!(err, Err(AidxError::Config { .. })), "{err:?}");
+        let err = Database::builder().hybrid_partition_size(0).try_build();
+        assert!(matches!(err, Err(AidxError::Config { .. })));
+        let err = Database::builder().hybrid_radix_bits(0).try_build();
+        assert!(matches!(err, Err(AidxError::Config { .. })));
+        let err = Database::builder().hybrid_radix_bits(17).try_build();
+        assert!(matches!(err, Err(AidxError::Config { .. })));
+        let err = Database::builder()
+            .merge_policy(MergePolicy::MergeGradually { batch: 0 })
+            .try_build();
+        assert!(matches!(err, Err(AidxError::Config { .. })));
+        let err = Database::builder()
+            .default_strategy(StrategyKind::AdaptiveMerging { run_size: 0 })
+            .try_build();
+        assert!(matches!(err, Err(AidxError::Config { .. })));
+        assert!(Database::builder()
+            .segment_capacity(1)
+            .hybrid_radix_bits(16)
+            .merge_policy(MergePolicy::MergeCompletely)
+            .try_build()
+            .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid DatabaseBuilder configuration")]
+    fn infallible_build_panics_on_invalid_config() {
+        let _ = Database::builder().segment_capacity(0).build();
+    }
+
+    #[test]
+    fn builder_exposes_storage_and_tuning_knobs() {
+        let db = Database::builder()
+            .segment_capacity(128)
+            .merge_policy(MergePolicy::MergeGradually { batch: 7 })
+            .hybrid_partition_size(1 << 10)
+            .hybrid_radix_bits(8)
+            .try_build()
+            .unwrap();
+        assert_eq!(db.segment_capacity(), 128);
+        let tuning = db.strategy_tuning();
+        assert_eq!(
+            tuning.merge_policy,
+            MergePolicy::MergeGradually { batch: 7 }
+        );
+        assert_eq!(tuning.hybrid_partition_size, 1 << 10);
+        assert_eq!(tuning.hybrid_radix_bits, 8);
+        // registered tables are re-chunked to the configured capacity
+        db.create_table("t", orders_table(1000)).unwrap();
+        let snapshot = db.inner.catalog.read().table_arc("t").unwrap();
+        assert_eq!(snapshot.segment_capacity(), 128);
+        assert_eq!(
+            snapshot
+                .column("o_key")
+                .unwrap()
+                .as_i64()
+                .unwrap()
+                .sealed_chunk_count(),
+            1000 / 128
+        );
+        // queries through a tuned hybrid strategy still answer correctly
+        let result = db
+            .session()
+            .query("t")
+            .range("o_key", 0, 100)
+            .execute()
+            .unwrap();
+        assert_eq!(result.row_count(), 100);
     }
 
     #[test]

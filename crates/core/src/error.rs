@@ -49,6 +49,14 @@ pub enum AidxError {
         /// Column being aggregated.
         column: String,
     },
+    /// An invalid configuration value handed to [`crate::DatabaseBuilder`]
+    /// (zero segment capacity, out-of-range radix bits, ...).
+    Config {
+        /// The offending builder parameter.
+        parameter: String,
+        /// Why the value was rejected.
+        reason: String,
+    },
 }
 
 impl AidxError {
@@ -62,6 +70,14 @@ impl AidxError {
     /// Shorthand for a [`AidxError::Strategy`] error.
     pub fn strategy(reason: impl Into<String>) -> Self {
         AidxError::Strategy {
+            reason: reason.into(),
+        }
+    }
+
+    /// Shorthand for a [`AidxError::Config`] error.
+    pub fn config(parameter: impl Into<String>, reason: impl Into<String>) -> Self {
+        AidxError::Config {
+            parameter: parameter.into(),
             reason: reason.into(),
         }
     }
@@ -93,6 +109,9 @@ impl fmt::Display for AidxError {
             AidxError::Strategy { reason } => write!(f, "strategy error: {reason}"),
             AidxError::AggregateOverflow { column } => {
                 write!(f, "SUM over column {column} overflowed i64")
+            }
+            AidxError::Config { parameter, reason } => {
+                write!(f, "invalid configuration for `{parameter}`: {reason}")
             }
         }
     }
@@ -140,6 +159,9 @@ mod tests {
         assert!(AidxError::AggregateOverflow { column: "v".into() }
             .to_string()
             .contains("overflowed"));
+        assert!(AidxError::config("segment_capacity", "must be at least 1")
+            .to_string()
+            .contains("segment_capacity"));
         assert!(std::error::Error::source(&AidxError::planner("x")).is_none());
     }
 }

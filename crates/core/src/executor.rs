@@ -26,7 +26,9 @@ use crate::result::QueryResult;
 use crate::strategy::StrategyKind;
 use aidx_columnstore::error::ColumnStoreError;
 use aidx_columnstore::ops::aggregate;
+use aidx_columnstore::ops::select::PruneStats;
 use aidx_columnstore::position::PositionList;
+use aidx_columnstore::segment::Segment;
 use aidx_columnstore::table::Table;
 use aidx_columnstore::types::{DataType, Key, RowId, Value};
 use std::sync::Arc;
@@ -44,11 +46,11 @@ pub struct QueryPlan {
     pub residual_columns: Vec<String>,
 }
 
-/// Validated view of one predicate: its position in the query and the dense
-/// key slice of its column.
+/// Validated view of one predicate: its position in the query and the
+/// chunked key segment of its column.
 struct BoundPredicate<'a> {
     predicate: &'a Predicate,
-    keys: &'a [Key],
+    segment: &'a Segment<Key>,
     width: u128,
     indexed: bool,
 }
@@ -74,18 +76,17 @@ fn bind_predicates<'a>(
             }
         }
         let column = table.column(predicate.column())?;
-        let keys = column
+        let segment = column
             .as_i64()
             .ok_or_else(|| ColumnStoreError::TypeMismatch {
                 column: predicate.column().to_owned(),
                 expected: DataType::Int64,
                 found: Some(column.data_type()),
-            })?
-            .as_slice();
+            })?;
         let indexed = manager.has_index(&ColumnId::new(query.table_arc(), predicate.column_arc()));
         bound.push(BoundPredicate {
             predicate,
-            keys,
+            segment,
             width: predicate.estimated_width(),
             indexed,
         });
@@ -100,33 +101,62 @@ fn choose_driver(bound: &[BoundPredicate<'_>]) -> Option<usize> {
 }
 
 /// Answer the driver predicate through the adaptive index of its column.
+///
+/// Before any index work, the column's zone maps are consulted: when **no**
+/// chunk can satisfy the routed predicate (an out-of-domain query), the
+/// answer is provably empty and the adaptive index is neither touched nor
+/// created — the query pays `O(#chunks)` instead of an `O(n)` first-touch
+/// index build. The pruned chunks are recorded in `prune`. When the index
+/// does answer, its internal work is not chunk-granular and contributes
+/// nothing to the statistics.
 fn drive(
     manager: &IndexManager,
     column_id: ColumnId,
-    keys: &[Key],
+    segment: &Segment<Key>,
     epoch: u64,
     predicate: &Predicate,
     strategy: StrategyKind,
+    prune: &mut PruneStats,
 ) -> PositionList {
+    // short-circuit at the first overlapping chunk: the common in-domain
+    // query pays O(1)-ish here, and only a provably empty query walks (and
+    // records) every zone map
+    let mut pruned_chunks = 0usize;
+    let mut any_overlap = false;
+    for chunk in segment.chunks() {
+        if predicate.zone_may_match(&chunk.zone) {
+            any_overlap = true;
+            break;
+        }
+        pruned_chunks += 1;
+    }
+    if !any_overlap {
+        prune.chunks_pruned += pruned_chunks;
+        return PositionList::new();
+    }
     match predicate {
         Predicate::Range { low, high, .. } => {
             if low >= high {
                 PositionList::new()
             } else {
                 manager
-                    .query_range_snapshot(&column_id, keys, epoch, *low, *high, strategy)
+                    .query_range_snapshot(&column_id, segment, epoch, *low, *high, strategy)
                     .positions
             }
         }
         Predicate::Point { key, .. } => match key.checked_add(1) {
             Some(next) => {
                 manager
-                    .query_range_snapshot(&column_id, keys, epoch, *key, next, strategy)
+                    .query_range_snapshot(&column_id, segment, epoch, *key, next, strategy)
                     .positions
             }
             // `key == Key::MAX` cannot be phrased as a half-open range;
-            // answer it with a direct scan of the snapshot instead.
-            None => scan_matching(keys, predicate),
+            // answer it with a direct (zone-pruned) scan of the snapshot.
+            None => {
+                let (positions, stats) = scan_segment(segment, predicate);
+                prune.merge(stats);
+                positions
+            }
         },
         Predicate::InSet { keys: set, .. } => {
             let mut positions = PositionList::new();
@@ -134,10 +164,14 @@ fn drive(
                 let hits = match key.checked_add(1) {
                     Some(next) => {
                         manager
-                            .query_range_snapshot(&column_id, keys, epoch, key, next, strategy)
+                            .query_range_snapshot(&column_id, segment, epoch, key, next, strategy)
                             .positions
                     }
-                    None => scan_matching(keys, &Predicate::point("", Key::MAX)),
+                    None => {
+                        let (hits, stats) = scan_segment(segment, &Predicate::point("", Key::MAX));
+                        prune.merge(stats);
+                        hits
+                    }
                 };
                 positions = positions.union(&hits);
             }
@@ -146,18 +180,56 @@ fn drive(
     }
 }
 
-/// Positions of every value in `keys` satisfying `predicate` (scan
-/// fallback; emits positions in order).
-fn scan_matching(keys: &[Key], predicate: &Predicate) -> PositionList {
-    crate::manager::scan_positions(keys, |v| predicate.matches(v))
+/// Positions of every value in `segment` satisfying `predicate`, scanning
+/// chunk-at-a-time and skipping chunks whose zone map proves them empty
+/// (delegates to the columnstore's shared scan kernel).
+fn scan_segment(segment: &Segment<Key>, predicate: &Predicate) -> (PositionList, PruneStats) {
+    aidx_columnstore::ops::select::scan_segment_where(
+        segment,
+        |zone| predicate.zone_may_match(zone),
+        |v| predicate.matches(v),
+    )
 }
 
-/// Retain only the positions whose value in `keys` satisfies `predicate`
-/// (the residual, late-materialized filter step).
-fn filter_residual(positions: PositionList, keys: &[Key], predicate: &Predicate) -> PositionList {
-    let mut retained = positions.into_vec();
-    retained.retain(|&p| predicate.matches(keys[p as usize]));
-    PositionList::from_sorted_vec(retained)
+/// Retain only the positions whose value in `segment` satisfies `predicate`
+/// (the residual, late-materialized filter step), chunk-at-a-time: a chunk
+/// whose zone map cannot satisfy the predicate rejects all its candidate
+/// positions without reading a single value. Chunks holding no candidates
+/// are never visited at all (and appear in neither statistic).
+fn filter_residual(
+    positions: PositionList,
+    segment: &Segment<Key>,
+    predicate: &Predicate,
+) -> (PositionList, PruneStats) {
+    let mut stats = PruneStats::default();
+    let pos = positions.as_slice();
+    let mut out: Vec<RowId> = Vec::with_capacity(pos.len());
+    let mut i = 0;
+    for chunk in segment.chunks() {
+        if i >= pos.len() {
+            break;
+        }
+        let end = chunk.end();
+        if pos[i] >= end {
+            continue; // no candidate positions fall into this chunk
+        }
+        let mut j = i;
+        while j < pos.len() && pos[j] < end {
+            j += 1;
+        }
+        if predicate.zone_may_match(&chunk.zone) {
+            stats.chunks_scanned += 1;
+            for &p in &pos[i..j] {
+                if predicate.matches(chunk.values[(p - chunk.base) as usize]) {
+                    out.push(p);
+                }
+            }
+        } else {
+            stats.chunks_pruned += 1;
+        }
+        i = j;
+    }
+    (PositionList::from_sorted_vec(out), stats)
 }
 
 /// Compute the requested aggregate over the qualifying positions.
@@ -254,6 +326,7 @@ pub(crate) fn execute_on_snapshot(
     let bound = bind_predicates(&snapshot, manager, query)?;
     let driver = choose_driver(&bound);
 
+    let mut prune = PruneStats::default();
     let mut positions = match driver {
         None => PositionList::from_range(0, snapshot.row_count() as RowId),
         Some(i) => {
@@ -261,10 +334,11 @@ pub(crate) fn execute_on_snapshot(
             drive(
                 manager,
                 column_id,
-                bound[i].keys,
+                bound[i].segment,
                 epoch,
                 bound[i].predicate,
                 strategy,
+                &mut prune,
             )
         }
     };
@@ -273,7 +347,9 @@ pub(crate) fn execute_on_snapshot(
         if Some(i) == driver || positions.is_empty() {
             continue;
         }
-        positions = filter_residual(positions, residual.keys, residual.predicate);
+        let (filtered, stats) = filter_residual(positions, residual.segment, residual.predicate);
+        positions = filtered;
+        prune.merge(stats);
     }
 
     let aggregate_value = match query.aggregation() {
@@ -288,6 +364,7 @@ pub(crate) fn execute_on_snapshot(
         positions,
         projected,
         aggregate_value,
+        prune,
     ))
 }
 
@@ -331,8 +408,8 @@ mod tests {
         let manager = IndexManager::new(StrategyKind::Cracking);
         let table = snapshot();
         // same width on both columns, but "r" is already indexed
-        let keys = table.column("r").unwrap().as_i64().unwrap().as_slice();
-        let _ = manager.query_range(&ColumnId::new("t", "r"), keys, 0, 2);
+        let keys = table.column("r").unwrap().as_i64().unwrap().to_vec();
+        let _ = manager.query_range(&ColumnId::new("t", "r"), &keys, 0, 2);
         let query = Query::table("t").range("k", 0, 10).range("r", 0, 10);
         let plan = plan_on_snapshot(&table, &manager, &query).unwrap();
         assert_eq!(plan.driver_column.as_deref(), Some("r"));
@@ -343,8 +420,8 @@ mod tests {
         let query = Query::table("t").range("k", 10, 60).in_set("r", [1, 3]);
         let result = run(&query).unwrap();
         let table = snapshot();
-        let k = table.column("k").unwrap().as_i64().unwrap().as_slice();
-        let r = table.column("r").unwrap().as_i64().unwrap().as_slice();
+        let k = table.column("k").unwrap().as_i64().unwrap().to_vec();
+        let r = table.column("r").unwrap().as_i64().unwrap().to_vec();
         let expected: Vec<RowId> = (0..k.len())
             .filter(|&i| (10..60).contains(&k[i]) && [1, 3].contains(&r[i]))
             .map(|i| i as RowId)
@@ -420,6 +497,68 @@ mod tests {
                 "index not registered under epoch 5 for {query:?}"
             );
         }
+    }
+
+    #[test]
+    fn residual_filter_prunes_chunks_outside_the_predicate_range() {
+        // sorted residual column in chunks of 10 => disjoint chunk ranges
+        let k: Vec<Key> = (0..100).collect();
+        let r: Vec<Key> = k.iter().map(|&v| v % 4).collect();
+        let table = Arc::new(
+            Table::from_columns(vec![
+                ("k", Column::from_i64(k).with_segment_capacity(10)),
+                ("r", Column::from_i64(r).with_segment_capacity(10)),
+            ])
+            .unwrap(),
+        );
+        let manager = IndexManager::new(StrategyKind::Cracking);
+        // driver: the point predicate on r (width 1); residual: the narrow
+        // range on sorted k, which only chunk [30,40) can satisfy
+        let query = Query::table("t").range("k", 30, 40).point("r", 1);
+        let result = execute_on_snapshot(
+            Arc::clone(&table),
+            1,
+            &manager,
+            &query,
+            StrategyKind::Cracking,
+        )
+        .unwrap();
+        // correctness: k in [30,40) and k % 4 == 1 => 33, 37
+        assert_eq!(result.positions().as_slice(), &[33, 37]);
+        let stats = result.prune_stats();
+        assert!(
+            stats.chunks_pruned > 0,
+            "chunks outside [30,40) must be skipped: {stats:?}"
+        );
+        assert_eq!(
+            stats.chunks_scanned, 1,
+            "only the chunk covering [30,40) is read: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn out_of_domain_driver_is_answered_by_zone_maps_alone() {
+        let keys: Vec<Key> = (0..100).collect();
+        let table = Arc::new(
+            Table::from_columns(vec![(
+                "k",
+                Column::from_i64(keys).with_segment_capacity(16),
+            )])
+            .unwrap(),
+        );
+        let manager = IndexManager::new(StrategyKind::Cracking);
+        let query = Query::table("t").range("k", 1_000, 2_000);
+        let result =
+            execute_on_snapshot(table, 1, &manager, &query, StrategyKind::Cracking).unwrap();
+        assert!(result.is_empty());
+        let stats = result.prune_stats();
+        assert_eq!(stats.chunks_scanned, 0);
+        assert_eq!(stats.chunks_pruned, 7, "6 sealed chunks + tail all pruned");
+        assert_eq!(
+            manager.indexed_column_count(),
+            0,
+            "a provably empty query must not trigger an index build"
+        );
     }
 
     #[test]

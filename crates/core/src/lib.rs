@@ -77,21 +77,22 @@ pub mod prelude {
     pub use crate::db::{Database, DatabaseBuilder};
     pub use crate::error::{AidxError, AidxResult};
     pub use crate::executor::QueryPlan;
-    pub use crate::manager::{ColumnId, IndexManager};
+    pub use crate::manager::{ColumnId, IndexManager, KeySource};
     pub use crate::query::{Aggregation, Predicate, Query};
     pub use crate::result::{QueryResult, RowIter};
     pub use crate::session::{QueryBuilder, Session};
-    pub use crate::strategy::{AdaptiveIndex, QueryOutput, StrategyKind};
+    pub use crate::strategy::{AdaptiveIndex, QueryOutput, StrategyKind, StrategyTuning};
     pub use crate::tuner::{AutoTuner, TuningPolicy};
     pub use aidx_columnstore::prelude::*;
+    pub use aidx_cracking::updates::MergePolicy;
 }
 
 pub use db::{Database, DatabaseBuilder};
 pub use error::{AidxError, AidxResult};
 pub use executor::QueryPlan;
-pub use manager::{ColumnId, IndexManager};
+pub use manager::{ColumnId, IndexManager, KeySource};
 pub use query::{Aggregation, Predicate, Query};
 pub use result::{QueryResult, RowIter};
 pub use session::{QueryBuilder, Session};
-pub use strategy::{AdaptiveIndex, QueryOutput, StrategyKind};
+pub use strategy::{AdaptiveIndex, QueryOutput, StrategyKind, StrategyTuning};
 pub use tuner::{AutoTuner, TuningPolicy};

@@ -10,9 +10,12 @@
 //! per-manager mutex around the registry plus exclusive access per index
 //! while a query reorganizes it.
 
-use crate::strategy::{AdaptiveIndex, QueryOutput, StrategyKind};
+use crate::strategy::{AdaptiveIndex, QueryOutput, StrategyKind, StrategyTuning};
+use aidx_columnstore::ops::select as columnstore_select;
+use aidx_columnstore::segment::Segment;
 use aidx_columnstore::types::Key;
 use parking_lot::Mutex;
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -69,6 +72,85 @@ pub(crate) fn scan_positions(
     positions
 }
 
+/// A borrowed view of the base key column a query was bound against: either
+/// a flat dense slice (standalone, catalog-free callers and benchmarks) or a
+/// chunked [`Segment`] (the facade's segmented tables).
+///
+/// The manager only touches the view on the slow paths — building or
+/// rebuilding an index materializes a contiguous copy, and a lagging
+/// snapshot is answered by a scan (zone-map pruned for segments). The hot
+/// path, answering through an up-to-date index, never reads the view.
+#[derive(Debug, Clone, Copy)]
+pub enum KeySource<'a> {
+    /// A flat dense key slice.
+    Flat(&'a [Key]),
+    /// A chunked key segment with per-chunk zone maps.
+    Segmented(&'a Segment<Key>),
+}
+
+impl KeySource<'_> {
+    /// Number of keys in the view.
+    pub fn len(&self) -> usize {
+        match self {
+            KeySource::Flat(keys) => keys.len(),
+            KeySource::Segmented(segment) => segment.len(),
+        }
+    }
+
+    /// True when the view holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Positions of keys in `[low, high)`, in order (chunk-at-a-time with
+    /// zone-map pruning for segmented views).
+    pub fn scan_range(&self, low: Key, high: Key) -> aidx_columnstore::position::PositionList {
+        match self {
+            KeySource::Flat(keys) => scan_positions(keys, |v| v >= low && v < high),
+            KeySource::Segmented(segment) => {
+                columnstore_select::scan_select_segment(
+                    segment,
+                    &columnstore_select::Predicate::range(low, high),
+                )
+                .0
+            }
+        }
+    }
+
+    /// A contiguous view of the keys, borrowed when possible (flat slices
+    /// always; segments only when they happen to live in a single chunk).
+    pub fn to_contiguous(&self) -> Cow<'_, [Key]> {
+        match self {
+            KeySource::Flat(keys) => Cow::Borrowed(keys),
+            KeySource::Segmented(segment) => segment.to_contiguous(),
+        }
+    }
+}
+
+impl<'a> From<&'a [Key]> for KeySource<'a> {
+    fn from(keys: &'a [Key]) -> Self {
+        KeySource::Flat(keys)
+    }
+}
+
+impl<'a> From<&'a Vec<Key>> for KeySource<'a> {
+    fn from(keys: &'a Vec<Key>) -> Self {
+        KeySource::Flat(keys)
+    }
+}
+
+impl<'a, const N: usize> From<&'a [Key; N]> for KeySource<'a> {
+    fn from(keys: &'a [Key; N]) -> Self {
+        KeySource::Flat(keys)
+    }
+}
+
+impl<'a> From<&'a Segment<Key>> for KeySource<'a> {
+    fn from(segment: &'a Segment<Key>) -> Self {
+        KeySource::Segmented(segment)
+    }
+}
+
 /// Aggregated per-column bookkeeping the manager exposes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IndexInfo {
@@ -101,6 +183,7 @@ struct ManagedIndex {
 /// A registry of adaptive indexes, one per (table, column).
 pub struct IndexManager {
     default_strategy: StrategyKind,
+    tuning: StrategyTuning,
     indexes: Mutex<HashMap<ColumnId, Arc<Mutex<ManagedIndex>>>>,
 }
 
@@ -114,10 +197,18 @@ impl std::fmt::Debug for IndexManager {
 }
 
 impl IndexManager {
-    /// Create a manager that builds indexes of `default_strategy` lazily.
+    /// Create a manager that builds indexes of `default_strategy` lazily,
+    /// with default construction tuning.
     pub fn new(default_strategy: StrategyKind) -> Self {
+        IndexManager::with_tuning(default_strategy, StrategyTuning::default())
+    }
+
+    /// Create a manager with explicit construction tuning (merge policy,
+    /// hybrid sizing) for the indexes it builds lazily.
+    pub fn with_tuning(default_strategy: StrategyKind, tuning: StrategyTuning) -> Self {
         IndexManager {
             default_strategy,
+            tuning,
             indexes: Mutex::new(HashMap::new()),
         }
     }
@@ -125,6 +216,11 @@ impl IndexManager {
     /// The strategy used for columns without an explicit override.
     pub fn default_strategy(&self) -> StrategyKind {
         self.default_strategy
+    }
+
+    /// The construction tuning applied to lazily built indexes.
+    pub fn tuning(&self) -> &StrategyTuning {
+        &self.tuning
     }
 
     /// Number of columns currently indexed.
@@ -159,8 +255,9 @@ impl IndexManager {
     }
 
     /// Route a range query for a caller holding a point-in-time snapshot of
-    /// the base column: `keys` is the snapshot's dense key array and `epoch`
-    /// identifies the table incarnation it was taken from.
+    /// the base column: `keys` views the snapshot's key column (flat slice
+    /// or chunked segment) and `epoch` identifies the table incarnation it
+    /// was taken from.
     ///
     /// Base columns are append-only within an epoch, so the tuple count is a
     /// version number: an index holding `m` tuples (same epoch) indexes
@@ -169,19 +266,21 @@ impl IndexManager {
     /// * index and snapshot agree (same epoch, same count) — answer through
     ///   the index, reorganizing it adaptively;
     /// * the snapshot is *older* than the index (same epoch, fewer rows) —
-    ///   answer with a scan of the snapshot and leave the index alone, so a
-    ///   lagging reader never destroys structure learned from newer data;
+    ///   answer with a scan of the snapshot (zone-map pruned for segments)
+    ///   and leave the index alone, so a lagging reader never destroys
+    ///   structure learned from newer data;
     /// * the index is stale (older epoch, or fewer rows than the snapshot) —
     ///   rebuild it from the snapshot, then answer through it.
-    pub fn query_range_snapshot(
+    pub fn query_range_snapshot<'a>(
         &self,
         column: &ColumnId,
-        keys: &[Key],
+        keys: impl Into<KeySource<'a>>,
         epoch: u64,
         low: Key,
         high: Key,
         strategy: StrategyKind,
     ) -> QueryOutput {
+        let keys = keys.into();
         // First touch registers a cheap empty placeholder so the O(n)-or-
         // worse index construction never runs under the global registry
         // lock; the version guard below then builds the real index under
@@ -193,7 +292,7 @@ impl IndexManager {
                 .entry(column.clone())
                 .or_insert_with(|| {
                     Arc::new(Mutex::new(ManagedIndex {
-                        index: strategy.build(&[]),
+                        index: strategy.build_with(&[], &self.tuning),
                         kind: strategy,
                         epoch,
                         queries: 0,
@@ -207,12 +306,12 @@ impl IndexManager {
             // older prefix of the same epoch: serve its snapshot with a scan
             // and never downgrade the shared index
             return QueryOutput {
-                positions: scan_positions(keys, |v| v >= low && v < high),
+                positions: keys.scan_range(low, high),
             };
         }
         if managed.epoch != epoch || managed.index.len() != keys.len() {
             let kind = managed.kind;
-            managed.index = kind.build(keys);
+            managed.index = kind.build_with(&keys.to_contiguous(), &self.tuning);
             managed.epoch = epoch;
             managed.queries = 0;
         }
@@ -260,7 +359,7 @@ impl IndexManager {
         registry.insert(
             column.clone(),
             Arc::new(Mutex::new(ManagedIndex {
-                index: strategy.build(keys),
+                index: strategy.build_with(keys, &self.tuning),
                 kind: strategy,
                 epoch: 0,
                 queries: 0,
@@ -533,6 +632,43 @@ mod tests {
         assert!(manager.drop_index_if_stale(&column, 5));
         assert!(!manager.has_index(&column));
         assert!(!manager.drop_index_if_stale(&column, 5), "already gone");
+    }
+
+    #[test]
+    fn key_source_views_agree_across_representations() {
+        let data = keys(1000);
+        let segment = Segment::from_vec_with_capacity(data.clone(), 64);
+        let flat: KeySource<'_> = (&data).into();
+        let seg: KeySource<'_> = (&segment).into();
+        assert_eq!(flat.len(), seg.len());
+        assert!(!flat.is_empty());
+        assert_eq!(flat.scan_range(100, 200), seg.scan_range(100, 200));
+        assert_eq!(flat.to_contiguous().as_ref(), seg.to_contiguous().as_ref());
+        let empty: KeySource<'_> = (&[] as &[Key]).into();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn segmented_snapshots_route_through_the_manager() {
+        let manager = IndexManager::new(StrategyKind::Cracking);
+        let data = keys(5000);
+        let segment = Segment::from_vec_with_capacity(data.clone(), 128);
+        let column = ColumnId::new("t", "a");
+        // build from the segmented view, answer through the index
+        let out =
+            manager.query_range_snapshot(&column, &segment, 1, 500, 1500, StrategyKind::Cracking);
+        let expected = data.iter().filter(|&&v| (500..1500).contains(&v)).count();
+        assert_eq!(out.count(), expected);
+        assert_eq!(manager.describe()[0].tuples, 5000);
+        // a lagging segmented snapshot is served by a zone-pruned scan
+        let mut grown = data.clone();
+        grown.push(7);
+        let _ = manager.query_range_snapshot(&column, &grown, 1, 0, 1, StrategyKind::Cracking);
+        assert_eq!(manager.describe()[0].tuples, 5001);
+        let out =
+            manager.query_range_snapshot(&column, &segment, 1, 500, 1500, StrategyKind::Cracking);
+        assert_eq!(out.count(), expected, "lagging segment answered by scan");
+        assert_eq!(manager.describe()[0].tuples, 5001, "index not downgraded");
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! query (or deriving a [`crate::manager::ColumnId`] from it on every
 //! execution) is a reference-count bump, not a heap copy.
 
+use aidx_columnstore::segment::ZoneMap;
 use aidx_columnstore::types::Key;
 use std::sync::Arc;
 
@@ -115,6 +116,26 @@ impl Predicate {
             Predicate::Range { low, high, .. } => *low <= value && value < *high,
             Predicate::Point { key, .. } => value == *key,
             Predicate::InSet { keys, .. } => keys.binary_search(&value).is_ok(),
+        }
+    }
+
+    /// Whether a chunk with the given zone map *may* contain a qualifying
+    /// value. `false` is a proof of absence — the executor prunes such
+    /// chunks without reading a single value; `true` only means the chunk
+    /// must be checked.
+    #[inline]
+    pub fn zone_may_match(&self, zone: &ZoneMap<Key>) -> bool {
+        match self {
+            Predicate::Range { low, high, .. } => zone.may_contain_range(*low, *high),
+            Predicate::Point { key, .. } => zone.may_contain(*key),
+            Predicate::InSet { keys, .. } => match (zone.min(), zone.max()) {
+                (Some(min), Some(max)) => {
+                    // keys are sorted: any member inside [min, max]?
+                    let from = keys.partition_point(|&k| k < min);
+                    keys.get(from).is_some_and(|&k| k <= max)
+                }
+                _ => false,
+            },
         }
     }
 
@@ -286,6 +307,24 @@ mod tests {
         assert_eq!(q.projections().len(), 2);
         assert_eq!(q.aggregation(), Some((Aggregation::Avg, "x")));
         assert_eq!(q.predicates()[0].column(), "a");
+    }
+
+    #[test]
+    fn zone_pruning_covers_every_predicate_shape() {
+        let zone = ZoneMap::from_values(&[10, 20]);
+        assert!(Predicate::range("a", 15, 16).zone_may_match(&zone));
+        assert!(!Predicate::range("a", 21, 30).zone_may_match(&zone));
+        assert!(
+            !Predicate::range("a", 0, 10).zone_may_match(&zone),
+            "half-open"
+        );
+        assert!(Predicate::point("a", 10).zone_may_match(&zone));
+        assert!(!Predicate::point("a", 9).zone_may_match(&zone));
+        assert!(Predicate::in_set("a", [1, 12]).zone_may_match(&zone));
+        assert!(!Predicate::in_set("a", [1, 2, 30]).zone_may_match(&zone));
+        assert!(!Predicate::in_set("a", []).zone_may_match(&zone));
+        let empty: ZoneMap<Key> = ZoneMap::empty();
+        assert!(!Predicate::range("a", Key::MIN, Key::MAX).zone_may_match(&empty));
     }
 
     #[test]

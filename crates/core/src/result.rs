@@ -8,6 +8,7 @@
 //! snapshot stays valid even while other sessions keep appending to the
 //! table.
 
+use aidx_columnstore::ops::select::PruneStats;
 use aidx_columnstore::position::PositionList;
 use aidx_columnstore::table::Table;
 use aidx_columnstore::types::{RowId, Value};
@@ -21,6 +22,7 @@ pub struct QueryResult {
     /// Schema indexes of the projected columns, in projection order.
     projected: Vec<usize>,
     aggregate: Option<Value>,
+    prune: PruneStats,
 }
 
 impl QueryResult {
@@ -32,6 +34,7 @@ impl QueryResult {
         positions: PositionList,
         projected: Vec<usize>,
         aggregate: Option<Value>,
+        prune: PruneStats,
     ) -> Self {
         debug_assert!(positions
             .as_slice()
@@ -42,6 +45,7 @@ impl QueryResult {
             positions,
             projected,
             aggregate,
+            prune,
         }
     }
 
@@ -87,6 +91,14 @@ impl QueryResult {
     /// The table snapshot this result reads from.
     pub fn snapshot(&self) -> &Arc<Table> {
         &self.table
+    }
+
+    /// Zone-map pruning statistics for the scan and residual-filter work of
+    /// this query: chunks whose zone map proved them irrelevant were skipped
+    /// without reading a value. Work done *inside* an adaptive index is not
+    /// chunk-granular and is not counted here.
+    pub fn prune_stats(&self) -> PruneStats {
+        self.prune
     }
 }
 
@@ -169,6 +181,7 @@ mod tests {
             PositionList::from_vec(vec![1, 3]),
             vec![1, 0], // label, k
             None,
+            PruneStats::default(),
         );
         assert_eq!(result.row_count(), 2);
         let mut iter = result.rows();
@@ -195,6 +208,7 @@ mod tests {
             PositionList::from_vec(vec![0, 1, 2]),
             Vec::new(),
             None,
+            PruneStats::default(),
         );
         assert_eq!(result.row_count(), 3);
         assert!(!result.is_empty());
@@ -209,6 +223,7 @@ mod tests {
             PositionList::new(),
             Vec::new(),
             Some(Value::Int64(0)),
+            PruneStats::default(),
         );
         assert!(result.is_empty());
         assert_eq!(result.aggregate(), Some(&Value::Int64(0)));

@@ -121,6 +121,13 @@ impl Session {
     /// query — correct answers at the cost of losing learned structure,
     /// exactly the trade-off the updates paper motivates.
     ///
+    /// The append goes through [`aidx_columnstore::catalog::Catalog::append_row`],
+    /// the catalog's append-only path: if a snapshot is alive, copy-on-write
+    /// clones only the segment tails (all sealed chunks stay shared), the
+    /// table keeps its structural epoch, and only the append sub-version
+    /// advances — so the index layer sees "same table, newer rows", never a
+    /// potential drop/re-create.
+    ///
     /// The catalog write lock is held only for the append itself; index
     /// maintenance runs afterwards under the per-column index locks, so one
     /// slow reorganization never stalls sessions on other tables. The
@@ -131,9 +138,9 @@ impl Session {
         let (row_id, epoch, column_names) = {
             let mut catalog = self.inner.catalog.write();
             let epoch = catalog.table_epoch(table_name)?;
-            let table = catalog.table_mut(table_name)?;
-            let row_id = table.append_row(values)?;
-            let column_names: Vec<Arc<str>> = table
+            let row_id = catalog.append_row(table_name, values)?;
+            let column_names: Vec<Arc<str>> = catalog
+                .table(table_name)?
                 .schema()
                 .fields()
                 .iter()

@@ -139,6 +139,36 @@ impl From<HybridKind> for HybridAlgorithm {
     }
 }
 
+/// Construction-time tuning knobs for the strategies the kernel builds
+/// lazily.
+///
+/// The [`StrategyKind`] enum names *which* technique to use; this struct
+/// carries the parameters that used to be hardcoded at the build site — the
+/// updatable-cracking merge policy and the hybrid partition sizing — so the
+/// facade ([`crate::DatabaseBuilder`]) can expose them. Parameters that are
+/// part of a kind's identity (e.g. the adaptive-merging run size) stay on
+/// the kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StrategyTuning {
+    /// How updatable cracking merges pending inserts during queries.
+    pub merge_policy: MergePolicy,
+    /// Tuples per initial partition for the hybrid crack/sort/radix
+    /// algorithms.
+    pub hybrid_partition_size: usize,
+    /// Radix bits used by the radix-based hybrid variants.
+    pub hybrid_radix_bits: u32,
+}
+
+impl Default for StrategyTuning {
+    fn default() -> Self {
+        StrategyTuning {
+            merge_policy: MergePolicy::MergeRipple,
+            hybrid_partition_size: 1 << 14,
+            hybrid_radix_bits: 6,
+        }
+    }
+}
+
 impl StrategyKind {
     /// Short label used in harness output.
     pub fn label(&self) -> &'static str {
@@ -163,8 +193,18 @@ impl StrategyKind {
         }
     }
 
-    /// Build an index of this kind over the given keys.
+    /// Build an index of this kind over the given keys with default tuning.
     pub fn build(&self, keys: &[Key]) -> Box<dyn AdaptiveIndex + Send> {
+        self.build_with(keys, &StrategyTuning::default())
+    }
+
+    /// Build an index of this kind over the given keys, using `tuning` for
+    /// the parameters that are not part of the kind itself.
+    pub fn build_with(
+        &self,
+        keys: &[Key],
+        tuning: &StrategyTuning,
+    ) -> Box<dyn AdaptiveIndex + Send> {
         match *self {
             StrategyKind::FullScan => Box::new(ScanStrategy {
                 inner: FullScanIndex::from_keys(keys),
@@ -184,7 +224,7 @@ impl StrategyKind {
                 ),
             }),
             StrategyKind::UpdatableCracking => Box::new(UpdatableStrategy {
-                inner: UpdatableCrackedIndex::from_keys(keys, MergePolicy::MergeRipple),
+                inner: UpdatableCrackedIndex::from_keys(keys, tuning.merge_policy),
             }),
             StrategyKind::PartialCracking { budget_bytes } => Box::new(PartialStrategy {
                 inner: PartialCrackedIndex::new(keys, budget_bytes),
@@ -193,7 +233,12 @@ impl StrategyKind {
                 inner: AdaptiveMergeIndex::from_keys(keys, run_size),
             }),
             StrategyKind::Hybrid { algorithm } => Box::new(HybridStrategy {
-                inner: HybridIndex::from_keys(keys, algorithm.into(), 1 << 14, 6),
+                inner: HybridIndex::from_keys(
+                    keys,
+                    algorithm.into(),
+                    tuning.hybrid_partition_size,
+                    tuning.hybrid_radix_bits,
+                ),
             }),
             StrategyKind::OnlineTuning => Box::new(OnlineStrategy {
                 inner: OnlineIndexTuner::from_keys(keys),
@@ -680,6 +725,40 @@ mod tests {
             assert!(index.is_empty(), "{}", kind.label());
             assert_eq!(index.query_range(0, 10).count(), 0, "{}", kind.label());
         }
+    }
+
+    #[test]
+    fn build_with_honors_tuning() {
+        let keys = test_keys(2000);
+        let tuning = StrategyTuning {
+            merge_policy: MergePolicy::MergeCompletely,
+            hybrid_partition_size: 256,
+            hybrid_radix_bits: 4,
+        };
+        // tuned builds answer exactly like default builds
+        for kind in [
+            StrategyKind::UpdatableCracking,
+            StrategyKind::Hybrid {
+                algorithm: HybridKind::CrackRadix,
+            },
+        ] {
+            let mut tuned = kind.build_with(&keys, &tuning);
+            let mut default = kind.build(&keys);
+            for q in 0..20 {
+                let low = (q * 97) % 1800;
+                assert_eq!(
+                    tuned.query_range(low, low + 100).count(),
+                    default.query_range(low, low + 100).count(),
+                    "{} query {q}",
+                    kind.label()
+                );
+            }
+        }
+        assert_eq!(StrategyTuning::default().hybrid_radix_bits, 6);
+        assert_eq!(
+            StrategyTuning::default().merge_policy,
+            MergePolicy::MergeRipple
+        );
     }
 
     #[test]

@@ -123,7 +123,7 @@ impl<I: CutIndex> CrackedIndex<I> {
     /// Build the index from an `Int64` base column.
     pub fn from_column(column: &Column) -> Self {
         match column.as_i64() {
-            Some(c) => Self::from_keys(c.as_slice()),
+            Some(c) => Self::from_keys(&c.to_contiguous()),
             None => Self::from_keys(&[]),
         }
     }

@@ -222,7 +222,7 @@ impl MapSet {
     /// Build a map set for the `Int64` columns of a [`Table`]: `head_name`
     /// becomes the head, every other `Int64` column a potential tail.
     pub fn from_table(table: &Table, head_name: &str) -> Option<Self> {
-        let head = table.column(head_name).ok()?.as_i64()?.as_slice().to_vec();
+        let head = table.column(head_name).ok()?.as_i64()?.to_vec();
         let mut tails = Vec::new();
         for field in table.schema().fields() {
             if field.name() == head_name {
@@ -230,7 +230,7 @@ impl MapSet {
             }
             if let Ok(column) = table.column(field.name()) {
                 if let Some(c) = column.as_i64() {
-                    tails.push((field.name(), c.as_slice().to_vec()));
+                    tails.push((field.name(), c.to_vec()));
                 }
             }
         }

@@ -198,7 +198,7 @@ impl HybridIndex {
     pub fn from_column(column: &Column, algorithm: HybridAlgorithm) -> Self {
         match column.as_i64() {
             Some(c) => Self::from_keys(
-                c.as_slice(),
+                &c.to_contiguous(),
                 algorithm,
                 DEFAULT_PARTITION_SIZE,
                 DEFAULT_RADIX_BITS,

@@ -95,7 +95,7 @@ impl AdaptiveMergeIndex {
     /// Build from an `Int64` base column with the default run size.
     pub fn from_column(column: &Column) -> Self {
         match column.as_i64() {
-            Some(c) => Self::from_keys(c.as_slice(), DEFAULT_RUN_SIZE),
+            Some(c) => Self::from_keys(&c.to_contiguous(), DEFAULT_RUN_SIZE),
             None => Self::from_keys(&[], DEFAULT_RUN_SIZE),
         }
     }
