@@ -34,6 +34,20 @@ impl OnlineIndexTuner {
         Self::with_settings(keys, CostModel::default(), 1.0)
     }
 
+    /// Create a tuner from a key stream with the default settings (one
+    /// collect, no transient contiguous copy for chunked sources).
+    pub fn from_key_iter(keys: impl ExactSizeIterator<Item = Key>) -> Self {
+        OnlineIndexTuner {
+            keys: keys.collect(),
+            index: None,
+            cost_model: CostModel::default(),
+            accumulated_benefit: 0.0,
+            trigger_factor: 1.0,
+            stats: BaselineStats::new(),
+            build_at_query: None,
+        }
+    }
+
     /// Create a tuner with explicit cost model and trigger factor.
     pub fn with_settings(keys: &[Key], cost_model: CostModel, trigger_factor: f64) -> Self {
         OnlineIndexTuner {

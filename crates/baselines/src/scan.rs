@@ -20,8 +20,14 @@ pub struct FullScanIndex {
 impl FullScanIndex {
     /// Wrap a dense key slice.
     pub fn from_keys(keys: &[Key]) -> Self {
+        Self::from_key_iter(keys.iter().copied())
+    }
+
+    /// Wrap a key stream (one collect, no transient contiguous copy when
+    /// the source is a chunked segment).
+    pub fn from_key_iter(keys: impl ExactSizeIterator<Item = Key>) -> Self {
         FullScanIndex {
-            keys: keys.to_vec(),
+            keys: keys.collect(),
             stats: BaselineStats::new(),
         }
     }

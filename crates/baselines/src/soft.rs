@@ -36,8 +36,14 @@ impl SoftIndexTuner {
     /// Create a soft-index tuner with a decision period of `decision_period`
     /// queries and the default cost model.
     pub fn from_keys(keys: &[Key], decision_period: u64) -> Self {
+        Self::from_key_iter(keys.iter().copied(), decision_period)
+    }
+
+    /// Create a soft-index tuner from a key stream (one collect, no
+    /// transient contiguous copy for chunked sources).
+    pub fn from_key_iter(keys: impl ExactSizeIterator<Item = Key>, decision_period: u64) -> Self {
         SoftIndexTuner {
-            keys: keys.to_vec(),
+            keys: keys.collect(),
             index: None,
             cost_model: CostModel::default(),
             observed_queries: 0,

@@ -21,15 +21,16 @@ impl FullSortIndex {
     /// Build the index by sorting a copy of `keys`. The sort cost is charged
     /// to the statistics immediately.
     pub fn from_keys(keys: &[Key]) -> Self {
+        Self::from_key_iter(keys.iter().copied())
+    }
+
+    /// Build by streaming keys into the pair array to sort (no transient
+    /// contiguous copy when the source is a chunked segment).
+    pub fn from_key_iter(keys: impl ExactSizeIterator<Item = Key>) -> Self {
         let mut stats = BaselineStats::new();
         stats.record_copy(keys.len());
         stats.record_sort(keys.len());
-        let mut pairs: Vec<(Key, RowId)> = keys
-            .iter()
-            .copied()
-            .enumerate()
-            .map(|(i, k)| (k, i as RowId))
-            .collect();
+        let mut pairs: Vec<(Key, RowId)> = keys.enumerate().map(|(i, k)| (k, i as RowId)).collect();
         pairs.sort_unstable();
         FullSortIndex {
             keys: pairs.iter().map(|&(k, _)| k).collect(),

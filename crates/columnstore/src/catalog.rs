@@ -376,4 +376,39 @@ mod tests {
         assert_eq!(seg_before.tail(), &[8, 9]);
         assert_eq!(seg_after.tail(), &[8, 9, 10]);
     }
+
+    #[test]
+    fn cow_appends_share_the_string_dictionary() {
+        let mut c = Catalog::new();
+        let table = Table::from_columns(vec![(
+            "s",
+            Column::from_strs(&["red", "green", "red", "blue"]),
+        )])
+        .unwrap();
+        c.create_table("t", table).unwrap();
+        let snapshot = c.table_arc("t").unwrap();
+        let dict_before =
+            std::sync::Arc::clone(snapshot.column("s").unwrap().utf8_dictionary().unwrap());
+        // append a row whose string is already interned: the COW table copy
+        // must share the dictionary with the live snapshot by pointer
+        c.append_row("t", &[Value::Utf8("green".into())]).unwrap();
+        let after = c.table_arc("t").unwrap();
+        assert!(std::sync::Arc::ptr_eq(
+            &dict_before,
+            after.column("s").unwrap().utf8_dictionary().unwrap()
+        ));
+        // a new string deep-copies the dictionary once, leaving the snapshot's
+        // dictionary untouched
+        c.append_row("t", &[Value::Utf8("teal".into())]).unwrap();
+        let grown = c.table_arc("t").unwrap();
+        assert!(!std::sync::Arc::ptr_eq(
+            &dict_before,
+            grown.column("s").unwrap().utf8_dictionary().unwrap()
+        ));
+        assert_eq!(dict_before.len(), 3, "snapshot dictionary frozen");
+        assert_eq!(
+            grown.column("s").unwrap().value_at(5).unwrap(),
+            Value::Utf8("teal".into())
+        );
+    }
 }

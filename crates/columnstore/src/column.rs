@@ -18,6 +18,7 @@ use crate::position::PositionList;
 use crate::segment::Segment;
 use crate::types::{DataType, RowId, Value};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A dense, fixed-width, append-only array of `T`.
 ///
@@ -189,8 +190,12 @@ pub enum Column {
     Utf8 {
         /// Per-row dictionary codes.
         codes: Segment<u32>,
-        /// The dictionary shared by the column.
-        dictionary: Dictionary,
+        /// The dictionary shared by the column. Behind [`Arc`] so that the
+        /// catalog's copy-on-write table clone is a reference-count bump for
+        /// the dictionary: appending a row while a snapshot is alive only
+        /// deep-copies the dictionary when the appended string is genuinely
+        /// new (see [`Column::push_value`]).
+        dictionary: Arc<Dictionary>,
     },
 }
 
@@ -209,7 +214,7 @@ impl Column {
             DataType::Float64 => Column::Float64(Segment::with_chunk_capacity(capacity)),
             DataType::Utf8 => Column::Utf8 {
                 codes: Segment::with_chunk_capacity(capacity),
-                dictionary: Dictionary::new(),
+                dictionary: Arc::new(Dictionary::new()),
             },
         }
     }
@@ -232,7 +237,10 @@ impl Column {
             let code = dictionary.intern(v);
             codes.push(code);
         }
-        Column::Utf8 { codes, dictionary }
+        Column::Utf8 {
+            codes,
+            dictionary: Arc::new(dictionary),
+        }
     }
 
     /// The column's data type.
@@ -275,7 +283,7 @@ impl Column {
             Column::Float64(c) => Column::Float64(c.rechunked(capacity)),
             Column::Utf8 { codes, dictionary } => Column::Utf8 {
                 codes: codes.rechunked(capacity),
-                dictionary: dictionary.clone(),
+                dictionary: Arc::clone(dictionary),
             },
         }
     }
@@ -293,7 +301,13 @@ impl Column {
             (Column::Int64(c), Value::Int64(v)) => Ok(c.push(*v)),
             (Column::Float64(c), Value::Float64(v)) => Ok(c.push(*v)),
             (Column::Utf8 { codes, dictionary }, Value::Utf8(s)) => {
-                let code = dictionary.intern(s);
+                // appending an already-interned string must not deep-clone a
+                // dictionary shared with live snapshots; only a genuinely new
+                // string pays the copy-on-write (and only while shared)
+                let code = match dictionary.lookup(s) {
+                    Some(code) => code,
+                    None => Arc::make_mut(dictionary).intern(s),
+                };
                 Ok(codes.push(code))
             }
             (col, value) => Err(ColumnStoreError::TypeMismatch {
@@ -347,7 +361,16 @@ impl Column {
     /// Borrow the dictionary-code segment, if this is a `Utf8` column.
     pub fn as_utf8(&self) -> Option<(&Segment<u32>, &Dictionary)> {
         match self {
-            Column::Utf8 { codes, dictionary } => Some((codes, dictionary)),
+            Column::Utf8 { codes, dictionary } => Some((codes, dictionary.as_ref())),
+            _ => None,
+        }
+    }
+
+    /// The shared dictionary handle, if this is a `Utf8` column (exposed so
+    /// tests can assert `Arc::ptr_eq` sharing across copy-on-write clones).
+    pub fn utf8_dictionary(&self) -> Option<&Arc<Dictionary>> {
+        match self {
+            Column::Utf8 { dictionary, .. } => Some(dictionary),
             _ => None,
         }
     }
@@ -495,6 +518,32 @@ mod tests {
         assert_eq!(vals, vec![Value::Float64(0.5), Value::Float64(2.5)]);
         assert!(c.as_f64().is_some());
         assert!(c.as_utf8().is_none());
+    }
+
+    #[test]
+    fn dictionary_is_arc_shared_until_a_new_string_appears() {
+        let original = Column::from_strs(&["x", "y"]);
+        let mut clone = original.clone();
+        let before = Arc::clone(original.utf8_dictionary().unwrap());
+        assert!(
+            Arc::ptr_eq(&before, clone.utf8_dictionary().unwrap()),
+            "cloning a column must not deep-copy the dictionary"
+        );
+        // appending an existing string keeps the shared dictionary
+        clone.push_value("s", &Value::Utf8("y".into())).unwrap();
+        assert!(Arc::ptr_eq(&before, clone.utf8_dictionary().unwrap()));
+        // a genuinely new string pays the copy-on-write — and only the clone
+        clone.push_value("s", &Value::Utf8("z".into())).unwrap();
+        assert!(!Arc::ptr_eq(&before, clone.utf8_dictionary().unwrap()));
+        assert_eq!(original.utf8_dictionary().unwrap().len(), 2);
+        assert_eq!(clone.utf8_dictionary().unwrap().len(), 3);
+        assert_eq!(clone.value_at(3).unwrap(), Value::Utf8("z".into()));
+        // an unshared dictionary mutates in place without cloning (compare
+        // raw pointers: holding an Arc would itself make it shared)
+        let after = Arc::as_ptr(clone.utf8_dictionary().unwrap());
+        clone.push_value("s", &Value::Utf8("w".into())).unwrap();
+        assert_eq!(after, Arc::as_ptr(clone.utf8_dictionary().unwrap()));
+        assert!(Column::from_i64(vec![1]).utf8_dictionary().is_none());
     }
 
     #[test]

@@ -103,15 +103,38 @@ pub struct PruneStats {
 }
 
 impl PruneStats {
-    /// Fold another scan's statistics into this one.
+    /// Fold another scan's statistics into this one (alias for `+=`).
     pub fn merge(&mut self, other: PruneStats) {
-        self.chunks_scanned += other.chunks_scanned;
-        self.chunks_pruned += other.chunks_pruned;
+        *self += other;
     }
 
     /// Total chunks considered (scanned + pruned).
     pub fn chunks_total(&self) -> usize {
         self.chunks_scanned + self.chunks_pruned
+    }
+}
+
+/// `PruneStats` aggregate per chunk, so folding the per-worker statistics of
+/// a parallel scan with `+=` yields exactly the totals the serial scan
+/// reports — field-wise addition, no averaging or clamping.
+impl std::ops::AddAssign for PruneStats {
+    fn add_assign(&mut self, other: PruneStats) {
+        self.chunks_scanned += other.chunks_scanned;
+        self.chunks_pruned += other.chunks_pruned;
+    }
+}
+
+impl std::ops::Add for PruneStats {
+    type Output = PruneStats;
+    fn add(mut self, other: PruneStats) -> PruneStats {
+        self += other;
+        self
+    }
+}
+
+impl std::iter::Sum for PruneStats {
+    fn sum<I: Iterator<Item = PruneStats>>(iter: I) -> PruneStats {
+        iter.fold(PruneStats::default(), |acc, s| acc + s)
     }
 }
 
@@ -153,18 +176,33 @@ pub fn scan_segment_where(
     let mut out: Vec<RowId> = Vec::new();
     let mut stats = PruneStats::default();
     for chunk in segment.chunks() {
-        if !zone_may_match(&chunk.zone) {
-            stats.chunks_pruned += 1;
-            continue;
-        }
-        stats.chunks_scanned += 1;
-        for (i, &v) in chunk.values.iter().enumerate() {
-            if matches(v) {
-                out.push(chunk.base + i as RowId);
-            }
-        }
+        scan_chunk_where(&chunk, &zone_may_match, &matches, &mut out, &mut stats);
     }
     (PositionList::from_sorted_vec(out), stats)
+}
+
+/// Scan (or zone-prune) one chunk: the per-chunk unit of work shared by the
+/// serial segment scan above and the chunk-parallel scan in `aidx-parallel`.
+/// Qualifying global positions are appended to `out` in order and the chunk
+/// is accounted in `stats`, so serial and parallel scans produce identical
+/// position sets and identical pruning statistics by construction.
+pub fn scan_chunk_where(
+    chunk: &crate::segment::ChunkView<'_, Key>,
+    zone_may_match: impl Fn(&crate::segment::ZoneMap<Key>) -> bool,
+    matches: impl Fn(Key) -> bool,
+    out: &mut Vec<RowId>,
+    stats: &mut PruneStats,
+) {
+    if !zone_may_match(&chunk.zone) {
+        stats.chunks_pruned += 1;
+        return;
+    }
+    stats.chunks_scanned += 1;
+    for (i, &v) in chunk.values.iter().enumerate() {
+        if matches(v) {
+            out.push(chunk.base + i as RowId);
+        }
+    }
 }
 
 /// Scan a chunked key [`Segment`] with a range predicate, chunk-at-a-time:
@@ -331,6 +369,38 @@ mod tests {
         assert_eq!(a.chunks_scanned, 4);
         assert_eq!(a.chunks_pruned, 6);
         assert_eq!(PruneStats::default().chunks_total(), 0);
+    }
+
+    #[test]
+    fn prune_stats_add_assign_matches_serial_totals() {
+        // splitting a scan into per-chunk stats and folding with += must
+        // reconstruct exactly what the one-pass serial scan reports
+        let seg = Segment::from_vec_with_capacity((0..1000).collect(), 100);
+        let pred = Predicate::range(250, 340);
+        let (_, serial) = scan_select_segment(&seg, &pred);
+        let mut folded = PruneStats::default();
+        let mut summed: Vec<PruneStats> = Vec::new();
+        for chunk in seg.chunks() {
+            let mut out = Vec::new();
+            let mut per_chunk = PruneStats::default();
+            scan_chunk_where(
+                &chunk,
+                |z| pred.zone_may_match(z),
+                |v| pred.matches(v),
+                &mut out,
+                &mut per_chunk,
+            );
+            folded += per_chunk;
+            summed.push(per_chunk);
+        }
+        assert_eq!(folded, serial);
+        assert_eq!(summed.into_iter().sum::<PruneStats>(), serial);
+        assert_eq!(
+            folded + PruneStats::default(),
+            serial,
+            "adding an empty stat is the identity"
+        );
+        assert_eq!(folded.chunks_total(), serial.chunks_total());
     }
 
     #[test]

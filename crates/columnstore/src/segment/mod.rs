@@ -204,8 +204,18 @@ impl<T: Copy + PartialOrd + std::fmt::Debug> Segment<T> {
     }
 
     /// Iterate over all values in position order.
-    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
-        self.chunks().flat_map(|c| c.values.iter().copied())
+    ///
+    /// The iterator reports an exact length ([`ExactSizeIterator`]), so index
+    /// builders can stream a multi-chunk segment straight into their own
+    /// storage — pre-sized, without first materializing a transient
+    /// contiguous copy via [`Segment::to_contiguous`].
+    pub fn iter(&self) -> SegmentIter<'_, T> {
+        SegmentIter {
+            segment: self,
+            chunk: 0,
+            offset: 0,
+            remaining: self.len(),
+        }
     }
 
     /// Materialize the segment into one contiguous vector.
@@ -299,6 +309,48 @@ impl<T: Copy + PartialOrd + std::fmt::Debug> Segment<T> {
     }
 }
 
+/// Position-ordered value iterator over a [`Segment`] with an exact length,
+/// created by [`Segment::iter`].
+#[derive(Debug, Clone)]
+pub struct SegmentIter<'a, T> {
+    segment: &'a Segment<T>,
+    /// Current chunk: an index into the sealed chunks, or `sealed.len()` for
+    /// the tail.
+    chunk: usize,
+    /// Offset of the next value within the current chunk.
+    offset: usize,
+    remaining: usize,
+}
+
+impl<T: Copy + PartialOrd + std::fmt::Debug> Iterator for SegmentIter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let values: &[T] = if self.chunk < self.segment.sealed.len() {
+            self.segment.sealed[self.chunk].values()
+        } else {
+            &self.segment.tail
+        };
+        let v = values[self.offset];
+        self.offset += 1;
+        if self.offset == values.len() {
+            self.chunk += 1;
+            self.offset = 0;
+        }
+        self.remaining -= 1;
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl<T: Copy + PartialOrd + std::fmt::Debug> ExactSizeIterator for SegmentIter<'_, T> {}
+
 /// Segments compare by logical contents (length and values in position
 /// order), independent of chunk layout, so re-chunking never changes
 /// equality.
@@ -383,6 +435,26 @@ mod tests {
         let expected: Vec<i64> = (0..23).collect();
         assert_eq!(s.to_vec(), expected);
         assert_eq!(s.iter().collect::<Vec<_>>(), expected);
+    }
+
+    #[test]
+    fn iter_reports_exact_length_at_every_step() {
+        let s = segment(23, 5);
+        let mut iter = s.iter();
+        for consumed in 0..23 {
+            assert_eq!(iter.len(), 23 - consumed);
+            assert_eq!(iter.size_hint(), (23 - consumed, Some(23 - consumed)));
+            assert!(iter.next().is_some());
+        }
+        assert_eq!(iter.len(), 0);
+        assert_eq!(iter.next(), None);
+        assert_eq!(iter.next(), None, "fused after exhaustion");
+        let empty: Segment<i64> = Segment::new();
+        assert_eq!(empty.iter().len(), 0);
+        assert_eq!(empty.iter().next(), None);
+        // collect through the exact-size hint pre-sizes correctly
+        let collected: Vec<i64> = segment(17, 4).iter().collect();
+        assert_eq!(collected, (0..17).collect::<Vec<_>>());
     }
 
     #[test]

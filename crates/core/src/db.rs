@@ -53,6 +53,39 @@ pub struct DatabaseBuilder {
     catalog: Catalog,
     segment_capacity: usize,
     tuning: StrategyTuning,
+    parallelism: usize,
+}
+
+/// Upper bound on [`DatabaseBuilder::parallelism`]: far above any sensible
+/// core count, low enough to catch a garbage configuration before it spawns
+/// a thread army.
+pub const MAX_PARALLELISM: usize = 1024;
+
+/// The builder's default worker count: 1 (the serial kernel), unless the
+/// `AIDX_TEST_PARALLELISM` environment variable names a valid worker count —
+/// the hook the test suite and CI use to run the *entire* tier-1 suite
+/// through the parallel engine without touching every test. An explicit
+/// [`DatabaseBuilder::parallelism`] call always wins over the environment.
+///
+/// # Panics
+/// Panics when the variable is set but not a worker count in
+/// `1..=`[`MAX_PARALLELISM`]: silently falling back to 1 would let a typo in
+/// the CI step re-run the *serial* suite while reporting the parallel run
+/// green.
+fn default_parallelism() -> usize {
+    match std::env::var("AIDX_TEST_PARALLELISM") {
+        Err(_) => 1,
+        Ok(raw) => raw
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| (1..=MAX_PARALLELISM).contains(&n))
+            .unwrap_or_else(|| {
+                panic!(
+                    "AIDX_TEST_PARALLELISM={raw:?} is not a worker count in \
+                     1..={MAX_PARALLELISM}"
+                )
+            }),
+    }
 }
 
 impl Default for DatabaseBuilder {
@@ -62,6 +95,7 @@ impl Default for DatabaseBuilder {
             catalog: Catalog::new(),
             segment_capacity: DEFAULT_SEGMENT_CAPACITY,
             tuning: StrategyTuning::default(),
+            parallelism: default_parallelism(),
         }
     }
 }
@@ -111,6 +145,18 @@ impl DatabaseBuilder {
         self
     }
 
+    /// Fork/join workers for query execution (defaults to 1 = the serial
+    /// kernel). With `n > 1`, scans fan chunks out across `n` workers and
+    /// lazily built adaptive indexes become range-partitioned, with each
+    /// query refining only the partitions its bounds overlap — in parallel,
+    /// under per-partition latches. Results are identical to the serial
+    /// engine at any setting; must stay in `1..=`[`MAX_PARALLELISM`]
+    /// (validated by [`DatabaseBuilder::try_build`]).
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers;
+        self
+    }
+
     fn validate(&self) -> AidxResult<()> {
         if self.segment_capacity == 0 {
             return Err(AidxError::config(
@@ -148,6 +194,12 @@ impl DatabaseBuilder {
                 "AdaptiveMerging run_size must be at least 1",
             ));
         }
+        if !(1..=MAX_PARALLELISM).contains(&self.parallelism) {
+            return Err(AidxError::config(
+                "parallelism",
+                format!("must be between 1 and {MAX_PARALLELISM} workers"),
+            ));
+        }
         Ok(())
     }
 
@@ -172,7 +224,11 @@ impl DatabaseBuilder {
         Ok(Database {
             inner: Arc::new(DbInner {
                 catalog: RwLock::new(catalog),
-                manager: IndexManager::with_tuning(self.default_strategy, self.tuning),
+                manager: IndexManager::with_tuning_and_pool(
+                    self.default_strategy,
+                    self.tuning,
+                    Arc::new(aidx_parallel::ThreadPool::new(self.parallelism)),
+                ),
                 segment_capacity: self.segment_capacity,
             }),
         })
@@ -320,6 +376,13 @@ impl Database {
     /// Rows per sealed chunk for tables registered with this database.
     pub fn segment_capacity(&self) -> usize {
         self.inner.segment_capacity
+    }
+
+    /// Fork/join workers queries execute with (1 = the serial kernel; more
+    /// enables chunk-parallel scans and partition-parallel index
+    /// refinement).
+    pub fn parallelism(&self) -> usize {
+        self.inner.manager.parallelism()
     }
 
     /// The index-construction tuning (merge policy, hybrid sizing) applied
@@ -518,6 +581,59 @@ mod tests {
             .execute()
             .unwrap();
         assert_eq!(result.row_count(), 100);
+    }
+
+    #[test]
+    fn parallelism_is_validated_and_exposed() {
+        let err = Database::builder().parallelism(0).try_build();
+        assert!(matches!(err, Err(AidxError::Config { .. })), "{err:?}");
+        let err = Database::builder()
+            .parallelism(MAX_PARALLELISM + 1)
+            .try_build();
+        assert!(matches!(err, Err(AidxError::Config { .. })));
+        let db = Database::builder().parallelism(4).try_build().unwrap();
+        assert_eq!(db.parallelism(), 4);
+        assert_eq!(db.index_manager().parallelism(), 4);
+    }
+
+    #[test]
+    fn parallel_engine_answers_exactly_like_the_serial_engine() {
+        let serial = Database::builder()
+            .parallelism(1)
+            .segment_capacity(128)
+            .try_build()
+            .unwrap();
+        let parallel = Database::builder()
+            .parallelism(4)
+            .segment_capacity(128)
+            .try_build()
+            .unwrap();
+        for db in [&serial, &parallel] {
+            db.create_table("orders", orders_table(5000)).unwrap();
+        }
+        for q in 0..30 {
+            let low = (q * 311) % 4500;
+            let a = serial
+                .session()
+                .query("orders")
+                .range("o_key", low, low + 400)
+                .execute()
+                .unwrap();
+            let b = parallel
+                .session()
+                .query("orders")
+                .range("o_key", low, low + 400)
+                .execute()
+                .unwrap();
+            assert_eq!(a.positions(), b.positions(), "query {q}");
+        }
+        // the parallel engine really ran range-partitioned
+        assert_eq!(serial.index_stats()[0].partitions, 1);
+        assert!(parallel.index_stats()[0].partitions > 1);
+        assert_eq!(
+            serial.index_stats()[0].tuples,
+            parallel.index_stats()[0].tuples
+        );
     }
 
     #[test]

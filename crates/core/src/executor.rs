@@ -153,7 +153,7 @@ fn drive(
             // `key == Key::MAX` cannot be phrased as a half-open range;
             // answer it with a direct (zone-pruned) scan of the snapshot.
             None => {
-                let (positions, stats) = scan_segment(segment, predicate);
+                let (positions, stats) = scan_segment(manager, segment, predicate);
                 prune.merge(stats);
                 positions
             }
@@ -168,7 +168,8 @@ fn drive(
                             .positions
                     }
                     None => {
-                        let (hits, stats) = scan_segment(segment, &Predicate::point("", Key::MAX));
+                        let (hits, stats) =
+                            scan_segment(manager, segment, &Predicate::point("", Key::MAX));
                         prune.merge(stats);
                         hits
                     }
@@ -181,10 +182,17 @@ fn drive(
 }
 
 /// Positions of every value in `segment` satisfying `predicate`, scanning
-/// chunk-at-a-time and skipping chunks whose zone map proves them empty
-/// (delegates to the columnstore's shared scan kernel).
-fn scan_segment(segment: &Segment<Key>, predicate: &Predicate) -> (PositionList, PruneStats) {
-    aidx_columnstore::ops::select::scan_segment_where(
+/// chunk-at-a-time and skipping chunks whose zone map proves them empty.
+/// Chunks fan out across the manager's fork/join pool (the scan falls back
+/// to the serial shared kernel inline when the pool is serial, and produces
+/// byte-identical positions and statistics either way).
+fn scan_segment(
+    manager: &IndexManager,
+    segment: &Segment<Key>,
+    predicate: &Predicate,
+) -> (PositionList, PruneStats) {
+    aidx_parallel::parallel_scan_where(
+        manager.pool(),
         segment,
         |zone| predicate.zone_may_match(zone),
         |v| predicate.matches(v),

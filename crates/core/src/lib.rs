@@ -66,6 +66,7 @@ pub mod db;
 pub mod error;
 pub mod executor;
 pub mod manager;
+pub mod partitioned;
 pub mod query;
 pub mod result;
 pub mod session;
@@ -78,6 +79,7 @@ pub mod prelude {
     pub use crate::error::{AidxError, AidxResult};
     pub use crate::executor::QueryPlan;
     pub use crate::manager::{ColumnId, IndexManager, KeySource};
+    pub use crate::partitioned::PartitionedIndex;
     pub use crate::query::{Aggregation, Predicate, Query};
     pub use crate::result::{QueryResult, RowIter};
     pub use crate::session::{QueryBuilder, Session};
@@ -85,12 +87,14 @@ pub mod prelude {
     pub use crate::tuner::{AutoTuner, TuningPolicy};
     pub use aidx_columnstore::prelude::*;
     pub use aidx_cracking::updates::MergePolicy;
+    pub use aidx_parallel::ThreadPool;
 }
 
 pub use db::{Database, DatabaseBuilder};
 pub use error::{AidxError, AidxResult};
 pub use executor::QueryPlan;
 pub use manager::{ColumnId, IndexManager, KeySource};
+pub use partitioned::PartitionedIndex;
 pub use query::{Aggregation, Predicate, Query};
 pub use result::{QueryResult, RowIter};
 pub use session::{QueryBuilder, Session};

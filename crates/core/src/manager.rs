@@ -10,10 +10,12 @@
 //! per-manager mutex around the registry plus exclusive access per index
 //! while a query reorganizes it.
 
+use crate::partitioned::{PartitionedIndex, PARTITIONS_PER_WORKER};
 use crate::strategy::{AdaptiveIndex, QueryOutput, StrategyKind, StrategyTuning};
 use aidx_columnstore::ops::select as columnstore_select;
 use aidx_columnstore::segment::Segment;
 use aidx_columnstore::types::Key;
+use aidx_parallel::ThreadPool;
 use parking_lot::Mutex;
 use std::borrow::Cow;
 use std::collections::HashMap;
@@ -105,10 +107,23 @@ impl KeySource<'_> {
     /// Positions of keys in `[low, high)`, in order (chunk-at-a-time with
     /// zone-map pruning for segmented views).
     pub fn scan_range(&self, low: Key, high: Key) -> aidx_columnstore::position::PositionList {
+        self.scan_range_with_pool(low, high, &ThreadPool::default())
+    }
+
+    /// Like [`KeySource::scan_range`], but fanning a segmented view's chunks
+    /// out across `pool`'s workers (the parallel scan produces byte-identical
+    /// positions at any worker count; flat views always scan inline).
+    pub fn scan_range_with_pool(
+        &self,
+        low: Key,
+        high: Key,
+        pool: &ThreadPool,
+    ) -> aidx_columnstore::position::PositionList {
         match self {
             KeySource::Flat(keys) => scan_positions(keys, |v| v >= low && v < high),
             KeySource::Segmented(segment) => {
-                columnstore_select::scan_select_segment(
+                aidx_parallel::parallel_scan_select(
+                    pool,
                     segment,
                     &columnstore_select::Predicate::range(low, high),
                 )
@@ -169,10 +184,30 @@ pub struct IndexInfo {
     pub auxiliary_bytes: usize,
     /// Whether the strategy reports convergence.
     pub converged: bool,
+    /// Number of value-range partitions the index is split into (1 for the
+    /// serial, single-index form).
+    pub partitions: usize,
+}
+
+/// The physical form of one column's index: a single strategy index (the
+/// serial path, and the only form at parallelism 1) or a range-partitioned
+/// set of strategy indexes refined partition-parallel.
+enum IndexBody {
+    Single(Box<dyn AdaptiveIndex + Send>),
+    Partitioned(Arc<PartitionedIndex>),
+}
+
+impl IndexBody {
+    fn len(&self) -> usize {
+        match self {
+            IndexBody::Single(index) => index.len(),
+            IndexBody::Partitioned(partitioned) => partitioned.len(),
+        }
+    }
 }
 
 struct ManagedIndex {
-    index: Box<dyn AdaptiveIndex + Send>,
+    body: IndexBody,
     kind: StrategyKind,
     /// Epoch of the table incarnation the index was built from (0 for
     /// standalone, catalog-free use).
@@ -184,6 +219,10 @@ struct ManagedIndex {
 pub struct IndexManager {
     default_strategy: StrategyKind,
     tuning: StrategyTuning,
+    /// Fork/join workers for parallel scans, partition scatters and
+    /// partition-parallel refinement. A serial pool (the default) keeps
+    /// every path inline and single-index, exactly the pre-parallel kernel.
+    pool: Arc<ThreadPool>,
     indexes: Mutex<HashMap<ColumnId, Arc<Mutex<ManagedIndex>>>>,
 }
 
@@ -206,9 +245,26 @@ impl IndexManager {
     /// Create a manager with explicit construction tuning (merge policy,
     /// hybrid sizing) for the indexes it builds lazily.
     pub fn with_tuning(default_strategy: StrategyKind, tuning: StrategyTuning) -> Self {
+        IndexManager::with_tuning_and_pool(
+            default_strategy,
+            tuning,
+            Arc::new(ThreadPool::default()),
+        )
+    }
+
+    /// Create a manager that executes on `pool`: with more than one worker,
+    /// lazily built indexes become range-partitioned ([`PartitionedIndex`])
+    /// and scan fallbacks go chunk-parallel; with a serial pool this is
+    /// exactly [`IndexManager::with_tuning`].
+    pub fn with_tuning_and_pool(
+        default_strategy: StrategyKind,
+        tuning: StrategyTuning,
+        pool: Arc<ThreadPool>,
+    ) -> Self {
         IndexManager {
             default_strategy,
             tuning,
+            pool,
             indexes: Mutex::new(HashMap::new()),
         }
     }
@@ -216,6 +272,16 @@ impl IndexManager {
     /// The strategy used for columns without an explicit override.
     pub fn default_strategy(&self) -> StrategyKind {
         self.default_strategy
+    }
+
+    /// The fork/join pool queries on this manager execute with.
+    pub fn pool(&self) -> &Arc<ThreadPool> {
+        &self.pool
+    }
+
+    /// The worker budget (1 = the serial kernel).
+    pub fn parallelism(&self) -> usize {
+        self.pool.threads()
     }
 
     /// The construction tuning applied to lazily built indexes.
@@ -292,7 +358,7 @@ impl IndexManager {
                 .entry(column.clone())
                 .or_insert_with(|| {
                     Arc::new(Mutex::new(ManagedIndex {
-                        index: strategy.build_with(&[], &self.tuning),
+                        body: IndexBody::Single(strategy.build_with(&[], &self.tuning)),
                         kind: strategy,
                         epoch,
                         queries: 0,
@@ -301,22 +367,68 @@ impl IndexManager {
                 .clone()
         };
         let mut managed = entry.lock();
-        if managed.epoch > epoch || (managed.epoch == epoch && keys.len() < managed.index.len()) {
+        if managed.epoch > epoch || (managed.epoch == epoch && keys.len() < managed.body.len()) {
             // lagging reader — an older epoch (epochs are monotonic) or an
             // older prefix of the same epoch: serve its snapshot with a scan
-            // and never downgrade the shared index
+            // (chunk-parallel for segmented views) and never downgrade the
+            // shared index
+            drop(managed);
             return QueryOutput {
-                positions: keys.scan_range(low, high),
+                positions: keys.scan_range_with_pool(low, high, &self.pool),
             };
         }
-        if managed.epoch != epoch || managed.index.len() != keys.len() {
+        if managed.epoch != epoch || managed.body.len() != keys.len() {
             let kind = managed.kind;
-            managed.index = kind.build_with(&keys.to_contiguous(), &self.tuning);
+            managed.body = self.build_body(kind, &keys);
             managed.epoch = epoch;
             managed.queries = 0;
         }
         managed.queries += 1;
-        managed.index.query_range(low, high)
+        match &mut managed.body {
+            IndexBody::Single(index) => index.query_range(low, high),
+            IndexBody::Partitioned(partitioned) => {
+                // fan out *after* releasing the per-column registry entry, so
+                // concurrent queries refine disjoint partitions in parallel
+                // under the partition latches alone; clamping to the
+                // snapshot's length keeps racing absorbed appends invisible
+                let partitioned = Arc::clone(partitioned);
+                let snapshot_len = keys.len();
+                drop(managed);
+                QueryOutput {
+                    positions: partitioned.query_range(&self.pool, low, high, snapshot_len),
+                }
+            }
+        }
+    }
+
+    /// Build a column's physical index from a snapshot view: a single
+    /// strategy index on the serial pool (streamed chunk-by-chunk for
+    /// multi-chunk segments — no transient contiguous copy), or a
+    /// range-partitioned index built partition-parallel when the pool has
+    /// workers to feed.
+    fn build_body(&self, kind: StrategyKind, keys: &KeySource<'_>) -> IndexBody {
+        if self.pool.is_serial() {
+            let index = match keys {
+                KeySource::Flat(slice) => kind.build_with(slice, &self.tuning),
+                KeySource::Segmented(segment) => kind.build_from_iter(segment.iter(), &self.tuning),
+            };
+            return IndexBody::Single(index);
+        }
+        let partition_count = self.pool.threads() * PARTITIONS_PER_WORKER;
+        let scattered = match keys {
+            KeySource::Flat(slice) => {
+                aidx_parallel::partition_keys(&self.pool, slice, partition_count)
+            }
+            KeySource::Segmented(segment) => {
+                aidx_parallel::partition_segment(&self.pool, segment, partition_count)
+            }
+        };
+        IndexBody::Partitioned(Arc::new(PartitionedIndex::build(
+            &self.pool,
+            scattered.into_parts(),
+            kind,
+            &self.tuning,
+        )))
     }
 
     /// Stage the insertion of row `rowid` (holding `key`) into a column's
@@ -340,10 +452,15 @@ impl IndexManager {
                 if managed.epoch != epoch {
                     return false;
                 }
-                match (managed.index.len() as u64).cmp(&rowid) {
+                match (managed.body.len() as u64).cmp(&rowid) {
                     // a rebuild from a newer snapshot already covers the row
                     std::cmp::Ordering::Greater => true,
-                    std::cmp::Ordering::Equal => managed.index.insert(key),
+                    std::cmp::Ordering::Equal => match &mut managed.body {
+                        IndexBody::Single(index) => index.insert(key),
+                        IndexBody::Partitioned(partitioned) => {
+                            partitioned.insert(key, rowid as aidx_columnstore::types::RowId)
+                        }
+                    },
                     // rows missing between the index and this insert
                     std::cmp::Ordering::Less => false,
                 }
@@ -355,11 +472,12 @@ impl IndexManager {
     /// Replace a column's index with a freshly built one of the given
     /// strategy (the auto-tuner calls this when it changes its mind).
     pub fn rebuild(&self, column: &ColumnId, keys: &[Key], strategy: StrategyKind) {
+        let body = self.build_body(strategy, &KeySource::Flat(keys));
         let mut registry = self.indexes.lock();
         registry.insert(
             column.clone(),
             Arc::new(Mutex::new(ManagedIndex {
-                index: strategy.build_with(keys, &self.tuning),
+                body,
                 kind: strategy,
                 epoch: 0,
                 queries: 0,
@@ -404,14 +522,27 @@ impl IndexManager {
             .iter()
             .map(|(column, entry)| {
                 let managed = entry.lock();
-                IndexInfo {
-                    column: column.clone(),
-                    strategy: managed.index.name(),
-                    tuples: managed.index.len(),
-                    queries: managed.queries,
-                    effort: managed.index.effort(),
-                    auxiliary_bytes: managed.index.auxiliary_bytes(),
-                    converged: managed.index.is_converged(),
+                match &managed.body {
+                    IndexBody::Single(index) => IndexInfo {
+                        column: column.clone(),
+                        strategy: index.name(),
+                        tuples: index.len(),
+                        queries: managed.queries,
+                        effort: index.effort(),
+                        auxiliary_bytes: index.auxiliary_bytes(),
+                        converged: index.is_converged(),
+                        partitions: 1,
+                    },
+                    IndexBody::Partitioned(partitioned) => IndexInfo {
+                        column: column.clone(),
+                        strategy: partitioned.name(),
+                        tuples: partitioned.len(),
+                        queries: managed.queries,
+                        effort: partitioned.effort(),
+                        auxiliary_bytes: partitioned.auxiliary_bytes(),
+                        converged: partitioned.is_converged(),
+                        partitions: partitioned.partition_count(),
+                    },
                 }
             })
             .collect();
@@ -665,6 +796,92 @@ mod tests {
         grown.push(7);
         let _ = manager.query_range_snapshot(&column, &grown, 1, 0, 1, StrategyKind::Cracking);
         assert_eq!(manager.describe()[0].tuples, 5001);
+        let out =
+            manager.query_range_snapshot(&column, &segment, 1, 500, 1500, StrategyKind::Cracking);
+        assert_eq!(out.count(), expected, "lagging segment answered by scan");
+        assert_eq!(manager.describe()[0].tuples, 5001, "index not downgraded");
+    }
+
+    fn parallel_manager(strategy: StrategyKind, workers: usize) -> IndexManager {
+        IndexManager::with_tuning_and_pool(
+            strategy,
+            StrategyTuning::default(),
+            Arc::new(ThreadPool::new(workers)),
+        )
+    }
+
+    #[test]
+    fn parallel_managers_build_partitioned_indexes_with_identical_answers() {
+        let data = keys(8000);
+        let segment = Segment::from_vec_with_capacity(data.clone(), 256);
+        let serial = IndexManager::new(StrategyKind::Cracking);
+        let parallel = parallel_manager(StrategyKind::Cracking, 4);
+        let column = ColumnId::new("t", "a");
+        for q in 0..30 {
+            let low = ((q * 389) % 7000) as Key;
+            let a = serial.query_range_snapshot(
+                &column,
+                &segment,
+                1,
+                low,
+                low + 500,
+                StrategyKind::Cracking,
+            );
+            let b = parallel.query_range_snapshot(
+                &column,
+                &segment,
+                1,
+                low,
+                low + 500,
+                StrategyKind::Cracking,
+            );
+            assert_eq!(a.positions, b.positions, "query {q}");
+        }
+        assert_eq!(serial.describe()[0].partitions, 1);
+        assert!(parallel.describe()[0].partitions > 1, "range-partitioned");
+        assert_eq!(serial.describe()[0].tuples, parallel.describe()[0].tuples);
+        assert_eq!(
+            serial.describe()[0].strategy,
+            parallel.describe()[0].strategy
+        );
+    }
+
+    #[test]
+    fn partitioned_indexes_absorb_inserts_and_guard_continuity() {
+        let data = keys(1000);
+        let manager = parallel_manager(StrategyKind::UpdatableCracking, 4);
+        let column = ColumnId::new("t", "a");
+        let _ =
+            manager.query_range_snapshot(&column, &data, 7, 0, 10, StrategyKind::UpdatableCracking);
+        assert!(manager.describe()[0].partitions > 1);
+        // wrong epoch and rowid gaps are rejected exactly like the serial path
+        assert!(!manager.insert_at(&column, 5, 1000, 8));
+        assert!(!manager.insert_at(&column, 5, 1002, 7));
+        assert!(manager.insert_at(&column, 5, 1000, 7), "exact continuation");
+        assert_eq!(manager.describe()[0].tuples, 1001);
+        let out =
+            manager.query_range_snapshot(&column, &data, 7, 5, 6, StrategyKind::UpdatableCracking);
+        // the 1000-row snapshot must not see the absorbed row 1000
+        assert!(out.positions.iter().all(|p| p < 1000));
+        // a fresh snapshot containing the row does see it
+        let mut grown = data.clone();
+        grown.push(5);
+        let out =
+            manager.query_range_snapshot(&column, &grown, 7, 5, 6, StrategyKind::UpdatableCracking);
+        assert!(out.positions.contains(1000));
+    }
+
+    #[test]
+    fn lagging_snapshots_use_the_parallel_scan_fallback() {
+        let data = keys(5000);
+        let segment = Segment::from_vec_with_capacity(data.clone(), 128);
+        let manager = parallel_manager(StrategyKind::Cracking, 4);
+        let column = ColumnId::new("t", "a");
+        let mut grown = data.clone();
+        grown.push(7);
+        let _ = manager.query_range_snapshot(&column, &grown, 1, 0, 1, StrategyKind::Cracking);
+        assert_eq!(manager.describe()[0].tuples, 5001);
+        let expected = data.iter().filter(|&&v| (500..1500).contains(&v)).count();
         let out =
             manager.query_range_snapshot(&column, &segment, 1, 500, 1500, StrategyKind::Cracking);
         assert_eq!(out.count(), expected, "lagging segment answered by scan");

@@ -249,6 +249,63 @@ impl StrategyKind {
         }
     }
 
+    /// Build an index of this kind by *streaming* the keys, so a multi-chunk
+    /// segment feeds the index's own storage directly — without the
+    /// transient contiguous copy `build_with` over `Segment::to_contiguous`
+    /// used to pay. Every strategy constructs exactly the same index as its
+    /// slice-based constructor given the same key sequence.
+    pub fn build_from_iter<I>(
+        &self,
+        keys: I,
+        tuning: &StrategyTuning,
+    ) -> Box<dyn AdaptiveIndex + Send>
+    where
+        I: ExactSizeIterator<Item = Key>,
+    {
+        match *self {
+            StrategyKind::FullScan => Box::new(ScanStrategy {
+                inner: FullScanIndex::from_key_iter(keys),
+            }),
+            StrategyKind::FullSort => Box::new(SortStrategy {
+                inner: FullSortIndex::from_key_iter(keys),
+            }),
+            StrategyKind::Cracking => Box::new(CrackingStrategy {
+                inner: CrackedIndex::from_key_iter(keys),
+            }),
+            StrategyKind::StochasticCracking => Box::new(StochasticStrategy {
+                inner: StochasticCrackedIndex::from_key_iter(
+                    keys,
+                    StochasticVariant::DataDrivenCenter,
+                    1 << 12,
+                    0xA1D0,
+                ),
+            }),
+            StrategyKind::UpdatableCracking => Box::new(UpdatableStrategy {
+                inner: UpdatableCrackedIndex::from_key_iter(keys, tuning.merge_policy),
+            }),
+            StrategyKind::PartialCracking { budget_bytes } => Box::new(PartialStrategy {
+                inner: PartialCrackedIndex::from_key_iter(keys, budget_bytes),
+            }),
+            StrategyKind::AdaptiveMerging { run_size } => Box::new(MergingStrategy {
+                inner: AdaptiveMergeIndex::from_key_iter(keys, run_size),
+            }),
+            StrategyKind::Hybrid { algorithm } => Box::new(HybridStrategy {
+                inner: HybridIndex::from_key_iter(
+                    keys,
+                    algorithm.into(),
+                    tuning.hybrid_partition_size,
+                    tuning.hybrid_radix_bits,
+                ),
+            }),
+            StrategyKind::OnlineTuning => Box::new(OnlineStrategy {
+                inner: OnlineIndexTuner::from_key_iter(keys),
+            }),
+            StrategyKind::SoftIndexes => Box::new(SoftStrategy {
+                inner: SoftIndexTuner::from_key_iter(keys, 10),
+            }),
+        }
+    }
+
     /// Every kind with reasonable default parameters, for benchmark sweeps.
     pub fn all_defaults() -> Vec<StrategyKind> {
         vec![
@@ -759,6 +816,29 @@ mod tests {
             StrategyTuning::default().merge_policy,
             MergePolicy::MergeRipple
         );
+    }
+
+    #[test]
+    fn iterator_builds_answer_exactly_like_slice_builds() {
+        use aidx_columnstore::segment::Segment;
+        let keys = test_keys(3000);
+        let segment = Segment::from_vec_with_capacity(keys.clone(), 128);
+        let tuning = StrategyTuning::default();
+        for kind in StrategyKind::all_defaults() {
+            let mut from_slice = kind.build_with(&keys, &tuning);
+            let mut from_iter = kind.build_from_iter(segment.iter(), &tuning);
+            assert_eq!(from_iter.len(), from_slice.len(), "{}", kind.label());
+            for q in 0..30 {
+                let low = (q * 151) % 2500;
+                let high = low + 200;
+                assert_eq!(
+                    from_iter.query_range(low, high).positions,
+                    from_slice.query_range(low, high).positions,
+                    "{} query {q}",
+                    kind.label()
+                );
+            }
+        }
     }
 
     #[test]

@@ -32,9 +32,18 @@ impl CrackerColumn {
     /// original positions `0..n`). This is the "first query pays the copy"
     /// initialization cost of database cracking.
     pub fn from_keys(keys: &[Key]) -> Self {
+        Self::from_key_iter(keys.iter().copied())
+    }
+
+    /// Stream keys straight into a cracker column (row ids become the stream
+    /// positions `0..n`). With an exact-size source — e.g. a chunked
+    /// segment's iterator — this is the *only* copy the build makes: no
+    /// transient contiguous materialization of the base column is needed.
+    pub fn from_key_iter(keys: impl ExactSizeIterator<Item = Key>) -> Self {
+        let len = keys.len();
         CrackerColumn {
-            values: keys.to_vec(),
-            rowids: (0..keys.len() as RowId).collect(),
+            values: keys.collect(),
+            rowids: (0..len as RowId).collect(),
         }
     }
 

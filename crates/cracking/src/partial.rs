@@ -73,8 +73,14 @@ pub struct PartialCrackedIndex {
 impl PartialCrackedIndex {
     /// Create a partial index over `keys` with the given fragment budget.
     pub fn new(keys: &[Key], budget_bytes: usize) -> Self {
+        Self::from_key_iter(keys.iter().copied(), budget_bytes)
+    }
+
+    /// Create a partial index by streaming keys into the base copy (no
+    /// transient contiguous materialization of the source column).
+    pub fn from_key_iter(keys: impl ExactSizeIterator<Item = Key>, budget_bytes: usize) -> Self {
         PartialCrackedIndex {
-            base: keys.to_vec(),
+            base: keys.collect(),
             fragments: BTreeMap::new(),
             budget_bytes,
             clock: 0,

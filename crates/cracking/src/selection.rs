@@ -107,10 +107,17 @@ impl<I: CutIndex> CrackedIndex<I> {
     /// initialization cost the first query pays in a real kernel; harnesses
     /// account for it explicitly).
     pub fn from_keys(keys: &[Key]) -> Self {
-        let column = CrackerColumn::from_keys(keys);
+        Self::from_key_iter(keys.iter().copied())
+    }
+
+    /// Build the index by streaming keys directly into the cracker column —
+    /// one copy total, even when the source is a multi-chunk segment (the
+    /// min/max bookkeeping reads the cracker column's own storage).
+    pub fn from_key_iter(keys: impl ExactSizeIterator<Item = Key>) -> Self {
+        let column = CrackerColumn::from_key_iter(keys);
         let mut stats = CrackStats::new();
-        stats.record_copy(keys.len());
-        let (min_value, max_value) = min_max(keys);
+        stats.record_copy(column.len());
+        let (min_value, max_value) = min_max(column.values());
         CrackedIndex {
             column,
             cuts: I::default(),

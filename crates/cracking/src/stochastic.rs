@@ -57,8 +57,19 @@ impl StochasticCrackedIndex {
         piece_threshold: usize,
         seed: u64,
     ) -> Self {
+        Self::from_key_iter(keys.iter().copied(), variant, piece_threshold, seed)
+    }
+
+    /// Build by streaming keys straight into the inner cracked index (no
+    /// transient contiguous copy of the base column).
+    pub fn from_key_iter(
+        keys: impl ExactSizeIterator<Item = Key>,
+        variant: StochasticVariant,
+        piece_threshold: usize,
+        seed: u64,
+    ) -> Self {
         StochasticCrackedIndex {
-            inner: CrackedIndex::from_keys(keys),
+            inner: CrackedIndex::from_key_iter(keys),
             variant,
             piece_threshold: piece_threshold.max(2),
             rng: StdRng::seed_from_u64(seed),

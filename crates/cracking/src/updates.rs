@@ -76,12 +76,20 @@ pub struct UpdatableCrackedIndex {
 impl UpdatableCrackedIndex {
     /// Build from a dense key slice; row ids `0..n` refer to those keys.
     pub fn from_keys(keys: &[Key], policy: MergePolicy) -> Self {
+        Self::from_key_iter(keys.iter().copied(), policy)
+    }
+
+    /// Build by streaming keys straight into the inner cracked index (no
+    /// transient contiguous copy of the base column).
+    pub fn from_key_iter(keys: impl ExactSizeIterator<Item = Key>, policy: MergePolicy) -> Self {
+        let index = CrackedIndex::from_key_iter(keys);
+        let next_rowid = index.len() as RowId;
         UpdatableCrackedIndex {
-            index: CrackedIndex::from_keys(keys),
+            index,
             policy,
             pending_inserts: Vec::new(),
             pending_deletes: Vec::new(),
-            next_rowid: keys.len() as RowId,
+            next_rowid,
             merged_inserts: 0,
             merged_deletes: 0,
         }

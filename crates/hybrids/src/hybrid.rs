@@ -160,26 +160,50 @@ impl HybridIndex {
         partition_size: usize,
         radix_bits: u32,
     ) -> Self {
+        Self::from_key_iter(keys.iter().copied(), algorithm, partition_size, radix_bits)
+    }
+
+    /// Build the index by streaming keys: each initial-partition buffer fills
+    /// directly from the source iterator (and the key domain is tracked
+    /// incrementally), so a multi-chunk segment is never materialized into a
+    /// transient contiguous copy first.
+    pub fn from_key_iter(
+        keys: impl ExactSizeIterator<Item = Key>,
+        algorithm: HybridAlgorithm,
+        partition_size: usize,
+        radix_bits: u32,
+    ) -> Self {
         let partition_size = partition_size.max(1);
+        let total_len = keys.len();
         let mut stats = CrackStats::new();
-        stats.record_copy(keys.len());
-        let domain_low = keys.iter().copied().min().unwrap_or(0);
-        let domain_high = keys.iter().copied().max().unwrap_or(0);
-        let mut sources = Vec::with_capacity(keys.len().div_ceil(partition_size));
-        for (chunk_index, chunk) in keys.chunks(partition_size).enumerate() {
-            let base = chunk_index * partition_size;
-            let pairs: Vec<(Key, RowId)> = chunk
-                .iter()
-                .copied()
-                .enumerate()
-                .map(|(i, k)| (k, (base + i) as RowId))
-                .collect();
+        stats.record_copy(total_len);
+        let mut domain_low = Key::MAX;
+        let mut domain_high = Key::MIN;
+        let mut sources = Vec::with_capacity(total_len.div_ceil(partition_size));
+        let mut pairs: Vec<(Key, RowId)> = Vec::with_capacity(partition_size.min(total_len));
+        for (i, k) in keys.enumerate() {
+            domain_low = domain_low.min(k);
+            domain_high = domain_high.max(k);
+            pairs.push((k, i as RowId));
+            if pairs.len() == partition_size {
+                sources.push(SourcePartition::new(
+                    algorithm.source_organization(),
+                    std::mem::take(&mut pairs),
+                    radix_bits,
+                    &mut stats,
+                ));
+            }
+        }
+        if !pairs.is_empty() {
             sources.push(SourcePartition::new(
                 algorithm.source_organization(),
                 pairs,
                 radix_bits,
                 &mut stats,
             ));
+        }
+        if total_len == 0 {
+            (domain_low, domain_high) = (0, 0);
         }
         HybridIndex {
             algorithm,
@@ -189,7 +213,7 @@ impl HybridIndex {
                 (domain_low, domain_high),
                 radix_bits,
             ),
-            total_len: keys.len(),
+            total_len,
             stats,
         }
     }

@@ -69,17 +69,26 @@ impl AdaptiveMergeIndex {
     /// charged to the statistics — it is the initialization cost the first
     /// query pays.
     pub fn from_keys(keys: &[Key], run_size: usize) -> Self {
+        Self::from_key_iter(keys.iter().copied(), run_size)
+    }
+
+    /// Build by streaming keys: each run buffer fills directly from the
+    /// source iterator and is sorted in place, so a multi-chunk segment never
+    /// has to be materialized contiguously first.
+    pub fn from_key_iter(keys: impl ExactSizeIterator<Item = Key>, run_size: usize) -> Self {
         let run_size = run_size.max(1);
+        let total_len = keys.len();
         let mut stats = MergeStats::new();
-        let mut runs = Vec::with_capacity(keys.len().div_ceil(run_size));
-        for (chunk_index, chunk) in keys.chunks(run_size).enumerate() {
-            let base = chunk_index * run_size;
-            let pairs: Vec<(Key, RowId)> = chunk
-                .iter()
-                .copied()
-                .enumerate()
-                .map(|(i, k)| (k, (base + i) as RowId))
-                .collect();
+        let mut runs = Vec::with_capacity(total_len.div_ceil(run_size));
+        let mut pairs: Vec<(Key, RowId)> = Vec::with_capacity(run_size.min(total_len));
+        for (i, k) in keys.enumerate() {
+            pairs.push((k, i as RowId));
+            if pairs.len() == run_size {
+                stats.record_sort(pairs.len());
+                runs.push(SortedRun::from_pairs(std::mem::take(&mut pairs)));
+            }
+        }
+        if !pairs.is_empty() {
             stats.record_sort(pairs.len());
             runs.push(SortedRun::from_pairs(pairs));
         }
@@ -87,7 +96,7 @@ impl AdaptiveMergeIndex {
             runs,
             final_index: SortedRangeIndex::new(),
             run_size,
-            total_len: keys.len(),
+            total_len,
             stats,
         }
     }

@@ -1,0 +1,55 @@
+//! # aidx-parallel
+//!
+//! The parallel query-execution subsystem: everything the kernel needs to
+//! use more than one core, built exclusively on `std` scoped threads.
+//!
+//! The EDBT 2012 tutorial's adaptive-indexing kernels are single-threaded;
+//! two follow-up papers show how to parallelize them without giving up their
+//! "queries build the index" economics, and this crate provides the
+//! primitives for both:
+//!
+//! * **Chunk-parallel scans** (module [`scan`]) — the segment layer stores
+//!   every column as zone-mapped chunks, so a scan fans contiguous chunk
+//!   stripes out across workers and merges per-stripe position lists and
+//!   pruning statistics in stripe order. The merged result is byte-identical
+//!   to the serial scan at every worker count, because both run the same
+//!   per-chunk kernel and stripe order is position order.
+//! * **Range partitioning** (module [`partition`]) — the data-parallel
+//!   preparation step of partition-parallel adaptive indexing (Alvarez et
+//!   al.): cut the key domain into near-equal value ranges and scatter
+//!   `(key, rowid)` pairs to their owning partitions. Each partition is then
+//!   indexed independently, queries touch only the partitions their bounds
+//!   overlap, and concurrent refinement needs only a cheap per-partition
+//!   latch (Graefe et al., *Concurrency Control for Adaptive Indexing*) —
+//!   the kernel's `IndexManager` builds its partitioned indexes on top of
+//!   this.
+//! * **The fork/join pool** (module [`pool`]) — a scoped-thread fork/join
+//!   region with dynamic task claiming and deterministic, task-ordered
+//!   result merging. `ThreadPool::new(1)` is the identity: everything runs
+//!   inline, which is how the serial kernel stays the default code path.
+//!
+//! ## Example: a chunk-parallel zone-pruned scan
+//!
+//! ```
+//! use aidx_columnstore::ops::select::Predicate;
+//! use aidx_columnstore::segment::Segment;
+//! use aidx_parallel::{parallel_scan_select, ThreadPool};
+//!
+//! let segment = Segment::from_vec_with_capacity((0..10_000).collect(), 256);
+//! let pool = ThreadPool::new(4);
+//! let (positions, stats) = parallel_scan_select(&pool, &segment, &Predicate::range(100, 200));
+//! assert_eq!(positions.len(), 100);
+//! assert!(stats.chunks_pruned > 0, "zone maps prune per worker");
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod partition;
+pub mod pool;
+pub mod scan;
+
+pub use partition::{
+    partition_keys, partition_of, partition_segment, partition_span, PartitionData, RangePartitions,
+};
+pub use pool::ThreadPool;
+pub use scan::{parallel_scan_select, parallel_scan_where};

@@ -1,0 +1,252 @@
+//! Data-parallel range partitioning of a key column.
+//!
+//! This is the partitioning step of partition-parallel adaptive indexing
+//! (Alvarez et al., *Main Memory Adaptive Indexing for Multi-core Systems*):
+//! the key domain `[min, max]` is cut into `P` near-equal value ranges, and
+//! one scatter pass distributes every `(key, global rowid)` pair into the
+//! partition owning its value range. Each partition can then be indexed and
+//! refined **independently** — a range query only touches the partitions its
+//! bounds overlap, and workers refining different partitions never contend.
+//! It is the same divide-the-column move the hybrid indexes make for their
+//! initial partitions, except the split is by *value* (so queries localize)
+//! instead of by *position*.
+//!
+//! The scatter itself is chunk-parallel: workers scatter contiguous stripes
+//! of the input into per-stripe buckets, and buckets are concatenated in
+//! stripe order. Because stripe order is position order, every partition
+//! receives its pairs in ascending global-rowid order — independent of the
+//! worker count — so partition contents are deterministic at any parallelism.
+
+use crate::pool::{stripe_bounds, ThreadPool};
+use aidx_columnstore::segment::Segment;
+use aidx_columnstore::types::{Key, RowId};
+
+/// One value-range partition of a key column: the keys owned by the range
+/// plus their global row ids, kept parallel.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PartitionData {
+    /// Keys falling into this partition's value range, in ascending
+    /// global-position order.
+    pub keys: Vec<Key>,
+    /// Global row ids parallel to `keys`.
+    pub rowids: Vec<RowId>,
+}
+
+impl PartitionData {
+    /// Number of pairs in the partition.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when the partition owns no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+/// A key column split into contiguous value ranges.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RangePartitions {
+    /// Interior cut points, ascending: partition `i` owns
+    /// `cuts[i-1] <= key < cuts[i]`, with the first and last partitions
+    /// open-ended so every representable key (including keys appended after
+    /// partitioning) maps to a partition.
+    cuts: Vec<Key>,
+    parts: Vec<PartitionData>,
+}
+
+impl RangePartitions {
+    /// Number of partitions.
+    pub fn partition_count(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The interior cut points (one fewer than the partition count).
+    pub fn cuts(&self) -> &[Key] {
+        &self.cuts
+    }
+
+    /// The partitions, in value-range order.
+    pub fn parts(&self) -> &[PartitionData] {
+        &self.parts
+    }
+
+    /// Total pairs across all partitions.
+    pub fn len(&self) -> usize {
+        self.parts.iter().map(PartitionData::len).sum()
+    }
+
+    /// True when no pairs were partitioned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Decompose into `(cuts, partitions)` for consumers that build one
+    /// index per partition.
+    pub fn into_parts(self) -> (Vec<Key>, Vec<PartitionData>) {
+        (self.cuts, self.parts)
+    }
+}
+
+/// The partition owning `key` under the given interior cut points.
+#[inline]
+pub fn partition_of(cuts: &[Key], key: Key) -> usize {
+    cuts.partition_point(|&c| c <= key)
+}
+
+/// The inclusive partition span `[first, last]` a half-open key range
+/// `[low, high)` overlaps. Callers guarantee `low < high`.
+#[inline]
+pub fn partition_span(cuts: &[Key], low: Key, high: Key) -> (usize, usize) {
+    debug_assert!(low < high);
+    (partition_of(cuts, low), partition_of(cuts, high - 1))
+}
+
+/// Interior cut points splitting `[min, max]` into `partitions` near-equal
+/// value ranges.
+fn domain_cuts(min: Key, max: Key, partitions: usize) -> Vec<Key> {
+    let width = max as i128 - min as i128;
+    (1..partitions)
+        .map(|i| (min as i128 + width * i as i128 / partitions as i128) as Key)
+        .collect()
+}
+
+/// Range-partition a chunked key segment into `partitions` value ranges,
+/// scattering chunk stripes across `pool`'s workers.
+pub fn partition_segment(
+    pool: &ThreadPool,
+    segment: &Segment<Key>,
+    partitions: usize,
+) -> RangePartitions {
+    let (Some(min), Some(max)) = (segment.min(), segment.max()) else {
+        return empty_partitions(partitions);
+    };
+    let pieces: Vec<(RowId, &[Key])> = segment.chunks().map(|c| (c.base, c.values)).collect();
+    scatter(pool, &pieces, domain_cuts(min, max, partitions.max(1)))
+}
+
+/// Range-partition a flat key slice into `partitions` value ranges (rowids
+/// are the slice positions `0..n`).
+pub fn partition_keys(pool: &ThreadPool, keys: &[Key], partitions: usize) -> RangePartitions {
+    let (Some(&min), Some(&max)) = (keys.iter().min(), keys.iter().max()) else {
+        return empty_partitions(partitions);
+    };
+    // cut the flat slice into virtual chunks so the scatter parallelizes
+    const VIRTUAL_CHUNK: usize = 1 << 14;
+    let pieces: Vec<(RowId, &[Key])> = keys
+        .chunks(VIRTUAL_CHUNK)
+        .enumerate()
+        .map(|(i, chunk)| ((i * VIRTUAL_CHUNK) as RowId, chunk))
+        .collect();
+    scatter(pool, &pieces, domain_cuts(min, max, partitions.max(1)))
+}
+
+fn empty_partitions(_partitions: usize) -> RangePartitions {
+    // an empty column has no domain to cut: one open-ended empty partition
+    RangePartitions {
+        cuts: Vec::new(),
+        parts: vec![PartitionData::default()],
+    }
+}
+
+/// Scatter position-ordered `(base, keys)` pieces into the partitions cut by
+/// `cuts`, stripe-parallel with stripe-order (= position-order) merging.
+fn scatter(pool: &ThreadPool, pieces: &[(RowId, &[Key])], cuts: Vec<Key>) -> RangePartitions {
+    let p = cuts.len() + 1;
+    let stripes = stripe_bounds(pieces.len(), pool.threads());
+    let per_stripe: Vec<Vec<PartitionData>> = pool.run(stripes.len(), |s| {
+        let (begin, end) = stripes[s];
+        let mut buckets: Vec<PartitionData> = vec![PartitionData::default(); p];
+        for &(base, keys) in &pieces[begin..end] {
+            for (i, &k) in keys.iter().enumerate() {
+                let bucket = &mut buckets[partition_of(&cuts, k)];
+                bucket.keys.push(k);
+                bucket.rowids.push(base + i as RowId);
+            }
+        }
+        buckets
+    });
+    let mut parts: Vec<PartitionData> = vec![PartitionData::default(); p];
+    for stripe in per_stripe {
+        for (part, bucket) in parts.iter_mut().zip(stripe) {
+            part.keys.extend_from_slice(&bucket.keys);
+            part.rowids.extend_from_slice(&bucket.rowids);
+        }
+    }
+    RangePartitions { cuts, parts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<Key> {
+        (0..n as Key).map(|i| (i * 40503) % n as Key).collect()
+    }
+
+    #[test]
+    fn partitions_cover_every_pair_exactly_once() {
+        let data = keys(10_000);
+        let pool = ThreadPool::new(4);
+        let parts = partition_keys(&pool, &data, 8);
+        assert_eq!(parts.partition_count(), 8);
+        assert_eq!(parts.len(), 10_000);
+        let mut seen = vec![false; 10_000];
+        for (i, part) in parts.parts().iter().enumerate() {
+            assert_eq!(part.keys.len(), part.rowids.len());
+            for (&k, &r) in part.keys.iter().zip(&part.rowids) {
+                assert_eq!(data[r as usize], k, "rowid points back at the key");
+                assert_eq!(partition_of(parts.cuts(), k), i, "key in owning range");
+                assert!(!seen[r as usize], "no duplicates");
+                seen[r as usize] = true;
+            }
+            // position order within a partition
+            assert!(part.rowids.windows(2).all(|w| w[0] < w[1]));
+        }
+        assert!(seen.iter().all(|&s| s), "no pair lost");
+    }
+
+    #[test]
+    fn scatter_is_deterministic_at_any_parallelism() {
+        let data = keys(5_000);
+        let segment = Segment::from_vec_with_capacity(data.clone(), 64);
+        let reference = partition_segment(&ThreadPool::new(1), &segment, 6);
+        for threads in [2, 4, 8] {
+            let parts = partition_segment(&ThreadPool::new(threads), &segment, 6);
+            assert_eq!(parts, reference, "{threads} threads");
+        }
+        // segment and flat layouts agree pair-for-pair
+        assert_eq!(partition_keys(&ThreadPool::new(4), &data, 6), reference);
+    }
+
+    #[test]
+    fn partition_span_selects_only_overlapping_partitions() {
+        let data: Vec<Key> = (0..1000).collect();
+        let parts = partition_keys(&ThreadPool::new(2), &data, 4);
+        let cuts = parts.cuts();
+        assert_eq!(cuts, &[249, 499, 749], "domain [0,999] cut in four");
+        assert_eq!(partition_span(cuts, 0, 10), (0, 0));
+        assert_eq!(partition_span(cuts, 260, 270), (1, 1));
+        assert_eq!(partition_span(cuts, 240, 510), (0, 2));
+        assert_eq!(partition_span(cuts, 0, 1000), (0, 3));
+        // out-of-domain keys clamp onto the open-ended edge partitions
+        assert_eq!(partition_of(cuts, -5), 0);
+        assert_eq!(partition_of(cuts, 99_999), 3);
+    }
+
+    #[test]
+    fn degenerate_domains_and_empty_inputs() {
+        let pool = ThreadPool::new(4);
+        let empty = partition_keys(&pool, &[], 4);
+        assert!(empty.is_empty());
+        assert_eq!(empty.partition_count(), 1, "empty input needs one slot");
+        // all-equal keys land in one partition without panicking
+        let same = partition_keys(&pool, &[7, 7, 7, 7], 4);
+        assert_eq!(same.len(), 4);
+        let non_empty: Vec<_> = same.parts().iter().filter(|p| !p.is_empty()).collect();
+        assert_eq!(non_empty.len(), 1);
+        // extreme domain width must not overflow the cut arithmetic
+        let extreme = partition_keys(&pool, &[Key::MIN, 0, Key::MAX], 4);
+        assert_eq!(extreme.len(), 3);
+    }
+}

@@ -1,0 +1,234 @@
+//! A scoped-thread fork/join pool.
+//!
+//! [`ThreadPool::run`] is the one primitive everything in this crate (and
+//! the kernel above it) builds on: execute `tasks` independent closures and
+//! return their results **in task order**, regardless of which worker ran
+//! which task. Workers claim task indexes from a shared atomic counter, so
+//! load balances dynamically (a worker that drew a cheap task immediately
+//! claims the next one), yet the merged output is deterministic because
+//! results are slotted by task index, never by completion order.
+//!
+//! The pool is built on [`std::thread::scope`]: workers borrow from the
+//! caller's stack frame, terminate before `run` returns, and need no `'static`
+//! bounds, channels, or shutdown protocol. Spawning is paid per `run` call —
+//! a deliberate trade: the kernel only forks for work that is at least many
+//! chunks large, where a few microseconds of spawn cost vanish against the
+//! scan or index-build being parallelized. Serial configurations
+//! (`threads == 1`) and single-task calls never spawn at all and run inline,
+//! which keeps the default execution path byte-identical to the pre-parallel
+//! kernel.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fork/join execution context with a fixed worker budget.
+///
+/// ```
+/// use aidx_parallel::ThreadPool;
+///
+/// let pool = ThreadPool::new(4);
+/// let squares = pool.run(8, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// A pool that uses up to `threads` worker threads per fork/join region
+    /// (clamped to at least 1; 1 means fully inline, serial execution).
+    pub fn new(threads: usize) -> Self {
+        ThreadPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The worker budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// True when this pool never forks (every `run` executes inline).
+    pub fn is_serial(&self) -> bool {
+        self.threads == 1
+    }
+
+    /// Execute `f(0) .. f(tasks - 1)` across the pool's workers and return
+    /// the results in task-index order.
+    ///
+    /// Scheduling is dynamic (workers pull the next unclaimed index), the
+    /// output is deterministic (slot `i` always holds `f(i)`). With a serial
+    /// pool, a single task, or zero tasks, everything runs inline on the
+    /// calling thread.
+    ///
+    /// # Panics
+    /// Propagates a panic from any task after all workers have stopped.
+    pub fn run<R, F>(&self, tasks: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if self.threads == 1 || tasks <= 1 {
+            return (0..tasks).map(f).collect();
+        }
+        let workers = self.threads.min(tasks);
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(tasks);
+        slots.resize_with(tasks, || None);
+        let mut harvests: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= tasks {
+                                break;
+                            }
+                            local.push((i, f(i)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(local) => local,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                })
+                .collect()
+        });
+        for (i, r) in harvests.drain(..).flatten() {
+            debug_assert!(slots[i].is_none(), "task {i} claimed twice");
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every task index claimed exactly once"))
+            .collect()
+    }
+}
+
+impl Default for ThreadPool {
+    /// A serial pool (one thread): the safe default everywhere the caller
+    /// has not opted into parallelism.
+    fn default() -> Self {
+        ThreadPool::new(1)
+    }
+}
+
+/// How many work stripes to cut per pool worker when fanning a sequence of
+/// items (chunks, pieces) out as tasks. A little oversubscription lets the
+/// atomic task counter rebalance uneven stripes (e.g. when zone maps make
+/// some stripes nearly free): the worker that drew a cheap stripe
+/// immediately claims the next one.
+pub const STRIPES_PER_WORKER: usize = 4;
+
+/// Cut `item_count` items into at most `workers * STRIPES_PER_WORKER`
+/// contiguous, near-equal stripes, returned as half-open `(begin, end)`
+/// index ranges in item order. Both the chunk-parallel scan and the
+/// range-partition scatter stripe through this one function, so their work
+/// decomposition can never drift apart.
+pub fn stripe_bounds(item_count: usize, workers: usize) -> Vec<(usize, usize)> {
+    if item_count == 0 {
+        return Vec::new();
+    }
+    let stripes = item_count.min(workers.max(1) * STRIPES_PER_WORKER);
+    let base = item_count / stripes;
+    let extra = item_count % stripes;
+    let mut bounds = Vec::with_capacity(stripes);
+    let mut begin = 0;
+    for s in 0..stripes {
+        let len = base + usize::from(s < extra);
+        bounds.push((begin, begin + len));
+        begin += len;
+    }
+    debug_assert_eq!(begin, item_count);
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_are_in_task_order_at_any_parallelism() {
+        for threads in [1, 2, 3, 4, 8] {
+            let pool = ThreadPool::new(threads);
+            let out = pool.run(37, |i| i as u64 * 3);
+            assert_eq!(out, (0..37).map(|i| i * 3).collect::<Vec<u64>>());
+        }
+    }
+
+    #[test]
+    fn zero_and_single_task_run_inline() {
+        let pool = ThreadPool::new(8);
+        assert!(pool.run(0, |_| 1).is_empty());
+        assert_eq!(pool.run(1, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counter = AtomicU64::new(0);
+        let pool = ThreadPool::new(4);
+        let out = pool.run(1000, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        assert_eq!(out.len(), 1000);
+        assert!(out.iter().enumerate().all(|(i, &v)| i == v));
+    }
+
+    #[test]
+    fn pool_metadata() {
+        assert_eq!(ThreadPool::new(0).threads(), 1, "clamped to 1");
+        assert!(ThreadPool::new(1).is_serial());
+        assert!(!ThreadPool::new(2).is_serial());
+        assert!(ThreadPool::default().is_serial());
+    }
+
+    #[test]
+    fn uneven_task_durations_still_merge_deterministically() {
+        let pool = ThreadPool::new(4);
+        let out = pool.run(64, |i| {
+            // make early tasks slow so late tasks finish first
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i * i
+        });
+        assert_eq!(out, (0..64).map(|i| i * i).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn stripe_bounds_partition_the_item_range() {
+        for (items, workers) in [(0, 4), (1, 4), (7, 2), (64, 4), (13, 16)] {
+            let bounds = stripe_bounds(items, workers);
+            assert!(bounds.len() <= workers * STRIPES_PER_WORKER || items == 0);
+            let mut covered = 0;
+            for &(b, e) in &bounds {
+                assert_eq!(b, covered, "stripes are contiguous");
+                assert!(e > b, "stripes are non-empty");
+                covered = e;
+            }
+            assert_eq!(covered, items, "stripes cover every item");
+        }
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let pool = ThreadPool::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(8, |i| {
+                if i == 5 {
+                    panic!("task failure");
+                }
+                i
+            })
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! Chunk-parallel segment scans.
+//!
+//! [`parallel_scan_where`] is the data-parallel counterpart of the
+//! columnstore's serial `scan_segment_where` kernel: the segment's chunks are
+//! grouped into contiguous *stripes*, stripes are fanned out across the
+//! pool's workers, each worker zone-prunes and scans its stripe with the
+//! **same per-chunk kernel the serial scan uses**
+//! ([`aidx_columnstore::ops::select::scan_chunk_where`]), and the per-stripe
+//! results are merged in stripe order. Because stripes cover disjoint,
+//! ascending position ranges, concatenation yields a sorted position list and
+//! a `+=`-fold of the per-stripe [`PruneStats`] — both byte-identical to the
+//! serial scan's output by construction.
+
+use crate::pool::{stripe_bounds, ThreadPool};
+use aidx_columnstore::ops::select::{scan_chunk_where, scan_segment_where, Predicate, PruneStats};
+use aidx_columnstore::position::PositionList;
+use aidx_columnstore::segment::{Segment, ZoneMap};
+use aidx_columnstore::types::{Key, RowId};
+
+/// Positions of every value in `segment` satisfying `matches`, scanned
+/// chunk-parallel across `pool` with per-chunk zone-map pruning.
+///
+/// Returns exactly what the serial `scan_segment_where` kernel returns —
+/// same sorted positions, same pruning statistics — for every pool size. A
+/// serial pool short-circuits into that kernel directly, so the default
+/// (parallelism 1) configuration pays no striping or merge overhead at all.
+pub fn parallel_scan_where(
+    pool: &ThreadPool,
+    segment: &Segment<Key>,
+    zone_may_match: impl Fn(&ZoneMap<Key>) -> bool + Sync,
+    matches: impl Fn(Key) -> bool + Sync,
+) -> (PositionList, PruneStats) {
+    if pool.is_serial() {
+        return scan_segment_where(segment, zone_may_match, matches);
+    }
+    let chunks: Vec<_> = segment.chunks().collect();
+    let stripes = stripe_bounds(chunks.len(), pool.threads());
+    let per_stripe = pool.run(stripes.len(), |s| {
+        let (begin, end) = stripes[s];
+        let mut out: Vec<RowId> = Vec::new();
+        let mut stats = PruneStats::default();
+        for chunk in &chunks[begin..end] {
+            scan_chunk_where(chunk, &zone_may_match, &matches, &mut out, &mut stats);
+        }
+        (out, stats)
+    });
+    let mut positions: Vec<RowId> =
+        Vec::with_capacity(per_stripe.iter().map(|(p, _)| p.len()).sum());
+    let mut stats = PruneStats::default();
+    // stripe order == chunk order == ascending position order, so plain
+    // concatenation keeps the list sorted and the stats fold with `+=`
+    for (stripe_positions, stripe_stats) in per_stripe {
+        positions.extend_from_slice(&stripe_positions);
+        stats += stripe_stats;
+    }
+    (PositionList::from_sorted_vec(positions), stats)
+}
+
+/// Scan `segment` with a range/point [`Predicate`], chunk-parallel: the
+/// parallel counterpart of `scan_select_segment`.
+pub fn parallel_scan_select(
+    pool: &ThreadPool,
+    segment: &Segment<Key>,
+    predicate: &Predicate,
+) -> (PositionList, PruneStats) {
+    parallel_scan_where(
+        pool,
+        segment,
+        |zone| predicate.zone_may_match(zone),
+        |v| predicate.matches(v),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aidx_columnstore::ops::select::scan_select_segment;
+
+    fn segment(n: usize, capacity: usize) -> Segment<Key> {
+        Segment::from_vec_with_capacity(
+            (0..n as Key).map(|i| (i * 7919) % n as Key).collect(),
+            capacity,
+        )
+    }
+
+    #[test]
+    fn parallel_scan_matches_serial_scan_exactly() {
+        let seg = segment(10_000, 64);
+        for threads in [1, 2, 4, 8] {
+            let pool = ThreadPool::new(threads);
+            for (low, high) in [(0, 500), (2_000, 9_000), (9_999, 10_000), (50_000, 60_000)] {
+                let predicate = Predicate::range(low, high);
+                let (serial_pos, serial_stats) = scan_select_segment(&seg, &predicate);
+                let (par_pos, par_stats) = parallel_scan_select(&pool, &seg, &predicate);
+                assert_eq!(par_pos, serial_pos, "{threads} threads [{low},{high})");
+                assert_eq!(par_stats, serial_stats, "{threads} threads [{low},{high})");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_scan_prunes_with_zone_maps() {
+        // sorted data => disjoint chunk ranges => most chunks prune
+        let seg = Segment::from_vec_with_capacity((0..10_000).collect(), 100);
+        let pool = ThreadPool::new(4);
+        let (positions, stats) = parallel_scan_select(&pool, &seg, &Predicate::range(4_250, 4_340));
+        assert_eq!(positions.len(), 90);
+        assert_eq!(stats.chunks_scanned, 2);
+        assert_eq!(stats.chunks_pruned, 98);
+    }
+
+    #[test]
+    fn empty_and_tail_only_segments() {
+        let pool = ThreadPool::new(4);
+        let empty: Segment<Key> = Segment::new();
+        let (positions, stats) = parallel_scan_select(&pool, &empty, &Predicate::range(0, 10));
+        assert!(positions.is_empty());
+        assert_eq!(stats.chunks_total(), 0);
+        let tail_only = Segment::from_vec_with_capacity(vec![5, 1, 9], 100);
+        let (positions, _) = parallel_scan_select(&pool, &tail_only, &Predicate::range(0, 6));
+        assert_eq!(positions.as_slice(), &[0, 1]);
+    }
+}

@@ -20,7 +20,7 @@
 //!
 //! See the individual crates for the implementation layers:
 //! `aidx-columnstore`, `aidx-cracking`, `aidx-merging`, `aidx-hybrids`,
-//! `aidx-baselines`, `aidx-workloads`, `aidx-core`.
+//! `aidx-baselines`, `aidx-parallel`, `aidx-workloads`, `aidx-core`.
 
 pub use aidx_baselines as baselines;
 pub use aidx_columnstore as columnstore;
@@ -28,6 +28,7 @@ pub use aidx_core as core;
 pub use aidx_cracking as cracking;
 pub use aidx_hybrids as hybrids;
 pub use aidx_merging as merging;
+pub use aidx_parallel as parallel;
 pub use aidx_workloads as workloads;
 
 pub use aidx_core::{
