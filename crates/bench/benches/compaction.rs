@@ -1,0 +1,86 @@
+//! Criterion benchmarks for the maintenance subsystem's chunk compaction.
+//!
+//! Three measurements around one churn-fragmented table:
+//!
+//! * `scan/fragmented` vs `scan/compacted` — the zone-pruned range scan a
+//!   query pays on a column of many undersized chunks vs the same rows in
+//!   full chunks: the win compaction buys.
+//! * `compact` — the cost of `Database::compact()` itself on a freshly
+//!   churned table: the price paid (off the query path) to buy that win.
+
+use aidx_columnstore::column::Column;
+use aidx_columnstore::ops::select::{scan_select_segment, Predicate};
+use aidx_columnstore::table::Table;
+use aidx_columnstore::types::{Key, Value};
+use aidx_core::strategy::StrategyKind;
+use aidx_core::Database;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+const ROWS: usize = 50_000;
+const CHURN: usize = 2_000;
+const CAPACITY: usize = 512;
+
+/// A database whose key column has been fragmented by `CHURN` inserts under
+/// live snapshots.
+fn churned_db() -> Database {
+    let db = Database::builder()
+        .default_strategy(StrategyKind::Cracking)
+        .segment_capacity(CAPACITY)
+        .try_build()
+        .expect("valid configuration");
+    db.create_table(
+        "data",
+        Table::from_columns(vec![("k", Column::from_i64((0..ROWS as i64).collect()))])
+            .expect("single-column table"),
+    )
+    .expect("fresh database");
+    let session = db.session();
+    for i in 0..CHURN {
+        let _snapshot = db.table_snapshot("data").expect("table exists");
+        session
+            .insert_row("data", &[Value::Int64((ROWS + i) as i64)])
+            .expect("append");
+    }
+    db
+}
+
+fn bench_compaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compaction");
+    group.sample_size(10);
+
+    let fragmented = churned_db();
+    let compacted = churned_db();
+    compacted.compact();
+    let predicate = Predicate::range((ROWS / 4) as Key, (ROWS / 2) as Key);
+
+    for (label, db) in [
+        ("scan/fragmented", &fragmented),
+        ("scan/compacted", &compacted),
+    ] {
+        let snapshot = db.table_snapshot("data").expect("table exists");
+        let segment = snapshot
+            .column("k")
+            .expect("key column")
+            .as_i64()
+            .expect("int64 column");
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(scan_select_segment(segment, &predicate)))
+        });
+    }
+
+    group.bench_function("compact", |b| {
+        b.iter_batched(
+            churned_db,
+            |db| {
+                black_box(db.compact());
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_compaction);
+criterion_main!(benches);

@@ -2,11 +2,14 @@
 //! of a single-row insert while snapshots are alive.
 //!
 //! Matrix: {segmented, flat} layout × {0, 1, 8} live snapshots. The
-//! segmented layout copy-on-writes only the mutable tail chunk, so its
-//! append cost must be independent of both table size and snapshot count;
-//! the flat layout (emulated with one table-sized chunk) deep-clones the
-//! whole table on every insert under a snapshot — the pre-segment behavior
-//! this subsystem replaces.
+//! segmented catalog path shares every sealed chunk across copy-on-write,
+//! clones only the tail, and *seals* the clone — the tail is paid for once
+//! at its current size and never re-copied as it grows — so its append
+//! cost must be independent of both table size and snapshot count; the flat
+//! layout (the pre-segment behavior, emulated on a bare `Arc<Table>` whose
+//! single giant tail can never seal) deep-clones the whole table on every
+//! insert under a snapshot. The fragmentation early seals leave behind is
+//! the `compaction` benchmark's subject.
 
 use aidx_columnstore::column::Column;
 use aidx_columnstore::segment::DEFAULT_SEGMENT_CAPACITY;
@@ -38,44 +41,72 @@ fn build_db(segment_capacity: usize) -> Database {
 fn bench_insert_under_snapshot(c: &mut Criterion) {
     let mut group = c.benchmark_group("insert_under_snapshot");
     group.sample_size(10);
-    for (layout, capacity) in [
-        ("segmented", DEFAULT_SEGMENT_CAPACITY),
-        // one chunk spanning the whole row-id domain: the tail can never
-        // seal no matter how many iterations the harness runs, so every
-        // copy-on-write append under a snapshot stays a full-table copy,
-        // like the flat layout it emulates
-        ("flat", u32::MAX as usize),
-    ] {
-        for snapshots in [0usize, 1, 8] {
-            group.bench_with_input(
-                BenchmarkId::new(layout, snapshots),
-                &snapshots,
-                |b, &snapshots| {
-                    let db = build_db(capacity);
-                    let session = db.session();
-                    // live readers: a ring of snapshots, one slot refreshed
-                    // to the *current* table version before every insert, so
-                    // each insert really copy-on-writes under a live snapshot
-                    let mut held: Vec<Arc<Table>> = (0..snapshots)
-                        .map(|_| db.table_snapshot("data").expect("table exists"))
-                        .collect();
-                    let mut next = ROWS as i64;
-                    b.iter(|| {
-                        next += 1;
-                        if !held.is_empty() {
-                            let slot = next as usize % held.len();
-                            held[slot] = db.table_snapshot("data").expect("table exists");
-                        }
-                        black_box(
-                            session
-                                .insert_row("data", &[Value::Int64(next)])
-                                .expect("append"),
-                        )
-                    });
-                    drop(held);
-                },
-            );
-        }
+    // segmented: the real catalog path
+    for snapshots in [0usize, 1, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("segmented", snapshots),
+            &snapshots,
+            |b, &snapshots| {
+                let db = build_db(DEFAULT_SEGMENT_CAPACITY);
+                let session = db.session();
+                // live readers: a ring of snapshots, one slot refreshed to
+                // the *current* table version before every insert, so each
+                // insert really copy-on-writes under a live snapshot
+                let mut held: Vec<Arc<Table>> = (0..snapshots)
+                    .map(|_| db.table_snapshot("data").expect("table exists"))
+                    .collect();
+                let mut next = ROWS as i64;
+                b.iter(|| {
+                    next += 1;
+                    if !held.is_empty() {
+                        let slot = next as usize % held.len();
+                        held[slot] = db.table_snapshot("data").expect("table exists");
+                    }
+                    black_box(
+                        session
+                            .insert_row("data", &[Value::Int64(next)])
+                            .expect("append"),
+                    )
+                });
+                drop(held);
+            },
+        );
+    }
+    // flat: the pre-segment behavior, emulated on a bare Arc<Table> whose
+    // one giant tail can never seal — every copy-on-write append under a
+    // snapshot is a full-table copy (the catalog path no longer has this
+    // degeneration: it seals shared tails instead of copying them)
+    for snapshots in [0usize, 1, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("flat", snapshots),
+            &snapshots,
+            |b, &snapshots| {
+                let mut table = Arc::new(
+                    Table::from_columns(vec![(
+                        "k",
+                        Column::from_i64((0..ROWS as i64).collect())
+                            .with_segment_capacity(u32::MAX as usize),
+                    )])
+                    .expect("single-column table"),
+                );
+                let mut held: Vec<Arc<Table>> =
+                    (0..snapshots).map(|_| Arc::clone(&table)).collect();
+                let mut next = ROWS as i64;
+                b.iter(|| {
+                    next += 1;
+                    if !held.is_empty() {
+                        let slot = next as usize % held.len();
+                        held[slot] = Arc::clone(&table);
+                    }
+                    black_box(
+                        Arc::make_mut(&mut table)
+                            .append_row(&[Value::Int64(next)])
+                            .expect("append"),
+                    )
+                });
+                drop(held);
+            },
+        );
     }
     group.finish();
 }

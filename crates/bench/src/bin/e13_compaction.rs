@@ -1,0 +1,232 @@
+//! E13 — Background maintenance: fragmentation, compaction, and the
+//! scan-latency curve.
+//!
+//! Heavy insert churn under live snapshots fragments a column: every
+//! copy-on-write append seals the shared tail early (so the append copies
+//! nothing), leaving a trail of undersized sealed chunks. Scans then pay
+//! per-chunk overhead proportional to the chunk *count*, not the row count.
+//! The maintenance subsystem's adaptive chunk compaction merges fragment
+//! runs back into full `segment_capacity` chunks, publishing each compacted
+//! table under a reconcilable epoch so adaptive indexes survive.
+//!
+//! This harness drives that full arc and prints the curve:
+//!
+//! 1. **Fragmentation** — churn batches of inserts (each under a live
+//!    snapshot) and, after every batch, record the sealed-chunk count and
+//!    the median latency of a raw zone-pruned range scan.
+//! 2. **Compaction** — run `Database::compact()` and measure it.
+//! 3. **Recovery** — record chunk count and scan latency again.
+//!
+//! Asserted invariants (the ISSUE 5 acceptance criteria):
+//! * churn produces at least 8× more sealed chunks than ideal;
+//! * compaction restores the chunk count to within 2× of ideal;
+//! * query position sets are byte-identical before and after compaction,
+//!   and identical to a maintenance-free engine holding the same rows;
+//! * queries racing a background compaction thread also answer identically.
+
+use aidx_bench::HarnessConfig;
+use aidx_columnstore::column::Column;
+use aidx_columnstore::ops::select::{scan_select_segment, Predicate};
+use aidx_columnstore::table::Table;
+use aidx_columnstore::types::{Key, RowId, Value};
+use aidx_core::strategy::StrategyKind;
+use aidx_core::Database;
+use aidx_maintenance::MaintenanceConfig;
+use std::time::Instant;
+
+const SEGMENT_CAPACITY: usize = 1024;
+const CHURN_BATCHES: usize = 8;
+
+/// Median-of-five latency of a raw zone-pruned range scan over the current
+/// key column (raw, so adaptive indexes cannot hide the physical layout).
+fn scan_latency_ms(db: &Database, low: Key, high: Key) -> (f64, usize) {
+    let snapshot = db.table_snapshot("data").expect("table exists");
+    let segment = snapshot
+        .column("k")
+        .expect("key column")
+        .as_i64()
+        .expect("int64 column");
+    let mut times = Vec::with_capacity(5);
+    let mut hits = 0;
+    for _ in 0..5 {
+        let start = Instant::now();
+        let (positions, _) = scan_select_segment(segment, &Predicate::range(low, high));
+        times.push(start.elapsed().as_secs_f64() * 1e3);
+        hits = positions.len();
+    }
+    times.sort_by(f64::total_cmp);
+    (times[2], hits)
+}
+
+fn chunk_count(db: &Database) -> usize {
+    db.table_snapshot("data")
+        .expect("table exists")
+        .column("k")
+        .expect("key column")
+        .as_i64()
+        .expect("int64 column")
+        .sealed_chunk_count()
+}
+
+fn positions_of(db: &Database, low: Key, high: Key) -> Vec<RowId> {
+    db.session()
+        .query("data")
+        .range("k", low, high)
+        .execute()
+        .expect("range query")
+        .positions()
+        .clone()
+        .into_vec()
+}
+
+fn build_db(keys: &[Key], background: bool) -> Database {
+    let db = Database::builder()
+        .default_strategy(StrategyKind::Cracking)
+        .segment_capacity(SEGMENT_CAPACITY)
+        .maintenance(MaintenanceConfig {
+            background,
+            tick_interval: std::time::Duration::from_millis(1),
+            ..Default::default()
+        })
+        .try_build()
+        .expect("valid configuration");
+    db.create_table(
+        "data",
+        Table::from_columns(vec![("k", Column::from_i64(keys.to_vec()))])
+            .expect("single-column table"),
+    )
+    .expect("fresh database");
+    db
+}
+
+/// Insert `count` rows, each under a freshly taken live snapshot, so every
+/// append copy-on-writes and seals the shared tail early.
+fn churn(db: &Database, start_key: Key, count: usize) {
+    let session = db.session();
+    for i in 0..count {
+        let _snapshot = db.table_snapshot("data").expect("table exists");
+        session
+            .insert_row("data", &[Value::Int64(start_key + i as Key)])
+            .expect("append");
+    }
+}
+
+fn main() {
+    let config = HarnessConfig::default();
+    let rows = config.rows.min(400_000);
+    let churn_per_batch = (rows / 8).clamp(64, 8_192);
+    let keys: Vec<Key> = (0..rows as Key).collect();
+    let (low, high) = (rows as Key / 4, rows as Key / 2);
+
+    println!(
+        "# E13 chunk compaction — {rows} seed rows, capacity {SEGMENT_CAPACITY}, \
+         {CHURN_BATCHES} churn batches x {churn_per_batch} inserts under live snapshots"
+    );
+    println!(
+        "\n{:<24} {:>12} {:>12} {:>14} {:>12}",
+        "phase", "rows", "chunks", "scan ms", "hits"
+    );
+
+    let db = build_db(&keys, false);
+    let (latency, hits) = scan_latency_ms(&db, low, high);
+    println!(
+        "{:<24} {:>12} {:>12} {:>14.3} {:>12}",
+        "seed",
+        rows,
+        chunk_count(&db),
+        latency,
+        hits
+    );
+
+    // 1. fragmentation curve
+    for batch in 0..CHURN_BATCHES {
+        churn(
+            &db,
+            (rows + batch * churn_per_batch) as Key,
+            churn_per_batch,
+        );
+        let (latency, hits) = scan_latency_ms(&db, low, high);
+        println!(
+            "{:<24} {:>12} {:>12} {:>14.3} {:>12}",
+            format!("churn-{}", batch + 1),
+            rows + (batch + 1) * churn_per_batch,
+            chunk_count(&db),
+            latency,
+            hits
+        );
+    }
+    let total_rows = rows + CHURN_BATCHES * churn_per_batch;
+    let ideal = total_rows.div_ceil(SEGMENT_CAPACITY);
+    let fragmented_chunks = chunk_count(&db);
+    assert!(
+        fragmented_chunks >= 8 * ideal,
+        "churn must fragment >= 8x over ideal ({fragmented_chunks} vs {ideal})"
+    );
+    let (fragmented_latency, _) = scan_latency_ms(&db, low, high);
+    let reference = positions_of(&db, low, high);
+
+    // 2. compaction
+    let start = Instant::now();
+    let report = db.compact();
+    let compact_ms = start.elapsed().as_secs_f64() * 1e3;
+    let (latency, hits) = scan_latency_ms(&db, low, high);
+    println!(
+        "{:<24} {:>12} {:>12} {:>14.3} {:>12}",
+        "compacted",
+        total_rows,
+        chunk_count(&db),
+        latency,
+        hits
+    );
+    println!(
+        "\ncompact(): {} rows merged, {} chunks removed, {} publishes, \
+         {} indexes reconciled, {} ticks, {compact_ms:.2} ms",
+        report.rows_merged,
+        report.chunks_removed,
+        report.compactions_published,
+        report.indexes_reconciled,
+        report.ticks
+    );
+
+    // 3. invariants
+    let compacted_chunks = chunk_count(&db);
+    assert!(
+        compacted_chunks <= 2 * ideal,
+        "compaction must restore chunk count to within 2x of ideal \
+         ({compacted_chunks} vs {ideal})"
+    );
+    assert_eq!(
+        positions_of(&db, low, high),
+        reference,
+        "compaction must not change any answer"
+    );
+    println!(
+        "chunk count: {fragmented_chunks} fragmented -> {compacted_chunks} compacted \
+         (ideal {ideal}); scan latency {fragmented_latency:.3} ms -> {latency:.3} ms"
+    );
+
+    // 4. queries racing a background compaction thread answer byte-identically
+    // to a maintenance-free engine holding the same rows
+    let racing = build_db(&keys, true);
+    let quiet = build_db(&keys, false);
+    churn(&racing, rows as Key, churn_per_batch);
+    churn(&quiet, rows as Key, churn_per_batch);
+    let mut checked = 0usize;
+    for q in 0..40 {
+        let qlow = ((q * 7919) % rows) as Key;
+        let qhigh = qlow + (rows / 50) as Key;
+        let concurrent = positions_of(&racing, qlow, qhigh);
+        let serial = positions_of(&quiet, qlow, qhigh);
+        assert_eq!(
+            concurrent, serial,
+            "query [{qlow},{qhigh}) diverged under background compaction"
+        );
+        checked += concurrent.len();
+    }
+    println!(
+        "background-race check: 40 queries, {checked} total positions, all \
+         byte-identical to the maintenance-free engine \
+         (background stats: {:?})",
+        racing.maintenance_stats()
+    );
+}

@@ -149,13 +149,29 @@ impl Catalog {
         Ok(self.entry(name)?.version)
     }
 
-    /// Append one row to `name` (copy-on-write: when a snapshot is alive the
-    /// write goes to a private copy that shares every sealed chunk and
-    /// clones only the segment tails). Keeps the epoch and bumps the
-    /// append sub-version; returns the new row id.
+    /// Append one row to `name` (copy-on-write: when a snapshot is alive,
+    /// the write goes to a private copy that shares every sealed chunk and
+    /// clones only each column's mutable tail — and then *seals* those
+    /// cloned tails before appending). Keeps the epoch and bumps the append
+    /// sub-version; returns the new row id.
+    ///
+    /// Sealing on the copy-on-write path is what keeps churn cheap: the
+    /// clone pays for the tail once, at whatever size it currently has, and
+    /// the seal empties it — so the *next* append under a snapshot copies
+    /// only the rows appended since (typically one), instead of re-copying
+    /// a tail that keeps growing toward a full chunk. The price is an
+    /// *undersized* sealed chunk per snapshot/append interleaving: heavy
+    /// insert churn fragments the columns, which is the debt the background
+    /// maintenance subsystem's chunk compaction
+    /// ([`Catalog::publish_compacted`]) pays down.
     pub fn append_row(&mut self, name: &str, values: &[Value]) -> Result<RowId> {
         let entry = self.entry_mut(name)?;
-        let row_id = Arc::make_mut(&mut entry.table).append_row(values)?;
+        let shared = Arc::strong_count(&entry.table) > 1;
+        let table = Arc::make_mut(&mut entry.table);
+        if shared {
+            table.seal_tails();
+        }
+        let row_id = table.append_row(values)?;
         entry.version.append_seq += 1;
         Ok(row_id)
     }
@@ -169,7 +185,11 @@ impl Catalog {
         for row in rows {
             entry.table.validate_row(row)?;
         }
+        let shared = Arc::strong_count(&entry.table) > 1;
         let table = Arc::make_mut(&mut entry.table);
+        if shared {
+            table.seal_tails();
+        }
         for row in rows {
             table
                 .append_row(row)
@@ -177,6 +197,46 @@ impl Catalog {
         }
         entry.version.append_seq += 1;
         Ok(())
+    }
+
+    /// Publish a *compacted* incarnation of `name`: a table holding exactly
+    /// the same rows at exactly the same positions, with runs of undersized
+    /// chunks merged back into full ones (built with
+    /// [`crate::table::Table::compact_column`]).
+    ///
+    /// The swap goes through the same copy-on-write path as every other
+    /// write — live snapshots keep their old `Arc` and therefore their old
+    /// layout — and stamps a **fresh epoch** (returned as `(old, new)`).
+    /// Unlike [`Catalog::table_mut`], though, the caller *proves* the change
+    /// is layout-only (row counts are checked here; contents are the
+    /// caller's contract), so derived state keyed on the old epoch is not
+    /// garbage: the index layer can *reconcile* its indexes onto the new
+    /// epoch instead of discarding the structure queries paid to build.
+    pub fn publish_compacted(&mut self, name: &str, compacted: Table) -> Result<(u64, u64)> {
+        {
+            let entry = self.entry(name)?;
+            if entry.table.row_count() != compacted.row_count() {
+                return Err(ColumnStoreError::LengthMismatch {
+                    expected: entry.table.row_count(),
+                    found: compacted.row_count(),
+                });
+            }
+            debug_assert_eq!(
+                entry.table.schema(),
+                compacted.schema(),
+                "compaction must not change the schema"
+            );
+        }
+        self.next_epoch += 1;
+        let epoch = self.next_epoch;
+        let entry = self.tables.get_mut(name).expect("checked above");
+        let old_epoch = entry.version.epoch;
+        entry.version = TableVersion {
+            epoch,
+            append_seq: 0,
+        };
+        entry.table = Arc::new(compacted);
+        Ok((old_epoch, epoch))
     }
 
     /// Mutably borrow a table for *structural* changes (copy-on-write:
@@ -373,8 +433,78 @@ mod tests {
         {
             assert!(Arc::ptr_eq(a, b), "sealed chunks are pointer-shared");
         }
+        // the write under a live snapshot sealed the shared tail [8, 9] as
+        // an undersized chunk (copying nothing) and appended to a fresh tail
         assert_eq!(seg_before.tail(), &[8, 9]);
-        assert_eq!(seg_after.tail(), &[8, 9, 10]);
+        assert_eq!(seg_after.sealed_chunk_count(), 3);
+        assert_eq!(seg_after.sealed_chunk_lens(), vec![4, 4, 2]);
+        assert_eq!(seg_after.tail(), &[10]);
+    }
+
+    #[test]
+    fn unshared_appends_never_fragment() {
+        let mut c = Catalog::new();
+        let table = Table::from_columns(vec![(
+            "a",
+            Column::from_i64((0..10).collect()).with_segment_capacity(4),
+        )])
+        .unwrap();
+        c.create_table("t", table).unwrap();
+        // no snapshot alive: appends grow the tail in place, sealing only
+        // exactly-full chunks, so the layout stays uniform
+        for i in 10..20 {
+            c.append_row("t", &[Value::Int64(i)]).unwrap();
+        }
+        let seg = c.table("t").unwrap().column("a").unwrap().as_i64().unwrap();
+        assert_eq!(seg.fragmented_chunk_count(), 0);
+        assert_eq!(seg.sealed_chunk_count(), 5);
+    }
+
+    #[test]
+    fn publish_compacted_keeps_rows_and_snapshots_but_bumps_the_epoch() {
+        let mut c = Catalog::new();
+        let table = Table::from_columns(vec![(
+            "a",
+            Column::from_i64((0..8).collect()).with_segment_capacity(4),
+        )])
+        .unwrap();
+        c.create_table("t", table).unwrap();
+        // churn: every append under a live snapshot seals the tail early
+        for i in 8..16 {
+            let _snapshot = c.table_arc("t").unwrap();
+            c.append_row("t", &[Value::Int64(i)]).unwrap();
+        }
+        let fragmented = c.table_arc("t").unwrap();
+        let seg = fragmented.column("a").unwrap().as_i64().unwrap();
+        assert!(seg.fragmented_chunk_count() >= 6, "churn fragments");
+        let old_version = c.table_version("t").unwrap();
+
+        // merge every undersized run and publish
+        let runs = vec![(2, seg.sealed_chunk_count())];
+        let compacted = fragmented.compact_column(0, &runs);
+        let (old, new) = c.publish_compacted("t", compacted).unwrap();
+        assert_eq!(old, old_version.epoch);
+        assert!(new > old, "fresh epoch");
+        assert_eq!(c.table_version("t").unwrap().append_seq, 0);
+
+        // the live snapshot still sees the fragmented layout; the catalog's
+        // current table has the merged one — with identical contents
+        assert!(seg.fragmented_chunk_count() >= 6);
+        let current = c.table_arc("t").unwrap();
+        let compacted_seg = current.column("a").unwrap().as_i64().unwrap();
+        assert!(compacted_seg.sealed_chunk_count() < seg.sealed_chunk_count());
+        assert_eq!(compacted_seg.to_vec(), seg.to_vec());
+
+        // row-count drift is rejected
+        let mut wrong = Table::from_columns(vec![("a", Column::from_i64(vec![1]))]).unwrap();
+        wrong.append_row(&[Value::Int64(2)]).unwrap();
+        assert!(matches!(
+            c.publish_compacted("t", wrong),
+            Err(ColumnStoreError::LengthMismatch { .. })
+        ));
+        assert!(c
+            .publish_compacted("missing", Table::from_columns(vec![]).unwrap())
+            .is_err());
     }
 
     #[test]

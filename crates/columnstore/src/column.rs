@@ -295,6 +295,52 @@ impl Column {
         self.len() * self.data_type().value_width()
     }
 
+    /// Seal the backing segment's mutable tail as an (undersized) immutable
+    /// chunk; returns `true` when a chunk was sealed. The copy-on-write
+    /// append path calls this so a writer under a live snapshot shares the
+    /// former tail instead of deep-copying it (see [`Segment::seal_tail`]).
+    pub fn seal_tail(&mut self) -> bool {
+        match self {
+            Column::Int64(c) => c.seal_tail(),
+            Column::Float64(c) => c.seal_tail(),
+            Column::Utf8 { codes, .. } => codes.seal_tail(),
+        }
+    }
+
+    /// Row counts of the backing segment's sealed chunks, in chunk order
+    /// (the observation a compaction policy plans over).
+    pub fn sealed_chunk_lens(&self) -> Vec<usize> {
+        match self {
+            Column::Int64(c) => c.sealed_chunk_lens(),
+            Column::Float64(c) => c.sealed_chunk_lens(),
+            Column::Utf8 { codes, .. } => codes.sealed_chunk_lens(),
+        }
+    }
+
+    /// Number of undersized sealed chunks in the backing segment.
+    pub fn fragmented_chunk_count(&self) -> usize {
+        match self {
+            Column::Int64(c) => c.fragmented_chunk_count(),
+            Column::Float64(c) => c.fragmented_chunk_count(),
+            Column::Utf8 { codes, .. } => codes.fragmented_chunk_count(),
+        }
+    }
+
+    /// The column with the given runs of sealed chunks merged into full
+    /// chunks (see [`Segment::compact_runs`]): same values at the same
+    /// positions, fewer and fuller chunks. Chunks outside the runs — and the
+    /// string dictionary — are shared, not copied.
+    pub fn compact_runs(&self, runs: &[(usize, usize)]) -> Column {
+        match self {
+            Column::Int64(c) => Column::Int64(c.compact_runs(runs)),
+            Column::Float64(c) => Column::Float64(c.compact_runs(runs)),
+            Column::Utf8 { codes, dictionary } => Column::Utf8 {
+                codes: codes.compact_runs(runs),
+                dictionary: Arc::clone(dictionary),
+            },
+        }
+    }
+
     /// Append a dynamically typed value. Returns the new row's position.
     pub fn push_value(&mut self, column_name: &str, value: &Value) -> Result<RowId> {
         match (self, value) {

@@ -205,6 +205,38 @@ pub fn scan_chunk_where(
     }
 }
 
+/// Filter the candidate positions of one chunk: the per-chunk unit of the
+/// residual (late-materialized) filter step, shared by the serial executor
+/// path and the chunk-parallel residual filter in `aidx-parallel` — so
+/// serial and parallel residual filtering produce identical position sets
+/// and identical pruning statistics by construction.
+///
+/// `candidates` must all fall inside `chunk` (callers split the global
+/// candidate list by chunk bounds). A chunk whose zone map cannot satisfy
+/// the predicate rejects all its candidates without reading a value.
+pub fn filter_chunk_positions(
+    chunk: &crate::segment::ChunkView<'_, Key>,
+    candidates: &[RowId],
+    zone_may_match: impl Fn(&crate::segment::ZoneMap<Key>) -> bool,
+    matches: impl Fn(Key) -> bool,
+    out: &mut Vec<RowId>,
+    stats: &mut PruneStats,
+) {
+    debug_assert!(candidates
+        .iter()
+        .all(|&p| p >= chunk.base && p < chunk.end()));
+    if !zone_may_match(&chunk.zone) {
+        stats.chunks_pruned += 1;
+        return;
+    }
+    stats.chunks_scanned += 1;
+    for &p in candidates {
+        if matches(chunk.values[(p - chunk.base) as usize]) {
+            out.push(p);
+        }
+    }
+}
+
 /// Scan a chunked key [`Segment`] with a range predicate, chunk-at-a-time:
 /// chunks whose zone map cannot satisfy the predicate are skipped without
 /// touching their values. Returns the qualifying positions plus pruning

@@ -19,11 +19,22 @@
 //! exposes them so tests can assert `Arc::ptr_eq`).
 //!
 //! Row identity is unchanged from the flat representation: a [`RowId`] is the
-//! stable global position of the row, and `(chunk, offset)` is derived as
-//! `(rowid / capacity, rowid % capacity)` because sealed chunks are always
-//! exactly full. Adaptive indexes built on top of a segment keep emitting
-//! global positions, so nothing above the storage layer has to re-learn row
-//! identity.
+//! stable global position of the row. Chunks sealed by an overflowing tail
+//! are always exactly full, so `(chunk, offset)` is derived as
+//! `(rowid / capacity, rowid % capacity)` on that fast path; a tail can also
+//! be sealed *early* ([`Segment::seal_tail`] — the copy-on-write append path
+//! seals the tails of its private clone, so repeated appends under snapshots
+//! copy only the rows appended since the last seal instead of a tail that
+//! keeps growing toward a full chunk), which produces **undersized**
+//! sealed chunks. A segment with undersized chunks keeps a per-chunk base
+//! table and resolves positions by binary search instead of division. Heavy
+//! insert churn under snapshots therefore fragments a column into many small
+//! sealed chunks; [`Segment::compact_runs`] merges runs of them back into
+//! full chunks **without changing any row's global position**, which is what
+//! lets the maintenance subsystem reconcile adaptive indexes across a
+//! compaction instead of rebuilding them. Adaptive indexes built on top of a
+//! segment keep emitting global positions, so nothing above the storage layer
+//! has to re-learn row identity.
 
 mod chunk;
 mod zone;
@@ -48,6 +59,15 @@ pub const DEFAULT_SEGMENT_CAPACITY: usize = 4096;
 pub struct Segment<T> {
     capacity: usize,
     sealed: Vec<Arc<SealedChunk<T>>>,
+    /// Global base position of each sealed chunk (`bases[i]` = number of
+    /// rows in sealed chunks before chunk `i`). Consulted only when the
+    /// segment is not `uniform`.
+    bases: Vec<RowId>,
+    /// Total rows across all sealed chunks.
+    sealed_rows: usize,
+    /// True while every sealed chunk holds exactly `capacity` rows, so
+    /// position lookups can use division instead of binary search.
+    uniform: bool,
     tail: Vec<T>,
     tail_zone: ZoneMap<T>,
 }
@@ -74,6 +94,9 @@ impl<T: Copy + PartialOrd + std::fmt::Debug> Segment<T> {
         Segment {
             capacity,
             sealed: Vec::new(),
+            bases: Vec::new(),
+            sealed_rows: 0,
+            uniform: true,
             tail: Vec::new(),
             tail_zone: ZoneMap::empty(),
         }
@@ -98,7 +121,7 @@ impl<T: Copy + PartialOrd + std::fmt::Debug> Segment<T> {
 
     /// Total number of rows (sealed + tail).
     pub fn len(&self) -> usize {
-        self.sealed.len() * self.capacity + self.tail.len()
+        self.sealed_rows + self.tail.len()
     }
 
     /// True when the segment holds no rows.
@@ -140,37 +163,73 @@ impl<T: Copy + PartialOrd + std::fmt::Debug> Segment<T> {
         }
     }
 
-    fn seal_tail(&mut self) {
-        debug_assert_eq!(self.tail.len(), self.capacity);
+    /// Seal the current tail as an immutable chunk, even when it holds fewer
+    /// than `capacity` rows. Returns `true` when a chunk was sealed (`false`
+    /// for an empty tail — empty chunks never exist).
+    ///
+    /// Within one segment this is a move, not a copy. The copy-on-write
+    /// append path seals the tails of its private clone before appending:
+    /// the clone pays for the tail once, at its current size, and from then
+    /// on the sealed chunk is `Arc`-shared with every later snapshot — so
+    /// churn copies only the rows appended since the last seal, never a
+    /// growing tail. The price is an *undersized* sealed chunk; heavy churn
+    /// under snapshots accumulates many of them, which the maintenance
+    /// subsystem's chunk compaction ([`Segment::compact_runs`]) merges back
+    /// into full chunks.
+    pub fn seal_tail(&mut self) -> bool {
+        if self.tail.is_empty() {
+            return false;
+        }
         let values = std::mem::take(&mut self.tail);
         let zone = std::mem::take(&mut self.tail_zone);
-        self.sealed
-            .push(Arc::new(SealedChunk::seal_with_zone(values, zone)));
+        self.push_sealed(Arc::new(SealedChunk::seal_with_zone(values, zone)));
+        true
+    }
+
+    /// Append an already sealed chunk, maintaining the base table and the
+    /// uniformity fast-path flag.
+    fn push_sealed(&mut self, chunk: Arc<SealedChunk<T>>) {
+        debug_assert!(!chunk.is_empty(), "empty chunks never exist");
+        debug_assert!(chunk.len() <= self.capacity);
+        self.bases.push(self.sealed_rows as RowId);
+        self.sealed_rows += chunk.len();
+        self.uniform &= chunk.len() == self.capacity;
+        self.sealed.push(chunk);
+    }
+
+    /// Index of the sealed chunk containing global position `p`; the caller
+    /// guarantees `p < self.sealed_rows`.
+    #[inline]
+    fn sealed_chunk_index(&self, p: usize) -> usize {
+        if self.uniform {
+            p / self.capacity
+        } else {
+            // the first base greater than p belongs to the *next* chunk
+            self.bases.partition_point(|&b| b as usize <= p) - 1
+        }
     }
 
     /// Value at `position`, if in bounds.
     pub fn get(&self, position: usize) -> Option<T> {
-        let chunk = position / self.capacity;
-        if chunk < self.sealed.len() {
+        if position < self.sealed_rows {
+            let chunk = self.sealed_chunk_index(position);
             self.sealed[chunk]
                 .values()
-                .get(position % self.capacity)
+                .get(position - self.bases[chunk] as usize)
                 .copied()
         } else {
-            self.tail
-                .get(position - self.sealed.len() * self.capacity)
-                .copied()
+            self.tail.get(position - self.sealed_rows).copied()
         }
     }
 
     /// Value at `position`; panics when out of bounds (hot-path accessor).
     #[inline]
     pub fn value(&self, position: usize) -> T {
-        let chunk = position / self.capacity;
-        if chunk < self.sealed.len() {
-            self.sealed[chunk].values()[position % self.capacity]
+        if position < self.sealed_rows {
+            let chunk = self.sealed_chunk_index(position);
+            self.sealed[chunk].values()[position - self.bases[chunk] as usize]
         } else {
-            self.tail[position - self.sealed.len() * self.capacity]
+            self.tail[position - self.sealed_rows]
         }
     }
 
@@ -179,13 +238,11 @@ impl<T: Copy + PartialOrd + std::fmt::Debug> Segment<T> {
     /// base position and zone map, so operators can prune and scan
     /// chunk-at-a-time.
     pub fn chunks(&self) -> impl Iterator<Item = ChunkView<'_, T>> + '_ {
-        let capacity = self.capacity;
-        let sealed_rows = self.sealed.len() * capacity;
         let tail_view = if self.tail.is_empty() {
             None
         } else {
             Some(ChunkView {
-                base: sealed_rows as RowId,
+                base: self.sealed_rows as RowId,
                 values: self.tail.as_slice(),
                 zone: self.tail_zone,
                 sealed: false,
@@ -193,9 +250,9 @@ impl<T: Copy + PartialOrd + std::fmt::Debug> Segment<T> {
         };
         self.sealed
             .iter()
-            .enumerate()
-            .map(move |(i, chunk)| ChunkView {
-                base: (i * capacity) as RowId,
+            .zip(self.bases.iter())
+            .map(|(chunk, &base)| ChunkView {
+                base,
                 values: chunk.values(),
                 zone: *chunk.zone(),
                 sealed: true,
@@ -261,17 +318,17 @@ impl<T: Copy + PartialOrd + std::fmt::Debug> Segment<T> {
 
     /// The chunk view containing global position `p` (panics out of bounds).
     fn chunk_containing(&self, p: RowId) -> ChunkView<'_, T> {
-        let chunk = p as usize / self.capacity;
-        if chunk < self.sealed.len() {
+        if (p as usize) < self.sealed_rows {
+            let chunk = self.sealed_chunk_index(p as usize);
             ChunkView {
-                base: (chunk * self.capacity) as RowId,
+                base: self.bases[chunk],
                 values: self.sealed[chunk].values(),
                 zone: *self.sealed[chunk].zone(),
                 sealed: true,
             }
         } else {
             ChunkView {
-                base: (self.sealed.len() * self.capacity) as RowId,
+                base: self.sealed_rows as RowId,
                 values: self.tail.as_slice(),
                 zone: self.tail_zone,
                 sealed: false,
@@ -300,12 +357,87 @@ impl<T: Copy + PartialOrd + std::fmt::Debug> Segment<T> {
     }
 
     /// The same rows re-chunked to `capacity` rows per chunk. Returns a
-    /// clone (sharing every sealed chunk) when the capacity already matches.
+    /// clone (sharing every sealed chunk, and keeping any undersized chunks
+    /// as they are — that is compaction's job, not re-chunking's) when the
+    /// capacity already matches.
     pub fn rechunked(&self, capacity: usize) -> Segment<T> {
         if capacity == self.capacity {
             return self.clone();
         }
         Segment::from_vec_with_capacity(self.to_vec(), capacity)
+    }
+
+    /// Row counts of the sealed chunks, in chunk order — the observation a
+    /// compaction policy plans over.
+    pub fn sealed_chunk_lens(&self) -> Vec<usize> {
+        self.sealed.iter().map(|c| c.len()).collect()
+    }
+
+    /// Number of sealed chunks holding fewer than `capacity` rows
+    /// (undersized chunks produced by early tail seals under snapshots).
+    pub fn fragmented_chunk_count(&self) -> usize {
+        if self.uniform {
+            return 0;
+        }
+        self.sealed
+            .iter()
+            .filter(|c| c.len() < self.capacity)
+            .count()
+    }
+
+    /// Merge the given runs of sealed chunks, adaptive-merging style: each
+    /// half-open run `[start, end)` of consecutive sealed chunks is rewritten
+    /// into full `capacity`-row chunks (plus at most one final partial
+    /// chunk), while every sealed chunk *outside* the runs — and the mutable
+    /// tail — is shared by `Arc`, not copied.
+    ///
+    /// Compaction is a pure physical re-layout: the returned segment holds
+    /// the same values at the same global positions (`compact_runs` changes
+    /// `chunks()`, never `iter()`), which is what allows adaptive indexes
+    /// built on the old layout to be *reconciled* onto the compacted segment
+    /// instead of rebuilt.
+    ///
+    /// # Panics
+    /// Panics when the runs are not sorted, not disjoint, or out of bounds —
+    /// plans come from a compaction-policy planner (`aidx-maintenance`) that
+    /// guarantees these invariants, so violating them is a logic error, not
+    /// an input error.
+    pub fn compact_runs(&self, runs: &[(usize, usize)]) -> Segment<T> {
+        let mut previous_end = 0;
+        for &(start, end) in runs {
+            assert!(
+                start >= previous_end && start < end && end <= self.sealed.len(),
+                "compaction runs must be sorted, disjoint and in bounds \
+                 (run [{start}, {end}) over {} sealed chunks)",
+                self.sealed.len()
+            );
+            previous_end = end;
+        }
+        let mut out = Segment::with_chunk_capacity(self.capacity);
+        let mut next_run = 0;
+        let mut i = 0;
+        while i < self.sealed.len() {
+            if next_run < runs.len() && runs[next_run].0 == i {
+                let (start, end) = runs[next_run];
+                next_run += 1;
+                let total: usize = self.sealed[start..end].iter().map(|c| c.len()).sum();
+                let mut merged: Vec<T> = Vec::with_capacity(total);
+                for chunk in &self.sealed[start..end] {
+                    merged.extend_from_slice(chunk.values());
+                }
+                for piece in merged.chunks(self.capacity) {
+                    out.push_sealed(Arc::new(SealedChunk::seal(piece.to_vec())));
+                }
+                i = end;
+            } else {
+                out.push_sealed(Arc::clone(&self.sealed[i]));
+                i += 1;
+            }
+        }
+        out.tail = self.tail.clone();
+        out.tail_zone = self.tail_zone;
+        debug_assert_eq!(out.len(), self.len(), "compaction preserves rows");
+        out
     }
 }
 
@@ -530,6 +662,97 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_panics() {
         let _ = Segment::<i64>::with_chunk_capacity(0);
+    }
+
+    #[test]
+    fn early_seal_produces_undersized_chunks_with_exact_lookup() {
+        let mut s: Segment<i64> = Segment::with_chunk_capacity(8);
+        for i in 0..5 {
+            s.push(i);
+        }
+        assert!(s.seal_tail(), "non-empty tail seals");
+        assert!(!s.seal_tail(), "empty tail does not");
+        for i in 5..14 {
+            s.push(i);
+        }
+        // layout: sealed [0..5), sealed [5..13), tail [13..14)
+        assert_eq!(s.sealed_chunk_count(), 2);
+        assert_eq!(s.sealed_chunk_lens(), vec![5, 8]);
+        assert_eq!(s.fragmented_chunk_count(), 1);
+        assert_eq!(s.len(), 14);
+        for i in 0..14 {
+            assert_eq!(s.value(i), i as i64, "position {i}");
+            assert_eq!(s.get(i), Some(i as i64));
+        }
+        assert_eq!(s.get(14), None);
+        // chunk views carry the true bases
+        let bases: Vec<RowId> = s.chunks().map(|c| c.base).collect();
+        assert_eq!(bases, vec![0, 5, 13]);
+        // gather crosses undersized chunk boundaries correctly
+        let gathered = s.gather_positions(&[0, 4, 5, 12, 13]);
+        assert_eq!(gathered, vec![0, 4, 5, 12, 13]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), (0..14).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn full_chunks_are_never_counted_fragmented() {
+        let s = segment(32, 8);
+        assert_eq!(s.fragmented_chunk_count(), 0);
+        assert_eq!(s.sealed_chunk_lens(), vec![8, 8, 8, 8]);
+    }
+
+    #[test]
+    fn compact_runs_merges_fragments_and_shares_the_rest() {
+        let mut s: Segment<i64> = Segment::with_chunk_capacity(4);
+        for i in 0..4 {
+            s.push(i); // one full chunk, kept out of the plan
+        }
+        for i in 4..10 {
+            s.push(i);
+            s.seal_tail(); // six single-row fragments
+        }
+        s.push(10); // tail
+        assert_eq!(s.sealed_chunk_lens(), vec![4, 1, 1, 1, 1, 1, 1]);
+        let compacted = s.compact_runs(&[(1, 7)]);
+        // six 1-row fragments merge into one full chunk + one 2-row remainder
+        assert_eq!(compacted.sealed_chunk_lens(), vec![4, 4, 2]);
+        assert_eq!(compacted.fragmented_chunk_count(), 1);
+        // logical contents and positions are untouched
+        assert_eq!(compacted.len(), s.len());
+        assert_eq!(compacted, s, "equality is layout-independent");
+        for i in 0..11 {
+            assert_eq!(compacted.value(i), i as i64);
+        }
+        // the untouched full chunk is pointer-shared, not copied
+        assert!(Arc::ptr_eq(
+            &s.sealed_chunks()[0],
+            &compacted.sealed_chunks()[0]
+        ));
+        // the tail is preserved
+        assert_eq!(compacted.tail(), &[10]);
+        // zone maps of merged chunks are exact
+        for chunk in compacted.chunks() {
+            assert_eq!(chunk.zone.min(), chunk.values.iter().copied().min());
+            assert_eq!(chunk.zone.max(), chunk.values.iter().copied().max());
+            assert_eq!(chunk.zone.row_count(), chunk.values.len());
+        }
+        // an empty plan is an Arc-sharing clone
+        let untouched = s.compact_runs(&[]);
+        assert_eq!(untouched.sealed_chunk_lens(), s.sealed_chunk_lens());
+        for (a, b) in s.sealed_chunks().iter().zip(untouched.sealed_chunks()) {
+            assert!(Arc::ptr_eq(a, b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted, disjoint and in bounds")]
+    fn compact_runs_rejects_overlapping_runs() {
+        let mut s: Segment<i64> = Segment::with_chunk_capacity(4);
+        for i in 0..4 {
+            s.push(i);
+            s.seal_tail();
+        }
+        let _ = s.compact_runs(&[(0, 2), (1, 3)]);
     }
 
     #[test]

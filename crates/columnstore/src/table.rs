@@ -253,6 +253,56 @@ impl Table {
             .map_or(DEFAULT_SEGMENT_CAPACITY, Column::segment_capacity)
     }
 
+    /// Seal every column's mutable tail as an (undersized) immutable chunk.
+    /// Returns `true` when the tails were non-empty and sealed.
+    ///
+    /// The catalog's copy-on-write append path calls this on the writer's
+    /// private copy when a snapshot is alive: the tail is paid for once, at
+    /// its current size, and the sealed chunk is shared with every later
+    /// snapshot — so churn copies only the rows appended since the last
+    /// seal, at the price of fragmenting the columns into undersized chunks
+    /// that background compaction later merges.
+    pub fn seal_tails(&mut self) -> bool {
+        let mut sealed = false;
+        for column in &mut self.columns {
+            sealed |= column.seal_tail();
+        }
+        sealed
+    }
+
+    /// Total undersized sealed chunks across all columns.
+    pub fn fragmented_chunk_count(&self) -> usize {
+        self.columns
+            .iter()
+            .map(Column::fragmented_chunk_count)
+            .sum()
+    }
+
+    /// Total sealed chunks across all columns.
+    pub fn sealed_chunk_count(&self) -> usize {
+        self.columns
+            .iter()
+            .map(|c| c.sealed_chunk_lens().len())
+            .sum()
+    }
+
+    /// The table with one column's sealed-chunk runs merged (see
+    /// [`Column::compact_runs`]); every other column is a cheap chunk-sharing
+    /// clone. Row positions — and therefore every adaptive index built over
+    /// the table — are unaffected.
+    ///
+    /// # Panics
+    /// Panics when `column_index` is out of bounds.
+    pub fn compact_column(&self, column_index: usize, runs: &[(usize, usize)]) -> Table {
+        let mut columns = self.columns.clone();
+        columns[column_index] = columns[column_index].compact_runs(runs);
+        Table {
+            schema: self.schema.clone(),
+            columns,
+            row_count: self.row_count,
+        }
+    }
+
     /// The same rows re-chunked so every column seals chunks of `capacity`
     /// rows. A no-op clone (sharing all sealed chunks) when the capacity
     /// already matches.

@@ -11,6 +11,7 @@
 //! [`IndexManager`], never globally.
 
 use crate::error::{AidxError, AidxResult};
+use crate::maintenance::{CompactionReport, MaintenanceState};
 use crate::manager::{IndexInfo, IndexManager};
 use crate::session::Session;
 use crate::strategy::{StrategyKind, StrategyTuning};
@@ -19,6 +20,7 @@ use aidx_columnstore::segment::DEFAULT_SEGMENT_CAPACITY;
 use aidx_columnstore::table::Table;
 use aidx_columnstore::types::RowId;
 use aidx_cracking::updates::MergePolicy;
+use aidx_maintenance::{MaintenanceConfig, MaintenanceStatsSnapshot};
 use parking_lot::RwLock;
 use std::sync::Arc;
 
@@ -26,6 +28,7 @@ pub(crate) struct DbInner {
     pub(crate) catalog: RwLock<Catalog>,
     pub(crate) manager: IndexManager,
     pub(crate) segment_capacity: usize,
+    pub(crate) maintenance: MaintenanceState,
 }
 
 /// Configures and builds a [`Database`].
@@ -54,6 +57,7 @@ pub struct DatabaseBuilder {
     segment_capacity: usize,
     tuning: StrategyTuning,
     parallelism: usize,
+    maintenance: MaintenanceConfig,
 }
 
 /// Upper bound on [`DatabaseBuilder::parallelism`]: far above any sensible
@@ -96,6 +100,7 @@ impl Default for DatabaseBuilder {
             segment_capacity: DEFAULT_SEGMENT_CAPACITY,
             tuning: StrategyTuning::default(),
             parallelism: default_parallelism(),
+            maintenance: MaintenanceConfig::default(),
         }
     }
 }
@@ -157,6 +162,18 @@ impl DatabaseBuilder {
         self
     }
 
+    /// Configure the background maintenance subsystem: the per-tick row
+    /// budget, the chunk-fill threshold below which sealed chunks count as
+    /// fragments, and whether a dedicated background thread runs ticks
+    /// continuously (default: off — maintenance then runs only through
+    /// [`Database::compact`] / [`Database::maintenance_tick`]). Invalid
+    /// settings surface as [`AidxError::Config`] from
+    /// [`DatabaseBuilder::try_build`].
+    pub fn maintenance(mut self, config: MaintenanceConfig) -> Self {
+        self.maintenance = config;
+        self
+    }
+
     fn validate(&self) -> AidxResult<()> {
         if self.segment_capacity == 0 {
             return Err(AidxError::config(
@@ -200,6 +217,9 @@ impl DatabaseBuilder {
                 format!("must be between 1 and {MAX_PARALLELISM} workers"),
             ));
         }
+        if let Err(message) = self.maintenance.validate() {
+            return Err(AidxError::config("maintenance", message));
+        }
         Ok(())
     }
 
@@ -221,17 +241,20 @@ impl DatabaseBuilder {
                 .create_table(name, rechunked)
                 .expect("name was just freed");
         }
-        Ok(Database {
-            inner: Arc::new(DbInner {
-                catalog: RwLock::new(catalog),
-                manager: IndexManager::with_tuning_and_pool(
-                    self.default_strategy,
-                    self.tuning,
-                    Arc::new(aidx_parallel::ThreadPool::new(self.parallelism)),
-                ),
-                segment_capacity: self.segment_capacity,
-            }),
-        })
+        let inner = Arc::new(DbInner {
+            catalog: RwLock::new(catalog),
+            manager: IndexManager::with_tuning_and_pool(
+                self.default_strategy,
+                self.tuning,
+                Arc::new(aidx_parallel::ThreadPool::new(self.parallelism)),
+            ),
+            segment_capacity: self.segment_capacity,
+            maintenance: MaintenanceState::new(self.maintenance),
+        });
+        // jobs hold a Weak back-reference, so this must happen after the Arc
+        // exists (and spawns the background thread when configured)
+        MaintenanceState::attach(&inner);
+        Ok(Database { inner })
     }
 
     /// Build the database.
@@ -324,6 +347,7 @@ impl Database {
         // up; clear again so the new incarnation starts fresh (the epoch
         // guard in the manager catches any later stragglers)
         self.inner.manager.drop_table_indexes(&name);
+        self.inner.maintenance.hotness.forget_table(&name);
         Ok(())
     }
 
@@ -333,6 +357,7 @@ impl Database {
         let dropped = self.inner.catalog.write().drop_table(name).is_some();
         if dropped {
             self.inner.manager.drop_table_indexes(name);
+            self.inner.maintenance.hotness.forget_table(name);
         }
         dropped
     }
@@ -416,6 +441,78 @@ impl Database {
     /// overrides, tuner-driven rebuilds).
     pub fn index_manager(&self) -> &IndexManager {
         &self.inner.manager
+    }
+
+    /// Run background maintenance to completion, synchronously: merge every
+    /// eligible run of undersized chunks (hottest columns first), reconcile
+    /// the affected adaptive indexes onto the compacted tables, and refresh
+    /// any stale indexes. Returns what was done.
+    ///
+    /// This is the deterministic, test- and batch-friendly face of the
+    /// subsystem; with [`MaintenanceConfig::background`] set, the same work
+    /// happens incrementally on a dedicated thread.
+    ///
+    /// ```
+    /// use aidx_core::prelude::*;
+    ///
+    /// let db = Database::builder().segment_capacity(64).build();
+    /// db.create_table(
+    ///     "t",
+    ///     Table::from_columns(vec![("k", Column::from_i64((0..256).collect()))])?,
+    /// )?;
+    /// let session = db.session();
+    /// // churn: every insert under a live snapshot seals the tail early,
+    /// // fragmenting the column into undersized chunks
+    /// for i in 0..64 {
+    ///     let _snapshot = db.table_snapshot("t")?;
+    ///     session.insert_row("t", &[Value::Int64(256 + i)])?;
+    /// }
+    /// let report = db.compact();
+    /// assert!(report.rows_merged > 0);
+    /// assert!(report.chunks_removed > 0);
+    /// # Ok::<(), aidx_core::AidxError>(())
+    /// ```
+    pub fn compact(&self) -> CompactionReport {
+        let before = self.inner.maintenance.stats.snapshot();
+        let budget = self.inner.maintenance.config.budget_rows_per_tick;
+        // bounded backstop: every productive tick merges at least one chunk,
+        // so a loop this long only means the budget cannot make progress
+        for _ in 0..10_000 {
+            if self.inner.maintenance.run_tick(budget).units == 0 {
+                break;
+            }
+        }
+        let after = self.inner.maintenance.stats.snapshot();
+        CompactionReport {
+            rows_merged: after.rows_compacted - before.rows_compacted,
+            chunks_removed: after.chunks_removed - before.chunks_removed,
+            compactions_published: after.compactions_published - before.compactions_published,
+            indexes_reconciled: after.indexes_reconciled - before.indexes_reconciled,
+            ticks: after.ticks - before.ticks,
+        }
+    }
+
+    /// Run exactly one budgeted maintenance tick (the increment the
+    /// background thread runs per interval); returns the rows it processed.
+    /// Useful for deterministic interleaving in tests and for embedders that
+    /// want to drive maintenance between queries themselves.
+    pub fn maintenance_tick(&self) -> usize {
+        self.inner
+            .maintenance
+            .run_tick(self.inner.maintenance.config.budget_rows_per_tick)
+            .units
+    }
+
+    /// Cumulative maintenance counters: ticks, rows compacted, chunks
+    /// removed, indexes reconciled across compactions, indexes refreshed in
+    /// the background.
+    pub fn maintenance_stats(&self) -> MaintenanceStatsSnapshot {
+        self.inner.maintenance.stats.snapshot()
+    }
+
+    /// The maintenance configuration this database was built with.
+    pub fn maintenance_config(&self) -> &MaintenanceConfig {
+        &self.inner.maintenance.config
     }
 }
 
@@ -634,6 +731,253 @@ mod tests {
             serial.index_stats()[0].tuples,
             parallel.index_stats()[0].tuples
         );
+    }
+
+    #[test]
+    fn maintenance_config_is_validated() {
+        let err = Database::builder()
+            .maintenance(aidx_maintenance::MaintenanceConfig {
+                budget_rows_per_tick: 0,
+                ..Default::default()
+            })
+            .try_build();
+        assert!(matches!(err, Err(AidxError::Config { .. })), "{err:?}");
+        let err = Database::builder()
+            .maintenance(aidx_maintenance::MaintenanceConfig {
+                min_chunk_fill: 2.0,
+                ..Default::default()
+            })
+            .try_build();
+        assert!(matches!(err, Err(AidxError::Config { .. })));
+        let db = Database::builder()
+            .maintenance(aidx_maintenance::MaintenanceConfig {
+                budget_rows_per_tick: 1024,
+                ..Default::default()
+            })
+            .try_build()
+            .unwrap();
+        assert_eq!(db.maintenance_config().budget_rows_per_tick, 1024);
+        assert!(!db.maintenance_stats().background_attached);
+    }
+
+    /// Churn a table with inserts under live snapshots so every append
+    /// seals the tail early and fragments the column.
+    fn churn(db: &Database, table: &str, inserts: i64) {
+        let session = db.session();
+        for i in 0..inserts {
+            let _snapshot = db.table_snapshot(table).unwrap();
+            session
+                .insert_row(table, &[Value::Int64(10_000 + i), Value::Int64(i)])
+                .unwrap();
+        }
+    }
+
+    use aidx_columnstore::types::Value;
+
+    #[test]
+    fn compact_restores_chunk_count_and_preserves_answers() {
+        let db = Database::builder()
+            .segment_capacity(64)
+            .try_build()
+            .unwrap();
+        db.create_table("orders", orders_table(512)).unwrap();
+        churn(&db, "orders", 512);
+        let fragmented = db.table_snapshot("orders").unwrap();
+        let frag_chunks = fragmented
+            .column("o_key")
+            .unwrap()
+            .as_i64()
+            .unwrap()
+            .sealed_chunk_count();
+        let rows = fragmented.row_count();
+        let ideal = rows.div_ceil(64);
+        assert!(
+            frag_chunks >= 8 * ideal,
+            "churn must fragment at least 8x over ideal ({frag_chunks} vs {ideal})"
+        );
+        let reference: Vec<_> = db
+            .session()
+            .query("orders")
+            .range("o_key", 100, 400)
+            .execute()
+            .unwrap()
+            .positions()
+            .clone()
+            .into_vec();
+
+        let report = db.compact();
+        assert!(report.rows_merged > 0);
+        assert!(report.chunks_removed > 0);
+        assert!(report.compactions_published > 0);
+        let stats = db.maintenance_stats();
+        assert_eq!(stats.rows_compacted, report.rows_merged);
+        assert!(stats.ticks >= report.ticks);
+
+        let compacted = db.table_snapshot("orders").unwrap();
+        let chunks_after = compacted
+            .column("o_key")
+            .unwrap()
+            .as_i64()
+            .unwrap()
+            .sealed_chunk_count();
+        assert!(
+            chunks_after <= 2 * ideal,
+            "compaction must come within 2x of ideal ({chunks_after} vs {ideal})"
+        );
+        // identical answers, and the fragmented snapshot is untouched
+        let after: Vec<_> = db
+            .session()
+            .query("orders")
+            .range("o_key", 100, 400)
+            .execute()
+            .unwrap()
+            .positions()
+            .clone()
+            .into_vec();
+        assert_eq!(after, reference);
+        assert_eq!(
+            fragmented
+                .column("o_key")
+                .unwrap()
+                .as_i64()
+                .unwrap()
+                .sealed_chunk_count(),
+            frag_chunks,
+            "live snapshots keep their layout"
+        );
+        // a second compact finds nothing left
+        let idle = db.compact();
+        assert_eq!(idle.rows_merged, 0);
+    }
+
+    #[test]
+    fn compaction_reconciles_indexes_but_table_mut_still_drops_them() {
+        // regression (ISSUE 5): a compaction epoch bump must NOT discard
+        // accumulated cracking work, while a genuine structural epoch bump
+        // (table_mut) must still invalidate it
+        let db = Database::builder()
+            .segment_capacity(32)
+            .try_build()
+            .unwrap();
+        db.create_table("t", orders_table(256)).unwrap();
+        churn(&db, "t", 64);
+        let session = db.session();
+        for q in 0..5 {
+            let low = q * 30;
+            session
+                .query("t")
+                .range("o_key", low, low + 40)
+                .execute()
+                .unwrap();
+        }
+        let before = db.index_stats()[0].clone();
+        assert_eq!(before.queries, 5);
+
+        let report = db.compact();
+        assert!(report.compactions_published > 0);
+        assert!(
+            report.indexes_reconciled > 0,
+            "the index must be carried across the compaction epoch: {report:?}"
+        );
+        // the next query reuses the reconciled index: the per-build query
+        // counter keeps counting instead of resetting to 1
+        session.query("t").range("o_key", 10, 50).execute().unwrap();
+        let after = db.index_stats()[0].clone();
+        assert_eq!(
+            after.queries,
+            before.queries + 1,
+            "compaction must not reset the index"
+        );
+
+        // contrast: a structural mutable borrow stamps an epoch the manager
+        // must treat as a potential rewrite — the index is rebuilt
+        {
+            let mut catalog = db.inner.catalog.write();
+            let _ = catalog.table_mut("t").unwrap();
+        }
+        session.query("t").range("o_key", 10, 50).execute().unwrap();
+        let rebuilt = db.index_stats()[0].clone();
+        assert_eq!(rebuilt.queries, 1, "structural change rebuilds the index");
+    }
+
+    #[test]
+    fn index_refresh_rebuilds_indexes_larger_than_the_tick_budget() {
+        // regression: an all-or-nothing index rebuild bigger than
+        // budget_rows_per_tick must still happen (first item of a slice may
+        // overrun the budget), or big tables could never be refreshed
+        let db = Database::builder()
+            .maintenance(aidx_maintenance::MaintenanceConfig {
+                budget_rows_per_tick: 64,
+                ..Default::default()
+            })
+            .try_build()
+            .unwrap();
+        db.create_table("t", orders_table(1000)).unwrap();
+        let session = db.session();
+        // build the index (and heat the column) at the current epoch
+        session.query("t").range("o_key", 0, 100).execute().unwrap();
+        let column = crate::manager::ColumnId::new("t", "o_key");
+        let old = db.inner.manager.index_version(&column).unwrap();
+        assert_eq!(old.1, 1000);
+        // a structural epoch bump leaves the registered index stale
+        {
+            let mut catalog = db.inner.catalog.write();
+            let _ = catalog.table_mut("t").unwrap();
+        }
+        let new_epoch = db.inner.catalog.read().table_epoch("t").unwrap();
+        assert!(new_epoch > old.0);
+        // one tick refreshes it despite 1000 rows >> 64 budget
+        let units = db.maintenance_tick();
+        assert!(units >= 1000, "the oversized rebuild ran: {units}");
+        assert_eq!(
+            db.inner.manager.index_version(&column),
+            Some((new_epoch, 1000))
+        );
+        assert_eq!(db.maintenance_stats().indexes_refreshed, 1);
+        // the refreshed index serves the next query without a rebuild
+        session.query("t").range("o_key", 0, 100).execute().unwrap();
+        assert_eq!(db.index_stats()[0].queries, 1);
+    }
+
+    #[test]
+    fn background_maintenance_compacts_without_explicit_calls() {
+        let db = Database::builder()
+            .segment_capacity(32)
+            .maintenance(aidx_maintenance::MaintenanceConfig {
+                background: true,
+                tick_interval: std::time::Duration::from_millis(1),
+                ..Default::default()
+            })
+            .try_build()
+            .unwrap();
+        assert!(db.maintenance_stats().background_attached);
+        db.create_table("t", orders_table(256)).unwrap();
+        churn(&db, "t", 128);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let snapshot = db.table_snapshot("t").unwrap();
+            let fragments = snapshot.column("o_key").unwrap().fragmented_chunk_count();
+            if fragments <= 1 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "background maintenance must compact the churned table \
+                 ({fragments} fragments left)"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert!(db.maintenance_stats().rows_compacted > 0);
+        // queries during/after background compaction answer correctly
+        let result = db
+            .session()
+            .query("t")
+            .range("o_key", 0, 256)
+            .execute()
+            .unwrap();
+        assert_eq!(result.row_count(), 256);
+        // dropping the database stops the background thread (joins cleanly)
+        drop(db);
     }
 
     #[test]

@@ -202,42 +202,24 @@ fn scan_segment(
 /// Retain only the positions whose value in `segment` satisfies `predicate`
 /// (the residual, late-materialized filter step), chunk-at-a-time: a chunk
 /// whose zone map cannot satisfy the predicate rejects all its candidate
-/// positions without reading a single value. Chunks holding no candidates
-/// are never visited at all (and appear in neither statistic).
+/// positions without reading a single value, and chunks holding no
+/// candidates are never visited at all (and appear in neither statistic).
+/// Populated chunks fan out across the manager's fork/join pool; a serial
+/// pool runs the same per-chunk kernel inline, so position sets and
+/// statistics are byte-identical at any worker count.
 fn filter_residual(
+    manager: &IndexManager,
     positions: PositionList,
     segment: &Segment<Key>,
     predicate: &Predicate,
 ) -> (PositionList, PruneStats) {
-    let mut stats = PruneStats::default();
-    let pos = positions.as_slice();
-    let mut out: Vec<RowId> = Vec::with_capacity(pos.len());
-    let mut i = 0;
-    for chunk in segment.chunks() {
-        if i >= pos.len() {
-            break;
-        }
-        let end = chunk.end();
-        if pos[i] >= end {
-            continue; // no candidate positions fall into this chunk
-        }
-        let mut j = i;
-        while j < pos.len() && pos[j] < end {
-            j += 1;
-        }
-        if predicate.zone_may_match(&chunk.zone) {
-            stats.chunks_scanned += 1;
-            for &p in &pos[i..j] {
-                if predicate.matches(chunk.values[(p - chunk.base) as usize]) {
-                    out.push(p);
-                }
-            }
-        } else {
-            stats.chunks_pruned += 1;
-        }
-        i = j;
-    }
-    (PositionList::from_sorted_vec(out), stats)
+    aidx_parallel::parallel_filter_positions(
+        manager.pool(),
+        segment,
+        &positions,
+        |zone| predicate.zone_may_match(zone),
+        |v| predicate.matches(v),
+    )
 }
 
 /// Compute the requested aggregate over the qualifying positions.
@@ -319,12 +301,17 @@ pub(crate) fn plan_on_snapshot(
 
 /// Execute `query` against a table snapshot, routing the driver predicate
 /// through `manager` (indexes are created lazily with `strategy`).
+///
+/// When `hotness` is given, the query's chunk traffic is credited to its
+/// driver column afterwards — the feed for the maintenance subsystem's
+/// "hot column first" compaction and index-refresh ordering.
 pub(crate) fn execute_on_snapshot(
     snapshot: Arc<Table>,
     epoch: u64,
     manager: &IndexManager,
     query: &Query,
     strategy: StrategyKind,
+    hotness: Option<&crate::maintenance::Hotness>,
 ) -> AidxResult<QueryResult> {
     let projected = resolve_projections(&snapshot, query)?;
     if let Some((_, column)) = query.aggregation() {
@@ -355,9 +342,18 @@ pub(crate) fn execute_on_snapshot(
         if Some(i) == driver || positions.is_empty() {
             continue;
         }
-        let (filtered, stats) = filter_residual(positions, residual.segment, residual.predicate);
+        let (filtered, stats) =
+            filter_residual(manager, positions, residual.segment, residual.predicate);
         positions = filtered;
         prune.merge(stats);
+    }
+
+    if let (Some(hotness), Some(i)) = (hotness, driver) {
+        let column_id = ColumnId::new(query.table_arc(), bound[i].predicate.column_arc());
+        // index-answered queries do no chunk-granular work, so floor the
+        // credit at 1: every query heats its driver column, and zone-map /
+        // residual chunk traffic weights it further
+        hotness.observe(&column_id, (prune.chunks_total() as u64).max(1));
     }
 
     let aggregate_value = match query.aggregation() {
@@ -399,7 +395,7 @@ mod tests {
 
     fn run(query: &Query) -> AidxResult<QueryResult> {
         let manager = IndexManager::new(StrategyKind::Cracking);
-        execute_on_snapshot(snapshot(), 1, &manager, query, StrategyKind::Cracking)
+        execute_on_snapshot(snapshot(), 1, &manager, query, StrategyKind::Cracking, None)
     }
 
     #[test]
@@ -476,7 +472,7 @@ mod tests {
         let manager = IndexManager::new(StrategyKind::Cracking);
         let query = Query::table("t").point("k", Key::MAX);
         let result =
-            execute_on_snapshot(table, 1, &manager, &query, StrategyKind::Cracking).unwrap();
+            execute_on_snapshot(table, 1, &manager, &query, StrategyKind::Cracking, None).unwrap();
         assert_eq!(result.positions().as_slice(), &[0, 2]);
     }
 
@@ -494,9 +490,15 @@ mod tests {
             let keys: Vec<Key> = (0..100).collect();
             let table = Arc::new(Table::from_columns(vec![("k", Column::from_i64(keys))]).unwrap());
             let manager = IndexManager::new(StrategyKind::UpdatableCracking);
-            let result =
-                execute_on_snapshot(table, 5, &manager, &query, StrategyKind::UpdatableCracking)
-                    .unwrap();
+            let result = execute_on_snapshot(
+                table,
+                5,
+                &manager,
+                &query,
+                StrategyKind::UpdatableCracking,
+                None,
+            )
+            .unwrap();
             assert!(!result.is_empty());
             // absorbing the next row only succeeds if the index was
             // registered under the snapshot's epoch
@@ -529,6 +531,7 @@ mod tests {
             &manager,
             &query,
             StrategyKind::Cracking,
+            None,
         )
         .unwrap();
         // correctness: k in [30,40) and k % 4 == 1 => 33, 37
@@ -557,7 +560,7 @@ mod tests {
         let manager = IndexManager::new(StrategyKind::Cracking);
         let query = Query::table("t").range("k", 1_000, 2_000);
         let result =
-            execute_on_snapshot(table, 1, &manager, &query, StrategyKind::Cracking).unwrap();
+            execute_on_snapshot(table, 1, &manager, &query, StrategyKind::Cracking, None).unwrap();
         assert!(result.is_empty());
         let stats = result.prune_stats();
         assert_eq!(stats.chunks_scanned, 0);
@@ -599,8 +602,8 @@ mod tests {
         let query = Query::table("t")
             .range("k", 0, Key::MAX)
             .aggregate(Aggregation::Sum, "k");
-        let err =
-            execute_on_snapshot(table, 1, &manager, &query, StrategyKind::Cracking).unwrap_err();
+        let err = execute_on_snapshot(table, 1, &manager, &query, StrategyKind::Cracking, None)
+            .unwrap_err();
         assert!(matches!(err, AidxError::AggregateOverflow { .. }));
     }
 

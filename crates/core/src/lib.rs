@@ -22,7 +22,16 @@
 //!   registry inside MonetDB's adaptive kernel.
 //! * [`executor`] — the planner and evaluation engine behind [`Session`]:
 //!   routes the most selective predicate of each query through the adaptive
-//!   index and applies the rest as residual late-materialized filters.
+//!   index and applies the rest as residual late-materialized filters
+//!   (chunk-parallel through the shared worker pool when parallelism is
+//!   enabled).
+//! * [`maintenance`] — the kernel half of the background maintenance
+//!   subsystem (`aidx-maintenance` supplies the pool, scheduler and
+//!   policy): adaptive chunk compaction of churn-fragmented columns with
+//!   index reconciliation across the compaction epoch, and background
+//!   re-derivation of stale indexes — wired through
+//!   [`DatabaseBuilder::maintenance`], [`Database::compact`] and
+//!   [`Database::maintenance_stats`].
 //! * [`tuner`] — the auto-tuning policy layer: decides *which* strategy a
 //!   column should use from observed workload characteristics (the
 //!   tutorial's "towards autonomous kernels" discussion).
@@ -65,6 +74,7 @@
 pub mod db;
 pub mod error;
 pub mod executor;
+pub mod maintenance;
 pub mod manager;
 pub mod partitioned;
 pub mod query;
@@ -78,6 +88,7 @@ pub mod prelude {
     pub use crate::db::{Database, DatabaseBuilder};
     pub use crate::error::{AidxError, AidxResult};
     pub use crate::executor::QueryPlan;
+    pub use crate::maintenance::CompactionReport;
     pub use crate::manager::{ColumnId, IndexManager, KeySource};
     pub use crate::partitioned::PartitionedIndex;
     pub use crate::query::{Aggregation, Predicate, Query};
@@ -87,12 +98,15 @@ pub mod prelude {
     pub use crate::tuner::{AutoTuner, TuningPolicy};
     pub use aidx_columnstore::prelude::*;
     pub use aidx_cracking::updates::MergePolicy;
+    pub use aidx_maintenance::{MaintenanceConfig, MaintenanceStatsSnapshot};
     pub use aidx_parallel::ThreadPool;
 }
 
+pub use aidx_maintenance::{MaintenanceConfig, MaintenanceStatsSnapshot};
 pub use db::{Database, DatabaseBuilder};
 pub use error::{AidxError, AidxResult};
 pub use executor::QueryPlan;
+pub use maintenance::CompactionReport;
 pub use manager::{ColumnId, IndexManager, KeySource};
 pub use partitioned::PartitionedIndex;
 pub use query::{Aggregation, Predicate, Query};

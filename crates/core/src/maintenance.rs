@@ -1,0 +1,365 @@
+//! Kernel-side wiring of the background maintenance subsystem.
+//!
+//! `aidx-maintenance` supplies the substrate-agnostic machinery — the
+//! persistent worker pool, the budgeted [`Scheduler`], the
+//! [`CompactionPolicy`] — and this module supplies the two concrete job
+//! types that know about the catalog and the index manager:
+//!
+//! * `CompactionJob` — **adaptive chunk compaction.** Heavy insert churn
+//!   under live snapshots fragments columns into undersized sealed chunks
+//!   (the copy-on-write append seals tails early so it never has to copy
+//!   them). This job merges runs of fragments back into full
+//!   `segment_capacity` chunks, hottest columns first (fed by the
+//!   query-driven `Hotness` tracker), a budget's worth of rows per slice.
+//!   The compacted table is published through the catalog's copy-on-write
+//!   swap under a fresh epoch — live snapshots keep their old layout — and,
+//!   because compaction preserves every row's global position, the table's
+//!   adaptive indexes are immediately **reconciled** onto the new epoch
+//!   instead of being discarded.
+//! * `IndexRefreshJob` — **index reconciliation.** An index dropped behind
+//!   its base column (an insert a non-updatable strategy could not absorb,
+//!   a structural epoch bump) normally makes the *next query* pay the full
+//!   rebuild. This job re-derives stale indexes between queries, hottest
+//!   columns first, with exactly the query path's version guards.
+//!
+//! Both jobs hold only a [`Weak`] reference to the database internals, so a
+//! background maintenance thread can never keep a dropped database alive.
+
+use crate::db::DbInner;
+use crate::manager::ColumnId;
+use aidx_maintenance::{
+    CompactionPolicy, MaintenanceConfig, MaintenanceJob, MaintenanceStats, Scheduler, TickOutcome,
+};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, OnceLock, Weak};
+
+/// Query-driven column-heat tracking: every executed query credits its
+/// driver column with the number of chunks the query touched (scanned or
+/// pruned). Maintenance orders its work by this score, so the columns whose
+/// fragmentation queries actually pay for are compacted (and their indexes
+/// refreshed) first.
+#[derive(Debug, Default)]
+pub(crate) struct Hotness {
+    chunks_touched: Mutex<HashMap<ColumnId, u64>>,
+}
+
+impl Hotness {
+    /// Credit `chunks` touched chunks to `column`.
+    pub(crate) fn observe(&self, column: &ColumnId, chunks: u64) {
+        if chunks == 0 {
+            return;
+        }
+        *self
+            .chunks_touched
+            .lock()
+            .entry(column.clone())
+            .or_insert(0) += chunks;
+    }
+
+    /// The tracked columns, hottest first (ties broken by name so the order
+    /// is deterministic).
+    pub(crate) fn ranked(&self) -> Vec<(ColumnId, u64)> {
+        let mut entries: Vec<(ColumnId, u64)> = self
+            .chunks_touched
+            .lock()
+            .iter()
+            .map(|(column, &score)| (column.clone(), score))
+            .collect();
+        entries.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then_with(|| (a.0.table(), a.0.column()).cmp(&(b.0.table(), b.0.column())))
+        });
+        entries
+    }
+
+    /// The score of one column (0 when never observed).
+    pub(crate) fn score(&self, table: &str, column: &str) -> u64 {
+        self.chunks_touched
+            .lock()
+            .get(&ColumnId::new(table, column))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Drop all heat for `table` (called when the table is dropped or
+    /// re-created, so the tracker cannot grow without bound).
+    pub(crate) fn forget_table(&self, table: &str) {
+        self.chunks_touched
+            .lock()
+            .retain(|column, _| column.table() != table);
+    }
+}
+
+/// Everything the maintenance subsystem hangs off the database internals.
+pub(crate) struct MaintenanceState {
+    pub(crate) config: MaintenanceConfig,
+    pub(crate) stats: Arc<MaintenanceStats>,
+    pub(crate) hotness: Hotness,
+    /// The job scheduler; initialized right after the `Arc<DbInner>` exists
+    /// (the jobs hold a `Weak` back-reference).
+    pub(crate) scheduler: OnceLock<Scheduler>,
+    /// The dedicated maintenance thread, when `config.background` is set.
+    pub(crate) background: Mutex<Option<aidx_maintenance::BackgroundLoop>>,
+}
+
+impl MaintenanceState {
+    pub(crate) fn new(config: MaintenanceConfig) -> Self {
+        MaintenanceState {
+            config,
+            stats: Arc::new(MaintenanceStats::default()),
+            hotness: Hotness::default(),
+            scheduler: OnceLock::new(),
+            background: Mutex::new(None),
+        }
+    }
+
+    /// Wire the jobs (and, if configured, the background thread) onto a
+    /// freshly built database. Called exactly once from `try_build`.
+    pub(crate) fn attach(inner: &Arc<DbInner>) {
+        let state = &inner.maintenance;
+        let scheduler = Scheduler::new(vec![
+            Arc::new(CompactionJob {
+                db: Arc::downgrade(inner),
+            }) as Arc<dyn MaintenanceJob>,
+            Arc::new(IndexRefreshJob {
+                db: Arc::downgrade(inner),
+            }) as Arc<dyn MaintenanceJob>,
+        ]);
+        state
+            .scheduler
+            .set(scheduler)
+            .expect("maintenance attaches exactly once");
+        if state.config.background {
+            let weak = Arc::downgrade(inner);
+            let budget = state.config.budget_rows_per_tick;
+            let interval = state.config.tick_interval;
+            state
+                .stats
+                .background_attached
+                .store(true, Ordering::Relaxed);
+            *state.background.lock() = Some(aidx_maintenance::BackgroundLoop::spawn(
+                interval,
+                move || match weak.upgrade() {
+                    Some(inner) => {
+                        inner.maintenance.run_tick(budget);
+                        true
+                    }
+                    None => false,
+                },
+            ));
+        }
+    }
+
+    /// Run one budgeted maintenance tick; returns the rows it processed.
+    pub(crate) fn run_tick(&self, budget_rows: usize) -> TickOutcome {
+        let scheduler = self
+            .scheduler
+            .get()
+            .expect("maintenance attached at build time");
+        let outcome = scheduler.tick(budget_rows);
+        self.stats.ticks.fetch_add(1, Ordering::Relaxed);
+        outcome
+    }
+}
+
+/// Summary of a synchronous [`crate::Database::compact`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Rows rewritten while merging undersized chunks.
+    pub rows_merged: u64,
+    /// Sealed chunks eliminated.
+    pub chunks_removed: u64,
+    /// Compacted tables published (epoch bumps through the reconcilable
+    /// path).
+    pub compactions_published: u64,
+    /// Adaptive indexes carried across those epoch bumps instead of being
+    /// dropped.
+    pub indexes_reconciled: u64,
+    /// Maintenance ticks it took.
+    pub ticks: u64,
+}
+
+/// Job (a): adaptive chunk compaction with index reconciliation.
+struct CompactionJob {
+    db: Weak<DbInner>,
+}
+
+impl MaintenanceJob for CompactionJob {
+    fn name(&self) -> &'static str {
+        "chunk-compaction"
+    }
+
+    fn run_slice(&self, budget_rows: usize) -> TickOutcome {
+        let Some(inner) = self.db.upgrade() else {
+            return TickOutcome::idle();
+        };
+        let config = &inner.maintenance.config;
+        let stats = &inner.maintenance.stats;
+        let policy = CompactionPolicy {
+            min_fill: config.min_chunk_fill,
+        };
+        let mut remaining = budget_rows;
+        let mut units = 0usize;
+        let mut done = true;
+        let tables: Vec<String> = inner
+            .catalog
+            .read()
+            .table_names()
+            .into_iter()
+            .map(str::to_owned)
+            .collect();
+        for table in tables {
+            if remaining == 0 {
+                done = false;
+                break;
+            }
+            // one short write-lock critical section per table: plan, merge
+            // (budget-bounded), publish, reconcile — so no query can observe
+            // the new epoch before the indexes have been carried over
+            let mut catalog = inner.catalog.write();
+            let Ok(snapshot) = catalog.table_arc(&table) else {
+                continue; // dropped while we iterated
+            };
+            let arity = snapshot.schema().arity();
+            // hottest columns first; ties fall back to schema order
+            let mut order: Vec<usize> = (0..arity).collect();
+            order.sort_by_key(|&i| {
+                std::cmp::Reverse(
+                    inner
+                        .maintenance
+                        .hotness
+                        .score(&table, snapshot.schema().fields()[i].name()),
+                )
+            });
+            let mut current = snapshot;
+            for column_index in order {
+                if remaining == 0 {
+                    done = false;
+                    break;
+                }
+                let column = current
+                    .column_at(column_index)
+                    .expect("index from the same schema");
+                let capacity = column.segment_capacity().max(1);
+                let lens = column.sealed_chunk_lens();
+                // ignore columns whose chunk count is within the configured
+                // slack of ideal — not worth an epoch bump
+                let rows = current.row_count();
+                let ideal = rows.div_ceil(capacity).max(1);
+                if (lens.len() as f64) <= config.max_chunk_slack * ideal as f64 {
+                    continue;
+                }
+                let plan = policy.plan(&lens, capacity, remaining);
+                if plan.is_empty() {
+                    // fragments may remain that this slice's budget cannot
+                    // touch; report not-done so a later tick returns
+                    if !policy.plan(&lens, capacity, usize::MAX).is_empty() {
+                        done = false;
+                    }
+                    continue;
+                }
+                let compacted = current.compact_column(column_index, &plan.runs);
+                let (old_epoch, new_epoch) = catalog
+                    .publish_compacted(&table, compacted)
+                    .expect("same rows, same schema, under the write lock");
+                let reconciled = inner
+                    .manager
+                    .reconcile_table_epoch(&table, old_epoch, new_epoch);
+                stats
+                    .rows_compacted
+                    .fetch_add(plan.rows as u64, Ordering::Relaxed);
+                stats
+                    .chunks_removed
+                    .fetch_add(plan.chunks_removed as u64, Ordering::Relaxed);
+                stats.compactions_published.fetch_add(1, Ordering::Relaxed);
+                stats
+                    .indexes_reconciled
+                    .fetch_add(reconciled as u64, Ordering::Relaxed);
+                remaining -= plan.rows;
+                units += plan.rows;
+                current = catalog.table_arc(&table).expect("just published");
+                // a truncated plan leaves fragments behind
+                let column = current
+                    .column_at(column_index)
+                    .expect("index from the same schema");
+                if !policy
+                    .plan(&column.sealed_chunk_lens(), capacity, usize::MAX)
+                    .is_empty()
+                {
+                    done = false;
+                }
+            }
+        }
+        TickOutcome { units, done }
+    }
+}
+
+/// Job (b): background re-derivation of stale adaptive indexes.
+struct IndexRefreshJob {
+    db: Weak<DbInner>,
+}
+
+impl MaintenanceJob for IndexRefreshJob {
+    fn name(&self) -> &'static str {
+        "index-refresh"
+    }
+
+    fn run_slice(&self, budget_rows: usize) -> TickOutcome {
+        let Some(inner) = self.db.upgrade() else {
+            return TickOutcome::idle();
+        };
+        let mut remaining = budget_rows;
+        let mut units = 0usize;
+        let mut done = true;
+        for (column_id, _score) in inner.maintenance.hotness.ranked() {
+            if remaining == 0 {
+                done = false;
+                break;
+            }
+            let Some((index_epoch, index_len)) = inner.manager.index_version(&column_id) else {
+                continue; // nothing registered: the next query decides
+            };
+            let snapshot = {
+                let catalog = inner.catalog.read();
+                catalog.table_snapshot(column_id.table()).ok()
+            };
+            let Some((snapshot, epoch)) = snapshot else {
+                continue; // table dropped; the straggler sweep handles it
+            };
+            let rows = snapshot.row_count();
+            let stale = index_epoch < epoch || (index_epoch == epoch && index_len < rows);
+            if !stale {
+                continue;
+            }
+            if rows > remaining && units > 0 {
+                // a rebuild is all-or-nothing; this slice already did work,
+                // so defer the big one to the next slice, where it runs as
+                // the first (budget-overrunning) item
+                done = false;
+                continue;
+            }
+            // minimum-progress rule: a slice that has spent nothing yet may
+            // overrun its budget by one rebuild — otherwise any index larger
+            // than budget_rows_per_tick could never be refreshed at all
+            let Some(segment) = snapshot
+                .column(column_id.column())
+                .ok()
+                .and_then(|c| c.as_i64())
+            else {
+                continue;
+            };
+            if inner.manager.refresh_index(&column_id, segment, epoch) {
+                remaining = remaining.saturating_sub(rows);
+                units += rows;
+                inner
+                    .maintenance
+                    .stats
+                    .indexes_refreshed
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        TickOutcome { units, done }
+    }
+}

@@ -490,6 +490,88 @@ impl IndexManager {
         self.indexes.lock().remove(column).is_some()
     }
 
+    /// Re-stamp every index of `table` built at `from_epoch` onto
+    /// `to_epoch`, returning how many were carried over.
+    ///
+    /// This is the index half of chunk compaction: a compacted table is
+    /// published under a **fresh epoch** (so snapshots and the drop/
+    /// re-create guard stay sound), but compaction is a pure physical
+    /// re-layout — every row keeps its global position — so the positions an
+    /// adaptive index has learned are *exactly* as valid for the new epoch
+    /// as for the old. Without this call, the epoch guard would treat the
+    /// compacted table like a re-created one and discard all accumulated
+    /// cracking work on the next query; with it, stale-but-correct indexes
+    /// survive (their query counters and learned structure intact).
+    ///
+    /// The caller must guarantee the epoch transition really was
+    /// layout-only (the catalog's `publish_compacted` is the only producer
+    /// of such transitions) and should invoke this while still holding the
+    /// catalog write lock, so no query can slip between the publish and the
+    /// reconciliation and rebuild from scratch.
+    pub fn reconcile_table_epoch(&self, table: &str, from_epoch: u64, to_epoch: u64) -> usize {
+        debug_assert!(to_epoch > from_epoch, "epochs are monotonic");
+        let registry = self.indexes.lock();
+        let mut reconciled = 0;
+        for (column, entry) in registry.iter() {
+            if column.table() != table {
+                continue;
+            }
+            let mut managed = entry.lock();
+            if managed.epoch == from_epoch {
+                managed.epoch = to_epoch;
+                reconciled += 1;
+            }
+        }
+        reconciled
+    }
+
+    /// The `(epoch, indexed_tuples)` version of a column's index, if one is
+    /// registered (the staleness observation background reconciliation
+    /// plans over).
+    pub fn index_version(&self, column: &ColumnId) -> Option<(u64, usize)> {
+        let entry = {
+            let registry = self.indexes.lock();
+            registry.get(column).cloned()
+        }?;
+        let managed = entry.lock();
+        Some((managed.epoch, managed.body.len()))
+    }
+
+    /// Rebuild a column's index from a current snapshot view **iff** it is
+    /// stale (older epoch, or fewer tuples than the snapshot at the same
+    /// epoch); returns `true` when a rebuild happened.
+    ///
+    /// This is background index *re-derivation*: when an insert dropped a
+    /// non-updatable index, or a structural epoch bump invalidated one, the
+    /// next query pays the full rebuild on its critical path. The
+    /// maintenance scheduler calls this between queries instead, with the
+    /// same guards as the query path — a fresher index (or a newer epoch)
+    /// is never downgraded, and an up-to-date index is left untouched.
+    pub fn refresh_index<'a>(
+        &self,
+        column: &ColumnId,
+        keys: impl Into<KeySource<'a>>,
+        epoch: u64,
+    ) -> bool {
+        let keys = keys.into();
+        let entry = {
+            let registry = self.indexes.lock();
+            match registry.get(column) {
+                Some(entry) => entry.clone(),
+                None => return false,
+            }
+        };
+        let mut managed = entry.lock();
+        if managed.epoch > epoch || (managed.epoch == epoch && keys.len() <= managed.body.len()) {
+            return false;
+        }
+        let kind = managed.kind;
+        managed.body = self.build_body(kind, &keys);
+        managed.epoch = epoch;
+        managed.queries = 0;
+        true
+    }
+
     /// Drop a column's index only if it belongs to `epoch` or an older
     /// incarnation. Writers use this when index maintenance fails: an index
     /// registered for a *newer* incarnation of the table (the name was
@@ -763,6 +845,71 @@ mod tests {
         assert!(manager.drop_index_if_stale(&column, 5));
         assert!(!manager.has_index(&column));
         assert!(!manager.drop_index_if_stale(&column, 5), "already gone");
+    }
+
+    #[test]
+    fn reconcile_carries_indexes_across_a_layout_only_epoch_bump() {
+        let manager = IndexManager::new(StrategyKind::Cracking);
+        let data = keys(1000);
+        let a = ColumnId::new("t", "a");
+        let b = ColumnId::new("t", "b");
+        let other = ColumnId::new("u", "a");
+        for (column, epoch) in [(&a, 5), (&b, 5), (&other, 9)] {
+            let _ =
+                manager.query_range_snapshot(column, &data, epoch, 0, 10, StrategyKind::Cracking);
+            let _ =
+                manager.query_range_snapshot(column, &data, epoch, 0, 10, StrategyKind::Cracking);
+        }
+        // compaction bumped t's epoch 5 -> 6: both of t's indexes move, u's
+        // stays, and nobody's learned state or query counter resets
+        assert_eq!(manager.reconcile_table_epoch("t", 5, 6), 2);
+        assert_eq!(manager.index_version(&a), Some((6, 1000)));
+        assert_eq!(manager.index_version(&b), Some((6, 1000)));
+        assert_eq!(manager.index_version(&other), Some((9, 1000)));
+        assert_eq!(manager.index_version(&ColumnId::new("t", "nope")), None);
+        // a query at the new epoch answers through the carried-over index
+        // (no rebuild: the query counter keeps counting)
+        let out = manager.query_range_snapshot(&a, &data, 6, 0, 10, StrategyKind::Cracking);
+        assert_eq!(out.count(), 10);
+        let info = manager
+            .describe()
+            .into_iter()
+            .find(|i| i.column == a)
+            .unwrap();
+        assert_eq!(info.queries, 3, "reconciliation must not reset the index");
+        // re-running the same reconciliation is a no-op
+        assert_eq!(manager.reconcile_table_epoch("t", 5, 6), 0);
+    }
+
+    #[test]
+    fn refresh_rebuilds_only_genuinely_stale_indexes() {
+        let manager = IndexManager::new(StrategyKind::Cracking);
+        let data = keys(1000);
+        let column = ColumnId::new("t", "a");
+        assert!(
+            !manager.refresh_index(&column, &data, 1),
+            "nothing registered"
+        );
+        let _ = manager.query_range_snapshot(&column, &data, 3, 0, 10, StrategyKind::Cracking);
+        // fresh (same epoch, same length): untouched
+        assert!(!manager.refresh_index(&column, &data, 3));
+        // a lagging refresher must never downgrade
+        let shorter = &data[..500];
+        assert!(!manager.refresh_index(&column, shorter, 3));
+        assert_eq!(manager.index_version(&column), Some((3, 1000)));
+        // grown base column at the same epoch: rebuilt
+        let mut grown = data.clone();
+        grown.push(7);
+        assert!(manager.refresh_index(&column, &grown, 3));
+        assert_eq!(manager.index_version(&column), Some((3, 1001)));
+        // newer epoch: rebuilt; older epoch: refused
+        assert!(manager.refresh_index(&column, &data, 4));
+        assert_eq!(manager.index_version(&column), Some((4, 1000)));
+        assert!(!manager.refresh_index(&column, &grown, 3));
+        assert_eq!(manager.index_version(&column), Some((4, 1000)));
+        // the refreshed index answers correctly
+        let out = manager.query_range_snapshot(&column, &data, 4, 0, 10, StrategyKind::Cracking);
+        assert_eq!(out.count(), 10);
     }
 
     #[test]

@@ -87,9 +87,14 @@ impl Session {
     pub fn execute_with(&self, query: &Query, strategy: StrategyKind) -> AidxResult<QueryResult> {
         let snapshot = self.inner.catalog.read().table_snapshot(query.table_name());
         let result = match snapshot {
-            Ok((snapshot, epoch)) => {
-                executor::execute_on_snapshot(snapshot, epoch, &self.inner.manager, query, strategy)
-            }
+            Ok((snapshot, epoch)) => executor::execute_on_snapshot(
+                snapshot,
+                epoch,
+                &self.inner.manager,
+                query,
+                strategy,
+                Some(&self.inner.maintenance.hotness),
+            ),
             Err(e) => Err(e.into()),
         };
         // if the table is gone by now (dropped before the query, or while it

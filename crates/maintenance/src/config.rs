@@ -1,0 +1,195 @@
+//! Configuration and statistics for the maintenance subsystem.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Tuning knobs for the background maintenance subsystem, set through the
+/// kernel's `DatabaseBuilder::maintenance`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaintenanceConfig {
+    /// Maximum rows a single maintenance tick may rewrite (compaction
+    /// copying plus index rebuilding). Keeps every tick short so maintenance
+    /// interleaves with queries instead of stalling them. Defaults to
+    /// `65_536`.
+    pub budget_rows_per_tick: usize,
+    /// Fill fraction (of the segment capacity) below which a sealed chunk
+    /// counts as a fragment worth merging. Must be in `(0, 1]`. Defaults to
+    /// `0.5`.
+    pub min_chunk_fill: f64,
+    /// Chunk-count multiple (relative to the ideal `ceil(rows / capacity)`)
+    /// a column may reach before it is considered fragmented at all. Must be
+    /// at least `1.0`. Defaults to `1.0` (any fragment run is eligible).
+    pub max_chunk_slack: f64,
+    /// Run maintenance ticks continuously on a dedicated background thread.
+    /// When `false`, maintenance runs only when explicitly driven
+    /// (`Database::compact`, `Database::maintenance_tick`). Defaults to
+    /// `false`.
+    pub background: bool,
+    /// How long the background thread sleeps between ticks. Defaults to
+    /// 10 ms.
+    pub tick_interval: Duration,
+}
+
+impl Default for MaintenanceConfig {
+    fn default() -> Self {
+        MaintenanceConfig {
+            budget_rows_per_tick: 65_536,
+            min_chunk_fill: 0.5,
+            max_chunk_slack: 1.0,
+            background: false,
+            tick_interval: Duration::from_millis(10),
+        }
+    }
+}
+
+impl MaintenanceConfig {
+    /// Validate the configuration; the first violated constraint is
+    /// described in the returned error string (the kernel maps it to its
+    /// typed configuration error).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.budget_rows_per_tick == 0 {
+            return Err("budget_rows_per_tick must be at least 1".to_owned());
+        }
+        // NaN must fail both checks, so phrase them as "accept iff provably
+        // in range" rather than with negated comparisons
+        let fill_ok = self.min_chunk_fill > 0.0 && self.min_chunk_fill <= 1.0;
+        if !fill_ok {
+            return Err("min_chunk_fill must be in (0, 1]".to_owned());
+        }
+        let slack_ok = self.max_chunk_slack >= 1.0;
+        if !slack_ok {
+            return Err("max_chunk_slack must be at least 1.0".to_owned());
+        }
+        if self.background && self.tick_interval.is_zero() {
+            return Err("tick_interval must be non-zero for background mode".to_owned());
+        }
+        Ok(())
+    }
+}
+
+/// Cumulative counters the maintenance subsystem exposes; updated with
+/// relaxed atomics from whichever thread runs a tick, snapshot with
+/// [`MaintenanceStats::snapshot`].
+#[derive(Debug, Default)]
+pub struct MaintenanceStats {
+    /// Maintenance ticks executed (background and explicit).
+    pub ticks: AtomicU64,
+    /// Rows rewritten by chunk compaction.
+    pub rows_compacted: AtomicU64,
+    /// Sealed chunks eliminated by compaction.
+    pub chunks_removed: AtomicU64,
+    /// Compacted tables published (epoch bumps through the reconcilable
+    /// path).
+    pub compactions_published: AtomicU64,
+    /// Adaptive indexes carried across a compaction epoch instead of being
+    /// dropped.
+    pub indexes_reconciled: AtomicU64,
+    /// Stale adaptive indexes rebuilt in the background before a query had
+    /// to pay for it.
+    pub indexes_refreshed: AtomicU64,
+    /// Whether a background maintenance thread is attached.
+    pub background_attached: AtomicBool,
+}
+
+impl MaintenanceStats {
+    /// A coherent point-in-time copy of the counters.
+    pub fn snapshot(&self) -> MaintenanceStatsSnapshot {
+        MaintenanceStatsSnapshot {
+            ticks: self.ticks.load(Ordering::Relaxed),
+            rows_compacted: self.rows_compacted.load(Ordering::Relaxed),
+            chunks_removed: self.chunks_removed.load(Ordering::Relaxed),
+            compactions_published: self.compactions_published.load(Ordering::Relaxed),
+            indexes_reconciled: self.indexes_reconciled.load(Ordering::Relaxed),
+            indexes_refreshed: self.indexes_refreshed.load(Ordering::Relaxed),
+            background_attached: self.background_attached.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value snapshot of [`MaintenanceStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceStatsSnapshot {
+    /// Maintenance ticks executed.
+    pub ticks: u64,
+    /// Rows rewritten by chunk compaction.
+    pub rows_compacted: u64,
+    /// Sealed chunks eliminated by compaction.
+    pub chunks_removed: u64,
+    /// Compacted tables published.
+    pub compactions_published: u64,
+    /// Indexes carried across a compaction epoch.
+    pub indexes_reconciled: u64,
+    /// Stale indexes rebuilt in the background.
+    pub indexes_refreshed: u64,
+    /// Whether a background maintenance thread is attached.
+    pub background_attached: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(MaintenanceConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn each_constraint_is_enforced() {
+        let ok = MaintenanceConfig::default();
+        for (config, needle) in [
+            (
+                MaintenanceConfig {
+                    budget_rows_per_tick: 0,
+                    ..ok
+                },
+                "budget_rows_per_tick",
+            ),
+            (
+                MaintenanceConfig {
+                    min_chunk_fill: 0.0,
+                    ..ok
+                },
+                "min_chunk_fill",
+            ),
+            (
+                MaintenanceConfig {
+                    min_chunk_fill: 1.5,
+                    ..ok
+                },
+                "min_chunk_fill",
+            ),
+            (
+                MaintenanceConfig {
+                    max_chunk_slack: 0.5,
+                    ..ok
+                },
+                "max_chunk_slack",
+            ),
+            (
+                MaintenanceConfig {
+                    background: true,
+                    tick_interval: Duration::ZERO,
+                    ..ok
+                },
+                "tick_interval",
+            ),
+        ] {
+            let err = config.validate().expect_err("must be rejected");
+            assert!(err.contains(needle), "{err} should mention {needle}");
+        }
+    }
+
+    #[test]
+    fn stats_snapshot_reflects_counters() {
+        let stats = MaintenanceStats::default();
+        stats.ticks.fetch_add(3, Ordering::Relaxed);
+        stats.rows_compacted.fetch_add(100, Ordering::Relaxed);
+        stats.background_attached.store(true, Ordering::Relaxed);
+        let snapshot = stats.snapshot();
+        assert_eq!(snapshot.ticks, 3);
+        assert_eq!(snapshot.rows_compacted, 100);
+        assert!(snapshot.background_attached);
+        assert_eq!(snapshot.indexes_reconciled, 0);
+    }
+}

@@ -1,0 +1,46 @@
+//! # aidx-maintenance
+//!
+//! The background maintenance subsystem: a **persistent worker pool**, a
+//! **budgeted job scheduler**, and the **compaction policy** — the standing
+//! machinery that lets the kernel keep improving its physical layout as a
+//! side effect of load, off the query critical path.
+//!
+//! The EDBT 2012 adaptive-indexing argument is that reorganization should be
+//! incremental and demand-driven rather than blocking and offline. Queries
+//! already do that for *index* structure; this crate extends the same
+//! economics to *storage* structure, following the two concurrency
+//! follow-ups: Graefe et al. show reorganization can run concurrently with
+//! queries under short latches (here: budgeted ticks that publish through
+//! the catalog's copy-on-write swap), and Alvarez et al. motivate a standing
+//! pool of cores instead of per-call threads (here: [`WorkerPool`], which
+//! the query engine's fork/join API is re-implemented on top of).
+//!
+//! The crate is deliberately substrate-agnostic (`std` only): the
+//! [`CompactionPolicy`] plans over plain chunk row counts and the
+//! [`Scheduler`] drives opaque [`MaintenanceJob`]s, so the kernel layer owns
+//! all catalog and index-manager specifics.
+//!
+//! ```
+//! use aidx_maintenance::{CompactionPolicy, WorkerPool};
+//!
+//! // plan merge runs over a fragmented column (chunk capacity 8)
+//! let policy = CompactionPolicy::default();
+//! let plan = policy.plan(&[8, 1, 1, 1, 8], 8, usize::MAX);
+//! assert_eq!(plan.runs, vec![(1, 4)]);
+//!
+//! // a persistent fork/join pool: workers are parked, not respawned
+//! let pool = WorkerPool::new(2);
+//! assert_eq!(pool.run(4, |i| i * i), vec![0, 1, 4, 9]);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod config;
+pub mod policy;
+pub mod pool;
+pub mod scheduler;
+
+pub use config::{MaintenanceConfig, MaintenanceStats, MaintenanceStatsSnapshot};
+pub use policy::{CompactionPlan, CompactionPolicy};
+pub use pool::WorkerPool;
+pub use scheduler::{BackgroundLoop, MaintenanceJob, Scheduler, TickOutcome};

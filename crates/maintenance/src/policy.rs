@@ -1,0 +1,220 @@
+//! The compaction policy: decides *which* runs of undersized chunks to
+//! merge, and in what order, under a per-tick row budget.
+//!
+//! The policy is deliberately storage-agnostic — it plans over plain chunk
+//! row counts — so it can be unit-tested exhaustively and reused by any
+//! column layout. The kernel layer feeds it each column's
+//! `sealed_chunk_lens()` plus a query-driven hotness score and applies the
+//! returned plan with the column store's `compact_runs`.
+
+/// Size-tiered, budgeted planning of chunk-merge runs.
+///
+/// A sealed chunk is a *fragment* when it holds fewer than
+/// `min_fill * capacity` rows; a maximal run of **consecutive undersized**
+/// chunks (anything below `capacity`) containing at least one fragment is a
+/// merge candidate when merging actually reduces the chunk count. Runs are
+/// truncated to the row budget, so one planning call never schedules more
+/// copying than a tick is allowed to do — compaction stays incremental,
+/// adaptive-merging style: every tick leaves the column strictly less
+/// fragmented, and repeated ticks converge to full chunks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactionPolicy {
+    /// Fill fraction (of the chunk capacity) below which a sealed chunk is
+    /// considered a fragment worth merging. Defaults to `0.5`.
+    pub min_fill: f64,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy { min_fill: 0.5 }
+    }
+}
+
+/// One planning result: merge runs plus the rows they will copy.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompactionPlan {
+    /// Half-open `[start, end)` runs of sealed-chunk indexes to merge,
+    /// sorted and disjoint.
+    pub runs: Vec<(usize, usize)>,
+    /// Total rows the runs will rewrite (the budget they consume).
+    pub rows: usize,
+    /// Sealed chunks the plan eliminates (`count - ceil(rows / capacity)`
+    /// summed over runs).
+    pub chunks_removed: usize,
+}
+
+impl CompactionPlan {
+    /// True when the plan schedules no work.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+}
+
+impl CompactionPolicy {
+    /// True when a sealed chunk of `len` rows counts as a fragment under
+    /// this policy (for `capacity`-row chunks).
+    pub fn is_fragment(&self, len: usize, capacity: usize) -> bool {
+        (len as f64) < self.min_fill * capacity as f64
+    }
+
+    /// Plan merge runs over a column whose sealed chunks hold
+    /// `chunk_lens` rows each, copying at most `budget_rows` rows.
+    ///
+    /// Runs are maximal stretches of consecutive undersized chunks
+    /// (`len < capacity`) that contain at least one genuine fragment
+    /// (`len < min_fill * capacity`) and whose merge removes at least one
+    /// chunk. A run that would blow the remaining budget is truncated to a
+    /// prefix that still removes a chunk; planning stops when the budget is
+    /// exhausted. The returned runs are sorted, disjoint, and safe to hand
+    /// to `Segment::compact_runs` directly.
+    pub fn plan(
+        &self,
+        chunk_lens: &[usize],
+        capacity: usize,
+        budget_rows: usize,
+    ) -> CompactionPlan {
+        assert!(capacity > 0, "chunk capacity must be at least 1");
+        let mut plan = CompactionPlan::default();
+        let mut budget = budget_rows;
+        let mut i = 0;
+        while i < chunk_lens.len() && budget > 0 {
+            if chunk_lens[i] >= capacity {
+                i += 1;
+                continue;
+            }
+            // maximal run of undersized chunks starting at i
+            let mut end = i;
+            while end < chunk_lens.len() && chunk_lens[end] < capacity {
+                end += 1;
+            }
+            let has_fragment = chunk_lens[i..end]
+                .iter()
+                .any(|&len| self.is_fragment(len, capacity));
+            if has_fragment {
+                // truncate to the budget: take the longest prefix whose rows
+                // fit, then check it still removes at least one chunk
+                let mut take = i;
+                let mut rows = 0;
+                while take < end && rows + chunk_lens[take] <= budget {
+                    rows += chunk_lens[take];
+                    take += 1;
+                }
+                let count = take - i;
+                let merged_chunks = rows.div_ceil(capacity);
+                if count >= 2 && merged_chunks < count {
+                    plan.runs.push((i, take));
+                    plan.rows += rows;
+                    plan.chunks_removed += count - merged_chunks;
+                    budget -= rows;
+                }
+            }
+            i = end;
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_chunks_are_never_planned() {
+        let policy = CompactionPolicy::default();
+        let plan = policy.plan(&[8, 8, 8], 8, usize::MAX);
+        assert!(plan.is_empty());
+        assert_eq!(plan.rows, 0);
+    }
+
+    #[test]
+    fn runs_of_fragments_merge_into_fewer_chunks() {
+        let policy = CompactionPolicy::default();
+        // one full chunk, then six single-row fragments, then a full chunk
+        let plan = policy.plan(&[8, 1, 1, 1, 1, 1, 1, 8], 8, usize::MAX);
+        assert_eq!(plan.runs, vec![(1, 7)]);
+        assert_eq!(plan.rows, 6);
+        assert_eq!(plan.chunks_removed, 5, "6 fragments -> 1 chunk");
+    }
+
+    #[test]
+    fn merely_undersized_runs_without_a_fragment_are_left_alone() {
+        let policy = CompactionPolicy { min_fill: 0.5 };
+        // 6-row chunks are undersized for capacity 8 but above the 0.5 fill
+        // floor: not worth rewriting
+        let plan = policy.plan(&[6, 6, 6], 8, usize::MAX);
+        assert!(plan.is_empty());
+        // one genuine fragment in the middle pulls the whole run in
+        let plan = policy.plan(&[6, 2, 6], 8, usize::MAX);
+        assert_eq!(plan.runs, vec![(0, 3)]);
+        assert_eq!(plan.chunks_removed, 1, "14 rows -> 2 chunks");
+    }
+
+    #[test]
+    fn disjoint_runs_are_all_planned_in_order() {
+        let policy = CompactionPolicy::default();
+        let plan = policy.plan(&[1, 1, 8, 2, 2, 2, 8, 3, 3], 8, usize::MAX);
+        assert_eq!(plan.runs, vec![(0, 2), (3, 6), (7, 9)]);
+        assert_eq!(plan.rows, 2 + 6 + 6);
+        assert_eq!(plan.chunks_removed, 1 + 2 + 1);
+    }
+
+    #[test]
+    fn budget_truncates_and_stops_planning() {
+        let policy = CompactionPolicy::default();
+        // 10 single-row fragments, budget for only 4 rows
+        let plan = policy.plan(&[1; 10], 8, 4);
+        assert_eq!(plan.runs, vec![(0, 4)]);
+        assert_eq!(plan.rows, 4);
+        assert_eq!(plan.chunks_removed, 3);
+        // a budget too small to remove a chunk plans nothing
+        let plan = policy.plan(&[1; 10], 8, 1);
+        assert!(plan.is_empty());
+        // zero budget plans nothing
+        assert!(policy.plan(&[1; 10], 8, 0).is_empty());
+    }
+
+    #[test]
+    fn single_isolated_fragment_cannot_merge_alone() {
+        let policy = CompactionPolicy::default();
+        // a lone fragment between full chunks: merging "a run of one" is a
+        // pointless rewrite and must not be planned
+        let plan = policy.plan(&[8, 1, 8], 8, usize::MAX);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn repeated_ticks_converge_to_no_work() {
+        let policy = CompactionPolicy::default();
+        let mut lens = vec![1usize; 40];
+        let capacity = 8;
+        let mut ticks = 0;
+        loop {
+            let plan = policy.plan(&lens, capacity, 16);
+            if plan.is_empty() {
+                break;
+            }
+            ticks += 1;
+            assert!(ticks < 100, "compaction must converge");
+            // apply the plan to the model
+            let mut next = Vec::new();
+            let mut cursor = 0;
+            for &(start, end) in &plan.runs {
+                next.extend_from_slice(&lens[cursor..start]);
+                let rows: usize = lens[start..end].iter().sum();
+                let mut remaining = rows;
+                while remaining > 0 {
+                    let take = remaining.min(capacity);
+                    next.push(take);
+                    remaining -= take;
+                }
+                cursor = end;
+            }
+            next.extend_from_slice(&lens[cursor..]);
+            lens = next;
+        }
+        let total: usize = lens.iter().sum();
+        assert_eq!(total, 40, "no rows lost");
+        // everything that can be a full chunk is one
+        assert!(lens.iter().filter(|&&l| l == capacity).count() >= 4);
+    }
+}

@@ -23,10 +23,18 @@
 //!   latch (Graefe et al., *Concurrency Control for Adaptive Indexing*) —
 //!   the kernel's `IndexManager` builds its partitioned indexes on top of
 //!   this.
-//! * **The fork/join pool** (module [`pool`]) — a scoped-thread fork/join
-//!   region with dynamic task claiming and deterministic, task-ordered
-//!   result merging. `ThreadPool::new(1)` is the identity: everything runs
-//!   inline, which is how the serial kernel stays the default code path.
+//! * **The fork/join pool** (module [`pool`]) — fork/join regions with
+//!   dynamic task claiming and deterministic, task-ordered result merging,
+//!   executed on the **persistent** worker pool from `aidx-maintenance`
+//!   (workers spawn once and park between regions; thread identities are
+//!   stable). `ThreadPool::new(1)` is the identity: everything runs inline
+//!   and no thread is ever spawned, which is how the serial kernel stays
+//!   the default code path.
+//! * **Chunk-parallel residual filtering** ([`parallel_filter_positions`])
+//!   — the late-materialization filter step of a conjunctive query, fanned
+//!   across the pool with the same per-chunk kernel the serial executor
+//!   uses, so serial and parallel residual filtering produce byte-identical
+//!   position sets and pruning statistics.
 //!
 //! ## Example: a chunk-parallel zone-pruned scan
 //!
@@ -52,4 +60,4 @@ pub use partition::{
     partition_keys, partition_of, partition_segment, partition_span, PartitionData, RangePartitions,
 };
 pub use pool::ThreadPool;
-pub use scan::{parallel_scan_select, parallel_scan_where};
+pub use scan::{parallel_filter_positions, parallel_scan_select, parallel_scan_where};

@@ -1,4 +1,4 @@
-//! A scoped-thread fork/join pool.
+//! The query engine's fork/join pool, backed by persistent workers.
 //!
 //! [`ThreadPool::run`] is the one primitive everything in this crate (and
 //! the kernel above it) builds on: execute `tasks` independent closures and
@@ -8,17 +8,19 @@
 //! claims the next one), yet the merged output is deterministic because
 //! results are slotted by task index, never by completion order.
 //!
-//! The pool is built on [`std::thread::scope`]: workers borrow from the
-//! caller's stack frame, terminate before `run` returns, and need no `'static`
-//! bounds, channels, or shutdown protocol. Spawning is paid per `run` call —
-//! a deliberate trade: the kernel only forks for work that is at least many
-//! chunks large, where a few microseconds of spawn cost vanish against the
-//! scan or index-build being parallelized. Serial configurations
-//! (`threads == 1`) and single-task calls never spawn at all and run inline,
-//! which keeps the default execution path byte-identical to the pre-parallel
+//! The pool started life on [`std::thread::scope`], paying a spawn per
+//! fork/join region; it is now a thin facade over the **persistent**
+//! [`aidx_maintenance::WorkerPool`] — `threads - 1` workers are spawned once
+//! and parked between regions, the submitting thread participates as the
+//! final worker, and thread identities are stable across regions. That is
+//! the standing-pool-of-cores design Alvarez et al. motivate for multi-core
+//! adaptive indexing, and it lets query execution and background
+//! maintenance share one set of workers. Serial configurations
+//! (`threads == 1`) and single-task calls spawn nothing and run inline,
+//! which keeps the default execution path byte-identical to the serial
 //! kernel.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use aidx_maintenance::WorkerPool;
 
 /// A fork/join execution context with a fixed worker budget.
 ///
@@ -31,15 +33,21 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// ```
 #[derive(Debug)]
 pub struct ThreadPool {
+    /// The persistent workers; `None` for a serial pool, which spawns no
+    /// threads at all.
+    workers: Option<WorkerPool>,
     threads: usize,
 }
 
 impl ThreadPool {
-    /// A pool that uses up to `threads` worker threads per fork/join region
-    /// (clamped to at least 1; 1 means fully inline, serial execution).
+    /// A pool of `threads` persistent workers shared by every fork/join
+    /// region (clamped to at least 1; 1 means fully inline, serial
+    /// execution and spawns no threads).
     pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
         ThreadPool {
-            threads: threads.max(1),
+            workers: (threads > 1).then(|| WorkerPool::new(threads)),
+            threads,
         }
     }
 
@@ -59,54 +67,21 @@ impl ThreadPool {
     /// Scheduling is dynamic (workers pull the next unclaimed index), the
     /// output is deterministic (slot `i` always holds `f(i)`). With a serial
     /// pool, a single task, or zero tasks, everything runs inline on the
-    /// calling thread.
+    /// calling thread; a region submitted while the pool is busy with
+    /// another region (or nested inside a pool task) also runs inline, so
+    /// forks always make progress and can never deadlock on the pool.
     ///
     /// # Panics
-    /// Propagates a panic from any task after all workers have stopped.
+    /// Propagates a panic from any task after the whole region has finished.
     pub fn run<R, F>(&self, tasks: usize, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
-        if self.threads == 1 || tasks <= 1 {
-            return (0..tasks).map(f).collect();
+        match &self.workers {
+            None => (0..tasks).map(f).collect(),
+            Some(pool) => pool.run(tasks, f),
         }
-        let workers = self.threads.min(tasks);
-        let next = AtomicUsize::new(0);
-        let mut slots: Vec<Option<R>> = Vec::with_capacity(tasks);
-        slots.resize_with(tasks, || None);
-        let mut harvests: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut local: Vec<(usize, R)> = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= tasks {
-                                break;
-                            }
-                            local.push((i, f(i)));
-                        }
-                        local
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| match h.join() {
-                    Ok(local) => local,
-                    Err(panic) => std::panic::resume_unwind(panic),
-                })
-                .collect()
-        });
-        for (i, r) in harvests.drain(..).flatten() {
-            debug_assert!(slots[i].is_none(), "task {i} claimed twice");
-            slots[i] = Some(r);
-        }
-        slots
-            .into_iter()
-            .map(|s| s.expect("every task index claimed exactly once"))
-            .collect()
     }
 }
 
@@ -151,7 +126,7 @@ pub fn stripe_bounds(item_count: usize, workers: usize) -> Vec<(usize, usize)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn results_are_in_task_order_at_any_parallelism() {
@@ -215,6 +190,28 @@ mod tests {
                 covered = e;
             }
             assert_eq!(covered, items, "stripes cover every item");
+        }
+    }
+
+    #[test]
+    fn fork_join_regions_reuse_the_same_persistent_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let pool = ThreadPool::new(4);
+        let observe = || {
+            let ids = Mutex::new(HashSet::new());
+            pool.run(64, |_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            });
+            ids.into_inner().unwrap()
+        };
+        let first = observe();
+        for _ in 0..4 {
+            assert!(
+                observe().is_subset(&first),
+                "regions must be served by the same parked workers"
+            );
         }
     }
 

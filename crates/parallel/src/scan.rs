@@ -12,9 +12,11 @@
 //! serial scan's output by construction.
 
 use crate::pool::{stripe_bounds, ThreadPool};
-use aidx_columnstore::ops::select::{scan_chunk_where, scan_segment_where, Predicate, PruneStats};
+use aidx_columnstore::ops::select::{
+    filter_chunk_positions, scan_chunk_where, scan_segment_where, Predicate, PruneStats,
+};
 use aidx_columnstore::position::PositionList;
-use aidx_columnstore::segment::{Segment, ZoneMap};
+use aidx_columnstore::segment::{ChunkView, Segment, ZoneMap};
 use aidx_columnstore::types::{Key, RowId};
 
 /// Positions of every value in `segment` satisfying `matches`, scanned
@@ -71,6 +73,89 @@ pub fn parallel_scan_select(
     )
 }
 
+/// Retain only the candidate `positions` whose value in `segment` satisfies
+/// `matches` — the residual, late-materialized filter step of a conjunctive
+/// query — fanned chunk-parallel across `pool`.
+///
+/// The global (ascending) candidate list is first split into per-chunk
+/// slices; chunks holding no candidates are never visited (and appear in
+/// neither statistic). Each populated chunk is then filtered with the same
+/// per-chunk kernel the serial executor path uses
+/// ([`aidx_columnstore::ops::select::filter_chunk_positions`]): a chunk
+/// whose zone map cannot satisfy the predicate rejects all its candidates
+/// without reading a value. Populated chunks are striped across the pool's
+/// workers and per-stripe results concatenated in stripe order — ascending
+/// position order — so the output positions and statistics are
+/// byte-identical to the serial filter at any worker count (a serial pool
+/// runs the same loop inline).
+pub fn parallel_filter_positions(
+    pool: &ThreadPool,
+    segment: &Segment<Key>,
+    positions: &PositionList,
+    zone_may_match: impl Fn(&ZoneMap<Key>) -> bool + Sync,
+    matches: impl Fn(Key) -> bool + Sync,
+) -> (PositionList, PruneStats) {
+    let pos = positions.as_slice();
+    // split the ascending candidate list by chunk bounds: one (chunk,
+    // candidates) pair per chunk that holds at least one candidate
+    let mut populated: Vec<(ChunkView<'_, Key>, &[RowId])> = Vec::new();
+    let mut i = 0;
+    for chunk in segment.chunks() {
+        if i >= pos.len() {
+            break;
+        }
+        let end = chunk.end();
+        if pos[i] >= end {
+            continue;
+        }
+        let mut j = i;
+        while j < pos.len() && pos[j] < end {
+            j += 1;
+        }
+        populated.push((chunk, &pos[i..j]));
+        i = j;
+    }
+    if pool.is_serial() || populated.len() <= 1 {
+        let mut out: Vec<RowId> = Vec::with_capacity(pos.len());
+        let mut stats = PruneStats::default();
+        for (chunk, candidates) in &populated {
+            filter_chunk_positions(
+                chunk,
+                candidates,
+                &zone_may_match,
+                &matches,
+                &mut out,
+                &mut stats,
+            );
+        }
+        return (PositionList::from_sorted_vec(out), stats);
+    }
+    let stripes = stripe_bounds(populated.len(), pool.threads());
+    let per_stripe = pool.run(stripes.len(), |s| {
+        let (begin, end) = stripes[s];
+        let mut out: Vec<RowId> = Vec::new();
+        let mut stats = PruneStats::default();
+        for (chunk, candidates) in &populated[begin..end] {
+            filter_chunk_positions(
+                chunk,
+                candidates,
+                &zone_may_match,
+                &matches,
+                &mut out,
+                &mut stats,
+            );
+        }
+        (out, stats)
+    });
+    let mut out: Vec<RowId> = Vec::with_capacity(per_stripe.iter().map(|(p, _)| p.len()).sum());
+    let mut stats = PruneStats::default();
+    for (stripe_positions, stripe_stats) in per_stripe {
+        out.extend_from_slice(&stripe_positions);
+        stats += stripe_stats;
+    }
+    (PositionList::from_sorted_vec(out), stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,6 +192,65 @@ mod tests {
         assert_eq!(positions.len(), 90);
         assert_eq!(stats.chunks_scanned, 2);
         assert_eq!(stats.chunks_pruned, 98);
+    }
+
+    #[test]
+    fn parallel_residual_filter_matches_the_serial_kernel_exactly() {
+        let seg = segment(10_000, 64);
+        // candidates: every third position (an upstream driver's output)
+        let candidates =
+            PositionList::from_sorted_vec((0..10_000).step_by(3).map(|p| p as RowId).collect());
+        let predicate = Predicate::range(2_000, 7_000);
+        let serial_pool = ThreadPool::new(1);
+        let (serial_pos, serial_stats) = parallel_filter_positions(
+            &serial_pool,
+            &seg,
+            &candidates,
+            |zone| predicate.zone_may_match(zone),
+            |v| predicate.matches(v),
+        );
+        // the serial result is the ground truth: candidates whose value
+        // satisfies the predicate, in order
+        let expected: Vec<RowId> = candidates
+            .iter()
+            .filter(|&p| predicate.matches(seg.value(p as usize)))
+            .collect();
+        assert_eq!(serial_pos.as_slice(), expected.as_slice());
+        for threads in [2, 4, 8] {
+            let pool = ThreadPool::new(threads);
+            let (par_pos, par_stats) = parallel_filter_positions(
+                &pool,
+                &seg,
+                &candidates,
+                |zone| predicate.zone_may_match(zone),
+                |v| predicate.matches(v),
+            );
+            assert_eq!(par_pos, serial_pos, "{threads} threads");
+            assert_eq!(par_stats, serial_stats, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn residual_filter_skips_chunks_without_candidates() {
+        // sorted data, chunks of 100; candidates only in chunks 2 and 7
+        let seg = Segment::from_vec_with_capacity((0..1_000).collect(), 100);
+        let candidates = PositionList::from_sorted_vec(vec![250, 260, 720]);
+        let pool = ThreadPool::new(4);
+        let (positions, stats) = parallel_filter_positions(
+            &pool,
+            &seg,
+            &candidates,
+            |zone| zone.may_contain_range(0, 1_000),
+            |v| v % 2 == 0,
+        );
+        assert_eq!(positions.as_slice(), &[250, 260, 720]);
+        assert_eq!(stats.chunks_scanned, 2, "only populated chunks counted");
+        assert_eq!(stats.chunks_pruned, 0);
+        // empty candidate lists touch nothing
+        let (positions, stats) =
+            parallel_filter_positions(&pool, &seg, &PositionList::new(), |_| true, |_| true);
+        assert!(positions.is_empty());
+        assert_eq!(stats.chunks_total(), 0);
     }
 
     #[test]

@@ -20,18 +20,21 @@
 //!
 //! See the individual crates for the implementation layers:
 //! `aidx-columnstore`, `aidx-cracking`, `aidx-merging`, `aidx-hybrids`,
-//! `aidx-baselines`, `aidx-parallel`, `aidx-workloads`, `aidx-core`.
+//! `aidx-baselines`, `aidx-parallel`, `aidx-maintenance`, `aidx-workloads`,
+//! `aidx-core`.
 
 pub use aidx_baselines as baselines;
 pub use aidx_columnstore as columnstore;
 pub use aidx_core as core;
 pub use aidx_cracking as cracking;
 pub use aidx_hybrids as hybrids;
+pub use aidx_maintenance as maintenance;
 pub use aidx_merging as merging;
 pub use aidx_parallel as parallel;
 pub use aidx_workloads as workloads;
 
 pub use aidx_core::{
-    Aggregation, AidxError, AidxResult, Database, DatabaseBuilder, Predicate, Query, QueryBuilder,
-    QueryPlan, QueryResult, RowIter, Session, StrategyKind,
+    Aggregation, AidxError, AidxResult, CompactionReport, Database, DatabaseBuilder,
+    MaintenanceConfig, MaintenanceStatsSnapshot, Predicate, Query, QueryBuilder, QueryPlan,
+    QueryResult, RowIter, Session, StrategyKind,
 };

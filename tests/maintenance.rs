@@ -1,0 +1,363 @@
+//! Integration tests for the background maintenance subsystem: adaptive
+//! chunk compaction under churn, index reconciliation across compaction
+//! epochs, snapshot isolation while compaction rewrites chunks, persistent
+//! worker-pool reuse, and property-based agreement between a maintained
+//! engine and a flat-Vec reference model under random interleavings of
+//! inserts, queries, and compaction ticks.
+
+use adaptive_indexing::columnstore::segment::Segment;
+use adaptive_indexing::columnstore::{Column, Table, Value};
+use adaptive_indexing::{Database, MaintenanceConfig, StrategyKind};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn seeded_db(initial: &[i64], segment_capacity: usize, strategy: StrategyKind) -> Database {
+    let db = Database::builder()
+        .default_strategy(strategy)
+        .segment_capacity(segment_capacity)
+        .try_build()
+        .expect("valid configuration");
+    db.create_table(
+        "t",
+        Table::from_columns(vec![("k", Column::from_i64(initial.to_vec()))])
+            .expect("single column table"),
+    )
+    .expect("fresh database");
+    db
+}
+
+/// Fragment `t` by inserting each value under a freshly taken live snapshot
+/// (every copy-on-write append then seals the tail early).
+fn churn(db: &Database, values: impl IntoIterator<Item = i64>) {
+    let session = db.session();
+    for v in values {
+        let _snapshot = db.table_snapshot("t").unwrap();
+        session.insert_row("t", &[Value::Int64(v)]).unwrap();
+    }
+}
+
+fn key_segment(snapshot: &Table) -> &Segment<i64> {
+    snapshot.column("k").unwrap().as_i64().unwrap()
+}
+
+#[test]
+fn churn_fragments_and_compaction_restores_within_2x_of_ideal() {
+    let db = seeded_db(&(0..512).collect::<Vec<_>>(), 64, StrategyKind::Cracking);
+    churn(&db, 512..1024);
+    let rows = db.row_count("t").unwrap();
+    let ideal = rows.div_ceil(64);
+    let fragmented = db.table_snapshot("t").unwrap();
+    assert!(
+        key_segment(&fragmented).sealed_chunk_count() >= 8 * ideal,
+        "churn workload must produce >= 8x undersized chunks"
+    );
+    // answers before compaction are the reference
+    let reference = db
+        .session()
+        .query("t")
+        .range("k", 100, 900)
+        .execute()
+        .unwrap();
+    let report = db.compact();
+    assert!(report.rows_merged > 0);
+    assert!(report.chunks_removed > 0);
+    let compacted = db.table_snapshot("t").unwrap();
+    assert!(
+        key_segment(&compacted).sealed_chunk_count() <= 2 * ideal,
+        "compaction must restore chunk count to within 2x of ideal ({} vs {ideal})",
+        key_segment(&compacted).sealed_chunk_count()
+    );
+    let after = db
+        .session()
+        .query("t")
+        .range("k", 100, 900)
+        .execute()
+        .unwrap();
+    assert_eq!(
+        after.positions().as_slice(),
+        reference.positions().as_slice(),
+        "compaction must be invisible to query answers"
+    );
+}
+
+#[test]
+fn row_iter_held_across_a_compaction_sees_the_old_layout() {
+    let db = seeded_db(&(0..100).collect::<Vec<_>>(), 8, StrategyKind::Cracking);
+    churn(&db, 100..200);
+
+    // hold a streaming result (and thus a snapshot of the fragmented table)
+    let result = db
+        .session()
+        .query("t")
+        .range("k", 0, 1_000)
+        .project(["k"])
+        .execute()
+        .unwrap();
+    let mut iter = result.rows();
+    let first: Vec<_> = (&mut iter).take(10).collect();
+    assert_eq!(first.len(), 10);
+    let chunks_before = key_segment(result.snapshot()).sealed_chunk_count();
+
+    // compaction rewrites the table's chunks while the iterator is open
+    let report = db.compact();
+    assert!(report.rows_merged > 0, "there was real work: {report:?}");
+    let live = db.table_snapshot("t").unwrap();
+    assert!(
+        key_segment(&live).sealed_chunk_count() < chunks_before,
+        "the live table really was re-chunked"
+    );
+
+    // the open iterator still reads its snapshot: the old (fragmented)
+    // layout, every row, original values, in order
+    assert_eq!(
+        key_segment(result.snapshot()).sealed_chunk_count(),
+        chunks_before,
+        "the held snapshot must keep the pre-compaction layout"
+    );
+    let rest: Vec<_> = iter.collect();
+    assert_eq!(first.len() + rest.len(), 200);
+    for (i, row) in first.iter().chain(rest.iter()).enumerate() {
+        assert_eq!(row[0], Value::Int64(i as i64));
+    }
+    // and the sealed chunks the snapshot shares with nobody are still valid
+    // for re-iteration
+    assert_eq!(result.rows().count(), 200);
+}
+
+#[test]
+fn indexes_survive_compaction_with_their_learned_state() {
+    let db = seeded_db(&(0..256).collect::<Vec<_>>(), 32, StrategyKind::Cracking);
+    churn(&db, 256..512);
+    let session = db.session();
+    for q in 0..6 {
+        session
+            .query("t")
+            .range("k", q * 50, q * 50 + 80)
+            .execute()
+            .unwrap();
+    }
+    assert_eq!(db.index_stats()[0].queries, 6);
+    let report = db.compact();
+    assert!(report.compactions_published > 0);
+    assert!(
+        report.indexes_reconciled > 0,
+        "compaction must reconcile, not drop, the adaptive index: {report:?}"
+    );
+    session.query("t").range("k", 40, 120).execute().unwrap();
+    assert_eq!(
+        db.index_stats()[0].queries,
+        7,
+        "the reconciled index keeps serving (a rebuild would reset to 1)"
+    );
+}
+
+#[test]
+fn worker_pool_threads_are_stable_across_fork_join_regions() {
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+    let pool = adaptive_indexing::parallel::ThreadPool::new(4);
+    let observe = || -> HashSet<std::thread::ThreadId> {
+        let ids = Mutex::new(HashSet::new());
+        pool.run(64, |_| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        });
+        ids.into_inner().unwrap()
+    };
+    let first = observe();
+    for region in 0..6 {
+        let ids = observe();
+        assert!(
+            ids.is_subset(&first),
+            "fork/join region {region} ran on threads outside the persistent \
+             pool: {ids:?} vs {first:?}"
+        );
+    }
+}
+
+#[test]
+fn serial_and_parallel_residual_filtering_agree_exactly() {
+    // conjunctive queries: the non-driver predicate is evaluated as a
+    // residual filter, chunk-parallel through the pool when parallelism > 1
+    let n = 4_000i64;
+    let keys: Vec<i64> = (0..n).map(|i| (i * 7919) % n).collect();
+    let payload: Vec<i64> = keys.iter().map(|&k| k % 97).collect();
+    let build = |workers| {
+        let db = Database::builder()
+            .parallelism(workers)
+            .segment_capacity(128)
+            .try_build()
+            .unwrap();
+        db.create_table(
+            "t",
+            Table::from_columns(vec![
+                ("k", Column::from_i64(keys.clone())),
+                ("v", Column::from_i64(payload.clone())),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    };
+    let serial = build(1);
+    let parallel = build(4);
+    for q in 0..25 {
+        let low = (q * 311) % 3_000;
+        // driver: the narrow point predicate on v; residual: the range on k
+        let run = |db: &Database| {
+            db.session()
+                .query("t")
+                .range("k", low, low + 800)
+                .point("v", q % 97)
+                .execute()
+                .unwrap()
+        };
+        let a = run(&serial);
+        let b = run(&parallel);
+        assert_eq!(
+            a.positions().as_slice(),
+            b.positions().as_slice(),
+            "query {q}: residual filtering must be worker-count independent"
+        );
+        assert_eq!(a.prune_stats(), b.prune_stats(), "query {q}");
+    }
+}
+
+#[test]
+fn background_maintenance_holds_under_concurrent_readers_and_writers() {
+    let db = Database::builder()
+        .segment_capacity(32)
+        .maintenance(MaintenanceConfig {
+            background: true,
+            tick_interval: std::time::Duration::from_millis(1),
+            ..Default::default()
+        })
+        .try_build()
+        .unwrap();
+    db.create_table(
+        "t",
+        Table::from_columns(vec![("k", Column::from_i64((0..256).collect()))]).unwrap(),
+    )
+    .unwrap();
+    let db = Arc::new(db);
+    let mut handles = Vec::new();
+    // one writer churning (fragmenting) the table
+    {
+        let db = Arc::clone(&db);
+        handles.push(std::thread::spawn(move || {
+            churn(&db, 256..1024);
+        }));
+    }
+    // readers: the position set must always equal a scan of the reader's
+    // own snapshot (prefix-consistency: appends only ever extend it)
+    for reader in 0..3 {
+        let db = Arc::clone(&db);
+        handles.push(std::thread::spawn(move || {
+            for q in 0..60 {
+                let result = db
+                    .session()
+                    .query("t")
+                    .range("k", 0, 10_000)
+                    .execute()
+                    .unwrap();
+                let rows = result.snapshot().row_count();
+                assert_eq!(
+                    result.positions().as_slice(),
+                    (0..rows as u32).collect::<Vec<_>>().as_slice(),
+                    "reader {reader} query {q}: every row matches [0, 10000)"
+                );
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    // let the background loop finish the cleanup, then verify convergence
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let fragments = db
+            .table_snapshot("t")
+            .unwrap()
+            .column("k")
+            .unwrap()
+            .fragmented_chunk_count();
+        if fragments <= 1 || std::time::Instant::now() >= deadline {
+            assert!(fragments <= 1, "background compaction must converge");
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    assert!(db.maintenance_stats().rows_compacted > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // Random interleavings of plain inserts, snapshot-churn inserts (which
+    // fragment the column), range queries, and budgeted maintenance ticks
+    // must agree *exactly* (position sets, not just cardinalities) with a
+    // flat `Vec` reference model, for every strategy family and tiny chunk
+    // sizes that force many chunk boundaries.
+    #[test]
+    fn maintained_engine_matches_flat_reference_under_interleavings(
+        initial in prop::collection::vec(-200i64..200, 0..100),
+        operations in prop::collection::vec(
+            // (op selector, value/low, high):
+            // 0 = plain insert, 1 = insert under a live snapshot,
+            // 2 = range query, 3 = maintenance tick
+            (0u8..4, -250i64..250, -250i64..250),
+            1..60,
+        ),
+        segment_capacity in 1usize..24,
+        strategy_index in 0usize..3,
+    ) {
+        let strategy = [
+            StrategyKind::Cracking,
+            StrategyKind::UpdatableCracking,
+            StrategyKind::FullSort,
+        ][strategy_index];
+        let db = seeded_db(&initial, segment_capacity, strategy);
+        let session = db.session();
+        let mut reference: Vec<i64> = initial.clone();
+
+        for (op, a, b) in operations {
+            match op {
+                0 | 1 => {
+                    let snapshot = (op == 1).then(|| db.table_snapshot("t").unwrap());
+                    let row_id = session.insert_row("t", &[Value::Int64(a)]).unwrap();
+                    prop_assert_eq!(row_id as usize, reference.len());
+                    reference.push(a);
+                    drop(snapshot);
+                }
+                2 => {
+                    let (low, high) = if a <= b { (a, b) } else { (b, a) };
+                    let result = session.query("t").range("k", low, high).execute().unwrap();
+                    let expected: Vec<u32> = reference
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &v)| v >= low && v < high)
+                        .map(|(i, _)| i as u32)
+                        .collect();
+                    prop_assert_eq!(
+                        result.positions().as_slice(),
+                        expected.as_slice(),
+                        "strategy {:?}, capacity {}, range [{}, {})",
+                        strategy,
+                        segment_capacity,
+                        low,
+                        high
+                    );
+                }
+                _ => {
+                    db.maintenance_tick();
+                }
+            }
+        }
+        // a final full compaction must also change nothing
+        db.compact();
+        let result = session.query("t").range("k", -250, 250).execute().unwrap();
+        let expected: Vec<u32> = (0..reference.len() as u32).collect();
+        prop_assert_eq!(result.positions().as_slice(), expected.as_slice());
+        prop_assert_eq!(db.row_count("t").unwrap(), reference.len());
+    }
+}
