@@ -1,4 +1,4 @@
-//! Shared harness plumbing for the experiment binaries (`e01`…`e13`).
+//! Shared harness plumbing for the experiment binaries (`e01`…`e14`).
 //!
 //! Each binary reproduces one table/figure listed in `EXPERIMENTS.md`. They
 //! all follow the same recipe: generate a column and a query sequence from

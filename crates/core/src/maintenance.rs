@@ -127,6 +127,10 @@ impl MaintenanceState {
                 db: Arc::downgrade(inner),
             }) as Arc<dyn MaintenanceJob>,
         ]);
+        // Invariant, not a recoverable state: `attach` has exactly one call
+        // site (`DatabaseBuilder::try_build`, before the `Database` handle is
+        // returned), so the cell cannot already be populated. A second set
+        // here would mean a new call site was added — fail loudly at the bug.
         state
             .scheduler
             .set(scheduler)
@@ -154,6 +158,9 @@ impl MaintenanceState {
 
     /// Run one budgeted maintenance tick; returns the rows it processed.
     pub(crate) fn run_tick(&self, budget_rows: usize) -> TickOutcome {
+        // Invariant, not a recoverable state: every `run_tick` caller reaches
+        // this through a `Database`/`DbInner` handle, and `attach` populated
+        // the cell before the first such handle existed.
         let scheduler = self
             .scheduler
             .get()
@@ -239,9 +246,13 @@ impl MaintenanceJob for CompactionJob {
                     done = false;
                     break;
                 }
-                let column = current
-                    .column_at(column_index)
-                    .expect("index from the same schema");
+                // schema order came from this same snapshot, so a miss here
+                // would be a catalog bug — but a panic in a maintenance
+                // worker silently kills the whole background subsystem, so
+                // degrade to skipping the table instead
+                let Some(column) = current.column_at(column_index) else {
+                    break;
+                };
                 let capacity = column.segment_capacity().max(1);
                 let lens = column.sealed_chunk_lens();
                 // ignore columns whose chunk count is within the configured
@@ -261,9 +272,14 @@ impl MaintenanceJob for CompactionJob {
                     continue;
                 }
                 let compacted = current.compact_column(column_index, &plan.runs);
-                let (old_epoch, new_epoch) = catalog
-                    .publish_compacted(&table, compacted)
-                    .expect("same rows, same schema, under the write lock");
+                // publish can only be rejected on a row-count or schema
+                // mismatch; compaction preserves both, but if that invariant
+                // ever breaks we abandon this table's slice rather than
+                // panicking the maintenance worker to death
+                let Ok((old_epoch, new_epoch)) = catalog.publish_compacted(&table, compacted)
+                else {
+                    break;
+                };
                 let reconciled = inner
                     .manager
                     .reconcile_table_epoch(&table, old_epoch, new_epoch);
@@ -279,11 +295,17 @@ impl MaintenanceJob for CompactionJob {
                     .fetch_add(reconciled as u64, Ordering::Relaxed);
                 remaining -= plan.rows;
                 units += plan.rows;
-                current = catalog.table_arc(&table).expect("just published");
+                // we still hold the write lock, so the table we just
+                // published cannot have been dropped — same degrade-don't-die
+                // rule as above
+                let Ok(republished) = catalog.table_arc(&table) else {
+                    break;
+                };
+                current = republished;
                 // a truncated plan leaves fragments behind
-                let column = current
-                    .column_at(column_index)
-                    .expect("index from the same schema");
+                let Some(column) = current.column_at(column_index) else {
+                    break;
+                };
                 if !policy
                     .plan(&column.sealed_chunk_lens(), capacity, usize::MAX)
                     .is_empty()

@@ -1,0 +1,123 @@
+//! Server configuration.
+
+use crate::protocol::DEFAULT_MAX_FRAME_BYTES;
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4};
+
+/// Tunables of a [`crate::Server`].
+///
+/// The defaults bind an ephemeral localhost port, admit 256 concurrent
+/// connections and 64 concurrent in-flight requests, and cap frames at
+/// [`DEFAULT_MAX_FRAME_BYTES`]. Invalid settings are rejected by
+/// [`ServerConfig::validate`] (called from [`crate::Server::start`]).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind. Port 0 picks an ephemeral port; the bound address is
+    /// reported by [`crate::Server::local_addr`].
+    pub addr: SocketAddr,
+    /// Maximum concurrently served connections. A connection beyond the cap
+    /// receives a typed [`crate::protocol::ErrorCode::AtCapacity`] error
+    /// frame and is closed — it is never silently queued.
+    pub max_connections: usize,
+    /// Admission-control budget: the maximum number of requests (queries,
+    /// batches, inserts) executing at any instant across all connections.
+    /// A request arriving with the budget exhausted is *shed* with a typed
+    /// [`crate::protocol::Reply::Overloaded`] frame instead of queueing
+    /// unboundedly; the client decides whether to back off and retry.
+    pub max_in_flight: usize,
+    /// Maximum frame payload the server will accept or produce.
+    ///
+    /// Connection workers block in `read` between frames; shutdown unblocks
+    /// them by shutting the sockets down, so there is no poll interval to
+    /// tune — a frame boundary is never lost to a timeout.
+    pub max_frame_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: SocketAddr::V4(SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0)),
+            max_connections: 256,
+            max_in_flight: 64,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// A default configuration on an ephemeral localhost port.
+    pub fn localhost() -> Self {
+        ServerConfig::default()
+    }
+
+    /// Set the admission budget (see [`ServerConfig::max_in_flight`]).
+    pub fn with_max_in_flight(mut self, budget: usize) -> Self {
+        self.max_in_flight = budget;
+        self
+    }
+
+    /// Set the connection cap (see [`ServerConfig::max_connections`]).
+    pub fn with_max_connections(mut self, cap: usize) -> Self {
+        self.max_connections = cap;
+        self
+    }
+
+    /// Set the frame-payload cap (see [`ServerConfig::max_frame_bytes`]).
+    pub fn with_max_frame_bytes(mut self, bytes: usize) -> Self {
+        self.max_frame_bytes = bytes;
+        self
+    }
+
+    /// Check the configuration, returning a description of the first
+    /// problem.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_connections == 0 {
+            return Err("max_connections must be at least 1".into());
+        }
+        if self.max_in_flight == 0 {
+            return Err("max_in_flight must be at least 1".into());
+        }
+        // below this floor not even an error reply fits comfortably
+        if self.max_frame_bytes < 64 {
+            return Err("max_frame_bytes must be at least 64".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        let config = ServerConfig::localhost();
+        assert!(config.validate().is_ok());
+        assert_eq!(config.addr.port(), 0, "ephemeral port");
+        assert!(config.addr.ip().is_loopback());
+    }
+
+    #[test]
+    fn builders_and_validation() {
+        let config = ServerConfig::localhost()
+            .with_max_in_flight(7)
+            .with_max_connections(3)
+            .with_max_frame_bytes(1024);
+        assert_eq!(config.max_in_flight, 7);
+        assert_eq!(config.max_connections, 3);
+        assert_eq!(config.max_frame_bytes, 1024);
+        assert!(config.validate().is_ok());
+
+        assert!(ServerConfig::localhost()
+            .with_max_connections(0)
+            .validate()
+            .is_err());
+        assert!(ServerConfig::localhost()
+            .with_max_in_flight(0)
+            .validate()
+            .is_err());
+        assert!(ServerConfig::localhost()
+            .with_max_frame_bytes(10)
+            .validate()
+            .is_err());
+    }
+}

@@ -1,0 +1,170 @@
+//! The per-connection worker: session multiplexing and request dispatch.
+//!
+//! Each accepted connection is served by one thread owning one
+//! [`aidx_core::Session`]. The loop is strictly request → reply: read a
+//! frame, dispatch, write exactly one reply frame. Failure handling follows
+//! one rule — *every* outcome is either a typed reply or a clean close,
+//! never a hang:
+//!
+//! * clean EOF at a frame boundary → close (normal disconnect);
+//! * EOF/error inside a frame → close (the client died mid-request; there
+//!   is nobody to reply to);
+//! * oversized frame announcement → typed [`ErrorCode::Oversized`] reply,
+//!   then close (the payload was never read, so the stream position is no
+//!   longer trustworthy);
+//! * undecodable payload → typed [`ErrorCode::Malformed`] /
+//!   [`ErrorCode::UnknownOpcode`] reply, connection stays open (framing is
+//!   intact — the length prefix delimited the garbage);
+//! * engine error → typed engine-mapped reply, connection stays open;
+//! * admission budget exhausted → typed [`Reply::Overloaded`], connection
+//!   stays open, nothing executed.
+
+use crate::error::wire_error_from;
+use crate::protocol::{
+    read_frame, write_frame, BatchItem, ErrorCode, FrameError, FrameReadError, Reply, Request,
+    WireError, WireResult,
+};
+use crate::server::Shared;
+use aidx_core::{Query, Session};
+use std::io::{BufReader, BufWriter};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+
+/// Serve one connection until disconnect, fatal protocol error, or server
+/// shutdown. Always deregisters the connection on exit.
+pub(crate) fn serve(shared: &Shared, conn_id: u64, stream: TcpStream) {
+    let session = shared.db.session();
+    let max_frame = shared.config.max_frame_bytes;
+    // split the socket: buffered reads for framing, buffered writes flushed
+    // once per reply
+    if let Ok(write_half) = stream.try_clone() {
+        let mut reader = BufReader::new(stream);
+        let mut writer = BufWriter::new(write_half);
+        loop {
+            let payload = match read_frame(&mut reader, max_frame) {
+                Ok(Some(payload)) => payload,
+                // clean EOF between frames, or mid-frame disconnect / socket
+                // shutdown: nothing to reply to either way
+                Ok(None) | Err(FrameReadError::Io(_)) => break,
+                Err(FrameReadError::Oversized { announced, max }) => {
+                    let reply = Reply::Error(WireError::new(
+                        ErrorCode::Oversized,
+                        format!("frame payload of {announced} bytes exceeds cap {max}"),
+                    ));
+                    shared.counters.errors_sent.fetch_add(1, Ordering::Relaxed);
+                    let _ = write_frame(&mut writer, &reply.encode());
+                    break; // unread payload: resynchronization is impossible
+                }
+            };
+            if shared.shutdown.load(Ordering::SeqCst) {
+                let reply = Reply::Error(WireError::new(
+                    ErrorCode::ShuttingDown,
+                    "server is shutting down",
+                ));
+                let _ = write_frame(&mut writer, &reply.encode());
+                break;
+            }
+            let reply = dispatch(shared, &session, &payload);
+            if write_frame(&mut writer, &reply.encode()).is_err() {
+                break; // client went away mid-reply
+            }
+        }
+    }
+    shared.deregister(conn_id);
+}
+
+/// Decode and execute one request, producing exactly one reply.
+fn dispatch(shared: &Shared, session: &Session, payload: &[u8]) -> Reply {
+    let request = match Request::decode(payload) {
+        Ok(request) => request,
+        Err(e) => {
+            shared.counters.errors_sent.fetch_add(1, Ordering::Relaxed);
+            let code = match e {
+                FrameError::UnknownTag {
+                    what: "request opcode",
+                    ..
+                } => ErrorCode::UnknownOpcode,
+                _ => ErrorCode::Malformed,
+            };
+            return Reply::Error(WireError::new(code, e.to_string()));
+        }
+    };
+    match request {
+        Request::Ping => Reply::Pong,
+        Request::Query(query) => {
+            let Some(_permit) = shared.gate.try_acquire() else {
+                return shed(shared);
+            };
+            match run_query(shared, session, &query) {
+                Ok(result) => Reply::Result(result),
+                Err(error) => {
+                    shared.counters.errors_sent.fetch_add(1, Ordering::Relaxed);
+                    Reply::Error(error)
+                }
+            }
+        }
+        Request::Insert { table, values } => {
+            let Some(_permit) = shared.gate.try_acquire() else {
+                return shed(shared);
+            };
+            match session.insert_row(&table, &values) {
+                Ok(row_id) => {
+                    shared
+                        .counters
+                        .inserts_served
+                        .fetch_add(1, Ordering::Relaxed);
+                    Reply::Inserted {
+                        row_id: row_id as u64,
+                    }
+                }
+                Err(e) => {
+                    shared.counters.errors_sent.fetch_add(1, Ordering::Relaxed);
+                    Reply::Error(wire_error_from(&e))
+                }
+            }
+        }
+        // the whole batch runs under ONE admission permit: many small
+        // queries from many clients amortize the per-request admission and
+        // scheduling overhead instead of each paying it
+        Request::Batch(queries) => {
+            let Some(_permit) = shared.gate.try_acquire() else {
+                return shed(shared);
+            };
+            let items = queries
+                .iter()
+                .map(|query| match run_query(shared, session, query) {
+                    Ok(result) => BatchItem::Result(result),
+                    Err(error) => {
+                        shared.counters.errors_sent.fetch_add(1, Ordering::Relaxed);
+                        BatchItem::Error(error)
+                    }
+                })
+                .collect();
+            Reply::Batch(items)
+        }
+    }
+}
+
+fn run_query(shared: &Shared, session: &Session, query: &Query) -> Result<WireResult, WireError> {
+    match session.execute(query) {
+        Ok(result) => {
+            shared
+                .counters
+                .queries_served
+                .fetch_add(1, Ordering::Relaxed);
+            Ok(WireResult::from_query_result(&result))
+        }
+        Err(e) => Err(wire_error_from(&e)),
+    }
+}
+
+fn shed(shared: &Shared) -> Reply {
+    shared
+        .counters
+        .requests_shed
+        .fetch_add(1, Ordering::Relaxed);
+    Reply::Overloaded {
+        in_flight: shared.gate.in_flight() as u32,
+        budget: shared.gate.budget() as u32,
+    }
+}

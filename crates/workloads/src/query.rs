@@ -96,7 +96,7 @@ impl QueryWorkload {
             WorkloadKind::UniformRandom => (0..count)
                 .map(|_| {
                     let low = sample_low(&mut rng, domain_low, domain_high, width);
-                    RangeQuery::new(low, low + width)
+                    clamp_to_domain(low, width, domain_low, domain_high)
                 })
                 .collect(),
             WorkloadKind::Skewed {
@@ -111,8 +111,12 @@ impl QueryWorkload {
                         let region = sample_weighted(&mut rng, &weights);
                         let region_low = domain_low + region as Key * region_span;
                         let region_high = (region_low + region_span).min(domain_high);
+                        // the region may be narrower than the query width
+                        // (high selectivity × many regions, or the truncated
+                        // last region): anchor inside the region, then let
+                        // the clamp slide the range back into the domain
                         let low = sample_low(&mut rng, region_low, region_high, width);
-                        RangeQuery::new(low, low + width)
+                        clamp_to_domain(low, width, domain_low, domain_high)
                     })
                     .collect()
             }
@@ -120,7 +124,9 @@ impl QueryWorkload {
                 let mut queries = Vec::with_capacity(count);
                 let mut low = domain_low;
                 for _ in 0..count {
-                    queries.push(RangeQuery::new(low, low + width));
+                    // the final step of a sweep may not divide evenly; the
+                    // clamp slides it left so it ends exactly at the edge
+                    queries.push(clamp_to_domain(low, width, domain_low, domain_high));
                     low += width;
                     if low >= domain_high {
                         low = domain_low;
@@ -142,7 +148,7 @@ impl QueryWorkload {
                     }
                     let focus_high = (focus_low + focus_span).min(domain_high);
                     let low = sample_low(&mut rng, focus_low, focus_high, width);
-                    queries.push(RangeQuery::new(low, low + width));
+                    queries.push(clamp_to_domain(low, width, domain_low, domain_high));
                 }
                 queries
             }
@@ -204,6 +210,25 @@ fn sample_low(rng: &mut StdRng, domain_low: Key, domain_high: Key, width: Key) -
     }
 }
 
+/// Clamp `[low, low + width)` into `[domain_low, domain_high)`, preserving
+/// the width whenever the domain is wide enough (the range slides left
+/// rather than shrinking). Regression guard for ISSUE 6: `Skewed` anchors
+/// ranges inside regions narrower than `width`, and `Sequential` /
+/// `ShiftingFocus` step `low + width` past the domain edge — all of which
+/// used to emit ranges extending past `domain_high`.
+fn clamp_to_domain(low: Key, width: Key, domain_low: Key, domain_high: Key) -> RangeQuery {
+    if domain_high - domain_low < width {
+        // the whole domain is narrower than the requested width: cover it
+        // all, but never emit an empty range (degenerate domains still get
+        // a unit-width query, matching the pre-clamp behaviour)
+        let high = domain_high.max(domain_low + 1);
+        return RangeQuery::new(domain_low, high);
+    }
+    let high = low.saturating_add(width).min(domain_high);
+    let low = (high - width).max(domain_low);
+    RangeQuery::new(low, high)
+}
+
 /// Normalized Zipf weights for `n` ranks with the given exponent.
 fn zipf_weights(n: usize, exponent: f64) -> Vec<f64> {
     let raw: Vec<f64> = (1..=n)
@@ -244,9 +269,93 @@ mod tests {
         assert!(!w.is_empty());
         assert_eq!(w.label(), "uniform-random");
         for q in w.iter() {
-            assert!(q.low >= 0 && q.high <= 100_000 + 1000);
+            assert!(q.low >= 0 && q.high <= 100_000, "range escapes the domain");
             assert_eq!(q.width(), 1000);
         }
+    }
+
+    /// Regression (ISSUE 6): every workload kind must keep generated ranges
+    /// inside `[domain_low, domain_high)`. `Skewed` used to anchor a range
+    /// near the top of a hot region and let `low + width` spill past the
+    /// domain edge; `Sequential` stepped past it whenever the width did not
+    /// divide the domain; `ShiftingFocus` did the same at the focus window's
+    /// right edge.
+    #[test]
+    fn all_workload_kinds_stay_inside_the_domain() {
+        let kinds = [
+            WorkloadKind::UniformRandom,
+            // 64 regions over a span of 7_001 → region_span ≈ 109, far
+            // narrower than the ~700-key query width
+            WorkloadKind::Skewed {
+                hot_regions: 64,
+                exponent: 1.3,
+            },
+            WorkloadKind::Sequential,
+            WorkloadKind::ShiftingFocus {
+                period: 7,
+                focus_fraction: 0.01,
+            },
+            WorkloadKind::Point,
+        ];
+        // deliberately awkward domain: offset low bound, width (10% of
+        // 7_001 = 700) that divides nothing
+        for kind in kinds {
+            for seed in 0..4 {
+                let w = QueryWorkload::generate(kind, 300, 17, 7_018, 0.1, seed);
+                for q in w.iter() {
+                    assert!(
+                        q.low >= 17 && q.high <= 7_018,
+                        "{kind:?} seed {seed}: [{}, {}) escapes [17, 7018)",
+                        q.low,
+                        q.high
+                    );
+                    assert!(q.width() >= 1, "{kind:?} emitted an empty range");
+                }
+            }
+        }
+    }
+
+    /// Regression (ISSUE 6): when the width exceeds a hot region's span the
+    /// range must slide left inside the domain rather than spill out.
+    #[test]
+    fn skewed_width_wider_than_region_is_clamped_not_spilled() {
+        // 50 regions over 1_000 keys → region_span 20; width 0.3 × 1_000 =
+        // 300, fifteen times the region span
+        let w = QueryWorkload::generate(
+            WorkloadKind::Skewed {
+                hot_regions: 50,
+                exponent: 1.0,
+            },
+            500,
+            0,
+            1_000,
+            0.3,
+            11,
+        );
+        for q in w.iter() {
+            assert!(
+                q.low >= 0 && q.high <= 1_000,
+                "[{}, {}) spilled",
+                q.low,
+                q.high
+            );
+            assert_eq!(q.width(), 300, "width preserved by sliding, not shrinking");
+        }
+    }
+
+    /// Regression (ISSUE 6): a sequential sweep whose width does not divide
+    /// the domain ends each pass flush against the right edge.
+    #[test]
+    fn sequential_final_step_lands_flush_on_the_edge() {
+        // domain span 130, width 13% of 130 ≈ 16 → 130 / 16 leaves a
+        // partial final step
+        let w = QueryWorkload::generate(WorkloadKind::Sequential, 40, 0, 130, 0.13, 1);
+        let mut saw_edge = false;
+        for q in w.iter() {
+            assert!(q.low >= 0 && q.high <= 130);
+            saw_edge |= q.high == 130;
+        }
+        assert!(saw_edge, "sweep should reach the right edge of the domain");
     }
 
     #[test]

@@ -18,10 +18,13 @@
 //! # Ok::<(), adaptive_indexing::AidxError>(())
 //! ```
 //!
+//! To serve a database over TCP instead of embedding it, see [`server`]
+//! (`aidx_server::Server` / `aidx_server::Client`).
+//!
 //! See the individual crates for the implementation layers:
 //! `aidx-columnstore`, `aidx-cracking`, `aidx-merging`, `aidx-hybrids`,
-//! `aidx-baselines`, `aidx-parallel`, `aidx-maintenance`, `aidx-workloads`,
-//! `aidx-core`.
+//! `aidx-baselines`, `aidx-parallel`, `aidx-maintenance`, `aidx-server`,
+//! `aidx-workloads`, `aidx-core`.
 
 pub use aidx_baselines as baselines;
 pub use aidx_columnstore as columnstore;
@@ -31,6 +34,7 @@ pub use aidx_hybrids as hybrids;
 pub use aidx_maintenance as maintenance;
 pub use aidx_merging as merging;
 pub use aidx_parallel as parallel;
+pub use aidx_server as server;
 pub use aidx_workloads as workloads;
 
 pub use aidx_core::{

@@ -361,3 +361,97 @@ proptest! {
         prop_assert_eq!(db.row_count("t").unwrap(), reference.len());
     }
 }
+
+/// Regression (ISSUE 6): racing drops and re-creates against the background
+/// compaction thread must never kill the maintenance subsystem. The
+/// compaction job degrades gracefully when a table vanishes (or a publish
+/// is rejected) mid-slice instead of panicking its worker to death, so
+/// ticks keep flowing and compaction still converges on the survivor table.
+#[test]
+fn background_maintenance_survives_racing_drops_and_recreates() {
+    let db = Database::builder()
+        .segment_capacity(32)
+        .maintenance(MaintenanceConfig {
+            background: true,
+            tick_interval: std::time::Duration::from_millis(1),
+            ..Default::default()
+        })
+        .try_build()
+        .unwrap();
+    db.create_table(
+        "t",
+        Table::from_columns(vec![("k", Column::from_i64((0..256).collect()))]).unwrap(),
+    )
+    .unwrap();
+    let db = Arc::new(db);
+    let mut handles = Vec::new();
+    // churn the survivor table so the compaction job always has work racing
+    // the dropper
+    {
+        let db = Arc::clone(&db);
+        handles.push(std::thread::spawn(move || churn(&db, 256..768)));
+    }
+    // repeatedly create a fragmented victim table, query it (heating it so
+    // maintenance targets it), then drop it out from under the job
+    {
+        let db = Arc::clone(&db);
+        handles.push(std::thread::spawn(move || {
+            for round in 0..20 {
+                db.create_table(
+                    "victim",
+                    Table::from_columns(vec![("k", Column::from_i64((0..64).collect()))]).unwrap(),
+                )
+                .unwrap();
+                let session = db.session();
+                for v in 64..128 {
+                    let _snapshot = db.table_snapshot("victim").unwrap();
+                    session.insert_row("victim", &[Value::Int64(v)]).unwrap();
+                }
+                let result = db
+                    .session()
+                    .query("victim")
+                    .range("k", 0, 128)
+                    .execute()
+                    .unwrap();
+                assert_eq!(result.row_count(), 128, "round {round}");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                assert!(db.drop_table("victim"), "round {round}");
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    // the subsystem is still alive: ticks keep advancing after the race...
+    let ticks_before = db.maintenance_stats().ticks;
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while db.maintenance_stats().ticks <= ticks_before {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "background loop died during the drop/create race"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    // ...and compaction still converges on the surviving table
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let fragments = db
+            .table_snapshot("t")
+            .unwrap()
+            .column("k")
+            .unwrap()
+            .fragmented_chunk_count();
+        if fragments <= 1 || std::time::Instant::now() >= deadline {
+            assert!(fragments <= 1, "compaction must still converge");
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let result = db
+        .session()
+        .query("t")
+        .range("k", 0, 768)
+        .execute()
+        .unwrap();
+    assert_eq!(result.row_count(), 768);
+}

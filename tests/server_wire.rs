@@ -1,0 +1,257 @@
+//! Failure-path and concurrency tests for the `aidx-server` TCP front-end.
+//!
+//! The server's contract is that *every* outcome — hostile bytes, dead
+//! clients, saturation — is either a typed reply or a clean close, never a
+//! hang. Each test here drives one failure mode over a real socket and
+//! asserts that contract, plus one concurrency test asserting that results
+//! fetched over the wire are byte-identical to an embedded session's.
+
+use adaptive_indexing::columnstore::{Column, Table, Value};
+use adaptive_indexing::server::protocol::{read_frame, write_frame, Reply};
+use adaptive_indexing::server::{Client, ClientError, ErrorCode, Server, ServerConfig, WireResult};
+use adaptive_indexing::{Database, Query, StrategyKind};
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const ROWS: i64 = 10_000;
+
+fn served(config: ServerConfig) -> (Server, Database) {
+    let db = Database::new(StrategyKind::Cracking);
+    db.create_table(
+        "events",
+        Table::from_columns(vec![
+            ("k", Column::from_i64((0..ROWS).rev().collect())),
+            ("v", Column::from_i64((0..ROWS).map(|i| i % 97).collect())),
+        ])
+        .unwrap(),
+    )
+    .unwrap();
+    let server = Server::start(db.clone(), config).unwrap();
+    (server, db)
+}
+
+/// Read one reply frame off a raw socket, with a timeout so a server hang
+/// fails the test instead of wedging it.
+fn raw_reply(stream: &mut TcpStream) -> Result<Option<Reply>, std::io::Error> {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    match read_frame(stream, 64 * 1024 * 1024) {
+        Ok(Some(payload)) => Ok(Some(Reply::decode(&payload).expect("decodable reply"))),
+        Ok(None) => Ok(None),
+        Err(e) => Err(std::io::Error::other(format!("{e:?}"))),
+    }
+}
+
+#[test]
+fn malformed_payload_gets_typed_error_and_connection_survives() {
+    let (server, _db) = served(ServerConfig::localhost());
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    // a QUERY opcode followed by garbage: framing is intact, the payload is
+    // not — the server must reply Malformed and keep the connection
+    write_frame(&mut stream, &[0x02, 0xFF, 0xFF, 0xFF]).unwrap();
+    match raw_reply(&mut stream).unwrap() {
+        Some(Reply::Error(e)) => assert_eq!(e.code, ErrorCode::Malformed),
+        other => panic!("expected a typed malformed error, got {other:?}"),
+    }
+    // an empty payload has no opcode at all
+    write_frame(&mut stream, &[]).unwrap();
+    match raw_reply(&mut stream).unwrap() {
+        Some(Reply::Error(e)) => assert_eq!(e.code, ErrorCode::Malformed),
+        other => panic!("expected a typed malformed error, got {other:?}"),
+    }
+    // the same connection still serves well-formed requests
+    write_frame(&mut stream, &[0x01]).unwrap(); // PING
+    assert!(matches!(raw_reply(&mut stream).unwrap(), Some(Reply::Pong)));
+    server.shutdown();
+}
+
+#[test]
+fn unknown_opcode_gets_typed_error() {
+    let (server, _db) = served(ServerConfig::localhost());
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    write_frame(&mut stream, &[0x7E]).unwrap();
+    match raw_reply(&mut stream).unwrap() {
+        Some(Reply::Error(e)) => assert_eq!(e.code, ErrorCode::UnknownOpcode),
+        other => panic!("expected a typed unknown-opcode error, got {other:?}"),
+    }
+    write_frame(&mut stream, &[0x01]).unwrap();
+    assert!(matches!(raw_reply(&mut stream).unwrap(), Some(Reply::Pong)));
+    server.shutdown();
+}
+
+#[test]
+fn oversized_frame_gets_typed_error_then_close() {
+    let (server, _db) = served(ServerConfig::localhost().with_max_frame_bytes(1024));
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    // announce a 1 MiB payload against a 1 KiB cap; the server must answer
+    // from the header alone (the payload is never sent)
+    let announced: u32 = 1024 * 1024;
+    stream.write_all(&announced.to_le_bytes()).unwrap();
+    stream.flush().unwrap();
+    match raw_reply(&mut stream).unwrap() {
+        Some(Reply::Error(e)) => assert_eq!(e.code, ErrorCode::Oversized),
+        other => panic!("expected a typed oversized error, got {other:?}"),
+    }
+    // resynchronization is impossible after an unread payload: clean close
+    assert!(matches!(raw_reply(&mut stream), Ok(None) | Err(_)));
+    server.shutdown();
+}
+
+#[test]
+fn client_disconnect_mid_frame_leaves_server_serving() {
+    let (server, _db) = served(ServerConfig::localhost());
+    {
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // announce 100 payload bytes, send 3, vanish
+        stream.write_all(&100u32.to_le_bytes()).unwrap();
+        stream.write_all(&[0x02, 0x00, 0x01]).unwrap();
+        stream.flush().unwrap();
+    } // dropped: mid-frame disconnect
+    {
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // a bare header with no payload at all, then vanish
+        stream.write_all(&16u32.to_le_bytes()).unwrap();
+        stream.flush().unwrap();
+    }
+    // new clients are served as if nothing happened
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.ping().unwrap();
+    let result = client
+        .query(&Query::table("events").range("k", 0, 10))
+        .unwrap();
+    assert_eq!(result.row_count(), 10);
+    assert_eq!(server.stats().connections_accepted, 3);
+    server.shutdown();
+}
+
+#[test]
+fn saturation_sheds_with_typed_replies_and_never_hangs() {
+    let (server, _db) = served(ServerConfig::localhost().with_max_in_flight(1));
+    let addr = server.local_addr();
+    let completed = AtomicU64::new(0);
+    let sheds = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..8 {
+            let (completed, sheds) = (&completed, &sheds);
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                // the zero-hang guarantee: any reply older than 10 s panics
+                // this thread (and fails the test) instead of wedging
+                client
+                    .set_reply_timeout(Some(Duration::from_secs(10)))
+                    .unwrap();
+                for i in 0..30 {
+                    let low = ((t * 31 + i) * 7) % (ROWS - 50);
+                    let query = Query::table("events").range("k", low, low + 50);
+                    match client.query(&query) {
+                        Ok(result) => {
+                            assert_eq!(result.row_count(), 50);
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ClientError::Overloaded { budget, .. }) => {
+                            assert_eq!(budget, 1);
+                            sheds.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(other) => panic!("unexpected failure under load: {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+    let (completed, sheds) = (completed.into_inner(), sheds.into_inner());
+    assert_eq!(completed + sheds, 8 * 30, "every request got an answer");
+    assert!(completed > 0, "a budget of one still makes progress");
+    assert!(
+        sheds > 0,
+        "8 clients against a budget of 1 must shed ({completed} completed)"
+    );
+    assert_eq!(server.stats().requests_shed, sheds);
+    server.shutdown();
+}
+
+#[test]
+fn connection_cap_rejects_with_typed_error() {
+    let (server, _db) = served(ServerConfig::localhost().with_max_connections(2));
+    let mut a = Client::connect(server.local_addr()).unwrap();
+    let mut b = Client::connect(server.local_addr()).unwrap();
+    // pings force both connections through registration before the third
+    // connect, so the cap check cannot race the accept loop
+    a.ping().unwrap();
+    b.ping().unwrap();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    match raw_reply(&mut stream).unwrap() {
+        Some(Reply::Error(e)) => assert_eq!(e.code, ErrorCode::AtCapacity),
+        other => panic!("expected a typed at-capacity rejection, got {other:?}"),
+    }
+    assert!(matches!(raw_reply(&mut stream), Ok(None) | Err(_)));
+    // the admitted connections are unaffected
+    a.ping().unwrap();
+    b.ping().unwrap();
+    assert_eq!(server.stats().connections_rejected, 1);
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_match_embedded_session_byte_for_byte() {
+    let (server, db) = served(ServerConfig::localhost());
+    let addr = server.local_addr();
+    // precompute embedded baselines, then race 8 wire clients over the same
+    // queries while the adaptive index refines under all of them
+    let queries: Vec<Query> = (0..24)
+        .map(|i| {
+            let low = (i * 389) % (ROWS - 200);
+            Query::table("events")
+                .range("k", low, low + 200)
+                .point("v", i % 97)
+                .project(["k", "v"])
+        })
+        .collect();
+    let session = db.session();
+    let baselines: Vec<Vec<u8>> = queries
+        .iter()
+        .map(|q| WireResult::from_query_result(&session.execute(q).unwrap()).encoded())
+        .collect();
+    std::thread::scope(|scope| {
+        for t in 0..8usize {
+            let (queries, baselines) = (&queries, &baselines);
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                client
+                    .set_reply_timeout(Some(Duration::from_secs(10)))
+                    .unwrap();
+                // each thread walks the query list from its own offset
+                for step in 0..queries.len() {
+                    let i = (t * 3 + step) % queries.len();
+                    let wire = client.query(&queries[i]).unwrap();
+                    assert_eq!(
+                        wire.encoded(),
+                        baselines[i],
+                        "wire result diverged from the embedded session"
+                    );
+                }
+            });
+        }
+    });
+    assert_eq!(server.stats().queries_served, 8 * 24);
+    server.shutdown();
+}
+
+#[test]
+fn inserts_over_the_wire_are_totally_ordered_with_queries() {
+    let (server, db) = served(ServerConfig::localhost());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let row_id = client
+        .insert("events", &[Value::Int64(ROWS * 2), Value::Int64(0)])
+        .unwrap();
+    assert_eq!(row_id, ROWS as u64);
+    let wire = client
+        .query(&Query::table("events").point("k", ROWS * 2))
+        .unwrap();
+    assert_eq!(wire.row_count(), 1);
+    // the embedded view agrees
+    assert_eq!(db.row_count("events").unwrap(), ROWS as usize + 1);
+    server.shutdown();
+}
