@@ -1,0 +1,104 @@
+//! Criterion benchmark for the write-ahead log's append overhead.
+//!
+//! Matrix: unlogged (no durability) vs the three fsync policies —
+//! `OnSeal`, `EveryN(64)`, `Always` — measured as 64-row batch inserts
+//! through the normal `Session::insert_rows` path. The interesting spread
+//! is between the no-WAL baseline and `OnSeal`/`EveryN` (encode + buffered
+//! write, no fsync on the hot path) versus `Always` (one fsync per batch),
+//! which shows why group commit and deferred sync exist.
+
+use aidx_columnstore::column::Column;
+use aidx_columnstore::table::Table;
+use aidx_columnstore::types::Value;
+use aidx_core::strategy::StrategyKind;
+use aidx_core::{Database, DurabilityConfig, FsyncPolicy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+const BATCH: usize = 64;
+
+static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+/// Unique scratch directory under the system temp dir; removed by `drop_dir`.
+fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "aidx-bench-wal-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn drop_dir(path: &PathBuf) {
+    let _ = std::fs::remove_dir_all(path);
+}
+
+fn empty_table() -> Table {
+    Table::from_columns(vec![
+        ("k", Column::from_i64(vec![])),
+        ("v", Column::from_i64(vec![])),
+    ])
+    .expect("two-column table")
+}
+
+fn build_db(durability: Option<DurabilityConfig>) -> Database {
+    let mut builder = Database::builder().default_strategy(StrategyKind::Cracking);
+    if let Some(config) = durability {
+        builder = builder.durability(config);
+    }
+    let db = builder.try_build().expect("valid configuration");
+    db.create_table("data", empty_table()).expect("fresh table");
+    db
+}
+
+fn batch(next: &mut i64) -> Vec<Vec<Value>> {
+    (0..BATCH as i64)
+        .map(|i| {
+            let k = (*next + i) * 7919 % 1_000_003;
+            vec![Value::Int64(k), Value::Int64(*next + i)]
+        })
+        .collect()
+}
+
+fn bench_wal_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_append");
+    group.sample_size(10);
+
+    let policies: [(&str, Option<FsyncPolicy>); 4] = [
+        ("unlogged", None),
+        ("on_seal", Some(FsyncPolicy::OnSeal)),
+        ("every_64", Some(FsyncPolicy::EveryN(64))),
+        ("always", Some(FsyncPolicy::Always)),
+    ];
+
+    for (label, policy) in policies {
+        group.bench_with_input(
+            BenchmarkId::new("insert_batch", label),
+            &policy,
+            |b, &policy| {
+                let dir = scratch_dir(label);
+                let db = build_db(policy.map(|fsync| {
+                    DurabilityConfig::at(&dir)
+                        .fsync(fsync)
+                        // keep checkpoints out of the measurement window
+                        .checkpoint_after_rows(u64::MAX)
+                }));
+                let session = db.session();
+                let mut next = 0i64;
+                b.iter(|| {
+                    let rows = batch(&mut next);
+                    next += BATCH as i64;
+                    black_box(session.insert_rows("data", &rows).expect("insert"));
+                });
+                drop(session);
+                drop(db);
+                drop_dir(&dir);
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wal_append);
+criterion_main!(benches);

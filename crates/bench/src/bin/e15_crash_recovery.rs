@@ -1,0 +1,185 @@
+//! E15 — Crash recovery: kill a durable database mid-stream and verify the
+//! reopened directory answers exactly like a process that never died.
+//!
+//! The harness re-executes itself as a *victim* child process
+//! (`AIDX_CRASH_ROLE=victim`): the victim opens a durable database with
+//! `FsyncPolicy::Always`, inserts half its rows, takes an explicit
+//! checkpoint, inserts the other half, and then dies by `process::abort()`
+//! — no destructors, no flush, the closest a test can get to pulling the
+//! plug. The parent observes the abnormal exit, reopens the directory with
+//! `Database::open`, and asserts:
+//!
+//! * every fsynced row survived (`row_count` == total inserted);
+//! * recovery restored **zero** index state (`indexed_column_count() == 0`
+//!   before the first query) — adaptive indexes re-derive from queries,
+//!   which is what makes recovery proportional to data, not to index size;
+//! * a query battery answers byte-identically to a fresh in-memory engine
+//!   holding the same rows;
+//! * the queries themselves re-crack the recovered table
+//!   (`indexed_column_count() > 0` afterwards).
+//!
+//! Environment: `AIDX_ROWS` (default 20_000) scales the victim's insert
+//! volume; the checkpoint always lands at the halfway mark so recovery
+//! exercises checkpoint-load *plus* log-suffix replay.
+
+use aidx_columnstore::column::Column;
+use aidx_columnstore::table::Table;
+use aidx_columnstore::types::Value;
+use aidx_core::strategy::StrategyKind;
+use aidx_core::{Database, DurabilityConfig, FsyncPolicy};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const ROLE_VAR: &str = "AIDX_CRASH_ROLE";
+const DIR_VAR: &str = "AIDX_CRASH_DIR";
+
+fn rows_total() -> usize {
+    std::env::var("AIDX_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000)
+}
+
+fn key_at(i: usize, n: usize) -> i64 {
+    ((i as i64) * 7919).rem_euclid(n as i64)
+}
+
+fn row_at(i: usize, n: usize) -> Vec<Value> {
+    vec![Value::Int64(key_at(i, n)), Value::Int64(i as i64)]
+}
+
+/// The victim: populate, checkpoint at the halfway mark, keep inserting,
+/// then die without any orderly shutdown.
+fn run_victim(dir: &Path) -> ! {
+    let n = rows_total();
+    let db = Database::builder()
+        .default_strategy(StrategyKind::Cracking)
+        .durability(
+            DurabilityConfig::at(dir)
+                .fsync(FsyncPolicy::Always)
+                .checkpoint_after_rows(u64::MAX),
+        )
+        .try_build()
+        .expect("victim: durable build");
+    db.create_table(
+        "data",
+        Table::from_columns(vec![
+            ("k", Column::from_i64(vec![])),
+            ("v", Column::from_i64(vec![])),
+        ])
+        .expect("two-column table"),
+    )
+    .expect("victim: create table");
+
+    let session = db.session();
+    let half = n / 2;
+    let first: Vec<Vec<Value>> = (0..half).map(|i| row_at(i, n)).collect();
+    session
+        .insert_rows("data", &first)
+        .expect("victim: first half");
+    let report = db
+        .checkpoint()
+        .expect("victim: checkpoint")
+        .expect("victim: checkpoint must not be a no-op");
+    eprintln!(
+        "victim: checkpoint seq {} at lsn {} covering {} tables",
+        report.seq, report.lsn, report.tables
+    );
+    let second: Vec<Vec<Value>> = (half..n).map(|i| row_at(i, n)).collect();
+    session
+        .insert_rows("data", &second)
+        .expect("victim: second half");
+    eprintln!("victim: {n} rows durable, aborting without shutdown");
+    std::process::abort();
+}
+
+/// Reference answers from a fresh in-memory engine over the same rows.
+fn reference_battery(n: usize) -> Vec<Vec<u32>> {
+    let keys: Vec<i64> = (0..n).map(|i| key_at(i, n)).collect();
+    let values: Vec<i64> = (0..n as i64).collect();
+    let db = Database::builder()
+        .default_strategy(StrategyKind::Cracking)
+        .build();
+    db.create_table(
+        "data",
+        Table::from_columns(vec![
+            ("k", Column::from_i64(keys)),
+            ("v", Column::from_i64(values)),
+        ])
+        .expect("reference table"),
+    )
+    .expect("reference create");
+    battery(&db)
+}
+
+fn battery(db: &Database) -> Vec<Vec<u32>> {
+    let session = db.session();
+    let n = rows_total() as i64;
+    (0..16)
+        .map(|q| {
+            let low = (q * 619) % n.max(1);
+            let result = session
+                .query("data")
+                .range("k", low, low + n / 20 + 1)
+                .execute()
+                .expect("query");
+            let mut positions = result.positions().clone().into_vec();
+            positions.sort_unstable();
+            positions
+        })
+        .collect()
+}
+
+fn run_parent() {
+    let n = rows_total();
+    let dir: PathBuf = std::env::temp_dir().join(format!("aidx-e15-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let exe = std::env::current_exe().expect("own path");
+    let status = Command::new(&exe)
+        .env(ROLE_VAR, "victim")
+        .env(DIR_VAR, &dir)
+        .status()
+        .expect("spawn victim");
+    assert!(
+        !status.success(),
+        "victim must die abnormally, got {status:?}"
+    );
+    println!("e15: victim died with {status} (expected)");
+
+    let db = Database::open(&dir).expect("recovery");
+    assert_eq!(db.row_count("data").expect("table"), n, "row count");
+    assert_eq!(
+        db.indexed_column_count(),
+        0,
+        "recovery must not restore index state"
+    );
+    println!("e15: recovered {n} rows, zero indexes restored");
+
+    let got = battery(&db);
+    let want = reference_battery(n);
+    assert_eq!(got, want, "recovered answers differ from reference");
+    assert!(
+        db.indexed_column_count() > 0,
+        "queries must re-derive the adaptive index"
+    );
+    let stats = db.wal_stats().expect("durable database has wal stats");
+    println!(
+        "e15: {} queries byte-identical to the in-memory reference; \
+         index re-derived lazily (fsyncs so far this process: {})",
+        got.len(),
+        stats.fsyncs
+    );
+
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("e15: PASS");
+}
+
+fn main() {
+    if std::env::var(ROLE_VAR).as_deref() == Ok("victim") {
+        let dir = PathBuf::from(std::env::var(DIR_VAR).expect("victim needs AIDX_CRASH_DIR"));
+        run_victim(&dir);
+    }
+    run_parent();
+}

@@ -265,6 +265,51 @@ impl Catalog {
         Ok(Arc::make_mut(&mut entry.table))
     }
 
+    /// Re-register a table under `name` with a *persisted* epoch, bypassing
+    /// the epoch counter. Used by crash recovery to rebuild a catalog whose
+    /// epochs match the ones recorded in a checkpoint manifest, so derived
+    /// state (and future checkpoints) stay consistent across restarts. The
+    /// caller must follow up with [`Catalog::bump_next_epoch_to`] so newly
+    /// minted epochs never collide with restored ones.
+    pub fn restore_table(
+        &mut self,
+        name: impl Into<String>,
+        table: Table,
+        epoch: u64,
+    ) -> Result<()> {
+        let name = name.into();
+        if self.tables.contains_key(&name) {
+            return Err(ColumnStoreError::AlreadyExists {
+                kind: "table",
+                name,
+            });
+        }
+        self.tables.insert(
+            name,
+            TableEntry {
+                table: Arc::new(table),
+                version: TableVersion {
+                    epoch,
+                    append_seq: 0,
+                },
+            },
+        );
+        Ok(())
+    }
+
+    /// The epoch counter: the next structural change will stamp an epoch
+    /// greater than this.
+    pub fn next_epoch(&self) -> u64 {
+        self.next_epoch
+    }
+
+    /// Raise the epoch counter to at least `at_least`. Recovery calls this
+    /// after [`Catalog::restore_table`] so fresh epochs start past every
+    /// persisted one; lowering the counter is impossible.
+    pub fn bump_next_epoch_to(&mut self, at_least: u64) {
+        self.next_epoch = self.next_epoch.max(at_least);
+    }
+
     /// Names of all tables, sorted.
     pub fn table_names(&self) -> Vec<&str> {
         self.tables.keys().map(String::as_str).collect()
@@ -505,6 +550,26 @@ mod tests {
         assert!(c
             .publish_compacted("missing", Table::from_columns(vec![]).unwrap())
             .is_err());
+    }
+
+    #[test]
+    fn restore_preserves_epochs_and_guards_the_counter() {
+        let mut c = Catalog::new();
+        c.restore_table("t", small_table(), 7).unwrap();
+        assert_eq!(c.table_epoch("t").unwrap(), 7);
+        assert_eq!(c.table("t").unwrap().row_count(), 3);
+        // duplicate restore is rejected like a duplicate create
+        assert!(matches!(
+            c.restore_table("t", small_table(), 8),
+            Err(ColumnStoreError::AlreadyExists { .. })
+        ));
+        // without the bump, a fresh create could collide with epoch 7
+        c.bump_next_epoch_to(9);
+        assert_eq!(c.next_epoch(), 9);
+        c.bump_next_epoch_to(4); // lowering is a no-op
+        assert_eq!(c.next_epoch(), 9);
+        c.create_table("u", small_table()).unwrap();
+        assert_eq!(c.table_epoch("u").unwrap(), 10);
     }
 
     #[test]

@@ -303,6 +303,37 @@ impl Table {
         }
     }
 
+    /// The table with several columns replaced at once; untouched columns
+    /// are cheap chunk-sharing clones. The parallel compaction path merges
+    /// each column's fragment runs on a worker and then swaps all the
+    /// results in with a single call, so the table is published once per
+    /// maintenance tick instead of once per column.
+    ///
+    /// # Panics
+    /// Panics when an index is out of bounds or a replacement changes the
+    /// column's length or type (compaction is layout-only by contract).
+    pub fn replace_columns(&self, replacements: Vec<(usize, Column)>) -> Table {
+        let mut columns = self.columns.clone();
+        for (index, column) in replacements {
+            assert_eq!(
+                column.len(),
+                self.row_count,
+                "replacement column must keep the row count"
+            );
+            assert_eq!(
+                column.data_type(),
+                columns[index].data_type(),
+                "replacement column must keep the type"
+            );
+            columns[index] = column;
+        }
+        Table {
+            schema: self.schema.clone(),
+            columns,
+            row_count: self.row_count,
+        }
+    }
+
     /// The same rows re-chunked so every column seals chunks of `capacity`
     /// rows. A no-op clone (sharing all sealed chunks) when the capacity
     /// already matches.
@@ -418,6 +449,31 @@ mod tests {
         assert_eq!(t.row_count(), 3);
         assert_eq!(t.column("a").unwrap().len(), 3, "no ragged columns");
         assert_eq!(t.column("name").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn replace_columns_swaps_in_bulk_and_shares_the_rest() {
+        let t = two_column_table();
+        let merged = t.column("a").unwrap().compact_runs(&[]);
+        let replaced = t.replace_columns(vec![(0, merged)]);
+        assert_eq!(replaced.row_count(), t.row_count());
+        for row in 0..t.row_count() {
+            for col in 0..2 {
+                assert_eq!(
+                    replaced.column_at(col).unwrap().value_at(row).unwrap(),
+                    t.column_at(col).unwrap().value_at(row).unwrap()
+                );
+            }
+        }
+        // an empty replacement list is a plain clone
+        assert_eq!(t.replace_columns(vec![]).row_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row count")]
+    fn replace_columns_rejects_length_drift() {
+        let t = two_column_table();
+        t.replace_columns(vec![(0, Column::from_i64(vec![1]))]);
     }
 
     #[test]

@@ -10,18 +10,22 @@
 //! read query that *writes* — is serialized per column inside the
 //! [`IndexManager`], never globally.
 
+use crate::durability::{self, CheckpointReport, DurabilityState};
 use crate::error::{AidxError, AidxResult};
 use crate::maintenance::{CompactionReport, MaintenanceState};
 use crate::manager::{IndexInfo, IndexManager};
 use crate::session::Session;
 use crate::strategy::{StrategyKind, StrategyTuning};
 use aidx_columnstore::catalog::Catalog;
+use aidx_columnstore::error::ColumnStoreError;
 use aidx_columnstore::segment::DEFAULT_SEGMENT_CAPACITY;
 use aidx_columnstore::table::Table;
 use aidx_columnstore::types::RowId;
 use aidx_cracking::updates::MergePolicy;
 use aidx_maintenance::{MaintenanceConfig, MaintenanceStatsSnapshot};
+use aidx_wal::{DurabilityConfig, WalRecord, WalStatsSnapshot};
 use parking_lot::RwLock;
+use std::path::Path;
 use std::sync::Arc;
 
 pub(crate) struct DbInner {
@@ -29,6 +33,9 @@ pub(crate) struct DbInner {
     pub(crate) manager: IndexManager,
     pub(crate) segment_capacity: usize,
     pub(crate) maintenance: MaintenanceState,
+    /// Present when the builder configured [`DurabilityConfig`]; `None`
+    /// keeps the kernel a pure in-memory engine with zero logging overhead.
+    pub(crate) durability: Option<DurabilityState>,
 }
 
 /// Configures and builds a [`Database`].
@@ -58,6 +65,7 @@ pub struct DatabaseBuilder {
     tuning: StrategyTuning,
     parallelism: usize,
     maintenance: MaintenanceConfig,
+    durability: Option<DurabilityConfig>,
 }
 
 /// Upper bound on [`DatabaseBuilder::parallelism`]: far above any sensible
@@ -101,6 +109,7 @@ impl Default for DatabaseBuilder {
             tuning: StrategyTuning::default(),
             parallelism: default_parallelism(),
             maintenance: MaintenanceConfig::default(),
+            durability: None,
         }
     }
 }
@@ -174,6 +183,20 @@ impl DatabaseBuilder {
         self
     }
 
+    /// Make the database durable: write-ahead log every logical change
+    /// (creates, drops, appends) under the configured fsync policy,
+    /// checkpoint sealed chunks in the background, and recover the catalog
+    /// from the configured directory at build time when it already holds
+    /// state. Adaptive index state is deliberately *not* persisted — queries
+    /// re-derive it, so recovery replays data only and restarts with zero
+    /// indexes. Invalid settings surface as [`AidxError::Config`] from
+    /// [`DatabaseBuilder::try_build`]; opening a directory that already
+    /// holds state with a non-empty seeded catalog is likewise rejected.
+    pub fn durability(mut self, config: DurabilityConfig) -> Self {
+        self.durability = Some(config);
+        self
+    }
+
     fn validate(&self) -> AidxResult<()> {
         if self.segment_capacity == 0 {
             return Err(AidxError::config(
@@ -220,26 +243,47 @@ impl DatabaseBuilder {
         if let Err(message) = self.maintenance.validate() {
             return Err(AidxError::config("maintenance", message));
         }
+        if let Some(config) = &self.durability {
+            if let Err((parameter, reason)) = config.validate() {
+                return Err(AidxError::config(format!("durability.{parameter}"), reason));
+            }
+        }
         Ok(())
     }
 
-    /// Build the database, validating the configuration.
+    /// Build the database, validating the configuration. With
+    /// [`DatabaseBuilder::durability`] configured, this is also the recovery
+    /// entry point: an existing durable directory is loaded (latest complete
+    /// checkpoint plus log-suffix replay) before the database starts serving.
     pub fn try_build(self) -> AidxResult<Database> {
         self.validate()?;
         let mut catalog = self.catalog;
-        let names: Vec<String> = catalog
-            .table_names()
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        for name in names {
-            let rechunked = catalog
-                .table(&name)?
-                .with_segment_capacity(self.segment_capacity);
-            catalog.drop_table(&name);
-            catalog
-                .create_table(name, rechunked)
-                .expect("name was just freed");
+        let durability = match self.durability {
+            Some(config) => Some(durability::open_durable(
+                config,
+                &mut catalog,
+                self.segment_capacity,
+            )?),
+            None => None,
+        };
+        let recovered = durability.as_ref().is_some_and(|outcome| outcome.recovered);
+        if !recovered {
+            // re-chunk seeded tables to the configured capacity (recovery
+            // already rebuilds every table at that capacity)
+            let names: Vec<String> = catalog
+                .table_names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            for name in names {
+                let rechunked = catalog
+                    .table(&name)?
+                    .with_segment_capacity(self.segment_capacity);
+                catalog.drop_table(&name);
+                catalog
+                    .create_table(name, rechunked)
+                    .expect("name was just freed");
+            }
         }
         let inner = Arc::new(DbInner {
             catalog: RwLock::new(catalog),
@@ -250,6 +294,7 @@ impl DatabaseBuilder {
             ),
             segment_capacity: self.segment_capacity,
             maintenance: MaintenanceState::new(self.maintenance),
+            durability: durability.map(|outcome| outcome.state),
         });
         // jobs hold a Weak back-reference, so this must happen after the Arc
         // exists (and spawns the background thread when configured)
@@ -330,18 +375,88 @@ impl Database {
             .build()
     }
 
+    /// Open (or create) a durable database rooted at `dir` with the default
+    /// [`DurabilityConfig`]: shorthand for
+    /// `Database::builder().durability(DurabilityConfig::at(dir)).try_build()`.
+    /// When `dir` already holds a log and checkpoints, the catalog is
+    /// recovered from them; adaptive indexes are re-derived lazily by the
+    /// first queries, never read from disk.
+    pub fn open(dir: impl AsRef<Path>) -> AidxResult<Self> {
+        Database::builder()
+            .durability(DurabilityConfig::at(dir.as_ref()))
+            .try_build()
+    }
+
     /// Register a table under `name`, re-chunking its columns to the
     /// database's configured segment capacity. Fails if the name is taken.
+    /// With durability configured, the table's schema and rows are logged
+    /// before the catalog publishes it; on an I/O error nothing is applied.
     pub fn create_table(&self, name: impl Into<String>, table: Table) -> AidxResult<()> {
         let name = name.into();
         // unconditional: per-column capacities may disagree with each other,
         // and with_segment_capacity is a cheap chunk-sharing clone for every
         // column already at the target capacity
         let table = table.with_segment_capacity(self.inner.segment_capacity);
-        self.inner
-            .catalog
-            .write()
-            .create_table(name.as_str(), table)?;
+        let sync_lsn = {
+            let mut catalog = self.inner.catalog.write();
+            if let Some(durability) = &self.inner.durability {
+                // check the name *before* logging, so a duplicate create
+                // leaves no orphan records in the log
+                if catalog.table(name.as_str()).is_ok() {
+                    return Err(ColumnStoreError::AlreadyExists {
+                        kind: "table",
+                        name: name.clone(),
+                    }
+                    .into());
+                }
+                let fields = table
+                    .schema()
+                    .fields()
+                    .iter()
+                    .map(|f| (f.name().to_owned(), f.data_type()))
+                    .collect();
+                let (_, requested) = durability
+                    .wal
+                    .append(&WalRecord::CreateTable {
+                        name: name.clone(),
+                        fields,
+                    })
+                    .map_err(AidxError::from)?;
+                let mut sync_lsn = requested;
+                if !table.is_empty() {
+                    let rows = durability::table_rows(&table);
+                    match durability.log_append(name.as_str(), &rows) {
+                        Ok(requested) => sync_lsn = requested.or(sync_lsn),
+                        // the log now holds the create plus a row prefix;
+                        // publish exactly that prefix so memory and a later
+                        // replay agree, then report the failure
+                        Err((logged, error)) => {
+                            let mut prefix = Table::new_with_segment_capacity(
+                                table.schema().clone(),
+                                self.inner.segment_capacity,
+                            );
+                            prefix
+                                .append_rows(&rows[..logged])
+                                .expect("rows came from a valid table");
+                            catalog
+                                .create_table(name.as_str(), prefix)
+                                .expect("name checked free above");
+                            return Err(error);
+                        }
+                    }
+                }
+                catalog
+                    .create_table(name.as_str(), table)
+                    .expect("name checked free above");
+                sync_lsn
+            } else {
+                catalog.create_table(name.as_str(), table)?;
+                None
+            }
+        };
+        if let Some(durability) = &self.inner.durability {
+            durability.sync_if_requested(sync_lsn)?;
+        }
         // an in-flight query of a previously dropped table with this name
         // may have re-registered a stale index after `drop_table` cleaned
         // up; clear again so the new incarnation starts fresh (the epoch
@@ -352,9 +467,39 @@ impl Database {
     }
 
     /// Drop a table and every adaptive index on its columns; returns `true`
-    /// if the table existed.
+    /// if the table existed. With durability configured, the drop is logged
+    /// before it applies; if logging fails the table survives and this
+    /// returns `false` (the infallible signature cannot carry the error —
+    /// [`Database::wal_stats`] and a retry tell the caller more).
     pub fn drop_table(&self, name: &str) -> bool {
-        let dropped = self.inner.catalog.write().drop_table(name).is_some();
+        let (dropped, sync_lsn) = {
+            let mut catalog = self.inner.catalog.write();
+            if let Some(durability) = &self.inner.durability {
+                if catalog.table(name).is_err() {
+                    (false, None)
+                } else {
+                    match durability.wal.append(&WalRecord::DropTable {
+                        name: name.to_owned(),
+                    }) {
+                        Ok((_, requested)) => {
+                            catalog.drop_table(name);
+                            // a drop changes what the next checkpoint must
+                            // cover even though it carries no rows
+                            durability.note_layout_change();
+                            (true, requested)
+                        }
+                        Err(_) => (false, None),
+                    }
+                }
+            } else {
+                (catalog.drop_table(name).is_some(), None)
+            }
+        };
+        if let Some(durability) = &self.inner.durability {
+            // best-effort: the boolean cannot carry a sync failure, and the
+            // drop is already applied; the next logged write will re-request
+            let _ = durability.sync_if_requested(sync_lsn);
+        }
         if dropped {
             self.inner.manager.drop_table_indexes(name);
             self.inner.maintenance.hotness.forget_table(name);
@@ -513,6 +658,35 @@ impl Database {
     /// The maintenance configuration this database was built with.
     pub fn maintenance_config(&self) -> &MaintenanceConfig {
         &self.inner.maintenance.config
+    }
+
+    /// The durability configuration, when the database is durable.
+    pub fn durability_config(&self) -> Option<&DurabilityConfig> {
+        self.inner.durability.as_ref().map(|d| &d.config)
+    }
+
+    /// Write a checkpoint now: snapshot every table (sealed chunks and
+    /// tails) plus the catalog manifest to the checkpoint directory, then
+    /// truncate the log up to the covered LSN. Returns `Ok(None)` when there
+    /// is nothing to cover yet, and [`AidxError::Config`] when the database
+    /// is not durable. The background maintenance scheduler runs the same
+    /// protocol on its own once enough rows accumulate
+    /// ([`DurabilityConfig::checkpoint_after_rows`]) or the layout changes.
+    pub fn checkpoint(&self) -> AidxResult<Option<CheckpointReport>> {
+        if self.inner.durability.is_none() {
+            return Err(AidxError::config(
+                "durability",
+                "checkpoint requires a durable database (DatabaseBuilder::durability)",
+            ));
+        }
+        durability::run_checkpoint(&self.inner)
+    }
+
+    /// Write-ahead log counters (records and rows appended, physical fsyncs
+    /// vs fsyncs absorbed by group commit, file rotations), when the
+    /// database is durable.
+    pub fn wal_stats(&self) -> Option<WalStatsSnapshot> {
+        self.inner.durability.as_ref().map(|d| d.wal.stats())
     }
 }
 

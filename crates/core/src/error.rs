@@ -57,6 +57,16 @@ pub enum AidxError {
         /// Why the value was rejected.
         reason: String,
     },
+    /// A durability-layer failure: the write-ahead log or a checkpoint hit
+    /// an operating-system error or unreadable on-disk state. When an
+    /// `insert` returns this, the row was applied neither to the log nor to
+    /// memory.
+    Io {
+        /// What the durability layer was doing.
+        context: String,
+        /// The underlying failure, rendered.
+        message: String,
+    },
 }
 
 impl AidxError {
@@ -82,6 +92,14 @@ impl AidxError {
         }
     }
 
+    /// Shorthand for an [`AidxError::Io`] error.
+    pub fn io(context: impl Into<String>, message: impl Into<String>) -> Self {
+        AidxError::Io {
+            context: context.into(),
+            message: message.into(),
+        }
+    }
+
     /// The wrapped substrate error, when there is one.
     pub fn as_store(&self) -> Option<&ColumnStoreError> {
         match self {
@@ -94,6 +112,18 @@ impl AidxError {
 impl From<ColumnStoreError> for AidxError {
     fn from(e: ColumnStoreError) -> Self {
         AidxError::Store(e)
+    }
+}
+
+impl From<aidx_wal::WalError> for AidxError {
+    fn from(e: aidx_wal::WalError) -> Self {
+        match e {
+            aidx_wal::WalError::Io { context, message } => AidxError::Io { context, message },
+            corrupt @ aidx_wal::WalError::Corrupt { .. } => AidxError::Io {
+                context: "write-ahead log".to_owned(),
+                message: corrupt.to_string(),
+            },
+        }
     }
 }
 
@@ -112,6 +142,9 @@ impl fmt::Display for AidxError {
             }
             AidxError::Config { parameter, reason } => {
                 write!(f, "invalid configuration for `{parameter}`: {reason}")
+            }
+            AidxError::Io { context, message } => {
+                write!(f, "durability error ({context}): {message}")
             }
         }
     }
@@ -162,6 +195,21 @@ mod tests {
         assert!(AidxError::config("segment_capacity", "must be at least 1")
             .to_string()
             .contains("segment_capacity"));
+        assert!(AidxError::io("fsync log", "disk full")
+            .to_string()
+            .contains("disk full"));
         assert!(std::error::Error::source(&AidxError::planner("x")).is_none());
+    }
+
+    #[test]
+    fn wal_errors_convert_to_io() {
+        let io: AidxError = aidx_wal::WalError::io(
+            "open wal",
+            &std::io::Error::new(std::io::ErrorKind::PermissionDenied, "denied"),
+        )
+        .into();
+        assert!(matches!(&io, AidxError::Io { context, .. } if context == "open wal"));
+        let corrupt: AidxError = aidx_wal::WalError::corrupt(7, "bad frame").into();
+        assert!(corrupt.to_string().contains("byte 7"));
     }
 }

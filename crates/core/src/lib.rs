@@ -32,6 +32,13 @@
 //!   re-derivation of stale indexes — wired through
 //!   [`DatabaseBuilder::maintenance`], [`Database::compact`] and
 //!   [`Database::maintenance_stats`].
+//! * [`durability`] — the kernel half of the durability subsystem
+//!   (`aidx-wal` supplies the log and checkpoint formats): write-ahead
+//!   logging of appends and DDL, background checkpointing of sealed chunks,
+//!   and crash recovery that replays *data only* — adaptive indexes are
+//!   never persisted because queries re-derive them, the cheap-recovery
+//!   property the cracking papers point out. Wired through
+//!   [`DatabaseBuilder::durability`] and [`Database::open`].
 //! * [`tuner`] — the auto-tuning policy layer: decides *which* strategy a
 //!   column should use from observed workload characteristics (the
 //!   tutorial's "towards autonomous kernels" discussion).
@@ -72,6 +79,7 @@
 #![deny(missing_docs)]
 
 pub mod db;
+pub mod durability;
 pub mod error;
 pub mod executor;
 pub mod maintenance;
@@ -86,6 +94,7 @@ pub mod tuner;
 /// Convenient re-exports for typical kernel usage.
 pub mod prelude {
     pub use crate::db::{Database, DatabaseBuilder};
+    pub use crate::durability::CheckpointReport;
     pub use crate::error::{AidxError, AidxResult};
     pub use crate::executor::QueryPlan;
     pub use crate::maintenance::CompactionReport;
@@ -100,10 +109,13 @@ pub mod prelude {
     pub use aidx_cracking::updates::MergePolicy;
     pub use aidx_maintenance::{MaintenanceConfig, MaintenanceStatsSnapshot};
     pub use aidx_parallel::ThreadPool;
+    pub use aidx_wal::{DurabilityConfig, FsyncPolicy, WalStatsSnapshot};
 }
 
 pub use aidx_maintenance::{MaintenanceConfig, MaintenanceStatsSnapshot};
+pub use aidx_wal::{DurabilityConfig, FsyncPolicy, WalStatsSnapshot};
 pub use db::{Database, DatabaseBuilder};
+pub use durability::CheckpointReport;
 pub use error::{AidxError, AidxResult};
 pub use executor::QueryPlan;
 pub use maintenance::CompactionReport;

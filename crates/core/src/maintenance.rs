@@ -27,8 +27,10 @@
 
 use crate::db::DbInner;
 use crate::manager::ColumnId;
+use aidx_columnstore::column::Column;
 use aidx_maintenance::{
-    CompactionPolicy, MaintenanceConfig, MaintenanceJob, MaintenanceStats, Scheduler, TickOutcome,
+    CompactionPlan, CompactionPolicy, MaintenanceConfig, MaintenanceJob, MaintenanceStats,
+    Scheduler, TickOutcome,
 };
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -119,14 +121,20 @@ impl MaintenanceState {
     /// freshly built database. Called exactly once from `try_build`.
     pub(crate) fn attach(inner: &Arc<DbInner>) {
         let state = &inner.maintenance;
-        let scheduler = Scheduler::new(vec![
+        let mut jobs: Vec<Arc<dyn MaintenanceJob>> = vec![
             Arc::new(CompactionJob {
                 db: Arc::downgrade(inner),
-            }) as Arc<dyn MaintenanceJob>,
+            }),
             Arc::new(IndexRefreshJob {
                 db: Arc::downgrade(inner),
-            }) as Arc<dyn MaintenanceJob>,
-        ]);
+            }),
+        ];
+        if inner.durability.is_some() {
+            jobs.push(Arc::new(CheckpointJob {
+                db: Arc::downgrade(inner),
+            }));
+        }
+        let scheduler = Scheduler::new(jobs);
         // Invariant, not a recoverable state: `attach` has exactly one call
         // site (`DatabaseBuilder::try_build`, before the `Database` handle is
         // returned), so the cell cannot already be populated. A second set
@@ -222,9 +230,11 @@ impl MaintenanceJob for CompactionJob {
                 done = false;
                 break;
             }
-            // one short write-lock critical section per table: plan, merge
-            // (budget-bounded), publish, reconcile — so no query can observe
-            // the new epoch before the indexes have been carried over
+            // one short write-lock critical section per table: plan every
+            // fragmented column, merge the planned runs (fanned out across
+            // the shared worker pool), publish a single epoch bump, and
+            // reconcile — so no query can observe the new epoch before the
+            // indexes have been carried over
             let mut catalog = inner.catalog.write();
             let Ok(snapshot) = catalog.table_arc(&table) else {
                 continue; // dropped while we iterated
@@ -240,7 +250,8 @@ impl MaintenanceJob for CompactionJob {
                         .score(&table, snapshot.schema().fields()[i].name()),
                 )
             });
-            let mut current = snapshot;
+            let rows = snapshot.row_count();
+            let mut plans: Vec<(usize, CompactionPlan)> = Vec::new();
             for column_index in order {
                 if remaining == 0 {
                     done = false;
@@ -250,14 +261,13 @@ impl MaintenanceJob for CompactionJob {
                 // would be a catalog bug — but a panic in a maintenance
                 // worker silently kills the whole background subsystem, so
                 // degrade to skipping the table instead
-                let Some(column) = current.column_at(column_index) else {
+                let Some(column) = snapshot.column_at(column_index) else {
                     break;
                 };
                 let capacity = column.segment_capacity().max(1);
                 let lens = column.sealed_chunk_lens();
                 // ignore columns whose chunk count is within the configured
                 // slack of ideal — not worth an epoch bump
-                let rows = current.row_count();
                 let ideal = rows.div_ceil(capacity).max(1);
                 if (lens.len() as f64) <= config.max_chunk_slack * ideal as f64 {
                     continue;
@@ -271,50 +281,140 @@ impl MaintenanceJob for CompactionJob {
                     }
                     continue;
                 }
-                let compacted = current.compact_column(column_index, &plan.runs);
-                // publish can only be rejected on a row-count or schema
-                // mismatch; compaction preserves both, but if that invariant
-                // ever breaks we abandon this table's slice rather than
-                // panicking the maintenance worker to death
-                let Ok((old_epoch, new_epoch)) = catalog.publish_compacted(&table, compacted)
-                else {
-                    break;
-                };
-                let reconciled = inner
-                    .manager
-                    .reconcile_table_epoch(&table, old_epoch, new_epoch);
-                stats
-                    .rows_compacted
-                    .fetch_add(plan.rows as u64, Ordering::Relaxed);
-                stats
-                    .chunks_removed
-                    .fetch_add(plan.chunks_removed as u64, Ordering::Relaxed);
-                stats.compactions_published.fetch_add(1, Ordering::Relaxed);
-                stats
-                    .indexes_reconciled
-                    .fetch_add(reconciled as u64, Ordering::Relaxed);
                 remaining -= plan.rows;
-                units += plan.rows;
-                // we still hold the write lock, so the table we just
-                // published cannot have been dropped — same degrade-don't-die
-                // rule as above
-                let Ok(republished) = catalog.table_arc(&table) else {
-                    break;
+                plans.push((column_index, plan));
+            }
+            if plans.is_empty() {
+                continue;
+            }
+            // merge every planned column's runs concurrently: the merges are
+            // independent row copies off one immutable snapshot, so they fan
+            // out across the query engine's worker pool (with parallelism 1
+            // the pool runs them inline — the serial kernel unchanged)
+            let merged: Vec<(usize, Column)> = inner
+                .manager
+                .pool()
+                .run(plans.len(), |i| {
+                    let (column_index, plan) = &plans[i];
+                    snapshot
+                        .column_at(*column_index)
+                        .map(|column| (*column_index, column.compact_runs(&plan.runs)))
+                })
+                .into_iter()
+                .flatten()
+                .collect();
+            if merged.is_empty() {
+                continue;
+            }
+            let compacted = snapshot.replace_columns(merged);
+            // publish can only be rejected on a row-count or schema
+            // mismatch; compaction preserves both, but if that invariant
+            // ever breaks we abandon this table's slice rather than
+            // panicking the maintenance worker to death
+            let Ok((old_epoch, new_epoch)) = catalog.publish_compacted(&table, compacted) else {
+                continue;
+            };
+            let reconciled = inner
+                .manager
+                .reconcile_table_epoch(&table, old_epoch, new_epoch);
+            let (rows_merged, chunks_removed) =
+                plans
+                    .iter()
+                    .fold((0usize, 0usize), |(rows_acc, chunks_acc), (_, plan)| {
+                        (rows_acc + plan.rows, chunks_acc + plan.chunks_removed)
+                    });
+            stats
+                .rows_compacted
+                .fetch_add(rows_merged as u64, Ordering::Relaxed);
+            stats
+                .chunks_removed
+                .fetch_add(chunks_removed as u64, Ordering::Relaxed);
+            stats.compactions_published.fetch_add(1, Ordering::Relaxed);
+            stats
+                .indexes_reconciled
+                .fetch_add(reconciled as u64, Ordering::Relaxed);
+            units += rows_merged;
+            if let Some(durability) = &inner.durability {
+                // compaction is layout-only and writes no log records, but
+                // the next checkpoint must re-snapshot the merged layout or
+                // recovery would resurrect the fragments
+                durability.note_layout_change();
+            }
+            // budget-truncated plans leave fragments for a later slice; we
+            // still hold the write lock, so the table we just published
+            // cannot have been dropped (degrade-don't-die regardless)
+            let Ok(republished) = catalog.table_arc(&table) else {
+                continue;
+            };
+            for (column_index, _) in &plans {
+                let Some(column) = republished.column_at(*column_index) else {
+                    continue;
                 };
-                current = republished;
-                // a truncated plan leaves fragments behind
-                let Some(column) = current.column_at(column_index) else {
-                    break;
-                };
+                let capacity = column.segment_capacity().max(1);
                 if !policy
                     .plan(&column.sealed_chunk_lens(), capacity, usize::MAX)
                     .is_empty()
                 {
                     done = false;
+                    break;
                 }
             }
         }
         TickOutcome { units, done }
+    }
+}
+
+/// Job (c): background checkpointing for durable databases.
+///
+/// Triggered by volume (rows logged since the last checkpoint reaching
+/// [`aidx_wal::DurabilityConfig::checkpoint_after_rows`]) or by layout
+/// changes (a compaction publish or table drop). A checkpoint is
+/// all-or-nothing, so like an oversized index rebuild it may overrun the
+/// slice budget rather than never run; failures are counted and retried on
+/// a later tick — the log keeps the uncovered suffix, so a failed
+/// checkpoint costs disk space, never durability.
+struct CheckpointJob {
+    db: Weak<DbInner>,
+}
+
+impl MaintenanceJob for CheckpointJob {
+    fn name(&self) -> &'static str {
+        "checkpoint"
+    }
+
+    fn run_slice(&self, _budget_rows: usize) -> TickOutcome {
+        let Some(inner) = self.db.upgrade() else {
+            return TickOutcome::idle();
+        };
+        let Some(durability) = &inner.durability else {
+            return TickOutcome::idle();
+        };
+        if !durability.wants_checkpoint() {
+            return TickOutcome::idle();
+        }
+        let pending = durability.rows_since_checkpoint.load(Ordering::Relaxed);
+        match crate::durability::run_checkpoint(&inner) {
+            Ok(_) => TickOutcome {
+                // count the drained rows as this slice's work (at least one
+                // unit, so layout-triggered checkpoints register as progress)
+                units: usize::try_from(pending.max(1)).unwrap_or(usize::MAX),
+                done: !durability.wants_checkpoint(),
+            },
+            Err(_) => {
+                inner
+                    .maintenance
+                    .stats
+                    .checkpoint_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                // degrade, don't die: report done so an explicit compact()
+                // loop cannot spin on a persistently failing disk; the
+                // trigger stays armed and the next tick retries
+                TickOutcome {
+                    units: 0,
+                    done: true,
+                }
+            }
+        }
     }
 }
 

@@ -139,10 +139,27 @@ impl Session {
     /// manager's rowid/epoch continuity guard keeps racing inserts safe: an
     /// index that cannot prove it covers every row up to this one is dropped
     /// instead of updated.
+    ///
+    /// With durability configured, the row is written to the log *before*
+    /// the catalog applies it (still under the write lock, so the log order
+    /// is the apply order); an I/O error means the row reached neither the
+    /// log nor memory. The fsync the policy may require happens after the
+    /// lock is released, so concurrent committers share one physical flush.
     pub fn insert_row(&self, table_name: &str, values: &[Value]) -> AidxResult<RowId> {
-        let (row_id, epoch, column_names) = {
+        let (row_id, epoch, column_names, sync_lsn) = {
             let mut catalog = self.inner.catalog.write();
             let epoch = catalog.table_epoch(table_name)?;
+            let sync_lsn = match &self.inner.durability {
+                Some(durability) => {
+                    // validate first: a row the catalog would reject must
+                    // not reach the log, or replay would diverge
+                    catalog.table(table_name)?.validate_row(values)?;
+                    durability
+                        .log_append(table_name, &[values.to_vec()])
+                        .map_err(|(_, error)| error)?
+                }
+                None => None,
+            };
             let row_id = catalog.append_row(table_name, values)?;
             let column_names: Vec<Arc<str>> = catalog
                 .table(table_name)?
@@ -151,8 +168,11 @@ impl Session {
                 .iter()
                 .map(|f| Arc::from(f.name()))
                 .collect();
-            (row_id, epoch, column_names)
+            (row_id, epoch, column_names, sync_lsn)
         };
+        if let Some(durability) = &self.inner.durability {
+            durability.sync_if_requested(sync_lsn)?;
+        }
         for (i, name) in column_names.into_iter().enumerate() {
             let column_id = ColumnId::new(table_name, name);
             if !self.inner.manager.has_index(&column_id) {
@@ -173,6 +193,85 @@ impl Session {
             }
         }
         Ok(row_id)
+    }
+
+    /// Append many rows to `table` in one call: one write-lock acquisition,
+    /// one chunked batch of log records (when durable), and at most one
+    /// fsync for the whole batch — the bulk-load shape of
+    /// [`Session::insert_row`]. Index maintenance mirrors the single-row
+    /// path per inserted row. Returns the row id of the first inserted row.
+    ///
+    /// Every row is validated against the schema before anything is logged
+    /// or applied. If the log fails partway through (durable databases
+    /// only), the rows already logged are applied to memory — so the
+    /// running process agrees with what a crash-recovery replay would
+    /// rebuild — and the error is returned.
+    pub fn insert_rows(&self, table_name: &str, rows: &[Vec<Value>]) -> AidxResult<RowId> {
+        let (start_row, epoch, column_names, sync_lsn, applied) = {
+            let mut catalog = self.inner.catalog.write();
+            let epoch = catalog.table_epoch(table_name)?;
+            let table = catalog.table(table_name)?;
+            for row in rows {
+                table.validate_row(row)?;
+            }
+            let start_row = table.row_count() as RowId;
+            let (sync_lsn, applied) = match &self.inner.durability {
+                Some(durability) => match durability.log_append(table_name, rows) {
+                    Ok(sync_lsn) => (sync_lsn, rows.len()),
+                    Err((logged, error)) => {
+                        catalog
+                            .append_rows(table_name, &rows[..logged])
+                            .expect("rows were validated above");
+                        drop(catalog);
+                        return Err(error);
+                    }
+                },
+                None => (None, rows.len()),
+            };
+            catalog
+                .append_rows(table_name, rows)
+                .expect("rows were validated above");
+            let column_names: Vec<Arc<str>> = catalog
+                .table(table_name)?
+                .schema()
+                .fields()
+                .iter()
+                .map(|f| Arc::from(f.name()))
+                .collect();
+            (start_row, epoch, column_names, sync_lsn, applied)
+        };
+        debug_assert_eq!(applied, rows.len());
+        if let Some(durability) = &self.inner.durability {
+            durability.sync_if_requested(sync_lsn)?;
+        }
+        for (i, name) in column_names.into_iter().enumerate() {
+            let column_id = ColumnId::new(table_name, name);
+            if !self.inner.manager.has_index(&column_id) {
+                continue;
+            }
+            let mut covered = true;
+            for (offset, row) in rows.iter().enumerate() {
+                let absorbed = row[i]
+                    .as_i64()
+                    .map(|key| {
+                        self.inner.manager.insert_at(
+                            &column_id,
+                            key,
+                            start_row as u64 + offset as u64,
+                            epoch,
+                        )
+                    })
+                    .unwrap_or(false);
+                if !absorbed {
+                    covered = false;
+                    break;
+                }
+            }
+            if !covered {
+                self.inner.manager.drop_index_if_stale(&column_id, epoch);
+            }
+        }
+        Ok(start_row)
     }
 
     /// Number of rows in `table`.

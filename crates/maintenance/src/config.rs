@@ -87,6 +87,11 @@ pub struct MaintenanceStats {
     /// Stale adaptive indexes rebuilt in the background before a query had
     /// to pay for it.
     pub indexes_refreshed: AtomicU64,
+    /// Durable checkpoints completed by the background checkpoint job.
+    pub checkpoints_written: AtomicU64,
+    /// Checkpoint attempts that failed (I/O errors); the log retains the
+    /// uncovered suffix, so a failure costs disk space, not durability.
+    pub checkpoint_failures: AtomicU64,
     /// Whether a background maintenance thread is attached.
     pub background_attached: AtomicBool,
 }
@@ -101,6 +106,8 @@ impl MaintenanceStats {
             compactions_published: self.compactions_published.load(Ordering::Relaxed),
             indexes_reconciled: self.indexes_reconciled.load(Ordering::Relaxed),
             indexes_refreshed: self.indexes_refreshed.load(Ordering::Relaxed),
+            checkpoints_written: self.checkpoints_written.load(Ordering::Relaxed),
+            checkpoint_failures: self.checkpoint_failures.load(Ordering::Relaxed),
             background_attached: self.background_attached.load(Ordering::Relaxed),
         }
     }
@@ -121,6 +128,10 @@ pub struct MaintenanceStatsSnapshot {
     pub indexes_reconciled: u64,
     /// Stale indexes rebuilt in the background.
     pub indexes_refreshed: u64,
+    /// Durable checkpoints completed.
+    pub checkpoints_written: u64,
+    /// Checkpoint attempts that failed.
+    pub checkpoint_failures: u64,
     /// Whether a background maintenance thread is attached.
     pub background_attached: bool,
 }

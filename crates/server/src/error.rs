@@ -51,6 +51,7 @@ pub fn wire_error_from(error: &AidxError) -> WireError {
         AidxError::Strategy { .. } => ErrorCode::Strategy,
         AidxError::AggregateOverflow { .. } => ErrorCode::AggregateOverflow,
         AidxError::Config { .. } => ErrorCode::Config,
+        AidxError::Io { .. } => ErrorCode::Io,
     };
     WireError::new(code, error.to_string())
 }
@@ -171,6 +172,7 @@ mod tests {
                 ErrorCode::AggregateOverflow,
             ),
             (AidxError::config("p", "bad"), ErrorCode::Config),
+            (AidxError::io("fsync log", "disk full"), ErrorCode::Io),
         ];
         for (error, expected) in cases {
             let wire = wire_error_from(&error);

@@ -119,6 +119,9 @@ pub enum ErrorCode {
     AggregateOverflow = 20,
     /// [`aidx_core::AidxError::Config`].
     Config = 21,
+    /// [`aidx_core::AidxError::Io`]: a durability-layer (write-ahead log or
+    /// checkpoint) failure.
+    Io = 22,
     /// Any engine failure without a more specific code.
     Internal = 31,
 }
@@ -138,6 +141,7 @@ impl ErrorCode {
             19 => ErrorCode::Strategy,
             20 => ErrorCode::AggregateOverflow,
             21 => ErrorCode::Config,
+            22 => ErrorCode::Io,
             31 => ErrorCode::Internal,
             _ => return None,
         })
@@ -1033,6 +1037,7 @@ mod tests {
             ErrorCode::Strategy,
             ErrorCode::AggregateOverflow,
             ErrorCode::Config,
+            ErrorCode::Io,
             ErrorCode::Internal,
         ] {
             assert_eq!(ErrorCode::from_u16(code as u16), Some(code));

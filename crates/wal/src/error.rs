@@ -1,0 +1,84 @@
+//! The durability subsystem's typed error.
+
+use std::fmt;
+
+/// Result alias used throughout `aidx-wal`.
+pub type WalResult<T> = std::result::Result<T, WalError>;
+
+/// Errors produced by the log and checkpoint machinery.
+///
+/// Carries owned strings instead of a nested [`std::io::Error`] so the type
+/// stays `Clone + PartialEq` — the kernel's workspace-wide error derives
+/// both, and a durability error must cross that boundary via `From`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalError {
+    /// An operating-system level failure (open, write, fsync, rename, ...).
+    Io {
+        /// What the subsystem was doing, usually including the path.
+        context: String,
+        /// The underlying `io::Error`, rendered.
+        message: String,
+    },
+    /// A frame or file that is structurally invalid *before* its end — a
+    /// checksum mismatch, an impossible length, an unknown record tag.
+    ///
+    /// The log reader never surfaces this for the tail of the log (a torn
+    /// tail is a clean end-of-log); it is the typed verdict on a buffer the
+    /// caller asked to be decoded in isolation.
+    Corrupt {
+        /// Byte offset the corruption was detected at.
+        offset: u64,
+        /// What failed to parse.
+        reason: String,
+    },
+}
+
+impl WalError {
+    /// Shorthand for an [`WalError::Io`] from an `io::Error`.
+    pub fn io(context: impl Into<String>, error: &std::io::Error) -> Self {
+        WalError::Io {
+            context: context.into(),
+            message: error.to_string(),
+        }
+    }
+
+    /// Shorthand for a [`WalError::Corrupt`].
+    pub fn corrupt(offset: u64, reason: impl Into<String>) -> Self {
+        WalError::Corrupt {
+            offset,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io { context, message } => write!(f, "wal io error ({context}): {message}"),
+            WalError::Corrupt { offset, reason } => {
+                write!(f, "wal corruption at byte {offset}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_constructors() {
+        let io = WalError::io(
+            "open wal/wal-1.log",
+            &std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        );
+        assert!(io.to_string().contains("open wal/wal-1.log"));
+        assert!(io.to_string().contains("gone"));
+        let corrupt = WalError::corrupt(42, "bad checksum");
+        assert!(corrupt.to_string().contains("byte 42"));
+        assert!(corrupt.to_string().contains("bad checksum"));
+        assert_eq!(corrupt.clone(), corrupt);
+    }
+}

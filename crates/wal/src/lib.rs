@@ -1,0 +1,43 @@
+//! # aidx-wal
+//!
+//! Durability for the adaptive indexing engine: an append-only, checksummed
+//! write-ahead log, chunk-granular checkpoints, and crash recovery.
+//!
+//! The storage layer above this crate is unusually well shaped for cheap
+//! durability, and the design here leans into all three properties:
+//!
+//! * **Sealed chunks are immutable** — once a segment chunk is sealed it is
+//!   never rewritten in place, so a checkpoint is a plain write-once dump of
+//!   the chunk data plus a catalog manifest. No page-level undo, no fuzzy
+//!   checkpoint fence.
+//! * **Only appends change logical state** — the log records `CreateTable` /
+//!   `DropTable` / `Append` and nothing else. Compaction re-layouts chunks
+//!   without changing any row's value or position, so it writes **no** log
+//!   records; recovery re-derives layout from the last checkpoint plus the
+//!   appended rows.
+//! * **Adaptive indexes are re-derivable by design** — cracking's index
+//!   updates are side effects of queries, so index state is *never* logged
+//!   or checkpointed. Recovery replays data only and lets the first query
+//!   after restart rebuild whatever structure it needs, which is a payoff
+//!   classic ARIES-style designs do not get.
+//!
+//! The crate is std-only: records are length-prefixed frames with a CRC-32
+//! over the payload, the reader is *total* (a torn or corrupt tail reads as
+//! a clean end-of-log, never a panic), and checkpoints follow a
+//! manifest-last protocol so a crash mid-checkpoint leaves an incomplete
+//! directory that recovery detects and ignores.
+
+#![deny(missing_docs)]
+
+pub mod checkpoint;
+pub mod config;
+pub mod crc;
+pub mod error;
+pub mod log;
+pub mod record;
+
+pub use checkpoint::{load_latest_checkpoint, write_checkpoint, CheckpointTable, LoadedCheckpoint};
+pub use config::{DurabilityConfig, FsyncPolicy};
+pub use error::{WalError, WalResult};
+pub use log::{read_log, LogReplay, Wal, WalStatsSnapshot};
+pub use record::{decode_frame, encode_frame, WalRecord};

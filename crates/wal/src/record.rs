@@ -1,0 +1,457 @@
+//! The WAL record codec: logical records, their byte layout, and the framing
+//! that makes the log readable after a torn write.
+//!
+//! Only *logical* state changes are logged — `CreateTable`, `DropTable`,
+//! `Append`. Physical re-layout (chunk compaction) and adaptive index
+//! reorganization are deliberately absent: both are re-derivable from the
+//! data, so logging them would buy nothing and cost every insert.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! +---------------+---------------+----------------------------------+
+//! | u32 LE length | u32 LE crc32  | payload (`length` bytes)         |
+//! +---------------+---------------+----------------------------------+
+//! payload = u64 LE lsn | u8 kind | record body
+//! ```
+//!
+//! The CRC covers the whole payload, including the LSN, so a flipped bit in
+//! any of them is caught by the checksum. [`decode_frame`] is *total*: every
+//! possible byte string decodes to a record, a clean "no complete frame
+//! here" ([`Ok(None)`](Ok)), or a typed [`WalError::Corrupt`] — never a
+//! panic, and never an allocation driven by an unvalidated length.
+
+use crate::crc::crc32;
+use crate::error::{WalError, WalResult};
+use aidx_columnstore::table::{Field, Schema};
+use aidx_columnstore::types::{DataType, Value};
+
+/// Upper bound on a frame payload. Real payloads are bounded by the append
+/// batch size; this guard keeps a corrupt length field from driving a
+/// multi-gigabyte allocation before the checksum gets a chance to object.
+pub const MAX_PAYLOAD_BYTES: usize = 256 * 1024 * 1024;
+
+/// One logical, replayable state change.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A table was registered: its name and schema. Initial contents are
+    /// logged as a following [`WalRecord::Append`], so one record kind
+    /// covers both empty and pre-populated creation.
+    CreateTable {
+        /// The table name.
+        name: String,
+        /// `(column name, column type)` in schema order.
+        fields: Vec<(String, DataType)>,
+    },
+    /// A table was dropped.
+    DropTable {
+        /// The table name.
+        name: String,
+    },
+    /// Rows were appended (one record per batch; `append_row` is a batch of
+    /// one).
+    Append {
+        /// The table appended to.
+        table: String,
+        /// The appended rows, one `Value` per column in schema order.
+        rows: Vec<Vec<Value>>,
+    },
+}
+
+impl WalRecord {
+    /// The schema a [`WalRecord::CreateTable`] describes.
+    ///
+    /// Returns `None` for other record kinds.
+    pub fn schema(&self) -> Option<Schema> {
+        match self {
+            WalRecord::CreateTable { fields, .. } => Some(Schema::new(
+                fields
+                    .iter()
+                    .map(|(name, dtype)| Field::new(name.clone(), *dtype))
+                    .collect(),
+            )),
+            _ => None,
+        }
+    }
+}
+
+const KIND_CREATE_TABLE: u8 = 1;
+const KIND_DROP_TABLE: u8 = 2;
+const KIND_APPEND: u8 = 3;
+
+const TAG_INT64: u8 = 0;
+const TAG_FLOAT64: u8 = 1;
+const TAG_UTF8: u8 = 2;
+const TAG_NULL: u8 = 3;
+
+// ---------------------------------------------------------------------------
+// primitive writers
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+pub(crate) fn put_value(out: &mut Vec<u8>, value: &Value) {
+    match value {
+        Value::Int64(v) => {
+            out.push(TAG_INT64);
+            put_u64(out, *v as u64);
+        }
+        Value::Float64(v) => {
+            out.push(TAG_FLOAT64);
+            put_u64(out, v.to_bits());
+        }
+        Value::Utf8(s) => {
+            out.push(TAG_UTF8);
+            put_str(out, s);
+        }
+        Value::Null => out.push(TAG_NULL),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// primitive readers: a cursor over a byte slice whose every read is bounds-
+// checked and whose every failure is a typed `Corrupt`
+
+/// A bounds-checked reader over a byte slice. All durability parsers
+/// (frames, checkpoint files, manifests) read through this, so no parser can
+/// panic on truncated input.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    pub(crate) fn offset(&self) -> u64 {
+        self.pos as u64
+    }
+
+    pub(crate) fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    pub(crate) fn take(&mut self, n: usize, what: &str) -> WalResult<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| WalError::corrupt(self.pos as u64, format!("truncated {what}")))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    pub(crate) fn u8(&mut self, what: &str) -> WalResult<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    pub(crate) fn u32(&mut self, what: &str) -> WalResult<u32> {
+        let bytes = self.take(4, what)?;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+
+    pub(crate) fn u64(&mut self, what: &str) -> WalResult<u64> {
+        let bytes = self.take(8, what)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    pub(crate) fn str(&mut self, what: &str) -> WalResult<String> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WalError::corrupt(self.pos as u64, format!("non-utf8 {what}")))
+    }
+
+    pub(crate) fn value(&mut self) -> WalResult<Value> {
+        let tag = self.u8("value tag")?;
+        Ok(match tag {
+            TAG_INT64 => Value::Int64(self.u64("int64 value")? as i64),
+            TAG_FLOAT64 => Value::Float64(f64::from_bits(self.u64("float64 value")?)),
+            TAG_UTF8 => Value::Utf8(self.str("utf8 value")?),
+            TAG_NULL => Value::Null,
+            other => {
+                return Err(WalError::corrupt(
+                    self.pos as u64,
+                    format!("unknown value tag {other}"),
+                ))
+            }
+        })
+    }
+}
+
+pub(crate) fn data_type_tag(dtype: DataType) -> u8 {
+    match dtype {
+        DataType::Int64 => TAG_INT64,
+        DataType::Float64 => TAG_FLOAT64,
+        DataType::Utf8 => TAG_UTF8,
+    }
+}
+
+pub(crate) fn data_type_from_tag(tag: u8, offset: u64) -> WalResult<DataType> {
+    match tag {
+        TAG_INT64 => Ok(DataType::Int64),
+        TAG_FLOAT64 => Ok(DataType::Float64),
+        TAG_UTF8 => Ok(DataType::Utf8),
+        other => Err(WalError::corrupt(
+            offset,
+            format!("unknown data type tag {other}"),
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// record body codec
+
+fn encode_body(record: &WalRecord, out: &mut Vec<u8>) {
+    match record {
+        WalRecord::CreateTable { name, fields } => {
+            out.push(KIND_CREATE_TABLE);
+            put_str(out, name);
+            put_u32(out, fields.len() as u32);
+            for (field, dtype) in fields {
+                put_str(out, field);
+                out.push(data_type_tag(*dtype));
+            }
+        }
+        WalRecord::DropTable { name } => {
+            out.push(KIND_DROP_TABLE);
+            put_str(out, name);
+        }
+        WalRecord::Append { table, rows } => {
+            out.push(KIND_APPEND);
+            put_str(out, table);
+            put_u32(out, rows.len() as u32);
+            for row in rows {
+                put_u32(out, row.len() as u32);
+                for value in row {
+                    put_value(out, value);
+                }
+            }
+        }
+    }
+}
+
+fn decode_body(reader: &mut Reader<'_>) -> WalResult<WalRecord> {
+    let kind = reader.u8("record kind")?;
+    let record = match kind {
+        KIND_CREATE_TABLE => {
+            let name = reader.str("table name")?;
+            let n_fields = reader.u32("field count")? as usize;
+            let mut fields = Vec::with_capacity(n_fields.min(1024));
+            for _ in 0..n_fields {
+                let field = reader.str("field name")?;
+                let tag = reader.u8("field type")?;
+                fields.push((field, data_type_from_tag(tag, reader.offset())?));
+            }
+            WalRecord::CreateTable { name, fields }
+        }
+        KIND_DROP_TABLE => WalRecord::DropTable {
+            name: reader.str("table name")?,
+        },
+        KIND_APPEND => {
+            let table = reader.str("table name")?;
+            let n_rows = reader.u32("row count")? as usize;
+            let mut rows = Vec::with_capacity(n_rows.min(4096));
+            for _ in 0..n_rows {
+                let arity = reader.u32("row arity")? as usize;
+                let mut row = Vec::with_capacity(arity.min(1024));
+                for _ in 0..arity {
+                    row.push(reader.value()?);
+                }
+                rows.push(row);
+            }
+            WalRecord::Append { table, rows }
+        }
+        other => {
+            return Err(WalError::corrupt(
+                reader.offset(),
+                format!("unknown record kind {other}"),
+            ))
+        }
+    };
+    if !reader.is_exhausted() {
+        return Err(WalError::corrupt(
+            reader.offset(),
+            "trailing bytes after record body",
+        ));
+    }
+    Ok(record)
+}
+
+// ---------------------------------------------------------------------------
+// framing
+
+/// Encode one record (with its log sequence number) as a complete frame:
+/// length prefix, payload checksum, payload.
+pub fn encode_frame(record: &WalRecord, lsn: u64) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(64);
+    put_u64(&mut payload, lsn);
+    encode_body(record, &mut payload);
+    let mut frame = Vec::with_capacity(payload.len() + 8);
+    put_u32(&mut frame, payload.len() as u32);
+    put_u32(&mut frame, crc32(&payload));
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Decode the frame at the start of `buf`.
+///
+/// * `Ok(Some((record, lsn, consumed)))` — a complete, checksum-valid frame
+///   occupying the first `consumed` bytes.
+/// * `Ok(None)` — the buffer ends before a complete frame does: an empty
+///   buffer, a partial header, or a header whose payload is cut short. This
+///   is the torn-tail case, a clean end-of-log.
+/// * `Err(`[`WalError::Corrupt`]`)` — the bytes claim to be a complete frame
+///   but are not (checksum mismatch, impossible length, unknown tag,
+///   trailing garbage inside the payload).
+pub fn decode_frame(buf: &[u8]) -> WalResult<Option<(WalRecord, u64, usize)>> {
+    if buf.len() < 8 {
+        return Ok(None);
+    }
+    let length = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")) as usize;
+    if length > MAX_PAYLOAD_BYTES {
+        return Err(WalError::corrupt(
+            0,
+            format!("payload length {length} exceeds the {MAX_PAYLOAD_BYTES}-byte bound"),
+        ));
+    }
+    // a payload must at least hold its LSN and a record kind
+    if length < 9 {
+        return Err(WalError::corrupt(
+            0,
+            format!("payload length {length} below the 9-byte minimum"),
+        ));
+    }
+    let expected_crc = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    let Some(payload) = buf.get(8..8 + length) else {
+        return Ok(None); // torn tail: the frame was cut mid-payload
+    };
+    if crc32(payload) != expected_crc {
+        return Err(WalError::corrupt(8, "payload checksum mismatch"));
+    }
+    let mut reader = Reader::new(payload);
+    let lsn = reader.u64("lsn")?;
+    let record = decode_body(&mut reader)?;
+    Ok(Some((record, lsn, 8 + length)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::CreateTable {
+                name: "orders".into(),
+                fields: vec![
+                    ("k".into(), DataType::Int64),
+                    ("price".into(), DataType::Float64),
+                    ("label".into(), DataType::Utf8),
+                ],
+            },
+            WalRecord::DropTable { name: "tmp".into() },
+            WalRecord::Append {
+                table: "orders".into(),
+                rows: vec![
+                    vec![
+                        Value::Int64(-7),
+                        Value::Float64(2.5),
+                        Value::Utf8("röw".into()),
+                    ],
+                    vec![
+                        Value::Int64(i64::MAX),
+                        Value::Float64(f64::NAN),
+                        Value::Null,
+                    ],
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        for (i, record) in sample_records().into_iter().enumerate() {
+            let lsn = 1000 + i as u64;
+            let frame = encode_frame(&record, lsn);
+            let (decoded, got_lsn, consumed) = decode_frame(&frame).unwrap().unwrap();
+            assert_eq!(consumed, frame.len());
+            assert_eq!(got_lsn, lsn);
+            // NaN != NaN under PartialEq on Value, so compare via encoding
+            assert_eq!(encode_frame(&decoded, lsn), frame);
+        }
+    }
+
+    #[test]
+    fn truncated_frames_read_as_clean_eof() {
+        let frame = encode_frame(&sample_records()[2], 9);
+        for cut in 0..frame.len() {
+            let result = decode_frame(&frame[..cut]);
+            assert!(
+                matches!(result, Ok(None) | Err(WalError::Corrupt { .. })),
+                "cut at {cut}: {result:?}"
+            );
+        }
+        // cutting inside the header or payload (but past the 8-byte header)
+        // must specifically be the clean-EOF verdict
+        assert_eq!(decode_frame(&frame[..4]).unwrap(), None);
+        assert_eq!(decode_frame(&frame[..frame.len() - 1]).unwrap(), None);
+        assert_eq!(decode_frame(&[]).unwrap(), None);
+    }
+
+    #[test]
+    fn corruption_is_detected_not_believed() {
+        let frame = encode_frame(&sample_records()[0], 77);
+        for i in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x40;
+            match decode_frame(&bad) {
+                Ok(Some((record, lsn, _))) => {
+                    // the only acceptable "valid" outcome is the original
+                    // record (cannot happen for a single-bit flip with a
+                    // correct CRC, so this arm is effectively unreachable)
+                    assert_eq!(encode_frame(&record, lsn), frame, "byte {i}");
+                }
+                Ok(None) | Err(WalError::Corrupt { .. }) => {}
+                Err(other) => panic!("byte {i}: unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn absurd_lengths_are_rejected_before_allocation() {
+        let mut frame = encode_frame(&sample_records()[1], 3);
+        frame[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(WalError::Corrupt { .. })
+        ));
+        frame[0..4].copy_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(WalError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn create_table_exposes_its_schema() {
+        let record = &sample_records()[0];
+        let schema = record.schema().unwrap();
+        assert_eq!(schema.arity(), 3);
+        assert_eq!(schema.fields()[2].name(), "label");
+        assert_eq!(schema.fields()[2].data_type(), DataType::Utf8);
+        assert!(sample_records()[1].schema().is_none());
+    }
+}

@@ -35,10 +35,11 @@ pub use aidx_maintenance as maintenance;
 pub use aidx_merging as merging;
 pub use aidx_parallel as parallel;
 pub use aidx_server as server;
+pub use aidx_wal as wal;
 pub use aidx_workloads as workloads;
 
 pub use aidx_core::{
-    Aggregation, AidxError, AidxResult, CompactionReport, Database, DatabaseBuilder,
-    MaintenanceConfig, MaintenanceStatsSnapshot, Predicate, Query, QueryBuilder, QueryPlan,
-    QueryResult, RowIter, Session, StrategyKind,
+    Aggregation, AidxError, AidxResult, CheckpointReport, CompactionReport, Database,
+    DatabaseBuilder, DurabilityConfig, FsyncPolicy, MaintenanceConfig, MaintenanceStatsSnapshot,
+    Predicate, Query, QueryBuilder, QueryPlan, QueryResult, RowIter, Session, StrategyKind,
 };
