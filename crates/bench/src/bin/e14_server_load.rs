@@ -35,6 +35,7 @@ use aidx_columnstore::types::Key;
 use aidx_core::strategy::StrategyKind;
 use aidx_core::{Database, Query};
 use aidx_server::{Client, ClientError, Server, ServerConfig, WireResult};
+use aidx_telemetry::Histogram;
 use aidx_workloads::data::{generate_keys, DataDistribution};
 use aidx_workloads::query::{QueryWorkload, WorkloadKind};
 use std::time::{Duration, Instant};
@@ -81,10 +82,12 @@ fn build_db(rows: usize, seed: u64) -> Database {
     db
 }
 
-/// What one client thread brings home.
+/// What one client thread brings home. Latencies are not collected here:
+/// every thread records straight into one shared lock-free
+/// [`Histogram`], the same instrument the server uses internally, so the
+/// phase summary needs no sort and no per-thread vectors.
 #[derive(Debug, Default)]
 struct ClientReport {
-    latencies_ns: Vec<u64>,
     completed: u64,
     sheds_absorbed: u64,
     shed_rejections: u64,
@@ -105,6 +108,7 @@ fn drive_client(
     reply_timeout: Duration,
     retries: usize,
     min_duration: Option<Duration>,
+    latency: &Histogram,
 ) -> ClientReport {
     let mut report = ClientReport::default();
     let Ok(mut client) = Client::connect(addr) else {
@@ -132,7 +136,7 @@ fn drive_client(
             let start = Instant::now();
             match client.batch(chunk) {
                 Ok(outcomes) => {
-                    report.latencies_ns.push(start.elapsed().as_nanos() as u64);
+                    latency.record_duration(start.elapsed());
                     report.completed += outcomes.iter().filter(|o| o.is_ok()).count() as u64;
                     report.protocol_errors += outcomes.iter().filter(|o| o.is_err()).count() as u64;
                 }
@@ -144,7 +148,7 @@ fn drive_client(
         let start = Instant::now();
         match client.query_with_retry(&queries[i], retries, Duration::from_micros(200)) {
             Ok((_result, sheds)) => {
-                report.latencies_ns.push(start.elapsed().as_nanos() as u64);
+                latency.record_duration(start.elapsed());
                 report.completed += 1;
                 report.sheds_absorbed += sheds as u64;
             }
@@ -170,12 +174,13 @@ fn record_failure(report: &mut ClientReport, error: ClientError) {
     }
 }
 
-fn percentile_ms(sorted_ns: &[u64], p: f64) -> String {
-    if sorted_ns.is_empty() {
-        return "-".to_owned(); // everything shed: no completed-request latencies
+/// Format a histogram quantile (upper-bucket-bound nanoseconds) as
+/// milliseconds; "-" when everything was shed and nothing completed.
+fn quantile_ms(ns: Option<u64>) -> String {
+    match ns {
+        Some(ns) => format!("{:.3}", ns as f64 / 1e6),
+        None => "-".to_owned(),
     }
-    let rank = ((sorted_ns.len() as f64 - 1.0) * p).round() as usize;
-    format!("{:.3}", sorted_ns[rank] as f64 / 1e6)
 }
 
 struct PhaseOutcome {
@@ -278,6 +283,9 @@ fn run_phase(server: &Server, spec: PhaseSpec<'_>) -> PhaseOutcome {
     let reply_timeout = Duration::from_secs(10);
     let stop_hog = std::sync::atomic::AtomicBool::new(false);
     let hog_ready = std::sync::atomic::AtomicBool::new(false);
+    // one shared lock-free histogram for the whole fleet — the same
+    // instrument the engine and server use for their own latencies
+    let latency = Histogram::new();
     let start = Instant::now();
     let reports: Vec<ClientReport> = std::thread::scope(|scope| {
         let hog = with_hog.then(|| {
@@ -296,6 +304,7 @@ fn run_phase(server: &Server, spec: PhaseSpec<'_>) -> PhaseOutcome {
         }
         let handles: Vec<_> = (0..clients)
             .map(|c| {
+                let latency = &latency;
                 scope.spawn(move || {
                     let queries = zoo_queries(c, queries_per_client, rows, selectivity);
                     // sequential clients batch; others go query-at-a-time
@@ -307,6 +316,7 @@ fn run_phase(server: &Server, spec: PhaseSpec<'_>) -> PhaseOutcome {
                         reply_timeout,
                         retries,
                         min_duration,
+                        latency,
                     )
                 })
             })
@@ -323,11 +333,7 @@ fn run_phase(server: &Server, spec: PhaseSpec<'_>) -> PhaseOutcome {
     });
     let elapsed = start.elapsed().as_secs_f64();
 
-    let mut latencies: Vec<u64> = reports
-        .iter()
-        .flat_map(|r| r.latencies_ns.iter().copied())
-        .collect();
-    latencies.sort_unstable();
+    let latency = latency.snapshot("client.request_ns");
     let completed: u64 = reports.iter().map(|r| r.completed).sum();
     let sheds_absorbed: u64 = reports.iter().map(|r| r.sheds_absorbed).sum();
     let shed_rejections: u64 = reports.iter().map(|r| r.shed_rejections).sum();
@@ -349,8 +355,8 @@ fn run_phase(server: &Server, spec: PhaseSpec<'_>) -> PhaseOutcome {
         clients,
         completed,
         completed as f64 / elapsed,
-        percentile_ms(&latencies, 0.50),
-        percentile_ms(&latencies, 0.99),
+        quantile_ms(latency.p50()),
+        quantile_ms(latency.p99()),
         server_sheds,
         hangs,
         protocol_errors,
@@ -445,6 +451,27 @@ fn main() {
         "sustained phase saw protocol errors"
     );
     assert_eq!(sustained.hangs, 0, "sustained phase hung");
+
+    // STATS cross-check: with every client joined, the wire snapshot, the
+    // embedded Server::stats() view, and the clients' own completion count
+    // must all agree — the three views read the same registry
+    let mut stats_client = Client::connect(server.local_addr()).expect("connect for STATS");
+    let wire_snapshot = stats_client.stats().expect("STATS reply");
+    let wire_served = wire_snapshot
+        .counter("server.queries_served")
+        .expect("server.queries_served in STATS reply");
+    assert_eq!(
+        wire_served,
+        server.stats().queries_served,
+        "STATS opcode and Server::stats() diverged"
+    );
+    assert_eq!(
+        wire_served, sustained.completed,
+        "server-side queries_served must match the clients' completion count"
+    );
+    println!(
+        "\nSTATS cross-check: wire queries_served = embedded stats() = client count = {wire_served}"
+    );
 
     // phase 3 runs against the warmed sustained-phase server so fidelity is
     // checked on a cracked (partially refined) index, not a cold one

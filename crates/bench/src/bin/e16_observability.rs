@@ -1,0 +1,192 @@
+//! E16 — Observing adaptive indexing from the inside: per-query traces and
+//! the engine-wide telemetry snapshot.
+//!
+//! The paper's central claim is a *trajectory*: each query pays a little
+//! reorganization work, so per-query refinement effort starts near a full
+//! scan's cost and collapses toward zero as the index converges. Every other
+//! experiment measures that trajectory from the outside (wall-clock around
+//! `execute`). This harness measures it from the *inside*, through the
+//! telemetry subsystem itself:
+//!
+//! 1. **Traced convergence** — a cracking workload of `AIDX_QUERIES`
+//!    queries (default 1,000) runs entirely through
+//!    [`aidx_core::Session::explain_profile`]; each query's
+//!    [`aidx_core::QueryTrace`] yields its refinement effort and
+//!    pieces-after reading. Reported: effort/pieces per decile of the
+//!    sequence.
+//! 2. **Snapshot accounting** — after the run, the engine-wide
+//!    [`aidx_core::Database::telemetry`] snapshot must agree with what the
+//!    traces said happened: queries served, total refinement effort, query
+//!    latency histogram count.
+//! 3. **The disabled path** — the same workload against a
+//!    `.telemetry(false)` database must leave every engine counter at zero.
+//!
+//! Acceptance (asserted): the first query's refinement effort strictly
+//! exceeds the 100th's; the decile-mean effort series is non-increasing in
+//! trend (each decile within noise of its predecessor and never above the
+//! first, last decile mean strictly below half the first); snapshot totals
+//! match the trace totals; the disabled run records nothing.
+
+use aidx_bench::HarnessConfig;
+use aidx_columnstore::column::Column;
+use aidx_columnstore::table::Table;
+use aidx_columnstore::types::Key;
+use aidx_core::strategy::StrategyKind;
+use aidx_core::{Database, Query};
+use aidx_workloads::data::{generate_keys, DataDistribution};
+use aidx_workloads::query::{QueryWorkload, WorkloadKind};
+
+fn build_db(rows: usize, seed: u64, telemetry: bool) -> Database {
+    let keys = generate_keys(rows, DataDistribution::UniformPermutation, seed);
+    let db = Database::builder()
+        .default_strategy(StrategyKind::Cracking)
+        .telemetry(telemetry)
+        .build();
+    db.create_table(
+        "data",
+        Table::from_columns(vec![("k", Column::from_i64(keys))]).expect("one-column table"),
+    )
+    .expect("fresh database");
+    db
+}
+
+fn workload(config: &HarnessConfig, rows: usize) -> Vec<Query> {
+    QueryWorkload::generate(
+        WorkloadKind::UniformRandom,
+        config.queries,
+        0,
+        rows as Key,
+        config.selectivity,
+        config.seed,
+    )
+    .iter()
+    .map(|q| Query::table("data").range("k", q.low, q.high))
+    .collect()
+}
+
+/// Mean of one decile slice, as f64 (empty-safe).
+fn decile_mean(values: &[u64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<u64>() as f64 / values.len() as f64
+}
+
+fn main() {
+    let config = HarnessConfig::default();
+    let rows = config.rows.min(1_000_000);
+    let queries = workload(&config, rows);
+    println!(
+        "# E16 observability — {rows} rows, {} traced queries, selectivity {}",
+        queries.len(),
+        config.selectivity
+    );
+
+    // phase 1: run the whole workload traced, collecting the per-query
+    // refinement-effort series straight from the span events
+    let db = build_db(rows, config.seed, true);
+    let session = db.session();
+    let mut efforts: Vec<u64> = Vec::with_capacity(queries.len());
+    let mut pieces: Vec<u64> = Vec::with_capacity(queries.len());
+    for query in &queries {
+        let profile = session.explain_profile(query).expect("traced query");
+        efforts.push(profile.trace.refinement_effort());
+        pieces.push(profile.trace.pieces_after().unwrap_or(0));
+    }
+
+    println!("\n{:<8} {:>16} {:>12}", "decile", "mean effort", "pieces");
+    let n = efforts.len();
+    let decile = (n / 10).max(1);
+    let mut means = Vec::new();
+    for d in 0..10 {
+        let lo = d * decile;
+        if lo >= n {
+            break;
+        }
+        let hi = ((d + 1) * decile).min(n);
+        let mean = decile_mean(&efforts[lo..hi]);
+        println!("{:<8} {:>16.1} {:>12}", d + 1, mean, pieces[hi - 1]);
+        means.push(mean);
+    }
+
+    // the headline acceptance: the build cost is front-loaded — the first
+    // query pays for its own index reorganization, the 100th rides an
+    // almost-converged index
+    assert!(
+        efforts[0] > efforts[99.min(n - 1)],
+        "first query effort {} must exceed query #100's {}",
+        efforts[0],
+        efforts[99.min(n - 1)]
+    );
+    // trend: each decile's mean effort stays within noise of a
+    // non-increasing series (1.5× consecutive slack, never above the
+    // build-dominated first decile), and the last decile costs less than
+    // half the first
+    for pair in means.windows(2) {
+        assert!(
+            pair[1] <= pair[0] * 1.5 + 1.0,
+            "decile mean effort rose against the trend: {} -> {}",
+            pair[0],
+            pair[1]
+        );
+    }
+    for (d, mean) in means.iter().enumerate().skip(1) {
+        assert!(
+            *mean <= means[0],
+            "decile {} mean {} exceeds the build-dominated first decile {}",
+            d + 1,
+            mean,
+            means[0]
+        );
+    }
+    assert!(
+        means[means.len() - 1] < means[0] / 2.0,
+        "effort never converged: first decile {} vs last {}",
+        means[0],
+        means[means.len() - 1]
+    );
+
+    // phase 2: the engine-wide snapshot must agree with the traces
+    let snapshot = db.telemetry();
+    assert!(snapshot.enabled, "telemetry was built enabled");
+    let metrics = &snapshot.metrics;
+    let served = metrics.counter("engine.queries_served").unwrap_or(0);
+    assert_eq!(served, n as u64, "snapshot missed queries");
+    let total_effort: u64 = efforts.iter().sum();
+    assert_eq!(
+        metrics.counter("engine.index.refinement_effort"),
+        Some(total_effort),
+        "snapshot effort diverged from the trace series"
+    );
+    let query_ns = metrics.histogram("engine.query_ns").expect("histogram");
+    assert_eq!(query_ns.count, n as u64);
+    println!(
+        "\nsnapshot: {} queries, total refinement effort {}, query p50 {:?}ns p99 {:?}ns",
+        served,
+        total_effort,
+        query_ns.p50(),
+        query_ns.p99()
+    );
+
+    // phase 3: the disabled path records nothing
+    let dark = build_db(rows, config.seed, false);
+    let dark_session = dark.session();
+    for query in queries.iter().take(100) {
+        dark_session.execute(query).expect("untelemetered query");
+    }
+    let dark_snapshot = dark.telemetry();
+    assert!(!dark_snapshot.enabled);
+    assert_eq!(
+        dark_snapshot.metrics.counter("engine.queries_served"),
+        Some(0),
+        "disabled telemetry must record nothing"
+    );
+    println!("disabled path: 100 queries, all engine counters still zero");
+
+    println!(
+        "\nacceptance: effort converged {} -> {} across deciles, snapshot consistent, \
+         disabled path silent",
+        means[0],
+        means[means.len() - 1]
+    );
+}

@@ -112,6 +112,15 @@ impl PruneStats {
     pub fn chunks_total(&self) -> usize {
         self.chunks_scanned + self.chunks_pruned
     }
+
+    /// Fraction of considered chunks the zone maps pruned (0.0 when no
+    /// chunks were considered at all).
+    pub fn pruned_fraction(&self) -> f64 {
+        match self.chunks_total() {
+            0 => 0.0,
+            total => self.chunks_pruned as f64 / total as f64,
+        }
+    }
 }
 
 /// `PruneStats` aggregate per chunk, so folding the per-worker statistics of

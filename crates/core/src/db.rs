@@ -16,6 +16,7 @@ use crate::maintenance::{CompactionReport, MaintenanceState};
 use crate::manager::{IndexInfo, IndexManager};
 use crate::session::Session;
 use crate::strategy::{StrategyKind, StrategyTuning};
+use crate::telemetry::{EngineTelemetry, TelemetrySnapshot};
 use aidx_columnstore::catalog::Catalog;
 use aidx_columnstore::error::ColumnStoreError;
 use aidx_columnstore::segment::DEFAULT_SEGMENT_CAPACITY;
@@ -23,7 +24,7 @@ use aidx_columnstore::table::Table;
 use aidx_columnstore::types::RowId;
 use aidx_cracking::updates::MergePolicy;
 use aidx_maintenance::{MaintenanceConfig, MaintenanceStatsSnapshot};
-use aidx_wal::{DurabilityConfig, WalRecord, WalStatsSnapshot};
+use aidx_wal::{DurabilityConfig, WalRecord, WalStatsSnapshot, WalTelemetry};
 use parking_lot::RwLock;
 use std::path::Path;
 use std::sync::Arc;
@@ -36,6 +37,9 @@ pub(crate) struct DbInner {
     /// Present when the builder configured [`DurabilityConfig`]; `None`
     /// keeps the kernel a pure in-memory engine with zero logging overhead.
     pub(crate) durability: Option<DurabilityState>,
+    /// Engine-wide metrics registry and pre-resolved instrument handles;
+    /// the WAL shares the registry and master switch.
+    pub(crate) telemetry: EngineTelemetry,
 }
 
 /// Configures and builds a [`Database`].
@@ -66,6 +70,7 @@ pub struct DatabaseBuilder {
     parallelism: usize,
     maintenance: MaintenanceConfig,
     durability: Option<DurabilityConfig>,
+    telemetry: bool,
 }
 
 /// Upper bound on [`DatabaseBuilder::parallelism`]: far above any sensible
@@ -110,6 +115,7 @@ impl Default for DatabaseBuilder {
             parallelism: default_parallelism(),
             maintenance: MaintenanceConfig::default(),
             durability: None,
+            telemetry: true,
         }
     }
 }
@@ -197,6 +203,16 @@ impl DatabaseBuilder {
         self
     }
 
+    /// Whether the engine records metrics (defaults to `true`). Disabled,
+    /// every recording site pays exactly one relaxed atomic load per
+    /// operation; the registry and its instruments still exist, so
+    /// [`Database::set_telemetry_enabled`] can flip recording on later
+    /// without restarting.
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
+        self
+    }
+
     fn validate(&self) -> AidxResult<()> {
         if self.segment_capacity == 0 {
             return Err(AidxError::config(
@@ -257,12 +273,17 @@ impl DatabaseBuilder {
     /// checkpoint plus log-suffix replay) before the database starts serving.
     pub fn try_build(self) -> AidxResult<Database> {
         self.validate()?;
+        let telemetry = EngineTelemetry::new(self.telemetry);
         let mut catalog = self.catalog;
         let durability = match self.durability {
             Some(config) => Some(durability::open_durable(
                 config,
                 &mut catalog,
                 self.segment_capacity,
+                Some(WalTelemetry::register(
+                    telemetry.registry(),
+                    telemetry.enabled_flag(),
+                )),
             )?),
             None => None,
         };
@@ -295,6 +316,7 @@ impl DatabaseBuilder {
             segment_capacity: self.segment_capacity,
             maintenance: MaintenanceState::new(self.maintenance),
             durability: durability.map(|outcome| outcome.state),
+            telemetry,
         });
         // jobs hold a Weak back-reference, so this must happen after the Arc
         // exists (and spawns the background thread when configured)
@@ -687,6 +709,41 @@ impl Database {
     /// database is durable.
     pub fn wal_stats(&self) -> Option<WalStatsSnapshot> {
         self.inner.durability.as_ref().map(|d| d.wal.stats())
+    }
+
+    /// A point-in-time snapshot of every engine metric: query and insert
+    /// latencies, refinement effort, zone-map pruning, maintenance job
+    /// durations, and (on durable databases) WAL append/fsync latencies.
+    /// Serde-serializable; metric names are stable API.
+    ///
+    /// ```
+    /// use aidx_core::prelude::*;
+    ///
+    /// let db = Database::new(StrategyKind::Cracking);
+    /// db.create_table(
+    ///     "t",
+    ///     Table::from_columns(vec![("k", Column::from_i64((0..100).collect()))])?,
+    /// )?;
+    /// db.session().query("t").range("k", 10, 20).execute()?;
+    /// let snapshot = db.telemetry();
+    /// assert_eq!(snapshot.metrics.counter("engine.queries_served"), Some(1));
+    /// assert_eq!(snapshot.metrics.histogram("engine.query_ns").unwrap().count, 1);
+    /// # Ok::<(), aidx_core::AidxError>(())
+    /// ```
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.inner.telemetry.snapshot()
+    }
+
+    /// Flip metric recording on or off at runtime (counters freeze rather
+    /// than reset while disabled). Affects passive metrics only;
+    /// [`Session::explain_profile`] traces regardless.
+    pub fn set_telemetry_enabled(&self, enabled: bool) {
+        self.inner.telemetry.set_enabled(enabled);
+    }
+
+    /// Whether metric recording is currently enabled.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.inner.telemetry.enabled()
     }
 }
 

@@ -29,7 +29,7 @@ use aidx_columnstore::table::{Field, Schema, Table};
 use aidx_columnstore::types::Value;
 use aidx_wal::{
     load_latest_checkpoint, read_log, write_checkpoint, CheckpointTable, DurabilityConfig, Wal,
-    WalRecord,
+    WalRecord, WalTelemetry,
 };
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -162,11 +162,15 @@ pub(crate) fn open_durable(
     config: DurabilityConfig,
     catalog: &mut Catalog,
     segment_capacity: usize,
+    telemetry: Option<WalTelemetry>,
 ) -> AidxResult<RecoveryOutcome> {
     let checkpoint = load_latest_checkpoint(&config.checkpoint_dir(), segment_capacity)
         .map_err(AidxError::from)?;
-    let wal = Wal::open(&config.wal_dir(), config.fsync, segment_capacity as u64)
+    let mut wal = Wal::open(&config.wal_dir(), config.fsync, segment_capacity as u64)
         .map_err(AidxError::from)?;
+    if let Some(telemetry) = telemetry {
+        wal.set_telemetry(telemetry);
+    }
     let has_state = checkpoint.is_some() || wal.last_lsn().is_some();
     if has_state && !catalog.is_empty() {
         return Err(AidxError::config(

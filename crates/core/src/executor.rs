@@ -20,10 +20,11 @@
 //! the session, so concurrent writers never invalidate a running query.
 
 use crate::error::{AidxError, AidxResult};
-use crate::manager::{ColumnId, IndexManager};
+use crate::manager::{ColumnId, IndexManager, ProbeTrace};
 use crate::query::{Aggregation, Predicate, Query};
 use crate::result::QueryResult;
 use crate::strategy::StrategyKind;
+use crate::telemetry::EngineTelemetry;
 use aidx_columnstore::error::ColumnStoreError;
 use aidx_columnstore::ops::aggregate;
 use aidx_columnstore::ops::select::PruneStats;
@@ -31,6 +32,7 @@ use aidx_columnstore::position::PositionList;
 use aidx_columnstore::segment::Segment;
 use aidx_columnstore::table::Table;
 use aidx_columnstore::types::{DataType, Key, RowId, Value};
+use aidx_telemetry::{SpanEvent, TraceRecorder};
 use std::sync::Arc;
 
 /// How the planner decided to execute a query — the facade's lightweight
@@ -109,6 +111,7 @@ fn choose_driver(bound: &[BoundPredicate<'_>]) -> Option<usize> {
 /// index build. The pruned chunks are recorded in `prune`. When the index
 /// does answer, its internal work is not chunk-granular and contributes
 /// nothing to the statistics.
+#[allow(clippy::too_many_arguments)]
 fn drive(
     manager: &IndexManager,
     column_id: ColumnId,
@@ -117,6 +120,7 @@ fn drive(
     predicate: &Predicate,
     strategy: StrategyKind,
     prune: &mut PruneStats,
+    mut probe: Option<&mut ProbeTrace>,
 ) -> PositionList {
     // short-circuit at the first overlapping chunk: the common in-domain
     // query pays O(1)-ish here, and only a provably empty query walks (and
@@ -140,14 +144,14 @@ fn drive(
                 PositionList::new()
             } else {
                 manager
-                    .query_range_snapshot(&column_id, segment, epoch, *low, *high, strategy)
+                    .query_range_probed(&column_id, segment, epoch, *low, *high, strategy, probe)
                     .positions
             }
         }
         Predicate::Point { key, .. } => match key.checked_add(1) {
             Some(next) => {
                 manager
-                    .query_range_snapshot(&column_id, segment, epoch, *key, next, strategy)
+                    .query_range_probed(&column_id, segment, epoch, *key, next, strategy, probe)
                     .positions
             }
             // `key == Key::MAX` cannot be phrased as a half-open range;
@@ -164,7 +168,15 @@ fn drive(
                 let hits = match key.checked_add(1) {
                     Some(next) => {
                         manager
-                            .query_range_snapshot(&column_id, segment, epoch, key, next, strategy)
+                            .query_range_probed(
+                                &column_id,
+                                segment,
+                                epoch,
+                                key,
+                                next,
+                                strategy,
+                                probe.as_deref_mut(),
+                            )
                             .positions
                     }
                     None => {
@@ -299,12 +311,33 @@ pub(crate) fn plan_on_snapshot(
     })
 }
 
+/// Fraction of a segment's key domain the driver predicate selects,
+/// estimated from the predicate's key width and the segment's zone-map
+/// min/max. Degenerate domains (empty, single key, unknown) estimate 1.0.
+/// Computed only for traced queries — never on the metrics-only hot path.
+fn estimated_selectivity(segment: &Segment<Key>, predicate: &Predicate) -> f64 {
+    let (Some(lo), Some(hi)) = (segment.min(), segment.max()) else {
+        return 1.0;
+    };
+    let domain = (hi as i128 - lo as i128 + 1) as f64;
+    if domain <= 1.0 {
+        return 1.0;
+    }
+    (predicate.estimated_width() as f64 / domain).clamp(0.0, 1.0)
+}
+
 /// Execute `query` against a table snapshot, routing the driver predicate
 /// through `manager` (indexes are created lazily with `strategy`).
 ///
 /// When `hotness` is given, the query's chunk traffic is credited to its
 /// driver column afterwards — the feed for the maintenance subsystem's
 /// "hot column first" compaction and index-refresh ordering.
+///
+/// `telemetry` feeds the engine-wide metrics registry (the disabled path
+/// pays one relaxed atomic load and nothing else); `trace` collects this
+/// query's lifecycle as typed span events for
+/// [`crate::Session::explain_profile`].
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn execute_on_snapshot(
     snapshot: Arc<Table>,
     epoch: u64,
@@ -312,7 +345,12 @@ pub(crate) fn execute_on_snapshot(
     query: &Query,
     strategy: StrategyKind,
     hotness: Option<&crate::maintenance::Hotness>,
+    telemetry: Option<&EngineTelemetry>,
+    mut trace: Option<&mut TraceRecorder>,
 ) -> AidxResult<QueryResult> {
+    let metrics = telemetry.filter(|t| t.enabled());
+    let clock = metrics.map(|_| std::time::Instant::now());
+
     let projected = resolve_projections(&snapshot, query)?;
     if let Some((_, column)) = query.aggregation() {
         // resolve early so the error surfaces before any index work
@@ -321,6 +359,19 @@ pub(crate) fn execute_on_snapshot(
     let bound = bind_predicates(&snapshot, manager, query)?;
     let driver = choose_driver(&bound);
 
+    if let Some(recorder) = trace.as_deref_mut() {
+        recorder.record(SpanEvent::Plan {
+            driver_column: driver.map(|i| bound[i].predicate.column().to_owned()),
+            estimated_selectivity: driver
+                .map(|i| estimated_selectivity(bound[i].segment, bound[i].predicate))
+                .unwrap_or(1.0),
+            residual_predicates: (bound.len() - usize::from(driver.is_some())) as u64,
+        });
+    }
+
+    // refinement measurements are collected whenever anyone will read them:
+    // a trace recorder, or the enabled metrics registry
+    let mut probe = (metrics.is_some() || trace.is_some()).then(ProbeTrace::default);
     let mut prune = PruneStats::default();
     let mut positions = match driver {
         None => PositionList::from_range(0, snapshot.row_count() as RowId),
@@ -334,18 +385,47 @@ pub(crate) fn execute_on_snapshot(
                 bound[i].predicate,
                 strategy,
                 &mut prune,
+                probe.as_mut(),
             )
         }
     };
+
+    if let (Some(recorder), Some(i)) = (trace.as_deref_mut(), driver) {
+        let p = probe.as_ref().expect("probe allocated when tracing");
+        if p.probes > 0 {
+            recorder.record(SpanEvent::IndexProbe {
+                column: bound[i].predicate.column().to_owned(),
+                strategy: p.strategy.to_owned(),
+                probes: p.probes,
+                pieces_before: p.pieces_before,
+                pieces_after: p.pieces_after,
+                effort_delta: p.effort_delta,
+                rebuilt: p.rebuilt,
+                lagging_scan: p.lagging_scan,
+            });
+        }
+        recorder.record(SpanEvent::ZoneMapPrune {
+            chunks_scanned: prune.chunks_scanned as u64,
+            chunks_pruned: prune.chunks_pruned as u64,
+        });
+    }
 
     for (i, residual) in bound.iter().enumerate() {
         if Some(i) == driver || positions.is_empty() {
             continue;
         }
+        let candidates_in = positions.len() as u64;
         let (filtered, stats) =
             filter_residual(manager, positions, residual.segment, residual.predicate);
         positions = filtered;
         prune.merge(stats);
+        if let Some(recorder) = trace.as_deref_mut() {
+            recorder.record(SpanEvent::ResidualFilter {
+                column: residual.predicate.column().to_owned(),
+                candidates_in,
+                rows_out: positions.len() as u64,
+            });
+        }
     }
 
     if let (Some(hotness), Some(i)) = (hotness, driver) {
@@ -362,6 +442,31 @@ pub(crate) fn execute_on_snapshot(
             compute_aggregate(&snapshot, &positions, aggregation, column)?
         }
     };
+
+    if let Some(recorder) = trace {
+        recorder.record(SpanEvent::Materialize {
+            rows: positions.len() as u64,
+            aggregated: aggregate_value.is_some(),
+        });
+    }
+    if let Some(t) = metrics {
+        t.queries_served.incr();
+        if let Some(started) = clock {
+            t.query_ns.record_duration(started.elapsed());
+        }
+        t.chunks_scanned.add(prune.chunks_scanned as u64);
+        t.chunks_pruned.add(prune.chunks_pruned as u64);
+        t.rows_materialized.add(positions.len() as u64);
+        if let Some(p) = &probe {
+            t.refinement_effort.add(p.effort_delta);
+            if p.rebuilt {
+                t.index_rebuilds.incr();
+            }
+            if p.lagging_scan {
+                t.lagging_scans.incr();
+            }
+        }
+    }
 
     Ok(QueryResult::new(
         snapshot,
@@ -395,7 +500,16 @@ mod tests {
 
     fn run(query: &Query) -> AidxResult<QueryResult> {
         let manager = IndexManager::new(StrategyKind::Cracking);
-        execute_on_snapshot(snapshot(), 1, &manager, query, StrategyKind::Cracking, None)
+        execute_on_snapshot(
+            snapshot(),
+            1,
+            &manager,
+            query,
+            StrategyKind::Cracking,
+            None,
+            None,
+            None,
+        )
     }
 
     #[test]
@@ -471,8 +585,17 @@ mod tests {
         let table = Arc::new(Table::from_columns(vec![("k", Column::from_i64(keys))]).unwrap());
         let manager = IndexManager::new(StrategyKind::Cracking);
         let query = Query::table("t").point("k", Key::MAX);
-        let result =
-            execute_on_snapshot(table, 1, &manager, &query, StrategyKind::Cracking, None).unwrap();
+        let result = execute_on_snapshot(
+            table,
+            1,
+            &manager,
+            &query,
+            StrategyKind::Cracking,
+            None,
+            None,
+            None,
+        )
+        .unwrap();
         assert_eq!(result.positions().as_slice(), &[0, 2]);
     }
 
@@ -496,6 +619,8 @@ mod tests {
                 &manager,
                 &query,
                 StrategyKind::UpdatableCracking,
+                None,
+                None,
                 None,
             )
             .unwrap();
@@ -532,6 +657,8 @@ mod tests {
             &query,
             StrategyKind::Cracking,
             None,
+            None,
+            None,
         )
         .unwrap();
         // correctness: k in [30,40) and k % 4 == 1 => 33, 37
@@ -559,8 +686,17 @@ mod tests {
         );
         let manager = IndexManager::new(StrategyKind::Cracking);
         let query = Query::table("t").range("k", 1_000, 2_000);
-        let result =
-            execute_on_snapshot(table, 1, &manager, &query, StrategyKind::Cracking, None).unwrap();
+        let result = execute_on_snapshot(
+            table,
+            1,
+            &manager,
+            &query,
+            StrategyKind::Cracking,
+            None,
+            None,
+            None,
+        )
+        .unwrap();
         assert!(result.is_empty());
         let stats = result.prune_stats();
         assert_eq!(stats.chunks_scanned, 0);
@@ -602,8 +738,17 @@ mod tests {
         let query = Query::table("t")
             .range("k", 0, Key::MAX)
             .aggregate(Aggregation::Sum, "k");
-        let err = execute_on_snapshot(table, 1, &manager, &query, StrategyKind::Cracking, None)
-            .unwrap_err();
+        let err = execute_on_snapshot(
+            table,
+            1,
+            &manager,
+            &query,
+            StrategyKind::Cracking,
+            None,
+            None,
+            None,
+        )
+        .unwrap_err();
         assert!(matches!(err, AidxError::AggregateOverflow { .. }));
     }
 

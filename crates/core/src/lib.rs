@@ -42,6 +42,12 @@
 //! * [`tuner`] — the auto-tuning policy layer: decides *which* strategy a
 //!   column should use from observed workload characteristics (the
 //!   tutorial's "towards autonomous kernels" discussion).
+//! * [`telemetry`] — engine-wide observability over the `aidx-telemetry`
+//!   lock-free registry: every layer (executor, index manager, maintenance,
+//!   WAL) records into one registry surfaced by [`Database::telemetry`],
+//!   and [`Session::explain_profile`] captures a single query's lifecycle
+//!   (plan, index probe with refinement effort, pruning, residual filters,
+//!   materialization) as a typed trace.
 //!
 //! ## Quick example
 //!
@@ -89,6 +95,7 @@ pub mod query;
 pub mod result;
 pub mod session;
 pub mod strategy;
+pub mod telemetry;
 pub mod tuner;
 
 /// Convenient re-exports for typical kernel usage.
@@ -102,27 +109,31 @@ pub mod prelude {
     pub use crate::partitioned::PartitionedIndex;
     pub use crate::query::{Aggregation, Predicate, Query};
     pub use crate::result::{QueryResult, RowIter};
-    pub use crate::session::{QueryBuilder, Session};
+    pub use crate::session::{QueryBuilder, QueryProfile, Session};
     pub use crate::strategy::{AdaptiveIndex, QueryOutput, StrategyKind, StrategyTuning};
+    pub use crate::telemetry::TelemetrySnapshot;
     pub use crate::tuner::{AutoTuner, TuningPolicy};
     pub use aidx_columnstore::prelude::*;
     pub use aidx_cracking::updates::MergePolicy;
     pub use aidx_maintenance::{MaintenanceConfig, MaintenanceStatsSnapshot};
     pub use aidx_parallel::ThreadPool;
+    pub use aidx_telemetry::{QueryTrace, Snapshot, SpanEvent};
     pub use aidx_wal::{DurabilityConfig, FsyncPolicy, WalStatsSnapshot};
 }
 
 pub use aidx_maintenance::{MaintenanceConfig, MaintenanceStatsSnapshot};
+pub use aidx_telemetry::{QueryTrace, Snapshot, SpanEvent};
 pub use aidx_wal::{DurabilityConfig, FsyncPolicy, WalStatsSnapshot};
 pub use db::{Database, DatabaseBuilder};
 pub use durability::CheckpointReport;
 pub use error::{AidxError, AidxResult};
 pub use executor::QueryPlan;
 pub use maintenance::CompactionReport;
-pub use manager::{ColumnId, IndexManager, KeySource};
+pub use manager::{ColumnId, IndexManager, KeySource, ProbeTrace};
 pub use partitioned::PartitionedIndex;
 pub use query::{Aggregation, Predicate, Query};
 pub use result::{QueryResult, RowIter};
-pub use session::{QueryBuilder, Session};
+pub use session::{QueryBuilder, QueryProfile, Session};
 pub use strategy::{AdaptiveIndex, QueryOutput, StrategyKind, StrategyTuning};
+pub use telemetry::TelemetrySnapshot;
 pub use tuner::{AutoTuner, TuningPolicy};

@@ -210,6 +210,7 @@ impl MaintenanceJob for CompactionJob {
         let Some(inner) = self.db.upgrade() else {
             return TickOutcome::idle();
         };
+        let clock = inner.telemetry.clock();
         let config = &inner.maintenance.config;
         let stats = &inner.maintenance.stats;
         let policy = CompactionPolicy {
@@ -360,6 +361,11 @@ impl MaintenanceJob for CompactionJob {
                 }
             }
         }
+        if let Some(started) = clock {
+            inner
+                .telemetry
+                .record_job_slice(&inner.telemetry.compaction_ns, started, units as u64);
+        }
         TickOutcome { units, done }
     }
 }
@@ -392,8 +398,9 @@ impl MaintenanceJob for CheckpointJob {
         if !durability.wants_checkpoint() {
             return TickOutcome::idle();
         }
+        let clock = inner.telemetry.clock();
         let pending = durability.rows_since_checkpoint.load(Ordering::Relaxed);
-        match crate::durability::run_checkpoint(&inner) {
+        let outcome = match crate::durability::run_checkpoint(&inner) {
             Ok(_) => TickOutcome {
                 // count the drained rows as this slice's work (at least one
                 // unit, so layout-triggered checkpoints register as progress)
@@ -414,7 +421,15 @@ impl MaintenanceJob for CheckpointJob {
                     done: true,
                 }
             }
+        };
+        if let Some(started) = clock {
+            inner.telemetry.record_job_slice(
+                &inner.telemetry.checkpoint_ns,
+                started,
+                outcome.units as u64,
+            );
         }
+        outcome
     }
 }
 
@@ -432,6 +447,7 @@ impl MaintenanceJob for IndexRefreshJob {
         let Some(inner) = self.db.upgrade() else {
             return TickOutcome::idle();
         };
+        let clock = inner.telemetry.clock();
         let mut remaining = budget_rows;
         let mut units = 0usize;
         let mut done = true;
@@ -481,6 +497,13 @@ impl MaintenanceJob for IndexRefreshJob {
                     .indexes_refreshed
                     .fetch_add(1, Ordering::Relaxed);
             }
+        }
+        if let Some(started) = clock {
+            inner.telemetry.record_job_slice(
+                &inner.telemetry.index_refresh_ns,
+                started,
+                units as u64,
+            );
         }
         TickOutcome { units, done }
     }

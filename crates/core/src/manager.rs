@@ -189,6 +189,63 @@ pub struct IndexInfo {
     pub partitions: usize,
 }
 
+/// What one routed probe did to its column's index — filled by
+/// [`IndexManager::query_range_probed`] when the caller passes a trace
+/// slot, and folded into the per-query [`aidx_telemetry::SpanEvent::IndexProbe`]
+/// event by the executor.
+///
+/// A query with an `InSet` driver probes once per key; the trace
+/// accumulates: `probes` counts them, `effort_delta` sums their refinement
+/// work, `pieces_before`/`pieces_after` bracket the whole sequence.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProbeTrace {
+    /// Strategy label of the index that answered (empty until a probe).
+    pub strategy: &'static str,
+    /// Probes routed through the index.
+    pub probes: u64,
+    /// Physical index pieces before the first probe (after a rebuild, the
+    /// freshly built body's piece count).
+    pub pieces_before: u64,
+    /// Pieces after the last probe.
+    pub pieces_after: u64,
+    /// Cumulative-effort delta across the probes: the refinement work this
+    /// query spent reorganizing the index, including a rebuild's
+    /// construction cost.
+    pub effort_delta: u64,
+    /// The index was (re)built from the snapshot before answering.
+    pub rebuilt: bool,
+    /// At least one probe bypassed the index with a snapshot scan (lagging
+    /// reader).
+    pub lagging_scan: bool,
+}
+
+impl ProbeTrace {
+    fn observe(
+        &mut self,
+        strategy: &'static str,
+        before: (u64, u64),
+        after: (u64, u64),
+        rebuilt: bool,
+    ) {
+        let (effort_before, pieces_before) = before;
+        let (effort_after, pieces_after) = after;
+        self.strategy = strategy;
+        if self.probes == 0 {
+            self.pieces_before = pieces_before;
+        }
+        self.probes += 1;
+        self.pieces_after = pieces_after;
+        self.effort_delta += effort_after.saturating_sub(effort_before);
+        self.rebuilt |= rebuilt;
+    }
+
+    fn observe_lagging(&mut self, strategy: &'static str) {
+        self.strategy = strategy;
+        self.probes += 1;
+        self.lagging_scan = true;
+    }
+}
+
 /// The physical form of one column's index: a single strategy index (the
 /// serial path, and the only form at parallelism 1) or a range-partitioned
 /// set of strategy indexes refined partition-parallel.
@@ -203,6 +260,23 @@ impl IndexBody {
             IndexBody::Single(index) => index.len(),
             IndexBody::Partitioned(partitioned) => partitioned.len(),
         }
+    }
+}
+
+/// `(effort, pieces)` of a body — the probe-trace bracket reading. For a
+/// partitioned body this locks each partition briefly; only traced probes
+/// pay it.
+fn body_measurements(body: &IndexBody) -> (u64, u64) {
+    match body {
+        IndexBody::Single(index) => (index.effort(), index.pieces() as u64),
+        IndexBody::Partitioned(partitioned) => (partitioned.effort(), partitioned.pieces() as u64),
+    }
+}
+
+fn body_pieces(body: &IndexBody) -> u64 {
+    match body {
+        IndexBody::Single(index) => index.pieces() as u64,
+        IndexBody::Partitioned(partitioned) => partitioned.pieces() as u64,
     }
 }
 
@@ -346,6 +420,24 @@ impl IndexManager {
         high: Key,
         strategy: StrategyKind,
     ) -> QueryOutput {
+        self.query_range_probed(column, keys, epoch, low, high, strategy, None)
+    }
+
+    /// [`IndexManager::query_range_snapshot`] with a telemetry tap: when
+    /// `probe` is given, the probe's refinement measurements (effort delta,
+    /// piece growth, rebuild/lagging outcome) accumulate into it. The
+    /// untraced path passes `None` and pays nothing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn query_range_probed<'a>(
+        &self,
+        column: &ColumnId,
+        keys: impl Into<KeySource<'a>>,
+        epoch: u64,
+        low: Key,
+        high: Key,
+        strategy: StrategyKind,
+        mut probe: Option<&mut ProbeTrace>,
+    ) -> QueryOutput {
         let keys = keys.into();
         // First touch registers a cheap empty placeholder so the O(n)-or-
         // worse index construction never runs under the global registry
@@ -372,20 +464,47 @@ impl IndexManager {
             // older prefix of the same epoch: serve its snapshot with a scan
             // (chunk-parallel for segmented views) and never downgrade the
             // shared index
+            if let Some(p) = probe.as_deref_mut() {
+                p.observe_lagging(managed.kind.label());
+            }
             drop(managed);
             return QueryOutput {
                 positions: keys.scan_range_with_pool(low, high, &self.pool),
             };
         }
+        let mut rebuilt = false;
         if managed.epoch != epoch || managed.body.len() != keys.len() {
             let kind = managed.kind;
             managed.body = self.build_body(kind, &keys);
             managed.epoch = epoch;
             managed.queries = 0;
+            rebuilt = true;
         }
         managed.queries += 1;
+        let strategy_label = managed.kind.label();
+        // a rebuild restarts the new body's effort counter, and its
+        // construction cost is work *this* query caused — so the rebuilt
+        // baseline is effort 0 at the fresh body's piece count
+        let before = probe.as_ref().map(|_| {
+            if rebuilt {
+                (0, body_pieces(&managed.body))
+            } else {
+                body_measurements(&managed.body)
+            }
+        });
         match &mut managed.body {
-            IndexBody::Single(index) => index.query_range(low, high),
+            IndexBody::Single(index) => {
+                let output = index.query_range(low, high);
+                if let (Some(p), Some(before)) = (probe, before) {
+                    p.observe(
+                        strategy_label,
+                        before,
+                        (index.effort(), index.pieces() as u64),
+                        rebuilt,
+                    );
+                }
+                output
+            }
             IndexBody::Partitioned(partitioned) => {
                 // fan out *after* releasing the per-column registry entry, so
                 // concurrent queries refine disjoint partitions in parallel
@@ -394,9 +513,18 @@ impl IndexManager {
                 let partitioned = Arc::clone(partitioned);
                 let snapshot_len = keys.len();
                 drop(managed);
-                QueryOutput {
+                let output = QueryOutput {
                     positions: partitioned.query_range(&self.pool, low, high, snapshot_len),
+                };
+                if let (Some(p), Some(before)) = (probe, before) {
+                    p.observe(
+                        strategy_label,
+                        before,
+                        (partitioned.effort(), partitioned.pieces() as u64),
+                        rebuilt,
+                    );
                 }
+                output
             }
         }
     }

@@ -201,6 +201,15 @@ impl PartitionedIndex {
             .sum()
     }
 
+    /// Physical index pieces across all partitions (each partition's
+    /// strategy index reports its own cracked pieces / fragments / runs).
+    pub fn pieces(&self) -> usize {
+        self.partitions
+            .iter()
+            .map(|p| p.lock().index.pieces())
+            .sum()
+    }
+
     /// Auxiliary memory across all partitions, including the local-to-global
     /// rowid maps.
     pub fn auxiliary_bytes(&self) -> usize {

@@ -17,7 +17,19 @@ use crate::query::{Aggregation, Predicate, Query};
 use crate::result::QueryResult;
 use crate::strategy::StrategyKind;
 use aidx_columnstore::types::{Key, RowId, Value};
+use aidx_telemetry::{QueryTrace, TraceRecorder};
 use std::sync::Arc;
+
+/// The result of [`Session::explain_profile`]: the query's answer plus the
+/// trace of how the engine produced it.
+#[derive(Debug)]
+pub struct QueryProfile {
+    /// The query result, identical to what [`Session::execute`] returns.
+    pub result: QueryResult,
+    /// The per-query trace: plan, index probe (with refinement effort),
+    /// zone-map pruning, residual filters, materialization.
+    pub trace: QueryTrace,
+}
 
 /// A handle for executing queries and inserts against a
 /// [`crate::Database`].
@@ -85,6 +97,53 @@ impl Session {
     /// Execute a prepared [`Query`], creating any missing index with an
     /// explicit strategy (for tuner-driven setups).
     pub fn execute_with(&self, query: &Query, strategy: StrategyKind) -> AidxResult<QueryResult> {
+        self.execute_traced(query, strategy, None)
+    }
+
+    /// Execute `query` and return its answer together with a per-query
+    /// trace: the plan, the index probe (strategy, pieces touched and
+    /// created, refinement-effort delta), zone-map pruning, every residual
+    /// filter, and the materialization — the engine's `EXPLAIN PROFILE`.
+    ///
+    /// Tracing works regardless of the metrics master switch: the recorder
+    /// is allocated for this one query only, so profiling a query on a
+    /// telemetry-disabled database still yields a full trace.
+    ///
+    /// ```
+    /// use aidx_core::prelude::*;
+    ///
+    /// let db = Database::new(StrategyKind::Cracking);
+    /// db.create_table(
+    ///     "t",
+    ///     Table::from_columns(vec![("k", Column::from_i64((0..1000).collect()))])?,
+    /// )?;
+    /// let session = db.session();
+    /// let profile = session.explain_profile(&Query::table("t").range("k", 100, 200))?;
+    /// assert_eq!(profile.result.row_count(), 100);
+    /// // the first query pays the index build: its refinement effort is
+    /// // large, and later queries' traces show it shrinking
+    /// assert!(profile.trace.refinement_effort() > 0);
+    /// # Ok::<(), aidx_core::AidxError>(())
+    /// ```
+    pub fn explain_profile(&self, query: &Query) -> AidxResult<QueryProfile> {
+        let mut recorder = TraceRecorder::new();
+        let result = self.execute_traced(
+            query,
+            self.inner.manager.default_strategy(),
+            Some(&mut recorder),
+        )?;
+        Ok(QueryProfile {
+            result,
+            trace: recorder.finish(),
+        })
+    }
+
+    fn execute_traced(
+        &self,
+        query: &Query,
+        strategy: StrategyKind,
+        trace: Option<&mut TraceRecorder>,
+    ) -> AidxResult<QueryResult> {
         let snapshot = self.inner.catalog.read().table_snapshot(query.table_name());
         let result = match snapshot {
             Ok((snapshot, epoch)) => executor::execute_on_snapshot(
@@ -94,6 +153,8 @@ impl Session {
                 query,
                 strategy,
                 Some(&self.inner.maintenance.hotness),
+                Some(&self.inner.telemetry),
+                trace,
             ),
             Err(e) => Err(e.into()),
         };
@@ -146,6 +207,7 @@ impl Session {
     /// log nor memory. The fsync the policy may require happens after the
     /// lock is released, so concurrent committers share one physical flush.
     pub fn insert_row(&self, table_name: &str, values: &[Value]) -> AidxResult<RowId> {
+        let clock = self.inner.telemetry.clock();
         let (row_id, epoch, column_names, sync_lsn) = {
             let mut catalog = self.inner.catalog.write();
             let epoch = catalog.table_epoch(table_name)?;
@@ -192,6 +254,13 @@ impl Session {
                 self.inner.manager.drop_index_if_stale(&column_id, epoch);
             }
         }
+        if let Some(started) = clock {
+            self.inner.telemetry.rows_inserted.incr();
+            self.inner
+                .telemetry
+                .insert_ns
+                .record_duration(started.elapsed());
+        }
         Ok(row_id)
     }
 
@@ -207,6 +276,7 @@ impl Session {
     /// running process agrees with what a crash-recovery replay would
     /// rebuild — and the error is returned.
     pub fn insert_rows(&self, table_name: &str, rows: &[Vec<Value>]) -> AidxResult<RowId> {
+        let clock = self.inner.telemetry.clock();
         let (start_row, epoch, column_names, sync_lsn, applied) = {
             let mut catalog = self.inner.catalog.write();
             let epoch = catalog.table_epoch(table_name)?;
@@ -270,6 +340,13 @@ impl Session {
             if !covered {
                 self.inner.manager.drop_index_if_stale(&column_id, epoch);
             }
+        }
+        if let Some(started) = clock {
+            self.inner.telemetry.rows_inserted.add(rows.len() as u64);
+            self.inner
+                .telemetry
+                .insert_ns
+                .record_duration(started.elapsed());
         }
         Ok(start_row)
     }

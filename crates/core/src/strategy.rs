@@ -59,6 +59,14 @@ pub trait AdaptiveIndex {
     /// column itself is not counted).
     fn auxiliary_bytes(&self) -> usize;
 
+    /// Number of physical pieces the index currently partitions the key
+    /// domain into (cracked pieces, fragments, sorted runs) — the telemetry
+    /// layer's convergence series. Strategies without piece structure
+    /// report 1.
+    fn pieces(&self) -> usize {
+        1
+    }
+
     /// Whether the strategy refines physical organization as a side effect
     /// of queries.
     fn is_adaptive(&self) -> bool;
@@ -413,6 +421,9 @@ impl AdaptiveIndex for CrackingStrategy {
     fn auxiliary_bytes(&self) -> usize {
         self.inner.column().byte_size()
     }
+    fn pieces(&self) -> usize {
+        self.inner.piece_count()
+    }
     fn is_adaptive(&self) -> bool {
         true
     }
@@ -442,6 +453,9 @@ impl AdaptiveIndex for StochasticStrategy {
     }
     fn auxiliary_bytes(&self) -> usize {
         self.inner.inner().column().byte_size()
+    }
+    fn pieces(&self) -> usize {
+        self.inner.piece_count()
     }
     fn is_adaptive(&self) -> bool {
         true
@@ -473,6 +487,9 @@ impl AdaptiveIndex for UpdatableStrategy {
     }
     fn auxiliary_bytes(&self) -> usize {
         self.inner.index().column().byte_size()
+    }
+    fn pieces(&self) -> usize {
+        self.inner.piece_count()
     }
     fn is_adaptive(&self) -> bool {
         true
@@ -510,6 +527,9 @@ impl AdaptiveIndex for PartialStrategy {
     fn auxiliary_bytes(&self) -> usize {
         self.inner.fragment_bytes()
     }
+    fn pieces(&self) -> usize {
+        self.inner.fragment_count()
+    }
     fn is_adaptive(&self) -> bool {
         true
     }
@@ -539,6 +559,10 @@ impl AdaptiveIndex for MergingStrategy {
     }
     fn auxiliary_bytes(&self) -> usize {
         self.inner.len() * 12
+    }
+    fn pieces(&self) -> usize {
+        // unmerged runs plus the growing final index
+        self.inner.active_run_count() + 1
     }
     fn is_adaptive(&self) -> bool {
         true

@@ -9,7 +9,9 @@
 //! into unbounded latency and eventually OOM, the classic failure mode the
 //! admission-control literature warns about.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use aidx_telemetry::{Counter, Histogram, Registry, Snapshot};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// A bounded counting semaphore that never blocks: [`AdmissionGate::try_acquire`]
 /// either returns a RAII permit or fails immediately.
@@ -71,36 +73,78 @@ impl Drop for AdmissionPermit<'_> {
     }
 }
 
-/// Monotonic counters describing everything the server has done. All
-/// counters are updated with relaxed atomics — they are observability, not
+/// Monotonic counters and latency histograms describing everything the
+/// server has done, backed by one `aidx-telemetry` [`Registry`]. All
+/// instruments are lock-free relaxed atomics — they are observability, not
 /// synchronization.
-#[derive(Debug, Default)]
+///
+/// The registry is the *single* source for server-side metrics: both
+/// [`crate::Server::stats`] (via [`ServerCounters::snapshot`]) and the
+/// `STATS` wire opcode (via [`ServerCounters::registry_snapshot`]) read the
+/// same instruments, so the two views cannot drift apart.
+#[derive(Debug)]
 pub struct ServerCounters {
-    /// Connections accepted and served.
-    pub connections_accepted: AtomicU64,
-    /// Connections rejected at the connection cap.
-    pub connections_rejected: AtomicU64,
-    /// Individual queries completed (including inside batches).
-    pub queries_served: AtomicU64,
-    /// Inserts completed.
-    pub inserts_served: AtomicU64,
-    /// Requests shed by admission control (a batch counts once).
-    pub requests_shed: AtomicU64,
-    /// Typed error replies sent (malformed frames, engine errors, ...).
-    pub errors_sent: AtomicU64,
+    registry: Arc<Registry>,
+    /// `server.connections_accepted` — connections accepted and served.
+    pub connections_accepted: Arc<Counter>,
+    /// `server.connections_rejected` — rejections at the connection cap.
+    pub connections_rejected: Arc<Counter>,
+    /// `server.queries_served` — queries completed (including in batches).
+    pub queries_served: Arc<Counter>,
+    /// `server.inserts_served` — inserts completed.
+    pub inserts_served: Arc<Counter>,
+    /// `server.requests_shed` — requests shed by admission control (a batch
+    /// counts once).
+    pub requests_shed: Arc<Counter>,
+    /// `server.errors_sent` — typed error replies (malformed frames, engine
+    /// errors, ...).
+    pub errors_sent: Arc<Counter>,
+    /// `server.query_ns` — per-request dispatch latency of `QUERY` frames.
+    pub query_ns: Arc<Histogram>,
+    /// `server.insert_ns` — dispatch latency of `INSERT` frames.
+    pub insert_ns: Arc<Histogram>,
+    /// `server.batch_ns` — dispatch latency of whole `BATCH` frames.
+    pub batch_ns: Arc<Histogram>,
+    /// `server.stats_ns` — dispatch latency of `STATS` frames.
+    pub stats_ns: Arc<Histogram>,
+}
+
+impl Default for ServerCounters {
+    fn default() -> Self {
+        let registry = Arc::new(Registry::new());
+        ServerCounters {
+            connections_accepted: registry.counter("server.connections_accepted"),
+            connections_rejected: registry.counter("server.connections_rejected"),
+            queries_served: registry.counter("server.queries_served"),
+            inserts_served: registry.counter("server.inserts_served"),
+            requests_shed: registry.counter("server.requests_shed"),
+            errors_sent: registry.counter("server.errors_sent"),
+            query_ns: registry.histogram("server.query_ns"),
+            insert_ns: registry.histogram("server.insert_ns"),
+            batch_ns: registry.histogram("server.batch_ns"),
+            stats_ns: registry.histogram("server.stats_ns"),
+            registry,
+        }
+    }
 }
 
 impl ServerCounters {
     /// A point-in-time copy of the counters.
     pub fn snapshot(&self) -> ServerStats {
         ServerStats {
-            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
-            connections_rejected: self.connections_rejected.load(Ordering::Relaxed),
-            queries_served: self.queries_served.load(Ordering::Relaxed),
-            inserts_served: self.inserts_served.load(Ordering::Relaxed),
-            requests_shed: self.requests_shed.load(Ordering::Relaxed),
-            errors_sent: self.errors_sent.load(Ordering::Relaxed),
+            connections_accepted: self.connections_accepted.get(),
+            connections_rejected: self.connections_rejected.get(),
+            queries_served: self.queries_served.get(),
+            inserts_served: self.inserts_served.get(),
+            requests_shed: self.requests_shed.get(),
+            errors_sent: self.errors_sent.get(),
         }
+    }
+
+    /// Every `server.*` metric (counters and latency histograms) as a
+    /// mergeable [`Snapshot`] — the server's half of a `STATS` reply.
+    pub fn registry_snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
     }
 }
 
@@ -185,11 +229,26 @@ mod tests {
     #[test]
     fn counters_snapshot() {
         let counters = ServerCounters::default();
-        counters.queries_served.fetch_add(3, Ordering::Relaxed);
-        counters.requests_shed.fetch_add(1, Ordering::Relaxed);
+        counters.queries_served.add(3);
+        counters.requests_shed.incr();
         let stats = counters.snapshot();
         assert_eq!(stats.queries_served, 3);
         assert_eq!(stats.requests_shed, 1);
         assert_eq!(stats.connections_accepted, 0);
+    }
+
+    #[test]
+    fn registry_snapshot_matches_stats_view() {
+        let counters = ServerCounters::default();
+        counters.queries_served.add(5);
+        counters.errors_sent.incr();
+        counters.query_ns.record(1_000);
+        let snapshot = counters.registry_snapshot();
+        assert_eq!(snapshot.counter("server.queries_served"), Some(5));
+        assert_eq!(snapshot.counter("server.errors_sent"), Some(1));
+        let hist = snapshot.histogram("server.query_ns").expect("histogram");
+        assert_eq!(hist.count, 1);
+        // Same instruments back the ServerStats view — no drift possible.
+        assert_eq!(counters.snapshot().queries_served, 5);
     }
 }

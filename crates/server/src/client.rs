@@ -110,6 +110,17 @@ impl Client {
         }
     }
 
+    /// Fetch the server's merged telemetry snapshot: every `engine.*`,
+    /// `maintenance.*`, and `wal.*` metric from the served database plus the
+    /// `server.*` request counters and per-opcode latency histograms. Never
+    /// shed by admission control — it stays answerable during overload.
+    pub fn stats(&mut self) -> Result<aidx_telemetry::Snapshot, ClientError> {
+        match self.roundtrip(&Request::Stats)? {
+            Reply::Stats(snapshot) => Ok(snapshot),
+            other => Err(unexpected(other, "stats snapshot")),
+        }
+    }
+
     /// Append one row (one value per column, in schema order); returns the
     /// assigned row id.
     pub fn insert(&mut self, table: &str, values: &[Value]) -> Result<u64, ClientError> {
@@ -244,6 +255,26 @@ mod tests {
         assert_eq!(server.stats().queries_served, 2, "two of three completed");
         let empty = client.batch(&[]).unwrap();
         assert!(empty.is_empty());
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_merges_engine_and_server_metrics() {
+        let (server, _db) = served_db();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        client
+            .query(&Query::table("events").range("ts", 20, 80))
+            .unwrap();
+        let snapshot = client.stats().unwrap();
+        assert_eq!(snapshot.counter("server.queries_served"), Some(1));
+        assert_eq!(snapshot.counter("engine.queries_served"), Some(1));
+        let latency = snapshot.histogram("server.query_ns").unwrap();
+        assert_eq!(latency.count, 1);
+        // the wire view and the embedded stats() view read the same counters
+        assert_eq!(
+            snapshot.counter("server.queries_served").unwrap(),
+            server.stats().queries_served
+        );
         server.shutdown();
     }
 

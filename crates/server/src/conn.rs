@@ -29,6 +29,7 @@ use aidx_core::{Query, Session};
 use std::io::{BufReader, BufWriter};
 use std::net::TcpStream;
 use std::sync::atomic::Ordering;
+use std::time::Instant;
 
 /// Serve one connection until disconnect, fatal protocol error, or server
 /// shutdown. Always deregisters the connection on exit.
@@ -51,7 +52,7 @@ pub(crate) fn serve(shared: &Shared, conn_id: u64, stream: TcpStream) {
                         ErrorCode::Oversized,
                         format!("frame payload of {announced} bytes exceeds cap {max}"),
                     ));
-                    shared.counters.errors_sent.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.errors_sent.incr();
                     let _ = write_frame(&mut writer, &reply.encode());
                     break; // unread payload: resynchronization is impossible
                 }
@@ -78,7 +79,7 @@ fn dispatch(shared: &Shared, session: &Session, payload: &[u8]) -> Reply {
     let request = match Request::decode(payload) {
         Ok(request) => request,
         Err(e) => {
-            shared.counters.errors_sent.fetch_add(1, Ordering::Relaxed);
+            shared.counters.errors_sent.incr();
             let code = match e {
                 FrameError::UnknownTag {
                     what: "request opcode",
@@ -95,33 +96,36 @@ fn dispatch(shared: &Shared, session: &Session, payload: &[u8]) -> Reply {
             let Some(_permit) = shared.gate.try_acquire() else {
                 return shed(shared);
             };
-            match run_query(shared, session, &query) {
+            let started = Instant::now();
+            let reply = match run_query(shared, session, &query) {
                 Ok(result) => Reply::Result(result),
                 Err(error) => {
-                    shared.counters.errors_sent.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.errors_sent.incr();
                     Reply::Error(error)
                 }
-            }
+            };
+            shared.counters.query_ns.record_duration(started.elapsed());
+            reply
         }
         Request::Insert { table, values } => {
             let Some(_permit) = shared.gate.try_acquire() else {
                 return shed(shared);
             };
-            match session.insert_row(&table, &values) {
+            let started = Instant::now();
+            let reply = match session.insert_row(&table, &values) {
                 Ok(row_id) => {
-                    shared
-                        .counters
-                        .inserts_served
-                        .fetch_add(1, Ordering::Relaxed);
+                    shared.counters.inserts_served.incr();
                     Reply::Inserted {
                         row_id: row_id as u64,
                     }
                 }
                 Err(e) => {
-                    shared.counters.errors_sent.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.errors_sent.incr();
                     Reply::Error(wire_error_from(&e))
                 }
-            }
+            };
+            shared.counters.insert_ns.record_duration(started.elapsed());
+            reply
         }
         // the whole batch runs under ONE admission permit: many small
         // queries from many clients amortize the per-request admission and
@@ -130,17 +134,30 @@ fn dispatch(shared: &Shared, session: &Session, payload: &[u8]) -> Reply {
             let Some(_permit) = shared.gate.try_acquire() else {
                 return shed(shared);
             };
+            let started = Instant::now();
             let items = queries
                 .iter()
                 .map(|query| match run_query(shared, session, query) {
                     Ok(result) => BatchItem::Result(result),
                     Err(error) => {
-                        shared.counters.errors_sent.fetch_add(1, Ordering::Relaxed);
+                        shared.counters.errors_sent.incr();
                         BatchItem::Error(error)
                     }
                 })
                 .collect();
+            shared.counters.batch_ns.record_duration(started.elapsed());
             Reply::Batch(items)
+        }
+        // STATS is never shed: it is the tool an operator reaches for
+        // *during* overload, it does no engine work, and its cost is one
+        // registry sweep — shedding it would blind exactly the person
+        // trying to diagnose the shedding.
+        Request::Stats => {
+            let started = Instant::now();
+            let mut snapshot = shared.db.telemetry().metrics;
+            snapshot.merge(&shared.counters.registry_snapshot());
+            shared.counters.stats_ns.record_duration(started.elapsed());
+            Reply::Stats(snapshot)
         }
     }
 }
@@ -148,10 +165,7 @@ fn dispatch(shared: &Shared, session: &Session, payload: &[u8]) -> Reply {
 fn run_query(shared: &Shared, session: &Session, query: &Query) -> Result<WireResult, WireError> {
     match session.execute(query) {
         Ok(result) => {
-            shared
-                .counters
-                .queries_served
-                .fetch_add(1, Ordering::Relaxed);
+            shared.counters.queries_served.incr();
             Ok(WireResult::from_query_result(&result))
         }
         Err(e) => Err(wire_error_from(&e)),
@@ -159,10 +173,7 @@ fn run_query(shared: &Shared, session: &Session, query: &Query) -> Result<WireRe
 }
 
 fn shed(shared: &Shared) -> Reply {
-    shared
-        .counters
-        .requests_shed
-        .fetch_add(1, Ordering::Relaxed);
+    shared.counters.requests_shed.incr();
     Reply::Overloaded {
         in_flight: shared.gate.in_flight() as u32,
         budget: shared.gate.budget() as u32,

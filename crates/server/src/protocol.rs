@@ -17,6 +17,7 @@
 
 use aidx_columnstore::types::{RowId, Value};
 use aidx_core::{Aggregation, Predicate, Query, QueryResult};
+use aidx_telemetry::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, Snapshot};
 use std::fmt;
 use std::io::{self, Read, Write};
 
@@ -33,6 +34,7 @@ const OP_PING: u8 = 0x01;
 const OP_QUERY: u8 = 0x02;
 const OP_INSERT: u8 = 0x03;
 const OP_BATCH: u8 = 0x04;
+const OP_STATS: u8 = 0x05;
 
 // Reply opcodes (server → client).
 const OP_PONG: u8 = 0x81;
@@ -41,6 +43,7 @@ const OP_ERROR: u8 = 0x83;
 const OP_OVERLOADED: u8 = 0x84;
 const OP_INSERTED: u8 = 0x85;
 const OP_BATCH_RESULT: u8 = 0x86;
+const OP_STATS_RESULT: u8 = 0x87;
 
 /// Why a payload failed to decode.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -196,6 +199,11 @@ pub enum Request {
     /// per-request overhead; answered with [`Reply::Batch`] (per-query
     /// results) or [`Reply::Overloaded`] for the whole batch.
     Batch(Vec<Query>),
+    /// Fetch the merged telemetry snapshot (engine metrics plus the
+    /// server's own `server.*` metrics); answered with [`Reply::Stats`].
+    /// Never shed by admission control — an operator must be able to see a
+    /// saturated server.
+    Stats,
 }
 
 /// A server → client message.
@@ -224,6 +232,9 @@ pub enum Reply {
     },
     /// Per-query outcomes of a [`Request::Batch`], in request order.
     Batch(Vec<BatchItem>),
+    /// Answer to [`Request::Stats`]: every engine and server metric at one
+    /// point in time (counter/gauge/histogram triples, sorted by name).
+    Stats(Snapshot),
 }
 
 /// One query's outcome inside a [`Reply::Batch`].
@@ -398,6 +409,29 @@ fn put_wire_error(buf: &mut Vec<u8>, error: &WireError) {
     put_str(buf, &error.message);
 }
 
+fn put_snapshot(buf: &mut Vec<u8>, snapshot: &Snapshot) {
+    put_u32(buf, snapshot.counters.len() as u32);
+    for counter in &snapshot.counters {
+        put_str(buf, &counter.name);
+        put_u64(buf, counter.value);
+    }
+    put_u32(buf, snapshot.gauges.len() as u32);
+    for gauge in &snapshot.gauges {
+        put_str(buf, &gauge.name);
+        put_i64(buf, gauge.value);
+    }
+    put_u32(buf, snapshot.histograms.len() as u32);
+    for histogram in &snapshot.histograms {
+        put_str(buf, &histogram.name);
+        put_u64(buf, histogram.count);
+        put_u64(buf, histogram.sum);
+        put_u32(buf, histogram.buckets.len() as u32);
+        for &bucket in &histogram.buckets {
+            put_u64(buf, bucket);
+        }
+    }
+}
+
 impl Request {
     /// Encode this request as a frame payload (opcode + body).
     pub fn encode(&self) -> Vec<u8> {
@@ -423,6 +457,7 @@ impl Request {
                     put_query(&mut buf, query);
                 }
             }
+            Request::Stats => put_u8(&mut buf, OP_STATS),
         }
         buf
     }
@@ -451,6 +486,7 @@ impl Request {
                 }
                 Request::Batch(queries)
             }
+            OP_STATS => Request::Stats,
             tag => {
                 return Err(FrameError::UnknownTag {
                     what: "request opcode",
@@ -502,6 +538,10 @@ impl Reply {
                     }
                 }
             }
+            Reply::Stats(snapshot) => {
+                put_u8(&mut buf, OP_STATS_RESULT);
+                put_snapshot(&mut buf, snapshot);
+            }
         }
         buf
     }
@@ -538,6 +578,7 @@ impl Reply {
                 }
                 Reply::Batch(items)
             }
+            OP_STATS_RESULT => Reply::Stats(take_snapshot(&mut r)?),
             tag => {
                 return Err(FrameError::UnknownTag {
                     what: "reply opcode",
@@ -754,6 +795,50 @@ fn take_wire_error(r: &mut Reader<'_>) -> Result<WireError, FrameError> {
     Ok(WireError { code, message })
 }
 
+fn take_snapshot(r: &mut Reader<'_>) -> Result<Snapshot, FrameError> {
+    // minimum encoded sizes: counter = 4-byte name prefix + 8-byte value,
+    // gauge likewise, histogram = name prefix + count + sum + bucket count
+    let counters_len = r.take_count("counter", 12)?;
+    let mut counters = Vec::with_capacity(counters_len);
+    for _ in 0..counters_len {
+        counters.push(CounterSnapshot {
+            name: r.take_str()?,
+            value: r.take_u64()?,
+        });
+    }
+    let gauges_len = r.take_count("gauge", 12)?;
+    let mut gauges = Vec::with_capacity(gauges_len);
+    for _ in 0..gauges_len {
+        gauges.push(GaugeSnapshot {
+            name: r.take_str()?,
+            value: r.take_i64()?,
+        });
+    }
+    let histograms_len = r.take_count("histogram", 24)?;
+    let mut histograms = Vec::with_capacity(histograms_len);
+    for _ in 0..histograms_len {
+        let name = r.take_str()?;
+        let count = r.take_u64()?;
+        let sum = r.take_u64()?;
+        let buckets_len = r.take_count("histogram bucket", 8)?;
+        let mut buckets = Vec::with_capacity(buckets_len);
+        for _ in 0..buckets_len {
+            buckets.push(r.take_u64()?);
+        }
+        histograms.push(HistogramSnapshot {
+            name,
+            count,
+            sum,
+            buckets,
+        });
+    }
+    Ok(Snapshot {
+        counters,
+        gauges,
+        histograms,
+    })
+}
+
 // ---------------------------------------------------------------------------
 // Frame I/O
 // ---------------------------------------------------------------------------
@@ -905,6 +990,70 @@ mod tests {
             let encoded = reply.encode();
             assert_eq!(Reply::decode(&encoded).unwrap(), reply, "{reply:?}");
         }
+    }
+
+    fn sample_snapshot() -> Snapshot {
+        Snapshot {
+            counters: vec![
+                CounterSnapshot {
+                    name: "engine.queries_served".into(),
+                    value: 42,
+                },
+                CounterSnapshot {
+                    name: "server.requests_shed".into(),
+                    value: 0,
+                },
+            ],
+            gauges: vec![GaugeSnapshot {
+                name: "server.connections".into(),
+                value: -1,
+            }],
+            histograms: vec![HistogramSnapshot {
+                name: "server.request_ns".into(),
+                count: 3,
+                sum: 3000,
+                buckets: vec![0, 1, 2],
+            }],
+        }
+    }
+
+    #[test]
+    fn stats_request_and_reply_roundtrip() {
+        let request = Request::Stats;
+        assert_eq!(Request::decode(&request.encode()).unwrap(), request);
+        for reply in [
+            Reply::Stats(sample_snapshot()),
+            Reply::Stats(Snapshot::default()),
+        ] {
+            let encoded = reply.encode();
+            assert_eq!(Reply::decode(&encoded).unwrap(), reply, "{reply:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_stats_replies_are_typed_errors() {
+        let encoded = Reply::Stats(sample_snapshot()).encode();
+        for cut in [1, 5, 20, encoded.len() - 1] {
+            let err = Reply::decode(&encoded[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    FrameError::Truncated | FrameError::CountOverflow { .. }
+                ),
+                "cut at {cut}: {err:?}"
+            );
+        }
+        // a histogram claiming 4 billion buckets in a tiny payload
+        let mut buf = vec![OP_STATS_RESULT];
+        put_u32(&mut buf, 0); // counters
+        put_u32(&mut buf, 0); // gauges
+        put_u32(&mut buf, 1); // histograms
+        put_str(&mut buf, "h");
+        put_u64(&mut buf, 1);
+        put_u64(&mut buf, 1);
+        put_u32(&mut buf, u32::MAX); // hostile bucket count
+        let err = Reply::decode(&buf).unwrap_err();
+        assert!(matches!(err, FrameError::CountOverflow { .. }), "{err:?}");
     }
 
     #[test]

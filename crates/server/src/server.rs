@@ -195,10 +195,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         // connection cap: reject *with a typed reply*, never queue silently.
         // Only this thread increments `active`, so load+store is race-free.
         if shared.active.load(Ordering::Acquire) >= shared.config.max_connections {
-            shared
-                .counters
-                .connections_rejected
-                .fetch_add(1, Ordering::Relaxed);
+            shared.counters.connections_rejected.incr();
             let reply = Reply::Error(WireError::new(
                 ErrorCode::AtCapacity,
                 format!(
@@ -218,10 +215,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
         shared.active.fetch_add(1, Ordering::AcqRel);
         shared.conns.lock().insert(conn_id, registered);
-        shared
-            .counters
-            .connections_accepted
-            .fetch_add(1, Ordering::Relaxed);
+        shared.counters.connections_accepted.incr();
         let worker = {
             let shared = Arc::clone(shared);
             std::thread::Builder::new()

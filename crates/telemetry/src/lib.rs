@@ -1,0 +1,33 @@
+//! Engine-wide observability primitives: a lock-free metrics registry and
+//! per-query trace events.
+//!
+//! The paper's central claim is a *trajectory* — per-query cost falls as
+//! cracking and merging refine the index as a side effect of queries. This
+//! crate is the measurement substrate that makes the trajectory visible in a
+//! *running* engine rather than only in offline bench binaries:
+//!
+//! * [`Registry`] — named [`Counter`]s, [`Gauge`]s and log₂-bucket
+//!   [`Histogram`]s. Registration takes a short lock once; every update is
+//!   a single relaxed atomic RMW, so hot paths hold `Arc` handles and never
+//!   contend. [`Registry::snapshot`] produces a serde-serializable,
+//!   mergeable [`Snapshot`] with p50/p90/p99 readout.
+//! * [`TraceRecorder`] / [`QueryTrace`] — one query's lifecycle as typed
+//!   [`SpanEvent`]s (plan, index probe with refinement-effort delta,
+//!   zone-map pruning, residual filter, materialize), with a human-readable
+//!   text render.
+//!
+//! The crate is std-only and engine-agnostic: it knows the *vocabulary* of
+//! the adaptive engine (pieces, refinement effort, pruning) but holds no
+//! reference to any engine type, so every layer — core, WAL, server, bench
+//! binaries — can record into the same structures.
+
+#![deny(missing_docs)]
+
+mod metrics;
+mod trace;
+
+pub use metrics::{
+    Counter, CounterSnapshot, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot, Registry,
+    Snapshot, HISTOGRAM_BUCKETS,
+};
+pub use trace::{QueryTrace, SpanEvent, TraceRecorder};

@@ -39,5 +39,5 @@ pub mod record;
 pub use checkpoint::{load_latest_checkpoint, write_checkpoint, CheckpointTable, LoadedCheckpoint};
 pub use config::{DurabilityConfig, FsyncPolicy};
 pub use error::{WalError, WalResult};
-pub use log::{read_log, LogReplay, Wal, WalStatsSnapshot};
+pub use log::{read_log, LogReplay, Wal, WalStatsSnapshot, WalTelemetry};
 pub use record::{decode_frame, encode_frame, WalRecord};

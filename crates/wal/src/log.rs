@@ -21,11 +21,13 @@
 use crate::config::FsyncPolicy;
 use crate::error::{WalError, WalResult};
 use crate::record::{decode_frame, encode_frame, WalRecord};
+use aidx_telemetry::{Histogram, Registry};
 use std::fs::{self, File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 const LOG_PREFIX: &str = "wal-";
 const LOG_SUFFIX: &str = ".log";
@@ -189,6 +191,37 @@ struct Stats {
     rotations: AtomicU64,
 }
 
+/// Latency instruments the log records into when the engine attaches its
+/// telemetry registry: append (buffered write + LSN assignment), physical
+/// fsync, and absorbed sync (a logical sync another thread's fsync covered
+/// — the group-commit win, measured as the wait it actually cost).
+#[derive(Debug, Clone)]
+pub struct WalTelemetry {
+    /// Shared master switch; one relaxed load per append when attached.
+    enabled: Arc<AtomicBool>,
+    append_ns: Arc<Histogram>,
+    fsync_ns: Arc<Histogram>,
+    absorbed_sync_ns: Arc<Histogram>,
+}
+
+impl WalTelemetry {
+    /// Register the WAL's instruments on `registry`. `enabled` is shared
+    /// with the engine's master telemetry switch, so flipping telemetry off
+    /// stops the WAL's clocks too.
+    pub fn register(registry: &Registry, enabled: Arc<AtomicBool>) -> Self {
+        WalTelemetry {
+            enabled,
+            append_ns: registry.histogram("wal.append_ns"),
+            fsync_ns: registry.histogram("wal.fsync_ns"),
+            absorbed_sync_ns: registry.histogram("wal.absorbed_sync_ns"),
+        }
+    }
+
+    fn clock(&self) -> Option<Instant> {
+        self.enabled.load(Ordering::Relaxed).then(Instant::now)
+    }
+}
+
 /// The write-ahead log writer.
 ///
 /// Thread-safe: appends serialize on a short internal lock; fsyncs happen on
@@ -207,6 +240,8 @@ pub struct Wal {
     /// Held only while fsyncing; a clone of the active file handle.
     sync_file: Mutex<File>,
     stats: Stats,
+    /// Latency instruments, when the engine attached its registry.
+    telemetry: Option<WalTelemetry>,
 }
 
 /// `u64` sentinel for "no LSN yet" in the atomics (LSNs start at 1).
@@ -281,7 +316,14 @@ impl Wal {
                 fsyncs_absorbed: AtomicU64::new(0),
                 rotations: AtomicU64::new(0),
             },
+            telemetry: None,
         })
+    }
+
+    /// Attach latency instruments (see [`WalTelemetry`]). Called once by
+    /// the engine right after opening the log, before any concurrent use.
+    pub fn set_telemetry(&mut self, telemetry: WalTelemetry) {
+        self.telemetry = Some(telemetry);
     }
 
     /// Append one record, returning `(lsn, lsn_to_sync)`.
@@ -292,6 +334,7 @@ impl Wal {
     /// policy wants durability now — the caller should pass it to
     /// [`Wal::sync_to`] *after* releasing its own locks.
     pub fn append(&self, record: &WalRecord) -> WalResult<(u64, Option<u64>)> {
+        let clock = self.telemetry.as_ref().and_then(WalTelemetry::clock);
         let rows = match record {
             WalRecord::Append { rows, .. } => rows.len() as u64,
             _ => 0,
@@ -319,20 +362,30 @@ impl Wal {
         self.last_written_lsn.store(lsn, Ordering::Release);
         self.stats.records_appended.fetch_add(1, Ordering::Relaxed);
         self.stats.rows_appended.fetch_add(rows, Ordering::Relaxed);
+        if let (Some(t), Some(started)) = (&self.telemetry, clock) {
+            t.append_ns.record_duration(started.elapsed());
+        }
         Ok((lsn, wants_sync.then_some(lsn)))
     }
 
     /// Make everything up to `lsn` durable. Absorbing: returns without an
     /// fsync if a concurrent call already covered `lsn` (group commit).
     pub fn sync_to(&self, lsn: u64) -> WalResult<()> {
+        let clock = self.telemetry.as_ref().and_then(WalTelemetry::clock);
         if self.synced_lsn.load(Ordering::Acquire) >= lsn {
             self.stats.fsyncs_absorbed.fetch_add(1, Ordering::Relaxed);
+            if let (Some(t), Some(started)) = (&self.telemetry, clock) {
+                t.absorbed_sync_ns.record_duration(started.elapsed());
+            }
             return Ok(());
         }
         let file = self.sync_file.lock().expect("wal sync lock poisoned");
         // re-check: the previous holder may have covered us while we waited
         if self.synced_lsn.load(Ordering::Acquire) >= lsn {
             self.stats.fsyncs_absorbed.fetch_add(1, Ordering::Relaxed);
+            if let (Some(t), Some(started)) = (&self.telemetry, clock) {
+                t.absorbed_sync_ns.record_duration(started.elapsed());
+            }
             return Ok(());
         }
         // everything written before this fsync becomes durable with it
@@ -341,6 +394,9 @@ impl Wal {
             .map_err(|e| WalError::io("fsync log", &e))?;
         self.synced_lsn.fetch_max(covered, Ordering::AcqRel);
         self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+        if let (Some(t), Some(started)) = (&self.telemetry, clock) {
+            t.fsync_ns.record_duration(started.elapsed());
+        }
         Ok(())
     }
 

@@ -24,7 +24,7 @@
 //! See the individual crates for the implementation layers:
 //! `aidx-columnstore`, `aidx-cracking`, `aidx-merging`, `aidx-hybrids`,
 //! `aidx-baselines`, `aidx-parallel`, `aidx-maintenance`, `aidx-server`,
-//! `aidx-workloads`, `aidx-core`.
+//! `aidx-telemetry`, `aidx-workloads`, `aidx-core`.
 
 pub use aidx_baselines as baselines;
 pub use aidx_columnstore as columnstore;
@@ -35,11 +35,13 @@ pub use aidx_maintenance as maintenance;
 pub use aidx_merging as merging;
 pub use aidx_parallel as parallel;
 pub use aidx_server as server;
+pub use aidx_telemetry as telemetry;
 pub use aidx_wal as wal;
 pub use aidx_workloads as workloads;
 
 pub use aidx_core::{
     Aggregation, AidxError, AidxResult, CheckpointReport, CompactionReport, Database,
     DatabaseBuilder, DurabilityConfig, FsyncPolicy, MaintenanceConfig, MaintenanceStatsSnapshot,
-    Predicate, Query, QueryBuilder, QueryPlan, QueryResult, RowIter, Session, StrategyKind,
+    Predicate, Query, QueryBuilder, QueryPlan, QueryProfile, QueryResult, QueryTrace, RowIter,
+    Session, Snapshot, SpanEvent, StrategyKind, TelemetrySnapshot,
 };

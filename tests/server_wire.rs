@@ -240,6 +240,95 @@ fn concurrent_clients_match_embedded_session_byte_for_byte() {
 }
 
 #[test]
+fn stats_roundtrip_over_a_live_socket() {
+    let (server, db) = served(ServerConfig::localhost());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    for i in 0..5 {
+        let low = i * 100;
+        client
+            .query(&Query::table("events").range("k", low, low + 50))
+            .unwrap();
+    }
+    client
+        .insert("events", &[Value::Int64(-1), Value::Int64(0)])
+        .unwrap();
+    let snapshot = client.stats().unwrap();
+    // server-side counters travelled the wire intact
+    assert_eq!(snapshot.counter("server.queries_served"), Some(5));
+    assert_eq!(snapshot.counter("server.inserts_served"), Some(1));
+    assert_eq!(snapshot.histogram("server.query_ns").unwrap().count, 5);
+    // engine-side metrics are merged into the same snapshot and agree with
+    // the embedded view of the same database
+    let embedded = db.telemetry().metrics;
+    assert_eq!(
+        snapshot.counter("engine.queries_served"),
+        embedded.counter("engine.queries_served")
+    );
+    assert_eq!(snapshot.counter("engine.rows_inserted"), Some(1));
+    server.shutdown();
+}
+
+#[test]
+fn stats_snapshot_is_monotone_across_reads() {
+    let (server, _db) = served(ServerConfig::localhost());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .query(&Query::table("events").range("k", 0, 100))
+        .unwrap();
+    let first = client.stats().unwrap();
+    client
+        .query(&Query::table("events").range("k", 200, 300))
+        .unwrap();
+    client
+        .query(&Query::table("events").range("k", 400, 500))
+        .unwrap();
+    let second = client.stats().unwrap();
+    // counters and histogram counts never go backwards between reads
+    for counter in &first.counters {
+        let later = second.counter(&counter.name).unwrap_or(0);
+        assert!(
+            later >= counter.value,
+            "{} went backwards: {} -> {later}",
+            counter.name,
+            counter.value
+        );
+    }
+    for hist in &first.histograms {
+        let later = second.histogram(&hist.name).map_or(0, |h| h.count);
+        assert!(
+            later >= hist.count,
+            "{} count went backwards: {} -> {later}",
+            hist.name,
+            hist.count
+        );
+    }
+    assert_eq!(second.counter("server.queries_served"), Some(3));
+    server.shutdown();
+}
+
+#[test]
+fn malformed_stats_request_gets_typed_error() {
+    let (server, _db) = served(ServerConfig::localhost());
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    // a STATS opcode with trailing garbage: the request is fixed-size, so
+    // extra bytes are a malformed frame, answered without closing
+    write_frame(&mut stream, &[0x05, 0xAA, 0xBB]).unwrap();
+    match raw_reply(&mut stream).unwrap() {
+        Some(Reply::Error(e)) => assert_eq!(e.code, ErrorCode::Malformed),
+        other => panic!("expected a typed malformed error, got {other:?}"),
+    }
+    // the same connection still answers a well-formed STATS
+    write_frame(&mut stream, &[0x05]).unwrap();
+    match raw_reply(&mut stream).unwrap() {
+        Some(Reply::Stats(snapshot)) => {
+            assert_eq!(snapshot.counter("server.errors_sent"), Some(1));
+        }
+        other => panic!("expected a stats reply, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
 fn inserts_over_the_wire_are_totally_ordered_with_queries() {
     let (server, db) = served(ServerConfig::localhost());
     let mut client = Client::connect(server.local_addr()).unwrap();
