@@ -11,8 +11,10 @@
 //! 1. **Sustained load** — `AIDX_CLIENTS` concurrent connections (default
 //!    32) each run a workload-zoo query mix (uniform, skewed, sequential,
 //!    shifting-focus, point; one kind per client, round-robin) against
-//!    `aidx-server`, a slice of them submitted as batches. Reported:
-//!    sustained qps, p50/p99 per-request latency, overload-shed counts.
+//!    `aidx-server`, a slice of them submitted as batches. Reported per
+//!    phase, straight from the engine's snapshot-diffing reporter
+//!    ([`Database::report_tick`]): windowed qps and windowed p50/p99 query
+//!    latency over exactly the phase's interval, plus overload-shed counts.
 //! 2. **Saturation** — the same mix against a server whose admission budget
 //!    is 1 in-flight request, plus one "hog" connection looping batches
 //!    (each held under a single admission permit for its whole duration,
@@ -35,7 +37,6 @@ use aidx_columnstore::types::Key;
 use aidx_core::strategy::StrategyKind;
 use aidx_core::{Database, Query};
 use aidx_server::{Client, ClientError, Server, ServerConfig, WireResult};
-use aidx_telemetry::Histogram;
 use aidx_workloads::data::{generate_keys, DataDistribution};
 use aidx_workloads::query::{QueryWorkload, WorkloadKind};
 use std::time::{Duration, Instant};
@@ -82,10 +83,11 @@ fn build_db(rows: usize, seed: u64) -> Database {
     db
 }
 
-/// What one client thread brings home. Latencies are not collected here:
-/// every thread records straight into one shared lock-free
-/// [`Histogram`], the same instrument the server uses internally, so the
-/// phase summary needs no sort and no per-thread vectors.
+/// What one client thread brings home. Latencies are not collected here at
+/// all: the phase summary reads the engine's own `engine.query_ns`
+/// histogram through the snapshot-diffing reporter, so the numbers printed
+/// are exactly what an operator tailing [`Database::report_tick`] would
+/// see — no per-thread vectors, no hand-rolled aggregation.
 #[derive(Debug, Default)]
 struct ClientReport {
     completed: u64,
@@ -108,7 +110,6 @@ fn drive_client(
     reply_timeout: Duration,
     retries: usize,
     min_duration: Option<Duration>,
-    latency: &Histogram,
 ) -> ClientReport {
     let mut report = ClientReport::default();
     let Ok(mut client) = Client::connect(addr) else {
@@ -133,10 +134,8 @@ fn drive_client(
         // admission
         if batch_size > 1 && i % (4 * batch_size) == 0 && i + batch_size <= queries.len() {
             let chunk = &queries[i..i + batch_size];
-            let start = Instant::now();
             match client.batch(chunk) {
                 Ok(outcomes) => {
-                    latency.record_duration(start.elapsed());
                     report.completed += outcomes.iter().filter(|o| o.is_ok()).count() as u64;
                     report.protocol_errors += outcomes.iter().filter(|o| o.is_err()).count() as u64;
                 }
@@ -145,10 +144,8 @@ fn drive_client(
             i += batch_size;
             continue;
         }
-        let start = Instant::now();
         match client.query_with_retry(&queries[i], retries, Duration::from_micros(200)) {
             Ok((_result, sheds)) => {
-                latency.record_duration(start.elapsed());
                 report.completed += 1;
                 report.sheds_absorbed += sheds as u64;
             }
@@ -266,9 +263,13 @@ struct PhaseSpec<'a> {
 }
 
 /// Run `spec.clients` concurrent connections against `server` and print one
-/// result row. With `with_hog`, one extra connection loops permit-holding
+/// result row sourced from the engine's reporter: a [`Database::report_tick`]
+/// brackets the phase, and the printed qps and p50/p99 are the resulting
+/// [`aidx_core::SnapshotDelta`]'s windowed `engine.queries_served` rate and
+/// windowed `engine.query_ns` quantiles — the phase is one reporter
+/// interval. With `with_hog`, one extra connection loops permit-holding
 /// batches for the duration of the phase (see [`drive_hog`]).
-fn run_phase(server: &Server, spec: PhaseSpec<'_>) -> PhaseOutcome {
+fn run_phase(server: &Server, db: &Database, spec: PhaseSpec<'_>) -> PhaseOutcome {
     let PhaseSpec {
         label,
         clients,
@@ -283,10 +284,8 @@ fn run_phase(server: &Server, spec: PhaseSpec<'_>) -> PhaseOutcome {
     let reply_timeout = Duration::from_secs(10);
     let stop_hog = std::sync::atomic::AtomicBool::new(false);
     let hog_ready = std::sync::atomic::AtomicBool::new(false);
-    // one shared lock-free histogram for the whole fleet — the same
-    // instrument the engine and server use for their own latencies
-    let latency = Histogram::new();
-    let start = Instant::now();
+    // open the reporter interval: the phase's own delta starts here
+    db.report_tick();
     let reports: Vec<ClientReport> = std::thread::scope(|scope| {
         let hog = with_hog.then(|| {
             let (stop_hog, hog_ready) = (&stop_hog, &hog_ready);
@@ -304,7 +303,6 @@ fn run_phase(server: &Server, spec: PhaseSpec<'_>) -> PhaseOutcome {
         }
         let handles: Vec<_> = (0..clients)
             .map(|c| {
-                let latency = &latency;
                 scope.spawn(move || {
                     let queries = zoo_queries(c, queries_per_client, rows, selectivity);
                     // sequential clients batch; others go query-at-a-time
@@ -316,7 +314,6 @@ fn run_phase(server: &Server, spec: PhaseSpec<'_>) -> PhaseOutcome {
                         reply_timeout,
                         retries,
                         min_duration,
-                        latency,
                     )
                 })
             })
@@ -331,9 +328,13 @@ fn run_phase(server: &Server, spec: PhaseSpec<'_>) -> PhaseOutcome {
         }
         reports
     });
-    let elapsed = start.elapsed().as_secs_f64();
+    // close the reporter interval: this delta covers exactly the phase
+    let delta = db
+        .report_tick()
+        .expect("the opening tick primed the reporter");
+    let qps = delta.counter_rate("engine.queries_served").unwrap_or(0.0);
+    let latency = delta.histogram("engine.query_ns");
 
-    let latency = latency.snapshot("client.request_ns");
     let completed: u64 = reports.iter().map(|r| r.completed).sum();
     let sheds_absorbed: u64 = reports.iter().map(|r| r.sheds_absorbed).sum();
     let shed_rejections: u64 = reports.iter().map(|r| r.shed_rejections).sum();
@@ -354,9 +355,9 @@ fn run_phase(server: &Server, spec: PhaseSpec<'_>) -> PhaseOutcome {
         label,
         clients,
         completed,
-        completed as f64 / elapsed,
-        quantile_ms(latency.p50()),
-        quantile_ms(latency.p99()),
+        qps,
+        quantile_ms(latency.and_then(|h| h.p50())),
+        quantile_ms(latency.and_then(|h| h.p99())),
         server_sheds,
         hangs,
         protocol_errors,
@@ -434,6 +435,7 @@ fn main() {
     // the client/server shed-accounting cross-check
     let sustained = run_phase(
         &server,
+        &db,
         PhaseSpec {
             label: "sustained",
             clients,
@@ -485,7 +487,7 @@ fn main() {
     // failure.
     let db = build_db(rows, config.seed);
     let server = Server::start(
-        db,
+        db.clone(),
         ServerConfig::localhost()
             .with_max_connections(clients + 8)
             .with_max_in_flight(1),
@@ -493,6 +495,7 @@ fn main() {
     .expect("bind localhost");
     let saturated = run_phase(
         &server,
+        &db,
         PhaseSpec {
             label: "saturated",
             clients,

@@ -12,11 +12,12 @@
 
 use crate::durability::{self, CheckpointReport, DurabilityState};
 use crate::error::{AidxError, AidxResult};
+use crate::health::{self, IndexHealth};
 use crate::maintenance::{CompactionReport, MaintenanceState};
 use crate::manager::{IndexInfo, IndexManager};
 use crate::session::Session;
 use crate::strategy::{StrategyKind, StrategyTuning};
-use crate::telemetry::{EngineTelemetry, TelemetrySnapshot};
+use crate::telemetry::{EngineTelemetry, ObservabilityState, TelemetrySnapshot};
 use aidx_columnstore::catalog::Catalog;
 use aidx_columnstore::error::ColumnStoreError;
 use aidx_columnstore::segment::DEFAULT_SEGMENT_CAPACITY;
@@ -24,6 +25,7 @@ use aidx_columnstore::table::Table;
 use aidx_columnstore::types::RowId;
 use aidx_cracking::updates::MergePolicy;
 use aidx_maintenance::{MaintenanceConfig, MaintenanceStatsSnapshot};
+use aidx_telemetry::{QueryTrace, SnapshotDelta};
 use aidx_wal::{DurabilityConfig, WalRecord, WalStatsSnapshot, WalTelemetry};
 use parking_lot::RwLock;
 use std::path::Path;
@@ -40,6 +42,9 @@ pub(crate) struct DbInner {
     /// Engine-wide metrics registry and pre-resolved instrument handles;
     /// the WAL shares the registry and master switch.
     pub(crate) telemetry: EngineTelemetry,
+    /// Continuous observability: the every-Nth-query trace sampler and the
+    /// snapshot-diffing reporter.
+    pub(crate) observability: ObservabilityState,
 }
 
 /// Configures and builds a [`Database`].
@@ -71,7 +76,19 @@ pub struct DatabaseBuilder {
     maintenance: MaintenanceConfig,
     durability: Option<DurabilityConfig>,
     telemetry: bool,
+    trace_sampling: u64,
+    report_capacity: usize,
 }
+
+/// Default [`DatabaseBuilder::trace_sampling`] period: trace 1 query in 64.
+/// Cheap enough to leave on (the unsampled path is one relaxed `fetch_add`)
+/// and dense enough that [`Database::index_health`] has evidence within a
+/// few thousand queries.
+pub const DEFAULT_TRACE_SAMPLING: u64 = 64;
+
+/// Default [`DatabaseBuilder::report_capacity`]: snapshot deltas retained
+/// in the reporter ring.
+pub const DEFAULT_REPORT_CAPACITY: usize = 64;
 
 /// Upper bound on [`DatabaseBuilder::parallelism`]: far above any sensible
 /// core count, low enough to catch a garbage configuration before it spawns
@@ -116,6 +133,8 @@ impl Default for DatabaseBuilder {
             maintenance: MaintenanceConfig::default(),
             durability: None,
             telemetry: true,
+            trace_sampling: DEFAULT_TRACE_SAMPLING,
+            report_capacity: DEFAULT_REPORT_CAPACITY,
         }
     }
 }
@@ -213,6 +232,25 @@ impl DatabaseBuilder {
         self
     }
 
+    /// Trace every `every`-th query into the sampled-trace ring (defaults
+    /// to [`DEFAULT_TRACE_SAMPLING`]; `0` disables sampling). The unsampled
+    /// path costs one relaxed `fetch_add` and never allocates; sampled
+    /// queries pay the same recorder [`Session::explain_profile`] uses.
+    /// Sampling respects the telemetry master switch: a disabled database
+    /// samples nothing.
+    pub fn trace_sampling(mut self, every: u64) -> Self {
+        self.trace_sampling = every;
+        self
+    }
+
+    /// Snapshot deltas the reporter ring retains (defaults to
+    /// [`DEFAULT_REPORT_CAPACITY`]; must be at least 1 — validated by
+    /// [`DatabaseBuilder::try_build`]).
+    pub fn report_capacity(mut self, deltas: usize) -> Self {
+        self.report_capacity = deltas;
+        self
+    }
+
     fn validate(&self) -> AidxResult<()> {
         if self.segment_capacity == 0 {
             return Err(AidxError::config(
@@ -258,6 +296,12 @@ impl DatabaseBuilder {
         }
         if let Err(message) = self.maintenance.validate() {
             return Err(AidxError::config("maintenance", message));
+        }
+        if self.report_capacity == 0 {
+            return Err(AidxError::config(
+                "report_capacity",
+                "must retain at least 1 snapshot delta",
+            ));
         }
         if let Some(config) = &self.durability {
             if let Err((parameter, reason)) = config.validate() {
@@ -317,6 +361,7 @@ impl DatabaseBuilder {
             maintenance: MaintenanceState::new(self.maintenance),
             durability: durability.map(|outcome| outcome.state),
             telemetry,
+            observability: ObservabilityState::new(self.trace_sampling, self.report_capacity),
         });
         // jobs hold a Weak back-reference, so this must happen after the Arc
         // exists (and spawns the background thread when configured)
@@ -744,6 +789,88 @@ impl Database {
     /// Whether metric recording is currently enabled.
     pub fn telemetry_enabled(&self) -> bool {
         self.inner.telemetry.enabled()
+    }
+
+    /// Run one reporter tick now: snapshot every engine metric and diff it
+    /// against the previous tick's snapshot. The first tick primes the
+    /// baseline and returns `None`; every later tick returns the interval's
+    /// [`SnapshotDelta`] (per-counter deltas and rates, *windowed*
+    /// histogram quantiles, gauge levels), which is also retained in the
+    /// reporter ring ([`Database::recent_reports`]).
+    ///
+    /// The maintenance scheduler runs the same tick as its fourth job, so a
+    /// database with [`MaintenanceConfig::background`] set reports
+    /// continuously without anyone calling this.
+    ///
+    /// ```
+    /// use aidx_core::prelude::*;
+    ///
+    /// let db = Database::new(StrategyKind::Cracking);
+    /// db.create_table(
+    ///     "t",
+    ///     Table::from_columns(vec![("k", Column::from_i64((0..100).collect()))])?,
+    /// )?;
+    /// assert!(db.report_tick().is_none(), "first tick primes");
+    /// db.session().query("t").range("k", 10, 20).execute()?;
+    /// let delta = db.report_tick().expect("second tick diffs");
+    /// assert_eq!(delta.counter_delta("engine.queries_served"), Some(1));
+    /// # Ok::<(), aidx_core::AidxError>(())
+    /// ```
+    pub fn report_tick(&self) -> Option<SnapshotDelta> {
+        self.inner.observability.report_tick(&self.inner.telemetry)
+    }
+
+    /// Recent reporter intervals, oldest first (bounded by
+    /// [`DatabaseBuilder::report_capacity`]).
+    pub fn recent_reports(&self) -> Vec<SnapshotDelta> {
+        self.inner.observability.recent_reports()
+    }
+
+    /// The most recent reporter interval, if one has completed.
+    pub fn latest_report(&self) -> Option<SnapshotDelta> {
+        self.inner.observability.latest_report()
+    }
+
+    /// Recent sampled query traces, oldest first (see
+    /// [`DatabaseBuilder::trace_sampling`]).
+    pub fn recent_traces(&self) -> Vec<QueryTrace> {
+        self.inner.observability.recent_traces()
+    }
+
+    /// The slowest sampled traces since startup, slowest first.
+    pub fn slowest_traces(&self) -> Vec<QueryTrace> {
+        self.inner.observability.slowest_traces()
+    }
+
+    /// The configured trace-sampling period (`0` = sampling disabled).
+    pub fn trace_sampling(&self) -> u64 {
+        self.inner.observability.sampler.every()
+    }
+
+    /// Per-column index health: cumulative effort from the index registry
+    /// joined with the windowed effort visible in the sampled-trace ring,
+    /// labelled with a convergence verdict (converging / converged /
+    /// stalled / regressing). The live form of the paper's Figure-1 curve —
+    /// a stalled or regressing column is one whose workload defeats
+    /// adaptive indexing (e.g. strictly sequential ranges) and deserves a
+    /// strategy change or a tuner-driven rebuild.
+    pub fn index_health(&self) -> Vec<IndexHealth> {
+        health::derive_index_health(
+            &self.inner.manager.describe(),
+            &self.inner.observability.recent_traces(),
+        )
+    }
+
+    /// The operator's one-call console view: the latest reporter interval
+    /// (rates and windowed quantiles) followed by one health line per
+    /// indexed column.
+    pub fn report_text(&self) -> String {
+        let mut out = match self.latest_report() {
+            Some(delta) => delta.render_text(),
+            None => "no completed reporter interval yet\n".to_owned(),
+        };
+        out.push_str(&health::render_index_health(&self.index_health()));
+        out
     }
 }
 
@@ -1209,6 +1336,120 @@ mod tests {
         assert_eq!(result.row_count(), 256);
         // dropping the database stops the background thread (joins cleanly)
         drop(db);
+    }
+
+    #[test]
+    fn trace_sampling_fills_ring_and_health_has_evidence() {
+        let db = Database::builder().trace_sampling(4).try_build().unwrap();
+        assert_eq!(db.trace_sampling(), 4);
+        db.create_table("t", orders_table(2000)).unwrap();
+        let session = db.session();
+        for q in 0..64i64 {
+            let low = (q * 97) % 1800;
+            session
+                .query("t")
+                .range("o_key", low, low + 100)
+                .execute()
+                .unwrap();
+        }
+        let traces = db.recent_traces();
+        assert_eq!(traces.len(), 16, "1-in-4 of 64 queries");
+        assert!(!db.slowest_traces().is_empty());
+        assert!(
+            db.slowest_traces()
+                .windows(2)
+                .all(|w| w[0].elapsed_ns >= w[1].elapsed_ns),
+            "slowest-first"
+        );
+        let health = db.index_health();
+        assert_eq!(health.len(), 1);
+        assert!(health[0].windowed_queries > 0, "sampled probes seen");
+        assert!(health[0].cumulative_effort > 0);
+        let text = db.report_text();
+        assert!(text.contains("t.o_key"), "{text}");
+        assert!(text.contains("verdict="), "{text}");
+    }
+
+    #[test]
+    fn sampling_respects_the_telemetry_switch_and_zero_disables() {
+        let db = Database::builder()
+            .telemetry(false)
+            .trace_sampling(1)
+            .try_build()
+            .unwrap();
+        db.create_table("t", orders_table(100)).unwrap();
+        db.session()
+            .query("t")
+            .range("o_key", 0, 50)
+            .execute()
+            .unwrap();
+        assert!(
+            db.recent_traces().is_empty(),
+            "disabled telemetry samples nothing"
+        );
+        let db = Database::builder().trace_sampling(0).try_build().unwrap();
+        db.create_table("t", orders_table(100)).unwrap();
+        db.session()
+            .query("t")
+            .range("o_key", 0, 50)
+            .execute()
+            .unwrap();
+        assert!(db.recent_traces().is_empty(), "sampling off");
+        // explain_profile still traces on demand either way
+        let profile = db
+            .session()
+            .explain_profile(&crate::query::Query::table("t").range("o_key", 0, 50))
+            .unwrap();
+        assert!(!profile.trace.events.is_empty());
+    }
+
+    #[test]
+    fn report_tick_diffs_and_the_ring_is_bounded() {
+        let db = Database::builder().report_capacity(2).try_build().unwrap();
+        db.create_table("t", orders_table(500)).unwrap();
+        let session = db.session();
+        assert!(db.report_tick().is_none(), "first tick primes");
+        for round in 1..=4i64 {
+            session
+                .query("t")
+                .range("o_key", 0, 10 * round)
+                .execute()
+                .unwrap();
+            let delta = db.report_tick().expect("delta after priming");
+            assert_eq!(delta.counter_delta("engine.queries_served"), Some(1));
+            let windowed = delta.histogram("engine.query_ns").unwrap();
+            assert_eq!(windowed.count, 1, "windowed, not cumulative");
+        }
+        assert_eq!(db.recent_reports().len(), 2, "ring bounded at capacity");
+        assert!(db.latest_report().is_some());
+    }
+
+    #[test]
+    fn reporter_rides_the_maintenance_scheduler() {
+        let db = Database::builder().try_build().unwrap();
+        db.create_table("t", orders_table(200)).unwrap();
+        db.maintenance_tick(); // primes the reporter via job (d)
+        assert!(db.latest_report().is_none());
+        db.session()
+            .query("t")
+            .range("o_key", 0, 100)
+            .execute()
+            .unwrap();
+        db.maintenance_tick();
+        let delta = db.latest_report().expect("scheduler drove the reporter");
+        assert_eq!(delta.counter_delta("engine.queries_served"), Some(1));
+        assert!(
+            delta
+                .counter_delta("engine.index.refinement_effort")
+                .unwrap()
+                > 0
+        );
+    }
+
+    #[test]
+    fn report_capacity_is_validated() {
+        let err = Database::builder().report_capacity(0).try_build();
+        assert!(matches!(err, Err(AidxError::Config { .. })), "{err:?}");
     }
 
     #[test]

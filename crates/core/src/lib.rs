@@ -48,6 +48,13 @@
 //!   and [`Session::explain_profile`] captures a single query's lifecycle
 //!   (plan, index probe with refinement effort, pruning, residual filters,
 //!   materialization) as a typed trace.
+//! * [`health`] + continuous observability — the live form of the paper's
+//!   convergence curve: every Nth query is trace-sampled into a bounded
+//!   ring ([`Database::recent_traces`]), a reporter diffs successive metric
+//!   snapshots into per-interval rates and windowed quantiles
+//!   ([`Database::report_tick`], riding the maintenance scheduler), and
+//!   [`Database::index_health`] joins both into a per-column convergence
+//!   verdict (converging / converged / stalled / regressing).
 //!
 //! ## Quick example
 //!
@@ -88,6 +95,7 @@ pub mod db;
 pub mod durability;
 pub mod error;
 pub mod executor;
+pub mod health;
 pub mod maintenance;
 pub mod manager;
 pub mod partitioned;
@@ -104,6 +112,7 @@ pub mod prelude {
     pub use crate::durability::CheckpointReport;
     pub use crate::error::{AidxError, AidxResult};
     pub use crate::executor::QueryPlan;
+    pub use crate::health::{HealthVerdict, IndexHealth};
     pub use crate::maintenance::CompactionReport;
     pub use crate::manager::{ColumnId, IndexManager, KeySource};
     pub use crate::partitioned::PartitionedIndex;
@@ -117,17 +126,18 @@ pub mod prelude {
     pub use aidx_cracking::updates::MergePolicy;
     pub use aidx_maintenance::{MaintenanceConfig, MaintenanceStatsSnapshot};
     pub use aidx_parallel::ThreadPool;
-    pub use aidx_telemetry::{QueryTrace, Snapshot, SpanEvent};
+    pub use aidx_telemetry::{QueryTrace, Snapshot, SnapshotDelta, SpanEvent};
     pub use aidx_wal::{DurabilityConfig, FsyncPolicy, WalStatsSnapshot};
 }
 
 pub use aidx_maintenance::{MaintenanceConfig, MaintenanceStatsSnapshot};
-pub use aidx_telemetry::{QueryTrace, Snapshot, SpanEvent};
+pub use aidx_telemetry::{QueryTrace, Snapshot, SnapshotDelta, SpanEvent};
 pub use aidx_wal::{DurabilityConfig, FsyncPolicy, WalStatsSnapshot};
 pub use db::{Database, DatabaseBuilder};
 pub use durability::CheckpointReport;
 pub use error::{AidxError, AidxResult};
 pub use executor::QueryPlan;
+pub use health::{HealthVerdict, IndexHealth};
 pub use maintenance::CompactionReport;
 pub use manager::{ColumnId, IndexManager, KeySource, ProbeTrace};
 pub use partitioned::PartitionedIndex;

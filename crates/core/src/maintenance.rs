@@ -134,6 +134,9 @@ impl MaintenanceState {
                 db: Arc::downgrade(inner),
             }));
         }
+        jobs.push(Arc::new(ReporterJob {
+            db: Arc::downgrade(inner),
+        }));
         let scheduler = Scheduler::new(jobs);
         // Invariant, not a recoverable state: `attach` has exactly one call
         // site (`DatabaseBuilder::try_build`, before the `Database` handle is
@@ -430,6 +433,38 @@ impl MaintenanceJob for CheckpointJob {
             );
         }
         outcome
+    }
+}
+
+/// Job (d): the continuous-observability reporter tick.
+///
+/// Rides the maintenance scheduler so a database with a background thread
+/// reports at the tick cadence with no extra thread or timer. The tick is
+/// one registry sweep plus a diff — it reports zero units so an explicit
+/// [`crate::Database::compact`] loop (which runs until a tick does no work)
+/// can never spin on it, and it idles entirely while telemetry is disabled
+/// (a frozen registry would only produce all-zero deltas).
+struct ReporterJob {
+    db: Weak<DbInner>,
+}
+
+impl MaintenanceJob for ReporterJob {
+    fn name(&self) -> &'static str {
+        "telemetry-report"
+    }
+
+    fn run_slice(&self, _budget_rows: usize) -> TickOutcome {
+        let Some(inner) = self.db.upgrade() else {
+            return TickOutcome::idle();
+        };
+        if !inner.telemetry.enabled() {
+            return TickOutcome::idle();
+        }
+        inner.observability.report_tick(&inner.telemetry);
+        TickOutcome {
+            units: 0,
+            done: true,
+        }
     }
 }
 

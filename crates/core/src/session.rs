@@ -97,6 +97,16 @@ impl Session {
     /// Execute a prepared [`Query`], creating any missing index with an
     /// explicit strategy (for tuner-driven setups).
     pub fn execute_with(&self, query: &Query, strategy: StrategyKind) -> AidxResult<QueryResult> {
+        // sampled tracing: with telemetry enabled, every Nth query runs with
+        // a recorder and lands in the database's trace ring. The unsampled
+        // path pays one relaxed load plus one relaxed fetch_add — no
+        // allocation, no lock.
+        if self.inner.telemetry.enabled() && self.inner.observability.sampler.should_sample() {
+            let mut recorder = TraceRecorder::new();
+            let result = self.execute_traced(query, strategy, Some(&mut recorder))?;
+            self.inner.observability.sampler.record(recorder.finish());
+            return Ok(result);
+        }
         self.execute_traced(query, strategy, None)
     }
 

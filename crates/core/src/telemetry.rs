@@ -10,7 +10,9 @@
 //! (the master switch) plus a handful of relaxed adds when enabled, and
 //! only the load when disabled.
 
-use aidx_telemetry::{Counter, Histogram, Registry, Snapshot};
+use aidx_telemetry::{
+    Counter, Histogram, QueryTrace, Registry, Reporter, Snapshot, SnapshotDelta, TraceSampler,
+};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -128,6 +130,79 @@ impl EngineTelemetry {
             enabled: self.enabled(),
             metrics: self.registry.snapshot(),
         }
+    }
+}
+
+/// Recent sampled traces kept by the engine's [`TraceSampler`] ring.
+pub(crate) const TRACE_RING_CAPACITY: usize = 64;
+
+/// Slowest sampled traces retained since startup.
+pub(crate) const SLOWEST_TRACE_CAPACITY: usize = 8;
+
+/// The continuous-observability state hung off the database internals: the
+/// every-Nth-query [`TraceSampler`] and the snapshot-diffing [`Reporter`].
+/// Both are engine-agnostic `aidx-telemetry` types; this wrapper adds the
+/// sharing (mutexes) and the wall clock the reporter deliberately does not
+/// own.
+#[derive(Debug)]
+pub(crate) struct ObservabilityState {
+    /// Every-Nth-query trace sampling; the unsampled path costs one relaxed
+    /// `fetch_add`.
+    pub(crate) sampler: TraceSampler,
+    reporter: parking_lot::Mutex<ReporterState>,
+}
+
+#[derive(Debug)]
+struct ReporterState {
+    reporter: Reporter,
+    /// When the previous tick ran, so the next delta carries a measured
+    /// interval (the reporter itself is clock-free for determinism).
+    last_tick: Option<Instant>,
+}
+
+impl ObservabilityState {
+    pub(crate) fn new(trace_every: u64, report_capacity: usize) -> Self {
+        ObservabilityState {
+            sampler: TraceSampler::new(trace_every, TRACE_RING_CAPACITY, SLOWEST_TRACE_CAPACITY),
+            reporter: parking_lot::Mutex::new(ReporterState {
+                reporter: Reporter::new(report_capacity),
+                last_tick: None,
+            }),
+        }
+    }
+
+    /// Take a registry snapshot and fold it into the reporter: the first
+    /// call primes the baseline and returns `None`, every later call
+    /// returns the interval's [`SnapshotDelta`] (also kept in the ring).
+    pub(crate) fn report_tick(&self, telemetry: &EngineTelemetry) -> Option<SnapshotDelta> {
+        let snapshot = telemetry.registry.snapshot();
+        let mut state = self.reporter.lock();
+        let interval = state
+            .last_tick
+            .map(|t| t.elapsed())
+            .unwrap_or(std::time::Duration::ZERO);
+        state.last_tick = Some(Instant::now());
+        state.reporter.tick(snapshot, interval).cloned()
+    }
+
+    /// Recent deltas, oldest first.
+    pub(crate) fn recent_reports(&self) -> Vec<SnapshotDelta> {
+        self.reporter.lock().reporter.recent().cloned().collect()
+    }
+
+    /// The most recent delta, if an interval has completed.
+    pub(crate) fn latest_report(&self) -> Option<SnapshotDelta> {
+        self.reporter.lock().reporter.latest().cloned()
+    }
+
+    /// Recent sampled traces, oldest first.
+    pub(crate) fn recent_traces(&self) -> Vec<QueryTrace> {
+        self.sampler.recent()
+    }
+
+    /// Slowest sampled traces since startup, slowest first.
+    pub(crate) fn slowest_traces(&self) -> Vec<QueryTrace> {
+        self.sampler.slowest()
     }
 }
 

@@ -107,6 +107,11 @@ pub struct ServerCounters {
     pub batch_ns: Arc<Histogram>,
     /// `server.stats_ns` — dispatch latency of `STATS` frames.
     pub stats_ns: Arc<Histogram>,
+    /// `server.metrics_ns` — dispatch latency of `METRICS` frames
+    /// (snapshot merge plus Prometheus rendering).
+    pub metrics_ns: Arc<Histogram>,
+    /// `server.traces_ns` — dispatch latency of `TRACES` frames.
+    pub traces_ns: Arc<Histogram>,
 }
 
 impl Default for ServerCounters {
@@ -123,6 +128,8 @@ impl Default for ServerCounters {
             insert_ns: registry.histogram("server.insert_ns"),
             batch_ns: registry.histogram("server.batch_ns"),
             stats_ns: registry.histogram("server.stats_ns"),
+            metrics_ns: registry.histogram("server.metrics_ns"),
+            traces_ns: registry.histogram("server.traces_ns"),
             registry,
         }
     }

@@ -121,6 +121,25 @@ impl Client {
         }
     }
 
+    /// Fetch the same merged snapshot rendered as Prometheus text
+    /// exposition format — the scrape endpoint in wire form. Never shed by
+    /// admission control.
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        match self.roundtrip(&Request::Metrics)? {
+            Reply::MetricsText(text) => Ok(text),
+            other => Err(unexpected(other, "metrics text")),
+        }
+    }
+
+    /// Fetch the engine's recent sampled query traces (the trace-sampler
+    /// ring, oldest first). Never shed by admission control.
+    pub fn traces(&mut self) -> Result<Vec<aidx_telemetry::QueryTrace>, ClientError> {
+        match self.roundtrip(&Request::Traces)? {
+            Reply::Traces(traces) => Ok(traces),
+            other => Err(unexpected(other, "trace list")),
+        }
+    }
+
     /// Append one row (one value per column, in schema order); returns the
     /// assigned row id.
     pub fn insert(&mut self, table: &str, values: &[Value]) -> Result<u64, ClientError> {
@@ -275,6 +294,43 @@ mod tests {
             snapshot.counter("server.queries_served").unwrap(),
             server.stats().queries_served
         );
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_text_is_prometheus_rendered_merged_snapshot() {
+        let (server, _db) = served_db();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        client
+            .query(&Query::table("events").range("ts", 20, 80))
+            .unwrap();
+        let text = client.metrics_text().unwrap();
+        // engine and server families, Prometheus-sanitized names
+        assert!(text.contains("engine_queries_served 1\n"), "{text}");
+        assert!(text.contains("server_queries_served 1\n"), "{text}");
+        assert!(text.contains("# TYPE engine_query_ns histogram"), "{text}");
+        assert!(
+            text.contains("engine_query_ns_bucket{le=\"+Inf\"} 1"),
+            "{text}"
+        );
+        // the METRICS dispatch itself is timed
+        let snapshot = client.stats().unwrap();
+        assert_eq!(snapshot.histogram("server.metrics_ns").unwrap().count, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn traces_returns_the_sampled_ring_over_the_wire() {
+        let (server, db) = served_db();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        // default 1/64 sampling: the very first query is always sampled
+        client
+            .query(&Query::table("events").range("ts", 50, 150))
+            .unwrap();
+        let traces = client.traces().unwrap();
+        assert_eq!(traces, db.recent_traces(), "wire view == embedded view");
+        assert_eq!(traces.len(), 1);
+        assert!(traces[0].refinement_effort() > 0, "the query cracked");
         server.shutdown();
     }
 

@@ -159,6 +159,26 @@ fn dispatch(shared: &Shared, session: &Session, payload: &[u8]) -> Reply {
             shared.counters.stats_ns.record_duration(started.elapsed());
             Reply::Stats(snapshot)
         }
+        // METRICS and TRACES share STATS's exemption: they are the scrape
+        // and diagnosis endpoints an operator leans on during overload, and
+        // neither does engine work.
+        Request::Metrics => {
+            let started = Instant::now();
+            let mut snapshot = shared.db.telemetry().metrics;
+            snapshot.merge(&shared.counters.registry_snapshot());
+            let text = snapshot.render_prometheus();
+            shared
+                .counters
+                .metrics_ns
+                .record_duration(started.elapsed());
+            Reply::MetricsText(text)
+        }
+        Request::Traces => {
+            let started = Instant::now();
+            let traces = shared.db.recent_traces();
+            shared.counters.traces_ns.record_duration(started.elapsed());
+            Reply::Traces(traces)
+        }
     }
 }
 

@@ -11,10 +11,11 @@
 //! The crate has three faces:
 //!
 //! * [`protocol`] — a compact length-prefixed binary protocol
-//!   (PING/QUERY/INSERT/BATCH request frames; typed reply frames including
-//!   structured errors and an explicit OVERLOADED shed signal). Every
-//!   decoder is total: hostile bytes produce typed errors, never panics or
-//!   unbounded allocations.
+//!   (PING/QUERY/INSERT/BATCH request frames plus the never-shed
+//!   observability opcodes STATS/METRICS/TRACES; typed reply frames
+//!   including structured errors and an explicit OVERLOADED shed signal).
+//!   Every decoder is total: hostile bytes produce typed errors, never
+//!   panics or unbounded allocations.
 //! * [`Server`] — a bounded acceptor plus one connection worker (and one
 //!   engine session) per client, with **admission control**: a bounded
 //!   in-flight request budget; requests beyond it are shed immediately with

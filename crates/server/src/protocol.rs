@@ -17,7 +17,9 @@
 
 use aidx_columnstore::types::{RowId, Value};
 use aidx_core::{Aggregation, Predicate, Query, QueryResult};
-use aidx_telemetry::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, Snapshot};
+use aidx_telemetry::{
+    CounterSnapshot, GaugeSnapshot, HistogramSnapshot, QueryTrace, Snapshot, SpanEvent,
+};
 use std::fmt;
 use std::io::{self, Read, Write};
 
@@ -35,6 +37,8 @@ const OP_QUERY: u8 = 0x02;
 const OP_INSERT: u8 = 0x03;
 const OP_BATCH: u8 = 0x04;
 const OP_STATS: u8 = 0x05;
+const OP_METRICS: u8 = 0x06;
+const OP_TRACES: u8 = 0x07;
 
 // Reply opcodes (server → client).
 const OP_PONG: u8 = 0x81;
@@ -44,6 +48,15 @@ const OP_OVERLOADED: u8 = 0x84;
 const OP_INSERTED: u8 = 0x85;
 const OP_BATCH_RESULT: u8 = 0x86;
 const OP_STATS_RESULT: u8 = 0x87;
+const OP_METRICS_TEXT: u8 = 0x88;
+const OP_TRACES_RESULT: u8 = 0x89;
+
+// Span-event tags inside a TRACES reply.
+const SPAN_PLAN: u8 = 0;
+const SPAN_INDEX_PROBE: u8 = 1;
+const SPAN_ZONE_MAP_PRUNE: u8 = 2;
+const SPAN_RESIDUAL_FILTER: u8 = 3;
+const SPAN_MATERIALIZE: u8 = 4;
 
 /// Why a payload failed to decode.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -204,6 +217,14 @@ pub enum Request {
     /// Never shed by admission control — an operator must be able to see a
     /// saturated server.
     Stats,
+    /// Fetch the same merged snapshot rendered as Prometheus text
+    /// exposition format; answered with [`Reply::MetricsText`]. Like
+    /// [`Request::Stats`], never shed.
+    Metrics,
+    /// Fetch the engine's recent sampled query traces (the trace-sampler
+    /// ring, oldest first); answered with [`Reply::Traces`]. Like
+    /// [`Request::Stats`], never shed.
+    Traces,
 }
 
 /// A server → client message.
@@ -235,6 +256,12 @@ pub enum Reply {
     /// Answer to [`Request::Stats`]: every engine and server metric at one
     /// point in time (counter/gauge/histogram triples, sorted by name).
     Stats(Snapshot),
+    /// Answer to [`Request::Metrics`]: the merged snapshot rendered as
+    /// Prometheus text exposition format, ready to proxy to a scraper.
+    MetricsText(String),
+    /// Answer to [`Request::Traces`]: recent sampled query traces, oldest
+    /// first.
+    Traces(Vec<QueryTrace>),
 }
 
 /// One query's outcome inside a [`Reply::Batch`].
@@ -432,6 +459,74 @@ fn put_snapshot(buf: &mut Vec<u8>, snapshot: &Snapshot) {
     }
 }
 
+fn put_trace(buf: &mut Vec<u8>, trace: &QueryTrace) {
+    put_u64(buf, trace.elapsed_ns);
+    put_u32(buf, trace.events.len() as u32);
+    for event in &trace.events {
+        match event {
+            SpanEvent::Plan {
+                driver_column,
+                estimated_selectivity,
+                residual_predicates,
+            } => {
+                put_u8(buf, SPAN_PLAN);
+                match driver_column {
+                    None => put_u8(buf, 0),
+                    Some(column) => {
+                        put_u8(buf, 1);
+                        put_str(buf, column);
+                    }
+                }
+                put_u64(buf, estimated_selectivity.to_bits());
+                put_u64(buf, *residual_predicates);
+            }
+            SpanEvent::IndexProbe {
+                column,
+                strategy,
+                probes,
+                pieces_before,
+                pieces_after,
+                effort_delta,
+                rebuilt,
+                lagging_scan,
+            } => {
+                put_u8(buf, SPAN_INDEX_PROBE);
+                put_str(buf, column);
+                put_str(buf, strategy);
+                put_u64(buf, *probes);
+                put_u64(buf, *pieces_before);
+                put_u64(buf, *pieces_after);
+                put_u64(buf, *effort_delta);
+                put_u8(buf, u8::from(*rebuilt));
+                put_u8(buf, u8::from(*lagging_scan));
+            }
+            SpanEvent::ZoneMapPrune {
+                chunks_scanned,
+                chunks_pruned,
+            } => {
+                put_u8(buf, SPAN_ZONE_MAP_PRUNE);
+                put_u64(buf, *chunks_scanned);
+                put_u64(buf, *chunks_pruned);
+            }
+            SpanEvent::ResidualFilter {
+                column,
+                candidates_in,
+                rows_out,
+            } => {
+                put_u8(buf, SPAN_RESIDUAL_FILTER);
+                put_str(buf, column);
+                put_u64(buf, *candidates_in);
+                put_u64(buf, *rows_out);
+            }
+            SpanEvent::Materialize { rows, aggregated } => {
+                put_u8(buf, SPAN_MATERIALIZE);
+                put_u64(buf, *rows);
+                put_u8(buf, u8::from(*aggregated));
+            }
+        }
+    }
+}
+
 impl Request {
     /// Encode this request as a frame payload (opcode + body).
     pub fn encode(&self) -> Vec<u8> {
@@ -458,6 +553,8 @@ impl Request {
                 }
             }
             Request::Stats => put_u8(&mut buf, OP_STATS),
+            Request::Metrics => put_u8(&mut buf, OP_METRICS),
+            Request::Traces => put_u8(&mut buf, OP_TRACES),
         }
         buf
     }
@@ -487,6 +584,8 @@ impl Request {
                 Request::Batch(queries)
             }
             OP_STATS => Request::Stats,
+            OP_METRICS => Request::Metrics,
+            OP_TRACES => Request::Traces,
             tag => {
                 return Err(FrameError::UnknownTag {
                     what: "request opcode",
@@ -542,6 +641,17 @@ impl Reply {
                 put_u8(&mut buf, OP_STATS_RESULT);
                 put_snapshot(&mut buf, snapshot);
             }
+            Reply::MetricsText(text) => {
+                put_u8(&mut buf, OP_METRICS_TEXT);
+                put_str(&mut buf, text);
+            }
+            Reply::Traces(traces) => {
+                put_u8(&mut buf, OP_TRACES_RESULT);
+                put_u32(&mut buf, traces.len() as u32);
+                for trace in traces {
+                    put_trace(&mut buf, trace);
+                }
+            }
         }
         buf
     }
@@ -579,6 +689,16 @@ impl Reply {
                 Reply::Batch(items)
             }
             OP_STATS_RESULT => Reply::Stats(take_snapshot(&mut r)?),
+            OP_METRICS_TEXT => Reply::MetricsText(r.take_str()?),
+            OP_TRACES_RESULT => {
+                // minimum encoded trace: 8-byte elapsed + 4-byte event count
+                let count = r.take_count("trace", 12)?;
+                let mut traces = Vec::with_capacity(count);
+                for _ in 0..count {
+                    traces.push(take_trace(&mut r)?);
+                }
+                Reply::Traces(traces)
+            }
             tag => {
                 return Err(FrameError::UnknownTag {
                     what: "reply opcode",
@@ -839,6 +959,65 @@ fn take_snapshot(r: &mut Reader<'_>) -> Result<Snapshot, FrameError> {
     })
 }
 
+fn take_bool(r: &mut Reader<'_>, what: &'static str) -> Result<bool, FrameError> {
+    match r.take_u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        tag => Err(FrameError::UnknownTag { what, tag }),
+    }
+}
+
+fn take_trace(r: &mut Reader<'_>) -> Result<QueryTrace, FrameError> {
+    let elapsed_ns = r.take_u64()?;
+    // minimum encoded span event: 1-byte tag + 8-byte rows + 1-byte flag
+    // (Materialize, the smallest variant)
+    let events_len = r.take_count("span event", 10)?;
+    let mut events = Vec::with_capacity(events_len);
+    for _ in 0..events_len {
+        let event = match r.take_u8()? {
+            SPAN_PLAN => SpanEvent::Plan {
+                driver_column: match take_bool(r, "driver column presence")? {
+                    false => None,
+                    true => Some(r.take_str()?),
+                },
+                estimated_selectivity: f64::from_bits(r.take_u64()?),
+                residual_predicates: r.take_u64()?,
+            },
+            SPAN_INDEX_PROBE => SpanEvent::IndexProbe {
+                column: r.take_str()?,
+                strategy: r.take_str()?,
+                probes: r.take_u64()?,
+                pieces_before: r.take_u64()?,
+                pieces_after: r.take_u64()?,
+                effort_delta: r.take_u64()?,
+                rebuilt: take_bool(r, "rebuilt flag")?,
+                lagging_scan: take_bool(r, "lagging-scan flag")?,
+            },
+            SPAN_ZONE_MAP_PRUNE => SpanEvent::ZoneMapPrune {
+                chunks_scanned: r.take_u64()?,
+                chunks_pruned: r.take_u64()?,
+            },
+            SPAN_RESIDUAL_FILTER => SpanEvent::ResidualFilter {
+                column: r.take_str()?,
+                candidates_in: r.take_u64()?,
+                rows_out: r.take_u64()?,
+            },
+            SPAN_MATERIALIZE => SpanEvent::Materialize {
+                rows: r.take_u64()?,
+                aggregated: take_bool(r, "aggregated flag")?,
+            },
+            tag => {
+                return Err(FrameError::UnknownTag {
+                    what: "span event",
+                    tag,
+                })
+            }
+        };
+        events.push(event);
+    }
+    Ok(QueryTrace { events, elapsed_ns })
+}
+
 // ---------------------------------------------------------------------------
 // Frame I/O
 // ---------------------------------------------------------------------------
@@ -1054,6 +1233,152 @@ mod tests {
         put_u32(&mut buf, u32::MAX); // hostile bucket count
         let err = Reply::decode(&buf).unwrap_err();
         assert!(matches!(err, FrameError::CountOverflow { .. }), "{err:?}");
+    }
+
+    fn sample_trace() -> QueryTrace {
+        QueryTrace {
+            events: vec![
+                SpanEvent::Plan {
+                    driver_column: Some("ts".into()),
+                    estimated_selectivity: 0.125,
+                    residual_predicates: 1,
+                },
+                SpanEvent::IndexProbe {
+                    column: "ts".into(),
+                    strategy: "cracking".into(),
+                    probes: 2,
+                    pieces_before: 3,
+                    pieces_after: 7,
+                    effort_delta: 4096,
+                    rebuilt: true,
+                    lagging_scan: false,
+                },
+                SpanEvent::ZoneMapPrune {
+                    chunks_scanned: 2,
+                    chunks_pruned: 6,
+                },
+                SpanEvent::ResidualFilter {
+                    column: "kind".into(),
+                    candidates_in: 100,
+                    rows_out: 20,
+                },
+                SpanEvent::Materialize {
+                    rows: 20,
+                    aggregated: true,
+                },
+            ],
+            elapsed_ns: 123_456,
+        }
+    }
+
+    #[test]
+    fn metrics_and_traces_requests_and_replies_roundtrip() {
+        for request in [Request::Metrics, Request::Traces] {
+            assert_eq!(Request::decode(&request.encode()).unwrap(), request);
+        }
+        let planless = QueryTrace {
+            events: vec![SpanEvent::Plan {
+                driver_column: None,
+                estimated_selectivity: 1.0,
+                residual_predicates: 0,
+            }],
+            elapsed_ns: 7,
+        };
+        let replies = [
+            Reply::MetricsText(String::new()),
+            Reply::MetricsText("# TYPE engine_queries_served counter\nnaïve 1\n".into()),
+            Reply::Traces(Vec::new()),
+            Reply::Traces(vec![sample_trace(), planless]),
+        ];
+        for reply in replies {
+            let encoded = reply.encode();
+            assert_eq!(Reply::decode(&encoded).unwrap(), reply, "{reply:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_traces_replies_are_typed_errors() {
+        let encoded = Reply::Traces(vec![sample_trace()]).encode();
+        for cut in 1..encoded.len() {
+            let err = Reply::decode(&encoded[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    FrameError::Truncated | FrameError::CountOverflow { .. }
+                ),
+                "cut at {cut}: {err:?}"
+            );
+        }
+        // a reply claiming 4 billion traces in a tiny payload
+        let mut buf = vec![OP_TRACES_RESULT];
+        put_u32(&mut buf, u32::MAX);
+        let err = Reply::decode(&buf).unwrap_err();
+        assert!(matches!(err, FrameError::CountOverflow { .. }), "{err:?}");
+        // one trace claiming 4 billion span events
+        let mut buf = vec![OP_TRACES_RESULT];
+        put_u32(&mut buf, 1);
+        put_u64(&mut buf, 0); // elapsed_ns
+        put_u32(&mut buf, u32::MAX); // hostile event count
+        let err = Reply::decode(&buf).unwrap_err();
+        assert!(matches!(err, FrameError::CountOverflow { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn hostile_span_tags_and_flags_are_typed_errors() {
+        // an unknown span-event tag
+        let mut buf = vec![OP_TRACES_RESULT];
+        put_u32(&mut buf, 1);
+        put_u64(&mut buf, 0);
+        put_u32(&mut buf, 1);
+        put_u8(&mut buf, 9);
+        buf.extend_from_slice(&[0u8; 16]); // satisfy the per-event size floor
+        assert!(matches!(
+            Reply::decode(&buf).unwrap_err(),
+            FrameError::UnknownTag {
+                what: "span event",
+                tag: 9
+            }
+        ));
+        // a Materialize whose aggregated flag is neither 0 nor 1
+        let mut buf = vec![OP_TRACES_RESULT];
+        put_u32(&mut buf, 1);
+        put_u64(&mut buf, 0);
+        put_u32(&mut buf, 1);
+        put_u8(&mut buf, SPAN_MATERIALIZE);
+        put_u64(&mut buf, 5);
+        put_u8(&mut buf, 2);
+        assert!(matches!(
+            Reply::decode(&buf).unwrap_err(),
+            FrameError::UnknownTag {
+                what: "aggregated flag",
+                tag: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn trace_floats_roundtrip_bit_exactly() {
+        for v in [0.0f64, -0.0, f64::NAN, 1.5e-300] {
+            let reply = Reply::Traces(vec![QueryTrace {
+                events: vec![SpanEvent::Plan {
+                    driver_column: None,
+                    estimated_selectivity: v,
+                    residual_predicates: 0,
+                }],
+                elapsed_ns: 1,
+            }]);
+            let decoded = Reply::decode(&reply.encode()).unwrap();
+            match decoded {
+                Reply::Traces(traces) => match &traces[0].events[0] {
+                    SpanEvent::Plan {
+                        estimated_selectivity,
+                        ..
+                    } => assert_eq!(estimated_selectivity.to_bits(), v.to_bits()),
+                    other => panic!("{other:?}"),
+                },
+                other => panic!("{other:?}"),
+            }
+        }
     }
 
     #[test]

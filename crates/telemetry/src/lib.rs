@@ -15,6 +15,16 @@
 //!   [`SpanEvent`]s (plan, index probe with refinement-effort delta,
 //!   zone-map pruning, residual filter, materialize), with a human-readable
 //!   text render.
+//! * [`Reporter`] / [`SnapshotDelta`] — the continuous view: successive
+//!   snapshots diffed into per-interval rates and *windowed* histogram
+//!   quantiles, kept in a bounded ring. The convergence claim is about the
+//!   derivative of refinement effort; this is where the derivative lives.
+//! * [`TraceSampler`] — every-Nth-query tracing (one relaxed `fetch_add`
+//!   on the unsampled path) feeding a recent-trace ring and a slowest-K
+//!   reservoir, so a production server always has traces on hand.
+//! * [`Snapshot::render_prometheus`] — Prometheus text exposition of any
+//!   snapshot, for scrape-based monitoring via the server's `METRICS`
+//!   opcode.
 //!
 //! The crate is std-only and engine-agnostic: it knows the *vocabulary* of
 //! the adaptive engine (pieces, refinement effort, pruning) but holds no
@@ -24,10 +34,16 @@
 #![deny(missing_docs)]
 
 mod metrics;
+mod prom;
+mod report;
+mod sample;
 mod trace;
 
 pub use metrics::{
     Counter, CounterSnapshot, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot, Registry,
     Snapshot, HISTOGRAM_BUCKETS,
 };
+pub use prom::sanitize_metric_name;
+pub use report::{CounterDelta, GaugeDelta, Reporter, SnapshotDelta};
+pub use sample::TraceSampler;
 pub use trace::{QueryTrace, SpanEvent, TraceRecorder};

@@ -96,7 +96,7 @@ fn bucket_index(value: u64) -> usize {
 }
 
 /// Largest value bucket `i` can hold (the value percentiles report).
-fn bucket_upper_bound(i: usize) -> u64 {
+pub(crate) fn bucket_upper_bound(i: usize) -> u64 {
     match i {
         0 => 0,
         64 => u64::MAX,
@@ -185,8 +185,17 @@ impl HistogramSnapshot {
     }
 
     /// The value below which a fraction `q` (0.0..=1.0) of observations
-    /// fall, reported as the upper bound of the qualifying log₂ bucket
-    /// (within 2× of the true quantile). `None` when empty.
+    /// fall, reported as the upper bound of the qualifying log₂ bucket.
+    /// `None` when empty.
+    ///
+    /// # Error bound
+    ///
+    /// The reported value `r` always satisfies `t <= r < 2·t` where `t` is
+    /// the true quantile (for `t >= 1`; the value 0 has its own exact
+    /// bucket). In other words the estimate is never below the truth and
+    /// strictly less than 2× above it — the log₂ buckets trade per-value
+    /// precision for a fixed footprint, which is the right resolution for
+    /// "did p99 double?" questions but not for micro-benchmarks.
     pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
             return None;
@@ -220,6 +229,15 @@ impl HistogramSnapshot {
     /// Exact arithmetic mean of the recorded values. `None` when empty.
     pub fn mean(&self) -> Option<f64> {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Mean as a whole number (`sum / count`, truncating). Unlike
+    /// [`HistogramSnapshot::quantile`] this is *exact* up to the integer
+    /// truncation, because `sum` accumulates raw values, not bucket bounds.
+    /// Interval reporters use it for "average latency this window" lines.
+    /// `None` when empty.
+    pub fn approx_mean(&self) -> Option<u64> {
+        (self.count > 0).then(|| self.sum / self.count)
     }
 
     /// Fold another snapshot of the *same metric* in (bucket-wise sum).
@@ -308,15 +326,25 @@ impl Snapshot {
     /// Human-readable multi-line render (the `STATS` debug view):
     /// counters and gauges one per line, histograms with count/mean/p50/
     /// p90/p99. Latency metrics (named `*_ns`) render in adaptive units.
+    ///
+    /// Output is deterministic: each section is rendered in name order even
+    /// when the snapshot itself was assembled out of order (hand-built or
+    /// merged snapshots), so successive renders diff cleanly.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
-        for c in &self.counters {
+        let mut counters: Vec<_> = self.counters.iter().collect();
+        counters.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut gauges: Vec<_> = self.gauges.iter().collect();
+        gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut histograms: Vec<_> = self.histograms.iter().collect();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        for c in counters {
             let _ = writeln!(out, "{:<44} {}", c.name, c.value);
         }
-        for g in &self.gauges {
+        for g in gauges {
             let _ = writeln!(out, "{:<44} {}", g.name, g.value);
         }
-        for h in &self.histograms {
+        for h in histograms {
             let nanos = h.name.ends_with("_ns");
             let scaled = |v: u64| {
                 if nanos {
@@ -343,7 +371,7 @@ impl Snapshot {
 }
 
 /// Render a nanosecond reading with an adaptive unit.
-fn format_ns(ns: u64) -> String {
+pub(crate) fn format_ns(ns: u64) -> String {
     if ns >= 1_000_000_000 {
         format!("{:.2}s", ns as f64 / 1e9)
     } else if ns >= 1_000_000 {
@@ -571,6 +599,73 @@ mod tests {
         assert!(text.contains("9"));
         assert!(text.contains("server.query_ns"));
         assert!(text.contains("ms"), "latency rendered with a unit: {text}");
+    }
+
+    #[test]
+    fn approx_mean_is_truncating_sum_over_count() {
+        let h = Histogram::new();
+        h.record(10);
+        h.record(11);
+        let snap = h.snapshot("t");
+        assert_eq!(snap.approx_mean(), Some(10)); // 21 / 2 truncates
+        assert_eq!(snap.mean(), Some(10.5));
+        assert_eq!(HistogramSnapshot::empty("t").approx_mean(), None);
+    }
+
+    #[test]
+    fn quantile_error_bound_holds_across_magnitudes() {
+        for true_value in [1u64, 7, 100, 4096, 1_000_000, u64::MAX / 2] {
+            let h = Histogram::new();
+            h.record(true_value);
+            let reported = h.snapshot("t").p50().unwrap();
+            assert!(reported >= true_value, "never below truth");
+            assert!(
+                reported / 2 < true_value,
+                "strictly under 2x: {reported} vs {true_value}"
+            );
+        }
+    }
+
+    #[test]
+    fn render_text_is_deterministic_for_unsorted_snapshots() {
+        // hand-assemble a snapshot in reverse name order; render must not
+        // depend on insertion order
+        let unsorted = Snapshot {
+            counters: vec![
+                CounterSnapshot {
+                    name: "z.counter".into(),
+                    value: 2,
+                },
+                CounterSnapshot {
+                    name: "a.counter".into(),
+                    value: 1,
+                },
+            ],
+            gauges: vec![
+                GaugeSnapshot {
+                    name: "z.gauge".into(),
+                    value: -1,
+                },
+                GaugeSnapshot {
+                    name: "a.gauge".into(),
+                    value: 5,
+                },
+            ],
+            histograms: vec![
+                HistogramSnapshot::empty("z.hist"),
+                HistogramSnapshot::empty("a.hist"),
+            ],
+        };
+        let mut sorted = unsorted.clone();
+        sorted.counters.sort_by(|a, b| a.name.cmp(&b.name));
+        sorted.gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        sorted.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        assert_ne!(unsorted.counters, sorted.counters, "fixture is unsorted");
+        assert_eq!(unsorted.render_text(), sorted.render_text());
+        let text = unsorted.render_text();
+        let a_pos = text.find("a.counter").unwrap();
+        let z_pos = text.find("z.counter").unwrap();
+        assert!(a_pos < z_pos, "sections render in name order");
     }
 
     #[test]

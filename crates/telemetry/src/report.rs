@@ -1,0 +1,404 @@
+//! The rate reporter: diffs successive [`Snapshot`]s into windowed
+//! [`SnapshotDelta`]s and keeps a bounded ring of recent intervals.
+//!
+//! A cumulative snapshot answers "how much ever"; an operator watching a
+//! live server needs "how much *lately*". [`Reporter::tick`] subtracts the
+//! previous snapshot from the current one: counters become per-interval
+//! deltas (and rates once divided by the interval), histograms become
+//! *windowed* distributions (bucket-wise difference, so p50/p99/mean are
+//! computed over only this interval's observations), and gauges report
+//! their current level plus how far they moved. For adaptive indexing this
+//! is the signal that matters: the paper's convergence claim is about the
+//! *derivative* of refinement effort, invisible in cumulative totals.
+
+use crate::metrics::{format_ns, HistogramSnapshot, Snapshot};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// One counter's change over an interval.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterDelta {
+    /// Registry name.
+    pub name: String,
+    /// Events in this interval (`next - prev`, saturating: a counter new
+    /// to this interval counts from zero).
+    pub delta: u64,
+}
+
+/// One gauge's level and movement over an interval.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GaugeDelta {
+    /// Registry name.
+    pub name: String,
+    /// Level at the end of the interval.
+    pub level: i64,
+    /// Movement across the interval (`next - prev`, saturating).
+    pub delta: i64,
+}
+
+/// The difference between two successive snapshots: everything that
+/// happened in one reporting interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotDelta {
+    /// Wall-clock length of the interval, in nanoseconds.
+    pub interval_ns: u64,
+    /// Per-counter event deltas, sorted by name.
+    pub counters: Vec<CounterDelta>,
+    /// Per-gauge levels and movements, sorted by name.
+    pub gauges: Vec<GaugeDelta>,
+    /// Windowed histograms (bucket-wise `next - prev`), sorted by name:
+    /// quantiles and means computed on these cover only this interval.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl SnapshotDelta {
+    /// Compute the delta `next - prev` over a wall-clock `interval`.
+    ///
+    /// Metrics present only in `next` are treated as starting from zero
+    /// (they were registered mid-interval); metrics present only in `prev`
+    /// are dropped (they no longer exist — nothing to report). Counter
+    /// regressions (a restarted peer) clamp to zero rather than wrapping.
+    pub fn between(prev: &Snapshot, next: &Snapshot, interval: Duration) -> SnapshotDelta {
+        let counters = next
+            .counters
+            .iter()
+            .map(|c| CounterDelta {
+                name: c.name.clone(),
+                delta: c.value.saturating_sub(prev.counter(&c.name).unwrap_or(0)),
+            })
+            .collect();
+        let gauges = next
+            .gauges
+            .iter()
+            .map(|g| GaugeDelta {
+                name: g.name.clone(),
+                level: g.value,
+                delta: g.value.saturating_sub(prev.gauge(&g.name).unwrap_or(0)),
+            })
+            .collect();
+        let histograms = next
+            .histograms
+            .iter()
+            .map(|h| {
+                let mut windowed = HistogramSnapshot {
+                    name: h.name.clone(),
+                    count: h.count,
+                    sum: h.sum,
+                    buckets: h.buckets.clone(),
+                };
+                if let Some(prev_h) = prev.histogram(&h.name) {
+                    windowed.count = windowed.count.saturating_sub(prev_h.count);
+                    windowed.sum = windowed.sum.saturating_sub(prev_h.sum);
+                    for (mine, old) in windowed.buckets.iter_mut().zip(&prev_h.buckets) {
+                        *mine = mine.saturating_sub(*old);
+                    }
+                }
+                windowed
+            })
+            .collect();
+        let mut delta = SnapshotDelta {
+            interval_ns: u64::try_from(interval.as_nanos()).unwrap_or(u64::MAX),
+            counters,
+            gauges,
+            histograms,
+        };
+        delta.counters.sort_by(|a, b| a.name.cmp(&b.name));
+        delta.gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        delta.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        delta
+    }
+
+    /// Interval length in (fractional) seconds, never zero — rate
+    /// computations divide by this.
+    pub fn interval_secs(&self) -> f64 {
+        (self.interval_ns as f64 / 1e9).max(1e-9)
+    }
+
+    /// Events of the named counter in this interval.
+    pub fn counter_delta(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.delta)
+    }
+
+    /// Per-second rate of the named counter over this interval.
+    pub fn counter_rate(&self, name: &str) -> Option<f64> {
+        self.counter_delta(name)
+            .map(|d| d as f64 / self.interval_secs())
+    }
+
+    /// Level of the named gauge at the end of the interval.
+    pub fn gauge_level(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.level)
+    }
+
+    /// The named *windowed* histogram: quantiles/means cover only this
+    /// interval's observations.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// True when nothing moved in the interval (all counter deltas zero,
+    /// all windowed histograms empty; gauge levels are ignored — a steady
+    /// nonzero gauge is not activity).
+    pub fn is_quiet(&self) -> bool {
+        self.counters.iter().all(|c| c.delta == 0) && self.histograms.iter().all(|h| h.count == 0)
+    }
+
+    /// Human-readable interval report: rates for counters that moved,
+    /// levels for gauges, windowed count/mean/p50/p99 for histograms that
+    /// saw observations. Quiet metrics are omitted — this is a change log,
+    /// not an inventory. Deterministic (inputs are kept name-sorted).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "interval {}", format_ns(self.interval_ns));
+        for c in self.counters.iter().filter(|c| c.delta > 0) {
+            let _ = writeln!(
+                out,
+                "{:<44} +{} ({:.1}/s)",
+                c.name,
+                c.delta,
+                c.delta as f64 / self.interval_secs()
+            );
+        }
+        for g in &self.gauges {
+            let _ = writeln!(out, "{:<44} level={} ({:+})", g.name, g.level, g.delta);
+        }
+        for h in self.histograms.iter().filter(|h| h.count > 0) {
+            let nanos = h.name.ends_with("_ns");
+            let scaled = |v: u64| if nanos { format_ns(v) } else { v.to_string() };
+            let _ = writeln!(
+                out,
+                "{:<44} n={} mean={} p50={} p99={}",
+                h.name,
+                h.count,
+                h.approx_mean().map(&scaled).unwrap_or_else(|| "-".into()),
+                h.p50().map(&scaled).unwrap_or_else(|| "-".into()),
+                h.p99().map(&scaled).unwrap_or_else(|| "-".into()),
+            );
+        }
+        out
+    }
+}
+
+/// Diffs successive snapshots and keeps a bounded ring of recent
+/// [`SnapshotDelta`]s (oldest evicted first).
+///
+/// The reporter is deliberately passive about *time*: the caller supplies
+/// the interval with each tick (the maintenance scheduler measures it; a
+/// test passes a constant), so reports are deterministic under test and
+/// honest under irregular scheduling. Not internally synchronized — wrap
+/// in a mutex to share.
+#[derive(Debug)]
+pub struct Reporter {
+    capacity: usize,
+    prev: Option<Snapshot>,
+    ring: VecDeque<SnapshotDelta>,
+}
+
+impl Reporter {
+    /// A reporter keeping at most `capacity` recent deltas (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Reporter {
+            capacity: capacity.max(1),
+            prev: None,
+            ring: VecDeque::new(),
+        }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Absorb the next snapshot, taken `interval` after the previous one.
+    ///
+    /// The first tick only primes the baseline and returns `None`; every
+    /// later tick returns the freshly computed delta (also pushed into the
+    /// ring, evicting the oldest entry when full).
+    pub fn tick(&mut self, snapshot: Snapshot, interval: Duration) -> Option<&SnapshotDelta> {
+        let delta = self
+            .prev
+            .as_ref()
+            .map(|prev| SnapshotDelta::between(prev, &snapshot, interval));
+        self.prev = Some(snapshot);
+        let delta = delta?;
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(delta);
+        self.ring.back()
+    }
+
+    /// The most recent delta, if any tick has completed an interval.
+    pub fn latest(&self) -> Option<&SnapshotDelta> {
+        self.ring.back()
+    }
+
+    /// Recent deltas, oldest first.
+    pub fn recent(&self) -> impl Iterator<Item = &SnapshotDelta> {
+        self.ring.iter()
+    }
+
+    /// Number of deltas currently held.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True before the first completed interval.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn first_tick_primes_later_ticks_diff() {
+        let registry = Registry::new();
+        let counter = registry.counter("engine.queries_served");
+        let hist = registry.histogram("engine.query_ns");
+        let mut reporter = Reporter::new(4);
+        counter.add(10);
+        hist.record(100);
+        assert!(reporter
+            .tick(registry.snapshot(), Duration::from_secs(1))
+            .is_none());
+        counter.add(5);
+        hist.record(200);
+        hist.record(300);
+        let delta = reporter
+            .tick(registry.snapshot(), Duration::from_secs(2))
+            .expect("second tick yields a delta")
+            .clone();
+        assert_eq!(delta.counter_delta("engine.queries_served"), Some(5));
+        assert_eq!(delta.counter_rate("engine.queries_served"), Some(2.5));
+        let windowed = delta.histogram("engine.query_ns").unwrap();
+        assert_eq!(windowed.count, 2, "only this interval's observations");
+        assert_eq!(windowed.sum, 500);
+        assert_eq!(windowed.approx_mean(), Some(250));
+        assert!(!delta.is_quiet());
+    }
+
+    #[test]
+    fn windowed_quantiles_see_only_the_interval() {
+        let registry = Registry::new();
+        let hist = registry.histogram("h");
+        let mut reporter = Reporter::new(4);
+        // first interval: a thousand large values
+        for _ in 0..1000 {
+            hist.record(1_000_000);
+        }
+        reporter.tick(registry.snapshot(), Duration::from_secs(1));
+        // second interval: ten small values — cumulative p50 would still be
+        // ~1e6, the windowed p50 must be small
+        for _ in 0..10 {
+            hist.record(8);
+        }
+        let delta = reporter
+            .tick(registry.snapshot(), Duration::from_secs(1))
+            .unwrap();
+        let windowed = delta.histogram("h").unwrap();
+        assert_eq!(windowed.count, 10);
+        assert!(windowed.p50().unwrap() <= 15, "windowed, not cumulative");
+        assert!(windowed.p99().unwrap() <= 15);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_evicts_oldest() {
+        let registry = Registry::new();
+        let counter = registry.counter("c");
+        let mut reporter = Reporter::new(2);
+        reporter.tick(registry.snapshot(), Duration::from_secs(1));
+        for i in 0..5u64 {
+            counter.add(i + 1);
+            reporter.tick(registry.snapshot(), Duration::from_secs(1));
+        }
+        assert_eq!(reporter.len(), 2);
+        let deltas: Vec<u64> = reporter
+            .recent()
+            .map(|d| d.counter_delta("c").unwrap())
+            .collect();
+        assert_eq!(deltas, vec![4, 5], "oldest intervals evicted first");
+        assert_eq!(reporter.latest().unwrap().counter_delta("c"), Some(5));
+    }
+
+    #[test]
+    fn quiet_interval_detection_and_new_metric_baseline() {
+        let registry = Registry::new();
+        registry.counter("c").add(3);
+        let mut reporter = Reporter::new(4);
+        reporter.tick(registry.snapshot(), Duration::from_secs(1));
+        let delta = reporter
+            .tick(registry.snapshot(), Duration::from_secs(1))
+            .unwrap();
+        assert!(delta.is_quiet(), "nothing moved");
+        assert_eq!(delta.counter_delta("c"), Some(0));
+        // a counter born mid-interval counts from zero
+        registry.counter("newborn").add(7);
+        let delta = reporter
+            .tick(registry.snapshot(), Duration::from_secs(1))
+            .unwrap()
+            .clone();
+        assert_eq!(delta.counter_delta("newborn"), Some(7));
+        assert!(!delta.is_quiet());
+    }
+
+    #[test]
+    fn gauge_levels_and_movement() {
+        let registry = Registry::new();
+        let gauge = registry.gauge("depth");
+        gauge.set(10);
+        let mut reporter = Reporter::new(4);
+        reporter.tick(registry.snapshot(), Duration::from_secs(1));
+        gauge.set(4);
+        let delta = reporter
+            .tick(registry.snapshot(), Duration::from_secs(1))
+            .unwrap();
+        assert_eq!(delta.gauge_level("depth"), Some(4));
+        assert_eq!(delta.gauges[0].delta, -6);
+    }
+
+    #[test]
+    fn render_text_reports_rates_and_windowed_quantiles() {
+        let registry = Registry::new();
+        registry.counter("engine.queries_served").add(100);
+        registry.histogram("engine.query_ns").record(2_000_000);
+        let mut reporter = Reporter::new(4);
+        reporter.tick(registry.snapshot(), Duration::from_secs(1));
+        registry.counter("engine.queries_served").add(50);
+        registry.histogram("engine.query_ns").record(4_000_000);
+        let text = reporter
+            .tick(registry.snapshot(), Duration::from_secs(5))
+            .unwrap()
+            .render_text();
+        assert!(text.contains("interval 5.00s"), "{text}");
+        assert!(text.contains("+50"), "{text}");
+        assert!(text.contains("10.0/s"), "{text}");
+        assert!(text.contains("n=1"), "{text}");
+        assert!(text.contains("ms"), "windowed latency in adaptive units");
+    }
+
+    #[test]
+    fn delta_serde_round_trips() {
+        let registry = Registry::new();
+        registry.counter("c").add(1);
+        registry.gauge("g").set(2);
+        registry.histogram("h").record(3);
+        let mut reporter = Reporter::new(4);
+        reporter.tick(registry.snapshot(), Duration::from_secs(1));
+        registry.counter("c").add(1);
+        let delta = reporter
+            .tick(registry.snapshot(), Duration::from_secs(1))
+            .unwrap();
+        let json = serde_json::to_string(delta).unwrap();
+        let back: SnapshotDelta = serde_json::from_str(&json).unwrap();
+        assert_eq!(*delta, back);
+    }
+}

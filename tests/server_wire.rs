@@ -329,6 +329,74 @@ fn malformed_stats_request_gets_typed_error() {
 }
 
 #[test]
+fn metrics_and_traces_roundtrip_over_a_live_socket() {
+    let (server, db) = served(ServerConfig::localhost());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    // the reply-timeout guard: a hanging METRICS/TRACES dispatch fails the
+    // test instead of wedging it
+    client
+        .set_reply_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // default 1/64 sampling: the first query is always sampled
+    client
+        .query(&Query::table("events").range("k", 100, 400))
+        .unwrap();
+
+    let text = client.metrics_text().unwrap();
+    assert!(text.contains("# TYPE engine_query_ns histogram"), "{text}");
+    assert!(text.contains("engine_queries_served 1\n"), "{text}");
+    assert!(text.contains("server_queries_served 1\n"), "{text}");
+    // every non-comment line is `name[{labels}] value` with a numeric value
+    for line in text.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.rsplit_once(' ').expect("sample line has a value");
+        assert!(!name.is_empty() && value.parse::<f64>().is_ok(), "{line:?}");
+    }
+
+    let traces = client.traces().unwrap();
+    assert_eq!(traces, db.recent_traces(), "wire ring == embedded ring");
+    assert_eq!(traces.len(), 1);
+    assert!(traces[0].refinement_effort() > 0, "the query cracked");
+
+    // both dispatches are instrumented; the next scrape sees them
+    let snapshot = client.stats().unwrap();
+    assert_eq!(snapshot.histogram("server.metrics_ns").unwrap().count, 1);
+    assert_eq!(snapshot.histogram("server.traces_ns").unwrap().count, 1);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_metrics_and_traces_requests_get_typed_errors() {
+    let (server, _db) = served(ServerConfig::localhost());
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    // METRICS and TRACES requests are fixed-size opcodes: trailing bytes
+    // are malformed frames, answered without closing the connection
+    for opcode in [0x06u8, 0x07] {
+        write_frame(&mut stream, &[opcode, 0xAA]).unwrap();
+        match raw_reply(&mut stream).unwrap() {
+            Some(Reply::Error(e)) => assert_eq!(e.code, ErrorCode::Malformed),
+            other => panic!("expected a typed malformed error, got {other:?}"),
+        }
+    }
+    // the same connection still answers the well-formed forms
+    write_frame(&mut stream, &[0x06]).unwrap();
+    match raw_reply(&mut stream).unwrap() {
+        Some(Reply::MetricsText(text)) => {
+            assert!(text.contains("server_errors_sent 2\n"), "{text}");
+        }
+        other => panic!("expected a metrics-text reply, got {other:?}"),
+    }
+    write_frame(&mut stream, &[0x07]).unwrap();
+    match raw_reply(&mut stream).unwrap() {
+        Some(Reply::Traces(traces)) => assert!(traces.is_empty(), "no queries ran"),
+        other => panic!("expected a traces reply, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
 fn inserts_over_the_wire_are_totally_ordered_with_queries() {
     let (server, db) = served(ServerConfig::localhost());
     let mut client = Client::connect(server.local_addr()).unwrap();
