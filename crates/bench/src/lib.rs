@@ -1,4 +1,4 @@
-//! Shared harness plumbing for the experiment binaries (`e01`…`e14`).
+//! Shared harness plumbing for the experiment binaries (`e01`…`e18`).
 //!
 //! Each binary reproduces one table/figure listed in `EXPERIMENTS.md`. They
 //! all follow the same recipe: generate a column and a query sequence from

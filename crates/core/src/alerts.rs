@@ -1,0 +1,242 @@
+//! Kernel-side alert runtime: evaluation cadence, default rules, and
+//! self-healing action execution.
+//!
+//! The rule engine itself lives in `aidx-telemetry`
+//! ([`aidx_telemetry::AlertEngine`]) and is deliberately inert — it
+//! detects, journals, and hands back [`AlertAction`]s. This module is the
+//! side with hands: it runs the engine once per completed reporter
+//! interval (both the explicit [`crate::Database::report_tick`] and the
+//! maintenance scheduler's reporter job funnel through
+//! `DbInner::observe_tick`), derives [`HealthSignal`]s from
+//! [`crate::IndexHealth`] when any rule watches verdicts, and *executes*
+//! what fires:
+//!
+//! * [`AlertAction::Log`] — the journal entry is the whole effect.
+//! * [`AlertAction::RefreshIndex`] — the closed loop the source papers
+//!   motivate: a column whose verdict says its workload has defeated its
+//!   strategy (plain cracking under strictly sequential ranges — the
+//!   "Stochastic Database Cracking" pathology) is force-rebuilt under
+//!   [`REMEDIAL_STRATEGY`] via [`crate::IndexManager::remediate_index`],
+//!   so convergence resumes instead of waiting for an operator.
+//! * [`AlertAction::TriggerCompaction`] — arms the maintenance
+//!   scheduler's compaction job to ignore its fragmentation slack on its
+//!   next slice (an eager pass), rather than re-entering the scheduler
+//!   from inside a job.
+
+use crate::db::DbInner;
+use crate::health;
+use crate::manager::ColumnId;
+use crate::strategy::StrategyKind;
+use aidx_telemetry::{
+    AlertAction, AlertCondition, AlertConfig, AlertEngine, AlertEvent, AlertRule, AlertStatus,
+    HealthSignal, SnapshotDelta,
+};
+use parking_lot::Mutex;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// The strategy a self-healing [`AlertAction::RefreshIndex`] rebuilds a
+/// column under: stochastic cracking, whose randomized auxiliary cuts are
+/// exactly the published fix for the sequential-workload stall that
+/// raises the `stalled` verdict in the first place.
+pub const REMEDIAL_STRATEGY: StrategyKind = StrategyKind::StochasticCracking;
+
+/// Default shed-rate threshold (requests/second shed for a sustained
+/// spike alert) in [`default_alert_rules`].
+pub const DEFAULT_SHED_RATE_PER_SEC: f64 = 50.0;
+
+/// Default WAL fsync p99 threshold in nanoseconds (50 ms) in
+/// [`default_alert_rules`].
+pub const DEFAULT_FSYNC_P99_NS: u64 = 50_000_000;
+
+/// The builder's "sensible defaults" rule set for
+/// [`crate::DatabaseBuilder::alerts`]:
+///
+/// * `shed-spike` — the server's admission control shed more than
+///   [`DEFAULT_SHED_RATE_PER_SEC`] requests/second for 2 consecutive
+///   intervals (the counter only moves when a server front-end shares the
+///   engine's registry; without one the rule stays idle).
+/// * `wal-fsync-slow` — windowed WAL fsync p99 above
+///   [`DEFAULT_FSYNC_P99_NS`] for 2 consecutive intervals (idle on
+///   non-durable databases — the histogram never registers).
+/// * `column-stalled` — any column's health verdict reads `stalled` for
+///   2 consecutive intervals; carries the self-healing
+///   [`AlertAction::RefreshIndex`] action (rebuild the stalled columns
+///   under [`REMEDIAL_STRATEGY`]).
+pub fn default_alert_rules() -> Vec<AlertRule> {
+    vec![
+        AlertRule::new(
+            "shed-spike",
+            AlertCondition::CounterRateAbove {
+                counter: "server.requests_shed".into(),
+                per_second: DEFAULT_SHED_RATE_PER_SEC,
+            },
+        )
+        .for_intervals(2)
+        .recovery_intervals(2),
+        AlertRule::new(
+            "wal-fsync-slow",
+            AlertCondition::HistogramQuantileAbove {
+                histogram: "wal.fsync_ns".into(),
+                quantile: 0.99,
+                threshold: DEFAULT_FSYNC_P99_NS,
+            },
+        )
+        .for_intervals(2)
+        .recovery_intervals(2),
+        AlertRule::new(
+            "column-stalled",
+            AlertCondition::HealthVerdictIs {
+                column: None,
+                verdicts: vec!["stalled".into()],
+            },
+        )
+        .for_intervals(2)
+        .recovery_intervals(2)
+        .action(AlertAction::RefreshIndex(None)),
+    ]
+}
+
+/// [`AlertConfig::default`] carrying [`default_alert_rules`] — the one-call
+/// form for [`crate::DatabaseBuilder::alerts`].
+pub fn default_alert_config() -> AlertConfig {
+    let mut config = AlertConfig::new();
+    config.rules = default_alert_rules();
+    config
+}
+
+/// The alert engine plus its configuration, hung off [`DbInner`] when the
+/// builder enabled alerting.
+pub(crate) struct AlertRuntime {
+    pub(crate) config: AlertConfig,
+    engine: Mutex<AlertEngine>,
+}
+
+impl AlertRuntime {
+    pub(crate) fn new(config: AlertConfig) -> Self {
+        AlertRuntime {
+            engine: Mutex::new(AlertEngine::new(config.clone())),
+            config,
+        }
+    }
+
+    pub(crate) fn status(&self) -> Vec<AlertStatus> {
+        self.engine.lock().status()
+    }
+
+    pub(crate) fn events(&self) -> Vec<AlertEvent> {
+        self.engine.lock().events()
+    }
+}
+
+/// Validate an [`AlertConfig`] at build time; returns `(parameter,
+/// reason)` on the first problem, builder-error style.
+pub(crate) fn validate_config(config: &AlertConfig) -> Result<(), (String, String)> {
+    if config.journal_capacity == 0 {
+        return Err((
+            "alerts.journal_capacity".into(),
+            "must retain at least 1 alert event".into(),
+        ));
+    }
+    for (i, rule) in config.rules.iter().enumerate() {
+        if rule.name.is_empty() {
+            return Err((
+                format!("alerts.rules[{i}].name"),
+                "must not be empty".into(),
+            ));
+        }
+        if config.rules[..i].iter().any(|r| r.name == rule.name) {
+            return Err((
+                format!("alerts.rules[{i}].name"),
+                format!("duplicate rule name {:?}", rule.name),
+            ));
+        }
+        if let AlertCondition::HistogramQuantileAbove { quantile, .. } = &rule.condition {
+            if !(0.0..=1.0).contains(quantile) || quantile.is_nan() {
+                return Err((
+                    format!("alerts.rules[{i}].quantile"),
+                    "must be within 0.0..=1.0".into(),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Evaluate the rule set against one freshly completed reporter interval
+/// and execute whatever fires. Called with the interval's delta from
+/// `DbInner::observe_tick`; a no-op when alerting is not configured.
+pub(crate) fn evaluate_tick(inner: &Arc<DbInner>, delta: &SnapshotDelta) {
+    let Some(alerts) = &inner.alerts else {
+        return;
+    };
+    let fired = {
+        let mut engine = alerts.engine.lock();
+        // deriving health walks the index registry and the trace ring —
+        // only pay for it when some rule actually watches verdicts
+        let signals: Vec<HealthSignal> = if engine.wants_health() {
+            health::derive_index_health(
+                &inner.manager.describe(),
+                &inner.observability.recent_traces(),
+            )
+            .iter()
+            .map(|h| HealthSignal::new(h.column.table(), h.column.column(), h.verdict.to_string()))
+            .collect()
+        } else {
+            Vec::new()
+        };
+        engine.evaluate(delta, &signals)
+    };
+    for alert in fired {
+        let columns = alert.columns;
+        match alert.action {
+            AlertAction::Log => {}
+            AlertAction::TriggerCompaction => inner.maintenance.request_compaction(),
+            AlertAction::RefreshIndex(target) => {
+                let specs = match target {
+                    Some(spec) => vec![spec],
+                    None => columns,
+                };
+                for spec in specs {
+                    // specs are the journal's qualified `table.column`
+                    // spellings; anything else is skipped, not an error —
+                    // the alert path must degrade, never die
+                    let Some((table, column)) = spec.split_once('.') else {
+                        continue;
+                    };
+                    remediate(inner, &ColumnId::new(table, column));
+                }
+            }
+        }
+    }
+}
+
+/// Force-rebuild one column's index under [`REMEDIAL_STRATEGY`] from a
+/// current catalog snapshot, with the same degrade-don't-die posture as
+/// the maintenance jobs (a dropped table or non-key column is a skip).
+fn remediate(inner: &Arc<DbInner>, column_id: &ColumnId) {
+    let snapshot = {
+        let catalog = inner.catalog.read();
+        catalog.table_snapshot(column_id.table()).ok()
+    };
+    let Some((snapshot, epoch)) = snapshot else {
+        return;
+    };
+    let Some(segment) = snapshot
+        .column(column_id.column())
+        .ok()
+        .and_then(|c| c.as_i64())
+    else {
+        return;
+    };
+    if inner
+        .manager
+        .remediate_index(column_id, segment, epoch, REMEDIAL_STRATEGY)
+    {
+        inner
+            .maintenance
+            .stats
+            .indexes_remediated
+            .fetch_add(1, Ordering::Relaxed);
+    }
+}

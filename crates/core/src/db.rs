@@ -10,6 +10,7 @@
 //! read query that *writes* — is serialized per column inside the
 //! [`IndexManager`], never globally.
 
+use crate::alerts::{self, AlertRuntime};
 use crate::durability::{self, CheckpointReport, DurabilityState};
 use crate::error::{AidxError, AidxResult};
 use crate::health::{self, IndexHealth};
@@ -25,7 +26,7 @@ use aidx_columnstore::table::Table;
 use aidx_columnstore::types::RowId;
 use aidx_cracking::updates::MergePolicy;
 use aidx_maintenance::{MaintenanceConfig, MaintenanceStatsSnapshot};
-use aidx_telemetry::{QueryTrace, SnapshotDelta};
+use aidx_telemetry::{AlertConfig, AlertEvent, AlertStatus, QueryTrace, Registry, SnapshotDelta};
 use aidx_wal::{DurabilityConfig, WalRecord, WalStatsSnapshot, WalTelemetry};
 use parking_lot::RwLock;
 use std::path::Path;
@@ -45,6 +46,24 @@ pub(crate) struct DbInner {
     /// Continuous observability: the every-Nth-query trace sampler and the
     /// snapshot-diffing reporter.
     pub(crate) observability: ObservabilityState,
+    /// The alert runtime, when the builder configured
+    /// [`DatabaseBuilder::alerts`]; `None` keeps evaluation entirely off the
+    /// reporter path.
+    pub(crate) alerts: Option<AlertRuntime>,
+}
+
+impl DbInner {
+    /// One full observability tick: run the reporter (snapshot + diff) and,
+    /// when a delta completed, feed it through the alert engine and execute
+    /// whatever fired. Every reporter cadence funnels through here — the
+    /// explicit [`Database::report_tick`] and the maintenance scheduler's
+    /// reporter job — so alert rules see *every* completed interval exactly
+    /// once, no matter who drives the clock.
+    pub(crate) fn observe_tick(self: &Arc<Self>) -> Option<SnapshotDelta> {
+        let delta = self.observability.report_tick(&self.telemetry)?;
+        alerts::evaluate_tick(self, &delta);
+        Some(delta)
+    }
 }
 
 /// Configures and builds a [`Database`].
@@ -78,6 +97,7 @@ pub struct DatabaseBuilder {
     telemetry: bool,
     trace_sampling: u64,
     report_capacity: usize,
+    alerts: Option<AlertConfig>,
 }
 
 /// Default [`DatabaseBuilder::trace_sampling`] period: trace 1 query in 64.
@@ -135,6 +155,7 @@ impl Default for DatabaseBuilder {
             telemetry: true,
             trace_sampling: DEFAULT_TRACE_SAMPLING,
             report_capacity: DEFAULT_REPORT_CAPACITY,
+            alerts: None,
         }
     }
 }
@@ -251,6 +272,21 @@ impl DatabaseBuilder {
         self
     }
 
+    /// Enable the closed-loop alert engine: declarative rules evaluated
+    /// against every completed reporter interval (explicit
+    /// [`Database::report_tick`] calls and the maintenance scheduler's
+    /// reporter job alike), with a bounded event journal and self-healing
+    /// actions — a firing rule can force-rebuild a stalled column under a
+    /// convergent strategy or arm an eager compaction pass. Start from
+    /// [`crate::alerts::default_alert_config`] for a sensible rule set, or
+    /// build an [`AlertConfig`] rule by rule. Invalid settings (empty or
+    /// duplicate rule names, a quantile outside `0..=1`, a zero journal)
+    /// surface as [`AidxError::Config`] from [`DatabaseBuilder::try_build`].
+    pub fn alerts(mut self, config: AlertConfig) -> Self {
+        self.alerts = Some(config);
+        self
+    }
+
     fn validate(&self) -> AidxResult<()> {
         if self.segment_capacity == 0 {
             return Err(AidxError::config(
@@ -308,6 +344,11 @@ impl DatabaseBuilder {
                 return Err(AidxError::config(format!("durability.{parameter}"), reason));
             }
         }
+        if let Some(config) = &self.alerts {
+            if let Err((parameter, reason)) = alerts::validate_config(config) {
+                return Err(AidxError::config(parameter, reason));
+            }
+        }
         Ok(())
     }
 
@@ -362,6 +403,7 @@ impl DatabaseBuilder {
             durability: durability.map(|outcome| outcome.state),
             telemetry,
             observability: ObservabilityState::new(self.trace_sampling, self.report_capacity),
+            alerts: self.alerts.map(AlertRuntime::new),
         });
         // jobs hold a Weak back-reference, so this must happen after the Arc
         // exists (and spawns the background thread when configured)
@@ -817,7 +859,7 @@ impl Database {
     /// # Ok::<(), aidx_core::AidxError>(())
     /// ```
     pub fn report_tick(&self) -> Option<SnapshotDelta> {
-        self.inner.observability.report_tick(&self.inner.telemetry)
+        self.inner.observe_tick()
     }
 
     /// Recent reporter intervals, oldest first (bounded by
@@ -859,6 +901,44 @@ impl Database {
             &self.inner.manager.describe(),
             &self.inner.observability.recent_traces(),
         )
+    }
+
+    /// Current per-rule alert states (one entry per configured rule, in
+    /// rule order): idle / pending / firing, consecutive breach and healthy
+    /// interval counts, the last breach observation, and how many times the
+    /// rule has fired. Empty when alerting is not configured.
+    pub fn alert_status(&self) -> Vec<AlertStatus> {
+        self.inner
+            .alerts
+            .as_ref()
+            .map(AlertRuntime::status)
+            .unwrap_or_default()
+    }
+
+    /// The alert event journal, oldest first (bounded by
+    /// [`AlertConfig::journal_capacity`]): every pending / firing / resolved
+    /// / cancelled transition with the reporter tick it happened on. Empty
+    /// when alerting is not configured.
+    pub fn alert_events(&self) -> Vec<AlertEvent> {
+        self.inner
+            .alerts
+            .as_ref()
+            .map(AlertRuntime::events)
+            .unwrap_or_default()
+    }
+
+    /// The alert configuration this database was built with, when alerting
+    /// is enabled.
+    pub fn alert_config(&self) -> Option<&AlertConfig> {
+        self.inner.alerts.as_ref().map(|a| &a.config)
+    }
+
+    /// The engine's metrics registry, shared: a front-end (like the TCP
+    /// server) that instruments itself on this registry gets its counters
+    /// into the engine's reporter deltas — and therefore in front of the
+    /// alert rules — instead of keeping a private, invisible registry.
+    pub fn metrics_registry(&self) -> Arc<Registry> {
+        self.inner.telemetry.registry_arc()
     }
 
     /// The operator's one-call console view: the latest reporter interval
@@ -1450,6 +1530,185 @@ mod tests {
     fn report_capacity_is_validated() {
         let err = Database::builder().report_capacity(0).try_build();
         assert!(matches!(err, Err(AidxError::Config { .. })), "{err:?}");
+    }
+
+    use aidx_telemetry::{AlertAction, AlertCondition, AlertEventKind, AlertRule, AlertState};
+
+    /// A rule any query activity breaches: served-query rate above one
+    /// query per two seconds.
+    fn any_query_rule(name: &str) -> AlertRule {
+        AlertRule::new(
+            name,
+            AlertCondition::CounterRateAbove {
+                counter: "engine.queries_served".into(),
+                per_second: 0.5,
+            },
+        )
+    }
+
+    #[test]
+    fn alert_config_is_validated() {
+        let bad = AlertConfig::new().journal_capacity(0);
+        let err = Database::builder().alerts(bad).try_build();
+        assert!(matches!(err, Err(AidxError::Config { .. })), "{err:?}");
+        let dup = AlertConfig::new()
+            .rule(any_query_rule("r"))
+            .rule(any_query_rule("r"));
+        let err = Database::builder().alerts(dup).try_build();
+        assert!(matches!(err, Err(AidxError::Config { .. })));
+        let bad_quantile = AlertConfig::new().rule(AlertRule::new(
+            "q",
+            AlertCondition::HistogramQuantileAbove {
+                histogram: "engine.query_ns".into(),
+                quantile: 1.5,
+                threshold: 1,
+            },
+        ));
+        let err = Database::builder().alerts(bad_quantile).try_build();
+        assert!(matches!(err, Err(AidxError::Config { .. })));
+        // no alerts configured: the surfaces are empty, not errors
+        let db = Database::builder().try_build().unwrap();
+        assert!(db.alert_status().is_empty());
+        assert!(db.alert_events().is_empty());
+        assert!(db.alert_config().is_none());
+    }
+
+    #[test]
+    fn alert_rides_report_tick_through_pending_firing_resolved() {
+        let config = AlertConfig::new().rule(
+            any_query_rule("query-activity")
+                .for_intervals(2)
+                .recovery_intervals(2),
+        );
+        let db = Database::builder().alerts(config).try_build().unwrap();
+        db.create_table("t", orders_table(500)).unwrap();
+        let session = db.session();
+        assert!(db.report_tick().is_none(), "first tick primes");
+        assert_eq!(db.alert_status()[0].state, AlertState::Idle);
+        // two breaching intervals arm then fire
+        session.query("t").range("o_key", 0, 50).execute().unwrap();
+        db.report_tick().unwrap();
+        assert_eq!(db.alert_status()[0].state, AlertState::Pending);
+        session.query("t").range("o_key", 50, 90).execute().unwrap();
+        db.report_tick().unwrap();
+        let status = &db.alert_status()[0];
+        assert_eq!(status.state, AlertState::Firing);
+        assert_eq!(status.times_fired, 1);
+        // two quiet intervals resolve
+        db.report_tick().unwrap();
+        assert_eq!(db.alert_status()[0].state, AlertState::Firing);
+        db.report_tick().unwrap();
+        assert_eq!(db.alert_status()[0].state, AlertState::Idle);
+        let kinds: Vec<AlertEventKind> = db.alert_events().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                AlertEventKind::Pending,
+                AlertEventKind::Firing,
+                AlertEventKind::Resolved
+            ]
+        );
+        assert_eq!(db.alert_config().unwrap().rules.len(), 1);
+    }
+
+    #[test]
+    fn stalled_verdict_remediates_the_column_onto_a_convergent_strategy() {
+        // strictly sequential ranges: plain cracking shaves one thin slice
+        // off the same huge piece every query, so windowed effort stays at
+        // the cumulative average and the verdict reads "stalled"
+        let config = AlertConfig::new().rule(
+            AlertRule::new(
+                "column-stalled",
+                AlertCondition::HealthVerdictIs {
+                    column: None,
+                    verdicts: vec!["stalled".into()],
+                },
+            )
+            .for_intervals(2)
+            .action(AlertAction::RefreshIndex(None)),
+        );
+        let db = Database::builder()
+            .trace_sampling(1)
+            .alerts(config)
+            .try_build()
+            .unwrap();
+        db.create_table("t", orders_table(20_000)).unwrap();
+        let session = db.session();
+        db.report_tick();
+        let step = 20_000 / 64;
+        for q in 0..40i64 {
+            let low = q * step;
+            session
+                .query("t")
+                .range("o_key", low, low + step)
+                .execute()
+                .unwrap();
+        }
+        assert_eq!(db.index_health()[0].verdict, crate::HealthVerdict::Stalled);
+        assert_eq!(db.index_stats()[0].strategy, "cracking");
+        db.report_tick().unwrap(); // pending
+        db.report_tick().unwrap(); // firing → RefreshIndex executes
+        assert_eq!(db.alert_status()[0].state, AlertState::Firing);
+        assert_eq!(db.maintenance_stats().indexes_remediated, 1);
+        let info = &db.index_stats()[0];
+        assert_eq!(info.strategy, "stochastic-cracking");
+        assert_eq!(info.queries, 0, "fresh build");
+        // the remediated index answers exactly like before
+        let result = session
+            .query("t")
+            .range("o_key", 100, 400)
+            .execute()
+            .unwrap();
+        assert_eq!(result.row_count(), 300);
+    }
+
+    #[test]
+    fn trigger_compaction_action_arms_an_eager_pass() {
+        let config = AlertConfig::new()
+            .rule(any_query_rule("eager-compact").action(AlertAction::TriggerCompaction));
+        let db = Database::builder()
+            .segment_capacity(64)
+            // generous slack: normal maintenance would never bother
+            .maintenance(aidx_maintenance::MaintenanceConfig {
+                max_chunk_slack: 1000.0,
+                ..Default::default()
+            })
+            .alerts(config)
+            .try_build()
+            .unwrap();
+        db.create_table("t", orders_table(256)).unwrap();
+        churn(&db, "t", 128);
+        let fragmented = db
+            .table_snapshot("t")
+            .unwrap()
+            .column("o_key")
+            .unwrap()
+            .as_i64()
+            .unwrap()
+            .sealed_chunk_count();
+        // within the configured slack: a regular tick compacts nothing
+        db.maintenance_tick();
+        assert_eq!(db.maintenance_stats().rows_compacted, 0);
+        db.report_tick();
+        db.session()
+            .query("t")
+            .range("o_key", 0, 100)
+            .execute()
+            .unwrap();
+        db.report_tick().unwrap(); // fires → arms the request flag
+        assert!(db.inner.maintenance.compaction_requested());
+        db.maintenance_tick(); // the armed slice ignores the slack
+        assert!(!db.inner.maintenance.compaction_requested(), "consumed");
+        assert!(db.maintenance_stats().rows_compacted > 0);
+        let after = db
+            .table_snapshot("t")
+            .unwrap()
+            .column("o_key")
+            .unwrap()
+            .as_i64()
+            .unwrap()
+            .sealed_chunk_count();
+        assert!(after < fragmented, "{after} vs {fragmented}");
     }
 
     #[test]

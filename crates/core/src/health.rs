@@ -49,6 +49,21 @@ impl fmt::Display for HealthVerdict {
     }
 }
 
+impl HealthVerdict {
+    /// Stable numeric code for metric exports (the value of the
+    /// `aidx_index_health{table,column}` Prometheus gauge): 0 converging,
+    /// 1 converged, 2 stalled, 3 regressing — ordered so "alert if ≥ 2"
+    /// captures both pathologies.
+    pub fn code(&self) -> u8 {
+        match self {
+            HealthVerdict::Converging => 0,
+            HealthVerdict::Converged => 1,
+            HealthVerdict::Stalled => 2,
+            HealthVerdict::Regressing => 3,
+        }
+    }
+}
+
 /// Health summary for one indexed column, as returned by
 /// [`crate::Database::index_health`].
 #[derive(Debug, Clone, PartialEq)]

@@ -91,6 +91,7 @@
 
 #![deny(missing_docs)]
 
+pub mod alerts;
 pub mod db;
 pub mod durability;
 pub mod error;
@@ -108,6 +109,7 @@ pub mod tuner;
 
 /// Convenient re-exports for typical kernel usage.
 pub mod prelude {
+    pub use crate::alerts::{default_alert_config, default_alert_rules, REMEDIAL_STRATEGY};
     pub use crate::db::{Database, DatabaseBuilder};
     pub use crate::durability::CheckpointReport;
     pub use crate::error::{AidxError, AidxResult};
@@ -126,13 +128,20 @@ pub mod prelude {
     pub use aidx_cracking::updates::MergePolicy;
     pub use aidx_maintenance::{MaintenanceConfig, MaintenanceStatsSnapshot};
     pub use aidx_parallel::ThreadPool;
-    pub use aidx_telemetry::{QueryTrace, Snapshot, SnapshotDelta, SpanEvent};
+    pub use aidx_telemetry::{
+        AlertAction, AlertCondition, AlertConfig, AlertEvent, AlertEventKind, AlertRule,
+        AlertState, AlertStatus, HealthSignal, QueryTrace, Snapshot, SnapshotDelta, SpanEvent,
+    };
     pub use aidx_wal::{DurabilityConfig, FsyncPolicy, WalStatsSnapshot};
 }
 
 pub use aidx_maintenance::{MaintenanceConfig, MaintenanceStatsSnapshot};
-pub use aidx_telemetry::{QueryTrace, Snapshot, SnapshotDelta, SpanEvent};
+pub use aidx_telemetry::{
+    AlertAction, AlertCondition, AlertConfig, AlertEvent, AlertEventKind, AlertRule, AlertState,
+    AlertStatus, HealthSignal, QueryTrace, Snapshot, SnapshotDelta, SpanEvent,
+};
 pub use aidx_wal::{DurabilityConfig, FsyncPolicy, WalStatsSnapshot};
+pub use alerts::{default_alert_config, default_alert_rules, REMEDIAL_STRATEGY};
 pub use db::{Database, DatabaseBuilder};
 pub use durability::CheckpointReport;
 pub use error::{AidxError, AidxResult};

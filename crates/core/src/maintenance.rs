@@ -34,7 +34,7 @@ use aidx_maintenance::{
 };
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock, Weak};
 
 /// Query-driven column-heat tracking: every executed query credits its
@@ -104,6 +104,11 @@ pub(crate) struct MaintenanceState {
     pub(crate) scheduler: OnceLock<Scheduler>,
     /// The dedicated maintenance thread, when `config.background` is set.
     pub(crate) background: Mutex<Option<aidx_maintenance::BackgroundLoop>>,
+    /// Armed by the alert runtime's `TriggerCompaction` action (which runs
+    /// *inside* a scheduler tick, so it cannot re-enter the scheduler);
+    /// consumed by the next compaction slice, which then ignores the
+    /// configured fragmentation slack — an eager pass.
+    compaction_requested: AtomicBool,
 }
 
 impl MaintenanceState {
@@ -114,7 +119,22 @@ impl MaintenanceState {
             hotness: Hotness::default(),
             scheduler: OnceLock::new(),
             background: Mutex::new(None),
+            compaction_requested: AtomicBool::new(false),
         }
+    }
+
+    /// Arm an eager compaction pass: the next compaction slice treats every
+    /// fragmented column as eligible regardless of the configured chunk
+    /// slack. Safe to call from inside a running maintenance job.
+    pub(crate) fn request_compaction(&self) {
+        self.compaction_requested.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether an eager compaction pass is armed (test hook; the consuming
+    /// side is the compaction slice itself).
+    #[cfg(test)]
+    pub(crate) fn compaction_requested(&self) -> bool {
+        self.compaction_requested.load(Ordering::Relaxed)
     }
 
     /// Wire the jobs (and, if configured, the background thread) onto a
@@ -216,6 +236,13 @@ impl MaintenanceJob for CompactionJob {
         let clock = inner.telemetry.clock();
         let config = &inner.maintenance.config;
         let stats = &inner.maintenance.stats;
+        // an armed eager pass (alert runtime's TriggerCompaction) is
+        // consumed by exactly one slice: every fragmented column is
+        // eligible, slack or not
+        let eager = inner
+            .maintenance
+            .compaction_requested
+            .swap(false, Ordering::Relaxed);
         let policy = CompactionPolicy {
             min_fill: config.min_chunk_fill,
         };
@@ -273,7 +300,7 @@ impl MaintenanceJob for CompactionJob {
                 // ignore columns whose chunk count is within the configured
                 // slack of ideal — not worth an epoch bump
                 let ideal = rows.div_ceil(capacity).max(1);
-                if (lens.len() as f64) <= config.max_chunk_slack * ideal as f64 {
+                if !eager && (lens.len() as f64) <= config.max_chunk_slack * ideal as f64 {
                     continue;
                 }
                 let plan = policy.plan(&lens, capacity, remaining);
@@ -460,7 +487,10 @@ impl MaintenanceJob for ReporterJob {
         if !inner.telemetry.enabled() {
             return TickOutcome::idle();
         }
-        inner.observability.report_tick(&inner.telemetry);
+        // the full observability tick: reporter diff plus alert evaluation
+        // (the alert runtime's actions are safe from inside a scheduler
+        // tick — compaction requests arm a flag, they don't re-enter)
+        inner.observe_tick();
         TickOutcome {
             units: 0,
             done: true,

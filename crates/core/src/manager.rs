@@ -700,6 +700,61 @@ impl IndexManager {
         true
     }
 
+    /// Replace a column's index with one freshly built under `strategy`,
+    /// stamped onto the caller's snapshot `epoch` — even when the current
+    /// index is fully up to date. Returns `true` when the swap happened.
+    ///
+    /// This is *remediation*, not re-derivation: [`refresh_index`] only
+    /// rebuilds a stale index (and keeps its strategy), which is exactly
+    /// right for background reconciliation but useless against the failure
+    /// the health monitor exists to catch — an up-to-date index whose
+    /// *workload* defeats its strategy (plain cracking under strictly
+    /// sequential ranges never converges; see "Stochastic Database
+    /// Cracking"). The alert runtime calls this to flip the stalled
+    /// column onto a strategy that can converge. The only refusal is an
+    /// index already stamped with a *newer* epoch: that one covers data
+    /// this caller's snapshot never saw and is never downgraded. A column
+    /// with no index yet gets one (pre-building ahead of the next query).
+    ///
+    /// [`refresh_index`]: IndexManager::refresh_index
+    pub fn remediate_index<'a>(
+        &self,
+        column: &ColumnId,
+        keys: impl Into<KeySource<'a>>,
+        epoch: u64,
+        strategy: StrategyKind,
+    ) -> bool {
+        let keys = keys.into();
+        let entry = {
+            let mut registry = self.indexes.lock();
+            registry
+                .entry(column.clone())
+                .or_insert_with(|| {
+                    Arc::new(Mutex::new(ManagedIndex {
+                        // placeholder swapped out below under the entry lock
+                        body: IndexBody::Single(
+                            StrategyKind::FullScan.build_with(&[], &self.tuning),
+                        ),
+                        kind: StrategyKind::FullScan,
+                        epoch,
+                        queries: 0,
+                    }))
+                })
+                .clone()
+        };
+        // build outside the registry lock (only this entry is held), with
+        // the same never-downgrade epoch guard as the query path
+        let mut managed = entry.lock();
+        if managed.epoch > epoch {
+            return false;
+        }
+        managed.body = self.build_body(strategy, &keys);
+        managed.kind = strategy;
+        managed.epoch = epoch;
+        managed.queries = 0;
+        true
+    }
+
     /// Drop a column's index only if it belongs to `epoch` or an older
     /// incarnation. Writers use this when index maintenance fails: an index
     /// registered for a *newer* incarnation of the table (the name was
@@ -835,6 +890,34 @@ mod tests {
         assert_eq!(manager.describe()[0].strategy, "full-sort");
         let out = manager.query_range(&column, &data, 0, 100);
         assert_eq!(out.count(), 100);
+    }
+
+    #[test]
+    fn remediate_index_flips_strategy_even_when_up_to_date() {
+        let manager = IndexManager::new(StrategyKind::Cracking);
+        let data = keys(2000);
+        let column = ColumnId::new("t", "a");
+        let _ = manager.query_range_snapshot(&column, &data[..], 7, 0, 100, StrategyKind::Cracking);
+        assert_eq!(manager.describe()[0].strategy, "cracking");
+        // refresh_index refuses: same epoch, same tuple count — not stale
+        assert!(!manager.refresh_index(&column, &data[..], 7));
+        // remediation is unconditional at the same epoch
+        assert!(manager.remediate_index(&column, &data[..], 7, StrategyKind::FullSort));
+        let info = &manager.describe()[0];
+        assert_eq!(info.strategy, "full-sort");
+        assert_eq!(info.queries, 0, "rebuild restarts the per-build count");
+        assert_eq!(manager.index_version(&column), Some((7, 2000)));
+        // queries keep answering through the remediated index
+        let out =
+            manager.query_range_snapshot(&column, &data[..], 7, 0, 100, StrategyKind::Cracking);
+        assert_eq!(out.count(), 100);
+        // a column with no index yet gets one (pre-building)
+        let fresh = ColumnId::new("t", "b");
+        assert!(manager.remediate_index(&fresh, &data[..], 3, StrategyKind::FullSort));
+        assert_eq!(manager.index_version(&fresh), Some((3, 2000)));
+        // but an index at a newer epoch is never downgraded
+        assert!(!manager.remediate_index(&fresh, &data[..], 2, StrategyKind::Cracking));
+        assert_eq!(manager.describe()[1].strategy, "full-sort");
     }
 
     #[test]

@@ -106,6 +106,12 @@ impl EngineTelemetry {
         &self.registry
     }
 
+    /// An owning handle on the shared registry, for front-ends (the TCP
+    /// server) that instrument themselves alongside the engine's metrics.
+    pub(crate) fn registry_arc(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
     /// `Instant::now()` when enabled, `None` otherwise — the pattern every
     /// recording site uses so disabled telemetry never reads the clock.
     pub(crate) fn clock(&self) -> Option<Instant> {

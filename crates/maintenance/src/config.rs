@@ -87,6 +87,10 @@ pub struct MaintenanceStats {
     /// Stale adaptive indexes rebuilt in the background before a query had
     /// to pay for it.
     pub indexes_refreshed: AtomicU64,
+    /// Indexes force-rebuilt under a different strategy by the alert
+    /// runtime's self-healing `RefreshIndex` action (e.g. a stalled
+    /// cracking column flipped onto a convergent strategy).
+    pub indexes_remediated: AtomicU64,
     /// Durable checkpoints completed by the background checkpoint job.
     pub checkpoints_written: AtomicU64,
     /// Checkpoint attempts that failed (I/O errors); the log retains the
@@ -106,6 +110,7 @@ impl MaintenanceStats {
             compactions_published: self.compactions_published.load(Ordering::Relaxed),
             indexes_reconciled: self.indexes_reconciled.load(Ordering::Relaxed),
             indexes_refreshed: self.indexes_refreshed.load(Ordering::Relaxed),
+            indexes_remediated: self.indexes_remediated.load(Ordering::Relaxed),
             checkpoints_written: self.checkpoints_written.load(Ordering::Relaxed),
             checkpoint_failures: self.checkpoint_failures.load(Ordering::Relaxed),
             background_attached: self.background_attached.load(Ordering::Relaxed),
@@ -128,6 +133,8 @@ pub struct MaintenanceStatsSnapshot {
     pub indexes_reconciled: u64,
     /// Stale indexes rebuilt in the background.
     pub indexes_refreshed: u64,
+    /// Indexes force-rebuilt by the alert runtime's self-healing action.
+    pub indexes_remediated: u64,
     /// Durable checkpoints completed.
     pub checkpoints_written: u64,
     /// Checkpoint attempts that failed.

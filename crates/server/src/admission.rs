@@ -112,11 +112,26 @@ pub struct ServerCounters {
     pub metrics_ns: Arc<Histogram>,
     /// `server.traces_ns` — dispatch latency of `TRACES` frames.
     pub traces_ns: Arc<Histogram>,
+    /// `server.alerts_ns` — dispatch latency of `ALERTS` frames.
+    pub alerts_ns: Arc<Histogram>,
+    /// `server.history_ns` — dispatch latency of `HISTORY` frames.
+    pub history_ns: Arc<Histogram>,
 }
 
 impl Default for ServerCounters {
     fn default() -> Self {
-        let registry = Arc::new(Registry::new());
+        ServerCounters::on_registry(Arc::new(Registry::new()))
+    }
+}
+
+impl ServerCounters {
+    /// Instrument the server's counters on `registry`. The server passes
+    /// the *engine's* registry here, which is what closes the loop: the
+    /// engine's reporter then sees `server.requests_shed` (and friends) in
+    /// its per-interval deltas, so an alert rule on the shed rate actually
+    /// observes the front-end, and one `STATS`/`METRICS` sweep covers both
+    /// halves without any merging.
+    pub fn on_registry(registry: Arc<Registry>) -> Self {
         ServerCounters {
             connections_accepted: registry.counter("server.connections_accepted"),
             connections_rejected: registry.counter("server.connections_rejected"),
@@ -130,12 +145,11 @@ impl Default for ServerCounters {
             stats_ns: registry.histogram("server.stats_ns"),
             metrics_ns: registry.histogram("server.metrics_ns"),
             traces_ns: registry.histogram("server.traces_ns"),
+            alerts_ns: registry.histogram("server.alerts_ns"),
+            history_ns: registry.histogram("server.history_ns"),
             registry,
         }
     }
-}
-
-impl ServerCounters {
     /// A point-in-time copy of the counters.
     pub fn snapshot(&self) -> ServerStats {
         ServerStats {

@@ -140,6 +140,39 @@ impl Client {
         }
     }
 
+    /// Fetch the engine's alerting surfaces: the current per-rule
+    /// [`aidx_telemetry::AlertStatus`] list plus the journaled
+    /// [`aidx_telemetry::AlertEvent`] transitions (oldest first). Both are
+    /// empty when the served database was built without
+    /// [`aidx_core::DatabaseBuilder::alerts`]. Never shed by admission
+    /// control — active alerts are exactly what an operator polls during an
+    /// incident.
+    pub fn alerts(
+        &mut self,
+    ) -> Result<
+        (
+            Vec<aidx_telemetry::AlertStatus>,
+            Vec<aidx_telemetry::AlertEvent>,
+        ),
+        ClientError,
+    > {
+        match self.roundtrip(&Request::Alerts)? {
+            Reply::Alerts { status, events } => Ok((status, events)),
+            other => Err(unexpected(other, "alert surfaces")),
+        }
+    }
+
+    /// Fetch the engine reporter's retained per-interval
+    /// [`aidx_telemetry::SnapshotDelta`] ring (oldest first) — the rate
+    /// history behind `STATS`, in wire form. Never shed by admission
+    /// control.
+    pub fn history(&mut self) -> Result<Vec<aidx_telemetry::SnapshotDelta>, ClientError> {
+        match self.roundtrip(&Request::History)? {
+            Reply::History(deltas) => Ok(deltas),
+            other => Err(unexpected(other, "rate history")),
+        }
+    }
+
     /// Append one row (one value per column, in schema order); returns the
     /// assigned row id.
     pub fn insert(&mut self, table: &str, values: &[Value]) -> Result<u64, ClientError> {
@@ -185,7 +218,9 @@ mod tests {
     use crate::server::Server;
     use aidx_columnstore::column::Column;
     use aidx_columnstore::table::Table;
-    use aidx_core::{Aggregation, Database, StrategyKind};
+    use aidx_core::{
+        Aggregation, AlertCondition, AlertConfig, AlertRule, AlertState, Database, StrategyKind,
+    };
 
     fn served_db() -> (Server, Database) {
         let db = Database::new(StrategyKind::Cracking);
@@ -331,6 +366,112 @@ mod tests {
         assert_eq!(traces, db.recent_traces(), "wire view == embedded view");
         assert_eq!(traces.len(), 1);
         assert!(traces[0].refinement_effort() > 0, "the query cracked");
+        server.shutdown();
+    }
+
+    #[test]
+    fn alerts_and_history_round_trip_the_engine_surfaces() {
+        let mut alert_config = AlertConfig::new();
+        alert_config.rules = vec![AlertRule::new(
+            "wire-traffic",
+            AlertCondition::CounterRateAbove {
+                counter: "server.queries_served".into(),
+                per_second: 0.5,
+            },
+        )
+        .for_intervals(1)
+        .recovery_intervals(1)];
+        let db = Database::builder()
+            .default_strategy(StrategyKind::Cracking)
+            .alerts(alert_config)
+            .build();
+        db.create_table(
+            "events",
+            Table::from_columns(vec![("ts", Column::from_i64((0..128).rev().collect()))]).unwrap(),
+        )
+        .unwrap();
+        let server = Server::start(db.clone(), ServerConfig::localhost()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+
+        // quiescent: one idle rule, empty journal, empty history ring
+        let (status, events) = client.alerts().unwrap();
+        assert_eq!(status.len(), 1);
+        assert_eq!(status[0].rule, "wire-traffic");
+        assert_eq!(status[0].state, AlertState::Idle);
+        assert!(events.is_empty());
+        assert!(client.history().unwrap().is_empty());
+
+        // drive wire traffic, then complete reporter intervals: the rule's
+        // counter only moves because the server instruments itself on the
+        // engine's registry
+        assert!(db.report_tick().is_none(), "first tick primes the baseline");
+        for _ in 0..2 {
+            client
+                .query(&Query::table("events").range("ts", 0, 50))
+                .unwrap();
+            std::thread::sleep(Duration::from_millis(2));
+            db.report_tick().expect("a completed interval");
+        }
+        let (status, events) = client.alerts().unwrap();
+        assert_eq!(status[0].state, AlertState::Firing);
+        assert!(status[0].times_fired >= 1);
+        assert!(!events.is_empty(), "journal travelled the wire");
+        // the wire view is the embedded view, field for field
+        assert_eq!(status, db.alert_status());
+        assert_eq!(events, db.alert_events());
+        let history = client.history().unwrap();
+        assert_eq!(history, db.recent_reports());
+        assert_eq!(history.len(), 2);
+        assert!(history.iter().any(|delta| delta
+            .counters
+            .iter()
+            .any(|c| c.name == "server.queries_served" && c.delta > 0)));
+        // the new dispatch arms are themselves timed
+        let snapshot = client.stats().unwrap();
+        assert!(snapshot.histogram("server.alerts_ns").unwrap().count >= 2);
+        assert!(snapshot.histogram("server.history_ns").unwrap().count >= 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn alert_states_and_index_health_are_scrapable_gauges() {
+        let mut alert_config = AlertConfig::new();
+        alert_config.rules = vec![AlertRule::new(
+            "wire-traffic",
+            AlertCondition::CounterRateAbove {
+                counter: "server.queries_served".into(),
+                per_second: 0.5,
+            },
+        )
+        .for_intervals(1)
+        .recovery_intervals(1)];
+        let db = Database::builder()
+            .default_strategy(StrategyKind::Cracking)
+            .alerts(alert_config)
+            .build();
+        db.create_table(
+            "events",
+            Table::from_columns(vec![("ts", Column::from_i64((0..128).rev().collect()))]).unwrap(),
+        )
+        .unwrap();
+        let server = Server::start(db.clone(), ServerConfig::localhost()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        assert!(db.report_tick().is_none(), "first tick primes the baseline");
+        client
+            .query(&Query::table("events").range("ts", 0, 50))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+        db.report_tick().expect("a completed interval");
+        let text = client.metrics_text().unwrap();
+        assert!(text.contains("# TYPE aidx_alert_firing gauge"), "{text}");
+        assert!(
+            text.contains("aidx_alert_firing{rule=\"wire-traffic\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("aidx_index_health{table=\"events\",column=\"ts\"}"),
+            "{text}"
+        );
         server.shutdown();
     }
 

@@ -21,11 +21,12 @@
 
 use crate::error::wire_error_from;
 use crate::protocol::{
-    read_frame, write_frame, BatchItem, ErrorCode, FrameError, FrameReadError, Reply, Request,
-    WireError, WireResult,
+    alert_state_tag, read_frame, write_frame, BatchItem, ErrorCode, FrameError, FrameReadError,
+    Reply, Request, WireError, WireResult,
 };
 use crate::server::Shared;
 use aidx_core::{Query, Session};
+use aidx_telemetry::{render_labeled_gauge, LabeledSample};
 use std::io::{BufReader, BufWriter};
 use std::net::TcpStream;
 use std::sync::atomic::Ordering;
@@ -154,8 +155,11 @@ fn dispatch(shared: &Shared, session: &Session, payload: &[u8]) -> Reply {
         // trying to diagnose the shedding.
         Request::Stats => {
             let started = Instant::now();
-            let mut snapshot = shared.db.telemetry().metrics;
-            snapshot.merge(&shared.counters.registry_snapshot());
+            // the server's counters live on the engine's registry (see
+            // `Server::start`), so one engine snapshot already carries both
+            // `engine.*` and `server.*` — merging a second registry sweep
+            // here would double-count every server instrument
+            let snapshot = shared.db.telemetry().metrics;
             shared.counters.stats_ns.record_duration(started.elapsed());
             Reply::Stats(snapshot)
         }
@@ -164,9 +168,36 @@ fn dispatch(shared: &Shared, session: &Session, payload: &[u8]) -> Reply {
         // neither does engine work.
         Request::Metrics => {
             let started = Instant::now();
-            let mut snapshot = shared.db.telemetry().metrics;
-            snapshot.merge(&shared.counters.registry_snapshot());
-            let text = snapshot.render_prometheus();
+            let mut text = shared.db.telemetry().metrics.render_prometheus();
+            text.push_str(&render_labeled_gauge(
+                "aidx_alert_firing",
+                "Alert rule state: 0 idle, 1 pending, 2 firing.",
+                &shared
+                    .db
+                    .alert_status()
+                    .iter()
+                    .map(|status| LabeledSample {
+                        labels: vec![("rule".into(), status.rule.clone())],
+                        value: f64::from(alert_state_tag(status.state)),
+                    })
+                    .collect::<Vec<_>>(),
+            ));
+            text.push_str(&render_labeled_gauge(
+                "aidx_index_health",
+                "Per-column health verdict: 0 converging, 1 converged, 2 stalled, 3 regressing.",
+                &shared
+                    .db
+                    .index_health()
+                    .iter()
+                    .map(|health| LabeledSample {
+                        labels: vec![
+                            ("table".into(), health.column.table().to_string()),
+                            ("column".into(), health.column.column().to_string()),
+                        ],
+                        value: f64::from(health.verdict.code()),
+                    })
+                    .collect::<Vec<_>>(),
+            ));
             shared
                 .counters
                 .metrics_ns
@@ -178,6 +209,25 @@ fn dispatch(shared: &Shared, session: &Session, payload: &[u8]) -> Reply {
             let traces = shared.db.recent_traces();
             shared.counters.traces_ns.record_duration(started.elapsed());
             Reply::Traces(traces)
+        }
+        // ALERTS and HISTORY extend the same exemption: during an incident
+        // the active alerts and the recent rate history are precisely what
+        // the operator (or a supervising process) is polling for.
+        Request::Alerts => {
+            let started = Instant::now();
+            let status = shared.db.alert_status();
+            let events = shared.db.alert_events();
+            shared.counters.alerts_ns.record_duration(started.elapsed());
+            Reply::Alerts { status, events }
+        }
+        Request::History => {
+            let started = Instant::now();
+            let deltas = shared.db.recent_reports();
+            shared
+                .counters
+                .history_ns
+                .record_duration(started.elapsed());
+            Reply::History(deltas)
         }
     }
 }

@@ -12,8 +12,9 @@
 //!
 //! * [`protocol`] — a compact length-prefixed binary protocol
 //!   (PING/QUERY/INSERT/BATCH request frames plus the never-shed
-//!   observability opcodes STATS/METRICS/TRACES; typed reply frames
-//!   including structured errors and an explicit OVERLOADED shed signal).
+//!   observability opcodes STATS/METRICS/TRACES/ALERTS/HISTORY; typed
+//!   reply frames including structured errors and an explicit OVERLOADED
+//!   shed signal).
 //!   Every decoder is total: hostile bytes produce typed errors, never
 //!   panics or unbounded allocations.
 //! * [`Server`] — a bounded acceptor plus one connection worker (and one

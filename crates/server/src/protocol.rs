@@ -18,7 +18,8 @@
 use aidx_columnstore::types::{RowId, Value};
 use aidx_core::{Aggregation, Predicate, Query, QueryResult};
 use aidx_telemetry::{
-    CounterSnapshot, GaugeSnapshot, HistogramSnapshot, QueryTrace, Snapshot, SpanEvent,
+    AlertEvent, AlertEventKind, AlertState, AlertStatus, CounterDelta, CounterSnapshot, GaugeDelta,
+    GaugeSnapshot, HistogramSnapshot, QueryTrace, Snapshot, SnapshotDelta, SpanEvent,
 };
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -39,6 +40,8 @@ const OP_BATCH: u8 = 0x04;
 const OP_STATS: u8 = 0x05;
 const OP_METRICS: u8 = 0x06;
 const OP_TRACES: u8 = 0x07;
+const OP_ALERTS: u8 = 0x08;
+const OP_HISTORY: u8 = 0x09;
 
 // Reply opcodes (server → client).
 const OP_PONG: u8 = 0x81;
@@ -50,6 +53,8 @@ const OP_BATCH_RESULT: u8 = 0x86;
 const OP_STATS_RESULT: u8 = 0x87;
 const OP_METRICS_TEXT: u8 = 0x88;
 const OP_TRACES_RESULT: u8 = 0x89;
+const OP_ALERTS_RESULT: u8 = 0x8A;
+const OP_HISTORY_RESULT: u8 = 0x8B;
 
 // Span-event tags inside a TRACES reply.
 const SPAN_PLAN: u8 = 0;
@@ -225,6 +230,15 @@ pub enum Request {
     /// ring, oldest first); answered with [`Reply::Traces`]. Like
     /// [`Request::Stats`], never shed.
     Traces,
+    /// Fetch the alert engine's per-rule live states plus its bounded
+    /// event journal; answered with [`Reply::Alerts`] (both empty when the
+    /// database was built without alerting). Like [`Request::Stats`],
+    /// never shed — alerts exist precisely to be readable under duress.
+    Alerts,
+    /// Fetch the reporter's retained rate history (the delta ring, oldest
+    /// first); answered with [`Reply::History`]. Like [`Request::Stats`],
+    /// never shed.
+    History,
 }
 
 /// A server → client message.
@@ -262,6 +276,17 @@ pub enum Reply {
     /// Answer to [`Request::Traces`]: recent sampled query traces, oldest
     /// first.
     Traces(Vec<QueryTrace>),
+    /// Answer to [`Request::Alerts`]: per-rule live states (rule order)
+    /// plus the event journal (oldest first).
+    Alerts {
+        /// One live status per configured rule.
+        status: Vec<AlertStatus>,
+        /// The journal: every recorded state transition, oldest first.
+        events: Vec<AlertEvent>,
+    },
+    /// Answer to [`Request::History`]: the reporter's retained snapshot
+    /// deltas, oldest first.
+    History(Vec<SnapshotDelta>),
 }
 
 /// One query's outcome inside a [`Reply::Batch`].
@@ -459,6 +484,68 @@ fn put_snapshot(buf: &mut Vec<u8>, snapshot: &Snapshot) {
     }
 }
 
+pub(crate) fn alert_state_tag(state: AlertState) -> u8 {
+    match state {
+        AlertState::Idle => 0,
+        AlertState::Pending => 1,
+        AlertState::Firing => 2,
+    }
+}
+
+fn alert_event_kind_tag(kind: AlertEventKind) -> u8 {
+    match kind {
+        AlertEventKind::Pending => 0,
+        AlertEventKind::Firing => 1,
+        AlertEventKind::Resolved => 2,
+        AlertEventKind::Cancelled => 3,
+    }
+}
+
+fn put_alert_status(buf: &mut Vec<u8>, status: &AlertStatus) {
+    put_str(buf, &status.rule);
+    put_u8(buf, alert_state_tag(status.state));
+    put_u32(buf, status.consecutive_breaches);
+    put_u32(buf, status.healthy_intervals);
+    put_str(buf, &status.observed);
+    put_u64(buf, status.times_fired);
+}
+
+fn put_alert_event(buf: &mut Vec<u8>, event: &AlertEvent) {
+    put_str(buf, &event.rule);
+    put_u8(buf, alert_event_kind_tag(event.kind));
+    put_u64(buf, event.tick);
+    put_str(buf, &event.observed);
+    put_u32(buf, event.columns.len() as u32);
+    for column in &event.columns {
+        put_str(buf, column);
+    }
+}
+
+fn put_delta(buf: &mut Vec<u8>, delta: &SnapshotDelta) {
+    put_u64(buf, delta.interval_ns);
+    put_u32(buf, delta.counters.len() as u32);
+    for counter in &delta.counters {
+        put_str(buf, &counter.name);
+        put_u64(buf, counter.delta);
+    }
+    put_u32(buf, delta.gauges.len() as u32);
+    for gauge in &delta.gauges {
+        put_str(buf, &gauge.name);
+        put_i64(buf, gauge.level);
+        put_i64(buf, gauge.delta);
+    }
+    put_u32(buf, delta.histograms.len() as u32);
+    for histogram in &delta.histograms {
+        put_str(buf, &histogram.name);
+        put_u64(buf, histogram.count);
+        put_u64(buf, histogram.sum);
+        put_u32(buf, histogram.buckets.len() as u32);
+        for &bucket in &histogram.buckets {
+            put_u64(buf, bucket);
+        }
+    }
+}
+
 fn put_trace(buf: &mut Vec<u8>, trace: &QueryTrace) {
     put_u64(buf, trace.elapsed_ns);
     put_u32(buf, trace.events.len() as u32);
@@ -555,6 +642,8 @@ impl Request {
             Request::Stats => put_u8(&mut buf, OP_STATS),
             Request::Metrics => put_u8(&mut buf, OP_METRICS),
             Request::Traces => put_u8(&mut buf, OP_TRACES),
+            Request::Alerts => put_u8(&mut buf, OP_ALERTS),
+            Request::History => put_u8(&mut buf, OP_HISTORY),
         }
         buf
     }
@@ -586,6 +675,8 @@ impl Request {
             OP_STATS => Request::Stats,
             OP_METRICS => Request::Metrics,
             OP_TRACES => Request::Traces,
+            OP_ALERTS => Request::Alerts,
+            OP_HISTORY => Request::History,
             tag => {
                 return Err(FrameError::UnknownTag {
                     what: "request opcode",
@@ -652,6 +743,24 @@ impl Reply {
                     put_trace(&mut buf, trace);
                 }
             }
+            Reply::Alerts { status, events } => {
+                put_u8(&mut buf, OP_ALERTS_RESULT);
+                put_u32(&mut buf, status.len() as u32);
+                for s in status {
+                    put_alert_status(&mut buf, s);
+                }
+                put_u32(&mut buf, events.len() as u32);
+                for event in events {
+                    put_alert_event(&mut buf, event);
+                }
+            }
+            Reply::History(deltas) => {
+                put_u8(&mut buf, OP_HISTORY_RESULT);
+                put_u32(&mut buf, deltas.len() as u32);
+                for delta in deltas {
+                    put_delta(&mut buf, delta);
+                }
+            }
         }
         buf
     }
@@ -698,6 +807,33 @@ impl Reply {
                     traces.push(take_trace(&mut r)?);
                 }
                 Reply::Traces(traces)
+            }
+            OP_ALERTS_RESULT => {
+                // minimum encoded status: two 4-byte string prefixes +
+                // 1-byte state + two 4-byte streak counts + 8-byte fired
+                let status_len = r.take_count("alert status", 25)?;
+                let mut status = Vec::with_capacity(status_len);
+                for _ in 0..status_len {
+                    status.push(take_alert_status(&mut r)?);
+                }
+                // minimum encoded event: two string prefixes + 1-byte kind
+                // + 8-byte tick + 4-byte column count
+                let events_len = r.take_count("alert event", 21)?;
+                let mut events = Vec::with_capacity(events_len);
+                for _ in 0..events_len {
+                    events.push(take_alert_event(&mut r)?);
+                }
+                Reply::Alerts { status, events }
+            }
+            OP_HISTORY_RESULT => {
+                // minimum encoded delta: 8-byte interval + three 4-byte
+                // section counts
+                let count = r.take_count("history delta", 20)?;
+                let mut deltas = Vec::with_capacity(count);
+                for _ in 0..count {
+                    deltas.push(take_delta(&mut r)?);
+                }
+                Reply::History(deltas)
             }
             tag => {
                 return Err(FrameError::UnknownTag {
@@ -953,6 +1089,108 @@ fn take_snapshot(r: &mut Reader<'_>) -> Result<Snapshot, FrameError> {
         });
     }
     Ok(Snapshot {
+        counters,
+        gauges,
+        histograms,
+    })
+}
+
+fn take_alert_status(r: &mut Reader<'_>) -> Result<AlertStatus, FrameError> {
+    let rule = r.take_str()?;
+    let state = match r.take_u8()? {
+        0 => AlertState::Idle,
+        1 => AlertState::Pending,
+        2 => AlertState::Firing,
+        tag => {
+            return Err(FrameError::UnknownTag {
+                what: "alert state",
+                tag,
+            })
+        }
+    };
+    Ok(AlertStatus {
+        rule,
+        state,
+        consecutive_breaches: r.take_u32()?,
+        healthy_intervals: r.take_u32()?,
+        observed: r.take_str()?,
+        times_fired: r.take_u64()?,
+    })
+}
+
+fn take_alert_event(r: &mut Reader<'_>) -> Result<AlertEvent, FrameError> {
+    let rule = r.take_str()?;
+    let kind = match r.take_u8()? {
+        0 => AlertEventKind::Pending,
+        1 => AlertEventKind::Firing,
+        2 => AlertEventKind::Resolved,
+        3 => AlertEventKind::Cancelled,
+        tag => {
+            return Err(FrameError::UnknownTag {
+                what: "alert event kind",
+                tag,
+            })
+        }
+    };
+    let tick = r.take_u64()?;
+    let observed = r.take_str()?;
+    // minimum encoded column: its 4-byte string length prefix
+    let columns_len = r.take_count("alert column", 4)?;
+    let mut columns = Vec::with_capacity(columns_len);
+    for _ in 0..columns_len {
+        columns.push(r.take_str()?);
+    }
+    Ok(AlertEvent {
+        rule,
+        kind,
+        tick,
+        observed,
+        columns,
+    })
+}
+
+fn take_delta(r: &mut Reader<'_>) -> Result<SnapshotDelta, FrameError> {
+    let interval_ns = r.take_u64()?;
+    // minimum encoded counter delta: 4-byte name prefix + 8-byte delta
+    let counters_len = r.take_count("counter delta", 12)?;
+    let mut counters = Vec::with_capacity(counters_len);
+    for _ in 0..counters_len {
+        counters.push(CounterDelta {
+            name: r.take_str()?,
+            delta: r.take_u64()?,
+        });
+    }
+    // minimum encoded gauge delta: name prefix + level + delta
+    let gauges_len = r.take_count("gauge delta", 20)?;
+    let mut gauges = Vec::with_capacity(gauges_len);
+    for _ in 0..gauges_len {
+        gauges.push(GaugeDelta {
+            name: r.take_str()?,
+            level: r.take_i64()?,
+            delta: r.take_i64()?,
+        });
+    }
+    // windowed histograms share the cumulative snapshot's encoding
+    let histograms_len = r.take_count("windowed histogram", 24)?;
+    let mut histograms = Vec::with_capacity(histograms_len);
+    for _ in 0..histograms_len {
+        let name = r.take_str()?;
+        let count = r.take_u64()?;
+        let sum = r.take_u64()?;
+        let buckets_len = r.take_count("windowed histogram bucket", 8)?;
+        let mut buckets = Vec::with_capacity(buckets_len);
+        for _ in 0..buckets_len {
+            buckets.push(r.take_u64()?);
+        }
+        histograms.push(HistogramSnapshot {
+            name,
+            count,
+            sum,
+            buckets,
+        });
+    }
+    Ok(SnapshotDelta {
+        interval_ns,
         counters,
         gauges,
         histograms,
@@ -1379,6 +1617,207 @@ mod tests {
                 other => panic!("{other:?}"),
             }
         }
+    }
+
+    fn sample_alerts_reply() -> Reply {
+        Reply::Alerts {
+            status: vec![
+                AlertStatus {
+                    rule: "shed-spike".into(),
+                    state: AlertState::Firing,
+                    consecutive_breaches: 3,
+                    healthy_intervals: 0,
+                    observed: "server.requests_shed rate 120.0/s > 50.0/s".into(),
+                    times_fired: 2,
+                },
+                AlertStatus {
+                    rule: "column-stalled".into(),
+                    state: AlertState::Idle,
+                    consecutive_breaches: 0,
+                    healthy_intervals: 0,
+                    observed: String::new(),
+                    times_fired: 0,
+                },
+            ],
+            events: vec![
+                AlertEvent {
+                    rule: "shed-spike".into(),
+                    kind: AlertEventKind::Pending,
+                    tick: 4,
+                    observed: "naïve ★ evidence".into(),
+                    columns: vec![],
+                },
+                AlertEvent {
+                    rule: "column-stalled".into(),
+                    kind: AlertEventKind::Firing,
+                    tick: 9,
+                    observed: "verdict stalled".into(),
+                    columns: vec!["t.o_key".into(), "t.o_value".into()],
+                },
+            ],
+        }
+    }
+
+    fn sample_history_reply() -> Reply {
+        Reply::History(vec![
+            SnapshotDelta {
+                interval_ns: 1_000_000,
+                counters: vec![CounterDelta {
+                    name: "engine.queries_served".into(),
+                    delta: 42,
+                }],
+                gauges: vec![GaugeDelta {
+                    name: "server.connections".into(),
+                    level: -3,
+                    delta: i64::MIN,
+                }],
+                histograms: vec![HistogramSnapshot {
+                    name: "engine.query_ns".into(),
+                    count: 42,
+                    sum: 123_456,
+                    buckets: vec![0, 7, 35],
+                }],
+            },
+            SnapshotDelta {
+                interval_ns: 0,
+                counters: vec![],
+                gauges: vec![],
+                histograms: vec![],
+            },
+        ])
+    }
+
+    #[test]
+    fn alerts_and_history_requests_and_replies_roundtrip() {
+        for request in [Request::Alerts, Request::History] {
+            assert_eq!(Request::decode(&request.encode()).unwrap(), request);
+        }
+        let empty = Reply::Alerts {
+            status: vec![],
+            events: vec![],
+        };
+        for reply in [
+            sample_alerts_reply(),
+            empty,
+            sample_history_reply(),
+            Reply::History(Vec::new()),
+        ] {
+            let encoded = reply.encode();
+            assert_eq!(Reply::decode(&encoded).unwrap(), reply, "{reply:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_alerts_replies_are_typed_errors_at_every_cut() {
+        let encoded = sample_alerts_reply().encode();
+        for cut in 1..encoded.len() {
+            let err = Reply::decode(&encoded[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    FrameError::Truncated | FrameError::CountOverflow { .. }
+                ),
+                "cut at {cut}: {err:?}"
+            );
+        }
+        // hostile status count in a tiny payload
+        let mut buf = vec![OP_ALERTS_RESULT];
+        put_u32(&mut buf, u32::MAX);
+        let err = Reply::decode(&buf).unwrap_err();
+        assert!(matches!(err, FrameError::CountOverflow { .. }), "{err:?}");
+        // hostile event count after a valid empty status section
+        let mut buf = vec![OP_ALERTS_RESULT];
+        put_u32(&mut buf, 0);
+        put_u32(&mut buf, u32::MAX);
+        let err = Reply::decode(&buf).unwrap_err();
+        assert!(matches!(err, FrameError::CountOverflow { .. }), "{err:?}");
+        // hostile per-event column count
+        let mut buf = vec![OP_ALERTS_RESULT];
+        put_u32(&mut buf, 0);
+        put_u32(&mut buf, 1);
+        put_str(&mut buf, "r");
+        put_u8(&mut buf, 0);
+        put_u64(&mut buf, 1);
+        put_str(&mut buf, "");
+        put_u32(&mut buf, u32::MAX);
+        let err = Reply::decode(&buf).unwrap_err();
+        assert!(matches!(err, FrameError::CountOverflow { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn hostile_alert_tags_are_typed_errors() {
+        // an unknown state tag inside a status
+        let mut buf = vec![OP_ALERTS_RESULT];
+        put_u32(&mut buf, 1);
+        put_str(&mut buf, "r");
+        put_u8(&mut buf, 7);
+        buf.extend_from_slice(&[0u8; 20]); // satisfy the size floor
+        assert!(matches!(
+            Reply::decode(&buf).unwrap_err(),
+            FrameError::UnknownTag {
+                what: "alert state",
+                tag: 7
+            }
+        ));
+        // an unknown event-kind tag
+        let mut buf = vec![OP_ALERTS_RESULT];
+        put_u32(&mut buf, 0);
+        put_u32(&mut buf, 1);
+        put_str(&mut buf, "r");
+        put_u8(&mut buf, 9);
+        buf.extend_from_slice(&[0u8; 16]);
+        assert!(matches!(
+            Reply::decode(&buf).unwrap_err(),
+            FrameError::UnknownTag {
+                what: "alert event kind",
+                tag: 9
+            }
+        ));
+    }
+
+    #[test]
+    fn truncated_history_replies_are_typed_errors_at_every_cut() {
+        let encoded = sample_history_reply().encode();
+        for cut in 1..encoded.len() {
+            let err = Reply::decode(&encoded[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    FrameError::Truncated | FrameError::CountOverflow { .. }
+                ),
+                "cut at {cut}: {err:?}"
+            );
+        }
+        // hostile delta count
+        let mut buf = vec![OP_HISTORY_RESULT];
+        put_u32(&mut buf, u32::MAX);
+        let err = Reply::decode(&buf).unwrap_err();
+        assert!(matches!(err, FrameError::CountOverflow { .. }), "{err:?}");
+        // one delta claiming 4 billion counters
+        let mut buf = vec![OP_HISTORY_RESULT];
+        put_u32(&mut buf, 1);
+        put_u64(&mut buf, 0); // interval_ns
+        put_u32(&mut buf, u32::MAX); // hostile counter count
+        let err = Reply::decode(&buf).unwrap_err();
+        assert!(matches!(err, FrameError::CountOverflow { .. }), "{err:?}");
+        // valid counters, hostile windowed-histogram bucket count
+        let mut buf = vec![OP_HISTORY_RESULT];
+        put_u32(&mut buf, 1);
+        put_u64(&mut buf, 0);
+        put_u32(&mut buf, 0); // counters
+        put_u32(&mut buf, 0); // gauges
+        put_u32(&mut buf, 1); // histograms
+        put_str(&mut buf, "h");
+        put_u64(&mut buf, 1);
+        put_u64(&mut buf, 1);
+        put_u32(&mut buf, u32::MAX); // hostile bucket count
+        let err = Reply::decode(&buf).unwrap_err();
+        assert!(matches!(err, FrameError::CountOverflow { .. }), "{err:?}");
+        // trailing garbage after a well-formed empty history
+        let mut buf = vec![OP_HISTORY_RESULT];
+        put_u32(&mut buf, 0);
+        buf.push(0);
+        assert_eq!(Reply::decode(&buf).unwrap_err(), FrameError::TrailingBytes);
     }
 
     #[test]

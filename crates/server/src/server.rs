@@ -98,12 +98,18 @@ impl Server {
         config.validate().map_err(ServerError::Config)?;
         let listener = TcpListener::bind(config.addr)?;
         let local_addr = listener.local_addr()?;
+        // instrument the server on the *engine's* registry: the engine's
+        // reporter (and therefore its alert rules, e.g. the default
+        // shed-spike rule) then observes `server.*` counters in its
+        // per-interval deltas, and one STATS/METRICS sweep covers both
+        // halves of the stack
+        let counters = ServerCounters::on_registry(db.metrics_registry());
         let shared = Arc::new(Shared {
             gate: AdmissionGate::new(config.max_in_flight),
             db,
             config,
             shutdown: AtomicBool::new(false),
-            counters: ServerCounters::default(),
+            counters,
             conns: Mutex::new(HashMap::new()),
             active: AtomicUsize::new(0),
             next_conn_id: AtomicU64::new(0),

@@ -25,6 +25,13 @@
 //! * [`Snapshot::render_prometheus`] — Prometheus text exposition of any
 //!   snapshot, for scrape-based monitoring via the server's `METRICS`
 //!   opcode.
+//! * [`AlertEngine`] / [`AlertRule`] — detection over the reporter's
+//!   signal: declarative rules (counter rate, gauge level, windowed
+//!   histogram quantile, health-verdict predicates) with
+//!   for-N-consecutive-intervals semantics, a pending → firing → resolved
+//!   state machine per rule, and a bounded transition journal. Firing
+//!   rules hand an [`AlertAction`] back to the caller — the embedding
+//!   engine is where self-healing happens.
 //!
 //! The crate is std-only and engine-agnostic: it knows the *vocabulary* of
 //! the adaptive engine (pieces, refinement effort, pruning) but holds no
@@ -33,17 +40,22 @@
 
 #![deny(missing_docs)]
 
+mod alert;
 mod metrics;
 mod prom;
 mod report;
 mod sample;
 mod trace;
 
+pub use alert::{
+    AlertAction, AlertCondition, AlertConfig, AlertEngine, AlertEvent, AlertEventKind, AlertRule,
+    AlertState, AlertStatus, FiredAlert, HealthSignal, DEFAULT_ALERT_JOURNAL_CAPACITY,
+};
 pub use metrics::{
     Counter, CounterSnapshot, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot, Registry,
     Snapshot, HISTOGRAM_BUCKETS,
 };
-pub use prom::sanitize_metric_name;
+pub use prom::{escape_label_value, render_labeled_gauge, sanitize_metric_name, LabeledSample};
 pub use report::{CounterDelta, GaugeDelta, Reporter, SnapshotDelta};
 pub use sample::TraceSampler;
 pub use trace::{QueryTrace, SpanEvent, TraceRecorder};

@@ -43,6 +43,58 @@ fn escape_help(text: &str) -> String {
     text.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
+/// Escape a label *value* for the text exposition format: `\\`, `\"` and
+/// newlines must be escaped inside the quoted value.
+pub fn escape_label_value(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// One labeled sample of a gauge family: `(label name, label value)` pairs
+/// plus the sample value. Label names are sanitized and label values
+/// escaped at render time, so callers pass raw strings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledSample {
+    /// `(name, value)` label pairs, emitted in the given order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Render one complete *labeled* gauge family: a `# HELP`/`# TYPE` pair
+/// followed by one sample line per entry, e.g.
+/// `aidx_alert_firing{rule="shed-spike"} 2`. The base exposition
+/// ([`Snapshot::render_prometheus`]) has no label dimension — registry
+/// instruments are flat names — so families whose identity lives in
+/// labels (alert states per rule, health verdicts per column) are
+/// rendered through this and appended to the scrape body. An empty
+/// sample list renders nothing (a family with no series is noise).
+pub fn render_labeled_gauge(name: &str, help: &str, samples: &[LabeledSample]) -> String {
+    if samples.is_empty() {
+        return String::new();
+    }
+    let name = sanitize_metric_name(name);
+    let mut out = String::new();
+    let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    for sample in samples {
+        let labels = sample
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{}=\"{}\"", sanitize_metric_name(k), escape_label_value(v)))
+            .collect::<Vec<_>>()
+            .join(",");
+        if labels.is_empty() {
+            let _ = writeln!(out, "{name} {}", sample.value);
+        } else {
+            let _ = writeln!(out, "{name}{{{labels}}} {}", sample.value);
+        }
+    }
+    out
+}
+
 impl Snapshot {
     /// Render the snapshot in the Prometheus text exposition format.
     ///
@@ -224,6 +276,53 @@ mod tests {
                 .unwrap_or(name_and_labels);
             assert_eq!(name, sanitize_metric_name(name), "name is conformant");
         }
+    }
+
+    #[test]
+    fn labeled_gauge_family_renders_escaped_samples() {
+        let text = render_labeled_gauge(
+            "aidx.alert_firing",
+            "alert state per rule (0 idle, 1 pending, 2 firing)",
+            &[
+                LabeledSample {
+                    labels: vec![("rule".into(), "shed-spike".into())],
+                    value: 2.0,
+                },
+                LabeledSample {
+                    labels: vec![("rule".into(), "quo\"te\\back\nline".into())],
+                    value: 0.0,
+                },
+            ],
+        );
+        assert!(text.contains("# TYPE aidx_alert_firing gauge\n"), "{text}");
+        assert!(
+            text.contains("aidx_alert_firing{rule=\"shed-spike\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("{rule=\"quo\\\"te\\\\back\\nline\"} 0\n"),
+            "label values escaped: {text}"
+        );
+        // one line per sample plus the two comment lines, no raw newline
+        // smuggled through a label value
+        assert_eq!(text.lines().count(), 4, "{text}");
+        assert_eq!(render_labeled_gauge("empty", "nothing", &[]), "");
+        // multi-label samples join with commas
+        let text = render_labeled_gauge(
+            "aidx.index_health",
+            "verdict per column",
+            &[LabeledSample {
+                labels: vec![
+                    ("table".into(), "data".into()),
+                    ("column".into(), "k".into()),
+                ],
+                value: 2.0,
+            }],
+        );
+        assert!(
+            text.contains("aidx_index_health{table=\"data\",column=\"k\"} 2\n"),
+            "{text}"
+        );
     }
 
     #[test]

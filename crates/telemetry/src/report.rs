@@ -110,10 +110,19 @@ impl SnapshotDelta {
         delta
     }
 
-    /// Interval length in (fractional) seconds, never zero — rate
-    /// computations divide by this.
+    /// Shortest interval (1 µs) over which a rate is meaningful. Two
+    /// back-to-back ticks (a test driving the reporter in a loop, a
+    /// maintenance scheduler catching up after a stall) can produce a
+    /// zero- or near-zero-length interval; dividing a delta by it would
+    /// yield an absurd rate, so rate accessors return `None` below this
+    /// floor instead.
+    pub const MIN_RATE_INTERVAL_NS: u64 = 1_000;
+
+    /// Interval length in (fractional) seconds. May be zero for a
+    /// degenerate (back-to-back) interval — rate computations go through
+    /// [`SnapshotDelta::counter_rate`], which guards against that.
     pub fn interval_secs(&self) -> f64 {
-        (self.interval_ns as f64 / 1e9).max(1e-9)
+        self.interval_ns as f64 / 1e9
     }
 
     /// Events of the named counter in this interval.
@@ -124,8 +133,15 @@ impl SnapshotDelta {
             .map(|c| c.delta)
     }
 
-    /// Per-second rate of the named counter over this interval.
+    /// Per-second rate of the named counter over this interval. `None`
+    /// when the counter is absent **or** the interval is shorter than
+    /// [`SnapshotDelta::MIN_RATE_INTERVAL_NS`] — a rate over a degenerate
+    /// interval would be garbage (up to `delta × 1e9` for a zero-length
+    /// one), so no rate is reported at all; never `NaN` or infinite.
     pub fn counter_rate(&self, name: &str) -> Option<f64> {
+        if self.interval_ns < Self::MIN_RATE_INTERVAL_NS {
+            return None;
+        }
         self.counter_delta(name)
             .map(|d| d as f64 / self.interval_secs())
     }
@@ -156,13 +172,16 @@ impl SnapshotDelta {
         let mut out = String::new();
         let _ = writeln!(out, "interval {}", format_ns(self.interval_ns));
         for c in self.counters.iter().filter(|c| c.delta > 0) {
-            let _ = writeln!(
-                out,
-                "{:<44} +{} ({:.1}/s)",
-                c.name,
-                c.delta,
-                c.delta as f64 / self.interval_secs()
-            );
+            // degenerate (near-zero-length) intervals have no meaningful
+            // rate; report the delta alone rather than an absurd number
+            match self.counter_rate(&c.name) {
+                Some(rate) => {
+                    let _ = writeln!(out, "{:<44} +{} ({rate:.1}/s)", c.name, c.delta);
+                }
+                None => {
+                    let _ = writeln!(out, "{:<44} +{}", c.name, c.delta);
+                }
+            }
         }
         for g in &self.gauges {
             let _ = writeln!(out, "{:<44} level={} ({:+})", g.name, g.level, g.delta);
@@ -327,6 +346,72 @@ mod tests {
             .collect();
         assert_eq!(deltas, vec![4, 5], "oldest intervals evicted first");
         assert_eq!(reporter.latest().unwrap().counter_delta("c"), Some(5));
+    }
+
+    #[test]
+    fn ring_at_exactly_capacity_keeps_every_delta_in_order() {
+        let registry = Registry::new();
+        let counter = registry.counter("c");
+        let mut reporter = Reporter::new(3);
+        reporter.tick(registry.snapshot(), Duration::from_secs(1));
+        // exactly `capacity` completed intervals: nothing evicted yet
+        for i in 0..3u64 {
+            counter.add(i + 1);
+            reporter.tick(registry.snapshot(), Duration::from_secs(1));
+        }
+        assert_eq!(reporter.len(), reporter.capacity());
+        let deltas: Vec<u64> = reporter
+            .recent()
+            .map(|d| d.counter_delta("c").unwrap())
+            .collect();
+        assert_eq!(deltas, vec![1, 2, 3], "oldest first, none lost");
+        // one tick past capacity evicts exactly the oldest
+        counter.add(4);
+        reporter.tick(registry.snapshot(), Duration::from_secs(1));
+        assert_eq!(reporter.len(), reporter.capacity());
+        let deltas: Vec<u64> = reporter
+            .recent()
+            .map(|d| d.counter_delta("c").unwrap())
+            .collect();
+        assert_eq!(deltas, vec![2, 3, 4], "wrapped by one, order preserved");
+        assert_eq!(reporter.latest().unwrap().counter_delta("c"), Some(4));
+    }
+
+    #[test]
+    fn degenerate_interval_yields_no_rate_and_no_absurd_render() {
+        let registry = Registry::new();
+        let counter = registry.counter("c");
+        let mut reporter = Reporter::new(4);
+        reporter.tick(registry.snapshot(), Duration::from_secs(1));
+        counter.add(1_000_000);
+        // a zero-length interval: two back-to-back snapshots
+        let delta = reporter
+            .tick(registry.snapshot(), Duration::ZERO)
+            .unwrap()
+            .clone();
+        assert_eq!(delta.counter_delta("c"), Some(1_000_000), "delta survives");
+        assert_eq!(delta.counter_rate("c"), None, "no rate over zero time");
+        assert_eq!(delta.interval_secs(), 0.0);
+        let text = delta.render_text();
+        assert!(text.contains("+1000000"), "{text}");
+        assert!(!text.contains("inf") && !text.contains("NaN"), "{text}");
+        // just under the floor is still degenerate; at the floor it isn't
+        counter.add(10);
+        let delta = reporter
+            .tick(registry.snapshot(), Duration::from_nanos(999))
+            .unwrap()
+            .clone();
+        assert_eq!(delta.counter_rate("c"), None);
+        counter.add(10);
+        let delta = reporter
+            .tick(
+                registry.snapshot(),
+                Duration::from_nanos(SnapshotDelta::MIN_RATE_INTERVAL_NS),
+            )
+            .unwrap()
+            .clone();
+        let rate = delta.counter_rate("c").unwrap();
+        assert!(rate.is_finite() && rate > 0.0);
     }
 
     #[test]

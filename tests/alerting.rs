@@ -1,0 +1,176 @@
+//! Property-based tests for the alert state machine.
+//!
+//! The alert engine's promise to an operator is temporal discipline: a rule
+//! fires only after `for_intervals` *consecutive* breached intervals, and a
+//! firing rule resolves only after `recovery_intervals` *consecutive*
+//! healthy ones — one noisy interval must never page, and one lucky
+//! interval must never clear an incident. These tests drive the engine with
+//! arbitrary breach/heal sequences and check it against an independent
+//! reference model plus direct invariants on the journaled transitions.
+
+use adaptive_indexing::telemetry::{
+    AlertCondition, AlertConfig, AlertEngine, AlertEvent, AlertEventKind, AlertRule, AlertState,
+    CounterDelta, SnapshotDelta,
+};
+use proptest::prelude::*;
+
+/// A one-second interval that breaches (or not) the shed-rate rule below.
+fn interval(breach: bool) -> SnapshotDelta {
+    SnapshotDelta {
+        interval_ns: 1_000_000_000,
+        counters: vec![CounterDelta {
+            name: "server.requests_shed".into(),
+            delta: if breach { 100 } else { 0 },
+        }],
+        gauges: Vec::new(),
+        histograms: Vec::new(),
+    }
+}
+
+fn shed_rule(for_intervals: u32, recovery_intervals: u32) -> AlertRule {
+    AlertRule::new(
+        "shed-spike",
+        AlertCondition::CounterRateAbove {
+            counter: "server.requests_shed".into(),
+            per_second: 10.0,
+        },
+    )
+    .for_intervals(for_intervals)
+    .recovery_intervals(recovery_intervals)
+}
+
+/// Drive one engine over `seq` and hand back every journaled event (with a
+/// journal deep enough that nothing is evicted).
+fn run(seq: &[bool], for_n: u32, rec: u32, journal_capacity: usize) -> Vec<AlertEvent> {
+    let mut engine = AlertEngine::new(
+        AlertConfig::new()
+            .rule(shed_rule(for_n, rec))
+            .journal_capacity(journal_capacity),
+    );
+    for &breach in seq {
+        engine.evaluate(&interval(breach), &[]);
+    }
+    engine.events()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // The engine tracks an independently written reference model tick for
+    // tick: state, breach streak, recovery progress, lifetime fire count,
+    // and whether an action was handed back this tick.
+    #[test]
+    fn engine_matches_the_reference_model_tick_for_tick(
+        raw in prop::collection::vec(0u8..2, 1..96),
+        for_n in 1u32..5,
+        rec in 1u32..5,
+    ) {
+        let seq: Vec<bool> = raw.iter().map(|&b| b == 1).collect();
+        let mut engine = AlertEngine::new(AlertConfig::new().rule(shed_rule(for_n, rec)));
+        let mut state = AlertState::Idle;
+        let mut streak = 0u32;
+        let mut healthy = 0u32;
+        let mut times_fired = 0u64;
+        for (i, &breach) in seq.iter().enumerate() {
+            let fired = engine.evaluate(&interval(breach), &[]);
+            let mut newly_fired = false;
+            if breach {
+                healthy = 0;
+                streak += 1;
+                if state != AlertState::Firing {
+                    if streak >= for_n {
+                        state = AlertState::Firing;
+                        times_fired += 1;
+                        newly_fired = true;
+                    } else {
+                        state = AlertState::Pending;
+                    }
+                }
+            } else if state == AlertState::Firing {
+                healthy += 1;
+                if healthy >= rec {
+                    state = AlertState::Idle;
+                    streak = 0;
+                    healthy = 0;
+                }
+            } else {
+                state = AlertState::Idle;
+                streak = 0;
+            }
+            let status = engine.status().remove(0);
+            prop_assert_eq!(status.state, state, "state diverged at tick {}", i + 1);
+            prop_assert_eq!(status.consecutive_breaches, streak);
+            prop_assert_eq!(status.healthy_intervals, healthy);
+            prop_assert_eq!(status.times_fired, times_fired);
+            prop_assert_eq!(fired.len(), usize::from(newly_fired));
+        }
+    }
+
+    // Directly from the journal: a Firing transition at tick T is only
+    // legal when the previous `for_n` intervals (ending at T) all
+    // breached; a Resolved transition only when the previous `rec`
+    // intervals were all healthy. One noisy (or lucky) interval can never
+    // page or clear on its own.
+    #[test]
+    fn transitions_require_their_full_consecutive_runs(
+        raw in prop::collection::vec(0u8..2, 1..96),
+        for_n in 1u32..5,
+        rec in 1u32..5,
+    ) {
+        let seq: Vec<bool> = raw.iter().map(|&b| b == 1).collect();
+        let events = run(&seq, for_n, rec, seq.len() * 2 + 1);
+        for event in &events {
+            let end = usize::try_from(event.tick).unwrap();
+            match event.kind {
+                AlertEventKind::Firing => {
+                    let window = &seq[end - for_n as usize..end];
+                    prop_assert!(
+                        window.iter().all(|&b| b),
+                        "fired at tick {end} without {for_n} consecutive breaches"
+                    );
+                }
+                AlertEventKind::Resolved => {
+                    let window = &seq[end - rec as usize..end];
+                    prop_assert!(
+                        window.iter().all(|&b| !b),
+                        "resolved at tick {end} without {rec} healthy intervals"
+                    );
+                }
+                AlertEventKind::Pending | AlertEventKind::Cancelled => {}
+            }
+        }
+        // the lifecycle is well-formed: Firing and Resolved strictly
+        // alternate (no resolve without an open incident, no double fire)
+        let mut open = false;
+        for event in &events {
+            match event.kind {
+                AlertEventKind::Firing => {
+                    prop_assert!(!open, "fired while already firing");
+                    open = true;
+                }
+                AlertEventKind::Resolved => {
+                    prop_assert!(open, "resolved without a firing incident");
+                    open = false;
+                }
+                AlertEventKind::Pending | AlertEventKind::Cancelled => {}
+            }
+        }
+    }
+
+    // The bounded journal is exactly the tail of the unbounded history:
+    // eviction drops oldest-first and never reorders or rewrites.
+    #[test]
+    fn bounded_journal_is_the_tail_of_the_full_history(
+        raw in prop::collection::vec(0u8..2, 1..96),
+        for_n in 1u32..4,
+        rec in 1u32..4,
+        capacity in 1usize..8,
+    ) {
+        let seq: Vec<bool> = raw.iter().map(|&b| b == 1).collect();
+        let full = run(&seq, for_n, rec, seq.len() * 2 + 1);
+        let bounded = run(&seq, for_n, rec, capacity);
+        prop_assert!(bounded.len() <= capacity);
+        let tail = &full[full.len().saturating_sub(capacity)..];
+        prop_assert_eq!(bounded.as_slice(), tail);
+    }
+}
